@@ -1,0 +1,50 @@
+//! Criterion wrapper for the Fig. 2 motivation experiment: times one
+//! transparent-baseline multi-tenant run at two contention levels and
+//! prints the hit-rate/traffic series the figure plots.
+//!
+//! Full-scale reproduction: `cargo run --release -p camdn-bench --bin
+//! fig2_motivation`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use camdn_common::types::MIB;
+use camdn_models::Model;
+use camdn_runtime::{simulate, EngineConfig, PolicyKind};
+
+fn workload(n: usize) -> Vec<Model> {
+    let zoo = camdn_models::zoo::all();
+    (0..n).map(|i| zoo[i % zoo.len()].clone()).collect()
+}
+
+fn run(n: usize, cache_mb: u64) -> (f64, f64, f64) {
+    let cfg = EngineConfig {
+        soc: camdn_common::SocConfig::paper_default().with_cache_bytes(cache_mb * MIB),
+        rounds_per_task: 2,
+        warmup_rounds: 1,
+        ..EngineConfig::speedup(PolicyKind::SharedBaseline)
+    };
+    let r = simulate(cfg, &workload(n));
+    (r.cache_hit_rate, r.mem_mb_per_model, r.avg_latency_ms)
+}
+
+fn bench(c: &mut Criterion) {
+    // Print the paper-style series once, so `cargo bench` output carries
+    // the reproduced rows.
+    for &n in &[1usize, 4, 8] {
+        let (h, m, l) = run(n, 16);
+        println!("fig2[16MB, {n} DNNs]: hit={h:.3} mem={m:.1}MB/model lat={l:.2}ms");
+    }
+    let mut g = c.benchmark_group("fig2_motivation");
+    g.sample_size(10);
+    g.bench_function("baseline_4dnn_16mb", |b| {
+        b.iter(|| black_box(run(black_box(4), 16)))
+    });
+    g.bench_function("baseline_8dnn_8mb", |b| {
+        b.iter(|| black_box(run(black_box(8), 8)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,50 @@
+//! Criterion wrapper for the analytic artifacts: Fig. 3 (reuse
+//! statistics) and Table III (area breakdown). Both are deterministic
+//! computations; the bench times them and prints the headline rows.
+//!
+//! Full-scale reproduction: `fig3_reuse` and `table3_area` binaries.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use camdn_analysis::{area_breakdown, profile_zoo, AreaModel};
+use camdn_common::config::{CacheConfig, NpuConfig};
+use camdn_mapper::MapperConfig;
+
+fn bench(c: &mut Criterion) {
+    let rows = profile_zoo(&MapperConfig::paper_default());
+    let avg = rows.last().unwrap();
+    println!(
+        "fig3[Avg]: no-reuse {:.1}% (paper 68.0%), >1MiB distance {:.1}% (paper 61.8%)",
+        100.0 * avg.no_reuse_fraction,
+        100.0 * avg.far_fraction
+    );
+    let b = area_breakdown(
+        &NpuConfig::paper_default(),
+        &CacheConfig::paper_default(),
+        &AreaModel::calibrated_45nm(),
+    );
+    println!(
+        "table3: CPT {:.2}% of NPU (paper 0.9%), NEC {:.2}% of slice (paper 0.3%)",
+        b.cpt_percent(),
+        b.nec_percent()
+    );
+
+    let mut g = c.benchmark_group("fig3_table3");
+    g.bench_function("reuse_profile_zoo", |b| {
+        b.iter(|| black_box(profile_zoo(black_box(&MapperConfig::paper_default()))))
+    });
+    g.bench_function("area_breakdown", |bch| {
+        bch.iter(|| {
+            black_box(area_breakdown(
+                &NpuConfig::paper_default(),
+                &CacheConfig::paper_default(),
+                &AreaModel::calibrated_45nm(),
+            ))
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

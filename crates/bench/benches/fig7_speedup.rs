@@ -1,0 +1,50 @@
+//! Criterion wrapper for the Fig. 7 speedup experiment: one
+//! eight-tenant run per policy, printing the speedup rows.
+//!
+//! Full-scale reproduction: `cargo run --release -p camdn-bench --bin
+//! fig7_speedup`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use camdn_models::Model;
+use camdn_runtime::{simulate, EngineConfig, PolicyKind, RunResult};
+
+fn workload() -> Vec<Model> {
+    camdn_models::zoo::all()
+}
+
+fn run(policy: PolicyKind) -> RunResult {
+    let cfg = EngineConfig {
+        rounds_per_task: 2,
+        warmup_rounds: 1,
+        ..EngineConfig::speedup(policy)
+    };
+    simulate(cfg, &workload())
+}
+
+fn bench(c: &mut Criterion) {
+    let base = run(PolicyKind::Aurora);
+    let full = run(PolicyKind::CamdnFull);
+    for (b, f) in base.tasks.iter().zip(&full.tasks) {
+        println!(
+            "fig7[{}]: speedup {:.2}x (AuRORA {:.2}ms -> CaMDN {:.2}ms)",
+            b.abbr,
+            b.mean_latency_ms / f.mean_latency_ms.max(1e-9),
+            b.mean_latency_ms,
+            f.mean_latency_ms
+        );
+    }
+    let mut g = c.benchmark_group("fig7_speedup");
+    g.sample_size(10);
+    g.bench_function("aurora_8dnn", |b| {
+        b.iter(|| black_box(run(black_box(PolicyKind::Aurora))))
+    });
+    g.bench_function("camdn_full_8dnn", |b| {
+        b.iter(|| black_box(run(black_box(PolicyKind::CamdnFull))))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

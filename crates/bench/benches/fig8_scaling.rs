@@ -1,0 +1,49 @@
+//! Criterion wrapper for the Fig. 8 scaling experiment: baseline vs
+//! CaMDN(Full) at several cache sizes, printing the reduction rows.
+//!
+//! Full-scale reproduction: `cargo run --release -p camdn-bench --bin
+//! fig8_scaling`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use camdn_common::types::MIB;
+use camdn_models::Model;
+use camdn_runtime::{simulate, EngineConfig, PolicyKind};
+
+fn workload() -> Vec<Model> {
+    let zoo = camdn_models::zoo::all();
+    (0..4).map(|i| zoo[i % zoo.len()].clone()).collect()
+}
+
+fn run(policy: PolicyKind, cache_mb: u64) -> (f64, f64) {
+    let cfg = EngineConfig {
+        soc: camdn_common::SocConfig::paper_default().with_cache_bytes(cache_mb * MIB),
+        rounds_per_task: 2,
+        warmup_rounds: 1,
+        ..EngineConfig::speedup(policy)
+    };
+    let r = simulate(cfg, &workload());
+    (r.avg_latency_ms, r.mem_mb_per_model)
+}
+
+fn bench(c: &mut Criterion) {
+    for &mb in &[8u64, 16, 32] {
+        let (bl, bm) = run(PolicyKind::Aurora, mb);
+        let (fl, fm) = run(PolicyKind::CamdnFull, mb);
+        println!(
+            "fig8[{mb}MB]: latency {bl:.2}->{fl:.2}ms ({:+.1}%), mem {bm:.1}->{fm:.1}MB ({:+.1}%)",
+            100.0 * (fl / bl - 1.0),
+            100.0 * (fm / bm - 1.0)
+        );
+    }
+    let mut g = c.benchmark_group("fig8_scaling");
+    g.sample_size(10);
+    g.bench_function("camdn_full_4dnn_32mb", |b| {
+        b.iter(|| black_box(run(black_box(PolicyKind::CamdnFull), 32)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,68 @@
+//! Criterion wrapper for the Fig. 9 QoS experiment: one QoS-M run per
+//! policy on a four-tenant mix, printing SLA/STP/fairness rows.
+//!
+//! Full-scale reproduction: `cargo run --release -p camdn-bench --bin
+//! fig9_qos`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use camdn_models::Model;
+use camdn_runtime::{qos_metrics, simulate, EngineConfig, PolicyKind, QosMetrics};
+
+fn workload() -> Vec<Model> {
+    let zoo = camdn_models::zoo::all();
+    vec![
+        zoo[0].clone(), // RS
+        zoo[1].clone(), // MB
+        zoo[4].clone(), // BE
+        zoo[6].clone(), // WV
+    ]
+}
+
+fn isolated() -> Vec<f64> {
+    workload()
+        .iter()
+        .map(|m| {
+            let cfg = EngineConfig {
+                rounds_per_task: 2,
+                warmup_rounds: 1,
+                ..EngineConfig::speedup(PolicyKind::SharedBaseline)
+            };
+            simulate(cfg, &[m.clone()]).tasks[0].mean_latency_ms
+        })
+        .collect()
+}
+
+fn run(policy: PolicyKind, iso: &[f64]) -> QosMetrics {
+    let cfg = EngineConfig {
+        rounds_per_task: 3,
+        warmup_rounds: 1,
+        ..EngineConfig::qos(policy, 1.0)
+    };
+    let r = simulate(cfg, &workload());
+    qos_metrics(&r, iso)
+}
+
+fn bench(c: &mut Criterion) {
+    let iso = isolated();
+    for p in [PolicyKind::Moca, PolicyKind::Aurora, PolicyKind::CamdnFull] {
+        let m = run(p, &iso);
+        println!(
+            "fig9[QoS-M, {}]: SLA {:.1}% STP {:.2} fairness {:.2}",
+            p.label(),
+            100.0 * m.sla_rate,
+            m.stp,
+            m.fairness
+        );
+    }
+    let mut g = c.benchmark_group("fig9_qos");
+    g.sample_size(10);
+    g.bench_function("camdn_qos_m", |b| {
+        b.iter(|| black_box(run(black_box(PolicyKind::CamdnFull), &iso)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,76 @@
+//! Microbenchmarks of the simulator substrates: DRAM burst service,
+//! transparent cache range accesses, NEC operations and the layer
+//! mapper. These guard the simulator's own performance (experiments
+//! walk hundreds of millions of cache lines).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use camdn_cache::{Nec, SharedCache};
+use camdn_common::config::{CacheConfig, DramConfig};
+use camdn_common::types::PhysAddr;
+use camdn_dram::DramModel;
+use camdn_mapper::{map_layer_lwm, MapperConfig};
+use camdn_models::{Layer, LoopNest, OpKind};
+
+fn bench(c: &mut Criterion) {
+    let cache_cfg = CacheConfig::paper_default();
+
+    c.bench_function("dram_burst_64_lines", |b| {
+        let mut dram = DramModel::new(DramConfig::paper_default(), 64);
+        let mut t = 0u64;
+        b.iter(|| {
+            t += 1000;
+            black_box(dram.access_burst(t, PhysAddr(t * 64), 64, false, 0))
+        })
+    });
+
+    c.bench_function("cache_range_64kib", |b| {
+        let mut cache = SharedCache::new(&cache_cfg);
+        let mut dram = DramModel::new(DramConfig::paper_default(), 64);
+        let mask = cache.full_way_mask();
+        let mut t = 0u64;
+        b.iter(|| {
+            t += 10_000;
+            black_box(cache.access_range(
+                t,
+                PhysAddr((t * 64) % (1 << 30)),
+                64 << 10,
+                false,
+                mask,
+                &mut dram,
+            ))
+        })
+    });
+
+    c.bench_function("nec_fill_one_page", |b| {
+        let mut nec = Nec::new(&cache_cfg);
+        let mut dram = DramModel::new(DramConfig::paper_default(), 64);
+        let p = nec.first_pcpn();
+        nec.claim_page(0, p).unwrap();
+        let pages = vec![p];
+        let mut t = 0u64;
+        b.iter(|| {
+            t += 10_000;
+            black_box(
+                nec.fill(t, 0, &pages, PhysAddr(0), 512, &mut dram, 0)
+                    .unwrap(),
+            )
+        })
+    });
+
+    c.bench_function("map_layer_resnet_conv", |b| {
+        let layer = Layer::new("c", OpKind::Conv, LoopNest::conv(256, 14, 14, 256, 3, 1));
+        let cfg = MapperConfig::paper_default();
+        b.iter(|| black_box(map_layer_lwm(black_box(&layer), &cfg, 1 << 20)))
+    });
+
+    c.bench_function("map_model_mobilenet", |b| {
+        let model = camdn_models::zoo::mobilenet_v2();
+        let cfg = MapperConfig::paper_default();
+        b.iter(|| black_box(camdn_mapper::map_model(black_box(&model), &cfg)))
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

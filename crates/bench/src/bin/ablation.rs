@@ -1,0 +1,106 @@
+//! Ablation studies beyond the paper's figures (DESIGN.md §7):
+//!
+//! 1. **Look-ahead sensitivity** — Algorithm 1 predicts availability
+//!    `0.2 × T_est` ahead; sweep the factor.
+//! 2. **Page-size sweep** — the CPT uses 32 KiB pages for a 16 MiB
+//!    cache; smaller pages pack regions tighter but need bigger tables.
+//! 3. **LBM contribution** — CaMDN(Full) vs the same system with LBM
+//!    disabled (static policy semantics), isolating the layer-block
+//!    mapping win that Fig. 7 attributes to MB/EF.
+
+use camdn_bench::{parallel_runs, print_table, quick_mode};
+use camdn_models::Model;
+use camdn_runtime::{Engine, EngineConfig, PolicyKind};
+
+fn workload(n: usize) -> Vec<Model> {
+    let zoo = camdn_models::zoo::all();
+    (0..n).map(|i| zoo[i % zoo.len()].clone()).collect()
+}
+
+fn main() {
+    let n = if quick_mode() { 4 } else { 8 };
+
+    // --- 1. Look-ahead factor sweep -------------------------------
+    let factors = [0.0, 0.1, 0.2, 0.5, 1.0];
+    let mut rows = Vec::new();
+    for &f in &factors {
+        let cfg = EngineConfig {
+            rounds_per_task: 2,
+            warmup_rounds: 1,
+            ..EngineConfig::speedup(PolicyKind::CamdnFull)
+        };
+        let mut engine = Engine::new(cfg, &workload(n));
+        engine.set_lookahead(f);
+        let r = engine.run();
+        rows.push(vec![
+            format!("{f:.1}"),
+            format!("{:.2}", r.avg_latency_ms),
+            format!("{:.1}", r.mem_mb_per_model),
+            format!("{:.3}", r.cache_hit_rate),
+        ]);
+    }
+    print_table(
+        "Ablation 1 — Algorithm 1 look-ahead factor (paper: 0.2)",
+        &["factor", "avg latency (ms)", "MB/model", "hit rate"],
+        &rows,
+    );
+
+    // --- 2. Cache page size sweep ----------------------------------
+    let mut rows = Vec::new();
+    for &kib in &[8u64, 16, 32, 64, 128] {
+        let mut cfg = EngineConfig {
+            rounds_per_task: 2,
+            warmup_rounds: 1,
+            ..EngineConfig::speedup(PolicyKind::CamdnFull)
+        };
+        cfg.soc.cache.page_bytes = kib * 1024;
+        cfg.mapper.page_bytes = kib * 1024;
+        let r = camdn_runtime::simulate(cfg.clone(), &workload(n));
+        let cpt_entries = cfg.soc.cache.total_bytes / cfg.soc.cache.page_bytes;
+        rows.push(vec![
+            format!("{kib} KiB"),
+            format!("{:.2}", r.avg_latency_ms),
+            format!("{:.1}", r.mem_mb_per_model),
+            format!("{} x 3B = {:.1} KiB", cpt_entries, cpt_entries as f64 * 3.0 / 1024.0),
+        ]);
+    }
+    print_table(
+        "Ablation 2 — cache page size (paper: 32 KiB, 1.5 KiB CPT)",
+        &["page", "avg latency (ms)", "MB/model", "CPT SRAM"],
+        &rows,
+    );
+
+    // --- 3. LBM contribution ---------------------------------------
+    let runs = vec![
+        (
+            EngineConfig {
+                rounds_per_task: 2,
+                warmup_rounds: 1,
+                ..EngineConfig::speedup(PolicyKind::CamdnHwOnly)
+            },
+            workload(n),
+        ),
+        (
+            EngineConfig {
+                rounds_per_task: 2,
+                warmup_rounds: 1,
+                ..EngineConfig::speedup(PolicyKind::CamdnFull)
+            },
+            workload(n),
+        ),
+    ];
+    let results = parallel_runs(runs);
+    let mut rows = Vec::new();
+    for r in &results {
+        rows.push(vec![
+            r.policy.label().to_string(),
+            format!("{:.2}", r.avg_latency_ms),
+            format!("{:.1}", r.mem_mb_per_model),
+        ]);
+    }
+    print_table(
+        "Ablation 3 — dynamic allocation + LBM (Full) vs static LWM-only (HW-only)",
+        &["system", "avg latency (ms)", "MB/model"],
+        &rows,
+    );
+}

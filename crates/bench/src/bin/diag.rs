@@ -1,0 +1,39 @@
+//! Diagnostic run: per-policy traffic breakdown (not a paper figure).
+
+use camdn_bench::speedup_workload;
+use camdn_runtime::{simulate, EngineConfig, PolicyKind};
+
+fn main() {
+    let n: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(16);
+    let mut workload = speedup_workload();
+    workload.truncate(n);
+    for p in [
+        PolicyKind::SharedBaseline,
+        PolicyKind::Aurora,
+        PolicyKind::CamdnHwOnly,
+        PolicyKind::CamdnFull,
+    ] {
+        let cfg = EngineConfig {
+            rounds_per_task: 2,
+            warmup_rounds: 1,
+            ..EngineConfig::speedup(p)
+        };
+        let r = simulate(cfg, &workload);
+        println!(
+            "{:16} hit={:.3} avg_lat={:8.2}ms mem/model={:7.1}MB makespan={:8.1}ms mcast={:6.1}MB",
+            p.label(),
+            r.cache_hit_rate,
+            r.avg_latency_ms,
+            r.mem_mb_per_model,
+            r.makespan_ms,
+            r.multicast_saved_mb
+        );
+        for t in &r.tasks {
+            print!("  {}={:.1}ms/{:.0}MB", t.abbr, t.mean_latency_ms, t.mean_dram_mb);
+        }
+        println!();
+    }
+}

@@ -1,0 +1,98 @@
+//! Fig. 8: scaling — average model latency and memory access for the
+//! baseline (AuRORA), CaMDN(HW-only) and CaMDN(Full), sweeping (a) the
+//! shared-cache capacity 4→64 MiB at 8 co-located DNNs, and (b) the
+//! number of co-located DNNs 1→16 at 16 MiB.
+//!
+//! Paper result: CaMDN(Full) cuts latency by 34.3–42.3 % and memory
+//! access by 16.0–37.7 % across scales, with larger caches helping more.
+
+use camdn_bench::{parallel_runs, print_table, quick_mode, speedup_policies};
+use camdn_common::types::MIB;
+use camdn_models::Model;
+use camdn_runtime::{EngineConfig, PolicyKind};
+
+fn workload(n: usize) -> Vec<Model> {
+    let zoo = camdn_models::zoo::all();
+    (0..n).map(|i| zoo[i % zoo.len()].clone()).collect()
+}
+
+fn sweep(title: &str, configs: Vec<(String, u64, usize)>) {
+    // (label, cache bytes, #DNNs) per point, x 3 policies.
+    let mut runs = Vec::new();
+    for &(_, cache, n) in &configs {
+        for p in speedup_policies() {
+            let cfg = EngineConfig {
+                soc: camdn_common::SocConfig::paper_default().with_cache_bytes(cache),
+                rounds_per_task: 2,
+                warmup_rounds: 1,
+                ..EngineConfig::speedup(p)
+            };
+            runs.push((cfg, workload(n)));
+        }
+    }
+    let results = parallel_runs(runs);
+
+    let mut lat_rows = Vec::new();
+    let mut mem_rows = Vec::new();
+    for (i, (label, _, _)) in configs.iter().enumerate() {
+        let base = &results[3 * i];
+        let hw = &results[3 * i + 1];
+        let full = &results[3 * i + 2];
+        let lat_red = 100.0 * (1.0 - full.avg_latency_ms / base.avg_latency_ms.max(1e-9));
+        let mem_red = 100.0 * (1.0 - full.mem_mb_per_model / base.mem_mb_per_model.max(1e-9));
+        lat_rows.push(vec![
+            label.clone(),
+            format!("{:.2}", base.avg_latency_ms),
+            format!("{:.2}", hw.avg_latency_ms),
+            format!("{:.2}", full.avg_latency_ms),
+            format!("-{lat_red:.1}%"),
+        ]);
+        mem_rows.push(vec![
+            label.clone(),
+            format!("{:.1}", base.mem_mb_per_model),
+            format!("{:.1}", hw.mem_mb_per_model),
+            format!("{:.1}", full.mem_mb_per_model),
+            format!("-{mem_red:.1}%"),
+        ]);
+    }
+    print_table(
+        &format!("{title} — average latency (ms)"),
+        &["scale", "AuRORA", "CaMDN(HW-only)", "CaMDN(Full)", "reduction"],
+        &lat_rows,
+    );
+    print_table(
+        &format!("{title} — memory access (MB/model)"),
+        &["scale", "AuRORA", "CaMDN(HW-only)", "CaMDN(Full)", "reduction"],
+        &mem_rows,
+    );
+}
+
+fn main() {
+    let cache_points: Vec<u64> = if quick_mode() {
+        vec![8, 16]
+    } else {
+        vec![4, 8, 16, 32, 64]
+    };
+    let dnn_points: Vec<usize> = if quick_mode() {
+        vec![4, 8]
+    } else {
+        vec![1, 2, 4, 8, 16]
+    };
+
+    sweep(
+        "Fig. 8(a) — cache capacity sweep (8 DNNs)",
+        cache_points
+            .iter()
+            .map(|&mb| (format!("{mb}MB"), mb * MIB, 8))
+            .collect(),
+    );
+    sweep(
+        "Fig. 8(b) — co-located DNN sweep (16 MiB cache)",
+        dnn_points
+            .iter()
+            .map(|&n| (format!("{n} DNNs"), 16 * MIB, n))
+            .collect(),
+    );
+    println!("\nPaper: latency -34.3%..-42.3%, memory access -16.0%..-37.7%.");
+    let _ = PolicyKind::CamdnFull;
+}

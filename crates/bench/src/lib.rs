@@ -1,0 +1,191 @@
+//! Experiment harness: shared helpers for regenerating every table and
+//! figure of the CaMDN paper.
+//!
+//! Each `fig*`/`table*` binary in `src/bin/` reproduces one artifact:
+//!
+//! | Binary | Paper artifact |
+//! |---|---|
+//! | `fig2_motivation` | Fig. 2: hit rate / memory access / latency vs #DNNs × cache size |
+//! | `fig3_reuse` | Fig. 3: reuse counts and reuse distances |
+//! | `fig7_speedup` | Fig. 7: model-wise speedup over AuRORA |
+//! | `fig8_scaling` | Fig. 8: latency & memory access across scales |
+//! | `fig9_qos` | Fig. 9: SLA / STP / fairness at QoS-H/M/L |
+//! | `table3_area` | Table III: area breakdown |
+//!
+//! Set `CAMDN_QUICK=1` to run reduced sweeps (used by CI and the
+//! Criterion wrappers).
+
+#![warn(missing_docs)]
+
+use camdn_models::Model;
+use camdn_runtime::{simulate, EngineConfig, PolicyKind, RunResult};
+use std::collections::HashMap;
+
+/// True when the `CAMDN_QUICK` environment variable requests reduced
+/// sweeps.
+pub fn quick_mode() -> bool {
+    std::env::var("CAMDN_QUICK").map(|v| v != "0").unwrap_or(false)
+}
+
+/// The 16-tenant speedup workload of Section IV-A4: two instances of
+/// each Table I model, one per NPU.
+pub fn speedup_workload() -> Vec<Model> {
+    let zoo = camdn_models::zoo::all();
+    let mut v = Vec::with_capacity(16);
+    for m in &zoo {
+        v.push(m.clone());
+    }
+    for m in &zoo {
+        v.push(m.clone());
+    }
+    v
+}
+
+/// The 8-tenant QoS workload: one instance of each Table I model on the
+/// 16-NPU SoC (AuRORA-style multi-NPU allocation has headroom).
+pub fn qos_workload() -> Vec<Model> {
+    camdn_models::zoo::all()
+}
+
+/// Runs every model alone under `policy` and returns its mean isolated
+/// latency (ms) keyed by abbreviation. Used for STP/fairness.
+pub fn isolated_latencies(base_cfg: &EngineConfig) -> HashMap<String, f64> {
+    let mut out = HashMap::new();
+    for m in camdn_models::zoo::all() {
+        let cfg = EngineConfig {
+            rounds_per_task: 2,
+            warmup_rounds: 1,
+            qos_scale: None,
+            ..base_cfg.clone()
+        };
+        let r = simulate(cfg, &[m.clone()]);
+        out.insert(m.abbr.clone(), r.tasks[0].mean_latency_ms);
+    }
+    out
+}
+
+/// Mean latency per model abbreviation over the tasks of a run.
+pub fn latency_by_model(result: &RunResult) -> HashMap<String, f64> {
+    let mut sums: HashMap<String, (f64, u32)> = HashMap::new();
+    for t in &result.tasks {
+        let e = sums.entry(t.abbr.clone()).or_insert((0.0, 0));
+        e.0 += t.mean_latency_ms;
+        e.1 += 1;
+    }
+    sums.into_iter()
+        .map(|(k, (s, n))| (k, s / f64::from(n)))
+        .collect()
+}
+
+/// Mean DRAM MB per model abbreviation over the tasks of a run.
+pub fn dram_by_model(result: &RunResult) -> HashMap<String, f64> {
+    let mut sums: HashMap<String, (f64, u32)> = HashMap::new();
+    for t in &result.tasks {
+        let e = sums.entry(t.abbr.clone()).or_insert((0.0, 0));
+        e.0 += t.mean_dram_mb;
+        e.1 += 1;
+    }
+    sums.into_iter()
+        .map(|(k, (s, n))| (k, s / f64::from(n)))
+        .collect()
+}
+
+/// Runs several engine configurations in parallel threads (each engine
+/// is single-threaded and independent).
+pub fn parallel_runs(configs: Vec<(EngineConfig, Vec<Model>)>) -> Vec<RunResult> {
+    let n = configs.len();
+    let mut results: Vec<Option<RunResult>> = Vec::with_capacity(n);
+    results.resize_with(n, || None);
+    let slots: Vec<parking_lot::Mutex<Option<RunResult>>> =
+        (0..n).map(|_| parking_lot::Mutex::new(None)).collect();
+    let threads = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(4);
+    let next = std::sync::atomic::AtomicUsize::new(0);
+    crossbeam::scope(|s| {
+        for _ in 0..threads.min(n) {
+            s.spawn(|_| loop {
+                let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let (cfg, models) = &configs[i];
+                let r = simulate(cfg.clone(), models);
+                *slots[i].lock() = Some(r);
+            });
+        }
+    })
+    .expect("worker thread panicked");
+    slots
+        .into_iter()
+        .map(|s| s.into_inner().expect("every slot filled"))
+        .collect()
+}
+
+/// Prints a simple aligned table.
+pub fn print_table(title: &str, headers: &[&str], rows: &[Vec<String>]) {
+    println!("\n=== {title} ===");
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let line = |cells: Vec<String>| {
+        let s: Vec<String> = cells
+            .iter()
+            .enumerate()
+            .map(|(i, c)| format!("{:>w$}", c, w = widths.get(i).copied().unwrap_or(8)))
+            .collect();
+        println!("{}", s.join("  "));
+    };
+    line(headers.iter().map(|h| h.to_string()).collect());
+    for row in rows {
+        line(row.clone());
+    }
+}
+
+/// The geometric-mean helper re-exported for the binaries.
+pub fn geomean(values: &[f64]) -> f64 {
+    camdn_common::stats::geomean(values)
+}
+
+/// Standard policy set of the speedup/scaling experiments.
+pub fn speedup_policies() -> [PolicyKind; 3] {
+    [
+        PolicyKind::Aurora,
+        PolicyKind::CamdnHwOnly,
+        PolicyKind::CamdnFull,
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn workloads_have_expected_shapes() {
+        assert_eq!(speedup_workload().len(), 16);
+        assert_eq!(qos_workload().len(), 8);
+    }
+
+    #[test]
+    fn parallel_runs_preserve_order() {
+        let models = vec![camdn_models::zoo::mobilenet_v2()];
+        let mk = |seed| EngineConfig {
+            seed,
+            rounds_per_task: 1,
+            warmup_rounds: 0,
+            ..EngineConfig::speedup(PolicyKind::SharedBaseline)
+        };
+        let res = parallel_runs(vec![
+            (mk(1), models.clone()),
+            (mk(2), models.clone()),
+            (mk(1), models.clone()),
+        ]);
+        assert_eq!(res.len(), 3);
+        assert_eq!(res[0], res[2], "same seed must give identical results");
+    }
+}

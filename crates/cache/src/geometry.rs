@@ -1,0 +1,269 @@
+//! Cache geometry and physical cache address (`pcaddr`) packing.
+//!
+//! Figure 5(b) of the paper divides a `pcaddr` into four bit fields, from
+//! low to high: **byte offset | slice index | set index | way index**.
+//! In this layout consecutive data lines are distributed among all slices
+//! for higher cache bandwidth utilization, and a 32 KiB cache page is a
+//! contiguous `pcaddr` range that occupies one way across a block of sets
+//! in every slice.
+
+use camdn_common::config::CacheConfig;
+use serde::{Deserialize, Serialize};
+
+/// A decoded physical cache address: which line of which slice/set/way,
+/// plus the byte offset within the line.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Pcaddr {
+    /// Slice index.
+    pub slice: u32,
+    /// Set index within the slice.
+    pub set: u32,
+    /// Way index within the set.
+    pub way: u32,
+    /// Byte offset within the cache line.
+    pub offset: u32,
+}
+
+/// Derived power-of-two cache geometry with `pcaddr`/page helpers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CacheGeometry {
+    /// Cache line size in bytes.
+    pub line_bytes: u64,
+    /// Number of slices.
+    pub slices: u32,
+    /// Sets per slice.
+    pub sets_per_slice: u32,
+    /// Total ways.
+    pub ways: u32,
+    /// Cache page size in bytes.
+    pub page_bytes: u64,
+    offset_bits: u32,
+    slice_bits: u32,
+    set_bits: u32,
+}
+
+impl CacheGeometry {
+    /// Builds the geometry from a [`CacheConfig`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the line size, slice count, set count or way count is not
+    /// a power of two, or if a cache page does not cover a whole number of
+    /// sets per slice (both hold for every configuration in the paper).
+    pub fn new(cfg: &CacheConfig) -> Self {
+        let sets_per_slice = cfg.sets_per_slice();
+        assert!(cfg.line_bytes.is_power_of_two(), "line size must be 2^n");
+        assert!(cfg.slices.is_power_of_two(), "slice count must be 2^n");
+        assert!(sets_per_slice.is_power_of_two(), "sets/slice must be 2^n");
+        assert!(cfg.ways.is_power_of_two(), "way count must be 2^n");
+        let lines_per_page = cfg.page_bytes / cfg.line_bytes;
+        assert!(
+            lines_per_page % u64::from(cfg.slices) == 0,
+            "a page must span all slices evenly"
+        );
+        let sets_per_page = lines_per_page / u64::from(cfg.slices);
+        assert!(
+            sets_per_slice % sets_per_page == 0,
+            "sets per slice must be a multiple of sets per page"
+        );
+        CacheGeometry {
+            line_bytes: cfg.line_bytes,
+            slices: cfg.slices,
+            sets_per_slice: sets_per_slice as u32,
+            ways: cfg.ways,
+            page_bytes: cfg.page_bytes,
+            offset_bits: cfg.line_bytes.trailing_zeros(),
+            slice_bits: cfg.slices.trailing_zeros(),
+            set_bits: (sets_per_slice as u32).trailing_zeros(),
+        }
+    }
+
+    /// Packs a decoded address into its `u64` bit representation.
+    pub fn pack(&self, p: Pcaddr) -> u64 {
+        debug_assert!(p.slice < self.slices);
+        debug_assert!(p.set < self.sets_per_slice);
+        debug_assert!(p.way < self.ways);
+        debug_assert!(u64::from(p.offset) < self.line_bytes);
+        (u64::from(p.way) << (self.offset_bits + self.slice_bits + self.set_bits))
+            | (u64::from(p.set) << (self.offset_bits + self.slice_bits))
+            | (u64::from(p.slice) << self.offset_bits)
+            | u64::from(p.offset)
+    }
+
+    /// Decodes a packed `pcaddr`.
+    pub fn unpack(&self, packed: u64) -> Pcaddr {
+        let offset = (packed & (self.line_bytes - 1)) as u32;
+        let slice = ((packed >> self.offset_bits) & u64::from(self.slices - 1)) as u32;
+        let set =
+            ((packed >> (self.offset_bits + self.slice_bits)) & u64::from(self.sets_per_slice - 1))
+                as u32;
+        let way = (packed >> (self.offset_bits + self.slice_bits + self.set_bits)) as u32;
+        Pcaddr {
+            slice,
+            set,
+            way,
+            offset,
+        }
+    }
+
+    /// Lines per cache page.
+    pub fn lines_per_page(&self) -> u64 {
+        self.page_bytes / self.line_bytes
+    }
+
+    /// Sets (per slice) covered by one cache page.
+    pub fn sets_per_page(&self) -> u32 {
+        (self.lines_per_page() / u64::from(self.slices)) as u32
+    }
+
+    /// Cache pages per way (across all slices).
+    pub fn pages_per_way(&self) -> u32 {
+        self.sets_per_slice / self.sets_per_page()
+    }
+
+    /// Total pages in the whole cache (all ways).
+    pub fn total_pages(&self) -> u32 {
+        self.pages_per_way() * self.ways
+    }
+
+    /// The `(way, first_set)` block a physical cache page occupies.
+    pub fn page_location(&self, pcpn: u32) -> (u32, u32) {
+        let way = pcpn / self.pages_per_way();
+        let set_block = pcpn % self.pages_per_way();
+        (way, set_block * self.sets_per_page())
+    }
+
+    /// Physical cache page number for a way/set pair (inverse of
+    /// [`CacheGeometry::page_location`]).
+    pub fn pcpn_of(&self, way: u32, set: u32) -> u32 {
+        way * self.pages_per_way() + set / self.sets_per_page()
+    }
+
+    /// `pcaddr` of the `i`-th line inside page `pcpn` (offset 0).
+    ///
+    /// Consecutive lines walk the slices first (line-interleaved), then
+    /// the sets, matching the Fig. 5(b) layout.
+    pub fn line_in_page(&self, pcpn: u32, line_idx: u64) -> Pcaddr {
+        debug_assert!(line_idx < self.lines_per_page());
+        let (way, set_base) = self.page_location(pcpn);
+        let slice = (line_idx % u64::from(self.slices)) as u32;
+        let set = set_base + (line_idx / u64::from(self.slices)) as u32;
+        Pcaddr {
+            slice,
+            set,
+            way,
+            offset: 0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use camdn_common::config::CacheConfig;
+    use camdn_common::types::MIB;
+
+    fn geom() -> CacheGeometry {
+        CacheGeometry::new(&CacheConfig::paper_default())
+    }
+
+    #[test]
+    fn paper_geometry() {
+        let g = geom();
+        assert_eq!(g.sets_per_slice, 2048);
+        assert_eq!(g.lines_per_page(), 512);
+        assert_eq!(g.sets_per_page(), 64);
+        assert_eq!(g.pages_per_way(), 32);
+        assert_eq!(g.total_pages(), 512); // 16 MiB / 32 KiB
+    }
+
+    #[test]
+    fn pack_unpack_roundtrip() {
+        let g = geom();
+        for &(slice, set, way, offset) in &[
+            (0u32, 0u32, 0u32, 0u32),
+            (7, 2047, 15, 63),
+            (3, 1024, 12, 32),
+            (5, 17, 4, 1),
+        ] {
+            let p = Pcaddr {
+                slice,
+                set,
+                way,
+                offset,
+            };
+            assert_eq!(g.unpack(g.pack(p)), p);
+        }
+    }
+
+    #[test]
+    fn packed_addresses_are_unique_lines() {
+        let g = geom();
+        // Distinct (slice,set,way) triples give distinct packed values.
+        let a = g.pack(Pcaddr {
+            slice: 1,
+            set: 5,
+            way: 2,
+            offset: 0,
+        });
+        let b = g.pack(Pcaddr {
+            slice: 2,
+            set: 5,
+            way: 2,
+            offset: 0,
+        });
+        let c = g.pack(Pcaddr {
+            slice: 1,
+            set: 6,
+            way: 2,
+            offset: 0,
+        });
+        assert_ne!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn page_location_roundtrip() {
+        let g = geom();
+        for pcpn in 0..g.total_pages() {
+            let (way, set) = g.page_location(pcpn);
+            assert_eq!(g.pcpn_of(way, set), pcpn);
+        }
+    }
+
+    #[test]
+    fn page_lines_interleave_slices() {
+        let g = geom();
+        let p0 = g.line_in_page(0, 0);
+        let p1 = g.line_in_page(0, 1);
+        let p8 = g.line_in_page(0, 8);
+        assert_eq!(p0.slice, 0);
+        assert_eq!(p1.slice, 1);
+        assert_eq!(p8.slice, 0);
+        assert_eq!(p8.set, p0.set + 1);
+        assert_eq!(p0.way, p1.way);
+    }
+
+    #[test]
+    fn scaling_geometries_are_valid() {
+        for mb in [4u64, 8, 32, 64] {
+            let cfg = CacheConfig::paper_default().with_total_bytes(mb * MIB);
+            let g = CacheGeometry::new(&cfg);
+            assert_eq!(
+                u64::from(g.total_pages()) * g.page_bytes,
+                mb * MIB,
+                "page count must cover the full cache at {mb} MiB"
+            );
+        }
+    }
+
+    #[test]
+    fn page_lines_stay_inside_one_way() {
+        let g = geom();
+        let pcpn = 37;
+        let (way, _) = g.page_location(pcpn);
+        for i in 0..g.lines_per_page() {
+            assert_eq!(g.line_in_page(pcpn, i).way, way);
+        }
+    }
+}

@@ -1,0 +1,500 @@
+//! The NPU-Exclusive Controller (NEC), Section III-B2 of the paper.
+//!
+//! One NEC per cache slice takes control of the NPU subspace and serves
+//! NPU-specific requests through a dual interface. We model the NECs of
+//! all slices as one logical [`Nec`] because a cache page spans every
+//! slice (Fig. 5b) and NPU requests are line-interleaved across slices.
+//!
+//! The NEC replaces hardware-managed replacement with explicit,
+//! program-controlled data movement at cache-line granularity:
+//!
+//! * **basic semantics** — `fill` (memory → cache), `writeback`
+//!   (cache → memory), `read`/`write` (cache ↔ NPU);
+//! * **bypass semantics** — `bypass_read` / `bypass_write` move
+//!   non-reusable data directly between memory and the NPU, reserving
+//!   cache space for reusable data;
+//! * **multicast semantics** — `multicast_read` /
+//!   `multicast_bypass_read` combine identical requests from a group of
+//!   NPUs running the same model, reducing NoC and memory pressure.
+//!
+//! The NEC also enforces *model exclusivity*: every operation names the
+//! task that issued it, and the controller verifies the task owns the
+//! pages it touches. Ownership is page-granular, maintained by the cache
+//! page allocator in `camdn-core`.
+
+use crate::geometry::CacheGeometry;
+use camdn_common::config::CacheConfig;
+use camdn_common::stats::Counter;
+use camdn_common::types::{Cycle, PhysAddr};
+use camdn_dram::DramModel;
+use serde::{Deserialize, Serialize};
+
+/// Identifier of a co-located task (tenant) as seen by the hardware.
+pub type TaskId = u32;
+
+/// Errors raised by the NEC when exclusivity is violated.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NecError {
+    /// The page is not owned by the requesting task.
+    NotOwner {
+        /// Physical cache page that was accessed.
+        pcpn: u32,
+        /// Task that issued the request.
+        task: TaskId,
+        /// Current owner, if any.
+        owner: Option<TaskId>,
+    },
+    /// The page number is outside the NPU subspace.
+    BadPage {
+        /// Offending page number.
+        pcpn: u32,
+    },
+    /// Attempt to claim a page that is already owned.
+    AlreadyOwned {
+        /// Offending page number.
+        pcpn: u32,
+        /// Current owner.
+        owner: TaskId,
+    },
+}
+
+impl std::fmt::Display for NecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            NecError::NotOwner { pcpn, task, owner } => write!(
+                f,
+                "task {task} accessed cache page {pcpn} owned by {owner:?}"
+            ),
+            NecError::BadPage { pcpn } => {
+                write!(f, "cache page {pcpn} is outside the NPU subspace")
+            }
+            NecError::AlreadyOwned { pcpn, owner } => {
+                write!(f, "cache page {pcpn} is already owned by task {owner}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for NecError {}
+
+/// Statistics of the NEC (NPU-controlled) path.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct NecStats {
+    /// Lines served from the NPU subspace to NPUs (controlled hits).
+    pub reads: Counter,
+    /// Lines written by NPUs into the subspace.
+    pub writes: Counter,
+    /// Lines filled memory → cache.
+    pub fills: Counter,
+    /// Lines written back cache → memory.
+    pub writebacks: Counter,
+    /// Lines moved memory → NPU without caching.
+    pub bypass_reads: Counter,
+    /// Lines moved NPU → memory without caching.
+    pub bypass_writes: Counter,
+    /// Multicast read operations served.
+    pub multicast_ops: Counter,
+    /// Line transfers *saved* by multicast combining (group−1 per line).
+    pub multicast_saved_lines: Counter,
+}
+
+impl NecStats {
+    /// Lines that were served from cache rather than DRAM
+    /// (reads + writes into the subspace).
+    pub fn controlled_hits(&self) -> u64 {
+        self.reads.get() + self.writes.get()
+    }
+}
+
+/// The logical NPU-exclusive controller over the NPU subspace.
+#[derive(Debug, Clone)]
+pub struct Nec {
+    geom: CacheGeometry,
+    hit_latency: Cycle,
+    lines_per_cycle: f64,
+    npu_pages: u32,
+    /// `page_owner[pcpn - first_pcpn]`: owner task, if claimed.
+    page_owner: Vec<Option<TaskId>>,
+    first_pcpn: u32,
+    stats: NecStats,
+}
+
+impl Nec {
+    /// Creates the controller for the NPU subspace defined by `cfg`
+    /// (`cfg.npu_ways` of the highest ways).
+    pub fn new(cfg: &CacheConfig) -> Self {
+        let geom = CacheGeometry::new(cfg);
+        let pages_per_way = geom.pages_per_way();
+        let npu_pages = pages_per_way * cfg.npu_ways;
+        // NPU subspace occupies the highest ways; its first page number is
+        // the first page of the first NPU way.
+        let first_pcpn = pages_per_way * (cfg.ways - cfg.npu_ways);
+        Nec {
+            geom,
+            hit_latency: cfg.hit_latency,
+            lines_per_cycle: cfg.lines_per_cycle,
+            npu_pages,
+            page_owner: vec![None; npu_pages as usize],
+            first_pcpn,
+            stats: NecStats::default(),
+        }
+    }
+
+    /// Number of pages in the NPU subspace.
+    pub fn npu_pages(&self) -> u32 {
+        self.npu_pages
+    }
+
+    /// First physical cache page number of the NPU subspace.
+    pub fn first_pcpn(&self) -> u32 {
+        self.first_pcpn
+    }
+
+    /// Accumulated statistics.
+    pub fn stats(&self) -> &NecStats {
+        &self.stats
+    }
+
+    /// Resets statistics (ownership survives).
+    pub fn reset_stats(&mut self) {
+        self.stats = NecStats::default();
+    }
+
+    fn page_slot(&self, pcpn: u32) -> Result<usize, NecError> {
+        if pcpn < self.first_pcpn || pcpn >= self.first_pcpn + self.npu_pages {
+            return Err(NecError::BadPage { pcpn });
+        }
+        Ok((pcpn - self.first_pcpn) as usize)
+    }
+
+    /// Records that `task` now owns page `pcpn` (called by the page
+    /// allocator when a CPT mapping is installed).
+    ///
+    /// # Errors
+    ///
+    /// [`NecError::AlreadyOwned`] if the page is taken,
+    /// [`NecError::BadPage`] if outside the subspace.
+    pub fn claim_page(&mut self, task: TaskId, pcpn: u32) -> Result<(), NecError> {
+        let slot = self.page_slot(pcpn)?;
+        if let Some(owner) = self.page_owner[slot] {
+            return Err(NecError::AlreadyOwned { pcpn, owner });
+        }
+        self.page_owner[slot] = Some(task);
+        Ok(())
+    }
+
+    /// Releases a page owned by `task`.
+    ///
+    /// # Errors
+    ///
+    /// [`NecError::NotOwner`] if the page is not currently owned by `task`.
+    pub fn release_page(&mut self, task: TaskId, pcpn: u32) -> Result<(), NecError> {
+        let slot = self.page_slot(pcpn)?;
+        if self.page_owner[slot] != Some(task) {
+            return Err(NecError::NotOwner {
+                pcpn,
+                task,
+                owner: self.page_owner[slot],
+            });
+        }
+        self.page_owner[slot] = None;
+        Ok(())
+    }
+
+    /// Owner of a page, if any.
+    pub fn owner_of(&self, pcpn: u32) -> Option<TaskId> {
+        self.page_slot(pcpn).ok().and_then(|s| self.page_owner[s])
+    }
+
+    /// Number of currently claimed pages.
+    pub fn claimed_pages(&self) -> u32 {
+        self.page_owner.iter().filter(|o| o.is_some()).count() as u32
+    }
+
+    fn check_owned(&self, task: TaskId, pcpns: &[u32]) -> Result<(), NecError> {
+        for &p in pcpns {
+            let slot = self.page_slot(p)?;
+            if self.page_owner[slot] != Some(task) {
+                return Err(NecError::NotOwner {
+                    pcpn: p,
+                    task,
+                    owner: self.page_owner[slot],
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Cache-side service time for `lines` line transfers.
+    fn serve_cycles(&self, lines: u64) -> Cycle {
+        self.hit_latency
+            + (lines as f64 / (f64::from(self.geom.slices) * self.lines_per_cycle)).ceil() as Cycle
+    }
+
+    /// **Basic semantics**: read `lines` lines of `task`'s region into the
+    /// NPU (cache → NPU).
+    ///
+    /// # Errors
+    ///
+    /// Fails if any of `pcpns` is not owned by `task`.
+    pub fn read(
+        &mut self,
+        now: Cycle,
+        task: TaskId,
+        pcpns: &[u32],
+        lines: u64,
+    ) -> Result<Cycle, NecError> {
+        self.check_owned(task, pcpns)?;
+        self.stats.reads.add(lines);
+        Ok(now + self.serve_cycles(lines))
+    }
+
+    /// **Basic semantics**: write `lines` lines from the NPU into `task`'s
+    /// region (NPU → cache).
+    ///
+    /// # Errors
+    ///
+    /// Fails if any of `pcpns` is not owned by `task`.
+    pub fn write(
+        &mut self,
+        now: Cycle,
+        task: TaskId,
+        pcpns: &[u32],
+        lines: u64,
+    ) -> Result<Cycle, NecError> {
+        self.check_owned(task, pcpns)?;
+        self.stats.writes.add(lines);
+        Ok(now + self.serve_cycles(lines))
+    }
+
+    /// **Basic semantics**: fill `lines` lines from DRAM (`src`) into
+    /// `task`'s region (memory → cache).
+    ///
+    /// # Errors
+    ///
+    /// Fails if any of `pcpns` is not owned by `task`.
+    pub fn fill(
+        &mut self,
+        now: Cycle,
+        task: TaskId,
+        pcpns: &[u32],
+        src: PhysAddr,
+        lines: u64,
+        dram: &mut DramModel,
+        bw_delay: Cycle,
+    ) -> Result<Cycle, NecError> {
+        self.check_owned(task, pcpns)?;
+        self.stats.fills.add(lines);
+        let dram_done = dram.access_burst(now, src, lines, false, bw_delay);
+        Ok(dram_done.max(now + self.serve_cycles(lines)))
+    }
+
+    /// **Basic semantics**: write back `lines` lines of `task`'s region to
+    /// DRAM at `dst` (cache → memory).
+    ///
+    /// # Errors
+    ///
+    /// Fails if any of `pcpns` is not owned by `task`.
+    pub fn writeback(
+        &mut self,
+        now: Cycle,
+        task: TaskId,
+        pcpns: &[u32],
+        dst: PhysAddr,
+        lines: u64,
+        dram: &mut DramModel,
+        bw_delay: Cycle,
+    ) -> Result<Cycle, NecError> {
+        self.check_owned(task, pcpns)?;
+        self.stats.writebacks.add(lines);
+        let dram_done = dram.access_burst(now, dst, lines, true, bw_delay);
+        Ok(dram_done.max(now + self.serve_cycles(lines)))
+    }
+
+    /// **Bypass semantics (1)**: bypass-read `lines` lines from memory to
+    /// the NPU, without occupying any cache space.
+    pub fn bypass_read(
+        &mut self,
+        now: Cycle,
+        src: PhysAddr,
+        lines: u64,
+        dram: &mut DramModel,
+        bw_delay: Cycle,
+    ) -> Cycle {
+        self.stats.bypass_reads.add(lines);
+        dram.access_burst(now, src, lines, false, bw_delay)
+    }
+
+    /// **Bypass semantics (2)**: bypass-write `lines` lines from the NPU
+    /// to memory, without occupying any cache space.
+    pub fn bypass_write(
+        &mut self,
+        now: Cycle,
+        dst: PhysAddr,
+        lines: u64,
+        dram: &mut DramModel,
+        bw_delay: Cycle,
+    ) -> Cycle {
+        self.stats.bypass_writes.add(lines);
+        dram.access_burst(now, dst, lines, true, bw_delay)
+    }
+
+    /// **Multicast semantics (3)**: multicast-read `lines` lines from the
+    /// cache to a group of `group` NPUs running the same model. The cache
+    /// is read once; `group − 1` duplicate transfers are saved.
+    ///
+    /// # Errors
+    ///
+    /// Fails if any of `pcpns` is not owned by `task`.
+    pub fn multicast_read(
+        &mut self,
+        now: Cycle,
+        task: TaskId,
+        pcpns: &[u32],
+        lines: u64,
+        group: u32,
+    ) -> Result<Cycle, NecError> {
+        assert!(group >= 1, "multicast group must be at least 1");
+        self.check_owned(task, pcpns)?;
+        self.stats.reads.add(lines);
+        self.stats.multicast_ops.incr();
+        self.stats
+            .multicast_saved_lines
+            .add(lines * u64::from(group - 1));
+        Ok(now + self.serve_cycles(lines))
+    }
+
+    /// **Multicast semantics (4)**: multicast-bypass-read `lines` lines
+    /// from memory to a group of `group` NPUs: one DRAM fetch serves the
+    /// whole group.
+    pub fn multicast_bypass_read(
+        &mut self,
+        now: Cycle,
+        src: PhysAddr,
+        lines: u64,
+        group: u32,
+        dram: &mut DramModel,
+        bw_delay: Cycle,
+    ) -> Cycle {
+        assert!(group >= 1, "multicast group must be at least 1");
+        self.stats.bypass_reads.add(lines);
+        self.stats.multicast_ops.incr();
+        self.stats
+            .multicast_saved_lines
+            .add(lines * u64::from(group - 1));
+        dram.access_burst(now, src, lines, false, bw_delay)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use camdn_common::config::DramConfig;
+
+    fn setup() -> (Nec, DramModel) {
+        let cfg = CacheConfig::paper_default();
+        (
+            Nec::new(&cfg),
+            DramModel::new(DramConfig::paper_default(), cfg.line_bytes),
+        )
+    }
+
+    #[test]
+    fn subspace_size_matches_table2() {
+        let (nec, _) = setup();
+        assert_eq!(nec.npu_pages(), 384); // 12 MiB / 32 KiB
+        assert_eq!(nec.first_pcpn(), 128); // 4 general ways * 32 pages/way
+    }
+
+    #[test]
+    fn claim_release_cycle() {
+        let (mut nec, _) = setup();
+        let p = nec.first_pcpn();
+        nec.claim_page(1, p).unwrap();
+        assert_eq!(nec.owner_of(p), Some(1));
+        assert_eq!(nec.claimed_pages(), 1);
+        assert_eq!(
+            nec.claim_page(2, p),
+            Err(NecError::AlreadyOwned { pcpn: p, owner: 1 })
+        );
+        nec.release_page(1, p).unwrap();
+        assert_eq!(nec.owner_of(p), None);
+    }
+
+    #[test]
+    fn exclusivity_is_enforced() {
+        let (mut nec, _) = setup();
+        let p = nec.first_pcpn() + 3;
+        nec.claim_page(7, p).unwrap();
+        let err = nec.read(0, 8, &[p], 10).unwrap_err();
+        assert!(matches!(err, NecError::NotOwner { task: 8, .. }));
+        // The rightful owner succeeds.
+        assert!(nec.read(0, 7, &[p], 10).is_ok());
+    }
+
+    #[test]
+    fn pages_outside_subspace_rejected() {
+        let (mut nec, _) = setup();
+        // Page 0 belongs to the general-purpose ways.
+        assert_eq!(nec.claim_page(1, 0), Err(NecError::BadPage { pcpn: 0 }));
+        let beyond = nec.first_pcpn() + nec.npu_pages();
+        assert!(matches!(
+            nec.claim_page(1, beyond),
+            Err(NecError::BadPage { .. })
+        ));
+    }
+
+    #[test]
+    fn bypass_generates_dram_traffic_only() {
+        let (mut nec, mut dram) = setup();
+        nec.bypass_read(0, PhysAddr(0), 16, &mut dram, 0);
+        nec.bypass_write(0, PhysAddr(4096), 8, &mut dram, 0);
+        assert_eq!(dram.stats().read_bytes.get(), 16 * 64);
+        assert_eq!(dram.stats().write_bytes.get(), 8 * 64);
+        assert_eq!(nec.stats().bypass_reads.get(), 16);
+        assert_eq!(nec.stats().bypass_writes.get(), 8);
+    }
+
+    #[test]
+    fn controlled_reads_do_not_touch_dram() {
+        let (mut nec, dram) = setup();
+        let p = nec.first_pcpn();
+        nec.claim_page(1, p).unwrap();
+        let done = nec.read(0, 1, &[p], 100).unwrap();
+        assert!(done > 0);
+        assert_eq!(dram.stats().total_bytes(), 0);
+    }
+
+    #[test]
+    fn fill_reads_dram_once() {
+        let (mut nec, mut dram) = setup();
+        let p = nec.first_pcpn();
+        nec.claim_page(1, p).unwrap();
+        nec.fill(0, 1, &[p], PhysAddr(0), 512, &mut dram, 0).unwrap();
+        assert_eq!(dram.stats().read_bytes.get(), 512 * 64);
+        assert_eq!(nec.stats().fills.get(), 512);
+    }
+
+    #[test]
+    fn multicast_saves_duplicate_lines() {
+        let (mut nec, mut dram) = setup();
+        let p = nec.first_pcpn();
+        nec.claim_page(1, p).unwrap();
+        nec.multicast_read(0, 1, &[p], 100, 4).unwrap();
+        assert_eq!(nec.stats().multicast_saved_lines.get(), 300);
+        // Bypass multicast: one DRAM fetch for the group.
+        nec.multicast_bypass_read(0, PhysAddr(0), 10, 4, &mut dram, 0);
+        assert_eq!(dram.stats().read_bytes.get(), 10 * 64);
+        assert_eq!(nec.stats().multicast_saved_lines.get(), 300 + 30);
+    }
+
+    #[test]
+    fn larger_transfers_take_longer() {
+        let (mut nec, _) = setup();
+        let p = nec.first_pcpn();
+        nec.claim_page(1, p).unwrap();
+        let t_small = nec.read(0, 1, &[p], 8).unwrap();
+        let t_big = nec.read(0, 1, &[p], 8000).unwrap();
+        assert!(t_big > t_small);
+    }
+}

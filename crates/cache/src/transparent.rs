@@ -1,0 +1,476 @@
+//! The transparent (hardware-managed) cache path.
+//!
+//! This is the conventional set-associative lookup used (a) by CPU
+//! traffic, (b) by all NPU traffic in the *baseline* systems the paper
+//! compares against, where the shared cache is not NPU-controlled. Cache
+//! contention between co-located DNNs — the motivation experiment of
+//! Fig. 2 — emerges from this path: tasks evict each other's lines.
+//!
+//! Way partitioning (Section III-B1) is modelled with a per-cache way
+//! mask: a lookup is only allowed to hit/allocate in the ways enabled in
+//! its mask, exactly like the way-mask register CaMDN adds to each slice.
+
+use crate::geometry::CacheGeometry;
+use camdn_common::config::CacheConfig;
+use camdn_common::stats::Counter;
+use camdn_common::types::{Cycle, PhysAddr};
+use camdn_dram::DramModel;
+use serde::{Deserialize, Serialize};
+
+/// Statistics of the transparent path.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct CacheStats {
+    /// Lookups that hit.
+    pub hits: Counter,
+    /// Lookups that missed.
+    pub misses: Counter,
+    /// Dirty victim lines written back to DRAM.
+    pub writebacks: Counter,
+    /// Lines filled from DRAM.
+    pub fills: Counter,
+}
+
+impl CacheStats {
+    /// Hit rate over all lookups.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits.get() + self.misses.get();
+        if total == 0 {
+            0.0
+        } else {
+            self.hits.get() as f64 / total as f64
+        }
+    }
+}
+
+/// Result of a range access on the transparent path.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RangeOutcome {
+    /// Cycle at which the whole range is available / written.
+    pub finish: Cycle,
+    /// Lines that hit in the cache.
+    pub hits: u64,
+    /// Lines that missed and were filled from DRAM.
+    pub misses: u64,
+    /// Dirty victims written back.
+    pub writebacks: u64,
+}
+
+#[derive(Debug, Clone, Copy, Default)]
+struct LineTag {
+    tag: u64,
+    valid: bool,
+    dirty: bool,
+    stamp: u64,
+}
+
+/// A sliced, set-associative, write-back/write-allocate shared cache.
+#[derive(Debug, Clone)]
+pub struct SharedCache {
+    geom: CacheGeometry,
+    hit_latency: Cycle,
+    lines_per_cycle: f64,
+    /// `tags[slice][set * ways + way]`.
+    tags: Vec<Vec<LineTag>>,
+    lru_clock: u64,
+    npu_way_mask: u16,
+    stats: CacheStats,
+}
+
+impl SharedCache {
+    /// Builds a cache from its configuration. Initially no ways are
+    /// reserved for the NPU subspace (fully transparent baseline).
+    pub fn new(cfg: &CacheConfig) -> Self {
+        let geom = CacheGeometry::new(cfg);
+        let per_slice = geom.sets_per_slice as usize * geom.ways as usize;
+        SharedCache {
+            geom,
+            hit_latency: cfg.hit_latency,
+            lines_per_cycle: cfg.lines_per_cycle,
+            tags: (0..geom.slices)
+                .map(|_| vec![LineTag::default(); per_slice])
+                .collect(),
+            lru_clock: 0,
+            npu_way_mask: 0,
+            stats: CacheStats::default(),
+        }
+    }
+
+    /// The cache geometry.
+    pub fn geometry(&self) -> &CacheGeometry {
+        &self.geom
+    }
+
+    /// Accumulated statistics of the transparent path.
+    pub fn stats(&self) -> &CacheStats {
+        &self.stats
+    }
+
+    /// Resets statistics (cache contents survive).
+    pub fn reset_stats(&mut self) {
+        self.stats = CacheStats::default();
+    }
+
+    /// Bit mask over all ways.
+    pub fn full_way_mask(&self) -> u16 {
+        if self.geom.ways == 16 {
+            u16::MAX
+        } else {
+            (1u16 << self.geom.ways) - 1
+        }
+    }
+
+    /// Mask of ways reserved for the NPU subspace.
+    pub fn npu_way_mask(&self) -> u16 {
+        self.npu_way_mask
+    }
+
+    /// Mask of general-purpose (CPU-visible) ways.
+    pub fn general_way_mask(&self) -> u16 {
+        self.full_way_mask() & !self.npu_way_mask
+    }
+
+    /// Reserves `npu_ways` ways (the highest-numbered ones) for the NPU
+    /// subspace, invalidating any lines they held. Dirty victims are
+    /// written back through `dram` at time `now`.
+    ///
+    /// Returns the mask of reserved ways.
+    pub fn partition_ways(&mut self, npu_ways: u32, now: Cycle, dram: &mut DramModel) -> u16 {
+        assert!(npu_ways <= self.geom.ways, "cannot reserve more ways than exist");
+        let lo = self.geom.ways - npu_ways;
+        let mut mask = 0u16;
+        for w in lo..self.geom.ways {
+            mask |= 1 << w;
+        }
+        self.npu_way_mask = mask;
+        // Flush the reserved ways: the NEC takes raw ownership of them.
+        for slice in 0..self.geom.slices as usize {
+            for set in 0..self.geom.sets_per_slice as usize {
+                for way in lo..self.geom.ways {
+                    let idx = set * self.geom.ways as usize + way as usize;
+                    let line = &mut self.tags[slice][idx];
+                    if line.valid && line.dirty {
+                        self.stats.writebacks.incr();
+                        // Reconstruct an address in the right channel set;
+                        // exact identity is irrelevant for timing.
+                        let addr = PhysAddr(line.tag * self.geom.line_bytes);
+                        dram.access_burst(now, addr, 1, true, 0);
+                    }
+                    *line = LineTag::default();
+                }
+            }
+        }
+        mask
+    }
+
+    #[inline]
+    fn slice_set_of(&self, addr: PhysAddr) -> (usize, usize, u64) {
+        let line = addr.line_index(self.geom.line_bytes);
+        let slice = (line % u64::from(self.geom.slices)) as usize;
+        let set = ((line / u64::from(self.geom.slices)) % u64::from(self.geom.sets_per_slice))
+            as usize;
+        // Tag = full line index; simplest unique identity.
+        (slice, set, line)
+    }
+
+    /// Tag lookup and update for one line: returns `(hit, writeback)`.
+    /// Misses allocate immediately (victim selected by LRU within the
+    /// mask); dirty victims are reported for the caller to write back.
+    fn touch_line(&mut self, addr: PhysAddr, is_write: bool, way_mask: u16) -> (bool, Option<PhysAddr>) {
+        debug_assert!(way_mask != 0, "empty way mask");
+        let (slice, set, tag) = self.slice_set_of(addr);
+        self.lru_clock += 1;
+        let stamp = self.lru_clock;
+        let base = set * self.geom.ways as usize;
+        let ways = self.geom.ways as usize;
+
+        // Hit check across allowed ways.
+        let mut victim: Option<usize> = None;
+        let mut victim_stamp = u64::MAX;
+        for w in 0..ways {
+            if way_mask & (1 << w) == 0 {
+                continue;
+            }
+            let line = &mut self.tags[slice][base + w];
+            if line.valid && line.tag == tag {
+                line.stamp = stamp;
+                line.dirty |= is_write;
+                self.stats.hits.incr();
+                return (true, None);
+            }
+            if !line.valid {
+                if victim_stamp != 0 {
+                    victim = Some(w);
+                    victim_stamp = 0;
+                }
+            } else if line.stamp < victim_stamp {
+                victim = Some(w);
+                victim_stamp = line.stamp;
+            }
+        }
+
+        // Miss path.
+        self.stats.misses.incr();
+        let w = victim.expect("way mask guarantees at least one candidate");
+        let line = &mut self.tags[slice][base + w];
+        let wb = if line.valid && line.dirty {
+            self.stats.writebacks.incr();
+            Some(PhysAddr(line.tag * self.geom.line_bytes))
+        } else {
+            None
+        };
+        line.tag = tag;
+        line.valid = true;
+        line.dirty = is_write;
+        line.stamp = stamp;
+        // Conventional write-allocate: write misses fetch the line first
+        // (read-for-ownership). Avoiding that fetch is exactly what the
+        // NEC's explicit cache-write / bypass-write semantics provide.
+        self.stats.fills.incr();
+        (false, wb)
+    }
+
+    /// Looks up a single line; fills on miss (write misses fetch the
+    /// line first) and writes back dirty victims. Returns the completion
+    /// cycle and whether it hit.
+    pub fn access_line(
+        &mut self,
+        now: Cycle,
+        addr: PhysAddr,
+        is_write: bool,
+        way_mask: u16,
+        dram: &mut DramModel,
+    ) -> (Cycle, bool) {
+        let (hit, wb) = self.touch_line(addr, is_write, way_mask);
+        if hit {
+            return (now + self.hit_latency, true);
+        }
+        if let Some(victim_addr) = wb {
+            dram.access_burst(now, victim_addr, 1, true, 0);
+        }
+        let fill_done = dram.access_burst(now, addr.line_base(self.geom.line_bytes), 1, false, 0);
+        (fill_done + self.hit_latency, false)
+    }
+
+    /// Outstanding demand-miss window of the transparent path (total
+    /// MSHRs across slices). Explicitly-managed NEC transfers are bulk
+    /// DMA and do not pass through this window — one of the structural
+    /// advantages of NPU-controlled regions.
+    pub const MSHR_WINDOW: usize = 144;
+
+    /// Accesses a contiguous byte range through the transparent path.
+    ///
+    /// Demand misses are limited to [`SharedCache::MSHR_WINDOW`]
+    /// outstanding fills: miss `k` cannot issue before miss
+    /// `k − WINDOW` completes. By Little's law the achievable miss
+    /// bandwidth is `WINDOW · line / latency`, so DRAM queueing delays
+    /// under multi-tenant contention directly throttle fill throughput —
+    /// the latency-bandwidth spiral that makes transparent caches
+    /// inefficient for co-located DNNs.
+    pub fn access_range(
+        &mut self,
+        now: Cycle,
+        base: PhysAddr,
+        bytes: u64,
+        is_write: bool,
+        way_mask: u16,
+        dram: &mut DramModel,
+    ) -> RangeOutcome {
+        if bytes == 0 {
+            return RangeOutcome {
+                finish: now,
+                ..RangeOutcome::default()
+            };
+        }
+        let lb = self.geom.line_bytes;
+        let first = base.line_index(lb);
+        let last = base.offset(bytes - 1).line_index(lb);
+        let mut out = RangeOutcome {
+            finish: now,
+            ..RangeOutcome::default()
+        };
+        let mut ring = [0 as Cycle; Self::MSHR_WINDOW];
+        let mut miss_no = 0usize;
+        for line in first..=last {
+            let addr = PhysAddr(line * lb);
+            let (hit, wb) = self.touch_line(addr, is_write, way_mask);
+            if hit {
+                out.hits += 1;
+                continue;
+            }
+            out.misses += 1;
+            if let Some(victim_addr) = wb {
+                // Posted write: occupies a channel but no MSHR.
+                out.writebacks += 1;
+                dram.access_burst(now, victim_addr, 1, true, 0);
+            }
+            // Read misses and write misses (read-for-ownership) both
+            // occupy an MSHR for the fill.
+            let slot = miss_no % Self::MSHR_WINDOW;
+            let gate = if miss_no >= Self::MSHR_WINDOW {
+                ring[slot].max(now)
+            } else {
+                now
+            };
+            let done = dram.access_burst(gate, addr, 1, false, 0);
+            ring[slot] = done;
+            miss_no += 1;
+            out.finish = out.finish.max(done);
+        }
+        // Cache port/bandwidth: the slices collectively serve
+        // `slices * lines_per_cycle` lines per cycle.
+        let lines = last - first + 1;
+        let serve = (lines as f64 / (f64::from(self.geom.slices) * self.lines_per_cycle)).ceil()
+            as Cycle;
+        out.finish = out.finish.max(now + self.hit_latency + serve);
+        out
+    }
+
+    /// True if the line holding `addr` is present (test/diagnostic aid).
+    pub fn probe(&self, addr: PhysAddr, way_mask: u16) -> bool {
+        let (slice, set, tag) = self.slice_set_of(addr);
+        let base = set * self.geom.ways as usize;
+        (0..self.geom.ways as usize)
+            .filter(|w| way_mask & (1 << w) != 0)
+            .any(|w| {
+                let l = &self.tags[slice][base + w];
+                l.valid && l.tag == tag
+            })
+    }
+
+    /// Invalidates the whole cache without writebacks (test aid).
+    pub fn invalidate_all(&mut self) {
+        for slice in &mut self.tags {
+            for line in slice.iter_mut() {
+                *line = LineTag::default();
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use camdn_common::config::DramConfig;
+
+    fn setup() -> (SharedCache, DramModel) {
+        let cfg = CacheConfig::paper_default();
+        (
+            SharedCache::new(&cfg),
+            DramModel::new(DramConfig::paper_default(), cfg.line_bytes),
+        )
+    }
+
+    #[test]
+    fn miss_then_hit() {
+        let (mut c, mut d) = setup();
+        let a = PhysAddr(0x1000);
+        let (_, hit1) = c.access_line(0, a, false, c.full_way_mask(), &mut d);
+        let (_, hit2) = c.access_line(100, a, false, c.full_way_mask(), &mut d);
+        assert!(!hit1);
+        assert!(hit2);
+        assert_eq!(c.stats().hits.get(), 1);
+        assert_eq!(c.stats().misses.get(), 1);
+    }
+
+    #[test]
+    fn hits_are_faster_than_misses() {
+        let (mut c, mut d) = setup();
+        let a = PhysAddr(0x2000);
+        let (t_miss, _) = c.access_line(0, a, false, c.full_way_mask(), &mut d);
+        let base = 1_000_000;
+        let (t_hit, _) = c.access_line(base, a, false, c.full_way_mask(), &mut d);
+        assert!(t_hit - base < t_miss, "{} !< {}", t_hit - base, t_miss);
+    }
+
+    #[test]
+    fn lru_evicts_oldest() {
+        let (mut c, mut d) = setup();
+        let mask = c.full_way_mask();
+        let geom = *c.geometry();
+        // 17 lines mapping to the same (slice,set): stride = slices * sets * line.
+        let stride = u64::from(geom.slices)
+            * u64::from(geom.sets_per_slice)
+            * geom.line_bytes;
+        for i in 0..17u64 {
+            c.access_line(i, PhysAddr(i * stride), false, mask, &mut d);
+        }
+        // Line 0 (oldest) must be gone; line 1..16 still present.
+        assert!(!c.probe(PhysAddr(0), mask));
+        assert!(c.probe(PhysAddr(stride), mask));
+        assert!(c.probe(PhysAddr(16 * stride), mask));
+    }
+
+    #[test]
+    fn way_mask_restricts_visibility() {
+        let (mut c, mut d) = setup();
+        let a = PhysAddr(0x40);
+        let low_mask = 0x000F; // ways 0-3
+        let high_mask = 0xFFF0; // ways 4-15
+        c.access_line(0, a, false, low_mask, &mut d);
+        assert!(c.probe(a, low_mask));
+        assert!(!c.probe(a, high_mask), "line must not be visible in other ways");
+    }
+
+    #[test]
+    fn dirty_eviction_writes_back() {
+        let (mut c, mut d) = setup();
+        let geom = *c.geometry();
+        let mask = 0x0001; // single way -> immediate conflict
+        let stride = u64::from(geom.slices)
+            * u64::from(geom.sets_per_slice)
+            * geom.line_bytes;
+        c.access_line(0, PhysAddr(0), true, mask, &mut d); // dirty
+        let wr_before = d.stats().write_bytes.get();
+        c.access_line(10, PhysAddr(stride), false, mask, &mut d); // evicts
+        assert_eq!(c.stats().writebacks.get(), 1);
+        assert!(d.stats().write_bytes.get() > wr_before);
+    }
+
+    #[test]
+    fn range_access_counts_lines() {
+        let (mut c, mut d) = setup();
+        let out = c.access_range(0, PhysAddr(0), 64 * 10, false, c.full_way_mask(), &mut d);
+        assert_eq!(out.hits + out.misses, 10);
+        assert_eq!(out.misses, 10);
+        let out2 = c.access_range(
+            out.finish,
+            PhysAddr(0),
+            64 * 10,
+            false,
+            c.full_way_mask(),
+            &mut d,
+        );
+        assert_eq!(out2.hits, 10);
+        assert!(out2.finish - out.finish < out.finish, "reuse must be faster");
+    }
+
+    #[test]
+    fn unaligned_range_touches_both_boundary_lines() {
+        let (mut c, mut d) = setup();
+        // 2 bytes straddling a line boundary -> 2 lines.
+        let out = c.access_range(0, PhysAddr(63), 2, false, c.full_way_mask(), &mut d);
+        assert_eq!(out.hits + out.misses, 2);
+    }
+
+    #[test]
+    fn partition_flushes_npu_ways() {
+        let (mut c, mut d) = setup();
+        let a = PhysAddr(0x40);
+        // Fill with full mask; line lands in some way.
+        c.access_line(0, a, true, c.full_way_mask(), &mut d);
+        let mask = c.partition_ways(12, 100, &mut d);
+        assert_eq!(mask.count_ones(), 12);
+        assert_eq!(c.general_way_mask().count_ones(), 4);
+        // The line may or may not survive depending on its way, but it must
+        // never be visible through the NPU mask after the flush.
+        assert!(!c.probe(a, mask));
+    }
+
+    #[test]
+    fn zero_byte_range_is_noop() {
+        let (mut c, mut d) = setup();
+        let out = c.access_range(5, PhysAddr(0), 0, false, c.full_way_mask(), &mut d);
+        assert_eq!(out.finish, 5);
+        assert_eq!(out.hits + out.misses, 0);
+    }
+}

@@ -1,0 +1,258 @@
+//! SoC configuration types.
+//!
+//! [`SocConfig::paper_default`] reproduces Table II of the paper:
+//!
+//! | Parameter | Value |
+//! |---|---|
+//! | PE array (per core) | 32×32 |
+//! | Scratchpad (per core) | 256 KiB |
+//! | NPU cores | 16 |
+//! | Shared cache | 16 MiB, 16 ways (12 NPU ways), 8 slices |
+//! | DRAM | 102.4 GB/s, 4 channels |
+//! | Frequency | 1 GHz |
+
+use crate::types::{KIB, MIB};
+use serde::{Deserialize, Serialize};
+
+/// Configuration of a single NPU core (Gemmini-like).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct NpuConfig {
+    /// Rows of the processing-element array.
+    pub pe_rows: u32,
+    /// Columns of the processing-element array.
+    pub pe_cols: u32,
+    /// Private scratchpad capacity per core, in bytes.
+    pub scratchpad_bytes: u64,
+    /// Number of NPU cores on the SoC.
+    pub cores: u32,
+    /// Peak MACs per cycle per core (`pe_rows * pe_cols` for a systolic array).
+    pub macs_per_cycle: u64,
+}
+
+impl NpuConfig {
+    /// NPU configuration from Table II of the paper.
+    pub fn paper_default() -> Self {
+        NpuConfig {
+            pe_rows: 32,
+            pe_cols: 32,
+            scratchpad_bytes: 256 * KIB,
+            cores: 16,
+            macs_per_cycle: 32 * 32,
+        }
+    }
+}
+
+impl Default for NpuConfig {
+    fn default() -> Self {
+        Self::paper_default()
+    }
+}
+
+/// Configuration of the sliced shared cache.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CacheConfig {
+    /// Total capacity in bytes.
+    pub total_bytes: u64,
+    /// Associativity (total ways).
+    pub ways: u32,
+    /// Ways reserved for the NPU subspace (way partitioning, Section III-B1).
+    pub npu_ways: u32,
+    /// Number of address-interleaved slices.
+    pub slices: u32,
+    /// Cache line size in bytes.
+    pub line_bytes: u64,
+    /// Cache page size for the NPU subspace (Section III-B3: 32 KiB).
+    pub page_bytes: u64,
+    /// Hit latency of a slice, in cycles.
+    pub hit_latency: u64,
+    /// Lines a slice can serve per cycle (bandwidth model).
+    pub lines_per_cycle: f64,
+}
+
+impl CacheConfig {
+    /// Shared-cache configuration from Table II (16 MiB, 16 ways, 12 NPU
+    /// ways, 8 slices, 64 B lines, 32 KiB pages).
+    pub fn paper_default() -> Self {
+        CacheConfig {
+            total_bytes: 16 * MIB,
+            ways: 16,
+            npu_ways: 12,
+            slices: 8,
+            line_bytes: 64,
+            page_bytes: 32 * KIB,
+            hit_latency: 30,
+            lines_per_cycle: 1.0,
+        }
+    }
+
+    /// Returns a copy with a different total capacity, keeping the page
+    /// count of the NPU subspace consistent (used by the scaling sweeps).
+    pub fn with_total_bytes(mut self, total_bytes: u64) -> Self {
+        self.total_bytes = total_bytes;
+        self
+    }
+
+    /// Total number of cache lines.
+    pub fn total_lines(&self) -> u64 {
+        self.total_bytes / self.line_bytes
+    }
+
+    /// Sets (per slice) = lines / slices / ways.
+    pub fn sets_per_slice(&self) -> u64 {
+        self.total_lines() / u64::from(self.slices) / u64::from(self.ways)
+    }
+
+    /// Capacity of the NPU subspace in bytes.
+    pub fn npu_subspace_bytes(&self) -> u64 {
+        self.total_bytes * u64::from(self.npu_ways) / u64::from(self.ways)
+    }
+
+    /// Number of 32 KiB (by default) cache pages in the NPU subspace.
+    pub fn npu_pages(&self) -> u64 {
+        self.npu_subspace_bytes() / self.page_bytes
+    }
+
+    /// Cache lines per page.
+    pub fn lines_per_page(&self) -> u64 {
+        self.page_bytes / self.line_bytes
+    }
+}
+
+impl Default for CacheConfig {
+    fn default() -> Self {
+        Self::paper_default()
+    }
+}
+
+/// Configuration of the DRAM subsystem.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DramConfig {
+    /// Number of independent channels.
+    pub channels: u32,
+    /// Banks per channel.
+    pub banks_per_channel: u32,
+    /// Row-buffer size in bytes.
+    pub row_bytes: u64,
+    /// Aggregate peak bandwidth in bytes per cycle (at 1 GHz,
+    /// 102.4 GB/s == 102.4 B/cycle).
+    pub bytes_per_cycle: f64,
+    /// Extra latency of a row-buffer miss (precharge + activate), cycles.
+    pub row_miss_penalty: u64,
+    /// Column-access latency (row hit), cycles.
+    pub cas_latency: u64,
+}
+
+impl DramConfig {
+    /// DRAM configuration from Table II (102.4 GB/s over 4 channels).
+    pub fn paper_default() -> Self {
+        DramConfig {
+            channels: 4,
+            banks_per_channel: 16,
+            row_bytes: 2 * KIB,
+            bytes_per_cycle: 102.4,
+            row_miss_penalty: 40,
+            cas_latency: 20,
+        }
+    }
+
+    /// Peak bandwidth of a single channel, bytes per cycle.
+    pub fn channel_bytes_per_cycle(&self) -> f64 {
+        self.bytes_per_cycle / f64::from(self.channels)
+    }
+
+    /// Cycles for one cache line burst on one channel at peak bandwidth.
+    pub fn line_burst_cycles(&self, line_bytes: u64) -> u64 {
+        (line_bytes as f64 / self.channel_bytes_per_cycle()).ceil() as u64
+    }
+}
+
+impl Default for DramConfig {
+    fn default() -> Self {
+        Self::paper_default()
+    }
+}
+
+/// Complete SoC configuration (Table II of the paper).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize, Default)]
+pub struct SocConfig {
+    /// NPU core parameters.
+    pub npu: NpuConfig,
+    /// Shared cache parameters.
+    pub cache: CacheConfig,
+    /// DRAM parameters.
+    pub dram: DramConfig,
+}
+
+impl SocConfig {
+    /// The exact configuration of Table II.
+    pub fn paper_default() -> Self {
+        SocConfig {
+            npu: NpuConfig::paper_default(),
+            cache: CacheConfig::paper_default(),
+            dram: DramConfig::paper_default(),
+        }
+    }
+
+    /// Scaling-experiment variant: same SoC with a different cache size.
+    pub fn with_cache_bytes(mut self, total_bytes: u64) -> Self {
+        self.cache.total_bytes = total_bytes;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table2_defaults() {
+        let c = SocConfig::paper_default();
+        assert_eq!(c.npu.pe_rows, 32);
+        assert_eq!(c.npu.pe_cols, 32);
+        assert_eq!(c.npu.scratchpad_bytes, 256 * KIB);
+        assert_eq!(c.npu.cores, 16);
+        assert_eq!(c.cache.total_bytes, 16 * MIB);
+        assert_eq!(c.cache.ways, 16);
+        assert_eq!(c.cache.npu_ways, 12);
+        assert_eq!(c.cache.slices, 8);
+        assert_eq!(c.dram.channels, 4);
+        assert!((c.dram.bytes_per_cycle - 102.4).abs() < 1e-9);
+    }
+
+    #[test]
+    fn cache_geometry() {
+        let c = CacheConfig::paper_default();
+        // 16 MiB / 64 B = 256 Ki lines; /8 slices /16 ways = 2048 sets.
+        assert_eq!(c.total_lines(), 256 * 1024);
+        assert_eq!(c.sets_per_slice(), 2048);
+        // NPU subspace: 12/16 of 16 MiB = 12 MiB -> 384 pages of 32 KiB.
+        assert_eq!(c.npu_subspace_bytes(), 12 * MIB);
+        assert_eq!(c.npu_pages(), 384);
+        assert_eq!(c.lines_per_page(), 512);
+    }
+
+    #[test]
+    fn paper_page_table_bound() {
+        // Section III-B3: with a 16 MiB cache and 32 KiB pages the CPT has
+        // at most 512 entries.
+        let c = CacheConfig::paper_default();
+        let max_pages_full_cache = c.total_bytes / c.page_bytes;
+        assert_eq!(max_pages_full_cache, 512);
+    }
+
+    #[test]
+    fn dram_channel_math() {
+        let d = DramConfig::paper_default();
+        assert!((d.channel_bytes_per_cycle() - 25.6).abs() < 1e-9);
+        // One 64 B line needs ceil(64/25.6) = 3 cycles on a channel.
+        assert_eq!(d.line_burst_cycles(64), 3);
+    }
+
+    #[test]
+    fn scaling_variant_keeps_other_fields() {
+        let c = SocConfig::paper_default().with_cache_bytes(64 * MIB);
+        assert_eq!(c.cache.total_bytes, 64 * MIB);
+        assert_eq!(c.cache.ways, 16);
+        assert_eq!(c.npu.cores, 16);
+    }
+}

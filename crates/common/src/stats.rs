@@ -1,0 +1,279 @@
+//! Statistics primitives: counters, histograms and summary helpers.
+//!
+//! These are used by the memory system to report hit rates and traffic,
+//! and by the experiment harness to aggregate per-task latencies into the
+//! figures of the paper.
+
+use serde::{Deserialize, Serialize};
+
+/// A saturating event counter.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Counter(u64);
+
+impl Counter {
+    /// Creates a zeroed counter.
+    pub fn new() -> Self {
+        Counter(0)
+    }
+
+    /// Adds one.
+    #[inline]
+    pub fn incr(&mut self) {
+        self.0 = self.0.saturating_add(1);
+    }
+
+    /// Adds `n`.
+    #[inline]
+    pub fn add(&mut self, n: u64) {
+        self.0 = self.0.saturating_add(n);
+    }
+
+    /// Current value.
+    #[inline]
+    pub fn get(&self) -> u64 {
+        self.0
+    }
+
+    /// Resets to zero.
+    pub fn reset(&mut self) {
+        self.0 = 0;
+    }
+}
+
+impl std::fmt::Display for Counter {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+/// A fixed-bucket histogram over `u64` samples.
+///
+/// Bucket `i` covers `[edges[i-1], edges[i])`, with an implicit final
+/// bucket for values `>= edges.last()`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Histogram {
+    edges: Vec<u64>,
+    counts: Vec<u64>,
+    total: u64,
+    sum: u128,
+}
+
+impl Histogram {
+    /// Creates a histogram with the given ascending bucket edges.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `edges` is empty or not strictly ascending.
+    pub fn new(edges: &[u64]) -> Self {
+        assert!(!edges.is_empty(), "histogram needs at least one edge");
+        assert!(
+            edges.windows(2).all(|w| w[0] < w[1]),
+            "histogram edges must be strictly ascending"
+        );
+        Histogram {
+            edges: edges.to_vec(),
+            counts: vec![0; edges.len() + 1],
+            total: 0,
+            sum: 0,
+        }
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, value: u64) {
+        self.record_n(value, 1);
+    }
+
+    /// Records `n` identical samples (weighted insert).
+    pub fn record_n(&mut self, value: u64, n: u64) {
+        let idx = self.edges.partition_point(|&e| e <= value);
+        self.counts[idx] += n;
+        self.total += n;
+        self.sum += u128::from(value) * u128::from(n);
+    }
+
+    /// Number of samples recorded.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Mean of all samples (0.0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.total as f64
+        }
+    }
+
+    /// Fraction of samples in each bucket; sums to 1 for non-empty data.
+    pub fn fractions(&self) -> Vec<f64> {
+        if self.total == 0 {
+            return vec![0.0; self.counts.len()];
+        }
+        self.counts
+            .iter()
+            .map(|&c| c as f64 / self.total as f64)
+            .collect()
+    }
+
+    /// Raw bucket counts (`edges.len() + 1` entries).
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Bucket edges.
+    pub fn edges(&self) -> &[u64] {
+        &self.edges
+    }
+}
+
+/// Streaming mean/min/max tracker for floating-point samples.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct MeanTracker {
+    n: u64,
+    sum: f64,
+    min: f64,
+    max: f64,
+}
+
+impl MeanTracker {
+    /// Creates an empty tracker.
+    pub fn new() -> Self {
+        MeanTracker {
+            n: 0,
+            sum: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Records a sample.
+    pub fn record(&mut self, v: f64) {
+        self.n += 1;
+        self.sum += v;
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+    }
+
+    /// Number of samples.
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+
+    /// Arithmetic mean (0.0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.sum / self.n as f64
+        }
+    }
+
+    /// Smallest sample (`+inf` when empty).
+    pub fn min(&self) -> f64 {
+        self.min
+    }
+
+    /// Largest sample (`-inf` when empty).
+    pub fn max(&self) -> f64 {
+        self.max
+    }
+
+    /// Sum of samples.
+    pub fn sum(&self) -> f64 {
+        self.sum
+    }
+}
+
+/// Geometric mean of a slice of positive values (1.0 for empty input).
+pub fn geomean(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        return 1.0;
+    }
+    let log_sum: f64 = values.iter().map(|v| v.ln()).sum();
+    (log_sum / values.len() as f64).exp()
+}
+
+/// Min/max fairness index used by the QoS evaluation (Section IV-A4):
+/// the ratio of the slowest to the fastest normalized progress.
+pub fn fairness(progresses: &[f64]) -> f64 {
+    if progresses.is_empty() {
+        return 1.0;
+    }
+    let min = progresses.iter().cloned().fold(f64::INFINITY, f64::min);
+    let max = progresses.iter().cloned().fold(0.0_f64, f64::max);
+    if max <= 0.0 {
+        0.0
+    } else {
+        min / max
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_basics() {
+        let mut c = Counter::new();
+        c.incr();
+        c.add(4);
+        assert_eq!(c.get(), 5);
+        c.reset();
+        assert_eq!(c.get(), 0);
+    }
+
+    #[test]
+    fn histogram_bucketing() {
+        // Buckets: [0,10), [10,20), [20,inf)
+        let mut h = Histogram::new(&[10, 20]);
+        h.record(0);
+        h.record(9);
+        h.record(10);
+        h.record(25);
+        assert_eq!(h.counts(), &[2, 1, 1]);
+        assert_eq!(h.total(), 4);
+        let f = h.fractions();
+        assert!((f[0] - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn histogram_weighted() {
+        let mut h = Histogram::new(&[100]);
+        h.record_n(5, 10);
+        h.record_n(200, 30);
+        assert_eq!(h.counts(), &[10, 30]);
+        assert!((h.mean() - (5.0 * 10.0 + 200.0 * 30.0) / 40.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "ascending")]
+    fn histogram_rejects_unsorted_edges() {
+        let _ = Histogram::new(&[10, 10]);
+    }
+
+    #[test]
+    fn mean_tracker() {
+        let mut m = MeanTracker::new();
+        m.record(1.0);
+        m.record(3.0);
+        assert_eq!(m.count(), 2);
+        assert!((m.mean() - 2.0).abs() < 1e-12);
+        assert_eq!(m.min(), 1.0);
+        assert_eq!(m.max(), 3.0);
+    }
+
+    #[test]
+    fn geomean_matches_hand_computation() {
+        assert!((geomean(&[1.0, 4.0]) - 2.0).abs() < 1e-12);
+        assert!((geomean(&[2.0, 2.0, 2.0]) - 2.0).abs() < 1e-12);
+        assert_eq!(geomean(&[]), 1.0);
+    }
+
+    #[test]
+    fn fairness_min_over_max() {
+        assert!((fairness(&[0.5, 1.0]) - 0.5).abs() < 1e-12);
+        assert!((fairness(&[1.0, 1.0, 1.0]) - 1.0).abs() < 1e-12);
+        assert_eq!(fairness(&[]), 1.0);
+    }
+}

@@ -1,0 +1,181 @@
+//! Fundamental scalar types used across the simulator.
+//!
+//! The simulator runs at a nominal 1 GHz ([`CYCLES_PER_SECOND`]), so one
+//! [`Cycle`] equals one nanosecond. Addresses come in two flavours:
+//! [`PhysAddr`] for the DRAM/physical address space and [`VirtCacheAddr`]
+//! for the per-model virtual cache address space introduced by CaMDN's
+//! hardware paging (Section III-B3 of the paper).
+
+use serde::{Deserialize, Serialize};
+
+/// One kibibyte (1024 bytes).
+pub const KIB: u64 = 1024;
+/// One mebibyte (1024 KiB).
+pub const MIB: u64 = 1024 * KIB;
+
+/// Simulated clock cycles. The SoC runs at 1 GHz, so 1 cycle == 1 ns.
+pub type Cycle = u64;
+
+/// Clock frequency of the simulated SoC (Table II: 1 GHz).
+pub const CYCLES_PER_SECOND: u64 = 1_000_000_000;
+
+/// Converts cycles to milliseconds under the 1 GHz clock.
+#[inline]
+pub fn cycles_to_ms(cycles: Cycle) -> f64 {
+    cycles as f64 / (CYCLES_PER_SECOND as f64 / 1e3)
+}
+
+/// Converts milliseconds to cycles under the 1 GHz clock.
+#[inline]
+pub fn ms_to_cycles(ms: f64) -> Cycle {
+    (ms * (CYCLES_PER_SECOND as f64 / 1e3)).round() as Cycle
+}
+
+/// A physical (DRAM) byte address.
+///
+/// Physical addresses index the flat DRAM space. The shared-cache slice,
+/// set and DRAM channel/bank are all derived from bit fields of this
+/// address, mirroring real SoC address interleaving.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct PhysAddr(pub u64);
+
+impl PhysAddr {
+    /// Byte address of the cache line containing this address.
+    #[inline]
+    pub fn line_base(self, line_bytes: u64) -> PhysAddr {
+        PhysAddr(self.0 & !(line_bytes - 1))
+    }
+
+    /// Sequential line index (address divided by the line size).
+    #[inline]
+    pub fn line_index(self, line_bytes: u64) -> u64 {
+        self.0 / line_bytes
+    }
+
+    /// Returns the address advanced by `bytes`.
+    #[inline]
+    pub fn offset(self, bytes: u64) -> PhysAddr {
+        PhysAddr(self.0 + bytes)
+    }
+}
+
+impl std::fmt::Display for PhysAddr {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{:#012x}", self.0)
+    }
+}
+
+impl From<u64> for PhysAddr {
+    fn from(v: u64) -> Self {
+        PhysAddr(v)
+    }
+}
+
+/// A virtual cache address inside a model-exclusive region.
+///
+/// `vcaddr` values are produced by the offline mapper and translated at
+/// runtime by the per-NPU cache page table (CPT) into physical cache
+/// addresses (slice/set/way), as shown in Fig. 5(b) of the paper.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct VirtCacheAddr(pub u64);
+
+impl VirtCacheAddr {
+    /// Virtual cache page number for a given page size.
+    #[inline]
+    pub fn vcpn(self, page_bytes: u64) -> u64 {
+        self.0 / page_bytes
+    }
+
+    /// Offset within the virtual cache page.
+    #[inline]
+    pub fn page_offset(self, page_bytes: u64) -> u64 {
+        self.0 % page_bytes
+    }
+
+    /// Returns the address advanced by `bytes`.
+    #[inline]
+    pub fn offset(self, bytes: u64) -> VirtCacheAddr {
+        VirtCacheAddr(self.0 + bytes)
+    }
+}
+
+impl std::fmt::Display for VirtCacheAddr {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "vc:{:#010x}", self.0)
+    }
+}
+
+impl From<u64> for VirtCacheAddr {
+    fn from(v: u64) -> Self {
+        VirtCacheAddr(v)
+    }
+}
+
+/// Integer ceiling division.
+#[inline]
+pub fn ceil_div(a: u64, b: u64) -> u64 {
+    debug_assert!(b > 0, "division by zero in ceil_div");
+    a.div_ceil(b)
+}
+
+/// Rounds `a` up to the next multiple of `b`.
+#[inline]
+pub fn round_up(a: u64, b: u64) -> u64 {
+    ceil_div(a, b) * b
+}
+
+/// Formats a byte count with a binary suffix for human-readable reports.
+pub fn format_bytes(bytes: u64) -> String {
+    if bytes >= MIB {
+        format!("{:.2} MiB", bytes as f64 / MIB as f64)
+    } else if bytes >= KIB {
+        format!("{:.2} KiB", bytes as f64 / KIB as f64)
+    } else {
+        format!("{bytes} B")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn line_base_masks_low_bits() {
+        let a = PhysAddr(0x1234_5678);
+        assert_eq!(a.line_base(64).0, 0x1234_5640);
+        assert_eq!(a.line_index(64), 0x1234_5678 / 64);
+    }
+
+    #[test]
+    fn vcaddr_page_split() {
+        let page = 32 * KIB;
+        let a = VirtCacheAddr(3 * page + 17);
+        assert_eq!(a.vcpn(page), 3);
+        assert_eq!(a.page_offset(page), 17);
+    }
+
+    #[test]
+    fn cycle_time_conversions_roundtrip() {
+        assert_eq!(ms_to_cycles(1.0), 1_000_000);
+        assert!((cycles_to_ms(6_700_000) - 6.7).abs() < 1e-9);
+    }
+
+    #[test]
+    fn ceil_div_and_round_up() {
+        assert_eq!(ceil_div(10, 3), 4);
+        assert_eq!(ceil_div(9, 3), 3);
+        assert_eq!(round_up(10, 8), 16);
+        assert_eq!(round_up(16, 8), 16);
+    }
+
+    #[test]
+    fn format_bytes_suffixes() {
+        assert_eq!(format_bytes(12), "12 B");
+        assert_eq!(format_bytes(2048), "2.00 KiB");
+        assert_eq!(format_bytes(3 * MIB), "3.00 MiB");
+    }
+}

@@ -1,0 +1,215 @@
+//! Cache page allocator for the NPU subspace.
+//!
+//! The NPU subspace is a pool of fixed-size cache pages (32 KiB each,
+//! Section III-B3). Tasks acquire pages at layer start and release them
+//! when a layer (or layer block) retires. The allocator is the single
+//! source of truth for occupancy; the NEC's per-page ownership is kept
+//! in sync by the runtime.
+
+use camdn_cache::TaskId;
+use serde::{Deserialize, Serialize};
+
+/// Errors from the page allocator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AllocError {
+    /// Not enough free pages to satisfy the request.
+    OutOfPages {
+        /// Pages requested.
+        requested: u32,
+        /// Pages currently free.
+        free: u32,
+    },
+    /// Release of a page the task does not hold.
+    NotHeld {
+        /// The page in question.
+        pcpn: u32,
+        /// The releasing task.
+        task: TaskId,
+    },
+}
+
+impl std::fmt::Display for AllocError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AllocError::OutOfPages { requested, free } => {
+                write!(f, "requested {requested} pages, only {free} free")
+            }
+            AllocError::NotHeld { pcpn, task } => {
+                write!(f, "task {task} does not hold page {pcpn}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for AllocError {}
+
+/// A free-list allocator over the physical cache pages of the NPU
+/// subspace.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct PageAllocator {
+    free: Vec<u32>,
+    total: u32,
+    /// Pages held per task id (sparse; indexed by task id).
+    held: Vec<Vec<u32>>,
+}
+
+impl PageAllocator {
+    /// Creates an allocator over pages `[first_pcpn, first_pcpn + count)`.
+    pub fn new(first_pcpn: u32, count: u32) -> Self {
+        // Pop order: ascending pcpn (stack holds descending).
+        let free: Vec<u32> = (first_pcpn..first_pcpn + count).rev().collect();
+        PageAllocator {
+            free,
+            total: count,
+            held: Vec::new(),
+        }
+    }
+
+    /// Total pages managed.
+    pub fn total_pages(&self) -> u32 {
+        self.total
+    }
+
+    /// Currently idle pages (`idlePages()` in Algorithm 1).
+    pub fn idle_pages(&self) -> u32 {
+        self.free.len() as u32
+    }
+
+    /// Pages currently held by `task`.
+    pub fn held_by(&self, task: TaskId) -> u32 {
+        self.held
+            .get(task as usize)
+            .map(|v| v.len() as u32)
+            .unwrap_or(0)
+    }
+
+    /// Occupancy in `[0, 1]`.
+    pub fn occupancy(&self) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            1.0 - self.free.len() as f64 / f64::from(self.total)
+        }
+    }
+
+    fn slot(&mut self, task: TaskId) -> &mut Vec<u32> {
+        let idx = task as usize;
+        if self.held.len() <= idx {
+            self.held.resize_with(idx + 1, Vec::new);
+        }
+        &mut self.held[idx]
+    }
+
+    /// Acquires `n` pages for `task`, returning their page numbers.
+    ///
+    /// # Errors
+    ///
+    /// [`AllocError::OutOfPages`] when fewer than `n` pages are free (no
+    /// partial allocation happens).
+    pub fn acquire(&mut self, task: TaskId, n: u32) -> Result<Vec<u32>, AllocError> {
+        if (self.free.len() as u32) < n {
+            return Err(AllocError::OutOfPages {
+                requested: n,
+                free: self.free.len() as u32,
+            });
+        }
+        let at = self.free.len() - n as usize;
+        let pages: Vec<u32> = self.free.split_off(at);
+        self.slot(task).extend_from_slice(&pages);
+        Ok(pages)
+    }
+
+    /// Releases specific pages held by `task`.
+    ///
+    /// # Errors
+    ///
+    /// [`AllocError::NotHeld`] if any page is not held by `task`; pages
+    /// preceding the offending one are still released.
+    pub fn release(&mut self, task: TaskId, pages: &[u32]) -> Result<(), AllocError> {
+        for &p in pages {
+            let held = self.slot(task);
+            match held.iter().position(|&h| h == p) {
+                Some(i) => {
+                    held.swap_remove(i);
+                    self.free.push(p);
+                }
+                None => return Err(AllocError::NotHeld { pcpn: p, task }),
+            }
+        }
+        Ok(())
+    }
+
+    /// Releases everything `task` holds, returning the page numbers.
+    pub fn release_all(&mut self, task: TaskId) -> Vec<u32> {
+        let pages = std::mem::take(self.slot(task));
+        self.free.extend_from_slice(&pages);
+        pages
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn acquire_release_roundtrip() {
+        let mut a = PageAllocator::new(128, 384);
+        assert_eq!(a.idle_pages(), 384);
+        let pages = a.acquire(0, 10).unwrap();
+        assert_eq!(pages.len(), 10);
+        assert_eq!(a.idle_pages(), 374);
+        assert_eq!(a.held_by(0), 10);
+        a.release(0, &pages).unwrap();
+        assert_eq!(a.idle_pages(), 384);
+        assert_eq!(a.held_by(0), 0);
+    }
+
+    #[test]
+    fn no_partial_allocation() {
+        let mut a = PageAllocator::new(0, 4);
+        a.acquire(0, 3).unwrap();
+        let err = a.acquire(1, 2).unwrap_err();
+        assert_eq!(err, AllocError::OutOfPages { requested: 2, free: 1 });
+        assert_eq!(a.idle_pages(), 1, "failed acquire must not leak pages");
+    }
+
+    #[test]
+    fn pages_are_unique() {
+        let mut a = PageAllocator::new(100, 50);
+        let p1 = a.acquire(0, 25).unwrap();
+        let p2 = a.acquire(1, 25).unwrap();
+        let mut all: Vec<u32> = p1.iter().chain(p2.iter()).copied().collect();
+        all.sort_unstable();
+        all.dedup();
+        assert_eq!(all.len(), 50);
+        assert!(all.iter().all(|&p| (100..150).contains(&p)));
+    }
+
+    #[test]
+    fn release_foreign_page_rejected() {
+        let mut a = PageAllocator::new(0, 8);
+        let mine = a.acquire(0, 2).unwrap();
+        assert_eq!(
+            a.release(1, &mine[..1]),
+            Err(AllocError::NotHeld { pcpn: mine[0], task: 1 })
+        );
+    }
+
+    #[test]
+    fn release_all_drains_task() {
+        let mut a = PageAllocator::new(0, 16);
+        a.acquire(3, 5).unwrap();
+        a.acquire(3, 2).unwrap();
+        let freed = a.release_all(3);
+        assert_eq!(freed.len(), 7);
+        assert_eq!(a.idle_pages(), 16);
+    }
+
+    #[test]
+    fn occupancy_tracks_usage() {
+        let mut a = PageAllocator::new(0, 10);
+        assert_eq!(a.occupancy(), 0.0);
+        a.acquire(0, 5).unwrap();
+        assert!((a.occupancy() - 0.5).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,329 @@
+//! Algorithm 1: predict near-future shared cache usage and select a
+//! mapping candidate for each layer.
+//!
+//! The allocator keeps three per-task state arrays — `Tnext` (predicted
+//! next reallocation time), `Pnext` (pages the task is predicted to need
+//! then) and `Palloc` (pages currently held) — updated at layer
+//! boundaries. At the start of every layer it:
+//!
+//! 1. returns the LBM candidate immediately when LBM is already active
+//!    for the current block (its pages were reserved at the head layer);
+//! 2. at a block head, predicts the pages available within 20 % of the
+//!    block's estimated runtime and enables LBM when its peak demand
+//!    fits;
+//! 3. otherwise selects the largest LWM candidate that fits the pages
+//!    predicted available within 20 % of the layer's estimated runtime.
+//!
+//! The returned timeout bounds how long the task may wait for its pages;
+//! on expiry the runtime degrades to the next-cheaper candidate
+//! ([`DynamicAllocator::degrade`]).
+
+use camdn_cache::TaskId;
+use camdn_common::types::Cycle;
+use camdn_mapper::{MappingCandidate, Mct};
+use serde::{Deserialize, Serialize};
+
+/// Which candidate of an MCT a decision refers to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum CandidateRef {
+    /// The LBM candidate.
+    Lbm,
+    /// The LWM candidate at this index of `mct.lwm`.
+    Lwm(usize),
+}
+
+/// Outcome of Algorithm 1 for one layer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Decision {
+    /// Selected candidate.
+    pub candidate: CandidateRef,
+    /// Pages that must be newly acquired before the layer can start.
+    pub pneed: u32,
+    /// Absolute deadline for acquiring them (`None` = no wait needed /
+    /// infinite, Algorithm 1 line 9).
+    pub timeout: Option<Cycle>,
+}
+
+/// Per-task allocation state (`Tnext`, `Pnext`, `Palloc` plus LBM
+/// activation).
+#[derive(Debug, Clone, Copy, Default, Serialize, Deserialize)]
+struct TaskState {
+    t_next: Cycle,
+    p_next: u32,
+    p_alloc: u32,
+    /// Block id for which LBM is currently enabled, if any.
+    lbm_block: Option<u32>,
+    active: bool,
+}
+
+/// The dynamic cache allocation algorithm (Algorithm 1).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct DynamicAllocator {
+    tasks: Vec<TaskState>,
+    /// Look-ahead fraction of the estimated runtime (0.2 in the paper).
+    pub lookahead: f64,
+}
+
+impl DynamicAllocator {
+    /// Creates the allocator for up to `num_tasks` co-located tasks.
+    pub fn new(num_tasks: usize) -> Self {
+        DynamicAllocator {
+            tasks: vec![TaskState::default(); num_tasks],
+            lookahead: 0.2,
+        }
+    }
+
+    fn state(&mut self, task: TaskId) -> &mut TaskState {
+        let idx = task as usize;
+        if self.tasks.len() <= idx {
+            self.tasks.resize_with(idx + 1, TaskState::default);
+        }
+        &mut self.tasks[idx]
+    }
+
+    /// `predAvailPages` (Algorithm 1 lines 1-6): idle pages plus the
+    /// pages co-runners are predicted to return before `t_ahead`.
+    pub fn pred_avail_pages(&self, t_ahead: Cycle, tcur: TaskId, idle_pages: u32) -> u32 {
+        let mut ahead = i64::from(idle_pages);
+        for (i, ti) in self.tasks.iter().enumerate() {
+            if i as TaskId == tcur || !ti.active {
+                continue;
+            }
+            if ti.t_next < t_ahead {
+                ahead += i64::from(ti.p_alloc) - i64::from(ti.p_next);
+            }
+        }
+        ahead.max(0) as u32
+    }
+
+    /// True if LBM is currently enabled for `task` on block `block_id`.
+    pub fn lbm_enabled(&self, task: TaskId, block_id: u32) -> bool {
+        self.tasks
+            .get(task as usize)
+            .map(|t| t.lbm_block == Some(block_id))
+            .unwrap_or(false)
+    }
+
+    /// Algorithm 1: select the mapping candidate for the current layer of
+    /// `task`.
+    pub fn select(&mut self, now: Cycle, task: TaskId, mct: &Mct, idle_pages: u32) -> Decision {
+        self.state(task).active = true;
+        // Lines 7-9: LBM already enabled for this block.
+        if let Some(lbm) = &mct.lbm {
+            if self.lbm_enabled(task, mct.block.id) {
+                return Decision {
+                    candidate: CandidateRef::Lbm,
+                    pneed: if mct.block.is_head { lbm.pneed } else { 0 },
+                    timeout: None,
+                };
+            }
+            // Lines 10-15: head layer may enable LBM if the block's peak
+            // fits the predicted availability.
+            if mct.block.is_head {
+                let t_ahead =
+                    now + (mct.block.block_est_cycles as f64 * self.lookahead) as Cycle;
+                let p_ahead = self.pred_avail_pages(t_ahead, task, idle_pages);
+                if lbm.pneed < p_ahead {
+                    return Decision {
+                        candidate: CandidateRef::Lbm,
+                        pneed: lbm.pneed,
+                        timeout: Some(t_ahead),
+                    };
+                }
+            }
+        }
+        // Lines 16-22: best-fitting LWM candidate.
+        let layer_est = mct.lwm[0].est_cycles;
+        let t_ahead = now + (layer_est as f64 * self.lookahead) as Cycle;
+        let p_ahead = self.pred_avail_pages(t_ahead, task, idle_pages);
+        let mut best = 0usize;
+        for (i, c) in mct.lwm.iter().enumerate() {
+            if c.pneed > mct.lwm[best].pneed && c.pneed <= p_ahead {
+                best = i;
+            }
+        }
+        Decision {
+            candidate: CandidateRef::Lwm(best),
+            pneed: mct.lwm[best].pneed,
+            timeout: Some(t_ahead),
+        }
+    }
+
+    /// Timeout handling: "every time a timeout occurs, it updates the
+    /// candidate to the one that requires fewer pages". Returns the
+    /// next-cheaper decision (LBM degrades to the best LWM below its
+    /// demand; the zero-page candidate always terminates the chain).
+    pub fn degrade(&self, mct: &Mct, current_pneed: u32) -> Decision {
+        let mut best = 0usize;
+        for (i, c) in mct.lwm.iter().enumerate() {
+            if c.pneed < current_pneed && c.pneed > mct.lwm[best].pneed {
+                best = i;
+            }
+        }
+        // Ensure strict decrease even if lwm[0] is the only option.
+        let pneed = mct.lwm[best].pneed.min(current_pneed.saturating_sub(1));
+        let pneed = if mct.lwm[best].pneed < current_pneed {
+            mct.lwm[best].pneed
+        } else {
+            pneed
+        };
+        Decision {
+            candidate: CandidateRef::Lwm(best),
+            pneed,
+            timeout: None,
+        }
+    }
+
+    /// Marks LBM active for `task` on `block_id` (pages were granted).
+    pub fn enable_lbm(&mut self, task: TaskId, block_id: u32) {
+        self.state(task).lbm_block = Some(block_id);
+    }
+
+    /// Clears LBM state (block finished or abandoned).
+    pub fn disable_lbm(&mut self, task: TaskId) {
+        self.state(task).lbm_block = None;
+    }
+
+    /// Book-keeping at layer start/end: records the pages the task now
+    /// holds, when it will next reallocate, and how many pages it is
+    /// predicted to need then.
+    pub fn note_alloc(&mut self, task: TaskId, p_alloc: u32, t_next: Cycle, p_next: u32) {
+        let s = self.state(task);
+        s.p_alloc = p_alloc;
+        s.t_next = t_next;
+        s.p_next = p_next;
+        s.active = true;
+    }
+
+    /// Marks a task as finished (its pages no longer count as pending
+    /// returns).
+    pub fn note_done(&mut self, task: TaskId) {
+        let s = self.state(task);
+        s.active = false;
+        s.p_alloc = 0;
+        s.lbm_block = None;
+    }
+
+    /// Resolves a decision against an MCT.
+    pub fn resolve<'m>(&self, mct: &'m Mct, dec: &Decision) -> &'m MappingCandidate {
+        match dec.candidate {
+            CandidateRef::Lbm => mct.lbm.as_ref().expect("LBM decision without LBM"),
+            CandidateRef::Lwm(i) => &mct.lwm[i],
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use camdn_mapper::{map_model, MapperConfig};
+    use camdn_models::zoo;
+
+    fn mapping() -> camdn_mapper::ModelMapping {
+        map_model(&zoo::mobilenet_v2(), &MapperConfig::paper_default())
+    }
+
+    /// ViT has large matmul layers whose MCTs carry several LWM levels;
+    /// MobileNet's small layers often collapse to the zero-page
+    /// candidate (their wins come from LBM instead).
+    fn rich_mapping() -> camdn_mapper::ModelMapping {
+        map_model(&zoo::vit_base16(), &MapperConfig::paper_default())
+    }
+
+    #[test]
+    fn pred_avail_counts_returning_pages() {
+        let mut d = DynamicAllocator::new(3);
+        // Task 1 holds 50 pages, returns at t=1000 needing 10.
+        d.note_alloc(1, 50, 1000, 10);
+        // Task 2 holds 30 pages, returns far in the future.
+        d.note_alloc(2, 30, 1_000_000, 30);
+        // Looking ahead past task 1's return: idle + (50 - 10).
+        assert_eq!(d.pred_avail_pages(2000, 0, 5), 45);
+        // Not far enough ahead: only idle pages.
+        assert_eq!(d.pred_avail_pages(500, 0, 5), 5);
+        // The task itself is excluded.
+        assert_eq!(d.pred_avail_pages(2000, 1, 5), 5);
+    }
+
+    #[test]
+    fn select_zero_idle_gives_zero_page_candidate() {
+        let m = rich_mapping();
+        let mut d = DynamicAllocator::new(1);
+        // A layer with multiple candidates:
+        let mct = m.mcts.iter().find(|m| m.lwm.len() > 1).unwrap();
+        let dec = d.select(0, 0, mct, 0);
+        assert_eq!(dec.pneed, 0);
+    }
+
+    #[test]
+    fn select_prefers_larger_candidate_when_pages_available() {
+        let m = rich_mapping();
+        let mut d = DynamicAllocator::new(1);
+        // A non-head layer falls through to LWM selection even when its
+        // block has an (un-enabled) LBM candidate.
+        let mct = m
+            .mcts
+            .iter()
+            .find(|m| m.lwm.len() > 1 && !m.block.is_head)
+            .unwrap();
+        let rich = d.select(0, 0, mct, 384);
+        let poor = d.select(0, 0, mct, 0);
+        assert!(rich.pneed > poor.pneed);
+    }
+
+    #[test]
+    fn head_layer_enables_lbm_when_it_fits() {
+        let m = mapping();
+        let mut d = DynamicAllocator::new(1);
+        let mct = m
+            .mcts
+            .iter()
+            .find(|m| m.block.is_head && m.lbm.is_some() && m.block.peak_pages > 0)
+            .unwrap();
+        let dec = d.select(0, 0, mct, 384);
+        assert_eq!(dec.candidate, CandidateRef::Lbm);
+        assert_eq!(dec.pneed, mct.lbm.as_ref().unwrap().pneed);
+        assert!(dec.timeout.is_some());
+    }
+
+    #[test]
+    fn enabled_lbm_returns_infinite_timeout() {
+        let m = mapping();
+        let mut d = DynamicAllocator::new(1);
+        let mct = m
+            .mcts
+            .iter()
+            .find(|m| !m.block.is_head && m.lbm.is_some())
+            .unwrap();
+        d.enable_lbm(0, mct.block.id);
+        let dec = d.select(0, 0, mct, 0);
+        assert_eq!(dec.candidate, CandidateRef::Lbm);
+        assert_eq!(dec.pneed, 0, "interior pages were reserved at the head");
+        assert_eq!(dec.timeout, None);
+    }
+
+    #[test]
+    fn degrade_strictly_decreases() {
+        let m = mapping();
+        let mct = m.mcts.iter().max_by_key(|m| m.lwm.len()).unwrap();
+        let mut pneed = mct.lwm.last().unwrap().pneed;
+        let d = DynamicAllocator::new(1);
+        let mut steps = 0;
+        while pneed > 0 {
+            let dec = d.degrade(mct, pneed);
+            assert!(dec.pneed < pneed, "degrade must strictly decrease");
+            pneed = dec.pneed;
+            steps += 1;
+            assert!(steps < 100, "degrade chain must terminate");
+        }
+    }
+
+    #[test]
+    fn done_tasks_stop_contributing_predictions() {
+        let mut d = DynamicAllocator::new(2);
+        d.note_alloc(1, 100, 10, 0);
+        assert_eq!(d.pred_avail_pages(1000, 0, 0), 100);
+        d.note_done(1);
+        assert_eq!(d.pred_avail_pages(1000, 0, 0), 0);
+    }
+}

@@ -1,0 +1,142 @@
+//! Static cache policy for the CaMDN(HW-only) configuration.
+//!
+//! The paper's ablation point "CaMDN(HW-only) equally allocates cache
+//! capacity among NPUs without dynamic cache scheduling": every task gets
+//! a fixed page quota (subspace / tasks) and each layer simply uses the
+//! best LWM candidate that fits the quota. Layer-block mapping is part
+//! of the *scheduling* method (enabled by Algorithm 1's prediction), so
+//! HW-only runs without it — which is exactly why CaMDN(Full) pulls
+//! ahead on intermediate-heavy models (Fig. 7, Section IV-B1).
+
+use crate::dynalloc::{CandidateRef, Decision};
+use camdn_mapper::Mct;
+use serde::{Deserialize, Serialize};
+
+/// Equal static partitioning of the NPU subspace.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct StaticPolicy {
+    /// Fixed page quota per task.
+    pub quota: u32,
+    /// Whether the static policy may enable LBM when a whole block's
+    /// peak fits the quota (off for the paper's HW-only configuration).
+    pub allow_lbm: bool,
+}
+
+impl StaticPolicy {
+    /// Splits `total_pages` equally among `num_tasks`.
+    pub fn equal_split(total_pages: u32, num_tasks: u32) -> Self {
+        StaticPolicy {
+            quota: total_pages / num_tasks.max(1),
+            allow_lbm: false,
+        }
+    }
+
+    /// Selects the candidate for a layer under the static quota.
+    ///
+    /// The decision's `pneed` is the *additional* pages needed (0 for
+    /// layers inside an already-granted block).
+    pub fn select(&self, mct: &Mct, lbm_active: bool) -> Decision {
+        if let Some(lbm) = &mct.lbm {
+            if lbm_active {
+                return Decision {
+                    candidate: CandidateRef::Lbm,
+                    pneed: if mct.block.is_head { lbm.pneed } else { 0 },
+                    timeout: None,
+                };
+            }
+            if self.allow_lbm && mct.block.is_head && mct.block.peak_pages <= self.quota {
+                return Decision {
+                    candidate: CandidateRef::Lbm,
+                    pneed: lbm.pneed,
+                    timeout: None,
+                };
+            }
+        }
+        let mut best = 0usize;
+        for (i, c) in mct.lwm.iter().enumerate() {
+            if c.pneed > mct.lwm[best].pneed && c.pneed <= self.quota {
+                best = i;
+            }
+        }
+        Decision {
+            candidate: CandidateRef::Lwm(best),
+            pneed: mct.lwm[best].pneed,
+            timeout: None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use camdn_mapper::{map_model, MapperConfig};
+    use camdn_models::zoo;
+
+    #[test]
+    fn equal_split_math() {
+        let p = StaticPolicy::equal_split(384, 16);
+        assert_eq!(p.quota, 24);
+        assert_eq!(StaticPolicy::equal_split(384, 0).quota, 384);
+    }
+
+    #[test]
+    fn quota_bounds_selection() {
+        let mapping = map_model(&zoo::resnet50(), &MapperConfig::paper_default());
+        let p = StaticPolicy::equal_split(384, 16);
+        for mct in &mapping.mcts {
+            let dec = p.select(mct, false);
+            assert!(dec.pneed <= p.quota.max(mct.block.peak_pages));
+            if let CandidateRef::Lwm(i) = dec.candidate {
+                assert!(mct.lwm[i].pneed <= p.quota);
+            }
+        }
+    }
+
+    #[test]
+    fn bigger_quota_never_picks_smaller_candidate() {
+        let mapping = map_model(&zoo::vit_base16(), &MapperConfig::paper_default());
+        let small = StaticPolicy {
+            quota: 8,
+            allow_lbm: false,
+        };
+        let big = StaticPolicy {
+            quota: 384,
+            allow_lbm: false,
+        };
+        for mct in &mapping.mcts {
+            let a = small.select(mct, false);
+            let b = big.select(mct, false);
+            if let (CandidateRef::Lwm(i), CandidateRef::Lwm(j)) = (a.candidate, b.candidate) {
+                assert!(mct.lwm[j].pneed >= mct.lwm[i].pneed);
+            }
+        }
+    }
+
+    #[test]
+    fn lbm_static_enable_requires_flag_and_peak_fit() {
+        let mapping = map_model(&zoo::mobilenet_v2(), &MapperConfig::paper_default());
+        let no_lbm = StaticPolicy {
+            quota: 384,
+            allow_lbm: false,
+        };
+        let tight = StaticPolicy {
+            quota: 2,
+            allow_lbm: true,
+        };
+        let roomy = StaticPolicy {
+            quota: 384,
+            allow_lbm: true,
+        };
+        let mut lbm_seen = false;
+        for mct in &mapping.mcts {
+            assert_ne!(no_lbm.select(mct, false).candidate, CandidateRef::Lbm);
+            if mct.block.is_head && mct.block.peak_pages > 2 {
+                assert_ne!(tight.select(mct, false).candidate, CandidateRef::Lbm);
+            }
+            if mct.block.is_head && mct.lbm.is_some() {
+                lbm_seen |= roomy.select(mct, false).candidate == CandidateRef::Lbm;
+            }
+        }
+        assert!(lbm_seen, "roomy quota should enable LBM somewhere");
+    }
+}

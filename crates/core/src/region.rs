@@ -1,0 +1,239 @@
+//! Installing a mapping candidate's cache regions: page acquisition,
+//! NEC ownership and CPT programming, done at layer (or block-head)
+//! boundaries — the "modify CPT" step of Fig. 6.
+
+use crate::alloc::{AllocError, PageAllocator};
+use camdn_cache::{Nec, NecError, TaskId};
+use camdn_mapper::MappingCandidate;
+use camdn_npu::cpt::CptError;
+use camdn_npu::NpuCore;
+
+/// Errors when installing or tearing down a region.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RegionError {
+    /// The page allocator could not supply pages.
+    Alloc(AllocError),
+    /// NEC ownership violation.
+    Nec(NecError),
+    /// CPT programming fault.
+    Cpt(CptError),
+}
+
+impl std::fmt::Display for RegionError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RegionError::Alloc(e) => write!(f, "page allocation: {e}"),
+            RegionError::Nec(e) => write!(f, "nec: {e}"),
+            RegionError::Cpt(e) => write!(f, "cpt: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for RegionError {}
+
+impl From<AllocError> for RegionError {
+    fn from(e: AllocError) -> Self {
+        RegionError::Alloc(e)
+    }
+}
+impl From<NecError> for RegionError {
+    fn from(e: NecError) -> Self {
+        RegionError::Nec(e)
+    }
+}
+impl From<CptError> for RegionError {
+    fn from(e: CptError) -> Self {
+        RegionError::Cpt(e)
+    }
+}
+
+/// A live model-exclusive region: the pages granted to one task for one
+/// candidate, with the CPT mappings installed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RegionGrant {
+    /// The owning task.
+    pub task: TaskId,
+    /// Physical cache pages granted, in vcpn order.
+    pub pages: Vec<u32>,
+    /// Virtual page numbers the pages were mapped at.
+    pub vcpns: Vec<u32>,
+}
+
+impl RegionGrant {
+    /// Pages held by this grant.
+    pub fn page_count(&self) -> u32 {
+        self.pages.len() as u32
+    }
+}
+
+/// Acquires `candidate.pneed` pages for `task`, claims them in the NEC
+/// and programs the NPU's CPT so the candidate's cache map becomes
+/// addressable.
+///
+/// Virtual page numbers are assigned densely from 0 in cache-map order,
+/// matching the vcaddr regions the mapper laid out.
+///
+/// # Errors
+///
+/// Fails atomically: on any error all acquired pages are returned.
+pub fn install_region(
+    task: TaskId,
+    candidate: &MappingCandidate,
+    alloc: &mut PageAllocator,
+    nec: &mut Nec,
+    npu: &mut NpuCore,
+) -> Result<RegionGrant, RegionError> {
+    let page_bytes = npu.cpt().page_bytes();
+    let n = candidate.pneed;
+    let pages = alloc.acquire(task, n)?;
+
+    // Determine the vcpns the cache map occupies. An LBM block-head
+    // grant reserves the whole block's peak demand, which exceeds the
+    // head layer's own regions: pad with the consecutive vcpns the later
+    // intermediates of the block will occupy.
+    let mut vcpns: Vec<u32> = Vec::with_capacity(n as usize);
+    for entry in &candidate.cache_map {
+        if entry.cached_bytes == 0 {
+            continue;
+        }
+        let first = entry.vcaddr.vcpn(page_bytes) as u32;
+        let count = entry.cached_bytes.div_ceil(page_bytes) as u32;
+        vcpns.extend(first..first + count);
+    }
+    vcpns.sort_unstable();
+    vcpns.dedup();
+    let mut next = vcpns.last().map(|v| v + 1).unwrap_or(0);
+    while (vcpns.len() as u32) < n {
+        vcpns.push(next);
+        next += 1;
+    }
+    debug_assert_eq!(vcpns.len(), n as usize, "cache map pages must equal pneed");
+
+    // Claim + map; roll back on failure.
+    let mut installed = 0usize;
+    let result: Result<(), RegionError> = (|| {
+        for (i, (&pcpn, &vcpn)) in pages.iter().zip(vcpns.iter()).enumerate() {
+            nec.claim_page(task, pcpn)?;
+            npu.cpt_mut().map(vcpn, pcpn)?;
+            installed = i + 1;
+        }
+        Ok(())
+    })();
+
+    match result {
+        Ok(()) => Ok(RegionGrant {
+            task,
+            pages,
+            vcpns,
+        }),
+        Err(e) => {
+            for (&pcpn, &vcpn) in pages.iter().zip(vcpns.iter()).take(installed) {
+                let _ = npu.cpt_mut().unmap(vcpn);
+                let _ = nec.release_page(task, pcpn);
+            }
+            alloc
+                .release(task, &pages)
+                .expect("rollback release must succeed");
+            Err(e)
+        }
+    }
+}
+
+/// Tears a region down: unmaps the CPT entries, releases NEC ownership
+/// and returns the pages to the allocator.
+///
+/// # Errors
+///
+/// Propagates the first NEC/CPT/allocator inconsistency (which indicates
+/// a runtime invariant violation).
+pub fn teardown_region(
+    grant: &RegionGrant,
+    alloc: &mut PageAllocator,
+    nec: &mut Nec,
+    npu: &mut NpuCore,
+) -> Result<(), RegionError> {
+    for (&pcpn, &vcpn) in grant.pages.iter().zip(grant.vcpns.iter()) {
+        npu.cpt_mut().unmap(vcpn)?;
+        nec.release_page(grant.task, pcpn)?;
+    }
+    alloc.release(grant.task, &grant.pages)?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use camdn_common::config::{CacheConfig, NpuConfig};
+    use camdn_mapper::{map_layer_lwm, MapperConfig};
+    use camdn_models::{Layer, LoopNest, OpKind};
+
+    fn setup() -> (PageAllocator, Nec, NpuCore, MappingCandidate) {
+        let cache = CacheConfig::paper_default();
+        let nec = Nec::new(&cache);
+        let alloc = PageAllocator::new(nec.first_pcpn(), nec.npu_pages());
+        let npu = NpuCore::new(0, NpuConfig::paper_default(), 512, cache.page_bytes);
+        // A candidate that caches something.
+        let layer = Layer::new(
+            "fc",
+            OpKind::Linear,
+            LoopNest::matmul(4096, 1024, 1024),
+        );
+        let cand = map_layer_lwm(&layer, &MapperConfig::paper_default(), 1 << 20);
+        (alloc, nec, npu, cand)
+    }
+
+    #[test]
+    fn install_then_teardown_restores_everything() {
+        let (mut alloc, mut nec, mut npu, cand) = setup();
+        assert!(cand.pneed > 0, "test needs a caching candidate");
+        let before = alloc.idle_pages();
+        let grant = install_region(7, &cand, &mut alloc, &mut nec, &mut npu).unwrap();
+        assert_eq!(grant.page_count(), cand.pneed);
+        assert_eq!(alloc.idle_pages(), before - cand.pneed);
+        assert_eq!(nec.claimed_pages(), cand.pneed);
+        assert_eq!(npu.cpt().mapped_count(), cand.pneed);
+        teardown_region(&grant, &mut alloc, &mut nec, &mut npu).unwrap();
+        assert_eq!(alloc.idle_pages(), before);
+        assert_eq!(nec.claimed_pages(), 0);
+        assert_eq!(npu.cpt().mapped_count(), 0);
+    }
+
+    #[test]
+    fn translation_reaches_granted_pages() {
+        let (mut alloc, mut nec, mut npu, cand) = setup();
+        let grant = install_region(3, &cand, &mut alloc, &mut nec, &mut npu).unwrap();
+        // Every cached cache-map entry must translate to a granted page.
+        for e in cand.cache_map.iter().filter(|e| e.cached_bytes > 0) {
+            let (pcpn, _) = npu.cpt().translate(e.vcaddr).unwrap();
+            assert!(grant.pages.contains(&pcpn));
+            assert_eq!(nec.owner_of(pcpn), Some(3));
+        }
+        teardown_region(&grant, &mut alloc, &mut nec, &mut npu).unwrap();
+    }
+
+    #[test]
+    fn out_of_pages_is_clean() {
+        let (_, mut nec, mut npu, cand) = setup();
+        // Allocator with too few pages.
+        let mut tiny = PageAllocator::new(nec.first_pcpn(), 1);
+        let before_claims = nec.claimed_pages();
+        let err = install_region(1, &cand, &mut tiny, &mut nec, &mut npu).unwrap_err();
+        assert!(matches!(err, RegionError::Alloc(_)));
+        assert_eq!(tiny.idle_pages(), 1);
+        assert_eq!(nec.claimed_pages(), before_claims);
+        assert_eq!(npu.cpt().mapped_count(), 0);
+    }
+
+    #[test]
+    fn two_tasks_get_disjoint_regions() {
+        let (mut alloc, mut nec, mut npu, cand) = setup();
+        let mut npu2 = NpuCore::new(1, NpuConfig::paper_default(), 512, 32 * 1024);
+        let g1 = install_region(0, &cand, &mut alloc, &mut nec, &mut npu).unwrap();
+        let g2 = install_region(1, &cand, &mut alloc, &mut nec, &mut npu2).unwrap();
+        for p in &g1.pages {
+            assert!(!g2.pages.contains(p), "page {p} double-granted");
+        }
+        teardown_region(&g1, &mut alloc, &mut nec, &mut npu).unwrap();
+        teardown_region(&g2, &mut alloc, &mut nec, &mut npu2).unwrap();
+    }
+}

@@ -1,0 +1,266 @@
+//! Mapping candidates and the mapping candidate table (MCT).
+//!
+//! An MCT (Fig. 6 of the paper) stores, for one layer, one layer-wise
+//! mapping (LWM) candidate per cache-usage level plus one layer-block
+//! mapping (LBM) candidate, each in a compact format: a *loop table*
+//! (order + tile factors) and a *cache map* (how tensors are placed in
+//! the model's virtual cache address space). Unrolled NPU instructions
+//! are generated only at dispatch time (see [`crate::plan`]).
+
+use camdn_common::types::{Cycle, VirtCacheAddr};
+use serde::{Deserialize, Serialize};
+
+/// The tensors of a layer, as addressed by the cache map.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum TensorKind {
+    /// Weight operand (static parameters, or an activation for attention
+    /// matmuls).
+    Weight,
+    /// Input activation.
+    Input,
+    /// Output activation.
+    Output,
+    /// Bias vector.
+    Bias,
+}
+
+/// Loop order at the cache level (the two canonical permutations the
+/// heuristic rules retain).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum LoopOrder {
+    /// Output-channel tiles outermost: weights are streamed exactly once,
+    /// inputs are re-swept once per output-channel tile.
+    OcOuter,
+    /// Spatial tiles outermost: inputs are streamed exactly once, weights
+    /// are re-swept once per spatial tile.
+    SpatialOuter,
+}
+
+/// Scratchpad-level tile factors and derived iteration counts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Tiling {
+    /// Output channels per scratchpad tile.
+    pub t_oc: u64,
+    /// Output spatial elements (`B·OH·OW`) per scratchpad tile.
+    pub t_sp: u64,
+    /// Number of output-channel tiles.
+    pub n_oc: u64,
+    /// Number of spatial tiles.
+    pub n_sp: u64,
+}
+
+impl Tiling {
+    /// Builds a tiling for a layer with `oc` output channels and `sp`
+    /// spatial outputs.
+    pub fn new(t_oc: u64, t_sp: u64, oc: u64, sp: u64) -> Self {
+        Tiling {
+            t_oc,
+            t_sp,
+            n_oc: oc.div_ceil(t_oc.max(1)),
+            n_sp: sp.div_ceil(t_sp.max(1)),
+        }
+    }
+}
+
+/// One row of the cache map: where (and whether) a tensor lives in the
+/// model's virtual cache address space.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CacheMapEntry {
+    /// Which tensor.
+    pub tensor: TensorKind,
+    /// Start of its region in vcaddr space (0 when nothing is cached).
+    pub vcaddr: VirtCacheAddr,
+    /// Bytes of the tensor held in cache (0 = fully streamed).
+    pub cached_bytes: u64,
+    /// True if the non-cached portion bypasses the shared cache.
+    pub bypass: bool,
+    /// True if the cached portion is re-read (reuse) rather than written
+    /// once.
+    pub reuse: bool,
+}
+
+/// Distinguishes LWM candidates (one per cache-usage level) from the LBM
+/// candidate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum CandidateKind {
+    /// Layer-wise mapping targeting a cache-usage level in bytes.
+    Lwm {
+        /// The cache-usage limitation this candidate was solved under.
+        cu_bytes: u64,
+    },
+    /// Layer-block mapping: inter-layer intermediates pinned in cache.
+    Lbm,
+}
+
+/// A complete mapping candidate for one layer.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MappingCandidate {
+    /// LWM level or LBM.
+    pub kind: CandidateKind,
+    /// Cache-level loop order.
+    pub order: LoopOrder,
+    /// Scratchpad tile factors.
+    pub tiling: Tiling,
+    /// Tensor placement in vcaddr space.
+    pub cache_map: Vec<CacheMapEntry>,
+    /// Shared-cache pages this candidate needs.
+    pub pneed: u32,
+    /// Modelled DRAM traffic (bytes) for one execution of the layer.
+    pub dram_bytes: u64,
+    /// Modelled compute cycles.
+    pub compute_cycles: Cycle,
+    /// Profiling-style latency estimate (`T_est` in Algorithm 1).
+    pub est_cycles: Cycle,
+}
+
+impl MappingCandidate {
+    /// Bytes held in cache across all tensors.
+    pub fn total_cached_bytes(&self) -> u64 {
+        self.cache_map.iter().map(|e| e.cached_bytes).sum()
+    }
+
+    /// Cache-map entry for a tensor, if present.
+    pub fn entry(&self, tensor: TensorKind) -> Option<&CacheMapEntry> {
+        self.cache_map.iter().find(|e| e.tensor == tensor)
+    }
+}
+
+/// Layer-block membership of a layer (for LBM, Section III-C2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BlockInfo {
+    /// Block index within the model.
+    pub id: u32,
+    /// True for the first layer of its block.
+    pub is_head: bool,
+    /// Number of layers in the block.
+    pub len: u32,
+    /// Estimated execution cycles of the whole block (`T_est` for the
+    /// head-layer look-ahead in Algorithm 1, line 11).
+    pub block_est_cycles: u64,
+    /// Peak pages the block needs while LBM is active.
+    pub peak_pages: u32,
+}
+
+/// The mapping candidate table of one layer.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Mct {
+    /// Index of the layer in the model.
+    pub layer_idx: usize,
+    /// LWM candidates in ascending `pneed` order (index 0 always exists
+    /// and needs zero pages, so a task can always make progress).
+    pub lwm: Vec<MappingCandidate>,
+    /// The LBM candidate, when the layer belongs to a block.
+    pub lbm: Option<MappingCandidate>,
+    /// Block membership.
+    pub block: BlockInfo,
+}
+
+impl Mct {
+    /// The largest LWM candidate whose `pneed` does not exceed
+    /// `avail_pages` (Algorithm 1, lines 18-21).
+    pub fn best_lwm_within(&self, avail_pages: u32) -> &MappingCandidate {
+        let mut best = &self.lwm[0];
+        for c in &self.lwm {
+            if c.pneed > best.pneed && c.pneed <= avail_pages {
+                best = c;
+            }
+        }
+        best
+    }
+
+    /// The largest LWM candidate strictly cheaper (in pages) than
+    /// `pages`, used to degrade on allocation timeout.
+    pub fn next_cheaper_lwm(&self, pages: u32) -> &MappingCandidate {
+        let mut best = &self.lwm[0];
+        for c in &self.lwm {
+            if c.pneed < pages && c.pneed > best.pneed {
+                best = c;
+            }
+        }
+        best
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cand(pneed: u32) -> MappingCandidate {
+        MappingCandidate {
+            kind: CandidateKind::Lwm {
+                cu_bytes: u64::from(pneed) * 32 * 1024,
+            },
+            order: LoopOrder::OcOuter,
+            tiling: Tiling::new(32, 64, 256, 4096),
+            cache_map: vec![],
+            pneed,
+            dram_bytes: 1000 / u64::from(pneed + 1),
+            compute_cycles: 100,
+            est_cycles: 200,
+        }
+    }
+
+    fn mct() -> Mct {
+        Mct {
+            layer_idx: 0,
+            lwm: vec![cand(0), cand(8), cand(16), cand(64)],
+            lbm: None,
+            block: BlockInfo {
+                id: 0,
+                is_head: true,
+                len: 1,
+                block_est_cycles: 100,
+                peak_pages: 0,
+            },
+        }
+    }
+
+    #[test]
+    fn tiling_counts() {
+        let t = Tiling::new(32, 100, 100, 450);
+        assert_eq!(t.n_oc, 4);
+        assert_eq!(t.n_sp, 5);
+    }
+
+    #[test]
+    fn best_within_picks_largest_fitting() {
+        let m = mct();
+        assert_eq!(m.best_lwm_within(0).pneed, 0);
+        assert_eq!(m.best_lwm_within(10).pneed, 8);
+        assert_eq!(m.best_lwm_within(16).pneed, 16);
+        assert_eq!(m.best_lwm_within(1000).pneed, 64);
+    }
+
+    #[test]
+    fn degrade_picks_next_cheaper() {
+        let m = mct();
+        assert_eq!(m.next_cheaper_lwm(64).pneed, 16);
+        assert_eq!(m.next_cheaper_lwm(16).pneed, 8);
+        assert_eq!(m.next_cheaper_lwm(8).pneed, 0);
+        assert_eq!(m.next_cheaper_lwm(0).pneed, 0);
+    }
+
+    #[test]
+    fn cached_bytes_sum() {
+        let mut c = cand(4);
+        c.cache_map = vec![
+            CacheMapEntry {
+                tensor: TensorKind::Input,
+                vcaddr: VirtCacheAddr(0),
+                cached_bytes: 1000,
+                bypass: false,
+                reuse: true,
+            },
+            CacheMapEntry {
+                tensor: TensorKind::Weight,
+                vcaddr: VirtCacheAddr(0),
+                cached_bytes: 0,
+                bypass: true,
+                reuse: false,
+            },
+        ];
+        assert_eq!(c.total_cached_bytes(), 1000);
+        assert!(c.entry(TensorKind::Weight).unwrap().bypass);
+        assert!(c.entry(TensorKind::Bias).is_none());
+    }
+}

@@ -1,0 +1,186 @@
+//! Layers and their classification.
+
+use crate::nest::LoopNest;
+use serde::{Deserialize, Serialize};
+
+/// Operator class of a layer (used for reporting and utilization).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum OpKind {
+    /// Dense 2-D convolution.
+    Conv,
+    /// Depth-wise convolution.
+    DwConv,
+    /// Fully-connected / projection matmul with static weights.
+    Linear,
+    /// Activation–activation matmul (attention scores / context).
+    MatMul,
+    /// Fused multi-head self-attention (QKᵀ softmax + AV in one kernel).
+    Attention,
+    /// Recurrent LSTM gate GEMM: the weight matrix is re-swept once per
+    /// timestep (sequential dependence).
+    Lstm,
+    /// Pooling (no weights, light compute).
+    Pool,
+    /// Element-wise op (residual add, activation rescale).
+    Eltwise,
+}
+
+impl OpKind {
+    /// Short lowercase label for reports.
+    pub fn label(&self) -> &'static str {
+        match self {
+            OpKind::Conv => "conv",
+            OpKind::DwConv => "dwconv",
+            OpKind::Linear => "linear",
+            OpKind::MatMul => "matmul",
+            OpKind::Attention => "attention",
+            OpKind::Lstm => "lstm",
+            OpKind::Pool => "pool",
+            OpKind::Eltwise => "eltwise",
+        }
+    }
+}
+
+/// Whether the "weight" operand of the nest is a static parameter or a
+/// runtime activation (attention matmuls multiply two activations).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum WeightClass {
+    /// Static model parameter: read-only, shared across inferences (and
+    /// across NPUs of a multi-NPU group → multicast candidate).
+    Static,
+    /// Produced by an earlier layer at runtime: an intermediate tensor.
+    Activation,
+    /// The layer has no second operand at all (pooling, element-wise).
+    None,
+}
+
+/// One layer of a model: an operator instance on the canonical nest.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Layer {
+    /// Human-readable name, unique within the model.
+    pub name: String,
+    /// Operator class.
+    pub op: OpKind,
+    /// Loop-nest bounds.
+    pub nest: LoopNest,
+    /// Classification of the weight operand.
+    pub weight_class: WeightClass,
+    /// Explicit `(input, output)` byte sizes for fused operators whose
+    /// memory footprint the nest alone cannot express (attention).
+    #[serde(default)]
+    pub io_override: Option<(u64, u64)>,
+}
+
+impl Layer {
+    /// Creates a layer with a static weight operand.
+    pub fn new(name: impl Into<String>, op: OpKind, nest: LoopNest) -> Self {
+        Layer {
+            name: name.into(),
+            op,
+            nest,
+            weight_class: WeightClass::Static,
+            io_override: None,
+        }
+    }
+
+    /// Creates a fused multi-head self-attention layer: reads the packed
+    /// Q/K/V activations (`3·seq·d` bytes, or `2·seq·d` for
+    /// cross-attention over precomputed K/V), writes the `seq·d`
+    /// context. The `seq × seq` score matrices stay in the scratchpad.
+    pub fn attention(name: impl Into<String>, seq: u64, d: u64, heads: u64, qkv: u64) -> Self {
+        let dh = d / heads;
+        Layer {
+            name: name.into(),
+            op: OpKind::Attention,
+            nest: LoopNest {
+                batch: heads,
+                oc: dh,
+                oh: seq,
+                ow: 1,
+                ic: 2 * seq, // QK^T and AV reductions over the sequence
+                kh: 1,
+                kw: 1,
+                stride: 1,
+                groups: 1,
+                bytes_per_elem: 1,
+            },
+            weight_class: WeightClass::None,
+            io_override: Some((qkv * seq * d, seq * d)),
+        }
+    }
+
+    /// Creates an activation–activation matmul layer (no static weights).
+    pub fn activation_matmul(name: impl Into<String>, nest: LoopNest) -> Self {
+        Layer {
+            name: name.into(),
+            op: OpKind::MatMul,
+            nest,
+            weight_class: WeightClass::Activation,
+            io_override: None,
+        }
+    }
+
+    /// Creates a weight-less layer (pooling, element-wise add).
+    pub fn unweighted(name: impl Into<String>, op: OpKind, nest: LoopNest) -> Self {
+        Layer {
+            name: name.into(),
+            op,
+            nest,
+            weight_class: WeightClass::None,
+            io_override: None,
+        }
+    }
+
+    /// Input activation bytes, honoring fused-operator overrides.
+    pub fn input_bytes(&self) -> u64 {
+        self.io_override
+            .map(|(i, _)| i)
+            .unwrap_or_else(|| self.nest.input_bytes())
+    }
+
+    /// Output activation bytes, honoring fused-operator overrides.
+    pub fn output_bytes(&self) -> u64 {
+        self.io_override
+            .map(|(_, o)| o)
+            .unwrap_or_else(|| self.nest.output_bytes())
+    }
+
+    /// Static parameter bytes of this layer (0 if the weight operand is
+    /// an activation or absent).
+    pub fn static_weight_bytes(&self) -> u64 {
+        match self.weight_class {
+            WeightClass::Static => self.nest.weight_bytes() + self.nest.bias_bytes(),
+            WeightClass::Activation | WeightClass::None => 0,
+        }
+    }
+
+    /// Bytes of the weight *operand* that must be moved per execution,
+    /// regardless of class (0 for [`WeightClass::None`]).
+    pub fn weight_operand_bytes(&self) -> u64 {
+        match self.weight_class {
+            WeightClass::Static => self.nest.weight_bytes(),
+            WeightClass::Activation => self.nest.weight_bytes() * self.nest.batch,
+            WeightClass::None => 0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn static_vs_activation_weights() {
+        let lin = Layer::new("fc", OpKind::Linear, LoopNest::matmul(128, 768, 768));
+        assert!(lin.static_weight_bytes() > 768 * 768);
+        let att = Layer::activation_matmul("qk", LoopNest::batched_matmul(12, 128, 64, 128));
+        assert_eq!(att.static_weight_bytes(), 0);
+        assert_eq!(att.weight_class, WeightClass::Activation);
+    }
+
+    #[test]
+    fn op_labels() {
+        assert_eq!(OpKind::DwConv.label(), "dwconv");
+        assert_eq!(OpKind::Lstm.label(), "lstm");
+    }
+}

@@ -1,0 +1,207 @@
+//! The canonical 7-D loop nest every layer lowers onto.
+//!
+//! Following the mapping literature the paper builds on (Timeloop, CoSA,
+//! dMazeRunner), each layer is described by the bounds of a perfectly
+//! nested loop over `(B, OC, OH, OW, IC, KH, KW)`. Dense and depth-wise
+//! convolutions use it directly; matrix multiplications (`M×K·K×N`) lower
+//! with `OH = M`, `IC = K`, `OC = N`, `KH = KW = OW = 1`; LSTMs lower
+//! their fused gate GEMM the same way.
+
+use serde::{Deserialize, Serialize};
+
+/// Loop bounds of one layer on the canonical nest.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct LoopNest {
+    /// Batch (or attention-head) dimension.
+    pub batch: u64,
+    /// Output channels (N for matmuls).
+    pub oc: u64,
+    /// Output height (M for matmuls).
+    pub oh: u64,
+    /// Output width.
+    pub ow: u64,
+    /// Input channels (K for matmuls). For grouped/depth-wise layers this
+    /// is the number of input channels *per group*.
+    pub ic: u64,
+    /// Kernel height.
+    pub kh: u64,
+    /// Kernel width.
+    pub kw: u64,
+    /// Spatial stride.
+    pub stride: u64,
+    /// Channel groups; depth-wise convolution has `groups == oc`.
+    pub groups: u64,
+    /// Bytes per element of weights/activations (1 for int8).
+    pub bytes_per_elem: u64,
+}
+
+impl LoopNest {
+    /// A dense convolution nest.
+    pub fn conv(oc: u64, oh: u64, ow: u64, ic: u64, k: u64, stride: u64) -> Self {
+        LoopNest {
+            batch: 1,
+            oc,
+            oh,
+            ow,
+            ic,
+            kh: k,
+            kw: k,
+            stride,
+            groups: 1,
+            bytes_per_elem: 1,
+        }
+    }
+
+    /// A depth-wise convolution nest (`groups == channels`).
+    pub fn dwconv(channels: u64, oh: u64, ow: u64, k: u64, stride: u64) -> Self {
+        LoopNest {
+            batch: 1,
+            oc: channels,
+            oh,
+            ow,
+            ic: 1,
+            kh: k,
+            kw: k,
+            stride,
+            groups: channels,
+            bytes_per_elem: 1,
+        }
+    }
+
+    /// A matrix multiplication `M×K · K×N` nest.
+    pub fn matmul(m: u64, k: u64, n: u64) -> Self {
+        LoopNest {
+            batch: 1,
+            oc: n,
+            oh: m,
+            ow: 1,
+            ic: k,
+            kh: 1,
+            kw: 1,
+            stride: 1,
+            groups: 1,
+            bytes_per_elem: 1,
+        }
+    }
+
+    /// A batched matrix multiplication (e.g. one matmul per attention
+    /// head).
+    pub fn batched_matmul(batch: u64, m: u64, k: u64, n: u64) -> Self {
+        LoopNest {
+            batch,
+            ..LoopNest::matmul(m, k, n)
+        }
+    }
+
+    /// Total multiply-accumulates.
+    pub fn macs(&self) -> u64 {
+        self.batch * self.oc * self.oh * self.ow * self.ic * self.kh * self.kw
+    }
+
+    /// Reduction dimension as seen by the PE array (`IC·KH·KW` per group).
+    pub fn reduction(&self) -> u64 {
+        self.ic * self.kh * self.kw
+    }
+
+    /// Input height implied by the output size, stride and kernel.
+    pub fn ih(&self) -> u64 {
+        if self.oh == 0 {
+            return 0;
+        }
+        (self.oh - 1) * self.stride + self.kh
+    }
+
+    /// Input width implied by the output size, stride and kernel.
+    pub fn iw(&self) -> u64 {
+        if self.ow == 0 {
+            return 0;
+        }
+        (self.ow - 1) * self.stride + self.kw
+    }
+
+    /// Total input channels across groups.
+    pub fn total_ic(&self) -> u64 {
+        self.ic * self.groups
+    }
+
+    /// Weight tensor size in bytes.
+    pub fn weight_bytes(&self) -> u64 {
+        self.oc * self.ic * self.kh * self.kw * self.bytes_per_elem
+    }
+
+    /// Input activation size in bytes (per batch element, times batch).
+    pub fn input_bytes(&self) -> u64 {
+        self.batch * self.total_ic() * self.ih() * self.iw() * self.bytes_per_elem
+    }
+
+    /// Output activation size in bytes.
+    pub fn output_bytes(&self) -> u64 {
+        self.batch * self.oc * self.oh * self.ow * self.bytes_per_elem
+    }
+
+    /// Bias size in bytes (one 32-bit accumulator-width value per output
+    /// channel).
+    pub fn bias_bytes(&self) -> u64 {
+        self.oc * 4
+    }
+
+    /// Output spatial size (`B·OH·OW`), the number of output vectors.
+    pub fn spatial(&self) -> u64 {
+        self.batch * self.oh * self.ow
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conv_shapes() {
+        // ResNet conv1: 7x7, 64 channels, stride 2, 112x112 out, 3 in ch.
+        let n = LoopNest::conv(64, 112, 112, 3, 7, 2);
+        assert_eq!(n.macs(), 64 * 112 * 112 * 3 * 49);
+        assert_eq!(n.weight_bytes(), 64 * 3 * 49);
+        assert_eq!(n.ih(), 111 * 2 + 7);
+        assert_eq!(n.output_bytes(), 64 * 112 * 112);
+    }
+
+    #[test]
+    fn dwconv_is_grouped() {
+        let n = LoopNest::dwconv(128, 28, 28, 3, 1);
+        assert_eq!(n.total_ic(), 128);
+        assert_eq!(n.reduction(), 9); // only KH*KW reduces per group
+        assert_eq!(n.macs(), 128 * 28 * 28 * 9);
+        assert_eq!(n.weight_bytes(), 128 * 9);
+    }
+
+    #[test]
+    fn matmul_lowering() {
+        let n = LoopNest::matmul(197, 768, 2304);
+        assert_eq!(n.macs(), 197 * 768 * 2304);
+        assert_eq!(n.weight_bytes(), 768 * 2304);
+        assert_eq!(n.input_bytes(), 197 * 768);
+        assert_eq!(n.output_bytes(), 197 * 2304);
+    }
+
+    #[test]
+    fn batched_matmul_scales_with_heads() {
+        let single = LoopNest::matmul(197, 64, 197);
+        let multi = LoopNest::batched_matmul(12, 197, 64, 197);
+        assert_eq!(multi.macs(), 12 * single.macs());
+        assert_eq!(multi.output_bytes(), 12 * single.output_bytes());
+        // Weights are per-head in the nest abstraction.
+        assert_eq!(multi.weight_bytes(), single.weight_bytes());
+    }
+
+    #[test]
+    fn zero_spatial_is_safe() {
+        let n = LoopNest {
+            oh: 0,
+            ow: 0,
+            ..LoopNest::conv(8, 1, 1, 8, 3, 1)
+        };
+        assert_eq!(n.ih(), 0);
+        assert_eq!(n.iw(), 0);
+        assert_eq!(n.macs(), 0);
+    }
+}

@@ -1,0 +1,334 @@
+//! Convolutional benchmark models: ResNet-50, MobileNet-v2,
+//! EfficientNet-B0 and PointPillars.
+//!
+//! All models run batch 1 at int8 precision (the native datatype of the
+//! Gemmini-style NPU of Table II). Networks are flattened to layer
+//! chains; residual branches appear as explicit element-wise layers and
+//! downsample convolutions are placed inline, which preserves total
+//! traffic and reuse structure (the quantities the evaluation measures).
+
+use crate::layer::{Layer, OpKind};
+use crate::model::{Domain, Family, Model};
+use crate::nest::LoopNest;
+
+fn conv(name: String, oc: u64, ohw: u64, ic: u64, k: u64, s: u64) -> Layer {
+    Layer::new(name, OpKind::Conv, LoopNest::conv(oc, ohw, ohw, ic, k, s))
+}
+
+fn conv_hw(name: String, oc: u64, oh: u64, ow: u64, ic: u64, k: u64, s: u64) -> Layer {
+    Layer::new(name, OpKind::Conv, LoopNest::conv(oc, oh, ow, ic, k, s))
+}
+
+fn dw(name: String, ch: u64, ohw: u64, k: u64, s: u64) -> Layer {
+    Layer::new(name, OpKind::DwConv, LoopNest::dwconv(ch, ohw, ohw, k, s))
+}
+
+fn lin(name: String, m: u64, k: u64, n: u64) -> Layer {
+    Layer::new(name, OpKind::Linear, LoopNest::matmul(m, k, n))
+}
+
+fn pool(name: String, ch: u64, ohw: u64, k: u64, s: u64) -> Layer {
+    Layer::unweighted(
+        name,
+        OpKind::Pool,
+        LoopNest {
+            ic: 1,
+            groups: ch,
+            ..LoopNest::dwconv(ch, ohw, ohw, k, s)
+        },
+    )
+}
+
+fn add(name: String, ch: u64, ohw: u64) -> Layer {
+    // Element-wise residual add: reads two CxHxW tensors. Grouped per
+    // channel with ic = 2 per group, so input_bytes counts both operands
+    // across all channels.
+    Layer::unweighted(
+        name,
+        OpKind::Eltwise,
+        LoopNest {
+            batch: 1,
+            oc: ch,
+            oh: ohw,
+            ow: ohw,
+            ic: 2,
+            kh: 1,
+            kw: 1,
+            stride: 1,
+            groups: ch,
+            bytes_per_elem: 1,
+        },
+    )
+}
+
+/// ResNet-50 \[27\]: the canonical dense-convolution benchmark
+/// (Table I: CV / Conv, QoS 6.7 ms).
+pub fn resnet50() -> Model {
+    let mut layers = vec![
+        conv("conv1".into(), 64, 112, 3, 7, 2),
+        pool("maxpool".into(), 64, 56, 3, 2),
+    ];
+    // (mid channels, out channels, blocks, output spatial, first stride)
+    let stages: [(u64, u64, u64, u64, u64); 4] = [
+        (64, 256, 3, 56, 1),
+        (128, 512, 4, 28, 2),
+        (256, 1024, 6, 14, 2),
+        (512, 2048, 3, 7, 2),
+    ];
+    let mut in_ch = 64u64;
+    for (si, &(mid, out, blocks, sp, first_s)) in stages.iter().enumerate() {
+        for b in 0..blocks {
+            let s = if b == 0 { first_s } else { 1 };
+            let p = format!("s{}b{}", si + 2, b);
+            layers.push(conv(format!("{p}_conv1"), mid, sp, in_ch, 1, s));
+            layers.push(conv(format!("{p}_conv2"), mid, sp, mid, 3, 1));
+            layers.push(conv(format!("{p}_conv3"), out, sp, mid, 1, 1));
+            if b == 0 {
+                layers.push(conv(format!("{p}_down"), out, sp, in_ch, 1, s));
+            }
+            layers.push(add(format!("{p}_add"), out, sp));
+            in_ch = out;
+        }
+    }
+    layers.push(pool("avgpool".into(), 2048, 1, 7, 1));
+    layers.push(lin("fc".into(), 1, 2048, 1000));
+    Model {
+        name: "ResNet50".into(),
+        abbr: "RS".into(),
+        domain: Domain::ComputerVision,
+        family: Family::Conv,
+        qos_ms: 6.7,
+        layers,
+    }
+}
+
+/// MobileNet-v2 \[28\]: inverted residuals with depth-wise convolutions
+/// (Table I: CV / DwConv, QoS 2.8 ms). Its large intermediate-to-weight
+/// ratio makes it the biggest winner from CaMDN's layer-block mapping.
+pub fn mobilenet_v2() -> Model {
+    let mut layers = vec![conv("conv0".into(), 32, 112, 3, 3, 2)];
+    // (expand t, out channels, repeats, stride) at the given input spatial.
+    let cfg: [(u64, u64, u64, u64); 7] = [
+        (1, 16, 1, 1),
+        (6, 24, 2, 2),
+        (6, 32, 3, 2),
+        (6, 64, 4, 2),
+        (6, 96, 3, 1),
+        (6, 160, 3, 2),
+        (6, 320, 1, 1),
+    ];
+    let mut in_ch = 32u64;
+    let mut sp = 112u64; // current spatial size
+    for (bi, &(t, c_out, n, s_first)) in cfg.iter().enumerate() {
+        for r in 0..n {
+            let s = if r == 0 { s_first } else { 1 };
+            let out_sp = if s == 2 { sp / 2 } else { sp };
+            let exp = in_ch * t;
+            let p = format!("b{}r{}", bi, r);
+            if t > 1 {
+                layers.push(conv(format!("{p}_expand"), exp, sp, in_ch, 1, 1));
+            }
+            layers.push(dw(format!("{p}_dw"), exp, out_sp, 3, s));
+            layers.push(conv(format!("{p}_project"), c_out, out_sp, exp, 1, 1));
+            if s == 1 && in_ch == c_out {
+                layers.push(add(format!("{p}_add"), c_out, out_sp));
+            }
+            in_ch = c_out;
+            sp = out_sp;
+        }
+    }
+    layers.push(conv("head".into(), 1280, 7, 320, 1, 1));
+    layers.push(pool("avgpool".into(), 1280, 1, 7, 1));
+    layers.push(lin("fc".into(), 1, 1280, 1000));
+    Model {
+        name: "MobileNet-v2".into(),
+        abbr: "MB".into(),
+        domain: Domain::ComputerVision,
+        family: Family::DwConv,
+        qos_ms: 2.8,
+        layers,
+    }
+}
+
+/// EfficientNet-B0 \[29\]: MBConv blocks with squeeze-and-excitation
+/// (Table I: CV / DwConv, QoS 2.8 ms).
+pub fn efficientnet_b0() -> Model {
+    let mut layers = vec![conv("stem".into(), 32, 112, 3, 3, 2)];
+    // (expand, out channels, repeats, kernel, stride).
+    let cfg: [(u64, u64, u64, u64, u64); 7] = [
+        (1, 16, 1, 3, 1),
+        (6, 24, 2, 3, 2),
+        (6, 40, 2, 5, 2),
+        (6, 80, 3, 3, 2),
+        (6, 112, 3, 5, 1),
+        (6, 192, 4, 5, 2),
+        (6, 320, 1, 3, 1),
+    ];
+    let mut in_ch = 32u64;
+    let mut sp = 112u64;
+    for (bi, &(t, c_out, n, k, s_first)) in cfg.iter().enumerate() {
+        for r in 0..n {
+            let s = if r == 0 { s_first } else { 1 };
+            let out_sp = if s == 2 { sp / 2 } else { sp };
+            let exp = in_ch * t;
+            let p = format!("mb{}r{}", bi, r);
+            if t > 1 {
+                layers.push(conv(format!("{p}_expand"), exp, sp, in_ch, 1, 1));
+            }
+            layers.push(dw(format!("{p}_dw"), exp, out_sp, k, s));
+            // Squeeze-and-excitation: global pool + two tiny FCs.
+            let se = (in_ch / 4).max(1);
+            layers.push(pool(format!("{p}_sepool"), exp, 1, out_sp, 1));
+            layers.push(lin(format!("{p}_sefc1"), 1, exp, se));
+            layers.push(lin(format!("{p}_sefc2"), 1, se, exp));
+            layers.push(conv(format!("{p}_project"), c_out, out_sp, exp, 1, 1));
+            if s == 1 && in_ch == c_out {
+                layers.push(add(format!("{p}_add"), c_out, out_sp));
+            }
+            in_ch = c_out;
+            sp = out_sp;
+        }
+    }
+    layers.push(conv("head".into(), 1280, 7, 320, 1, 1));
+    layers.push(pool("avgpool".into(), 1280, 1, 7, 1));
+    layers.push(lin("fc".into(), 1, 1280, 1000));
+    Model {
+        name: "EfficientNet-b0".into(),
+        abbr: "EF".into(),
+        domain: Domain::ComputerVision,
+        family: Family::DwConv,
+        qos_ms: 2.8,
+        layers,
+    }
+}
+
+/// PointPillars \[34\]: pillar feature net + 2-D CNN backbone + SSD head
+/// (Table I: Point cloud / Conv, QoS 100 ms).
+pub fn pointpillars() -> Model {
+    let mut layers = Vec::new();
+    // Pillar feature net: 12k pillars x 32 points, 9 features -> 64.
+    layers.push(lin("pfn".into(), 12_000 * 32, 9, 64));
+    // Pillar scatter produces a 496x432x64 pseudo-image; modelled as an
+    // element-wise pass over the pseudo-image (grouped per channel so
+    // the full 64-channel image is moved).
+    layers.push(Layer::unweighted(
+        "scatter",
+        OpKind::Eltwise,
+        LoopNest {
+            batch: 1,
+            oc: 64,
+            oh: 496,
+            ow: 432,
+            ic: 1,
+            kh: 1,
+            kw: 1,
+            stride: 1,
+            groups: 64,
+            bytes_per_elem: 1,
+        },
+    ));
+    // Backbone block 1: stride-2 then 3x stride-1 at 248x216, 64 ch.
+    layers.push(conv_hw("b1c0".into(), 64, 248, 216, 64, 3, 2));
+    for i in 1..4 {
+        layers.push(conv_hw(format!("b1c{i}"), 64, 248, 216, 64, 3, 1));
+    }
+    // Block 2: 128 ch at 124x108.
+    layers.push(conv_hw("b2c0".into(), 128, 124, 108, 64, 3, 2));
+    for i in 1..6 {
+        layers.push(conv_hw(format!("b2c{i}"), 128, 124, 108, 128, 3, 1));
+    }
+    // Block 3: 256 ch at 62x54.
+    layers.push(conv_hw("b3c0".into(), 256, 62, 54, 128, 3, 2));
+    for i in 1..6 {
+        layers.push(conv_hw(format!("b3c{i}"), 256, 62, 54, 256, 3, 1));
+    }
+    // Upsample heads (deconvs approximated as 1x1 projections at the
+    // common 248x216 resolution).
+    layers.push(conv_hw("up1".into(), 128, 248, 216, 64, 1, 1));
+    layers.push(conv_hw("up2".into(), 128, 248, 216, 128, 1, 1));
+    layers.push(conv_hw("up3".into(), 128, 248, 216, 256, 1, 1));
+    // Detection heads on the concatenated 384-channel map.
+    layers.push(conv_hw("head_cls".into(), 18, 248, 216, 384, 1, 1));
+    layers.push(conv_hw("head_box".into(), 42, 248, 216, 384, 1, 1));
+    layers.push(conv_hw("head_dir".into(), 12, 248, 216, 384, 1, 1));
+    Model {
+        name: "PointPillars".into(),
+        abbr: "PP".into(),
+        domain: Domain::PointCloud,
+        family: Family::Conv,
+        qos_ms: 100.0,
+        layers,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn resnet50_parameter_count() {
+        let m = resnet50();
+        // ~25.5 M parameters (int8 bytes), within 10%.
+        let w = m.total_weight_bytes() as f64;
+        assert!(
+            (w - 25.5e6).abs() / 25.5e6 < 0.10,
+            "ResNet50 weights {w:.2e} B off from ~25.5 MB"
+        );
+        assert_eq!(m.qos_ms, 6.7);
+    }
+
+    #[test]
+    fn resnet50_macs() {
+        // ~4.1 GMACs for 224x224, within 15%.
+        let m = resnet50();
+        let g = m.total_macs() as f64 / 1e9;
+        assert!((g - 4.1).abs() / 4.1 < 0.15, "ResNet50 {g:.2} GMACs");
+    }
+
+    #[test]
+    fn mobilenet_v2_parameter_count() {
+        let m = mobilenet_v2();
+        let w = m.total_weight_bytes() as f64;
+        assert!(
+            (w - 3.4e6).abs() / 3.4e6 < 0.15,
+            "MobileNet-v2 weights {w:.2e} B off from ~3.4 MB"
+        );
+    }
+
+    #[test]
+    fn mobilenet_is_intermediate_heavy() {
+        // Section IV-B1: MB/EF have the largest intermediate proportions.
+        let mb = mobilenet_v2();
+        let rs = resnet50();
+        assert!(mb.intermediate_ratio() > rs.intermediate_ratio());
+        assert!(mb.intermediate_ratio() > 0.5);
+    }
+
+    #[test]
+    fn efficientnet_b0_parameter_count() {
+        let m = efficientnet_b0();
+        let w = m.total_weight_bytes() as f64;
+        // ~5.3 M params in the reference; our SE approximation lands close.
+        assert!(
+            (w - 5.3e6).abs() / 5.3e6 < 0.25,
+            "EfficientNet-b0 weights {w:.2e} B"
+        );
+    }
+
+    #[test]
+    fn pointpillars_is_compute_heavy() {
+        let m = pointpillars();
+        assert!(m.total_macs() > 30_000_000_000, "PP should exceed 30 GMACs");
+        assert_eq!(m.qos_ms, 100.0);
+    }
+
+    #[test]
+    fn all_cnn_layers_have_positive_dims() {
+        for m in [resnet50(), mobilenet_v2(), efficientnet_b0(), pointpillars()] {
+            for l in &m.layers {
+                assert!(l.nest.oc > 0 && l.nest.oh > 0 && l.nest.ow > 0, "{}", l.name);
+                assert!(l.nest.macs() > 0, "{} has zero MACs", l.name);
+            }
+        }
+    }
+}

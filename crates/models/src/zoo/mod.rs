@@ -1,0 +1,93 @@
+//! The multi-tenant benchmark of Table I: eight models spanning four
+//! domains (CV, NLP, audio, point cloud) and four model types (Conv,
+//! DwConv, Transformer, LSTM).
+//!
+//! | Domain | Model | Abbr. | Type | QoS (ms) |
+//! |---|---|---|---|---|
+//! | CV | ResNet50 | RS | Conv | 6.7 |
+//! | CV | MobileNet-v2 | MB | DwConv | 2.8 |
+//! | CV | EfficientNet-b0 | EF | DwConv | 2.8 |
+//! | CV | ViT-base-16 | VT | Trans | 40.0 |
+//! | NLP | BERT-base | BE | Trans | 40.0 |
+//! | NLP | GNMT | GN | LSTM | 6.7 |
+//! | Audio | Wav2Vec2-base | WV | Trans | 16.7 |
+//! | Point cloud | PointPillars | PP | Conv | 100.0 |
+
+mod cnn;
+mod rnn;
+mod transformer;
+
+pub use cnn::{efficientnet_b0, mobilenet_v2, pointpillars, resnet50};
+pub use rnn::gnmt;
+pub use transformer::{bert_base, vit_base16, wav2vec2_base};
+
+use crate::model::Model;
+
+/// All eight benchmark models in Table I order.
+///
+/// # Example
+///
+/// ```
+/// let zoo = camdn_models::zoo::all();
+/// assert_eq!(zoo.len(), 8);
+/// assert_eq!(zoo[0].abbr, "RS");
+/// assert_eq!(zoo[7].abbr, "PP");
+/// ```
+pub fn all() -> Vec<Model> {
+    vec![
+        resnet50(),
+        mobilenet_v2(),
+        efficientnet_b0(),
+        vit_base16(),
+        bert_base(),
+        gnmt(),
+        wav2vec2_base(),
+        pointpillars(),
+    ]
+}
+
+/// Looks a model up by its Table I abbreviation (`"RS"`, `"MB"`, …).
+pub fn by_abbr(abbr: &str) -> Option<Model> {
+    all().into_iter().find(|m| m.abbr == abbr)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_roster() {
+        let zoo = all();
+        let abbrs: Vec<&str> = zoo.iter().map(|m| m.abbr.as_str()).collect();
+        assert_eq!(abbrs, ["RS", "MB", "EF", "VT", "BE", "GN", "WV", "PP"]);
+        let qos: Vec<f64> = zoo.iter().map(|m| m.qos_ms).collect();
+        assert_eq!(qos, [6.7, 2.8, 2.8, 40.0, 40.0, 6.7, 16.7, 100.0]);
+    }
+
+    #[test]
+    fn lookup_by_abbr() {
+        assert_eq!(by_abbr("VT").unwrap().name, "ViT-base-16");
+        assert!(by_abbr("XX").is_none());
+    }
+
+    #[test]
+    fn every_model_is_nontrivial() {
+        for m in all() {
+            assert!(m.num_layers() >= 10 || m.abbr == "GN", "{}", m.name);
+            assert!(m.total_macs() > 100_000_000, "{} too small", m.name);
+            assert!(m.total_weight_bytes() > 1_000_000, "{}", m.name);
+        }
+    }
+
+    #[test]
+    fn model_names_and_layer_names_unique() {
+        let zoo = all();
+        for m in &zoo {
+            let mut names: Vec<&str> = m.layers.iter().map(|l| l.name.as_str()).collect();
+            let before = names.len();
+            names.sort_unstable();
+            names.dedup();
+            assert_eq!(before, names.len(), "{} has duplicate layer names", m.name);
+        }
+    }
+}

@@ -1,0 +1,90 @@
+//! GNMT: the LSTM benchmark model.
+
+use crate::layer::{Layer, OpKind};
+use crate::model::{Domain, Family, Model};
+use crate::nest::LoopNest;
+
+/// Sequence length of the scaled GNMT stack.
+pub const GNMT_SEQ: u64 = 16;
+/// Hidden size of the scaled GNMT stack.
+pub const GNMT_HIDDEN: u64 = 512;
+/// Sub-word vocabulary of the scaled GNMT stack.
+pub const GNMT_VOCAB: u64 = 4096;
+
+/// GNMT \[32\] (Table I: NLP / LSTM, QoS 6.7 ms).
+///
+/// A scaled GNMT-style translation stack (hidden 512, sequence 16,
+/// 4 encoder + 4 decoder layers, 4 Ki sub-word vocabulary). Each LSTM
+/// layer follows the cuDNN decomposition: the *input* gate GEMM
+/// (`X·W_x`) is computed for the whole sequence at once (weights
+/// stationary), while the *recurrent* gate GEMM (`h_{t−1}·W_h`) carries
+/// a sequential dependence — the 1 MiB recurrent matrix is re-swept once
+/// per timestep. That per-step re-sweep is the long-distance weight
+/// reuse Fig. 3 reports for GNMT, and what a model-exclusive cache
+/// region eliminates.
+pub fn gnmt() -> Model {
+    let seq = GNMT_SEQ;
+    let hidden = GNMT_HIDDEN;
+    let mut layers = Vec::new();
+    let stack = |layers: &mut Vec<Layer>, prefix: &str| {
+        for i in 0..4 {
+            layers.push(Layer::new(
+                format!("{prefix}_x{i}"),
+                OpKind::Linear,
+                LoopNest::matmul(seq, hidden, 4 * hidden),
+            ));
+            layers.push(Layer::new(
+                format!("{prefix}_h{i}"),
+                OpKind::Lstm,
+                LoopNest::matmul(seq, hidden, 4 * hidden),
+            ));
+        }
+    };
+    stack(&mut layers, "enc");
+    stack(&mut layers, "dec");
+    // Decoder attention over the encoder states (fused kernel reading
+    // the decoder state and the encoder memory: 2·seq·hidden in).
+    layers.push(Layer::attention("attn", seq, hidden, 1, 2));
+    // Output projection to the (scaled) vocabulary.
+    layers.push(Layer::new(
+        "vocab_proj",
+        OpKind::Linear,
+        LoopNest::matmul(seq, hidden, GNMT_VOCAB),
+    ));
+    Model {
+        name: "GNMT".into(),
+        abbr: "GN".into(),
+        domain: Domain::Nlp,
+        family: Family::Lstm,
+        qos_ms: 6.7,
+        layers,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gnmt_structure() {
+        let m = gnmt();
+        assert_eq!(m.layers.len(), 18);
+        assert_eq!(m.family, Family::Lstm);
+        // 16 gate GEMMs x 1 MiB + 2 MiB vocab projection ~= 19 MB.
+        let w = m.total_weight_bytes() as f64;
+        assert!((w - 19e6).abs() / 19e6 < 0.15, "GNMT weights {w:.2e} B");
+    }
+
+    #[test]
+    fn gnmt_is_weight_dominated() {
+        let m = gnmt();
+        assert!(m.intermediate_ratio() < 0.15, "LSTM traffic is weight-bound");
+    }
+
+    #[test]
+    fn recurrent_layers_are_lstm_kind() {
+        let m = gnmt();
+        let n_rec = m.layers.iter().filter(|l| l.op == OpKind::Lstm).count();
+        assert_eq!(n_rec, 8);
+    }
+}

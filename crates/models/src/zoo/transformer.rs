@@ -1,0 +1,203 @@
+//! Transformer benchmark models: ViT-B/16, BERT-base and Wav2Vec2-base.
+
+use crate::layer::{Layer, OpKind};
+use crate::model::{Domain, Family, Model};
+use crate::nest::LoopNest;
+
+fn lin(name: String, m: u64, k: u64, n: u64) -> Layer {
+    Layer::new(name, OpKind::Linear, LoopNest::matmul(m, k, n))
+}
+
+fn add(name: String, m: u64, d: u64) -> Layer {
+    // Residual add over two seq x d tensors (grouped per channel so both
+    // operands are counted in input_bytes).
+    Layer::unweighted(
+        name,
+        OpKind::Eltwise,
+        LoopNest {
+            batch: 1,
+            oc: d,
+            oh: m,
+            ow: 1,
+            ic: 2,
+            kh: 1,
+            kw: 1,
+            stride: 1,
+            groups: d,
+            bytes_per_elem: 1,
+        },
+    )
+}
+
+/// Appends one standard pre-norm transformer encoder block: QKV
+/// projection, fused multi-head attention (the `seq × seq` score
+/// matrices live in the scratchpad, as in flash-style fused kernels),
+/// output projection, residual add, and the two-layer MLP with its
+/// residual add.
+fn encoder_block(layers: &mut Vec<Layer>, prefix: &str, seq: u64, d: u64, heads: u64, ff: u64) {
+    layers.push(lin(format!("{prefix}_qkv"), seq, d, 3 * d));
+    layers.push(Layer::attention(format!("{prefix}_attn"), seq, d, heads, 3));
+    layers.push(lin(format!("{prefix}_proj"), seq, d, d));
+    layers.push(add(format!("{prefix}_add1"), seq, d));
+    layers.push(lin(format!("{prefix}_fc1"), seq, d, ff));
+    layers.push(lin(format!("{prefix}_fc2"), seq, ff, d));
+    layers.push(add(format!("{prefix}_add2"), seq, d));
+}
+
+/// ViT-Base/16 \[30\] on 224×224 inputs: 196 patch tokens + class token,
+/// 12 encoder layers at d=768 (Table I: CV / Trans, QoS 40 ms).
+pub fn vit_base16() -> Model {
+    let seq = 197u64;
+    let d = 768u64;
+    let mut layers = vec![Layer::new(
+        "patch_embed",
+        OpKind::Conv,
+        LoopNest::conv(d, 14, 14, 3, 16, 16),
+    )];
+    for i in 0..12 {
+        encoder_block(&mut layers, &format!("l{i}"), seq, d, 12, 4 * d);
+    }
+    layers.push(lin("head".into(), 1, d, 1000));
+    Model {
+        name: "ViT-base-16".into(),
+        abbr: "VT".into(),
+        domain: Domain::ComputerVision,
+        family: Family::Transformer,
+        qos_ms: 40.0,
+        layers,
+    }
+}
+
+/// BERT-base \[31\] at sequence length 128, 12 encoder layers at d=768
+/// (Table I: NLP / Trans, QoS 40 ms). Embedding lookup is excluded
+/// (sparse gather, negligible NPU traffic).
+pub fn bert_base() -> Model {
+    let seq = 128u64;
+    let d = 768u64;
+    let mut layers = Vec::new();
+    for i in 0..12 {
+        encoder_block(&mut layers, &format!("l{i}"), seq, d, 12, 4 * d);
+    }
+    layers.push(lin("pooler".into(), 1, d, d));
+    layers.push(lin("classifier".into(), 1, d, 2));
+    Model {
+        name: "BERT-base".into(),
+        abbr: "BE".into(),
+        domain: Domain::Nlp,
+        family: Family::Transformer,
+        qos_ms: 40.0,
+        layers,
+    }
+}
+
+/// Wav2Vec2-base \[33\] on 1 s of 16 kHz audio: a 7-layer 1-D
+/// convolutional feature extractor followed by 12 transformer layers at
+/// d=768 over 49 frames (Table I: Audio / Trans, QoS 16.7 ms).
+pub fn wav2vec2_base() -> Model {
+    let mut layers = Vec::new();
+    // (out length, in channels, kernel, stride) for the conv1d stack.
+    let convs: [(u64, u64, u64, u64); 7] = [
+        (3199, 1, 10, 5),
+        (1599, 512, 3, 2),
+        (799, 512, 3, 2),
+        (399, 512, 3, 2),
+        (199, 512, 3, 2),
+        (99, 512, 2, 2),
+        (49, 512, 2, 2),
+    ];
+    for (i, &(out_len, ic, k, s)) in convs.iter().enumerate() {
+        layers.push(Layer::new(
+            format!("feat{i}"),
+            OpKind::Conv,
+            LoopNest {
+                batch: 1,
+                oc: 512,
+                oh: out_len,
+                ow: 1,
+                ic,
+                kh: k,
+                kw: 1,
+                stride: s,
+                groups: 1,
+                bytes_per_elem: 1,
+            },
+        ));
+    }
+    let seq = 49u64;
+    let d = 768u64;
+    layers.push(lin("feat_proj".into(), seq, 512, d));
+    for i in 0..12 {
+        encoder_block(&mut layers, &format!("l{i}"), seq, d, 12, 4 * d);
+    }
+    layers.push(lin("lm_head".into(), seq, d, 32));
+    Model {
+        name: "Wav2Vec2-base".into(),
+        abbr: "WV".into(),
+        domain: Domain::Audio,
+        family: Family::Transformer,
+        qos_ms: 16.7,
+        layers,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layer::OpKind;
+
+    #[test]
+    fn vit_parameter_count() {
+        let m = vit_base16();
+        let w = m.total_weight_bytes() as f64;
+        // ~86 M params for ViT-B/16.
+        assert!((w - 86e6).abs() / 86e6 < 0.10, "ViT weights {w:.2e} B");
+    }
+
+    #[test]
+    fn bert_parameter_count() {
+        let m = bert_base();
+        let w = m.total_weight_bytes() as f64;
+        // Encoder-only (no embeddings): ~85 M params.
+        assert!((w - 85e6).abs() / 85e6 < 0.10, "BERT weights {w:.2e} B");
+    }
+
+    #[test]
+    fn transformers_have_fused_attention() {
+        for m in [vit_base16(), bert_base(), wav2vec2_base()] {
+            let n_attn = m
+                .layers
+                .iter()
+                .filter(|l| l.op == OpKind::Attention)
+                .count();
+            assert_eq!(n_attn, 12, "{}: one fused attention per layer", m.name);
+        }
+    }
+
+    #[test]
+    fn attention_io_matches_qkv() {
+        let m = bert_base();
+        let attn = m.layers.iter().find(|l| l.op == OpKind::Attention).unwrap();
+        assert_eq!(attn.input_bytes(), 3 * 128 * 768);
+        assert_eq!(attn.output_bytes(), 128 * 768);
+        assert_eq!(attn.static_weight_bytes(), 0);
+        // MACs: QK^T + AV = 2 * seq^2 * d.
+        assert_eq!(attn.nest.macs(), 2 * 128 * 128 * 768);
+    }
+
+    #[test]
+    fn wav2vec2_feature_extractor_shrinks_sequence() {
+        let m = wav2vec2_base();
+        let first = &m.layers[0];
+        let last_conv = &m.layers[6];
+        assert_eq!(first.nest.oh, 3199);
+        assert_eq!(last_conv.nest.oh, 49);
+        // Downsampling factor 16000 -> 49 ~ 320x.
+    }
+
+    #[test]
+    fn vit_macs_magnitude() {
+        // ViT-B/16 is ~17.5 GMACs at 224x224.
+        let g = vit_base16().total_macs() as f64 / 1e9;
+        assert!((g - 17.5).abs() / 17.5 < 0.15, "ViT {g:.2} GMACs");
+    }
+}

@@ -1,0 +1,153 @@
+//! PE-array compute-timing model for a Gemmini-like systolic NPU.
+//!
+//! The evaluated NPU (Table II) is a 32×32 weight-stationary systolic
+//! array. A layer lowered to matrix multiplication maps its *reduction*
+//! dimension (`IC·KH·KW` for convolutions, `K` for matmuls) onto the PE
+//! rows and its *output-channel* dimension onto the PE columns. The model
+//! charges:
+//!
+//! * `macs / (peak · utilization)` active cycles, where utilization is
+//!   the product of row and column occupancy (small reduction dims — e.g.
+//!   depth-wise convolutions with `KH·KW = 9` — waste most rows, which is
+//!   why DW-conv models gain the most from memory-side optimizations);
+//! * a pipeline fill/drain overhead per tile invocation.
+
+use camdn_common::config::NpuConfig;
+use camdn_common::types::Cycle;
+use serde::{Deserialize, Serialize};
+
+/// The compute shape of one layer, as seen by the PE array.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct ComputeSpec {
+    /// Total multiply-accumulates in the layer.
+    pub macs: u64,
+    /// Reduction dimension mapped to PE rows (`IC·KH·KW` or `K`).
+    pub reduction: u64,
+    /// Output-channel dimension mapped to PE columns (`OC` or `N`).
+    pub out_channels: u64,
+    /// Output spatial size (`OH·OW·B` or `M`): the number of output
+    /// vectors streamed through the array.
+    pub spatial: u64,
+}
+
+impl ComputeSpec {
+    /// Fraction of the PE array doing useful work for this shape.
+    ///
+    /// Rows are occupied `reduction / ceil_to(rows)`, columns
+    /// `out_channels / ceil_to(cols)`; both saturate at 1 for large dims.
+    pub fn utilization(&self, cfg: &NpuConfig) -> f64 {
+        fn occupancy(dim: u64, lanes: u64) -> f64 {
+            if dim == 0 {
+                return 0.0;
+            }
+            let folds = dim.div_ceil(lanes);
+            dim as f64 / (folds * lanes) as f64
+        }
+        occupancy(self.reduction, u64::from(cfg.pe_rows))
+            * occupancy(self.out_channels, u64::from(cfg.pe_cols))
+    }
+
+    /// Cycles to execute `macs_in_tile` MACs of this layer in one tile
+    /// invocation, including pipeline fill/drain.
+    pub fn tile_cycles(&self, macs_in_tile: u64, cfg: &NpuConfig) -> Cycle {
+        let util = self.utilization(cfg).max(1e-3);
+        let active = (macs_in_tile as f64 / (cfg.macs_per_cycle as f64 * util)).ceil() as Cycle;
+        let drain = Cycle::from(cfg.pe_rows + cfg.pe_cols);
+        active + drain
+    }
+
+    /// Cycles for the whole layer executed as `tiles` equal invocations.
+    pub fn layer_cycles(&self, tiles: u64, cfg: &NpuConfig) -> Cycle {
+        let tiles = tiles.max(1);
+        let per_tile = self.macs.div_ceil(tiles);
+        self.tile_cycles(per_tile, cfg) * tiles
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> NpuConfig {
+        NpuConfig::paper_default()
+    }
+
+    #[test]
+    fn full_array_reaches_peak() {
+        let s = ComputeSpec {
+            macs: 1 << 20,
+            reduction: 256,
+            out_channels: 256,
+            spatial: 16,
+        };
+        assert!((s.utilization(&cfg()) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn depthwise_wastes_rows() {
+        // Depth-wise 3x3: reduction = 9 of 32 rows occupied.
+        let s = ComputeSpec {
+            macs: 1 << 20,
+            reduction: 9,
+            out_channels: 128,
+            spatial: 196,
+        };
+        let u = s.utilization(&cfg());
+        assert!((u - 9.0 / 32.0).abs() < 1e-12, "got {u}");
+    }
+
+    #[test]
+    fn folding_penalty_for_non_multiples() {
+        // 33 output channels need two column folds: 33/64 occupancy.
+        let s = ComputeSpec {
+            macs: 1,
+            reduction: 32,
+            out_channels: 33,
+            spatial: 1,
+        };
+        assert!((s.utilization(&cfg()) - 33.0 / 64.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn lower_utilization_means_more_cycles() {
+        let dense = ComputeSpec {
+            macs: 1 << 24,
+            reduction: 512,
+            out_channels: 512,
+            spatial: 64,
+        };
+        let dw = ComputeSpec {
+            macs: 1 << 24,
+            reduction: 9,
+            out_channels: 512,
+            spatial: 64,
+        };
+        assert!(dw.layer_cycles(8, &cfg()) > dense.layer_cycles(8, &cfg()));
+    }
+
+    #[test]
+    fn more_tiles_cost_more_drain() {
+        let s = ComputeSpec {
+            macs: 1 << 22,
+            reduction: 256,
+            out_channels: 256,
+            spatial: 64,
+        };
+        let few = s.layer_cycles(2, &cfg());
+        let many = s.layer_cycles(64, &cfg());
+        assert!(many > few);
+    }
+
+    #[test]
+    fn zero_spec_is_safe() {
+        let s = ComputeSpec {
+            macs: 0,
+            reduction: 0,
+            out_channels: 0,
+            spatial: 0,
+        };
+        // Must not panic or divide by zero.
+        let c = s.layer_cycles(1, &cfg());
+        assert!(c >= 64); // drain only
+    }
+}

@@ -1,0 +1,100 @@
+//! The NPU core: identity, private scratchpad accounting and the CPT.
+//!
+//! The heavy lifting of layer execution (issuing memory operations,
+//! advancing time) is orchestrated by `camdn-runtime`; the core holds the
+//! per-NPU architectural state that the paper adds or relies on.
+
+use crate::cpt::{CachePageTable, CptError};
+use camdn_common::config::NpuConfig;
+use camdn_common::types::{Cycle, VirtCacheAddr};
+
+/// Identifier of an NPU core on the SoC.
+pub type NpuId = u32;
+
+/// One NPU core with its private scratchpad and hardware CPT.
+#[derive(Debug, Clone)]
+pub struct NpuCore {
+    id: NpuId,
+    cfg: NpuConfig,
+    cpt: CachePageTable,
+    /// The cycle until which the core is executing its current phase.
+    pub busy_until: Cycle,
+}
+
+impl NpuCore {
+    /// Creates core `id` with a CPT of `cpt_entries` pages of
+    /// `page_bytes` each.
+    pub fn new(id: NpuId, cfg: NpuConfig, cpt_entries: u32, page_bytes: u64) -> Self {
+        NpuCore {
+            id,
+            cfg,
+            cpt: CachePageTable::new(cpt_entries, page_bytes),
+            busy_until: 0,
+        }
+    }
+
+    /// This core's identifier.
+    pub fn id(&self) -> NpuId {
+        self.id
+    }
+
+    /// The core's configuration.
+    pub fn config(&self) -> &NpuConfig {
+        &self.cfg
+    }
+
+    /// Immutable view of the CPT.
+    pub fn cpt(&self) -> &CachePageTable {
+        &self.cpt
+    }
+
+    /// Mutable CPT access (used by the cache scheduler to install and
+    /// remove page mappings at layer boundaries).
+    pub fn cpt_mut(&mut self) -> &mut CachePageTable {
+        &mut self.cpt
+    }
+
+    /// Scratchpad capacity available for double-buffered tiles: half of
+    /// the physical scratchpad, the standard Gemmini discipline.
+    pub fn tile_budget_bytes(&self) -> u64 {
+        self.cfg.scratchpad_bytes / 2
+    }
+
+    /// Convenience: physical pages backing a virtual cache range.
+    ///
+    /// # Errors
+    ///
+    /// Propagates CPT faults ([`CptError`]).
+    pub fn translate_range(
+        &self,
+        vcaddr: VirtCacheAddr,
+        bytes: u64,
+    ) -> Result<Vec<u32>, CptError> {
+        self.cpt.translate_range(vcaddr, bytes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use camdn_common::types::KIB;
+
+    #[test]
+    fn core_construction() {
+        let core = NpuCore::new(3, NpuConfig::paper_default(), 512, 32 * KIB);
+        assert_eq!(core.id(), 3);
+        assert_eq!(core.tile_budget_bytes(), 128 * KIB);
+        assert_eq!(core.cpt().len(), 512);
+    }
+
+    #[test]
+    fn cpt_round_trip_through_core() {
+        let mut core = NpuCore::new(0, NpuConfig::paper_default(), 512, 32 * KIB);
+        core.cpt_mut().map(0, 200).unwrap();
+        core.cpt_mut().map(1, 201).unwrap();
+        let pages = core
+            .translate_range(VirtCacheAddr(0), 64 * KIB)
+            .unwrap();
+        assert_eq!(pages, vec![200, 201]);
+    }
+}

@@ -1,0 +1,292 @@
+//! The hardware cache page table (CPT), Section III-B3 of the paper.
+//!
+//! Each NPU carries a CPT that translates *virtual cache addresses*
+//! (`vcaddr`) into *physical cache addresses* (`pcaddr`). The NPU
+//! subspace is divided into pages of identical size (32 KiB for a 16 MiB
+//! cache); the CPT maps the virtual cache page number (`vcpn`) of an
+//! address to a physical cache page number (`pcpn`). With 512 entries of
+//! at most 3 bytes each, the CPT costs 1.5 KiB of SRAM — the "negligible
+//! overhead" quantified in Table III.
+
+use camdn_common::types::VirtCacheAddr;
+use serde::{Deserialize, Serialize};
+
+/// Errors raised by CPT translation and mapping.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CptError {
+    /// The virtual page has no valid mapping.
+    Unmapped {
+        /// Virtual cache page number that faulted.
+        vcpn: u32,
+    },
+    /// The virtual page number exceeds the table size.
+    OutOfRange {
+        /// Offending virtual cache page number.
+        vcpn: u32,
+        /// Number of entries in the table.
+        entries: u32,
+    },
+    /// Attempt to map over an existing valid entry.
+    AlreadyMapped {
+        /// Offending virtual cache page number.
+        vcpn: u32,
+        /// The physical page it currently maps to.
+        pcpn: u32,
+    },
+}
+
+impl std::fmt::Display for CptError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CptError::Unmapped { vcpn } => write!(f, "vcpn {vcpn} is not mapped"),
+            CptError::OutOfRange { vcpn, entries } => {
+                write!(f, "vcpn {vcpn} out of range (CPT has {entries} entries)")
+            }
+            CptError::AlreadyMapped { vcpn, pcpn } => {
+                write!(f, "vcpn {vcpn} already mapped to pcpn {pcpn}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CptError {}
+
+/// A per-NPU hardware page table for the NPU subspace of the shared cache.
+///
+/// # Example
+///
+/// ```
+/// use camdn_npu::cpt::CachePageTable;
+/// use camdn_common::types::VirtCacheAddr;
+///
+/// let mut cpt = CachePageTable::new(512, 32 * 1024);
+/// cpt.map(0, 130)?;
+/// let (pcpn, off) = cpt.translate(VirtCacheAddr(100))?;
+/// assert_eq!((pcpn, off), (130, 100));
+/// # Ok::<(), camdn_npu::cpt::CptError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CachePageTable {
+    entries: Vec<Option<u32>>,
+    page_bytes: u64,
+}
+
+impl CachePageTable {
+    /// Creates an empty table with `entries` slots for pages of
+    /// `page_bytes` bytes.
+    pub fn new(entries: u32, page_bytes: u64) -> Self {
+        assert!(page_bytes.is_power_of_two(), "page size must be 2^n");
+        CachePageTable {
+            entries: vec![None; entries as usize],
+            page_bytes,
+        }
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> u32 {
+        self.entries.len() as u32
+    }
+
+    /// True if the table has no entries at all (never the case in
+    /// practice, but required for API completeness).
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Page size in bytes.
+    pub fn page_bytes(&self) -> u64 {
+        self.page_bytes
+    }
+
+    /// Installs a mapping `vcpn → pcpn`.
+    ///
+    /// # Errors
+    ///
+    /// [`CptError::OutOfRange`] or [`CptError::AlreadyMapped`].
+    pub fn map(&mut self, vcpn: u32, pcpn: u32) -> Result<(), CptError> {
+        let entries = self.entries.len() as u32;
+        let slot = self
+            .entries
+            .get_mut(vcpn as usize)
+            .ok_or(CptError::OutOfRange { vcpn, entries })?;
+        if let Some(existing) = *slot {
+            return Err(CptError::AlreadyMapped {
+                vcpn,
+                pcpn: existing,
+            });
+        }
+        *slot = Some(pcpn);
+        Ok(())
+    }
+
+    /// Removes the mapping for `vcpn`, returning the physical page it held.
+    ///
+    /// # Errors
+    ///
+    /// [`CptError::OutOfRange`] or [`CptError::Unmapped`].
+    pub fn unmap(&mut self, vcpn: u32) -> Result<u32, CptError> {
+        let entries = self.entries.len() as u32;
+        let slot = self
+            .entries
+            .get_mut(vcpn as usize)
+            .ok_or(CptError::OutOfRange { vcpn, entries })?;
+        slot.take().ok_or(CptError::Unmapped { vcpn })
+    }
+
+    /// Removes every mapping, returning the physical pages that were held.
+    pub fn unmap_all(&mut self) -> Vec<u32> {
+        self.entries.iter_mut().filter_map(|e| e.take()).collect()
+    }
+
+    /// Translates a virtual cache address to `(pcpn, page_offset)`.
+    ///
+    /// # Errors
+    ///
+    /// [`CptError::OutOfRange`] or [`CptError::Unmapped`].
+    pub fn translate(&self, vcaddr: VirtCacheAddr) -> Result<(u32, u64), CptError> {
+        let vcpn = vcaddr.vcpn(self.page_bytes) as u32;
+        let slot = self.entries.get(vcpn as usize).ok_or(CptError::OutOfRange {
+            vcpn,
+            entries: self.entries.len() as u32,
+        })?;
+        slot.map(|pcpn| (pcpn, vcaddr.page_offset(self.page_bytes)))
+            .ok_or(CptError::Unmapped { vcpn })
+    }
+
+    /// Physical pages backing the byte range `[vcaddr, vcaddr + bytes)`,
+    /// one entry per virtual page touched, in order.
+    ///
+    /// # Errors
+    ///
+    /// Fails on the first unmapped or out-of-range page.
+    pub fn translate_range(
+        &self,
+        vcaddr: VirtCacheAddr,
+        bytes: u64,
+    ) -> Result<Vec<u32>, CptError> {
+        if bytes == 0 {
+            return Ok(Vec::new());
+        }
+        let first = vcaddr.vcpn(self.page_bytes);
+        let last = VirtCacheAddr(vcaddr.0 + bytes - 1).vcpn(self.page_bytes);
+        (first..=last)
+            .map(|v| {
+                self.translate(VirtCacheAddr(v * self.page_bytes))
+                    .map(|(p, _)| p)
+            })
+            .collect()
+    }
+
+    /// Number of valid mappings.
+    pub fn mapped_count(&self) -> u32 {
+        self.entries.iter().filter(|e| e.is_some()).count() as u32
+    }
+
+    /// SRAM cost of this table in bytes: 3 bytes per entry (pcpn + valid
+    /// bit), per Section III-B3.
+    pub fn sram_bytes(&self) -> u64 {
+        self.entries.len() as u64 * 3
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use camdn_common::types::KIB;
+
+    fn cpt() -> CachePageTable {
+        CachePageTable::new(512, 32 * KIB)
+    }
+
+    #[test]
+    fn paper_sram_overhead() {
+        // "a hardware-based CPT has at most 512 entries, each of which
+        // needs at most 3 bytes ... resulting in a total 1.5KB SRAM".
+        assert_eq!(cpt().sram_bytes(), 1536);
+    }
+
+    #[test]
+    fn map_translate_roundtrip() {
+        let mut t = cpt();
+        t.map(3, 200).unwrap();
+        let (pcpn, off) = t.translate(VirtCacheAddr(3 * 32 * KIB + 77)).unwrap();
+        assert_eq!(pcpn, 200);
+        assert_eq!(off, 77);
+    }
+
+    #[test]
+    fn unmapped_translation_faults() {
+        let t = cpt();
+        assert_eq!(
+            t.translate(VirtCacheAddr(0)),
+            Err(CptError::Unmapped { vcpn: 0 })
+        );
+    }
+
+    #[test]
+    fn out_of_range_vcpn_faults() {
+        let t = cpt();
+        let too_far = VirtCacheAddr(512 * 32 * KIB);
+        assert!(matches!(
+            t.translate(too_far),
+            Err(CptError::OutOfRange { vcpn: 512, .. })
+        ));
+    }
+
+    #[test]
+    fn double_map_rejected() {
+        let mut t = cpt();
+        t.map(1, 130).unwrap();
+        assert_eq!(
+            t.map(1, 131),
+            Err(CptError::AlreadyMapped { vcpn: 1, pcpn: 130 })
+        );
+    }
+
+    #[test]
+    fn unmap_returns_page() {
+        let mut t = cpt();
+        t.map(9, 300).unwrap();
+        assert_eq!(t.unmap(9), Ok(300));
+        assert_eq!(t.unmap(9), Err(CptError::Unmapped { vcpn: 9 }));
+    }
+
+    #[test]
+    fn translate_range_lists_pages_in_order() {
+        let mut t = cpt();
+        t.map(0, 140).unwrap();
+        t.map(1, 141).unwrap();
+        t.map(2, 139).unwrap();
+        let pages = t
+            .translate_range(VirtCacheAddr(10), 2 * 32 * KIB)
+            .unwrap();
+        assert_eq!(pages, vec![140, 141, 142 - 3]);
+    }
+
+    #[test]
+    fn translate_range_empty() {
+        let t = cpt();
+        assert_eq!(t.translate_range(VirtCacheAddr(0), 0).unwrap(), vec![]);
+    }
+
+    #[test]
+    fn translate_range_fails_on_hole() {
+        let mut t = cpt();
+        t.map(0, 140).unwrap();
+        // Page 1 missing.
+        assert!(t
+            .translate_range(VirtCacheAddr(0), 33 * KIB)
+            .is_err());
+    }
+
+    #[test]
+    fn unmap_all_drains() {
+        let mut t = cpt();
+        t.map(0, 140).unwrap();
+        t.map(5, 150).unwrap();
+        let mut pages = t.unmap_all();
+        pages.sort_unstable();
+        assert_eq!(pages, vec![140, 150]);
+        assert_eq!(t.mapped_count(), 0);
+    }
+}

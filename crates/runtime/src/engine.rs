@@ -1,0 +1,953 @@
+//! The multi-tenant execution engine.
+//!
+//! A discrete-event simulation of co-located DNN tasks on the
+//! NPU-integrated SoC of Table II. Each task is a state machine that
+//! acquires an NPU, walks its model's layers, and for every layer
+//! executes the phase plan produced by the mapper. All tasks share the
+//! DRAM channels and the shared cache, which is where the multi-tenant
+//! interference — and CaMDN's advantage — comes from.
+//!
+//! Five system configurations are supported ([`PolicyKind`]):
+//!
+//! * [`PolicyKind::SharedBaseline`] — plain transparent shared cache
+//!   (the motivation experiment of Fig. 2);
+//! * [`PolicyKind::Moca`] — MoCA-style dynamic memory-bandwidth
+//!   partitioning \[8\] on a transparent cache;
+//! * [`PolicyKind::Aurora`] — AuRORA-style dynamic NPU + bandwidth
+//!   co-allocation \[13\] on a transparent cache;
+//! * [`PolicyKind::CamdnHwOnly`] — CaMDN architecture with a static
+//!   equal split of the NPU subspace;
+//! * [`PolicyKind::CamdnFull`] — the full architecture-scheduling
+//!   co-design (Algorithm 1; in QoS mode it runs AuRORA's bandwidth/NPU
+//!   allocation on top, as in Section IV-A3).
+
+use crate::layout::TaskLayout;
+use crate::task::{InferenceRecord, Task, TaskState};
+use camdn_cache::{Nec, SharedCache};
+use camdn_common::config::SocConfig;
+use camdn_common::types::{cycles_to_ms, ms_to_cycles, Cycle};
+use camdn_common::{EventQueue, SimRng};
+use camdn_core::{
+    install_region, teardown_region, CandidateRef, Decision, DynamicAllocator, PageAllocator,
+    RegionError, StaticPolicy,
+};
+use camdn_dram::DramModel;
+use camdn_mapper::{
+    lower, map_model, LowerMode, MapperConfig, MappingCandidate, ModelMapping, PlanSizes, Route,
+    TensorKind,
+};
+use camdn_models::{Model, WeightClass};
+use camdn_npu::NpuCore;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Which system configuration the engine simulates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum PolicyKind {
+    /// Plain shared transparent cache, no resource scheduling.
+    SharedBaseline,
+    /// Dynamic memory-bandwidth partitioning (MoCA).
+    Moca,
+    /// Dynamic NPU + bandwidth co-allocation (AuRORA).
+    Aurora,
+    /// CaMDN architecture with static equal cache split.
+    CamdnHwOnly,
+    /// Full CaMDN co-design (Algorithm 1).
+    CamdnFull,
+}
+
+impl PolicyKind {
+    /// True for the two CaMDN variants (NPU-controlled cache).
+    pub fn is_camdn(&self) -> bool {
+        matches!(self, PolicyKind::CamdnHwOnly | PolicyKind::CamdnFull)
+    }
+
+    /// Display label used by the experiment harness.
+    pub fn label(&self) -> &'static str {
+        match self {
+            PolicyKind::SharedBaseline => "Baseline",
+            PolicyKind::Moca => "MoCA",
+            PolicyKind::Aurora => "AuRORA",
+            PolicyKind::CamdnHwOnly => "CaMDN(HW-only)",
+            PolicyKind::CamdnFull => "CaMDN(Full)",
+        }
+    }
+}
+
+/// Engine configuration.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EngineConfig {
+    /// SoC parameters (Table II).
+    pub soc: SocConfig,
+    /// System configuration to simulate.
+    pub policy: PolicyKind,
+    /// RNG seed (dispatch jitter, NPU choice).
+    pub seed: u64,
+    /// Inferences per task.
+    pub rounds_per_task: u32,
+    /// Leading inferences per task excluded from statistics (cache
+    /// warm-up).
+    pub warmup_rounds: u32,
+    /// QoS mode: deadline scale over Table I targets (0.8 = QoS-H,
+    /// 1.0 = QoS-M, 1.2 = QoS-L). `None` = closed-loop speedup mode.
+    pub qos_scale: Option<f64>,
+    /// Bandwidth/NPU reallocation epoch for MoCA/AuRORA/CaMDN-QoS.
+    pub epoch_cycles: Cycle,
+    /// Offline mapper settings.
+    pub mapper: MapperConfig,
+}
+
+impl EngineConfig {
+    /// Speedup-experiment configuration (Section IV-A4) for a policy.
+    pub fn speedup(policy: PolicyKind) -> Self {
+        EngineConfig {
+            soc: SocConfig::paper_default(),
+            policy,
+            seed: 0xCA3D41,
+            rounds_per_task: 3,
+            warmup_rounds: 1,
+            qos_scale: None,
+            epoch_cycles: 200_000,
+            mapper: MapperConfig::paper_default(),
+        }
+    }
+
+    /// QoS-experiment configuration for a policy at a deadline scale.
+    pub fn qos(policy: PolicyKind, scale: f64) -> Self {
+        EngineConfig {
+            qos_scale: Some(scale),
+            ..EngineConfig::speedup(policy)
+        }
+    }
+}
+
+/// Per-task summary of a run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TaskSummary {
+    /// Model abbreviation (Table I).
+    pub abbr: String,
+    /// QoS target in ms.
+    pub qos_ms: f64,
+    /// Measured inferences (after warm-up).
+    pub inferences: usize,
+    /// Mean end-to-end latency, ms.
+    pub mean_latency_ms: f64,
+    /// Mean DRAM traffic per inference, MB.
+    pub mean_dram_mb: f64,
+    /// SLA satisfaction rate (QoS mode).
+    pub sla_rate: f64,
+}
+
+/// Aggregate result of one engine run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RunResult {
+    /// Which policy produced this result.
+    pub policy: PolicyKind,
+    /// Per-task summaries in task order.
+    pub tasks: Vec<TaskSummary>,
+    /// Shared-cache hit rate (transparent path for baselines; controlled
+    /// hits over all NPU line movements for CaMDN).
+    pub cache_hit_rate: f64,
+    /// Mean of per-task mean latencies, ms.
+    pub avg_latency_ms: f64,
+    /// Mean DRAM traffic per model inference, MB.
+    pub mem_mb_per_model: f64,
+    /// Wall-clock span of the simulation, ms.
+    pub makespan_ms: f64,
+    /// Line transfers saved by multicast, MB.
+    pub multicast_saved_mb: f64,
+}
+
+/// The multi-tenant discrete-event engine.
+pub struct Engine {
+    cfg: EngineConfig,
+    models: Vec<Model>,
+    mappings: Vec<ModelMapping>,
+    tasks: Vec<Task>,
+    npus_free: Vec<bool>,
+    npu_cores: Vec<NpuCore>,
+    dram: DramModel,
+    cache: SharedCache,
+    nec: Nec,
+    alloc: PageAllocator,
+    dynalloc: DynamicAllocator,
+    static_policy: StaticPolicy,
+    events: EventQueue<u32>,
+    rng: SimRng,
+    npu_waiters: Vec<u32>,
+    page_waiters: Vec<u32>,
+    next_epoch: Cycle,
+    /// Rough isolated-latency estimate per model (for urgency).
+    iso_est: Vec<Cycle>,
+    now: Cycle,
+}
+
+impl Engine {
+    /// Builds an engine with one task per entry of `task_models`.
+    pub fn new(cfg: EngineConfig, task_models: &[Model]) -> Self {
+        let cache_cfg = cfg.soc.cache;
+        let mut cache = SharedCache::new(&cache_cfg);
+        let mut dram = DramModel::new(cfg.soc.dram, cache_cfg.line_bytes);
+        let nec = Nec::new(&cache_cfg);
+        if cfg.policy.is_camdn() {
+            cache.partition_ways(cache_cfg.npu_ways, 0, &mut dram);
+        }
+        let alloc = PageAllocator::new(nec.first_pcpn(), nec.npu_pages());
+
+        // Distinct models are mapped once and shared.
+        let mut models: Vec<Model> = Vec::new();
+        let mut mappings: Vec<ModelMapping> = Vec::new();
+        let mut index: HashMap<String, usize> = HashMap::new();
+        let mut tasks = Vec::with_capacity(task_models.len());
+        for (tid, m) in task_models.iter().enumerate() {
+            let midx = *index.entry(m.name.clone()).or_insert_with(|| {
+                models.push(m.clone());
+                mappings.push(map_model(m, &cfg.mapper));
+                models.len() - 1
+            });
+            tasks.push(Task::new(tid as u32, midx, TaskLayout::new(tid as u32, m)));
+        }
+        let iso_est = mappings
+            .iter()
+            .map(|mm| mm.baseline.iter().map(|c| c.est_cycles).sum())
+            .collect();
+
+        let n = task_models.len();
+        let cpt_entries = (cache_cfg.total_bytes / cache_cfg.page_bytes) as u32;
+        Engine {
+            static_policy: StaticPolicy::equal_split(nec.npu_pages(), n as u32),
+            dynalloc: DynamicAllocator::new(n),
+            rng: SimRng::new(cfg.seed),
+            npus_free: vec![true; cfg.soc.npu.cores as usize],
+            npu_cores: (0..cfg.soc.npu.cores)
+                .map(|i| NpuCore::new(i, cfg.soc.npu, cpt_entries, cache_cfg.page_bytes))
+                .collect(),
+            events: EventQueue::new(),
+            npu_waiters: Vec::new(),
+            page_waiters: Vec::new(),
+            next_epoch: cfg.epoch_cycles,
+            now: 0,
+            cfg,
+            models,
+            mappings,
+            tasks,
+            dram,
+            cache,
+            nec,
+            alloc,
+            iso_est,
+        }
+    }
+
+    /// Overrides Algorithm 1's look-ahead fraction (paper default 0.2);
+    /// used by the ablation harness.
+    pub fn set_lookahead(&mut self, factor: f64) {
+        self.dynalloc.lookahead = factor;
+    }
+
+    fn shares_active(&self) -> bool {
+        self.cfg.qos_scale.is_some()
+            && matches!(
+                self.cfg.policy,
+                PolicyKind::Moca | PolicyKind::Aurora | PolicyKind::CamdnFull
+            )
+    }
+
+    fn groups_active(&self) -> bool {
+        self.cfg.qos_scale.is_some()
+            && matches!(self.cfg.policy, PolicyKind::Aurora | PolicyKind::CamdnFull)
+    }
+
+    fn deadline_cycles(&self, model_idx: usize) -> Option<Cycle> {
+        self.cfg
+            .qos_scale
+            .map(|s| ms_to_cycles(self.models[model_idx].qos_ms * s))
+    }
+
+    /// Runs the simulation to completion and aggregates the results.
+    pub fn run(&mut self) -> RunResult {
+        // Stagger arrivals so tasks do not execute in lock-step.
+        for tid in 0..self.tasks.len() as u32 {
+            let jitter = self.rng.next_below(50_000);
+            self.events.push(jitter, tid);
+        }
+        while let Some((now, tid)) = self.events.pop() {
+            self.now = now.max(self.now);
+            self.maybe_rebalance();
+            self.step(tid, now);
+        }
+        self.aggregate()
+    }
+
+    // ---------------------------------------------------------------
+    // Scheduling epochs (MoCA / AuRORA / CaMDN-QoS)
+    // ---------------------------------------------------------------
+
+    fn maybe_rebalance(&mut self) {
+        if !self.shares_active() || self.now < self.next_epoch {
+            return;
+        }
+        self.next_epoch = self.now + self.cfg.epoch_cycles;
+        // Urgency: predicted completion vs deadline of the inference in
+        // flight. Tasks behind schedule receive larger bandwidth shares
+        // (MoCA) and more NPUs (AuRORA).
+        let mut urgencies = vec![0.0f64; self.tasks.len()];
+        let mut total = 0.0;
+        for (i, t) in self.tasks.iter().enumerate() {
+            if t.state == TaskState::Done {
+                continue;
+            }
+            let deadline = self.deadline_cycles(t.model_idx).unwrap_or(1) as f64;
+            let layers = self.models[t.model_idx].layers.len();
+            let frac_left = 1.0 - t.cur_layer as f64 / layers as f64;
+            let elapsed = self.now.saturating_sub(t.inference_start) as f64;
+            let predicted = elapsed + self.iso_est[t.model_idx] as f64 * frac_left;
+            let u = (predicted / deadline).clamp(0.05, 20.0);
+            urgencies[i] = u;
+            total += u;
+        }
+        if total <= 0.0 {
+            return;
+        }
+        let npu_budget = self.npus_free.len() as f64;
+        for (i, t) in self.tasks.iter_mut().enumerate() {
+            if t.state == TaskState::Done {
+                continue;
+            }
+            t.bw_share = (urgencies[i] / total).max(0.02);
+            t.npu_quota = ((urgencies[i] / total * npu_budget).round() as u32).clamp(1, 4);
+        }
+    }
+
+    // ---------------------------------------------------------------
+    // Task state machine
+    // ---------------------------------------------------------------
+
+    fn step(&mut self, tid: u32, now: Cycle) {
+        match self.tasks[tid as usize].state.clone() {
+            TaskState::WaitingNpu => self.try_dispatch(tid, now),
+            TaskState::WaitingPages { decision } => {
+                self.try_begin_layer(tid, now, Some(decision));
+            }
+            TaskState::Running { phase_idx } => {
+                // Stale wake (page-release or timeout event from an
+                // earlier wait): the phase is not actually done yet.
+                if now < self.tasks[tid as usize].phase_end {
+                    return;
+                }
+                // The wake marks the end of phase `phase_idx`'s memory
+                // (double buffering: its compute overlaps the next
+                // phase's transfers).
+                let n_phases = {
+                    let t = &self.tasks[tid as usize];
+                    t.plan.as_ref().map(|p| p.phases.len()).unwrap_or(0)
+                };
+                {
+                    let t = &mut self.tasks[tid as usize];
+                    if phase_idx < n_phases {
+                        let plan = t.plan.as_ref().expect("running task has a plan");
+                        let c = plan.phases[phase_idx].compute_cycles;
+                        let eff = if t.group > 1 { 0.9 } else { 1.0 };
+                        let adj = (c as f64 / (f64::from(t.group) * eff)).ceil() as Cycle;
+                        t.compute_horizon = t.compute_horizon.max(now) + adj;
+                    }
+                }
+                if phase_idx + 1 < n_phases {
+                    self.exec_phase(tid, now, phase_idx + 1);
+                } else {
+                    // All memory done; drain the PE pipeline then retire.
+                    let drain = self.tasks[tid as usize].compute_horizon.max(now);
+                    if drain > now {
+                        let t = &mut self.tasks[tid as usize];
+                        t.state = TaskState::Running { phase_idx: n_phases };
+                        t.phase_end = drain;
+                        self.events.push(drain, tid);
+                    } else {
+                        self.finish_layer(tid, now);
+                    }
+                }
+            }
+            TaskState::Done => {}
+        }
+    }
+
+    fn free_npu_count(&self) -> usize {
+        self.npus_free.iter().filter(|f| **f).count()
+    }
+
+    fn try_dispatch(&mut self, tid: u32, now: Cycle) {
+        let want = if self.groups_active() {
+            self.tasks[tid as usize].npu_quota.max(1)
+        } else {
+            1
+        };
+        let free = self.free_npu_count();
+        if free == 0 {
+            if !self.npu_waiters.contains(&tid) {
+                self.npu_waiters.push(tid);
+            }
+            return;
+        }
+        let take = (want as usize).min(free);
+        // "Randomly dispatch each model task to one NPU": pick the
+        // primary NPU at random among the free ones.
+        let mut free_ids: Vec<usize> = (0..self.npus_free.len())
+            .filter(|&i| self.npus_free[i])
+            .collect();
+        self.rng.shuffle(&mut free_ids);
+        let assigned: Vec<usize> = free_ids.into_iter().take(take).collect();
+        for &n in &assigned {
+            self.npus_free[n] = false;
+        }
+        let t = &mut self.tasks[tid as usize];
+        t.npus = assigned;
+        t.group = take as u32;
+        t.cur_layer = 0;
+        t.inference_start = now;
+        t.inference_dram = 0;
+        self.try_begin_layer(tid, now, None);
+    }
+
+    fn mct_of(&self, tid: u32) -> &camdn_mapper::Mct {
+        let t = &self.tasks[tid as usize];
+        &self.mappings[t.model_idx].mcts[t.cur_layer]
+    }
+
+    fn plan_sizes(&self, tid: u32) -> PlanSizes {
+        let t = &self.tasks[tid as usize];
+        let layer = &self.models[t.model_idx].layers[t.cur_layer];
+        PlanSizes {
+            weight: layer.weight_operand_bytes(),
+            input: layer.input_bytes(),
+            output: layer.output_bytes(),
+            bias: match layer.weight_class {
+                WeightClass::Static => layer.nest.bias_bytes(),
+                _ => 0,
+            },
+        }
+    }
+
+    /// Begins the current layer of `tid`: candidate selection, page
+    /// acquisition (with Algorithm 1's timeout/degrade protocol for
+    /// CaMDN-Full) and plan lowering.
+    fn try_begin_layer(&mut self, tid: u32, now: Cycle, pending: Option<Decision>) {
+        let policy = self.cfg.policy;
+        if !policy.is_camdn() {
+            // Baselines: cache-unaware candidate, transparent lowering.
+            let t = &self.tasks[tid as usize];
+            let cand = self.mappings[t.model_idx].baseline[t.cur_layer].clone();
+            self.start_plan(tid, now, &cand, LowerMode::Transparent, false);
+            return;
+        }
+
+        let mct = self.mct_of(tid).clone();
+        let lbm_active = self.tasks[tid as usize].lbm_block == Some(mct.block.id);
+        let mut decision = match (policy, pending) {
+            (_, Some(d)) => d,
+            (PolicyKind::CamdnHwOnly, None) => self.static_policy.select(&mct, lbm_active),
+            (PolicyKind::CamdnFull, None) => {
+                self.dynalloc
+                    .select(now, tid, &mct, self.alloc.idle_pages())
+            }
+            _ => unreachable!("non-CaMDN policies handled above"),
+        };
+
+        loop {
+            let is_lbm = decision.candidate == CandidateRef::Lbm;
+            let cand = self.dynalloc.resolve(&mct, &decision).clone();
+            // LBM layers past the head reuse the block grant: no pages.
+            let needs_pages = decision.pneed > 0;
+            if needs_pages {
+                let primary = self.tasks[tid as usize].npus[0];
+                match install_region(
+                    tid,
+                    &cand,
+                    &mut self.alloc,
+                    &mut self.nec,
+                    &mut self.npu_cores[primary],
+                ) {
+                    Ok(grant) => {
+                        let t = &mut self.tasks[tid as usize];
+                        if is_lbm {
+                            t.lbm_grant = Some(grant);
+                            t.lbm_block = Some(mct.block.id);
+                            self.dynalloc.enable_lbm(t.id, mct.block.id);
+                        } else {
+                            t.lwm_grant = Some(grant);
+                        }
+                    }
+                    Err(RegionError::Alloc(_)) => {
+                        match policy {
+                            PolicyKind::CamdnFull => {
+                                // Wait for pages until the timeout, then
+                                // degrade to a cheaper candidate.
+                                let expired =
+                                    decision.timeout.map(|dl| now >= dl).unwrap_or(true);
+                                if expired {
+                                    decision = self.dynalloc.degrade(&mct, decision.pneed);
+                                    continue;
+                                }
+                                let t = &mut self.tasks[tid as usize];
+                                t.state = TaskState::WaitingPages { decision };
+                                if let Some(dl) = decision.timeout {
+                                    self.events.push(dl, tid);
+                                }
+                                if !self.page_waiters.contains(&tid) {
+                                    self.page_waiters.push(tid);
+                                }
+                                return;
+                            }
+                            _ => {
+                                // Static quotas guarantee availability;
+                                // degrade defensively if they ever don't.
+                                decision = self.dynalloc.degrade(&mct, decision.pneed);
+                                continue;
+                            }
+                        }
+                    }
+                    Err(e) => panic!("region install invariant broken: {e}"),
+                }
+            } else if is_lbm && mct.block.is_head {
+                // Head with zero-page LBM (empty block) — treat as enable.
+                self.tasks[tid as usize].lbm_block = Some(mct.block.id);
+                self.dynalloc.enable_lbm(tid, mct.block.id);
+            }
+            self.page_waiters.retain(|&w| w != tid);
+            if policy == PolicyKind::CamdnFull {
+                // Book-keeping for predAvailPages: when this task will
+                // reallocate next and how much it will need.
+                let t = &self.tasks[tid as usize];
+                let next_p = self.mappings[t.model_idx]
+                    .mcts
+                    .get(t.cur_layer + 1)
+                    .map(|m| m.lwm[m.lwm.len() / 2].pneed)
+                    .unwrap_or(0);
+                let held = self.alloc.held_by(t.id);
+                self.dynalloc
+                    .note_alloc(t.id, held, now + cand.est_cycles, next_p);
+            }
+            self.start_plan(tid, now, &cand, LowerMode::Camdn, is_lbm);
+            return;
+        }
+    }
+
+    fn start_plan(
+        &mut self,
+        tid: u32,
+        now: Cycle,
+        cand: &MappingCandidate,
+        mode: LowerMode,
+        is_lbm: bool,
+    ) {
+        let sizes = self.plan_sizes(tid);
+        let plan = lower(cand, sizes, mode);
+        let t = &mut self.tasks[tid as usize];
+        t.plan = Some(plan);
+        t.cur_is_lbm = is_lbm;
+        self.exec_phase(tid, now, 0);
+    }
+
+    // ---------------------------------------------------------------
+    // Phase execution: the memory system interaction
+    // ---------------------------------------------------------------
+
+    #[allow(clippy::too_many_lines)]
+    fn exec_phase(&mut self, tid: u32, now: Cycle, idx: usize) {
+        let throttled = self.shares_active();
+        let peak_bw = self.cfg.soc.dram.bytes_per_cycle;
+        let line = self.cfg.soc.cache.line_bytes;
+        let full_mask = self.cache.full_way_mask();
+        let dram_before = self.dram.stats().total_bytes();
+
+        let t = &self.tasks[tid as usize];
+        let model_idx = t.model_idx;
+        let cur_layer = t.cur_layer;
+        let group = t.group;
+        let layer = &self.models[model_idx].layers[cur_layer];
+        let weight_is_act = layer.weight_class == WeightClass::Activation;
+        let weight_is_static = layer.weight_class == WeightClass::Static;
+        let input_bytes = layer.input_bytes();
+        let plan = t.plan.as_ref().expect("running task must have a plan");
+        let phase = plan.phases[idx].clone();
+        let layout = t.layout.clone();
+        let bw_share = t.bw_share;
+        let mut bw_gate = t.bw_gate;
+        // Pages backing this layer's cached regions: the block grant when
+        // the layer runs its LBM candidate, its own LWM grant otherwise.
+        let region_pages: Vec<u32> = if t.cur_is_lbm {
+            t.lbm_grant.as_ref().map(|g| g.pages.clone()).unwrap_or_default()
+        } else {
+            t.lwm_grant.as_ref().map(|g| g.pages.clone()).unwrap_or_default()
+        };
+
+        let mut mem_finish = now;
+        for tr in &phase.transfers {
+            let lines = tr.bytes.div_ceil(line);
+            let addr = layout.addr_of(cur_layer, tr.tensor, weight_is_act, input_bytes, tr.offset);
+            // Bandwidth regulation: DRAM-touching transfers may not start
+            // before the task's bandwidth gate.
+            let (start, delay) = if throttled && tr.route.touches_dram() {
+                let start = now.max(bw_gate);
+                (start, start - now)
+            } else {
+                (now, 0)
+            };
+            let multicast = group > 1 && tr.tensor == TensorKind::Weight && weight_is_static;
+            let done = match tr.route {
+                Route::Transparent => {
+                    // A multi-NPU group fetches its weights once per NPU;
+                    // repeats usually hit in the shared cache.
+                    let reps = if multicast { group } else { 1 };
+                    let mut fin = start;
+                    for _ in 0..reps {
+                        let out = self.cache.access_range(
+                            start, addr, tr.bytes, tr.write, full_mask, &mut self.dram,
+                        );
+                        fin = fin.max(out.finish);
+                    }
+                    fin
+                }
+                Route::BypassRead => {
+                    if multicast {
+                        self.nec
+                            .multicast_bypass_read(start, addr, lines, group, &mut self.dram, 0)
+                    } else {
+                        self.nec.bypass_read(start, addr, lines, &mut self.dram, 0)
+                    }
+                }
+                Route::BypassWrite => {
+                    self.nec.bypass_write(start, addr, lines, &mut self.dram, 0)
+                }
+                Route::Fill => self
+                    .nec
+                    .fill(start, tid, &region_pages, addr, lines, &mut self.dram, 0)
+                    .expect("fill on owned pages"),
+                Route::CacheRead => {
+                    if multicast {
+                        self.nec
+                            .multicast_read(start, tid, &region_pages, lines, group)
+                            .expect("multicast read on owned pages")
+                    } else {
+                        self.nec
+                            .read(start, tid, &region_pages, lines)
+                            .expect("read on owned pages")
+                    }
+                }
+                Route::CacheWrite => self
+                    .nec
+                    .write(start, tid, &region_pages, lines)
+                    .expect("write on owned pages"),
+                Route::Writeback => self
+                    .nec
+                    .writeback(start, tid, &region_pages, addr, lines, &mut self.dram, 0)
+                    .expect("writeback on owned pages"),
+            };
+            mem_finish = mem_finish.max(done);
+            if throttled && tr.route.touches_dram() {
+                bw_gate = start + (tr.bytes as f64 / (bw_share * peak_bw)).ceil() as Cycle;
+            }
+            let _ = delay;
+        }
+
+        // The wake fires when this phase's memory lands; its compute is
+        // charged then, overlapping the next phase's transfers (double
+        // buffering).
+        let end = mem_finish.max(now + 1);
+        let dram_delta = self.dram.stats().total_bytes() - dram_before;
+        let t = &mut self.tasks[tid as usize];
+        t.inference_dram += dram_delta;
+        t.bw_gate = bw_gate;
+        t.state = TaskState::Running { phase_idx: idx };
+        t.phase_end = end;
+        self.events.push(end, tid);
+        let _ = group;
+    }
+
+    // ---------------------------------------------------------------
+    // Layer / inference retirement
+    // ---------------------------------------------------------------
+
+    fn wake_page_waiters(&mut self, now: Cycle) {
+        for &w in &self.page_waiters {
+            self.events.push(now, w);
+        }
+    }
+
+    fn finish_layer(&mut self, tid: u32, now: Cycle) {
+        let mct = self.mct_of(tid).clone();
+        let primary = self.tasks[tid as usize].npus[0];
+        self.tasks[tid as usize].plan = None;
+        let mut released = false;
+        // LWM pages live for exactly one layer.
+        if let Some(grant) = self.tasks[tid as usize].lwm_grant.take() {
+            teardown_region(
+                &grant,
+                &mut self.alloc,
+                &mut self.nec,
+                &mut self.npu_cores[primary],
+            )
+            .expect("lwm teardown");
+            released = true;
+        }
+        // LBM pages live until the block's tail layer retires.
+        let t = &self.tasks[tid as usize];
+        let next_block = self.mappings[t.model_idx]
+            .mcts
+            .get(t.cur_layer + 1)
+            .map(|m| m.block.id);
+        let block_ends = next_block != Some(mct.block.id);
+        if t.lbm_block == Some(mct.block.id) && block_ends {
+            if let Some(grant) = self.tasks[tid as usize].lbm_grant.take() {
+                teardown_region(
+                    &grant,
+                    &mut self.alloc,
+                    &mut self.nec,
+                    &mut self.npu_cores[primary],
+                )
+                .expect("lbm teardown");
+                released = true;
+            }
+            self.tasks[tid as usize].lbm_block = None;
+            self.dynalloc.disable_lbm(tid);
+        }
+        if released {
+            self.wake_page_waiters(now);
+        }
+
+        let t = &mut self.tasks[tid as usize];
+        t.cur_layer += 1;
+        if t.cur_layer < self.models[t.model_idx].layers.len() {
+            self.try_begin_layer(tid, now, None);
+        } else {
+            self.finish_inference(tid, now);
+        }
+    }
+
+    fn finish_inference(&mut self, tid: u32, now: Cycle) {
+        let deadline = {
+            let t = &self.tasks[tid as usize];
+            self.deadline_cycles(t.model_idx)
+        };
+        let t = &mut self.tasks[tid as usize];
+        let latency = now - t.inference_start;
+        t.records.push(InferenceRecord {
+            latency,
+            dram_bytes: t.inference_dram,
+            deadline_met: deadline.map(|d| latency <= d).unwrap_or(true),
+        });
+        t.rounds_done += 1;
+        // Release the NPUs and wake queued tasks.
+        let released = std::mem::take(&mut t.npus);
+        for n in released {
+            self.npus_free[n] = true;
+        }
+        let waiters = std::mem::take(&mut self.npu_waiters);
+        for w in waiters {
+            self.events.push(now, w);
+        }
+        let t = &mut self.tasks[tid as usize];
+        if t.rounds_done < self.cfg.rounds_per_task {
+            t.state = TaskState::WaitingNpu;
+            self.events.push(now, tid);
+        } else {
+            t.state = TaskState::Done;
+            self.dynalloc.note_done(tid);
+        }
+    }
+
+    // ---------------------------------------------------------------
+    // Aggregation
+    // ---------------------------------------------------------------
+
+    fn aggregate(&self) -> RunResult {
+        let skip = self.cfg.warmup_rounds as usize;
+        let mut tasks = Vec::with_capacity(self.tasks.len());
+        let mut lat_sum = 0.0;
+        let mut dram_sum = 0.0;
+        for t in &self.tasks {
+            let model = &self.models[t.model_idx];
+            let mean_lat = t.mean_latency(skip);
+            let mean_dram = t.mean_dram_bytes(skip);
+            lat_sum += mean_lat;
+            dram_sum += mean_dram;
+            tasks.push(TaskSummary {
+                abbr: model.abbr.clone(),
+                qos_ms: model.qos_ms,
+                inferences: t.records.len().saturating_sub(skip),
+                mean_latency_ms: cycles_to_ms(mean_lat as Cycle),
+                mean_dram_mb: mean_dram / 1e6,
+                sla_rate: t.sla_rate(skip),
+            });
+        }
+        let n = self.tasks.len().max(1) as f64;
+        let cache_hit_rate = if self.cfg.policy.is_camdn() {
+            let s = self.nec.stats();
+            let served = s.controlled_hits();
+            let moved = served
+                + s.fills.get()
+                + s.writebacks.get()
+                + s.bypass_reads.get()
+                + s.bypass_writes.get();
+            if moved == 0 {
+                0.0
+            } else {
+                served as f64 / moved as f64
+            }
+        } else {
+            self.cache.stats().hit_rate()
+        };
+        RunResult {
+            policy: self.cfg.policy,
+            tasks,
+            cache_hit_rate,
+            avg_latency_ms: cycles_to_ms((lat_sum / n) as Cycle),
+            mem_mb_per_model: dram_sum / n / 1e6,
+            makespan_ms: cycles_to_ms(self.now),
+            multicast_saved_mb: self.nec.stats().multicast_saved_lines.get() as f64
+                * self.cfg.soc.cache.line_bytes as f64
+                / 1e6,
+        }
+    }
+}
+
+/// Convenience: builds the standard N-tenant workload by cycling the
+/// Table I models.
+pub fn workload(n: usize) -> Vec<Model> {
+    let zoo = camdn_models::zoo::all();
+    (0..n).map(|i| zoo[i % zoo.len()].clone()).collect()
+}
+
+/// Runs one configuration end to end.
+pub fn simulate(cfg: EngineConfig, task_models: &[Model]) -> RunResult {
+    Engine::new(cfg, task_models).run()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use camdn_models::zoo;
+
+    fn quick_cfg(policy: PolicyKind) -> EngineConfig {
+        EngineConfig {
+            rounds_per_task: 2,
+            warmup_rounds: 1,
+            ..EngineConfig::speedup(policy)
+        }
+    }
+
+    #[test]
+    fn single_task_baseline_completes() {
+        let mut cfg = quick_cfg(PolicyKind::SharedBaseline);
+        cfg.warmup_rounds = 0; // include the cold round: real DRAM traffic
+        let r = simulate(cfg, &[zoo::mobilenet_v2()]);
+        assert_eq!(r.tasks.len(), 1);
+        assert_eq!(r.tasks[0].inferences, 2);
+        assert!(r.tasks[0].mean_latency_ms > 0.0);
+        assert!(r.tasks[0].mean_dram_mb > 0.0);
+        assert!(r.cache_hit_rate > 0.0, "refetches must hit the big cache");
+    }
+
+    #[test]
+    fn lone_small_model_runs_warm_from_cache() {
+        // MobileNet's 3.5 MB of weights fit a lonely 16 MiB transparent
+        // cache: after the warm-up inference, DRAM traffic nearly
+        // vanishes — the cross-inference reuse the motivation experiment
+        // destroys with co-tenants.
+        let r = simulate(quick_cfg(PolicyKind::SharedBaseline), &[zoo::mobilenet_v2()]);
+        assert!(
+            r.tasks[0].mean_dram_mb < 1.0,
+            "warm lone run should be almost DRAM-free, got {:.2} MB",
+            r.tasks[0].mean_dram_mb
+        );
+    }
+
+    #[test]
+    fn single_task_camdn_completes_and_frees_pages() {
+        let cfg = quick_cfg(PolicyKind::CamdnFull);
+        let mut engine = Engine::new(cfg, &[zoo::mobilenet_v2()]);
+        let r = engine.run();
+        assert_eq!(r.tasks[0].inferences, 1);
+        // All cache pages must be back after the run (no leaks).
+        assert_eq!(engine.alloc.idle_pages(), engine.alloc.total_pages());
+        assert_eq!(engine.nec.claimed_pages(), 0);
+    }
+
+    #[test]
+    fn camdn_moves_less_dram_than_baseline() {
+        let models: Vec<Model> = vec![
+            zoo::mobilenet_v2(),
+            zoo::efficientnet_b0(),
+            zoo::mobilenet_v2(),
+            zoo::efficientnet_b0(),
+        ];
+        let base = simulate(quick_cfg(PolicyKind::SharedBaseline), &models);
+        let camdn = simulate(quick_cfg(PolicyKind::CamdnFull), &models);
+        assert!(
+            camdn.mem_mb_per_model < base.mem_mb_per_model * 1.05,
+            "CaMDN {:.1} MB vs baseline {:.1} MB",
+            camdn.mem_mb_per_model,
+            base.mem_mb_per_model
+        );
+    }
+
+    #[test]
+    fn runs_are_deterministic() {
+        let models = vec![zoo::mobilenet_v2(), zoo::gnmt()];
+        let a = simulate(quick_cfg(PolicyKind::CamdnFull), &models);
+        let b = simulate(quick_cfg(PolicyKind::CamdnFull), &models);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn hw_only_policy_completes() {
+        let models = vec![zoo::mobilenet_v2(), zoo::efficientnet_b0()];
+        let r = simulate(quick_cfg(PolicyKind::CamdnHwOnly), &models);
+        assert!(r.tasks.iter().all(|t| t.inferences == 1));
+    }
+
+    #[test]
+    fn qos_mode_tracks_deadlines() {
+        let models = vec![zoo::mobilenet_v2(), zoo::mobilenet_v2()];
+        let cfg = EngineConfig {
+            rounds_per_task: 2,
+            warmup_rounds: 1,
+            ..EngineConfig::qos(PolicyKind::Aurora, 1.2)
+        };
+        let r = simulate(cfg, &models);
+        for t in &r.tasks {
+            assert!(t.sla_rate >= 0.0 && t.sla_rate <= 1.0);
+        }
+    }
+
+    #[test]
+    fn more_tenants_than_npus_queue() {
+        // 3 tasks on a 2-NPU SoC must still all complete.
+        let mut cfg = quick_cfg(PolicyKind::SharedBaseline);
+        cfg.soc.npu.cores = 2;
+        let models = vec![
+            zoo::mobilenet_v2(),
+            zoo::mobilenet_v2(),
+            zoo::mobilenet_v2(),
+        ];
+        let r = simulate(cfg, &models);
+        assert!(r.tasks.iter().all(|t| t.inferences == 1));
+    }
+
+    #[test]
+    fn contention_slows_tasks_down() {
+        let one = simulate(quick_cfg(PolicyKind::SharedBaseline), &[zoo::efficientnet_b0()]);
+        let many = simulate(
+            quick_cfg(PolicyKind::SharedBaseline),
+            &workload(16)
+                .into_iter()
+                .map(|_| zoo::efficientnet_b0())
+                .collect::<Vec<_>>(),
+        );
+        let ef_alone = one.tasks[0].mean_latency_ms;
+        let ef_crowd = many.tasks[0].mean_latency_ms;
+        assert!(
+            ef_crowd > ef_alone,
+            "16 tenants ({ef_crowd:.2} ms) must be slower than 1 ({ef_alone:.2} ms)"
+        );
+    }
+}

@@ -1,0 +1,33 @@
+//! Multi-tenant execution engine, baseline schedulers and QoS metrics
+//! for the CaMDN reproduction (Section IV of the paper).
+//!
+//! The engine ([`Engine`]) simulates co-located DNN tasks on the
+//! NPU-integrated SoC of Table II under five system configurations
+//! ([`PolicyKind`]): the plain shared-cache baseline of the motivation
+//! experiment, reimplementations of the MoCA and AuRORA schedulers, and
+//! the two CaMDN variants.
+//!
+//! # Example
+//!
+//! ```no_run
+//! use camdn_runtime::{simulate, workload, EngineConfig, PolicyKind};
+//!
+//! // Four co-located models on the Table II SoC, full CaMDN.
+//! let result = simulate(
+//!     EngineConfig::speedup(PolicyKind::CamdnFull),
+//!     &workload(4),
+//! );
+//! println!("avg latency {:.2} ms", result.avg_latency_ms);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod engine;
+pub mod layout;
+pub mod metrics;
+pub mod task;
+
+pub use engine::{simulate, workload, Engine, EngineConfig, PolicyKind, RunResult, TaskSummary};
+pub use layout::TaskLayout;
+pub use metrics::{qos_metrics, QosMetrics};
+pub use task::{InferenceRecord, Task, TaskState};

@@ -1,0 +1,121 @@
+//! QoS metrics of Section IV-A4: SLA satisfaction rate, system
+//! throughput (STP) and fairness, following the definitions of the
+//! AuRORA paper the evaluation adopts.
+//!
+//! * **SLA satisfaction rate** — fraction of inferences finishing within
+//!   their deadline;
+//! * **STP** — the sum of per-task *normalized progress*
+//!   `NP_i = T_isolated(i) / T_shared(i)` (a system running `n` tasks at
+//!   full isolated speed each would score `n`);
+//! * **Fairness** — `min_i NP_i / max_i NP_i`.
+
+use crate::engine::RunResult;
+use serde::{Deserialize, Serialize};
+
+/// Aggregated QoS metrics of one run.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct QosMetrics {
+    /// SLA satisfaction rate over all measured inferences.
+    pub sla_rate: f64,
+    /// System throughput (sum of normalized progress).
+    pub stp: f64,
+    /// Min/max fairness over normalized progress.
+    pub fairness: f64,
+}
+
+/// Computes QoS metrics from a shared run and the matching isolated
+/// per-model latencies (`isolated_ms[i]` for task `i`).
+///
+/// # Panics
+///
+/// Panics if `isolated_ms.len()` differs from the number of tasks.
+pub fn qos_metrics(shared: &RunResult, isolated_ms: &[f64]) -> QosMetrics {
+    assert_eq!(
+        shared.tasks.len(),
+        isolated_ms.len(),
+        "need one isolated latency per task"
+    );
+    let mut progress = Vec::with_capacity(shared.tasks.len());
+    let mut sla_num = 0.0;
+    let mut sla_den = 0.0;
+    for (t, &iso) in shared.tasks.iter().zip(isolated_ms) {
+        let np = if t.mean_latency_ms > 0.0 {
+            (iso / t.mean_latency_ms).min(1.0)
+        } else {
+            1.0
+        };
+        progress.push(np);
+        sla_num += t.sla_rate * t.inferences as f64;
+        sla_den += t.inferences as f64;
+    }
+    QosMetrics {
+        sla_rate: if sla_den > 0.0 { sla_num / sla_den } else { 1.0 },
+        stp: progress.iter().sum(),
+        fairness: camdn_common::stats::fairness(&progress),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::{PolicyKind, TaskSummary};
+
+    fn result(lat: &[f64], sla: &[f64]) -> RunResult {
+        RunResult {
+            policy: PolicyKind::SharedBaseline,
+            tasks: lat
+                .iter()
+                .zip(sla)
+                .enumerate()
+                .map(|(i, (&l, &s))| TaskSummary {
+                    abbr: format!("T{i}"),
+                    qos_ms: 10.0,
+                    inferences: 10,
+                    mean_latency_ms: l,
+                    mean_dram_mb: 1.0,
+                    sla_rate: s,
+                })
+                .collect(),
+            cache_hit_rate: 0.5,
+            avg_latency_ms: 0.0,
+            mem_mb_per_model: 0.0,
+            makespan_ms: 0.0,
+            multicast_saved_mb: 0.0,
+        }
+    }
+
+    #[test]
+    fn perfect_isolation_scores_n() {
+        let r = result(&[5.0, 5.0], &[1.0, 1.0]);
+        let m = qos_metrics(&r, &[5.0, 5.0]);
+        assert!((m.stp - 2.0).abs() < 1e-12);
+        assert!((m.fairness - 1.0).abs() < 1e-12);
+        assert!((m.sla_rate - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn slowdown_reduces_stp() {
+        // Task 0 runs at half speed, task 1 at full speed.
+        let r = result(&[10.0, 5.0], &[0.5, 1.0]);
+        let m = qos_metrics(&r, &[5.0, 5.0]);
+        assert!((m.stp - 1.5).abs() < 1e-12);
+        assert!((m.fairness - 0.5).abs() < 1e-12);
+        assert!((m.sla_rate - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn progress_is_capped_at_one() {
+        // Shared faster than isolated (measurement noise) must not
+        // inflate STP beyond the task count.
+        let r = result(&[2.0], &[1.0]);
+        let m = qos_metrics(&r, &[5.0]);
+        assert!(m.stp <= 1.0 + 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "isolated latency")]
+    fn mismatched_lengths_panic() {
+        let r = result(&[1.0], &[1.0]);
+        let _ = qos_metrics(&r, &[1.0, 2.0]);
+    }
+}

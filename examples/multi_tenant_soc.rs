@@ -1,0 +1,46 @@
+//! Multi-tenant SoC tour: 16 tenants (the full Table I zoo twice) under
+//! every system configuration, printing the headline metrics each
+//! policy achieves.
+//!
+//! ```text
+//! cargo run --release --example multi_tenant_soc
+//! ```
+
+use camdn::models::zoo;
+use camdn::runtime::{simulate, EngineConfig, PolicyKind};
+
+fn main() {
+    // Two instances of each Table I model: one per NPU core.
+    let mut tenants = Vec::new();
+    for _ in 0..2 {
+        tenants.extend(zoo::all());
+    }
+
+    println!("16 co-located DNNs, Table II SoC, closed loop\n");
+    println!(
+        "{:16} {:>9} {:>12} {:>14} {:>12}",
+        "policy", "hit rate", "avg latency", "DRAM/model", "mcast saved"
+    );
+    for policy in [
+        PolicyKind::SharedBaseline,
+        PolicyKind::Moca,
+        PolicyKind::Aurora,
+        PolicyKind::CamdnHwOnly,
+        PolicyKind::CamdnFull,
+    ] {
+        let cfg = EngineConfig {
+            rounds_per_task: 2,
+            warmup_rounds: 1,
+            ..EngineConfig::speedup(policy)
+        };
+        let r = simulate(cfg, &tenants);
+        println!(
+            "{:16} {:>8.1}% {:>9.2} ms {:>11.1} MB {:>9.1} MB",
+            policy.label(),
+            100.0 * r.cache_hit_rate,
+            r.avg_latency_ms,
+            r.mem_mb_per_model,
+            r.multicast_saved_mb
+        );
+    }
+}

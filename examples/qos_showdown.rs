@@ -1,0 +1,49 @@
+//! QoS showdown: MoCA vs AuRORA vs CaMDN under tight latency targets
+//! (the Fig. 9 setting at QoS-M), reporting SLA satisfaction, system
+//! throughput and fairness.
+//!
+//! ```text
+//! cargo run --release --example qos_showdown
+//! ```
+
+use camdn::models::zoo;
+use camdn::runtime::{qos_metrics, simulate, EngineConfig, PolicyKind};
+
+fn main() {
+    let tenants = zoo::all(); // one task per Table I model, 16 NPUs
+
+    // Isolated runs calibrate normalized progress.
+    let iso: Vec<f64> = tenants
+        .iter()
+        .map(|m| {
+            let cfg = EngineConfig {
+                rounds_per_task: 2,
+                warmup_rounds: 1,
+                ..EngineConfig::speedup(PolicyKind::SharedBaseline)
+            };
+            simulate(cfg, &[m.clone()]).tasks[0].mean_latency_ms
+        })
+        .collect();
+
+    println!("8 tenants, QoS-M deadlines (1.0x Table I targets)\n");
+    println!(
+        "{:16} {:>10} {:>8} {:>10}",
+        "policy", "SLA rate", "STP", "fairness"
+    );
+    for policy in [PolicyKind::Moca, PolicyKind::Aurora, PolicyKind::CamdnFull] {
+        let cfg = EngineConfig {
+            rounds_per_task: 3,
+            warmup_rounds: 1,
+            ..EngineConfig::qos(policy, 1.0)
+        };
+        let r = simulate(cfg, &tenants);
+        let q = qos_metrics(&r, &iso);
+        println!(
+            "{:16} {:>9.1}% {:>8.2} {:>10.2}",
+            policy.label(),
+            100.0 * q.sla_rate,
+            q.stp,
+            q.fairness
+        );
+    }
+}

@@ -1,0 +1,134 @@
+//! Property-based tests on the hardware substrates: address packing,
+//! page-table translation, DRAM timing monotonicity and cache
+//! statistics consistency.
+
+use camdn::cache::{CacheGeometry, Pcaddr, SharedCache};
+use camdn::common::config::{CacheConfig, DramConfig};
+use camdn::common::types::{PhysAddr, MIB};
+use camdn::common::EventQueue;
+use camdn::dram::DramModel;
+use camdn::npu::CachePageTable;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn pcaddr_pack_unpack_roundtrip(
+        slice in 0u32..8,
+        set in 0u32..2048,
+        way in 0u32..16,
+        offset in 0u32..64,
+    ) {
+        let g = CacheGeometry::new(&CacheConfig::paper_default());
+        let p = Pcaddr { slice, set, way, offset };
+        prop_assert_eq!(g.unpack(g.pack(p)), p);
+    }
+
+    #[test]
+    fn page_lines_are_unique(pcpn in 0u32..512) {
+        let g = CacheGeometry::new(&CacheConfig::paper_default());
+        let mut packed: Vec<u64> = (0..g.lines_per_page())
+            .map(|i| g.pack(g.line_in_page(pcpn, i)))
+            .collect();
+        let before = packed.len();
+        packed.sort_unstable();
+        packed.dedup();
+        prop_assert_eq!(before, packed.len());
+    }
+
+    #[test]
+    fn cpt_translation_is_consistent(
+        mappings in prop::collection::btree_map(0u32..512, 128u32..512, 1..64),
+        probe in 0u64..(512 * 32 * 1024),
+    ) {
+        let mut cpt = CachePageTable::new(512, 32 * 1024);
+        // btree_map gives unique vcpns; pcpns may repeat, which the CPT
+        // itself permits (exclusivity lives in the NEC/allocator).
+        for (&v, &p) in &mappings {
+            cpt.map(v, p).unwrap();
+        }
+        let vcaddr = camdn::common::types::VirtCacheAddr(probe);
+        let vcpn = (probe / (32 * 1024)) as u32;
+        match cpt.translate(vcaddr) {
+            Ok((pcpn, off)) => {
+                prop_assert_eq!(Some(&pcpn), mappings.get(&vcpn));
+                prop_assert_eq!(off, probe % (32 * 1024));
+            }
+            Err(_) => prop_assert!(!mappings.contains_key(&vcpn)),
+        }
+    }
+
+    #[test]
+    fn dram_completion_is_monotone_in_time(
+        t1 in 0u64..1_000_000,
+        dt in 1u64..1_000_000,
+        lines in 1u64..256,
+        addr in 0u64..(1u64 << 30),
+    ) {
+        // The same burst issued later never completes earlier.
+        let mut a = DramModel::new(DramConfig::paper_default(), 64);
+        let mut b = DramModel::new(DramConfig::paper_default(), 64);
+        let done1 = a.access_burst(t1, PhysAddr(addr), lines, false, 0);
+        let done2 = b.access_burst(t1 + dt, PhysAddr(addr), lines, false, 0);
+        prop_assert!(done2 >= done1);
+        prop_assert!(done1 > t1);
+    }
+
+    #[test]
+    fn dram_traffic_is_exact(lines in 0u64..1024, write in any::<bool>()) {
+        let mut d = DramModel::new(DramConfig::paper_default(), 64);
+        d.access_burst(0, PhysAddr(0), lines, write, 0);
+        prop_assert_eq!(d.stats().total_bytes(), lines * 64);
+    }
+
+    #[test]
+    fn cache_stats_balance(
+        ranges in prop::collection::vec((0u64..(4 * MIB), 64u64..65_536, any::<bool>()), 1..20),
+    ) {
+        let cfg = CacheConfig::paper_default();
+        let mut cache = SharedCache::new(&cfg);
+        let mut dram = DramModel::new(DramConfig::paper_default(), 64);
+        let mask = cache.full_way_mask();
+        let mut t = 0;
+        for (base, bytes, write) in ranges {
+            t += 100_000;
+            let out = cache.access_range(t, PhysAddr(base), bytes, write, mask, &mut dram);
+            let lines = (base + bytes - 1) / 64 - base / 64 + 1;
+            prop_assert_eq!(out.hits + out.misses, lines);
+            prop_assert!(out.finish >= t);
+        }
+        let s = cache.stats();
+        prop_assert_eq!(s.fills.get(), s.misses.get(), "every miss fills (RFO)");
+        prop_assert!(s.writebacks.get() <= s.misses.get());
+    }
+
+    #[test]
+    fn event_queue_is_time_ordered(
+        events in prop::collection::vec((0u64..1000, 0u32..100), 1..200),
+    ) {
+        let mut q = EventQueue::new();
+        for &(t, p) in &events {
+            q.push(t, p);
+        }
+        let mut last = 0;
+        let mut n = 0;
+        while let Some((t, _)) = q.pop() {
+            prop_assert!(t >= last);
+            last = t;
+            n += 1;
+        }
+        prop_assert_eq!(n, events.len());
+    }
+}
+
+#[test]
+fn nec_and_transparent_paths_share_geometry() {
+    // The NEC's first page sits exactly after the general-purpose ways.
+    let cfg = CacheConfig::paper_default();
+    let g = CacheGeometry::new(&cfg);
+    let nec = camdn::cache::Nec::new(&cfg);
+    let (way, set) = g.page_location(nec.first_pcpn());
+    assert_eq!(way, cfg.ways - cfg.npu_ways);
+    assert_eq!(set, 0);
+}
