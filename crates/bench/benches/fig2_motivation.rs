@@ -10,7 +10,7 @@ use std::hint::black_box;
 
 use camdn_common::types::MIB;
 use camdn_models::Model;
-use camdn_runtime::{simulate, EngineConfig, PolicyKind};
+use camdn_runtime::{PolicyKind, Simulation, Workload};
 
 fn workload(n: usize) -> Vec<Model> {
     let zoo = camdn_models::zoo::all();
@@ -18,13 +18,12 @@ fn workload(n: usize) -> Vec<Model> {
 }
 
 fn run(n: usize, cache_mb: u64) -> (f64, f64, f64) {
-    let cfg = EngineConfig {
-        soc: camdn_common::SocConfig::paper_default().with_cache_bytes(cache_mb * MIB),
-        rounds_per_task: 2,
-        warmup_rounds: 1,
-        ..EngineConfig::speedup(PolicyKind::SharedBaseline)
-    };
-    let r = simulate(cfg, &workload(n));
+    let r = Simulation::builder()
+        .policy(PolicyKind::SharedBaseline)
+        .soc(camdn_common::SocConfig::paper_default().with_cache_bytes(cache_mb * MIB))
+        .workload(Workload::closed(workload(n), 2))
+        .run()
+        .expect("fig2 run");
     (r.cache_hit_rate, r.mem_mb_per_model, r.avg_latency_ms)
 }
 

@@ -8,19 +8,18 @@ use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
 use camdn_models::Model;
-use camdn_runtime::{simulate, EngineConfig, PolicyKind, RunResult};
+use camdn_runtime::{PolicyKind, RunResult, Simulation, Workload};
 
 fn workload() -> Vec<Model> {
     camdn_models::zoo::all()
 }
 
 fn run(policy: PolicyKind) -> RunResult {
-    let cfg = EngineConfig {
-        rounds_per_task: 2,
-        warmup_rounds: 1,
-        ..EngineConfig::speedup(policy)
-    };
-    simulate(cfg, &workload())
+    Simulation::builder()
+        .policy(policy)
+        .workload(Workload::closed(workload(), 2))
+        .run()
+        .expect("fig7 run")
 }
 
 fn bench(c: &mut Criterion) {

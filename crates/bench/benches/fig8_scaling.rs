@@ -9,7 +9,7 @@ use std::hint::black_box;
 
 use camdn_common::types::MIB;
 use camdn_models::Model;
-use camdn_runtime::{simulate, EngineConfig, PolicyKind};
+use camdn_runtime::{PolicyKind, Simulation, Workload};
 
 fn workload() -> Vec<Model> {
     let zoo = camdn_models::zoo::all();
@@ -17,13 +17,12 @@ fn workload() -> Vec<Model> {
 }
 
 fn run(policy: PolicyKind, cache_mb: u64) -> (f64, f64) {
-    let cfg = EngineConfig {
-        soc: camdn_common::SocConfig::paper_default().with_cache_bytes(cache_mb * MIB),
-        rounds_per_task: 2,
-        warmup_rounds: 1,
-        ..EngineConfig::speedup(policy)
-    };
-    let r = simulate(cfg, &workload());
+    let r = Simulation::builder()
+        .policy(policy)
+        .soc(camdn_common::SocConfig::paper_default().with_cache_bytes(cache_mb * MIB))
+        .workload(Workload::closed(workload(), 2))
+        .run()
+        .expect("fig8 run");
     (r.avg_latency_ms, r.mem_mb_per_model)
 }
 

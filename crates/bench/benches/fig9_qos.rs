@@ -8,7 +8,7 @@ use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
 use camdn_models::Model;
-use camdn_runtime::{qos_metrics, simulate, EngineConfig, PolicyKind, QosMetrics};
+use camdn_runtime::{qos_metrics, PolicyKind, QosMetrics, Simulation, Workload};
 
 fn workload() -> Vec<Model> {
     let zoo = camdn_models::zoo::all();
@@ -21,26 +21,17 @@ fn workload() -> Vec<Model> {
 }
 
 fn isolated() -> Vec<f64> {
-    workload()
-        .iter()
-        .map(|m| {
-            let cfg = EngineConfig {
-                rounds_per_task: 2,
-                warmup_rounds: 1,
-                ..EngineConfig::speedup(PolicyKind::SharedBaseline)
-            };
-            simulate(cfg, &[m.clone()]).tasks[0].mean_latency_ms
-        })
-        .collect()
+    let by_abbr = camdn_bench::isolated_latencies(PolicyKind::SharedBaseline);
+    workload().iter().map(|m| by_abbr[&m.abbr]).collect()
 }
 
 fn run(policy: PolicyKind, iso: &[f64]) -> QosMetrics {
-    let cfg = EngineConfig {
-        rounds_per_task: 3,
-        warmup_rounds: 1,
-        ..EngineConfig::qos(policy, 1.0)
-    };
-    let r = simulate(cfg, &workload());
+    let r = Simulation::builder()
+        .policy(policy)
+        .qos_scale(1.0)
+        .workload(Workload::closed(workload(), 3))
+        .run()
+        .expect("fig9 run");
     qos_metrics(&r, iso)
 }
 

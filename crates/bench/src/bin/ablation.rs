@@ -8,9 +8,11 @@
 //!    disabled (static policy semantics), isolating the layer-block
 //!    mapping win that Fig. 7 attributes to MB/EF.
 
-use camdn_bench::{parallel_runs, print_table, quick_mode};
+use camdn_bench::{parallel_sims, print_table, quick_mode};
+use camdn_common::SocConfig;
+use camdn_mapper::MapperConfig;
 use camdn_models::Model;
-use camdn_runtime::{Engine, EngineConfig, PolicyKind};
+use camdn_runtime::{PolicyKind, Simulation, Workload};
 
 fn workload(n: usize) -> Vec<Model> {
     let zoo = camdn_models::zoo::all();
@@ -24,14 +26,12 @@ fn main() {
     let factors = [0.0, 0.1, 0.2, 0.5, 1.0];
     let mut rows = Vec::new();
     for &f in &factors {
-        let cfg = EngineConfig {
-            rounds_per_task: 2,
-            warmup_rounds: 1,
-            ..EngineConfig::speedup(PolicyKind::CamdnFull)
-        };
-        let mut engine = Engine::new(cfg, &workload(n));
-        engine.set_lookahead(f);
-        let r = engine.run();
+        let r = Simulation::builder()
+            .policy(PolicyKind::CamdnFull)
+            .workload(Workload::closed(workload(n), 2))
+            .lookahead(f)
+            .run()
+            .expect("lookahead run");
         rows.push(vec![
             format!("{f:.1}"),
             format!("{:.2}", r.avg_latency_ms),
@@ -48,20 +48,27 @@ fn main() {
     // --- 2. Cache page size sweep ----------------------------------
     let mut rows = Vec::new();
     for &kib in &[8u64, 16, 32, 64, 128] {
-        let mut cfg = EngineConfig {
-            rounds_per_task: 2,
-            warmup_rounds: 1,
-            ..EngineConfig::speedup(PolicyKind::CamdnFull)
-        };
-        cfg.soc.cache.page_bytes = kib * 1024;
-        cfg.mapper.page_bytes = kib * 1024;
-        let r = camdn_runtime::simulate(cfg.clone(), &workload(n));
-        let cpt_entries = cfg.soc.cache.total_bytes / cfg.soc.cache.page_bytes;
+        let mut soc = SocConfig::paper_default();
+        soc.cache.page_bytes = kib * 1024;
+        let mut mapper = MapperConfig::paper_default();
+        mapper.page_bytes = kib * 1024;
+        let r = Simulation::builder()
+            .policy(PolicyKind::CamdnFull)
+            .soc(soc)
+            .mapper(mapper)
+            .workload(Workload::closed(workload(n), 2))
+            .run()
+            .expect("page-size run");
+        let cpt_entries = soc.cache.total_bytes / soc.cache.page_bytes;
         rows.push(vec![
             format!("{kib} KiB"),
             format!("{:.2}", r.avg_latency_ms),
             format!("{:.1}", r.mem_mb_per_model),
-            format!("{} x 3B = {:.1} KiB", cpt_entries, cpt_entries as f64 * 3.0 / 1024.0),
+            format!(
+                "{} x 3B = {:.1} KiB",
+                cpt_entries,
+                cpt_entries as f64 * 3.0 / 1024.0
+            ),
         ]);
     }
     print_table(
@@ -72,28 +79,18 @@ fn main() {
 
     // --- 3. LBM contribution ---------------------------------------
     let runs = vec![
-        (
-            EngineConfig {
-                rounds_per_task: 2,
-                warmup_rounds: 1,
-                ..EngineConfig::speedup(PolicyKind::CamdnHwOnly)
-            },
-            workload(n),
-        ),
-        (
-            EngineConfig {
-                rounds_per_task: 2,
-                warmup_rounds: 1,
-                ..EngineConfig::speedup(PolicyKind::CamdnFull)
-            },
-            workload(n),
-        ),
+        Simulation::builder()
+            .policy(PolicyKind::CamdnHwOnly)
+            .workload(Workload::closed(workload(n), 2)),
+        Simulation::builder()
+            .policy(PolicyKind::CamdnFull)
+            .workload(Workload::closed(workload(n), 2)),
     ];
-    let results = parallel_runs(runs);
+    let results = parallel_sims(runs);
     let mut rows = Vec::new();
     for r in &results {
         rows.push(vec![
-            r.policy.label().to_string(),
+            r.policy.clone(),
             format!("{:.2}", r.avg_latency_ms),
             format!("{:.1}", r.mem_mb_per_model),
         ]);

@@ -1,7 +1,7 @@
 //! Diagnostic run: per-policy traffic breakdown (not a paper figure).
 
 use camdn_bench::speedup_workload;
-use camdn_runtime::{simulate, EngineConfig, PolicyKind};
+use camdn_runtime::{PolicyKind, Simulation, Workload};
 
 fn main() {
     let n: usize = std::env::args()
@@ -16,12 +16,11 @@ fn main() {
         PolicyKind::CamdnHwOnly,
         PolicyKind::CamdnFull,
     ] {
-        let cfg = EngineConfig {
-            rounds_per_task: 2,
-            warmup_rounds: 1,
-            ..EngineConfig::speedup(p)
-        };
-        let r = simulate(cfg, &workload);
+        let r = Simulation::builder()
+            .policy(p)
+            .workload(Workload::closed(workload.clone(), 2))
+            .run()
+            .expect("diag run");
         println!(
             "{:16} hit={:.3} avg_lat={:8.2}ms mem/model={:7.1}MB makespan={:8.1}ms mcast={:6.1}MB",
             p.label(),
@@ -32,7 +31,10 @@ fn main() {
             r.multicast_saved_mb
         );
         for t in &r.tasks {
-            print!("  {}={:.1}ms/{:.0}MB", t.abbr, t.mean_latency_ms, t.mean_dram_mb);
+            print!(
+                "  {}={:.1}ms/{:.0}MB",
+                t.abbr, t.mean_latency_ms, t.mean_dram_mb
+            );
         }
         println!();
     }

@@ -6,10 +6,10 @@
 //! Paper result: hit rate drops by 18.9–59.7 %, memory access rises by
 //! 32.7–64.1 % and latency by 3.46–5.65× as the DNN count reaches 32.
 
-use camdn_bench::{parallel_runs, print_table, quick_mode};
+use camdn_bench::{parallel_sims, print_table, quick_mode};
 use camdn_common::types::MIB;
 use camdn_models::Model;
-use camdn_runtime::{EngineConfig, PolicyKind, RunResult};
+use camdn_runtime::{PolicyKind, RunResult, Simulation, Workload};
 
 fn rotations(n: usize) -> Vec<Vec<Model>> {
     // Every model must participate at every tenant count: rotate the zoo
@@ -17,7 +17,11 @@ fn rotations(n: usize) -> Vec<Vec<Model>> {
     let zoo = camdn_models::zoo::all();
     let rots = (zoo.len() / n).max(1);
     (0..rots)
-        .map(|r| (0..n).map(|i| zoo[(r * n + i) % zoo.len()].clone()).collect())
+        .map(|r| {
+            (0..n)
+                .map(|i| zoo[(r * n + i) % zoo.len()].clone())
+                .collect()
+        })
         .collect()
 }
 
@@ -34,18 +38,17 @@ fn main() {
     for (ci, &mb) in cache_mibs.iter().enumerate() {
         for (ni, &n) in dnn_counts.iter().enumerate() {
             for workload in rotations(n) {
-                let cfg = EngineConfig {
-                    soc: camdn_common::SocConfig::paper_default().with_cache_bytes(mb * MIB),
-                    rounds_per_task: 2,
-                    warmup_rounds: 1,
-                    ..EngineConfig::speedup(PolicyKind::SharedBaseline)
-                };
-                runs.push((cfg, workload));
+                runs.push(
+                    Simulation::builder()
+                        .policy(PolicyKind::SharedBaseline)
+                        .soc(camdn_common::SocConfig::paper_default().with_cache_bytes(mb * MIB))
+                        .workload(Workload::closed(workload, 2)),
+                );
                 index.push((ci, ni));
             }
         }
     }
-    let results = parallel_runs(runs);
+    let results = parallel_sims(runs);
 
     // Average each (cache, #DNN) cell over its rotations.
     let mut cells: Vec<Vec<(f64, f64, f64, u32)>> =

@@ -17,7 +17,11 @@ fn main() {
         .iter()
         .map(|p| {
             std::iter::once(p.abbr.clone())
-                .chain(p.count_fractions.iter().map(|f| format!("{:.1}%", 100.0 * f)))
+                .chain(
+                    p.count_fractions
+                        .iter()
+                        .map(|f| format!("{:.1}%", 100.0 * f)),
+                )
                 .collect()
         })
         .collect();

@@ -6,10 +6,10 @@
 //! 1.18× on average; memory access drops by 33.4% on average.
 
 use camdn_bench::{
-    dram_by_model, latency_by_model, parallel_runs, print_table, quick_mode, speedup_policies,
+    dram_by_model, latency_by_model, parallel_sims, print_table, quick_mode, speedup_policies,
     speedup_workload,
 };
-use camdn_runtime::EngineConfig;
+use camdn_runtime::{Simulation, Workload};
 
 fn main() {
     let mut workload = speedup_workload();
@@ -22,16 +22,12 @@ fn main() {
     let configs = speedup_policies()
         .into_iter()
         .map(|p| {
-            (
-                EngineConfig {
-                    rounds_per_task: rounds,
-                    ..EngineConfig::speedup(p)
-                },
-                workload.clone(),
-            )
+            Simulation::builder()
+                .policy(p)
+                .workload(Workload::closed(workload.clone(), rounds))
         })
         .collect();
-    let results = parallel_runs(configs);
+    let results = parallel_sims(configs);
     let (aurora, hw_only, full) = (&results[0], &results[1], &results[2]);
 
     let base_lat = latency_by_model(aurora);
@@ -86,9 +82,7 @@ fn main() {
         &rows,
     );
     let max_full = full_speedups.iter().cloned().fold(0.0f64, f64::max);
-    println!(
-        "\nPaper: up to 2.56x, average 1.88x; Full/HW-only ratio 1.18x; mem access -33.4%."
-    );
+    println!("\nPaper: up to 2.56x, average 1.88x; Full/HW-only ratio 1.18x; mem access -33.4%.");
     println!(
         "Here : up to {:.2}x, geomean {:.2}x; Full/HW-only ratio {:.2}x.",
         max_full,

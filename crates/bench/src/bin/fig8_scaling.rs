@@ -6,10 +6,10 @@
 //! Paper result: CaMDN(Full) cuts latency by 34.3–42.3 % and memory
 //! access by 16.0–37.7 % across scales, with larger caches helping more.
 
-use camdn_bench::{parallel_runs, print_table, quick_mode, speedup_policies};
+use camdn_bench::{parallel_sims, print_table, quick_mode, speedup_policies};
 use camdn_common::types::MIB;
 use camdn_models::Model;
-use camdn_runtime::{EngineConfig, PolicyKind};
+use camdn_runtime::{PolicyKind, Simulation, Workload};
 
 fn workload(n: usize) -> Vec<Model> {
     let zoo = camdn_models::zoo::all();
@@ -21,16 +21,15 @@ fn sweep(title: &str, configs: Vec<(String, u64, usize)>) {
     let mut runs = Vec::new();
     for &(_, cache, n) in &configs {
         for p in speedup_policies() {
-            let cfg = EngineConfig {
-                soc: camdn_common::SocConfig::paper_default().with_cache_bytes(cache),
-                rounds_per_task: 2,
-                warmup_rounds: 1,
-                ..EngineConfig::speedup(p)
-            };
-            runs.push((cfg, workload(n)));
+            runs.push(
+                Simulation::builder()
+                    .policy(p)
+                    .soc(camdn_common::SocConfig::paper_default().with_cache_bytes(cache))
+                    .workload(Workload::closed(workload(n), 2)),
+            );
         }
     }
-    let results = parallel_runs(runs);
+    let results = parallel_sims(runs);
 
     let mut lat_rows = Vec::new();
     let mut mem_rows = Vec::new();
@@ -57,12 +56,24 @@ fn sweep(title: &str, configs: Vec<(String, u64, usize)>) {
     }
     print_table(
         &format!("{title} — average latency (ms)"),
-        &["scale", "AuRORA", "CaMDN(HW-only)", "CaMDN(Full)", "reduction"],
+        &[
+            "scale",
+            "AuRORA",
+            "CaMDN(HW-only)",
+            "CaMDN(Full)",
+            "reduction",
+        ],
         &lat_rows,
     );
     print_table(
         &format!("{title} — memory access (MB/model)"),
-        &["scale", "AuRORA", "CaMDN(HW-only)", "CaMDN(Full)", "reduction"],
+        &[
+            "scale",
+            "AuRORA",
+            "CaMDN(HW-only)",
+            "CaMDN(Full)",
+            "reduction",
+        ],
         &mem_rows,
     );
 }

@@ -5,8 +5,8 @@
 //! Paper result: CaMDN improves SLA rate, STP and fairness by 5.9×,
 //! 2.5× and 3.0× on average over the baselines.
 
-use camdn_bench::{isolated_latencies, parallel_runs, print_table, qos_workload, quick_mode};
-use camdn_runtime::{qos_metrics, EngineConfig, PolicyKind, QosMetrics};
+use camdn_bench::{isolated_latencies, parallel_sims, print_table, qos_workload, quick_mode};
+use camdn_runtime::{qos_metrics, PolicyKind, QosMetrics, Simulation, Workload};
 
 fn main() {
     let workload = qos_workload();
@@ -15,21 +15,21 @@ fn main() {
     let rounds = if quick_mode() { 2 } else { 4 };
 
     // Isolated calibration for normalized progress.
-    let iso_map = isolated_latencies(&EngineConfig::speedup(PolicyKind::SharedBaseline));
+    let iso_map = isolated_latencies(PolicyKind::SharedBaseline);
     let iso: Vec<f64> = workload.iter().map(|m| iso_map[&m.abbr]).collect();
 
     let mut runs = Vec::new();
     for &(_, scale) in &levels {
         for p in policies {
-            let cfg = EngineConfig {
-                rounds_per_task: rounds,
-                warmup_rounds: 1,
-                ..EngineConfig::qos(p, scale)
-            };
-            runs.push((cfg, workload.clone()));
+            runs.push(
+                Simulation::builder()
+                    .policy(p)
+                    .qos_scale(scale)
+                    .workload(Workload::closed(workload.clone(), rounds)),
+            );
         }
     }
-    let results = parallel_runs(runs);
+    let results = parallel_sims(runs);
 
     let metric = |i: usize| -> QosMetrics { qos_metrics(&results[i], &iso) };
     let mut rows = Vec::new();

@@ -18,13 +18,15 @@
 #![warn(missing_docs)]
 
 use camdn_models::Model;
-use camdn_runtime::{simulate, EngineConfig, PolicyKind, RunResult};
+use camdn_runtime::{PolicyKind, RunResult, Simulation, SimulationBuilder, Workload};
 use std::collections::HashMap;
 
 /// True when the `CAMDN_QUICK` environment variable requests reduced
 /// sweeps.
 pub fn quick_mode() -> bool {
-    std::env::var("CAMDN_QUICK").map(|v| v != "0").unwrap_or(false)
+    std::env::var("CAMDN_QUICK")
+        .map(|v| v != "0")
+        .unwrap_or(false)
 }
 
 /// The 16-tenant speedup workload of Section IV-A4: two instances of
@@ -47,18 +49,17 @@ pub fn qos_workload() -> Vec<Model> {
     camdn_models::zoo::all()
 }
 
-/// Runs every model alone under `policy` and returns its mean isolated
-/// latency (ms) keyed by abbreviation. Used for STP/fairness.
-pub fn isolated_latencies(base_cfg: &EngineConfig) -> HashMap<String, f64> {
+/// Runs every model alone under `policy` (closed loop, no QoS) and
+/// returns its mean isolated latency (ms) keyed by abbreviation. Used
+/// for STP/fairness.
+pub fn isolated_latencies(policy: PolicyKind) -> HashMap<String, f64> {
     let mut out = HashMap::new();
     for m in camdn_models::zoo::all() {
-        let cfg = EngineConfig {
-            rounds_per_task: 2,
-            warmup_rounds: 1,
-            qos_scale: None,
-            ..base_cfg.clone()
-        };
-        let r = simulate(cfg, &[m.clone()]);
+        let r = Simulation::builder()
+            .policy(policy)
+            .workload(Workload::closed(vec![m.clone()], 2))
+            .run()
+            .expect("isolated run");
         out.insert(m.abbr.clone(), r.tasks[0].mean_latency_ms);
     }
     out
@@ -90,36 +91,78 @@ pub fn dram_by_model(result: &RunResult) -> HashMap<String, f64> {
         .collect()
 }
 
-/// Runs several engine configurations in parallel threads (each engine
-/// is single-threaded and independent).
-pub fn parallel_runs(configs: Vec<(EngineConfig, Vec<Model>)>) -> Vec<RunResult> {
-    let n = configs.len();
-    let mut results: Vec<Option<RunResult>> = Vec::with_capacity(n);
-    results.resize_with(n, || None);
-    let slots: Vec<parking_lot::Mutex<Option<RunResult>>> =
-        (0..n).map(|_| parking_lot::Mutex::new(None)).collect();
+/// Builds and runs several simulations in parallel threads (each
+/// engine is single-threaded and independent), preserving input order.
+///
+/// # Panics
+///
+/// Panics when any builder fails to build or a run reports an
+/// [`EngineError`](camdn_runtime::EngineError).
+pub fn parallel_sims(builders: Vec<SimulationBuilder>) -> Vec<RunResult> {
+    let n = builders.len();
+    let jobs: Vec<std::sync::Mutex<Option<SimulationBuilder>>> = builders
+        .into_iter()
+        .map(|b| std::sync::Mutex::new(Some(b)))
+        .collect();
+    let slots: Vec<std::sync::Mutex<Option<RunResult>>> =
+        (0..n).map(|_| std::sync::Mutex::new(None)).collect();
     let threads = std::thread::available_parallelism()
         .map(|p| p.get())
         .unwrap_or(4);
     let next = std::sync::atomic::AtomicUsize::new(0);
-    crossbeam::scope(|s| {
+    std::thread::scope(|s| {
         for _ in 0..threads.min(n) {
-            s.spawn(|_| loop {
+            s.spawn(|| loop {
                 let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
                 if i >= n {
                     break;
                 }
-                let (cfg, models) = &configs[i];
-                let r = simulate(cfg.clone(), models);
-                *slots[i].lock() = Some(r);
+                let b = jobs[i]
+                    .lock()
+                    .expect("job lock poisoned")
+                    .take()
+                    .expect("job taken once");
+                let r = b.run().expect("simulation failed");
+                *slots[i].lock().expect("slot lock poisoned") = Some(r);
             });
         }
-    })
-    .expect("worker thread panicked");
+    });
     slots
         .into_iter()
-        .map(|s| s.into_inner().expect("every slot filled"))
+        .map(|s| {
+            s.into_inner()
+                .expect("slot lock poisoned")
+                .expect("every slot filled")
+        })
         .collect()
+}
+
+/// Runs several engine configurations in parallel threads.
+#[deprecated(
+    since = "0.2.0",
+    note = "use `parallel_sims` with `SimulationBuilder`s"
+)]
+#[allow(deprecated)]
+pub fn parallel_runs(configs: Vec<(camdn_runtime::EngineConfig, Vec<Model>)>) -> Vec<RunResult> {
+    parallel_sims(
+        configs
+            .into_iter()
+            .map(|(cfg, models)| {
+                let mut b = Simulation::builder()
+                    .policy(cfg.policy)
+                    .soc(cfg.soc)
+                    .seed(cfg.seed)
+                    .workload(Workload::closed(models, cfg.rounds_per_task))
+                    .warmup_rounds(cfg.warmup_rounds)
+                    .epoch_cycles(cfg.epoch_cycles)
+                    .mapper(cfg.mapper);
+                if let Some(scale) = cfg.qos_scale {
+                    b = b.qos_scale(scale);
+                }
+                b
+            })
+            .collect(),
+    )
 }
 
 /// Prints a simple aligned table.
@@ -172,19 +215,16 @@ mod tests {
     }
 
     #[test]
-    fn parallel_runs_preserve_order() {
+    fn parallel_sims_preserve_order() {
         let models = vec![camdn_models::zoo::mobilenet_v2()];
-        let mk = |seed| EngineConfig {
-            seed,
-            rounds_per_task: 1,
-            warmup_rounds: 0,
-            ..EngineConfig::speedup(PolicyKind::SharedBaseline)
+        let mk = |seed| {
+            Simulation::builder()
+                .policy(PolicyKind::SharedBaseline)
+                .seed(seed)
+                .warmup_rounds(0)
+                .workload(Workload::closed(models.clone(), 1))
         };
-        let res = parallel_runs(vec![
-            (mk(1), models.clone()),
-            (mk(2), models.clone()),
-            (mk(1), models.clone()),
-        ]);
+        let res = parallel_sims(vec![mk(1), mk(2), mk(1)]);
         assert_eq!(res.len(), 3);
         assert_eq!(res[0], res[2], "same seed must give identical results");
     }

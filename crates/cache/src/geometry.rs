@@ -58,12 +58,12 @@ impl CacheGeometry {
         assert!(cfg.ways.is_power_of_two(), "way count must be 2^n");
         let lines_per_page = cfg.page_bytes / cfg.line_bytes;
         assert!(
-            lines_per_page % u64::from(cfg.slices) == 0,
+            lines_per_page.is_multiple_of(u64::from(cfg.slices)),
             "a page must span all slices evenly"
         );
         let sets_per_page = lines_per_page / u64::from(cfg.slices);
         assert!(
-            sets_per_slice % sets_per_page == 0,
+            sets_per_slice.is_multiple_of(sets_per_page),
             "sets per slice must be a multiple of sets per page"
         );
         CacheGeometry {
@@ -94,9 +94,8 @@ impl CacheGeometry {
     pub fn unpack(&self, packed: u64) -> Pcaddr {
         let offset = (packed & (self.line_bytes - 1)) as u32;
         let slice = ((packed >> self.offset_bits) & u64::from(self.slices - 1)) as u32;
-        let set =
-            ((packed >> (self.offset_bits + self.slice_bits)) & u64::from(self.sets_per_slice - 1))
-                as u32;
+        let set = ((packed >> (self.offset_bits + self.slice_bits))
+            & u64::from(self.sets_per_slice - 1)) as u32;
         let way = (packed >> (self.offset_bits + self.slice_bits + self.set_bits)) as u32;
         Pcaddr {
             slice,

@@ -273,6 +273,7 @@ impl Nec {
     /// # Errors
     ///
     /// Fails if any of `pcpns` is not owned by `task`.
+    #[allow(clippy::too_many_arguments)]
     pub fn fill(
         &mut self,
         now: Cycle,
@@ -295,6 +296,7 @@ impl Nec {
     /// # Errors
     ///
     /// Fails if any of `pcpns` is not owned by `task`.
+    #[allow(clippy::too_many_arguments)]
     pub fn writeback(
         &mut self,
         now: Cycle,
@@ -470,7 +472,8 @@ mod tests {
         let (mut nec, mut dram) = setup();
         let p = nec.first_pcpn();
         nec.claim_page(1, p).unwrap();
-        nec.fill(0, 1, &[p], PhysAddr(0), 512, &mut dram, 0).unwrap();
+        nec.fill(0, 1, &[p], PhysAddr(0), 512, &mut dram, 0)
+            .unwrap();
         assert_eq!(dram.stats().read_bytes.get(), 512 * 64);
         assert_eq!(nec.stats().fills.get(), 512);
     }

@@ -135,7 +135,10 @@ impl SharedCache {
     ///
     /// Returns the mask of reserved ways.
     pub fn partition_ways(&mut self, npu_ways: u32, now: Cycle, dram: &mut DramModel) -> u16 {
-        assert!(npu_ways <= self.geom.ways, "cannot reserve more ways than exist");
+        assert!(
+            npu_ways <= self.geom.ways,
+            "cannot reserve more ways than exist"
+        );
         let lo = self.geom.ways - npu_ways;
         let mut mask = 0u16;
         for w in lo..self.geom.ways {
@@ -166,8 +169,8 @@ impl SharedCache {
     fn slice_set_of(&self, addr: PhysAddr) -> (usize, usize, u64) {
         let line = addr.line_index(self.geom.line_bytes);
         let slice = (line % u64::from(self.geom.slices)) as usize;
-        let set = ((line / u64::from(self.geom.slices)) % u64::from(self.geom.sets_per_slice))
-            as usize;
+        let set =
+            ((line / u64::from(self.geom.slices)) % u64::from(self.geom.sets_per_slice)) as usize;
         // Tag = full line index; simplest unique identity.
         (slice, set, line)
     }
@@ -175,7 +178,12 @@ impl SharedCache {
     /// Tag lookup and update for one line: returns `(hit, writeback)`.
     /// Misses allocate immediately (victim selected by LRU within the
     /// mask); dirty victims are reported for the caller to write back.
-    fn touch_line(&mut self, addr: PhysAddr, is_write: bool, way_mask: u16) -> (bool, Option<PhysAddr>) {
+    fn touch_line(
+        &mut self,
+        addr: PhysAddr,
+        is_write: bool,
+        way_mask: u16,
+    ) -> (bool, Option<PhysAddr>) {
         debug_assert!(way_mask != 0, "empty way mask");
         let (slice, set, tag) = self.slice_set_of(addr);
         self.lru_clock += 1;
@@ -319,8 +327,8 @@ impl SharedCache {
         // Cache port/bandwidth: the slices collectively serve
         // `slices * lines_per_cycle` lines per cycle.
         let lines = last - first + 1;
-        let serve = (lines as f64 / (f64::from(self.geom.slices) * self.lines_per_cycle)).ceil()
-            as Cycle;
+        let serve =
+            (lines as f64 / (f64::from(self.geom.slices) * self.lines_per_cycle)).ceil() as Cycle;
         out.finish = out.finish.max(now + self.hit_latency + serve);
         out
     }
@@ -388,9 +396,7 @@ mod tests {
         let mask = c.full_way_mask();
         let geom = *c.geometry();
         // 17 lines mapping to the same (slice,set): stride = slices * sets * line.
-        let stride = u64::from(geom.slices)
-            * u64::from(geom.sets_per_slice)
-            * geom.line_bytes;
+        let stride = u64::from(geom.slices) * u64::from(geom.sets_per_slice) * geom.line_bytes;
         for i in 0..17u64 {
             c.access_line(i, PhysAddr(i * stride), false, mask, &mut d);
         }
@@ -408,7 +414,10 @@ mod tests {
         let high_mask = 0xFFF0; // ways 4-15
         c.access_line(0, a, false, low_mask, &mut d);
         assert!(c.probe(a, low_mask));
-        assert!(!c.probe(a, high_mask), "line must not be visible in other ways");
+        assert!(
+            !c.probe(a, high_mask),
+            "line must not be visible in other ways"
+        );
     }
 
     #[test]
@@ -416,9 +425,7 @@ mod tests {
         let (mut c, mut d) = setup();
         let geom = *c.geometry();
         let mask = 0x0001; // single way -> immediate conflict
-        let stride = u64::from(geom.slices)
-            * u64::from(geom.sets_per_slice)
-            * geom.line_bytes;
+        let stride = u64::from(geom.slices) * u64::from(geom.sets_per_slice) * geom.line_bytes;
         c.access_line(0, PhysAddr(0), true, mask, &mut d); // dirty
         let wr_before = d.stats().write_bytes.get();
         c.access_line(10, PhysAddr(stride), false, mask, &mut d); // evicts
@@ -441,7 +448,10 @@ mod tests {
             &mut d,
         );
         assert_eq!(out2.hits, 10);
-        assert!(out2.finish - out.finish < out.finish, "reuse must be faster");
+        assert!(
+            out2.finish - out.finish < out.finish,
+            "reuse must be faster"
+        );
     }
 
     #[test]

@@ -7,7 +7,7 @@
 //! ```
 
 use camdn::models::zoo;
-use camdn::runtime::{simulate, EngineConfig, PolicyKind};
+use camdn::runtime::{PolicyKind, Simulation, Workload};
 
 fn main() {
     // Two instances of each Table I model: one per NPU core.
@@ -21,22 +21,15 @@ fn main() {
         "{:16} {:>9} {:>12} {:>14} {:>12}",
         "policy", "hit rate", "avg latency", "DRAM/model", "mcast saved"
     );
-    for policy in [
-        PolicyKind::SharedBaseline,
-        PolicyKind::Moca,
-        PolicyKind::Aurora,
-        PolicyKind::CamdnHwOnly,
-        PolicyKind::CamdnFull,
-    ] {
-        let cfg = EngineConfig {
-            rounds_per_task: 2,
-            warmup_rounds: 1,
-            ..EngineConfig::speedup(policy)
-        };
-        let r = simulate(cfg, &tenants);
+    for policy in PolicyKind::ALL {
+        let r = Simulation::builder()
+            .policy(policy)
+            .workload(Workload::closed(tenants.clone(), 2))
+            .run()
+            .expect("valid configuration");
         println!(
             "{:16} {:>8.1}% {:>9.2} ms {:>11.1} MB {:>9.1} MB",
-            policy.label(),
+            r.policy,
             100.0 * r.cache_hit_rate,
             r.avg_latency_ms,
             r.mem_mb_per_model,

@@ -7,7 +7,7 @@
 //! ```
 
 use camdn::models::zoo;
-use camdn::runtime::{qos_metrics, simulate, EngineConfig, PolicyKind};
+use camdn::runtime::{qos_metrics, PolicyKind, Simulation, Workload};
 
 fn main() {
     let tenants = zoo::all(); // one task per Table I model, 16 NPUs
@@ -16,12 +16,13 @@ fn main() {
     let iso: Vec<f64> = tenants
         .iter()
         .map(|m| {
-            let cfg = EngineConfig {
-                rounds_per_task: 2,
-                warmup_rounds: 1,
-                ..EngineConfig::speedup(PolicyKind::SharedBaseline)
-            };
-            simulate(cfg, &[m.clone()]).tasks[0].mean_latency_ms
+            Simulation::builder()
+                .policy(PolicyKind::SharedBaseline)
+                .workload(Workload::closed(vec![m.clone()], 2))
+                .run()
+                .expect("isolated run")
+                .tasks[0]
+                .mean_latency_ms
         })
         .collect();
 
@@ -31,16 +32,16 @@ fn main() {
         "policy", "SLA rate", "STP", "fairness"
     );
     for policy in [PolicyKind::Moca, PolicyKind::Aurora, PolicyKind::CamdnFull] {
-        let cfg = EngineConfig {
-            rounds_per_task: 3,
-            warmup_rounds: 1,
-            ..EngineConfig::qos(policy, 1.0)
-        };
-        let r = simulate(cfg, &tenants);
+        let r = Simulation::builder()
+            .policy(policy)
+            .qos_scale(1.0)
+            .workload(Workload::closed(tenants.clone(), 3))
+            .run()
+            .expect("qos run");
         let q = qos_metrics(&r, &iso);
         println!(
             "{:16} {:>9.1}% {:>8.2} {:>10.2}",
-            policy.label(),
+            r.policy,
             100.0 * q.sla_rate,
             q.stp,
             q.fairness

@@ -5,20 +5,19 @@
 //! ```
 
 use camdn::models::zoo;
-use camdn::runtime::{simulate, EngineConfig, PolicyKind};
+use camdn::runtime::{PolicyKind, Simulation, Workload};
 
 fn main() {
     let tenants = vec![zoo::mobilenet_v2(), zoo::resnet50()];
 
     println!("Two co-located DNNs on the Table II SoC (16 MiB shared cache)\n");
     for policy in [PolicyKind::SharedBaseline, PolicyKind::CamdnFull] {
-        let cfg = EngineConfig {
-            rounds_per_task: 3,
-            warmup_rounds: 1,
-            ..EngineConfig::speedup(policy)
-        };
-        let result = simulate(cfg, &tenants);
-        println!("{}:", policy.label());
+        let result = Simulation::builder()
+            .policy(policy)
+            .workload(Workload::closed(tenants.clone(), 3))
+            .run()
+            .expect("valid configuration");
+        println!("{}:", result.policy);
         println!("  cache hit rate     {:.1}%", 100.0 * result.cache_hit_rate);
         println!("  avg model latency  {:.2} ms", result.avg_latency_ms);
         println!("  DRAM per inference {:.1} MB", result.mem_mb_per_model);

@@ -1,0 +1,38 @@
+//! Umbrella crate for the CaMDN reproduction.
+//!
+//! Re-exports the public API of every subsystem so examples, integration
+//! tests and downstream users can depend on a single crate, plus the
+//! headline simulation types at the top level:
+//!
+//! ```no_run
+//! use camdn::{PolicyKind, Simulation, Workload};
+//!
+//! let models = camdn::models::zoo::all();
+//! let result = Simulation::builder()
+//!     .policy(PolicyKind::CamdnFull)
+//!     .workload(Workload::closed(models, 2))
+//!     .run()
+//!     .expect("valid configuration");
+//! println!("{}: {:.2} ms", result.policy, result.avg_latency_ms);
+//! ```
+//!
+//! See the crate-level docs of each member for details:
+//! [`camdn_core`] (the co-design), [`camdn_runtime`] (multi-tenant
+//! engine, policies and scenarios), [`camdn_mapper`], [`camdn_models`],
+//! [`camdn_cache`], [`camdn_dram`], [`camdn_npu`], [`camdn_analysis`]
+//! and [`camdn_common`].
+
+pub use camdn_analysis as analysis;
+pub use camdn_cache as cache;
+pub use camdn_common as common;
+pub use camdn_core as core;
+pub use camdn_dram as dram;
+pub use camdn_mapper as mapper;
+pub use camdn_models as models;
+pub use camdn_npu as npu;
+pub use camdn_runtime as runtime;
+
+pub use camdn_runtime::{
+    register_policy, ArrivalProcess, EngineError, Policy, PolicyKind, PolicyRegistry, RunResult,
+    Simulation, SimulationBuilder, Workload,
+};

@@ -1,0 +1,168 @@
+//! Tests of the public simulation API: builder determinism, custom
+//! policy registration, workload scenarios and backward compatibility
+//! of the deprecated shims.
+
+use camdn::models::zoo;
+use camdn::runtime::{
+    register_policy, EngineError, Policy, PolicyCapabilities, PolicyRegistry, Selection,
+};
+use camdn::{PolicyKind, RunResult, Simulation, Workload};
+use camdn_common::types::Cycle;
+use camdn_mapper::Mct;
+
+/// A sixth, test-only policy: transparent cache, no scheduling at all —
+/// implemented and registered entirely outside `camdn-runtime`.
+struct NoOpPolicy;
+
+impl Policy for NoOpPolicy {
+    fn label(&self) -> &str {
+        "NoOp(custom)"
+    }
+
+    fn capabilities(&self) -> PolicyCapabilities {
+        PolicyCapabilities::default()
+    }
+
+    fn select_candidate(
+        &mut self,
+        _now: Cycle,
+        _task: u32,
+        _mct: &Mct,
+        _lbm_active: bool,
+        _idle_pages: u32,
+    ) -> Selection {
+        Selection::Transparent
+    }
+}
+
+#[test]
+fn same_seed_is_deterministic_for_every_builtin_policy() {
+    let models = vec![zoo::mobilenet_v2(), zoo::efficientnet_b0()];
+    for policy in PolicyKind::ALL {
+        let run = || {
+            Simulation::builder()
+                .policy(policy)
+                .workload(Workload::closed(models.clone(), 2))
+                .seed(42)
+                .run()
+                .expect("deterministic run")
+        };
+        assert_eq!(run(), run(), "{policy:?} must be seed-deterministic");
+    }
+}
+
+#[test]
+fn different_seeds_change_the_schedule() {
+    let models: Vec<_> = (0..4).map(|_| zoo::efficientnet_b0()).collect();
+    let run = |seed| {
+        Simulation::builder()
+            .policy(PolicyKind::SharedBaseline)
+            .workload(Workload::closed(models.clone(), 2))
+            .seed(seed)
+            .run()
+            .expect("run")
+    };
+    assert_ne!(
+        run(1).makespan_ms,
+        run(2).makespan_ms,
+        "dispatch jitter must depend on the seed"
+    );
+}
+
+#[test]
+fn custom_policy_registers_and_simulates() {
+    register_policy("noop-test", || Box::new(NoOpPolicy));
+    assert!(camdn::runtime::registered_policies().contains(&"noop-test".to_string()));
+
+    let models = vec![zoo::mobilenet_v2(), zoo::efficientnet_b0()];
+    let custom = Simulation::builder()
+        .policy_named("noop-test")
+        .workload(Workload::closed(models.clone(), 2))
+        .run()
+        .expect("custom policy run");
+    assert_eq!(custom.policy, "NoOp(custom)");
+    assert!(custom.tasks.iter().all(|t| t.inferences == 1));
+
+    // With identical capabilities and selections, the custom no-op
+    // matches the built-in baseline cycle for cycle.
+    let baseline = Simulation::builder()
+        .policy(PolicyKind::SharedBaseline)
+        .workload(Workload::closed(models, 2))
+        .run()
+        .expect("baseline run");
+    assert_eq!(custom.tasks, baseline.tasks);
+    assert_eq!(custom.makespan_ms, baseline.makespan_ms);
+}
+
+#[test]
+fn policy_instance_bypasses_the_registry() {
+    let r = Simulation::builder()
+        .policy_instance(Box::new(NoOpPolicy))
+        .workload(Workload::closed(vec![zoo::mobilenet_v2()], 1))
+        .warmup_rounds(0)
+        .run()
+        .expect("instance run");
+    assert_eq!(r.policy, "NoOp(custom)");
+    assert_eq!(r.tasks[0].inferences, 1);
+}
+
+#[test]
+fn local_registries_are_isolated() {
+    let mut reg = PolicyRegistry::with_builtins();
+    reg.register("local-only", || Box::new(NoOpPolicy));
+    assert!(reg.contains("local-only"));
+    assert!(!camdn::runtime::registered_policies().contains(&"local-only".to_string()));
+}
+
+#[test]
+fn empty_workload_is_a_typed_error() {
+    let err = Simulation::builder()
+        .policy(PolicyKind::CamdnFull)
+        .workload(Workload::closed(vec![], 2))
+        .build()
+        .err();
+    assert_eq!(err, Some(EngineError::EmptyWorkload));
+}
+
+#[test]
+fn open_loop_scenarios_run_every_builtin() {
+    let models = vec![zoo::mobilenet_v2(), zoo::efficientnet_b0()];
+    for policy in PolicyKind::ALL {
+        let r = Simulation::builder()
+            .policy(policy)
+            .workload(Workload::poisson(models.clone(), 0.05, 60.0))
+            .warmup_rounds(0)
+            .run()
+            .expect("poisson run");
+        assert!(
+            r.tasks.iter().any(|t| t.inferences > 0),
+            "{policy:?} open loop must complete arrivals"
+        );
+    }
+}
+
+#[allow(deprecated)]
+fn shim_run(policy: PolicyKind, models: &[camdn::models::Model]) -> RunResult {
+    use camdn::runtime::{simulate, EngineConfig};
+    simulate(EngineConfig::speedup(policy), models)
+}
+
+#[test]
+fn deprecated_shims_agree_with_the_builder() {
+    // The EngineConfig/simulate shims and the builder drive the same
+    // engine: identical knobs must give identical results, so existing
+    // callers can migrate without re-baselining experiments.
+    let models = vec![zoo::mobilenet_v2(), zoo::gnmt()];
+    for policy in [PolicyKind::SharedBaseline, PolicyKind::CamdnFull] {
+        let old = shim_run(policy, &models);
+        let new = Simulation::builder()
+            .policy(policy)
+            .workload(Workload::closed(models.clone(), 3))
+            .seed(0xCA3D41)
+            .warmup_rounds(1)
+            .epoch_cycles(200_000)
+            .run()
+            .expect("builder run");
+        assert_eq!(old, new, "{policy:?} shim and builder must agree");
+    }
+}

@@ -116,6 +116,48 @@ impl CacheConfig {
     pub fn lines_per_page(&self) -> u64 {
         self.page_bytes / self.line_bytes
     }
+
+    /// Checks the geometric invariants the cache model asserts at
+    /// construction, so callers can reject a bad configuration with an
+    /// error instead of panicking.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.line_bytes == 0 || !self.line_bytes.is_power_of_two() {
+            return Err("cache line size must be a power of two".into());
+        }
+        if self.slices == 0 || !self.slices.is_power_of_two() {
+            return Err("cache slice count must be a power of two".into());
+        }
+        if self.ways == 0 || !self.ways.is_power_of_two() {
+            return Err("cache way count must be a power of two".into());
+        }
+        if self.npu_ways > self.ways {
+            return Err(format!(
+                "npu_ways ({}) cannot exceed total ways ({})",
+                self.npu_ways, self.ways
+            ));
+        }
+        if !self
+            .total_bytes
+            .is_multiple_of(self.line_bytes * u64::from(self.slices) * u64::from(self.ways))
+        {
+            return Err("cache capacity must divide evenly into slices and ways".into());
+        }
+        let sets_per_slice = self.sets_per_slice();
+        if sets_per_slice == 0 || !sets_per_slice.is_power_of_two() {
+            return Err("sets per slice must be a (positive) power of two".into());
+        }
+        if self.page_bytes == 0 || !self.page_bytes.is_multiple_of(self.line_bytes) {
+            return Err("cache page size must be a positive multiple of the line size".into());
+        }
+        if !self.lines_per_page().is_multiple_of(u64::from(self.slices)) {
+            return Err("a cache page must span all slices evenly".into());
+        }
+        let sets_per_page = self.lines_per_page() / u64::from(self.slices);
+        if sets_per_page == 0 || !sets_per_slice.is_multiple_of(sets_per_page) {
+            return Err("sets per slice must be a multiple of sets per page".into());
+        }
+        Ok(())
+    }
 }
 
 impl Default for CacheConfig {

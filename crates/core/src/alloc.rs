@@ -169,7 +169,13 @@ mod tests {
         let mut a = PageAllocator::new(0, 4);
         a.acquire(0, 3).unwrap();
         let err = a.acquire(1, 2).unwrap_err();
-        assert_eq!(err, AllocError::OutOfPages { requested: 2, free: 1 });
+        assert_eq!(
+            err,
+            AllocError::OutOfPages {
+                requested: 2,
+                free: 1
+            }
+        );
         assert_eq!(a.idle_pages(), 1, "failed acquire must not leak pages");
     }
 
@@ -191,7 +197,10 @@ mod tests {
         let mine = a.acquire(0, 2).unwrap();
         assert_eq!(
             a.release(1, &mine[..1]),
-            Err(AllocError::NotHeld { pcpn: mine[0], task: 1 })
+            Err(AllocError::NotHeld {
+                pcpn: mine[0],
+                task: 1
+            })
         );
     }
 

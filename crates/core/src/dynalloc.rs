@@ -120,8 +120,7 @@ impl DynamicAllocator {
             // Lines 10-15: head layer may enable LBM if the block's peak
             // fits the predicted availability.
             if mct.block.is_head {
-                let t_ahead =
-                    now + (mct.block.block_est_cycles as f64 * self.lookahead) as Cycle;
+                let t_ahead = now + (mct.block.block_est_cycles as f64 * self.lookahead) as Cycle;
                 let p_ahead = self.pred_avail_pages(t_ahead, task, idle_pages);
                 if lbm.pneed < p_ahead {
                     return Decision {
@@ -154,24 +153,7 @@ impl DynamicAllocator {
     /// next-cheaper decision (LBM degrades to the best LWM below its
     /// demand; the zero-page candidate always terminates the chain).
     pub fn degrade(&self, mct: &Mct, current_pneed: u32) -> Decision {
-        let mut best = 0usize;
-        for (i, c) in mct.lwm.iter().enumerate() {
-            if c.pneed < current_pneed && c.pneed > mct.lwm[best].pneed {
-                best = i;
-            }
-        }
-        // Ensure strict decrease even if lwm[0] is the only option.
-        let pneed = mct.lwm[best].pneed.min(current_pneed.saturating_sub(1));
-        let pneed = if mct.lwm[best].pneed < current_pneed {
-            mct.lwm[best].pneed
-        } else {
-            pneed
-        };
-        Decision {
-            candidate: CandidateRef::Lwm(best),
-            pneed,
-            timeout: None,
-        }
+        degrade_decision(mct, current_pneed)
     }
 
     /// Marks LBM active for `task` on `block_id` (pages were granted).
@@ -205,11 +187,48 @@ impl DynamicAllocator {
     }
 
     /// Resolves a decision against an MCT.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the decision does not match the MCT; prefer the
+    /// fallible [`resolve_candidate`].
     pub fn resolve<'m>(&self, mct: &'m Mct, dec: &Decision) -> &'m MappingCandidate {
-        match dec.candidate {
-            CandidateRef::Lbm => mct.lbm.as_ref().expect("LBM decision without LBM"),
-            CandidateRef::Lwm(i) => &mct.lwm[i],
+        resolve_candidate(mct, dec).expect("decision does not match the MCT")
+    }
+}
+
+/// Resolves a decision against an MCT, or `None` when the decision
+/// refers to a candidate the MCT does not carry (an LBM decision on a
+/// block without an LBM candidate, or an out-of-range LWM index).
+///
+/// Stateless companion of [`DynamicAllocator::resolve`], usable by any
+/// scheduling policy without holding an allocator.
+pub fn resolve_candidate<'m>(mct: &'m Mct, dec: &Decision) -> Option<&'m MappingCandidate> {
+    match dec.candidate {
+        CandidateRef::Lbm => mct.lbm.as_ref(),
+        CandidateRef::Lwm(i) => mct.lwm.get(i),
+    }
+}
+
+/// Returns the next-cheaper decision below `current_pneed` (LBM degrades
+/// to the best LWM below its demand; the zero-page candidate always
+/// terminates the chain).
+///
+/// Stateless companion of [`DynamicAllocator::degrade`], usable by any
+/// scheduling policy without holding an allocator.
+pub fn degrade_decision(mct: &Mct, current_pneed: u32) -> Decision {
+    let mut best = 0usize;
+    for (i, c) in mct.lwm.iter().enumerate() {
+        if c.pneed < current_pneed && c.pneed > mct.lwm[best].pneed {
+            best = i;
         }
+    }
+    // Ensure strict decrease even if lwm[0] is the only option.
+    let pneed = mct.lwm[best].pneed.min(current_pneed.saturating_sub(1));
+    Decision {
+        candidate: CandidateRef::Lwm(best),
+        pneed,
+        timeout: None,
     }
 }
 

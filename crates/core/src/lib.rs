@@ -30,6 +30,6 @@ pub mod policy;
 pub mod region;
 
 pub use alloc::{AllocError, PageAllocator};
-pub use dynalloc::{CandidateRef, Decision, DynamicAllocator};
+pub use dynalloc::{degrade_decision, resolve_candidate, CandidateRef, Decision, DynamicAllocator};
 pub use policy::StaticPolicy;
 pub use region::{install_region, teardown_region, RegionError, RegionGrant};

@@ -121,11 +121,7 @@ pub fn install_region(
     })();
 
     match result {
-        Ok(()) => Ok(RegionGrant {
-            task,
-            pages,
-            vcpns,
-        }),
+        Ok(()) => Ok(RegionGrant { task, pages, vcpns }),
         Err(e) => {
             for (&pcpn, &vcpn) in pages.iter().zip(vcpns.iter()).take(installed) {
                 let _ = npu.cpt_mut().unmap(vcpn);
@@ -173,11 +169,7 @@ mod tests {
         let alloc = PageAllocator::new(nec.first_pcpn(), nec.npu_pages());
         let npu = NpuCore::new(0, NpuConfig::paper_default(), 512, cache.page_bytes);
         // A candidate that caches something.
-        let layer = Layer::new(
-            "fc",
-            OpKind::Linear,
-            LoopNest::matmul(4096, 1024, 1024),
-        );
+        let layer = Layer::new("fc", OpKind::Linear, LoopNest::matmul(4096, 1024, 1024));
         let cand = map_layer_lwm(&layer, &MapperConfig::paper_default(), 1 << 20);
         (alloc, nec, npu, cand)
     }

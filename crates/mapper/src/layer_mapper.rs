@@ -83,7 +83,12 @@ impl ModelMapping {
     pub fn peak_pages(&self) -> u32 {
         self.mcts
             .iter()
-            .flat_map(|m| m.lwm.iter().map(|c| c.pneed).chain(m.lbm.iter().map(|c| c.pneed)))
+            .flat_map(|m| {
+                m.lwm
+                    .iter()
+                    .map(|c| c.pneed)
+                    .chain(m.lbm.iter().map(|c| c.pneed))
+            })
             .max()
             .unwrap_or(0)
     }

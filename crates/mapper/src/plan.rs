@@ -144,12 +144,7 @@ pub fn lower(candidate: &MappingCandidate, sizes: PlanSizes, mode: LowerMode) ->
     };
     let n_outer = n_outer_raw.clamp(1, MAX_PHASES);
     let compute_per_phase = candidate.compute_cycles / n_outer;
-    let cached = |t: TensorKind| {
-        candidate
-            .entry(t)
-            .map(|e| e.cached_bytes)
-            .unwrap_or(0)
-    };
+    let cached = |t: TensorKind| candidate.entry(t).map(|e| e.cached_bytes).unwrap_or(0);
     let in_cached = cached(TensorKind::Input);
     let w_cached = cached(TensorKind::Weight);
     let out_cached = cached(TensorKind::Output);
@@ -210,7 +205,13 @@ pub fn lower(candidate: &MappingCandidate, sizes: PlanSizes, mode: LowerMode) ->
                 }
                 let streamed = rs_total - rs_cached;
                 if streamed > 0 {
-                    push(resweep_tensor, rs_cached, streamed, false, Route::BypassRead);
+                    push(
+                        resweep_tensor,
+                        rs_cached,
+                        streamed,
+                        false,
+                        Route::BypassRead,
+                    );
                 }
             }
         }

@@ -219,7 +219,7 @@ pub fn solve(layer: &Layer, npu: &NpuConfig, cu_bytes: u64) -> Solution {
         // Degenerate fallback: the minimal tile always fits a 256 KiB
         // scratchpad for every layer in the zoo; this path guards
         // pathological configurations (e.g. unit tests with tiny pads).
-        let tiling = Tiling::new(1.min(oc.max(1)), 1.min(sp.max(1)), oc.max(1), sp.max(1));
+        let tiling = Tiling::new(1, 1, oc.max(1), sp.max(1));
         let (traffic, cw, ci) = traffic_of(&sizes, LoopOrder::OcOuter, &tiling, cu_bytes);
         Solution {
             order: LoopOrder::OcOuter,
@@ -299,10 +299,7 @@ mod tests {
         let uncached = solve(&l, &npu(), 0);
         assert_eq!(uncached.order, LoopOrder::SpatialOuter);
         assert_eq!(uncached.tiling.n_sp, 32);
-        assert_eq!(
-            uncached.dram_bytes,
-            sizes.lower_bound() + 31 * sizes.weight
-        );
+        assert_eq!(uncached.dram_bytes, sizes.lower_bound() + 31 * sizes.weight);
         // A big-enough cache budget recovers the lower bound.
         let cached = solve(&l, &npu(), 8 << 20);
         assert_eq!(cached.cached_weight, sizes.weight);
@@ -314,11 +311,7 @@ mod tests {
         // Weights 288 KiB re-swept vs a 6.3 MiB input: with a 512 KiB
         // budget only the weights fit, so SpatialOuter + cached weights
         // is the only way to cut the re-sweep traffic.
-        let l = Layer::new(
-            "pp",
-            OpKind::Conv,
-            LoopNest::conv(64, 248, 216, 512, 3, 1),
-        );
+        let l = Layer::new("pp", OpKind::Conv, LoopNest::conv(64, 248, 216, 512, 3, 1));
         let s0 = solve(&l, &npu(), 0);
         let s = solve(&l, &npu(), 512 << 10);
         assert!(s.dram_bytes <= s0.dram_bytes);

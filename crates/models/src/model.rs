@@ -137,10 +137,7 @@ mod tests {
             m.layers.iter().map(|l| l.nest.macs()).sum::<u64>()
         );
         // Intermediates: outputs of c1 and c2 only.
-        assert_eq!(
-            m.total_intermediate_bytes(),
-            16 * 64 + 32 * 64
-        );
+        assert_eq!(m.total_intermediate_bytes(), 16 * 64 + 32 * 64);
         assert_eq!(m.max_intermediate_bytes(), 32 * 64);
     }
 

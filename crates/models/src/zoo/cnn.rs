@@ -324,9 +324,18 @@ mod tests {
 
     #[test]
     fn all_cnn_layers_have_positive_dims() {
-        for m in [resnet50(), mobilenet_v2(), efficientnet_b0(), pointpillars()] {
+        for m in [
+            resnet50(),
+            mobilenet_v2(),
+            efficientnet_b0(),
+            pointpillars(),
+        ] {
             for l in &m.layers {
-                assert!(l.nest.oc > 0 && l.nest.oh > 0 && l.nest.ow > 0, "{}", l.name);
+                assert!(
+                    l.nest.oc > 0 && l.nest.oh > 0 && l.nest.ow > 0,
+                    "{}",
+                    l.name
+                );
                 assert!(l.nest.macs() > 0, "{} has zero MACs", l.name);
             }
         }

@@ -78,7 +78,10 @@ mod tests {
     #[test]
     fn gnmt_is_weight_dominated() {
         let m = gnmt();
-        assert!(m.intermediate_ratio() < 0.15, "LSTM traffic is weight-bound");
+        assert!(
+            m.intermediate_ratio() < 0.15,
+            "LSTM traffic is weight-bound"
+        );
     }
 
     #[test]

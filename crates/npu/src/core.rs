@@ -65,11 +65,7 @@ impl NpuCore {
     /// # Errors
     ///
     /// Propagates CPT faults ([`CptError`]).
-    pub fn translate_range(
-        &self,
-        vcaddr: VirtCacheAddr,
-        bytes: u64,
-    ) -> Result<Vec<u32>, CptError> {
+    pub fn translate_range(&self, vcaddr: VirtCacheAddr, bytes: u64) -> Result<Vec<u32>, CptError> {
         self.cpt.translate_range(vcaddr, bytes)
     }
 }
@@ -92,9 +88,7 @@ mod tests {
         let mut core = NpuCore::new(0, NpuConfig::paper_default(), 512, 32 * KIB);
         core.cpt_mut().map(0, 200).unwrap();
         core.cpt_mut().map(1, 201).unwrap();
-        let pages = core
-            .translate_range(VirtCacheAddr(0), 64 * KIB)
-            .unwrap();
+        let pages = core.translate_range(VirtCacheAddr(0), 64 * KIB).unwrap();
         assert_eq!(pages, vec![200, 201]);
     }
 }

@@ -145,10 +145,13 @@ impl CachePageTable {
     /// [`CptError::OutOfRange`] or [`CptError::Unmapped`].
     pub fn translate(&self, vcaddr: VirtCacheAddr) -> Result<(u32, u64), CptError> {
         let vcpn = vcaddr.vcpn(self.page_bytes) as u32;
-        let slot = self.entries.get(vcpn as usize).ok_or(CptError::OutOfRange {
-            vcpn,
-            entries: self.entries.len() as u32,
-        })?;
+        let slot = self
+            .entries
+            .get(vcpn as usize)
+            .ok_or(CptError::OutOfRange {
+                vcpn,
+                entries: self.entries.len() as u32,
+            })?;
         slot.map(|pcpn| (pcpn, vcaddr.page_offset(self.page_bytes)))
             .ok_or(CptError::Unmapped { vcpn })
     }
@@ -159,11 +162,7 @@ impl CachePageTable {
     /// # Errors
     ///
     /// Fails on the first unmapped or out-of-range page.
-    pub fn translate_range(
-        &self,
-        vcaddr: VirtCacheAddr,
-        bytes: u64,
-    ) -> Result<Vec<u32>, CptError> {
+    pub fn translate_range(&self, vcaddr: VirtCacheAddr, bytes: u64) -> Result<Vec<u32>, CptError> {
         if bytes == 0 {
             return Ok(Vec::new());
         }
@@ -257,9 +256,7 @@ mod tests {
         t.map(0, 140).unwrap();
         t.map(1, 141).unwrap();
         t.map(2, 139).unwrap();
-        let pages = t
-            .translate_range(VirtCacheAddr(10), 2 * 32 * KIB)
-            .unwrap();
+        let pages = t.translate_range(VirtCacheAddr(10), 2 * 32 * KIB).unwrap();
         assert_eq!(pages, vec![140, 141, 142 - 3]);
     }
 
@@ -274,9 +271,7 @@ mod tests {
         let mut t = cpt();
         t.map(0, 140).unwrap();
         // Page 1 missing.
-        assert!(t
-            .translate_range(VirtCacheAddr(0), 33 * KIB)
-            .is_err());
+        assert!(t.translate_range(VirtCacheAddr(0), 33 * KIB).is_err());
     }
 
     #[test]

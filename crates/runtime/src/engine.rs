@@ -7,29 +7,29 @@
 //! DRAM channels and the shared cache, which is where the multi-tenant
 //! interference — and CaMDN's advantage — comes from.
 //!
-//! Five system configurations are supported ([`PolicyKind`]):
-//!
-//! * [`PolicyKind::SharedBaseline`] — plain transparent shared cache
-//!   (the motivation experiment of Fig. 2);
-//! * [`PolicyKind::Moca`] — MoCA-style dynamic memory-bandwidth
-//!   partitioning \[8\] on a transparent cache;
-//! * [`PolicyKind::Aurora`] — AuRORA-style dynamic NPU + bandwidth
-//!   co-allocation \[13\] on a transparent cache;
-//! * [`PolicyKind::CamdnHwOnly`] — CaMDN architecture with a static
-//!   equal split of the NPU subspace;
-//! * [`PolicyKind::CamdnFull`] — the full architecture-scheduling
-//!   co-design (Algorithm 1; in QoS mode it runs AuRORA's bandwidth/NPU
-//!   allocation on top, as in Section IV-A3).
+//! The engine core is policy-agnostic: every scheduling choice (cache
+//! pages, bandwidth shares, NPU groups) is delegated to a boxed
+//! [`Policy`](crate::Policy) through its hooks, and the workload's
+//! timing comes from a [`Workload`](crate::Workload) scenario. The five
+//! systems evaluated in the paper are the built-in policies named by
+//! [`PolicyKind`]; use [`Simulation::builder`](crate::Simulation) to
+//! assemble and run a configuration.
 
+use crate::error::EngineError;
 use crate::layout::TaskLayout;
+use crate::policies::{
+    builtin_policy, AllocFailure, EpochSlot, InstallEvent, PartitionCtx, Policy,
+    PolicyCapabilities, Selection,
+};
+use crate::scenario::Workload;
 use crate::task::{InferenceRecord, Task, TaskState};
 use camdn_cache::{Nec, SharedCache};
 use camdn_common::config::SocConfig;
 use camdn_common::types::{cycles_to_ms, ms_to_cycles, Cycle};
 use camdn_common::{EventQueue, SimRng};
 use camdn_core::{
-    install_region, teardown_region, CandidateRef, Decision, DynamicAllocator, PageAllocator,
-    RegionError, StaticPolicy,
+    install_region, resolve_candidate, teardown_region, CandidateRef, Decision, PageAllocator,
+    RegionError,
 };
 use camdn_dram::DramModel;
 use camdn_mapper::{
@@ -41,7 +41,10 @@ use camdn_npu::NpuCore;
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 
-/// Which system configuration the engine simulates.
+/// Names one of the five built-in system configurations.
+///
+/// Custom systems implement [`Policy`](crate::Policy) instead; this
+/// enum remains the convenient way to pick a built-in.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub enum PolicyKind {
     /// Plain shared transparent cache, no resource scheduling.
@@ -57,6 +60,15 @@ pub enum PolicyKind {
 }
 
 impl PolicyKind {
+    /// All built-in kinds, in the paper's presentation order.
+    pub const ALL: [PolicyKind; 5] = [
+        PolicyKind::SharedBaseline,
+        PolicyKind::Moca,
+        PolicyKind::Aurora,
+        PolicyKind::CamdnHwOnly,
+        PolicyKind::CamdnFull,
+    ];
+
     /// True for the two CaMDN variants (NPU-controlled cache).
     pub fn is_camdn(&self) -> bool {
         matches!(self, PolicyKind::CamdnHwOnly | PolicyKind::CamdnFull)
@@ -72,9 +84,25 @@ impl PolicyKind {
             PolicyKind::CamdnFull => "CaMDN(Full)",
         }
     }
+
+    /// Registry identifier of the built-in
+    /// (`baseline`/`moca`/`aurora`/`camdn-hw`/`camdn-full`).
+    pub fn name(&self) -> &'static str {
+        match self {
+            PolicyKind::SharedBaseline => "baseline",
+            PolicyKind::Moca => "moca",
+            PolicyKind::Aurora => "aurora",
+            PolicyKind::CamdnHwOnly => "camdn-hw",
+            PolicyKind::CamdnFull => "camdn-full",
+        }
+    }
 }
 
-/// Engine configuration.
+/// Engine configuration of the original (pre-builder) API.
+#[deprecated(
+    since = "0.2.0",
+    note = "assemble runs with `Simulation::builder()` instead"
+)]
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct EngineConfig {
     /// SoC parameters (Table II).
@@ -97,6 +125,7 @@ pub struct EngineConfig {
     pub mapper: MapperConfig,
 }
 
+#[allow(deprecated)]
 impl EngineConfig {
     /// Speedup-experiment configuration (Section IV-A4) for a policy.
     pub fn speedup(policy: PolicyKind) -> Self {
@@ -119,6 +148,28 @@ impl EngineConfig {
             ..EngineConfig::speedup(policy)
         }
     }
+
+    pub(crate) fn params(&self) -> SimParams {
+        SimParams {
+            soc: self.soc,
+            seed: self.seed,
+            warmup_rounds: self.warmup_rounds,
+            qos_scale: self.qos_scale,
+            epoch_cycles: self.epoch_cycles,
+            mapper: self.mapper.clone(),
+        }
+    }
+}
+
+/// Policy-independent engine parameters (the builder assembles these).
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) struct SimParams {
+    pub soc: SocConfig,
+    pub seed: u64,
+    pub warmup_rounds: u32,
+    pub qos_scale: Option<f64>,
+    pub epoch_cycles: Cycle,
+    pub mapper: MapperConfig,
 }
 
 /// Per-task summary of a run.
@@ -141,8 +192,8 @@ pub struct TaskSummary {
 /// Aggregate result of one engine run.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct RunResult {
-    /// Which policy produced this result.
-    pub policy: PolicyKind,
+    /// Label of the policy that produced this result.
+    pub policy: String,
     /// Per-task summaries in task order.
     pub tasks: Vec<TaskSummary>,
     /// Shared-cache hit rate (transparent path for baselines; controlled
@@ -159,19 +210,31 @@ pub struct RunResult {
 }
 
 /// The multi-tenant discrete-event engine.
+///
+/// This is the low-level API: it is policy-agnostic and fully
+/// assembled by [`Simulation::builder`](crate::Simulation::builder),
+/// which is what most callers want.
 pub struct Engine {
-    cfg: EngineConfig,
+    params: SimParams,
+    policy: Box<dyn Policy>,
+    caps: PolicyCapabilities,
+    label: String,
     models: Vec<Model>,
     mappings: Vec<ModelMapping>,
     tasks: Vec<Task>,
+    /// Inference rounds each task will run in total.
+    rounds_target: Vec<u32>,
+    /// Absolute arrival cycles per task. Closed-loop tasks carry a
+    /// single dispatch-jitter entry (later rounds re-issue
+    /// immediately); open-loop tasks carry their full request schedule.
+    arrivals: Vec<Vec<Cycle>>,
+    closed_loop: bool,
     npus_free: Vec<bool>,
     npu_cores: Vec<NpuCore>,
     dram: DramModel,
     cache: SharedCache,
     nec: Nec,
     alloc: PageAllocator,
-    dynalloc: DynamicAllocator,
-    static_policy: StaticPolicy,
     events: EventQueue<u32>,
     rng: SimRng,
     npu_waiters: Vec<u32>,
@@ -180,16 +243,66 @@ pub struct Engine {
     /// Rough isolated-latency estimate per model (for urgency).
     iso_est: Vec<Cycle>,
     now: Cycle,
+    started: bool,
 }
 
 impl Engine {
-    /// Builds an engine with one task per entry of `task_models`.
+    /// Builds an engine with one task per entry of `task_models`,
+    /// running the built-in system named by `cfg.policy`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the configuration is invalid (e.g. an empty
+    /// workload); the builder path reports [`EngineError`] instead.
+    #[deprecated(
+        since = "0.2.0",
+        note = "assemble runs with `Simulation::builder()` instead"
+    )]
+    #[allow(deprecated)]
     pub fn new(cfg: EngineConfig, task_models: &[Model]) -> Self {
-        let cache_cfg = cfg.soc.cache;
+        let workload = Workload::closed(task_models.to_vec(), cfg.rounds_per_task);
+        Engine::with_policy(cfg.params(), builtin_policy(cfg.policy), &workload)
+            .expect("invalid engine configuration")
+    }
+
+    /// Builds an engine from parameters, a policy instance and a
+    /// workload scenario.
+    pub(crate) fn with_policy(
+        params: SimParams,
+        mut policy: Box<dyn Policy>,
+        workload: &Workload,
+    ) -> Result<Self, EngineError> {
+        workload.validate()?;
+        if params.soc.npu.cores == 0 {
+            return Err(EngineError::InvalidConfig(
+                "the SoC needs at least one NPU core".into(),
+            ));
+        }
+        params
+            .soc
+            .cache
+            .validate()
+            .map_err(EngineError::InvalidConfig)?;
+        // A closed-loop run whose rounds never exceed the warm-up would
+        // return all-zero statistics with no hint anything is wrong.
+        if let Some(rounds) = workload.rounds_hint() {
+            let closed = matches!(workload.arrival(), crate::ArrivalProcess::Closed { .. });
+            if closed && rounds <= params.warmup_rounds {
+                return Err(EngineError::InvalidConfig(format!(
+                    "warmup_rounds ({}) leaves no measured rounds for a {}-round closed workload",
+                    params.warmup_rounds, rounds
+                )));
+            }
+        }
+        let task_models = workload.models();
+        let caps = policy.capabilities();
+        let label = policy.label().to_string();
+
+        let cache_cfg = params.soc.cache;
         let mut cache = SharedCache::new(&cache_cfg);
-        let mut dram = DramModel::new(cfg.soc.dram, cache_cfg.line_bytes);
+        let mut dram = DramModel::new(params.soc.dram, cache_cfg.line_bytes);
         let nec = Nec::new(&cache_cfg);
-        if cfg.policy.is_camdn() {
+        if caps.partitions_cache {
             cache.partition_ways(cache_cfg.npu_ways, 0, &mut dram);
         }
         let alloc = PageAllocator::new(nec.first_pcpn(), nec.npu_pages());
@@ -202,7 +315,7 @@ impl Engine {
         for (tid, m) in task_models.iter().enumerate() {
             let midx = *index.entry(m.name.clone()).or_insert_with(|| {
                 models.push(m.clone());
-                mappings.push(map_model(m, &cfg.mapper));
+                mappings.push(map_model(m, &params.mapper));
                 models.len() - 1
             });
             tasks.push(Task::new(tid as u32, midx, TaskLayout::new(tid as u32, m)));
@@ -213,21 +326,53 @@ impl Engine {
             .collect();
 
         let n = task_models.len();
+        policy.partition(&PartitionCtx {
+            num_tasks: n,
+            npu_pages: nec.npu_pages(),
+            npu_cores: params.soc.npu.cores,
+            qos: params.qos_scale.is_some(),
+        });
+
+        // Arrival schedules are drawn in task order so the run is a
+        // deterministic function of (workload, seed).
+        let mut rng = SimRng::new(params.seed);
+        let mut arrivals = Vec::with_capacity(n);
+        let mut rounds_target = Vec::with_capacity(n);
+        // Only Closed re-issues immediately; Poisson and Bursty tasks
+        // honor their drawn arrival times.
+        let closed_loop = matches!(workload.arrival(), crate::ArrivalProcess::Closed { .. });
+        for _ in 0..n {
+            let sched = workload.draw_arrivals(&mut rng);
+            rounds_target.push(if closed_loop {
+                workload
+                    .rounds_hint()
+                    .expect("closed-loop workloads carry a fixed round count")
+            } else {
+                sched.len() as u32
+            });
+            arrivals.push(sched);
+        }
+
         let cpt_entries = (cache_cfg.total_bytes / cache_cfg.page_bytes) as u32;
-        Engine {
-            static_policy: StaticPolicy::equal_split(nec.npu_pages(), n as u32),
-            dynalloc: DynamicAllocator::new(n),
-            rng: SimRng::new(cfg.seed),
-            npus_free: vec![true; cfg.soc.npu.cores as usize],
-            npu_cores: (0..cfg.soc.npu.cores)
-                .map(|i| NpuCore::new(i, cfg.soc.npu, cpt_entries, cache_cfg.page_bytes))
+        Ok(Engine {
+            caps,
+            label,
+            policy,
+            rng,
+            arrivals,
+            rounds_target,
+            closed_loop,
+            npus_free: vec![true; params.soc.npu.cores as usize],
+            npu_cores: (0..params.soc.npu.cores)
+                .map(|i| NpuCore::new(i, params.soc.npu, cpt_entries, cache_cfg.page_bytes))
                 .collect(),
             events: EventQueue::new(),
             npu_waiters: Vec::new(),
             page_waiters: Vec::new(),
-            next_epoch: cfg.epoch_cycles,
+            next_epoch: params.epoch_cycles,
             now: 0,
-            cfg,
+            started: false,
+            params,
             models,
             mappings,
             tasks,
@@ -236,86 +381,110 @@ impl Engine {
             nec,
             alloc,
             iso_est,
-        }
+        })
     }
 
-    /// Overrides Algorithm 1's look-ahead fraction (paper default 0.2);
-    /// used by the ablation harness.
+    /// Overrides Algorithm 1's look-ahead fraction (paper default 0.2)
+    /// on policies that carry the knob; used by the ablation harness.
     pub fn set_lookahead(&mut self, factor: f64) {
-        self.dynalloc.lookahead = factor;
+        self.policy.set_lookahead(factor);
     }
 
     fn shares_active(&self) -> bool {
-        self.cfg.qos_scale.is_some()
-            && matches!(
-                self.cfg.policy,
-                PolicyKind::Moca | PolicyKind::Aurora | PolicyKind::CamdnFull
-            )
+        self.params.qos_scale.is_some() && self.caps.reallocates_shares
     }
 
     fn groups_active(&self) -> bool {
-        self.cfg.qos_scale.is_some()
-            && matches!(self.cfg.policy, PolicyKind::Aurora | PolicyKind::CamdnFull)
+        self.params.qos_scale.is_some() && self.caps.npu_groups
     }
 
     fn deadline_cycles(&self, model_idx: usize) -> Option<Cycle> {
-        self.cfg
+        self.params
             .qos_scale
             .map(|s| ms_to_cycles(self.models[model_idx].qos_ms * s))
     }
 
+    /// Arrival cycle of the task's next inference, or `None` when no
+    /// arrival gates it (all rounds issued, or a closed-loop task —
+    /// those re-issue immediately).
+    fn next_arrival(&self, tid: u32) -> Option<Cycle> {
+        if self.closed_loop {
+            return None;
+        }
+        let t = &self.tasks[tid as usize];
+        if t.rounds_done >= self.rounds_target[tid as usize] {
+            return None;
+        }
+        self.arrivals[tid as usize]
+            .get(t.rounds_done as usize)
+            .copied()
+    }
+
     /// Runs the simulation to completion and aggregates the results.
-    pub fn run(&mut self) -> RunResult {
-        // Stagger arrivals so tasks do not execute in lock-step.
+    pub fn run(&mut self) -> Result<RunResult, EngineError> {
+        if self.started {
+            return Err(EngineError::InvalidConfig(
+                "engine already ran; build a fresh Simulation".into(),
+            ));
+        }
+        self.started = true;
+        // Closed loop: a small jitter staggers the first dispatch so
+        // tasks do not execute in lock-step. Open loop: the request
+        // schedule drives everything.
         for tid in 0..self.tasks.len() as u32 {
-            let jitter = self.rng.next_below(50_000);
-            self.events.push(jitter, tid);
+            match self.arrivals[tid as usize].first() {
+                Some(&t0) => self.events.push(t0, tid),
+                None => {
+                    // An open-loop task may draw zero arrivals: it is
+                    // done before it starts, and the policy hears about
+                    // it like any other completion.
+                    self.tasks[tid as usize].state = TaskState::Done;
+                    self.policy.on_task_done(tid);
+                }
+            }
         }
         while let Some((now, tid)) = self.events.pop() {
             self.now = now.max(self.now);
             self.maybe_rebalance();
-            self.step(tid, now);
+            self.step(tid, now)?;
         }
-        self.aggregate()
+        Ok(self.aggregate())
     }
 
     // ---------------------------------------------------------------
-    // Scheduling epochs (MoCA / AuRORA / CaMDN-QoS)
+    // Scheduling epochs (policies with `reallocates_shares`)
     // ---------------------------------------------------------------
 
     fn maybe_rebalance(&mut self) {
         if !self.shares_active() || self.now < self.next_epoch {
             return;
         }
-        self.next_epoch = self.now + self.cfg.epoch_cycles;
-        // Urgency: predicted completion vs deadline of the inference in
-        // flight. Tasks behind schedule receive larger bandwidth shares
-        // (MoCA) and more NPUs (AuRORA).
-        let mut urgencies = vec![0.0f64; self.tasks.len()];
-        let mut total = 0.0;
-        for (i, t) in self.tasks.iter().enumerate() {
-            if t.state == TaskState::Done {
-                continue;
-            }
-            let deadline = self.deadline_cycles(t.model_idx).unwrap_or(1) as f64;
-            let layers = self.models[t.model_idx].layers.len();
-            let frac_left = 1.0 - t.cur_layer as f64 / layers as f64;
-            let elapsed = self.now.saturating_sub(t.inference_start) as f64;
-            let predicted = elapsed + self.iso_est[t.model_idx] as f64 * frac_left;
-            let u = (predicted / deadline).clamp(0.05, 20.0);
-            urgencies[i] = u;
-            total += u;
+        self.next_epoch = self.now + self.params.epoch_cycles;
+        let mut slots: Vec<EpochSlot> = Vec::with_capacity(self.tasks.len());
+        for t in &self.tasks {
+            // An open-loop task sitting between arrivals is not
+            // competing for resources: it must not soak up bandwidth
+            // or NPU quota from the tasks actually executing.
+            let idle_between_arrivals = t.state == TaskState::WaitingNpu
+                && self.next_arrival(t.id).is_some_and(|a| a > self.now);
+            slots.push(EpochSlot {
+                active: t.state != TaskState::Done && !idle_between_arrivals,
+                deadline_cycles: self.deadline_cycles(t.model_idx).unwrap_or(1),
+                total_layers: self.models[t.model_idx].layers.len(),
+                cur_layer: t.cur_layer,
+                inference_start: t.inference_start,
+                iso_est_cycles: self.iso_est[t.model_idx],
+                bw_share: t.bw_share,
+                npu_quota: t.npu_quota,
+            });
         }
-        if total <= 0.0 {
-            return;
-        }
-        let npu_budget = self.npus_free.len() as f64;
-        for (i, t) in self.tasks.iter_mut().enumerate() {
-            if t.state == TaskState::Done {
-                continue;
+        self.policy
+            .on_epoch(self.now, self.npus_free.len(), &mut slots);
+        for (t, s) in self.tasks.iter_mut().zip(&slots) {
+            if t.state != TaskState::Done {
+                t.bw_share = s.bw_share;
+                t.npu_quota = s.npu_quota;
             }
-            t.bw_share = (urgencies[i] / total).max(0.02);
-            t.npu_quota = ((urgencies[i] / total * npu_budget).round() as u32).clamp(1, 4);
         }
     }
 
@@ -323,17 +492,23 @@ impl Engine {
     // Task state machine
     // ---------------------------------------------------------------
 
-    fn step(&mut self, tid: u32, now: Cycle) {
+    fn step(&mut self, tid: u32, now: Cycle) -> Result<(), EngineError> {
         match self.tasks[tid as usize].state.clone() {
-            TaskState::WaitingNpu => self.try_dispatch(tid, now),
-            TaskState::WaitingPages { decision } => {
-                self.try_begin_layer(tid, now, Some(decision));
+            TaskState::WaitingNpu => {
+                // Stale wake (a page-release or timeout event from an
+                // earlier wait): the next inference has not arrived
+                // yet — its own arrival event will dispatch it.
+                if self.next_arrival(tid).is_some_and(|a| now < a) {
+                    return Ok(());
+                }
+                self.try_dispatch(tid, now)
             }
+            TaskState::WaitingPages { decision } => self.try_begin_layer(tid, now, Some(decision)),
             TaskState::Running { phase_idx } => {
                 // Stale wake (page-release or timeout event from an
                 // earlier wait): the phase is not actually done yet.
                 if now < self.tasks[tid as usize].phase_end {
-                    return;
+                    return Ok(());
                 }
                 // The wake marks the end of phase `phase_idx`'s memory
                 // (double buffering: its compute overlaps the next
@@ -345,7 +520,10 @@ impl Engine {
                 {
                     let t = &mut self.tasks[tid as usize];
                     if phase_idx < n_phases {
-                        let plan = t.plan.as_ref().expect("running task has a plan");
+                        let plan = t.plan.as_ref().ok_or(EngineError::MissingPlan {
+                            task: tid,
+                            layer: t.cur_layer,
+                        })?;
                         let c = plan.phases[phase_idx].compute_cycles;
                         let eff = if t.group > 1 { 0.9 } else { 1.0 };
                         let adj = (c as f64 / (f64::from(t.group) * eff)).ceil() as Cycle;
@@ -353,21 +531,24 @@ impl Engine {
                     }
                 }
                 if phase_idx + 1 < n_phases {
-                    self.exec_phase(tid, now, phase_idx + 1);
+                    self.exec_phase(tid, now, phase_idx + 1)
                 } else {
                     // All memory done; drain the PE pipeline then retire.
                     let drain = self.tasks[tid as usize].compute_horizon.max(now);
                     if drain > now {
                         let t = &mut self.tasks[tid as usize];
-                        t.state = TaskState::Running { phase_idx: n_phases };
+                        t.state = TaskState::Running {
+                            phase_idx: n_phases,
+                        };
                         t.phase_end = drain;
                         self.events.push(drain, tid);
+                        Ok(())
                     } else {
-                        self.finish_layer(tid, now);
+                        self.finish_layer(tid, now)
                     }
                 }
             }
-            TaskState::Done => {}
+            TaskState::Done => Ok(()),
         }
     }
 
@@ -375,7 +556,7 @@ impl Engine {
         self.npus_free.iter().filter(|f| **f).count()
     }
 
-    fn try_dispatch(&mut self, tid: u32, now: Cycle) {
+    fn try_dispatch(&mut self, tid: u32, now: Cycle) -> Result<(), EngineError> {
         let want = if self.groups_active() {
             self.tasks[tid as usize].npu_quota.max(1)
         } else {
@@ -386,9 +567,14 @@ impl Engine {
             if !self.npu_waiters.contains(&tid) {
                 self.npu_waiters.push(tid);
             }
-            return;
+            return Ok(());
         }
         let take = (want as usize).min(free);
+        // Open-loop latency is response time: it starts at the request
+        // arrival, so queueing behind busy NPUs (or earlier requests of
+        // the same task) is charged. Closed-loop rounds have no arrival
+        // — they start at dispatch, as in the original engine.
+        let started = self.next_arrival(tid).map_or(now, |a| a.min(now));
         // "Randomly dispatch each model task to one NPU": pick the
         // primary NPU at random among the free ones.
         let mut free_ids: Vec<usize> = (0..self.npus_free.len())
@@ -403,14 +589,9 @@ impl Engine {
         t.npus = assigned;
         t.group = take as u32;
         t.cur_layer = 0;
-        t.inference_start = now;
+        t.inference_start = started;
         t.inference_dram = 0;
-        self.try_begin_layer(tid, now, None);
-    }
-
-    fn mct_of(&self, tid: u32) -> &camdn_mapper::Mct {
-        let t = &self.tasks[tid as usize];
-        &self.mappings[t.model_idx].mcts[t.cur_layer]
+        self.try_begin_layer(tid, now, None)
     }
 
     fn plan_sizes(&self, tid: u32) -> PlanSizes {
@@ -428,35 +609,51 @@ impl Engine {
     }
 
     /// Begins the current layer of `tid`: candidate selection, page
-    /// acquisition (with Algorithm 1's timeout/degrade protocol for
-    /// CaMDN-Full) and plan lowering.
-    fn try_begin_layer(&mut self, tid: u32, now: Cycle, pending: Option<Decision>) {
-        let policy = self.cfg.policy;
-        if !policy.is_camdn() {
-            // Baselines: cache-unaware candidate, transparent lowering.
+    /// acquisition (with the policy's timeout/degrade protocol) and
+    /// plan lowering.
+    fn try_begin_layer(
+        &mut self,
+        tid: u32,
+        now: Cycle,
+        pending: Option<Decision>,
+    ) -> Result<(), EngineError> {
+        let (model_idx, cur_layer) = {
             let t = &self.tasks[tid as usize];
-            let cand = self.mappings[t.model_idx].baseline[t.cur_layer].clone();
-            self.start_plan(tid, now, &cand, LowerMode::Transparent, false);
-            return;
-        }
-
-        let mct = self.mct_of(tid).clone();
-        let lbm_active = self.tasks[tid as usize].lbm_block == Some(mct.block.id);
-        let mut decision = match (policy, pending) {
-            (_, Some(d)) => d,
-            (PolicyKind::CamdnHwOnly, None) => self.static_policy.select(&mct, lbm_active),
-            (PolicyKind::CamdnFull, None) => {
-                self.dynalloc
-                    .select(now, tid, &mct, self.alloc.idle_pages())
-            }
-            _ => unreachable!("non-CaMDN policies handled above"),
+            (t.model_idx, t.cur_layer)
         };
+        let selection = match pending {
+            Some(d) => Selection::Camdn(d),
+            None => {
+                let mct = &self.mappings[model_idx].mcts[cur_layer];
+                let lbm_active = self.tasks[tid as usize].lbm_block == Some(mct.block.id);
+                let idle = self.alloc.idle_pages();
+                self.policy
+                    .select_candidate(now, tid, mct, lbm_active, idle)
+            }
+        };
+        let mut decision = match selection {
+            Selection::Transparent => {
+                // Cache-unaware candidate, transparent lowering.
+                let cand = self.mappings[model_idx].baseline[cur_layer].clone();
+                return self.start_plan(tid, now, &cand, LowerMode::Transparent, false);
+            }
+            Selection::Camdn(d) => d,
+        };
+        let mct = self.mappings[model_idx].mcts[cur_layer].clone();
 
         loop {
             let is_lbm = decision.candidate == CandidateRef::Lbm;
-            let cand = self.dynalloc.resolve(&mct, &decision).clone();
+            let cand = resolve_candidate(&mct, &decision)
+                .ok_or(EngineError::BadDecision {
+                    task: tid,
+                    layer: cur_layer,
+                })?
+                .clone();
             // LBM layers past the head reuse the block grant: no pages.
             let needs_pages = decision.pneed > 0;
+            // Set when this layer installs (or zero-page-enables) the
+            // block's LBM region — the policy may track it.
+            let mut lbm_enabled_block = None;
             if needs_pages {
                 let primary = self.tasks[tid as usize].npus[0];
                 match install_region(
@@ -471,22 +668,18 @@ impl Engine {
                         if is_lbm {
                             t.lbm_grant = Some(grant);
                             t.lbm_block = Some(mct.block.id);
-                            self.dynalloc.enable_lbm(t.id, mct.block.id);
+                            lbm_enabled_block = Some(mct.block.id);
                         } else {
                             t.lwm_grant = Some(grant);
                         }
                     }
                     Err(RegionError::Alloc(_)) => {
-                        match policy {
-                            PolicyKind::CamdnFull => {
-                                // Wait for pages until the timeout, then
-                                // degrade to a cheaper candidate.
-                                let expired =
-                                    decision.timeout.map(|dl| now >= dl).unwrap_or(true);
-                                if expired {
-                                    decision = self.dynalloc.degrade(&mct, decision.pneed);
-                                    continue;
-                                }
+                        match self.policy.on_alloc_failure(now, tid, &mct, &decision) {
+                            AllocFailure::Degrade(d) => {
+                                decision = d;
+                                continue;
+                            }
+                            AllocFailure::Wait => {
                                 let t = &mut self.tasks[tid as usize];
                                 t.state = TaskState::WaitingPages { decision };
                                 if let Some(dl) = decision.timeout {
@@ -495,39 +688,39 @@ impl Engine {
                                 if !self.page_waiters.contains(&tid) {
                                     self.page_waiters.push(tid);
                                 }
-                                return;
-                            }
-                            _ => {
-                                // Static quotas guarantee availability;
-                                // degrade defensively if they ever don't.
-                                decision = self.dynalloc.degrade(&mct, decision.pneed);
-                                continue;
+                                return Ok(());
                             }
                         }
                     }
-                    Err(e) => panic!("region install invariant broken: {e}"),
+                    Err(e) => {
+                        return Err(EngineError::Region {
+                            task: tid,
+                            layer: cur_layer,
+                            detail: e.to_string(),
+                        })
+                    }
                 }
             } else if is_lbm && mct.block.is_head {
                 // Head with zero-page LBM (empty block) — treat as enable.
                 self.tasks[tid as usize].lbm_block = Some(mct.block.id);
-                self.dynalloc.enable_lbm(tid, mct.block.id);
+                lbm_enabled_block = Some(mct.block.id);
             }
             self.page_waiters.retain(|&w| w != tid);
-            if policy == PolicyKind::CamdnFull {
-                // Book-keeping for predAvailPages: when this task will
-                // reallocate next and how much it will need.
-                let t = &self.tasks[tid as usize];
-                let next_p = self.mappings[t.model_idx]
-                    .mcts
-                    .get(t.cur_layer + 1)
-                    .map(|m| m.lwm[m.lwm.len() / 2].pneed)
-                    .unwrap_or(0);
-                let held = self.alloc.held_by(t.id);
-                self.dynalloc
-                    .note_alloc(t.id, held, now + cand.est_cycles, next_p);
-            }
-            self.start_plan(tid, now, &cand, LowerMode::Camdn, is_lbm);
-            return;
+            // Install book-keeping (e.g. Algorithm 1's predAvailPages:
+            // when this task will reallocate next, how much it needs).
+            let next_pneed = self.mappings[model_idx]
+                .mcts
+                .get(cur_layer + 1)
+                .map(|m| m.lwm[m.lwm.len() / 2].pneed)
+                .unwrap_or(0);
+            let ev = InstallEvent {
+                lbm_block: lbm_enabled_block,
+                held_pages: self.alloc.held_by(tid),
+                est_finish: now + cand.est_cycles,
+                next_pneed,
+            };
+            self.policy.on_install(now, tid, &ev);
+            return self.start_plan(tid, now, &cand, LowerMode::Camdn, is_lbm);
         }
     }
 
@@ -538,13 +731,13 @@ impl Engine {
         cand: &MappingCandidate,
         mode: LowerMode,
         is_lbm: bool,
-    ) {
+    ) -> Result<(), EngineError> {
         let sizes = self.plan_sizes(tid);
         let plan = lower(cand, sizes, mode);
         let t = &mut self.tasks[tid as usize];
         t.plan = Some(plan);
         t.cur_is_lbm = is_lbm;
-        self.exec_phase(tid, now, 0);
+        self.exec_phase(tid, now, 0)
     }
 
     // ---------------------------------------------------------------
@@ -552,10 +745,10 @@ impl Engine {
     // ---------------------------------------------------------------
 
     #[allow(clippy::too_many_lines)]
-    fn exec_phase(&mut self, tid: u32, now: Cycle, idx: usize) {
+    fn exec_phase(&mut self, tid: u32, now: Cycle, idx: usize) -> Result<(), EngineError> {
         let throttled = self.shares_active();
-        let peak_bw = self.cfg.soc.dram.bytes_per_cycle;
-        let line = self.cfg.soc.cache.line_bytes;
+        let peak_bw = self.params.soc.dram.bytes_per_cycle;
+        let line = self.params.soc.cache.line_bytes;
         let full_mask = self.cache.full_way_mask();
         let dram_before = self.dram.stats().total_bytes();
 
@@ -567,7 +760,10 @@ impl Engine {
         let weight_is_act = layer.weight_class == WeightClass::Activation;
         let weight_is_static = layer.weight_class == WeightClass::Static;
         let input_bytes = layer.input_bytes();
-        let plan = t.plan.as_ref().expect("running task must have a plan");
+        let plan = t.plan.as_ref().ok_or(EngineError::MissingPlan {
+            task: tid,
+            layer: cur_layer,
+        })?;
         let phase = plan.phases[idx].clone();
         let layout = t.layout.clone();
         let bw_share = t.bw_share;
@@ -575,9 +771,23 @@ impl Engine {
         // Pages backing this layer's cached regions: the block grant when
         // the layer runs its LBM candidate, its own LWM grant otherwise.
         let region_pages: Vec<u32> = if t.cur_is_lbm {
-            t.lbm_grant.as_ref().map(|g| g.pages.clone()).unwrap_or_default()
+            t.lbm_grant
+                .as_ref()
+                .map(|g| g.pages.clone())
+                .unwrap_or_default()
         } else {
-            t.lwm_grant.as_ref().map(|g| g.pages.clone()).unwrap_or_default()
+            t.lwm_grant
+                .as_ref()
+                .map(|g| g.pages.clone())
+                .unwrap_or_default()
+        };
+
+        let cache_err = |op: &'static str| {
+            move |e: camdn_cache::NecError| EngineError::Cache {
+                task: tid,
+                op,
+                detail: e.to_string(),
+            }
         };
 
         let mut mem_finish = now;
@@ -586,11 +796,10 @@ impl Engine {
             let addr = layout.addr_of(cur_layer, tr.tensor, weight_is_act, input_bytes, tr.offset);
             // Bandwidth regulation: DRAM-touching transfers may not start
             // before the task's bandwidth gate.
-            let (start, delay) = if throttled && tr.route.touches_dram() {
-                let start = now.max(bw_gate);
-                (start, start - now)
+            let start = if throttled && tr.route.touches_dram() {
+                now.max(bw_gate)
             } else {
-                (now, 0)
+                now
             };
             let multicast = group > 1 && tr.tensor == TensorKind::Weight && weight_is_static;
             let done = match tr.route {
@@ -601,7 +810,12 @@ impl Engine {
                     let mut fin = start;
                     for _ in 0..reps {
                         let out = self.cache.access_range(
-                            start, addr, tr.bytes, tr.write, full_mask, &mut self.dram,
+                            start,
+                            addr,
+                            tr.bytes,
+                            tr.write,
+                            full_mask,
+                            &mut self.dram,
                         );
                         fin = fin.max(out.finish);
                     }
@@ -615,38 +829,35 @@ impl Engine {
                         self.nec.bypass_read(start, addr, lines, &mut self.dram, 0)
                     }
                 }
-                Route::BypassWrite => {
-                    self.nec.bypass_write(start, addr, lines, &mut self.dram, 0)
-                }
+                Route::BypassWrite => self.nec.bypass_write(start, addr, lines, &mut self.dram, 0),
                 Route::Fill => self
                     .nec
                     .fill(start, tid, &region_pages, addr, lines, &mut self.dram, 0)
-                    .expect("fill on owned pages"),
+                    .map_err(cache_err("fill"))?,
                 Route::CacheRead => {
                     if multicast {
                         self.nec
                             .multicast_read(start, tid, &region_pages, lines, group)
-                            .expect("multicast read on owned pages")
+                            .map_err(cache_err("multicast read"))?
                     } else {
                         self.nec
                             .read(start, tid, &region_pages, lines)
-                            .expect("read on owned pages")
+                            .map_err(cache_err("read"))?
                     }
                 }
                 Route::CacheWrite => self
                     .nec
                     .write(start, tid, &region_pages, lines)
-                    .expect("write on owned pages"),
+                    .map_err(cache_err("write"))?,
                 Route::Writeback => self
                     .nec
                     .writeback(start, tid, &region_pages, addr, lines, &mut self.dram, 0)
-                    .expect("writeback on owned pages"),
+                    .map_err(cache_err("writeback"))?,
             };
             mem_finish = mem_finish.max(done);
             if throttled && tr.route.touches_dram() {
                 bw_gate = start + (tr.bytes as f64 / (bw_share * peak_bw)).ceil() as Cycle;
             }
-            let _ = delay;
         }
 
         // The wake fires when this phase's memory lands; its compute is
@@ -660,7 +871,7 @@ impl Engine {
         t.state = TaskState::Running { phase_idx: idx };
         t.phase_end = end;
         self.events.push(end, tid);
-        let _ = group;
+        Ok(())
     }
 
     // ---------------------------------------------------------------
@@ -673,8 +884,20 @@ impl Engine {
         }
     }
 
-    fn finish_layer(&mut self, tid: u32, now: Cycle) {
-        let mct = self.mct_of(tid).clone();
+    fn region_err(tid: u32, layer: usize) -> impl Fn(RegionError) -> EngineError {
+        move |e| EngineError::Region {
+            task: tid,
+            layer,
+            detail: e.to_string(),
+        }
+    }
+
+    fn finish_layer(&mut self, tid: u32, now: Cycle) -> Result<(), EngineError> {
+        let (model_idx, cur_layer) = {
+            let t = &self.tasks[tid as usize];
+            (t.model_idx, t.cur_layer)
+        };
+        let block = self.mappings[model_idx].mcts[cur_layer].block.id;
         let primary = self.tasks[tid as usize].npus[0];
         self.tasks[tid as usize].plan = None;
         let mut released = false;
@@ -686,17 +909,18 @@ impl Engine {
                 &mut self.nec,
                 &mut self.npu_cores[primary],
             )
-            .expect("lwm teardown");
+            .map_err(Self::region_err(tid, cur_layer))?;
             released = true;
         }
         // LBM pages live until the block's tail layer retires.
         let t = &self.tasks[tid as usize];
-        let next_block = self.mappings[t.model_idx]
+        let next_block = self.mappings[model_idx]
             .mcts
-            .get(t.cur_layer + 1)
+            .get(cur_layer + 1)
             .map(|m| m.block.id);
-        let block_ends = next_block != Some(mct.block.id);
-        if t.lbm_block == Some(mct.block.id) && block_ends {
+        let block_ends = next_block != Some(block);
+        let lbm_block_ended = t.lbm_block == Some(block) && block_ends;
+        if lbm_block_ended {
             if let Some(grant) = self.tasks[tid as usize].lbm_grant.take() {
                 teardown_region(
                     &grant,
@@ -704,12 +928,12 @@ impl Engine {
                     &mut self.nec,
                     &mut self.npu_cores[primary],
                 )
-                .expect("lbm teardown");
+                .map_err(Self::region_err(tid, cur_layer))?;
                 released = true;
             }
             self.tasks[tid as usize].lbm_block = None;
-            self.dynalloc.disable_lbm(tid);
         }
+        self.policy.on_layer_retire(now, tid, lbm_block_ended);
         if released {
             self.wake_page_waiters(now);
         }
@@ -717,9 +941,10 @@ impl Engine {
         let t = &mut self.tasks[tid as usize];
         t.cur_layer += 1;
         if t.cur_layer < self.models[t.model_idx].layers.len() {
-            self.try_begin_layer(tid, now, None);
+            self.try_begin_layer(tid, now, None)
         } else {
             self.finish_inference(tid, now);
+            Ok(())
         }
     }
 
@@ -746,12 +971,20 @@ impl Engine {
             self.events.push(now, w);
         }
         let t = &mut self.tasks[tid as usize];
-        if t.rounds_done < self.cfg.rounds_per_task {
+        if t.rounds_done < self.rounds_target[tid as usize] {
             t.state = TaskState::WaitingNpu;
-            self.events.push(now, tid);
+            // Closed loop: the next inference re-issues immediately.
+            // Open loop: it starts at its arrival time (or now, when the
+            // request already queued up behind a slow inference).
+            let at = if self.closed_loop {
+                now
+            } else {
+                self.arrivals[tid as usize][t.rounds_done as usize].max(now)
+            };
+            self.events.push(at, tid);
         } else {
             t.state = TaskState::Done;
-            self.dynalloc.note_done(tid);
+            self.policy.on_task_done(tid);
         }
     }
 
@@ -760,16 +993,30 @@ impl Engine {
     // ---------------------------------------------------------------
 
     fn aggregate(&self) -> RunResult {
-        let skip = self.cfg.warmup_rounds as usize;
+        // Warm-up is a closed-loop concept (discard the cold leading
+        // rounds of a fixed schedule). Open-loop tasks draw variable
+        // request counts — skipping records there would silently zero
+        // out sparse tasks' statistics.
+        let skip = if self.closed_loop {
+            self.params.warmup_rounds as usize
+        } else {
+            0
+        };
         let mut tasks = Vec::with_capacity(self.tasks.len());
         let mut lat_sum = 0.0;
         let mut dram_sum = 0.0;
+        let mut measured_tasks = 0usize;
         for t in &self.tasks {
             let model = &self.models[t.model_idx];
             let mean_lat = t.mean_latency(skip);
             let mean_dram = t.mean_dram_bytes(skip);
-            lat_sum += mean_lat;
-            dram_sum += mean_dram;
+            // An open-loop task may draw no arrivals; averaging its
+            // phantom 0.0 latency in would deflate the run-level means.
+            if t.records.len() > skip {
+                lat_sum += mean_lat;
+                dram_sum += mean_dram;
+                measured_tasks += 1;
+            }
             tasks.push(TaskSummary {
                 abbr: model.abbr.clone(),
                 qos_ms: model.qos_ms,
@@ -779,8 +1026,10 @@ impl Engine {
                 sla_rate: t.sla_rate(skip),
             });
         }
-        let n = self.tasks.len().max(1) as f64;
-        let cache_hit_rate = if self.cfg.policy.is_camdn() {
+        // Guard the division: every task may have retired nothing
+        // (e.g. a workload whose rounds never exceed the warm-up).
+        let n = measured_tasks.max(1) as f64;
+        let cache_hit_rate = if self.caps.partitions_cache {
             let s = self.nec.stats();
             let served = s.controlled_hits();
             let moved = served
@@ -797,49 +1046,81 @@ impl Engine {
             self.cache.stats().hit_rate()
         };
         RunResult {
-            policy: self.cfg.policy,
+            policy: self.label.clone(),
             tasks,
             cache_hit_rate,
             avg_latency_ms: cycles_to_ms((lat_sum / n) as Cycle),
             mem_mb_per_model: dram_sum / n / 1e6,
             makespan_ms: cycles_to_ms(self.now),
             multicast_saved_mb: self.nec.stats().multicast_saved_lines.get() as f64
-                * self.cfg.soc.cache.line_bytes as f64
+                * self.params.soc.cache.line_bytes as f64
                 / 1e6,
         }
     }
+
+    #[cfg(test)]
+    pub(crate) fn debug_cache_state(&self) -> (u32, u32, u32) {
+        (
+            self.alloc.idle_pages(),
+            self.alloc.total_pages(),
+            self.nec.claimed_pages(),
+        )
+    }
 }
 
-/// Convenience: builds the standard N-tenant workload by cycling the
+/// Convenience: builds the standard N-tenant model list by cycling the
 /// Table I models.
+#[deprecated(
+    since = "0.2.0",
+    note = "build a `Workload` over `camdn_models::zoo` instead"
+)]
 pub fn workload(n: usize) -> Vec<Model> {
     let zoo = camdn_models::zoo::all();
     (0..n).map(|i| zoo[i % zoo.len()].clone()).collect()
 }
 
 /// Runs one configuration end to end.
+///
+/// # Panics
+///
+/// Panics when the configuration is invalid or an engine invariant
+/// breaks; the builder path ([`Simulation`](crate::Simulation)) reports
+/// [`EngineError`] instead.
+#[deprecated(
+    since = "0.2.0",
+    note = "assemble runs with `Simulation::builder()` instead"
+)]
+#[allow(deprecated)]
 pub fn simulate(cfg: EngineConfig, task_models: &[Model]) -> RunResult {
-    Engine::new(cfg, task_models).run()
+    let workload = Workload::closed(task_models.to_vec(), cfg.rounds_per_task);
+    Engine::with_policy(cfg.params(), builtin_policy(cfg.policy), &workload)
+        .and_then(|mut e| e.run())
+        .expect("simulation failed")
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::sim::Simulation;
     use camdn_models::zoo;
 
-    fn quick_cfg(policy: PolicyKind) -> EngineConfig {
-        EngineConfig {
-            rounds_per_task: 2,
-            warmup_rounds: 1,
-            ..EngineConfig::speedup(policy)
-        }
+    fn quick(policy: PolicyKind, models: &[Model]) -> RunResult {
+        Simulation::builder()
+            .policy(policy)
+            .workload(Workload::closed(models.to_vec(), 2))
+            .run()
+            .expect("quick run")
     }
 
     #[test]
     fn single_task_baseline_completes() {
-        let mut cfg = quick_cfg(PolicyKind::SharedBaseline);
-        cfg.warmup_rounds = 0; // include the cold round: real DRAM traffic
-        let r = simulate(cfg, &[zoo::mobilenet_v2()]);
+        // Include the cold round: real DRAM traffic.
+        let r = Simulation::builder()
+            .policy(PolicyKind::SharedBaseline)
+            .workload(Workload::closed(vec![zoo::mobilenet_v2()], 2))
+            .warmup_rounds(0)
+            .run()
+            .unwrap();
         assert_eq!(r.tasks.len(), 1);
         assert_eq!(r.tasks[0].inferences, 2);
         assert!(r.tasks[0].mean_latency_ms > 0.0);
@@ -853,7 +1134,7 @@ mod tests {
         // cache: after the warm-up inference, DRAM traffic nearly
         // vanishes — the cross-inference reuse the motivation experiment
         // destroys with co-tenants.
-        let r = simulate(quick_cfg(PolicyKind::SharedBaseline), &[zoo::mobilenet_v2()]);
+        let r = quick(PolicyKind::SharedBaseline, &[zoo::mobilenet_v2()]);
         assert!(
             r.tasks[0].mean_dram_mb < 1.0,
             "warm lone run should be almost DRAM-free, got {:.2} MB",
@@ -863,13 +1144,23 @@ mod tests {
 
     #[test]
     fn single_task_camdn_completes_and_frees_pages() {
-        let cfg = quick_cfg(PolicyKind::CamdnFull);
-        let mut engine = Engine::new(cfg, &[zoo::mobilenet_v2()]);
-        let r = engine.run();
+        let workload = Workload::closed(vec![zoo::mobilenet_v2()], 2);
+        let params = SimParams {
+            soc: SocConfig::paper_default(),
+            seed: 0xCA3D41,
+            warmup_rounds: 1,
+            qos_scale: None,
+            epoch_cycles: 200_000,
+            mapper: MapperConfig::paper_default(),
+        };
+        let mut engine =
+            Engine::with_policy(params, builtin_policy(PolicyKind::CamdnFull), &workload).unwrap();
+        let r = engine.run().unwrap();
         assert_eq!(r.tasks[0].inferences, 1);
         // All cache pages must be back after the run (no leaks).
-        assert_eq!(engine.alloc.idle_pages(), engine.alloc.total_pages());
-        assert_eq!(engine.nec.claimed_pages(), 0);
+        let (idle, total, claimed) = engine.debug_cache_state();
+        assert_eq!(idle, total);
+        assert_eq!(claimed, 0);
     }
 
     #[test]
@@ -880,8 +1171,8 @@ mod tests {
             zoo::mobilenet_v2(),
             zoo::efficientnet_b0(),
         ];
-        let base = simulate(quick_cfg(PolicyKind::SharedBaseline), &models);
-        let camdn = simulate(quick_cfg(PolicyKind::CamdnFull), &models);
+        let base = quick(PolicyKind::SharedBaseline, &models);
+        let camdn = quick(PolicyKind::CamdnFull, &models);
         assert!(
             camdn.mem_mb_per_model < base.mem_mb_per_model * 1.05,
             "CaMDN {:.1} MB vs baseline {:.1} MB",
@@ -893,27 +1184,27 @@ mod tests {
     #[test]
     fn runs_are_deterministic() {
         let models = vec![zoo::mobilenet_v2(), zoo::gnmt()];
-        let a = simulate(quick_cfg(PolicyKind::CamdnFull), &models);
-        let b = simulate(quick_cfg(PolicyKind::CamdnFull), &models);
+        let a = quick(PolicyKind::CamdnFull, &models);
+        let b = quick(PolicyKind::CamdnFull, &models);
         assert_eq!(a, b);
     }
 
     #[test]
     fn hw_only_policy_completes() {
         let models = vec![zoo::mobilenet_v2(), zoo::efficientnet_b0()];
-        let r = simulate(quick_cfg(PolicyKind::CamdnHwOnly), &models);
+        let r = quick(PolicyKind::CamdnHwOnly, &models);
         assert!(r.tasks.iter().all(|t| t.inferences == 1));
     }
 
     #[test]
     fn qos_mode_tracks_deadlines() {
         let models = vec![zoo::mobilenet_v2(), zoo::mobilenet_v2()];
-        let cfg = EngineConfig {
-            rounds_per_task: 2,
-            warmup_rounds: 1,
-            ..EngineConfig::qos(PolicyKind::Aurora, 1.2)
-        };
-        let r = simulate(cfg, &models);
+        let r = Simulation::builder()
+            .policy(PolicyKind::Aurora)
+            .workload(Workload::closed(models, 2))
+            .qos_scale(1.2)
+            .run()
+            .unwrap();
         for t in &r.tasks {
             assert!(t.sla_rate >= 0.0 && t.sla_rate <= 1.0);
         }
@@ -922,32 +1213,144 @@ mod tests {
     #[test]
     fn more_tenants_than_npus_queue() {
         // 3 tasks on a 2-NPU SoC must still all complete.
-        let mut cfg = quick_cfg(PolicyKind::SharedBaseline);
-        cfg.soc.npu.cores = 2;
+        let mut soc = SocConfig::paper_default();
+        soc.npu.cores = 2;
         let models = vec![
             zoo::mobilenet_v2(),
             zoo::mobilenet_v2(),
             zoo::mobilenet_v2(),
         ];
-        let r = simulate(cfg, &models);
+        let r = Simulation::builder()
+            .policy(PolicyKind::SharedBaseline)
+            .soc(soc)
+            .workload(Workload::closed(models, 2))
+            .run()
+            .unwrap();
         assert!(r.tasks.iter().all(|t| t.inferences == 1));
     }
 
     #[test]
     fn contention_slows_tasks_down() {
-        let one = simulate(quick_cfg(PolicyKind::SharedBaseline), &[zoo::efficientnet_b0()]);
-        let many = simulate(
-            quick_cfg(PolicyKind::SharedBaseline),
-            &workload(16)
-                .into_iter()
-                .map(|_| zoo::efficientnet_b0())
-                .collect::<Vec<_>>(),
-        );
+        let one = quick(PolicyKind::SharedBaseline, &[zoo::efficientnet_b0()]);
+        let crowd: Vec<Model> = (0..16).map(|_| zoo::efficientnet_b0()).collect();
+        let many = quick(PolicyKind::SharedBaseline, &crowd);
         let ef_alone = one.tasks[0].mean_latency_ms;
         let ef_crowd = many.tasks[0].mean_latency_ms;
         assert!(
             ef_crowd > ef_alone,
             "16 tenants ({ef_crowd:.2} ms) must be slower than 1 ({ef_alone:.2} ms)"
+        );
+    }
+
+    #[test]
+    fn poisson_open_loop_completes_all_arrivals() {
+        let models = vec![zoo::mobilenet_v2(), zoo::efficientnet_b0()];
+        let r = Simulation::builder()
+            .policy(PolicyKind::CamdnFull)
+            .workload(Workload::poisson(models, 0.05, 100.0))
+            .warmup_rounds(0)
+            .run()
+            .unwrap();
+        // ~5 expected arrivals per task; every drawn arrival must retire.
+        assert!(r.tasks.iter().any(|t| t.inferences > 0));
+        assert!(r.makespan_ms >= 0.0);
+    }
+
+    #[test]
+    fn zero_arrival_tasks_do_not_deflate_run_averages() {
+        // One task gets all the bursts, the co-tenant's schedule is
+        // empty at a tiny horizon — its phantom 0.0 latency must not
+        // drag avg_latency_ms below the running task's mean.
+        let models = vec![zoo::mobilenet_v2(), zoo::mobilenet_v2()];
+        let r = Simulation::builder()
+            .policy(PolicyKind::SharedBaseline)
+            .workload(Workload::poisson(models, 0.001, 10.0))
+            .run()
+            .unwrap();
+        let measured: Vec<_> = r.tasks.iter().filter(|t| t.inferences > 0).collect();
+        if measured.is_empty() {
+            assert_eq!(r.avg_latency_ms, 0.0);
+        } else {
+            let mean: f64 =
+                measured.iter().map(|t| t.mean_latency_ms).sum::<f64>() / measured.len() as f64;
+            // Tolerance covers the cycle-truncation in cycles_to_ms.
+            assert!(
+                (r.avg_latency_ms - mean).abs() < 1e-5,
+                "avg {:.4} != mean over measured tasks {:.4}",
+                r.avg_latency_ms,
+                mean
+            );
+        }
+    }
+
+    #[test]
+    fn open_loop_counts_every_arrival_despite_default_warmup() {
+        // Warm-up skipping is closed-loop-only: with the builder's
+        // default warmup of 1, an open-loop task's arrivals must all be
+        // measured (a sparse task could otherwise report zero stats).
+        let models = vec![zoo::mobilenet_v2()];
+        let r = Simulation::builder()
+            .policy(PolicyKind::SharedBaseline)
+            .workload(Workload::bursty(models, 1, 2, 0.0))
+            .run()
+            .unwrap();
+        assert_eq!(r.tasks[0].inferences, 2);
+        assert!(r.avg_latency_ms > 0.0);
+    }
+
+    #[test]
+    fn open_loop_latency_includes_queueing() {
+        // Three same-cycle burst requests on one task: the 2nd and 3rd
+        // queue behind the 1st, so mean response time must exceed the
+        // dispatch-measured closed-loop latency of identical work.
+        let models = vec![zoo::mobilenet_v2()];
+        let burst = Simulation::builder()
+            .policy(PolicyKind::SharedBaseline)
+            .workload(Workload::bursty(models.clone(), 1, 3, 0.0))
+            .warmup_rounds(0)
+            .run()
+            .unwrap();
+        let closed = Simulation::builder()
+            .policy(PolicyKind::SharedBaseline)
+            .workload(Workload::closed(models, 3))
+            .warmup_rounds(0)
+            .run()
+            .unwrap();
+        assert!(
+            burst.tasks[0].mean_latency_ms > closed.tasks[0].mean_latency_ms * 1.5,
+            "queued burst {:.2} ms should far exceed per-dispatch {:.2} ms",
+            burst.tasks[0].mean_latency_ms,
+            closed.tasks[0].mean_latency_ms
+        );
+    }
+
+    #[test]
+    fn bursty_arrivals_honor_the_gap() {
+        let models: Vec<Model> = (0..4).map(|_| zoo::mobilenet_v2()).collect();
+        let run = |gap_ms: f64| {
+            Simulation::builder()
+                .policy(PolicyKind::SharedBaseline)
+                .workload(Workload::bursty(models.clone(), 2, 3, gap_ms))
+                .warmup_rounds(0)
+                .run()
+                .unwrap()
+        };
+        let spread = run(50.0);
+        let total: usize = spread.tasks.iter().map(|t| t.inferences).sum();
+        assert_eq!(total, 4 * 6, "every burst arrival must complete");
+        // The second burst arrives 50 ms after the first: the run must
+        // span the gap, and collapsing the gap must shorten it.
+        assert!(
+            spread.makespan_ms >= 50.0,
+            "makespan {:.1} ms ignores the burst gap",
+            spread.makespan_ms
+        );
+        let packed = run(0.0);
+        assert!(
+            packed.makespan_ms < spread.makespan_ms,
+            "gap 0 ({:.1} ms) must finish before gap 50 ({:.1} ms)",
+            packed.makespan_ms,
+            spread.makespan_ms
         );
     }
 }

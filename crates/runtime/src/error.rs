@@ -1,0 +1,112 @@
+//! Typed errors surfaced by [`Simulation::run`](crate::Simulation::run)
+//! and [`SimulationBuilder::build`](crate::SimulationBuilder::build).
+//!
+//! The engine's hot loop used to `panic!`/`expect` on broken invariants
+//! (a region install failing for a reason other than page pressure, a
+//! cache operation on pages the task does not own, a running task
+//! without a plan). Those conditions now propagate as [`EngineError`]
+//! values so embedding services can log, retry with a different
+//! configuration, or shed the offending tenant instead of crashing.
+
+use std::error::Error;
+use std::fmt;
+
+/// Error type of the simulation API.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum EngineError {
+    /// The workload contains no models, so there is nothing to simulate
+    /// (and aggregate statistics would be meaningless).
+    EmptyWorkload,
+    /// A configuration value is out of range or inconsistent.
+    InvalidConfig(String),
+    /// A policy name was not found in the registry.
+    UnknownPolicy(String),
+    /// Installing or tearing down a cache region failed for a reason
+    /// other than page pressure — an ownership or CPT invariant broke.
+    Region {
+        /// Task whose region operation failed.
+        task: u32,
+        /// Layer index the task was executing.
+        layer: usize,
+        /// Underlying region error.
+        detail: String,
+    },
+    /// A controlled-cache operation (fill, read, write, writeback,
+    /// multicast) was rejected by the NPU-exclusive controller.
+    Cache {
+        /// Task whose access was rejected.
+        task: u32,
+        /// Which operation was attempted.
+        op: &'static str,
+        /// Underlying NEC error.
+        detail: String,
+    },
+    /// A task was scheduled to execute without a lowered layer plan.
+    MissingPlan {
+        /// Task missing its plan.
+        task: u32,
+        /// Layer index the task was executing.
+        layer: usize,
+    },
+    /// A policy returned a decision that does not match the layer's
+    /// mapping candidate table.
+    BadDecision {
+        /// Task the decision was made for.
+        task: u32,
+        /// Layer index the decision applies to.
+        layer: usize,
+    },
+}
+
+impl fmt::Display for EngineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EngineError::EmptyWorkload => write!(f, "workload contains no models"),
+            EngineError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
+            EngineError::UnknownPolicy(name) => {
+                write!(f, "policy '{name}' is not registered")
+            }
+            EngineError::Region {
+                task,
+                layer,
+                detail,
+            } => write!(
+                f,
+                "region invariant broken for task {task} at layer {layer}: {detail}"
+            ),
+            EngineError::Cache { task, op, detail } => {
+                write!(
+                    f,
+                    "controlled cache {op} rejected for task {task}: {detail}"
+                )
+            }
+            EngineError::MissingPlan { task, layer } => {
+                write!(f, "task {task} has no plan at layer {layer}")
+            }
+            EngineError::BadDecision { task, layer } => write!(
+                f,
+                "policy decision for task {task} does not match the MCT of layer {layer}"
+            ),
+        }
+    }
+}
+
+impl Error for EngineError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = EngineError::Cache {
+            task: 3,
+            op: "fill",
+            detail: "page 12 owned by task 1".into(),
+        };
+        let s = e.to_string();
+        assert!(s.contains("fill") && s.contains("task 3"), "{s}");
+        assert!(EngineError::EmptyWorkload.to_string().contains("no models"));
+    }
+}

@@ -1,33 +1,52 @@
-//! Multi-tenant execution engine, baseline schedulers and QoS metrics
-//! for the CaMDN reproduction (Section IV of the paper).
+//! Multi-tenant execution engine, pluggable scheduling policies,
+//! workload scenarios and QoS metrics for the CaMDN reproduction
+//! (Section IV of the paper).
 //!
 //! The engine ([`Engine`]) simulates co-located DNN tasks on the
-//! NPU-integrated SoC of Table II under five system configurations
-//! ([`PolicyKind`]): the plain shared-cache baseline of the motivation
-//! experiment, reimplementations of the MoCA and AuRORA schedulers, and
-//! the two CaMDN variants.
+//! NPU-integrated SoC of Table II. Scheduling is delegated to a
+//! [`Policy`] object; the five systems evaluated in the paper ship as
+//! built-ins named by [`PolicyKind`], and custom systems plug in
+//! through [`register_policy`] or
+//! [`SimulationBuilder::policy_instance`]. *When* inferences arrive is
+//! a [`Workload`] scenario: the paper's closed loop, open-loop Poisson
+//! traffic, or bursty arrivals.
 //!
 //! # Example
 //!
 //! ```no_run
-//! use camdn_runtime::{simulate, workload, EngineConfig, PolicyKind};
+//! use camdn_runtime::{PolicyKind, Simulation, Workload};
 //!
 //! // Four co-located models on the Table II SoC, full CaMDN.
-//! let result = simulate(
-//!     EngineConfig::speedup(PolicyKind::CamdnFull),
-//!     &workload(4),
-//! );
+//! let models = camdn_models::zoo::all().into_iter().take(4).collect();
+//! let result = Simulation::builder()
+//!     .policy(PolicyKind::CamdnFull)
+//!     .workload(Workload::closed(models, 3))
+//!     .run()
+//!     .expect("valid configuration");
 //! println!("avg latency {:.2} ms", result.avg_latency_ms);
 //! ```
 
 #![warn(missing_docs)]
 
 pub mod engine;
+pub mod error;
 pub mod layout;
 pub mod metrics;
+pub mod policies;
+pub mod scenario;
+pub mod sim;
 pub mod task;
 
-pub use engine::{simulate, workload, Engine, EngineConfig, PolicyKind, RunResult, TaskSummary};
+#[allow(deprecated)]
+pub use engine::{simulate, workload, EngineConfig};
+pub use engine::{Engine, PolicyKind, RunResult, TaskSummary};
+pub use error::EngineError;
 pub use layout::TaskLayout;
 pub use metrics::{qos_metrics, QosMetrics};
+pub use policies::{
+    builtin_policy, create_policy, register_policy, registered_policies, AllocFailure, EpochSlot,
+    InstallEvent, PartitionCtx, Policy, PolicyCapabilities, PolicyRegistry, Selection,
+};
+pub use scenario::{ArrivalProcess, Workload};
+pub use sim::{Simulation, SimulationBuilder};
 pub use task::{InferenceRecord, Task, TaskState};

@@ -49,7 +49,11 @@ pub fn qos_metrics(shared: &RunResult, isolated_ms: &[f64]) -> QosMetrics {
         sla_den += t.inferences as f64;
     }
     QosMetrics {
-        sla_rate: if sla_den > 0.0 { sla_num / sla_den } else { 1.0 },
+        sla_rate: if sla_den > 0.0 {
+            sla_num / sla_den
+        } else {
+            1.0
+        },
         stp: progress.iter().sum(),
         fairness: camdn_common::stats::fairness(&progress),
     }
@@ -58,11 +62,11 @@ pub fn qos_metrics(shared: &RunResult, isolated_ms: &[f64]) -> QosMetrics {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::engine::{PolicyKind, TaskSummary};
+    use crate::engine::TaskSummary;
 
     fn result(lat: &[f64], sla: &[f64]) -> RunResult {
         RunResult {
-            policy: PolicyKind::SharedBaseline,
+            policy: "Baseline".into(),
             tasks: lat
                 .iter()
                 .zip(sla)

@@ -1,0 +1,47 @@
+//! AuRORA-style dynamic NPU + bandwidth co-allocation \[13\] on a
+//! transparent cache.
+
+use super::{EpochSlot, Policy, PolicyCapabilities, Selection};
+use camdn_common::types::Cycle;
+use camdn_mapper::Mct;
+
+/// The `AuRORA` system: urgency-driven bandwidth shares *and* multi-NPU
+/// groups over the transparent cache.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Aurora;
+
+impl Aurora {
+    /// Creates the AuRORA policy.
+    pub fn new() -> Self {
+        Aurora
+    }
+}
+
+impl Policy for Aurora {
+    fn label(&self) -> &str {
+        "AuRORA"
+    }
+
+    fn capabilities(&self) -> PolicyCapabilities {
+        PolicyCapabilities {
+            partitions_cache: false,
+            reallocates_shares: true,
+            npu_groups: true,
+        }
+    }
+
+    fn on_epoch(&mut self, now: Cycle, npu_budget: usize, slots: &mut [EpochSlot]) {
+        super::urgency_rebalance(now, npu_budget, slots);
+    }
+
+    fn select_candidate(
+        &mut self,
+        _now: Cycle,
+        _task: u32,
+        _mct: &Mct,
+        _lbm_active: bool,
+        _idle_pages: u32,
+    ) -> Selection {
+        Selection::Transparent
+    }
+}

@@ -1,0 +1,39 @@
+//! Plain shared transparent cache, no resource scheduling (the
+//! motivation experiment of Fig. 2).
+
+use super::{Policy, PolicyCapabilities, Selection};
+use camdn_common::types::Cycle;
+use camdn_mapper::Mct;
+
+/// The `Baseline` system: every task races for the transparent shared
+/// cache; no bandwidth regulation, no NPU groups, no controlled pages.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SharedBaseline;
+
+impl SharedBaseline {
+    /// Creates the baseline policy.
+    pub fn new() -> Self {
+        SharedBaseline
+    }
+}
+
+impl Policy for SharedBaseline {
+    fn label(&self) -> &str {
+        "Baseline"
+    }
+
+    fn capabilities(&self) -> PolicyCapabilities {
+        PolicyCapabilities::default()
+    }
+
+    fn select_candidate(
+        &mut self,
+        _now: Cycle,
+        _task: u32,
+        _mct: &Mct,
+        _lbm_active: bool,
+        _idle_pages: u32,
+    ) -> Selection {
+        Selection::Transparent
+    }
+}

@@ -1,0 +1,110 @@
+//! The full CaMDN co-design: Algorithm 1's predictive dynamic cache
+//! allocation, plus AuRORA-style bandwidth/NPU allocation in QoS mode
+//! (Section IV-A3).
+
+use super::{
+    AllocFailure, EpochSlot, InstallEvent, PartitionCtx, Policy, PolicyCapabilities, Selection,
+};
+use camdn_common::types::Cycle;
+use camdn_core::{Decision, DynamicAllocator};
+use camdn_mapper::Mct;
+
+/// The `CaMDN(Full)` system: NPU-controlled cache scheduled by
+/// Algorithm 1 (predict availability, enable LBM, degrade on timeout).
+#[derive(Debug, Clone)]
+pub struct CamdnFull {
+    alloc: DynamicAllocator,
+}
+
+impl CamdnFull {
+    /// Creates the full co-design policy; prediction tables are sized at
+    /// [`partition`](Policy::partition) time.
+    pub fn new() -> Self {
+        CamdnFull {
+            alloc: DynamicAllocator::new(0),
+        }
+    }
+}
+
+impl Default for CamdnFull {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Policy for CamdnFull {
+    fn label(&self) -> &str {
+        "CaMDN(Full)"
+    }
+
+    fn capabilities(&self) -> PolicyCapabilities {
+        PolicyCapabilities {
+            partitions_cache: true,
+            reallocates_shares: true,
+            npu_groups: true,
+        }
+    }
+
+    fn partition(&mut self, ctx: &PartitionCtx) {
+        let lookahead = self.alloc.lookahead;
+        self.alloc = DynamicAllocator::new(ctx.num_tasks);
+        self.alloc.lookahead = lookahead;
+    }
+
+    fn on_epoch(&mut self, now: Cycle, npu_budget: usize, slots: &mut [EpochSlot]) {
+        super::urgency_rebalance(now, npu_budget, slots);
+    }
+
+    fn select_candidate(
+        &mut self,
+        now: Cycle,
+        task: u32,
+        mct: &Mct,
+        _lbm_active: bool,
+        idle_pages: u32,
+    ) -> Selection {
+        Selection::Camdn(self.alloc.select(now, task, mct, idle_pages))
+    }
+
+    fn on_alloc_failure(
+        &mut self,
+        now: Cycle,
+        _task: u32,
+        mct: &Mct,
+        decision: &Decision,
+    ) -> AllocFailure {
+        // Algorithm 1's timeout/degrade protocol: wait for pages until
+        // the decision's deadline, then fall back to a cheaper
+        // candidate.
+        let expired = decision.timeout.map(|dl| now >= dl).unwrap_or(true);
+        if expired {
+            AllocFailure::Degrade(self.alloc.degrade(mct, decision.pneed))
+        } else {
+            AllocFailure::Wait
+        }
+    }
+
+    fn on_install(&mut self, _now: Cycle, task: u32, ev: &InstallEvent) {
+        if let Some(block) = ev.lbm_block {
+            self.alloc.enable_lbm(task, block);
+        }
+        // Book-keeping for predAvailPages: when this task will
+        // reallocate next and how much it will need.
+        self.alloc
+            .note_alloc(task, ev.held_pages, ev.est_finish, ev.next_pneed);
+    }
+
+    fn on_layer_retire(&mut self, _now: Cycle, task: u32, lbm_block_ended: bool) {
+        if lbm_block_ended {
+            self.alloc.disable_lbm(task);
+        }
+    }
+
+    fn on_task_done(&mut self, task: u32) {
+        self.alloc.note_done(task);
+    }
+
+    fn set_lookahead(&mut self, factor: f64) {
+        self.alloc.lookahead = factor;
+    }
+}

@@ -1,0 +1,64 @@
+//! CaMDN architecture with a static equal split of the NPU subspace
+//! (the paper's `CaMDN(HW-only)` ablation).
+
+use super::{PartitionCtx, Policy, PolicyCapabilities, Selection};
+use camdn_common::types::Cycle;
+use camdn_core::StaticPolicy;
+use camdn_mapper::Mct;
+
+/// The `CaMDN(HW-only)` system: NPU-controlled cache with a fixed
+/// per-task page quota and no dynamic scheduling (so no LBM — that is
+/// what Algorithm 1 adds).
+#[derive(Debug, Clone, Copy)]
+pub struct CamdnHwOnly {
+    quota: StaticPolicy,
+}
+
+impl CamdnHwOnly {
+    /// Creates the HW-only policy; the quota is fixed at
+    /// [`partition`](Policy::partition) time.
+    pub fn new() -> Self {
+        CamdnHwOnly {
+            quota: StaticPolicy::equal_split(0, 1),
+        }
+    }
+}
+
+impl Default for CamdnHwOnly {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Policy for CamdnHwOnly {
+    fn label(&self) -> &str {
+        "CaMDN(HW-only)"
+    }
+
+    fn capabilities(&self) -> PolicyCapabilities {
+        PolicyCapabilities {
+            partitions_cache: true,
+            reallocates_shares: false,
+            npu_groups: false,
+        }
+    }
+
+    fn partition(&mut self, ctx: &PartitionCtx) {
+        self.quota = StaticPolicy::equal_split(ctx.npu_pages, ctx.num_tasks as u32);
+    }
+
+    fn select_candidate(
+        &mut self,
+        _now: Cycle,
+        _task: u32,
+        mct: &Mct,
+        lbm_active: bool,
+        _idle_pages: u32,
+    ) -> Selection {
+        Selection::Camdn(self.quota.select(mct, lbm_active))
+    }
+
+    // Static quotas guarantee availability; the default on_alloc_failure
+    // (immediate degrade) is the right defensive behavior if they ever
+    // don't.
+}

@@ -1,0 +1,47 @@
+//! MoCA-style dynamic memory-bandwidth partitioning \[8\] on a
+//! transparent cache.
+
+use super::{EpochSlot, Policy, PolicyCapabilities, Selection};
+use camdn_common::types::Cycle;
+use camdn_mapper::Mct;
+
+/// The `MoCA` system: urgency-driven DRAM bandwidth shares over the
+/// transparent cache; single-NPU dispatch.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Moca;
+
+impl Moca {
+    /// Creates the MoCA policy.
+    pub fn new() -> Self {
+        Moca
+    }
+}
+
+impl Policy for Moca {
+    fn label(&self) -> &str {
+        "MoCA"
+    }
+
+    fn capabilities(&self) -> PolicyCapabilities {
+        PolicyCapabilities {
+            partitions_cache: false,
+            reallocates_shares: true,
+            npu_groups: false,
+        }
+    }
+
+    fn on_epoch(&mut self, now: Cycle, npu_budget: usize, slots: &mut [EpochSlot]) {
+        super::urgency_rebalance(now, npu_budget, slots);
+    }
+
+    fn select_candidate(
+        &mut self,
+        _now: Cycle,
+        _task: u32,
+        _mct: &Mct,
+        _lbm_active: bool,
+        _idle_pages: u32,
+    ) -> Selection {
+        Selection::Transparent
+    }
+}

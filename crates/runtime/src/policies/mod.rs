@@ -1,0 +1,372 @@
+//! Pluggable scheduling policies.
+//!
+//! The engine core is a deterministic discrete-event machine; *how*
+//! resources are scheduled — cache pages, DRAM bandwidth shares, NPU
+//! groups — is delegated to a [`Policy`] object through a small set of
+//! hooks. The five systems evaluated in the paper ship as built-ins:
+//!
+//! | Module | System |
+//! |---|---|
+//! | [`baseline`] | plain shared transparent cache |
+//! | [`moca`] | MoCA-style bandwidth partitioning |
+//! | [`aurora`] | AuRORA-style NPU + bandwidth co-allocation |
+//! | [`camdn_hw`] | CaMDN architecture, static equal cache split |
+//! | [`camdn_full`] | full CaMDN co-design (Algorithm 1) |
+//!
+//! Custom policies implement [`Policy`] and are either passed straight
+//! to [`SimulationBuilder::policy_instance`](crate::SimulationBuilder::policy_instance)
+//! or registered by name through [`register_policy`] /
+//! [`PolicyRegistry`] so configuration layers can refer to them as
+//! strings.
+
+pub mod aurora;
+pub mod baseline;
+pub mod camdn_full;
+pub mod camdn_hw;
+pub mod moca;
+
+pub use aurora::Aurora;
+pub use baseline::SharedBaseline;
+pub use camdn_full::CamdnFull;
+pub use camdn_hw::CamdnHwOnly;
+pub use moca::Moca;
+
+use crate::engine::PolicyKind;
+use crate::error::EngineError;
+use camdn_common::types::Cycle;
+use camdn_core::Decision;
+use camdn_mapper::Mct;
+use std::collections::BTreeMap;
+use std::sync::{Arc, OnceLock, RwLock};
+
+/// What the engine must provision for a policy.
+///
+/// Capabilities are structural: they decide which engine mechanisms run
+/// (cache way partitioning, epoch rebalancing, multi-NPU dispatch), not
+/// how the policy uses them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct PolicyCapabilities {
+    /// The policy drives the NPU-controlled cache: the engine partitions
+    /// the NPU ways at startup, routes layer plans through the NEC, and
+    /// reports the controlled hit rate.
+    pub partitions_cache: bool,
+    /// The policy reassigns DRAM bandwidth shares at scheduling epochs
+    /// (QoS mode only); the engine throttles DRAM-touching transfers by
+    /// each task's share.
+    pub reallocates_shares: bool,
+    /// The policy assigns multi-NPU groups (QoS mode only); the engine
+    /// dispatches up to `npu_quota` cores per task.
+    pub npu_groups: bool,
+}
+
+/// One-time setup context passed to [`Policy::partition`].
+#[derive(Debug, Clone, Copy)]
+pub struct PartitionCtx {
+    /// Number of co-located tasks.
+    pub num_tasks: usize,
+    /// Pages of the NPU cache subspace.
+    pub npu_pages: u32,
+    /// NPU cores on the SoC.
+    pub npu_cores: u32,
+    /// Whether the run is in QoS (deadline) mode.
+    pub qos: bool,
+}
+
+/// Per-task view handed to [`Policy::on_epoch`]; the policy reads the
+/// progress fields and writes `bw_share` / `npu_quota`.
+#[derive(Debug, Clone, Copy)]
+pub struct EpochSlot {
+    /// False once the task has retired all its inferences.
+    pub active: bool,
+    /// Deadline of the inference in flight, in cycles.
+    pub deadline_cycles: Cycle,
+    /// Total layers of the task's model.
+    pub total_layers: usize,
+    /// Layer currently executing.
+    pub cur_layer: usize,
+    /// Start cycle of the inference in flight.
+    pub inference_start: Cycle,
+    /// Isolated-latency estimate for a full inference, in cycles.
+    pub iso_est_cycles: Cycle,
+    /// DRAM bandwidth share in `(0, 1]` (in/out).
+    pub bw_share: f64,
+    /// NPU cores the task should use next (in/out).
+    pub npu_quota: u32,
+}
+
+/// A policy's answer for how a layer should run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Selection {
+    /// Cache-unaware baseline candidate, lowered through the
+    /// transparent shared-cache path.
+    Transparent,
+    /// A CaMDN decision over the layer's mapping candidate table,
+    /// lowered through the NPU-controlled path.
+    Camdn(Decision),
+}
+
+/// What to do when the pages a decision needs are not available.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AllocFailure {
+    /// Retry immediately with this cheaper decision.
+    Degrade(Decision),
+    /// Sleep until pages free up or the decision's timeout expires.
+    Wait,
+}
+
+/// Facts about a successful region install, for policy book-keeping.
+#[derive(Debug, Clone, Copy)]
+pub struct InstallEvent {
+    /// Block id when the install granted (or re-used) an LBM region.
+    pub lbm_block: Option<u32>,
+    /// Pages the task holds after the install.
+    pub held_pages: u32,
+    /// Predicted completion cycle of the layer (`now + est_cycles`).
+    pub est_finish: Cycle,
+    /// Median page demand of the task's next layer (0 at the tail).
+    pub next_pneed: u32,
+}
+
+/// A pluggable scheduling policy.
+///
+/// All hooks have no-op defaults except [`label`](Policy::label),
+/// [`capabilities`](Policy::capabilities) and
+/// [`select_candidate`](Policy::select_candidate); a minimal
+/// transparent-cache policy only implements those three.
+///
+/// The trait is object-safe: the engine holds a `Box<dyn Policy>`, and
+/// the registry stores factories producing fresh boxed instances per
+/// run.
+pub trait Policy: Send {
+    /// Display label used by results and the experiment harness.
+    fn label(&self) -> &str;
+
+    /// Which engine mechanisms this policy drives.
+    fn capabilities(&self) -> PolicyCapabilities;
+
+    /// One-time resource partitioning before the run starts (e.g. the
+    /// static equal split, or sizing Algorithm 1's prediction tables).
+    fn partition(&mut self, _ctx: &PartitionCtx) {}
+
+    /// Scheduling-epoch rebalance (QoS mode, only called when
+    /// [`PolicyCapabilities::reallocates_shares`] is set): adjust
+    /// `bw_share` / `npu_quota` of the active slots.
+    fn on_epoch(&mut self, _now: Cycle, _npu_budget: usize, _slots: &mut [EpochSlot]) {}
+
+    /// Selects how the current layer of `task` should run.
+    fn select_candidate(
+        &mut self,
+        now: Cycle,
+        task: u32,
+        mct: &Mct,
+        lbm_active: bool,
+        idle_pages: u32,
+    ) -> Selection;
+
+    /// Called when `decision`'s pages could not be acquired. The default
+    /// degrades to the next-cheaper candidate immediately.
+    fn on_alloc_failure(
+        &mut self,
+        _now: Cycle,
+        _task: u32,
+        mct: &Mct,
+        decision: &Decision,
+    ) -> AllocFailure {
+        AllocFailure::Degrade(camdn_core::degrade_decision(mct, decision.pneed))
+    }
+
+    /// Called after a region install (or zero-page LBM enable) succeeds.
+    fn on_install(&mut self, _now: Cycle, _task: u32, _ev: &InstallEvent) {}
+
+    /// Called when a layer retires. `lbm_block_ended` is set when the
+    /// layer was the tail of a block whose LBM region was active.
+    fn on_layer_retire(&mut self, _now: Cycle, _task: u32, _lbm_block_ended: bool) {}
+
+    /// Called when a task finishes its last inference.
+    fn on_task_done(&mut self, _task: u32) {}
+
+    /// Overrides a look-ahead style tuning knob, when the policy has
+    /// one (Algorithm 1's prediction horizon). No-op otherwise.
+    fn set_lookahead(&mut self, _factor: f64) {}
+}
+
+/// Creates a fresh boxed instance of a built-in policy.
+pub fn builtin_policy(kind: PolicyKind) -> Box<dyn Policy> {
+    match kind {
+        PolicyKind::SharedBaseline => Box::new(SharedBaseline::new()),
+        PolicyKind::Moca => Box::new(Moca::new()),
+        PolicyKind::Aurora => Box::new(Aurora::new()),
+        PolicyKind::CamdnHwOnly => Box::new(CamdnHwOnly::new()),
+        PolicyKind::CamdnFull => Box::new(CamdnFull::new()),
+    }
+}
+
+/// Factory producing a fresh policy instance per simulation.
+pub type PolicyFactory = Arc<dyn Fn() -> Box<dyn Policy> + Send + Sync>;
+
+/// Name-indexed registry of policy factories.
+///
+/// A registry pre-populated with the five built-ins backs
+/// [`SimulationBuilder::policy_named`](crate::SimulationBuilder::policy_named);
+/// downstream crates add their own systems with
+/// [`register`](PolicyRegistry::register) (or the process-global
+/// [`register_policy`]) without touching `camdn-runtime`.
+#[derive(Clone, Default)]
+pub struct PolicyRegistry {
+    factories: BTreeMap<String, PolicyFactory>,
+}
+
+impl PolicyRegistry {
+    /// Empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registry holding the five built-in systems under their kind
+    /// names (`baseline`, `moca`, `aurora`, `camdn-hw`, `camdn-full`).
+    pub fn with_builtins() -> Self {
+        let mut reg = Self::new();
+        for kind in PolicyKind::ALL {
+            reg.register(kind.name(), move || builtin_policy(kind));
+        }
+        reg
+    }
+
+    /// Registers (or replaces) a factory under `name`.
+    pub fn register<F>(&mut self, name: &str, factory: F)
+    where
+        F: Fn() -> Box<dyn Policy> + Send + Sync + 'static,
+    {
+        self.factories.insert(name.to_string(), Arc::new(factory));
+    }
+
+    /// Instantiates the policy registered under `name`.
+    pub fn create(&self, name: &str) -> Result<Box<dyn Policy>, EngineError> {
+        self.factories
+            .get(name)
+            .map(|f| f())
+            .ok_or_else(|| EngineError::UnknownPolicy(name.to_string()))
+    }
+
+    /// True when `name` is registered.
+    pub fn contains(&self, name: &str) -> bool {
+        self.factories.contains_key(name)
+    }
+
+    /// Registered names, sorted.
+    pub fn names(&self) -> Vec<String> {
+        self.factories.keys().cloned().collect()
+    }
+}
+
+fn global_registry() -> &'static RwLock<PolicyRegistry> {
+    static GLOBAL: OnceLock<RwLock<PolicyRegistry>> = OnceLock::new();
+    GLOBAL.get_or_init(|| RwLock::new(PolicyRegistry::with_builtins()))
+}
+
+/// Registers a policy factory in the process-global registry used by
+/// [`SimulationBuilder::policy_named`](crate::SimulationBuilder::policy_named).
+pub fn register_policy<F>(name: &str, factory: F)
+where
+    F: Fn() -> Box<dyn Policy> + Send + Sync + 'static,
+{
+    global_registry()
+        .write()
+        .expect("policy registry poisoned")
+        .register(name, factory);
+}
+
+/// Instantiates a policy from the process-global registry.
+pub fn create_policy(name: &str) -> Result<Box<dyn Policy>, EngineError> {
+    global_registry()
+        .read()
+        .expect("policy registry poisoned")
+        .create(name)
+}
+
+/// Names registered in the process-global registry, sorted.
+pub fn registered_policies() -> Vec<String> {
+    global_registry()
+        .read()
+        .expect("policy registry poisoned")
+        .names()
+}
+
+/// Urgency-proportional share rebalance used by the MoCA, AuRORA and
+/// CaMDN-Full built-ins: tasks predicted to miss their deadline receive
+/// larger bandwidth shares and (where supported) more NPUs.
+pub(crate) fn urgency_rebalance(now: Cycle, npu_budget: usize, slots: &mut [EpochSlot]) {
+    let mut urgencies = vec![0.0f64; slots.len()];
+    let mut total = 0.0;
+    for (i, s) in slots.iter().enumerate() {
+        if !s.active {
+            continue;
+        }
+        let deadline = s.deadline_cycles.max(1) as f64;
+        let frac_left = 1.0 - s.cur_layer as f64 / s.total_layers as f64;
+        let elapsed = now.saturating_sub(s.inference_start) as f64;
+        let predicted = elapsed + s.iso_est_cycles as f64 * frac_left;
+        let u = (predicted / deadline).clamp(0.05, 20.0);
+        urgencies[i] = u;
+        total += u;
+    }
+    if total <= 0.0 {
+        return;
+    }
+    let budget = npu_budget as f64;
+    for (i, s) in slots.iter_mut().enumerate() {
+        if !s.active {
+            continue;
+        }
+        s.bw_share = (urgencies[i] / total).max(0.02);
+        s.npu_quota = ((urgencies[i] / total * budget).round() as u32).clamp(1, 4);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builtins_registered_under_kind_names() {
+        let reg = PolicyRegistry::with_builtins();
+        for kind in PolicyKind::ALL {
+            assert!(reg.contains(kind.name()), "{kind:?}");
+            let p = reg.create(kind.name()).unwrap();
+            assert_eq!(p.label(), kind.label());
+        }
+        assert!(matches!(
+            reg.create("nope"),
+            Err(EngineError::UnknownPolicy(_))
+        ));
+    }
+
+    #[test]
+    fn custom_registration_overrides_and_lists() {
+        let mut reg = PolicyRegistry::with_builtins();
+        reg.register("custom", || Box::new(SharedBaseline::new()));
+        assert!(reg.contains("custom"));
+        assert!(reg.names().contains(&"custom".to_string()));
+    }
+
+    #[test]
+    fn urgency_rebalance_favors_late_tasks() {
+        let slot = |start: Cycle| EpochSlot {
+            active: true,
+            deadline_cycles: 1_000_000,
+            total_layers: 10,
+            cur_layer: 5,
+            inference_start: start,
+            iso_est_cycles: 800_000,
+            bw_share: 0.5,
+            npu_quota: 1,
+        };
+        // The task that started earlier (more elapsed time) is more
+        // urgent and must receive at least as large a share.
+        let mut slots = [slot(0), slot(900_000)];
+        urgency_rebalance(1_000_000, 16, &mut slots);
+        assert!(slots[0].bw_share >= slots[1].bw_share);
+        let sum: f64 = slots.iter().map(|s| s.bw_share).sum();
+        assert!(sum <= 1.1, "shares stay near a unit budget, got {sum}");
+    }
+}

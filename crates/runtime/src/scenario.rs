@@ -1,0 +1,297 @@
+//! Workload scenarios: which models run, and *when* inferences arrive.
+//!
+//! The engine originally supported a single closed-loop scenario (every
+//! task re-issues its next inference the moment the previous one
+//! retires, for a fixed round count). A [`Workload`] generalizes that
+//! with an [`ArrivalProcess`] per scenario:
+//!
+//! * [`ArrivalProcess::Closed`] — the paper's setting: back-to-back
+//!   inferences, `rounds` per task;
+//! * [`ArrivalProcess::Poisson`] — open-loop traffic: each task receives
+//!   inference requests as a Poisson process, modelling independent user
+//!   streams hitting a shared SoC;
+//! * [`ArrivalProcess::Bursty`] — clustered arrivals: periodic bursts of
+//!   back-to-back requests separated by idle gaps, the worst case for
+//!   cache contention.
+//!
+//! Arrival schedules are drawn from the engine's seeded [`SimRng`], so a
+//! given `(workload, seed)` pair is exactly reproducible.
+//!
+//! Latency semantics differ by loop type: closed-loop rounds have no
+//! arrival, so latency is measured from dispatch (as in the paper's
+//! experiments); open-loop latency is *response time*, measured from
+//! the request's arrival, so queueing behind busy NPUs or earlier
+//! requests of the same task is charged.
+
+use camdn_common::types::{ms_to_cycles, Cycle};
+use camdn_common::SimRng;
+use camdn_models::Model;
+use serde::{Deserialize, Serialize};
+
+/// When inference requests arrive at each task.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum ArrivalProcess {
+    /// Closed loop: each task runs `rounds` inferences back to back
+    /// (after a small random dispatch jitter on the first).
+    Closed {
+        /// Inferences per task.
+        rounds: u32,
+    },
+    /// Open loop: arrivals form a Poisson process of `rate_per_ms`
+    /// requests per millisecond per task over `horizon_ms` of simulated
+    /// time. A task whose inference is still running when the next
+    /// request lands starts it immediately after (queueing).
+    Poisson {
+        /// Mean arrivals per millisecond for each task.
+        rate_per_ms: f64,
+        /// Length of the arrival window in milliseconds.
+        horizon_ms: f64,
+    },
+    /// Clustered open loop: `bursts` bursts of `burst_len` back-to-back
+    /// requests, with consecutive bursts `gap_ms` apart.
+    Bursty {
+        /// Number of bursts per task.
+        bursts: u32,
+        /// Requests per burst.
+        burst_len: u32,
+        /// Start-to-start spacing of bursts in milliseconds.
+        gap_ms: f64,
+    },
+}
+
+/// A simulation scenario: the co-located models plus their arrival
+/// process.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Workload {
+    models: Vec<Model>,
+    arrival: ArrivalProcess,
+}
+
+impl Workload {
+    /// Closed-loop workload (the paper's setting): `rounds` inferences
+    /// per task, back to back.
+    pub fn closed(models: Vec<Model>, rounds: u32) -> Self {
+        Workload {
+            models,
+            arrival: ArrivalProcess::Closed { rounds },
+        }
+    }
+
+    /// Open-loop Poisson workload: `rate_per_ms` requests per
+    /// millisecond per task, over a window of `horizon_ms`.
+    pub fn poisson(models: Vec<Model>, rate_per_ms: f64, horizon_ms: f64) -> Self {
+        Workload {
+            models,
+            arrival: ArrivalProcess::Poisson {
+                rate_per_ms,
+                horizon_ms,
+            },
+        }
+    }
+
+    /// Bursty workload: `bursts` bursts of `burst_len` requests, bursts
+    /// spaced `gap_ms` apart.
+    pub fn bursty(models: Vec<Model>, bursts: u32, burst_len: u32, gap_ms: f64) -> Self {
+        Workload {
+            models,
+            arrival: ArrivalProcess::Bursty {
+                bursts,
+                burst_len,
+                gap_ms,
+            },
+        }
+    }
+
+    /// The co-located models, one task per entry.
+    pub fn models(&self) -> &[Model] {
+        &self.models
+    }
+
+    /// The scenario's arrival process.
+    pub fn arrival(&self) -> ArrivalProcess {
+        self.arrival
+    }
+
+    /// Validates the scenario parameters.
+    pub(crate) fn validate(&self) -> Result<(), crate::EngineError> {
+        use crate::EngineError::InvalidConfig;
+        if self.models.is_empty() {
+            return Err(crate::EngineError::EmptyWorkload);
+        }
+        if let Some(m) = self.models.iter().find(|m| m.layers.is_empty()) {
+            return Err(InvalidConfig(format!(
+                "model '{}' has no layers to execute",
+                m.name
+            )));
+        }
+        match self.arrival {
+            ArrivalProcess::Closed { rounds: 0 } => {
+                Err(InvalidConfig("closed-loop rounds must be positive".into()))
+            }
+            ArrivalProcess::Closed { .. } => Ok(()),
+            ArrivalProcess::Poisson {
+                rate_per_ms,
+                horizon_ms,
+            } => {
+                let ok = rate_per_ms.is_finite()
+                    && rate_per_ms > 0.0
+                    && horizon_ms.is_finite()
+                    && horizon_ms > 0.0;
+                if ok {
+                    Ok(())
+                } else {
+                    Err(InvalidConfig(
+                        "poisson rate and horizon must be positive and finite".into(),
+                    ))
+                }
+            }
+            ArrivalProcess::Bursty {
+                bursts,
+                burst_len,
+                gap_ms,
+            } => {
+                if bursts == 0 || burst_len == 0 {
+                    return Err(InvalidConfig(
+                        "bursty workload needs at least one burst of one request".into(),
+                    ));
+                }
+                if gap_ms.is_finite() && gap_ms >= 0.0 {
+                    Ok(())
+                } else {
+                    Err(InvalidConfig(
+                        "burst gap must be non-negative and finite".into(),
+                    ))
+                }
+            }
+        }
+    }
+
+    /// Draws the absolute arrival cycles for one task.
+    ///
+    /// Closed-loop tasks get a single dispatch-jitter arrival (their
+    /// remaining rounds re-issue immediately); open-loop tasks get the
+    /// full request schedule. The caller iterates tasks in id order so
+    /// the RNG stream — and therefore the run — is deterministic.
+    pub(crate) fn draw_arrivals(&self, rng: &mut SimRng) -> Vec<Cycle> {
+        match self.arrival {
+            ArrivalProcess::Closed { .. } => vec![rng.next_below(50_000)],
+            ArrivalProcess::Poisson {
+                rate_per_ms,
+                horizon_ms,
+            } => {
+                let mut t_ms = 0.0;
+                let mut arrivals = Vec::new();
+                loop {
+                    // Exponential inter-arrival via inversion sampling.
+                    let u = rng.next_f64();
+                    t_ms += -(1.0 - u).ln() / rate_per_ms;
+                    if t_ms >= horizon_ms {
+                        break;
+                    }
+                    arrivals.push(ms_to_cycles(t_ms));
+                }
+                arrivals
+            }
+            ArrivalProcess::Bursty {
+                bursts,
+                burst_len,
+                gap_ms,
+            } => {
+                // Per-task phase jitter keeps bursts from locking step.
+                let phase = rng.next_below(50_000);
+                let mut arrivals = Vec::with_capacity((bursts * burst_len) as usize);
+                for b in 0..bursts {
+                    let at = phase + ms_to_cycles(gap_ms * f64::from(b));
+                    for _ in 0..burst_len {
+                        arrivals.push(at);
+                    }
+                }
+                arrivals
+            }
+        }
+    }
+
+    /// Total inference rounds a task will run, when bounded up front
+    /// (`None` for Poisson, where the count is drawn per task).
+    pub(crate) fn rounds_hint(&self) -> Option<u32> {
+        match self.arrival {
+            ArrivalProcess::Closed { rounds } => Some(rounds),
+            ArrivalProcess::Poisson { .. } => None,
+            ArrivalProcess::Bursty {
+                bursts, burst_len, ..
+            } => Some(bursts * burst_len),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use camdn_models::zoo;
+
+    #[test]
+    fn closed_draws_one_jitter_arrival() {
+        let w = Workload::closed(vec![zoo::mobilenet_v2()], 3);
+        let mut rng = SimRng::new(1);
+        let a = w.draw_arrivals(&mut rng);
+        assert_eq!(a.len(), 1);
+        assert!(a[0] < 50_000);
+        assert_eq!(w.rounds_hint(), Some(3));
+    }
+
+    #[test]
+    fn poisson_arrivals_are_sorted_and_bounded() {
+        let w = Workload::poisson(vec![zoo::mobilenet_v2()], 0.5, 100.0);
+        let mut rng = SimRng::new(7);
+        let a = w.draw_arrivals(&mut rng);
+        assert!(!a.is_empty(), "50 expected arrivals, drew none");
+        assert!(a.windows(2).all(|w| w[0] <= w[1]));
+        assert!(*a.last().unwrap() < ms_to_cycles(100.0));
+        // Mean count should be near rate * horizon = 50.
+        assert!(a.len() > 20 && a.len() < 100, "got {}", a.len());
+    }
+
+    #[test]
+    fn poisson_is_deterministic_per_seed() {
+        let w = Workload::poisson(vec![zoo::mobilenet_v2()], 1.0, 50.0);
+        let a = w.draw_arrivals(&mut SimRng::new(9));
+        let b = w.draw_arrivals(&mut SimRng::new(9));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn bursty_schedule_shape() {
+        let w = Workload::bursty(vec![zoo::mobilenet_v2()], 3, 4, 10.0);
+        let mut rng = SimRng::new(3);
+        let a = w.draw_arrivals(&mut rng);
+        assert_eq!(a.len(), 12);
+        assert_eq!(w.rounds_hint(), Some(12));
+        // Bursts are gap-separated: arrivals 0..4 equal, 4..8 equal, ...
+        assert_eq!(a[0], a[3]);
+        assert!(a[4] >= a[3] + ms_to_cycles(10.0));
+    }
+
+    #[test]
+    fn validation_rejects_layerless_models() {
+        let mut m = zoo::mobilenet_v2();
+        m.layers.clear();
+        let err = Workload::closed(vec![m], 1).validate().err().unwrap();
+        assert!(
+            err.to_string().contains("no layers"),
+            "unexpected error: {err}"
+        );
+    }
+
+    #[test]
+    fn validation_rejects_nonsense() {
+        assert!(Workload::closed(vec![], 2).validate().is_err());
+        assert!(Workload::closed(vec![zoo::gnmt()], 0).validate().is_err());
+        assert!(Workload::poisson(vec![zoo::gnmt()], 0.0, 10.0)
+            .validate()
+            .is_err());
+        assert!(Workload::bursty(vec![zoo::gnmt()], 0, 1, 1.0)
+            .validate()
+            .is_err());
+        assert!(Workload::closed(vec![zoo::gnmt()], 2).validate().is_ok());
+    }
+}

@@ -1,0 +1,296 @@
+//! The fluent simulation API: [`Simulation::builder`] assembles an SoC,
+//! a scheduling policy and a workload scenario into a runnable
+//! [`Simulation`].
+//!
+//! ```
+//! use camdn_runtime::{PolicyKind, Simulation, Workload};
+//! use camdn_models::zoo;
+//!
+//! let result = Simulation::builder()
+//!     .policy(PolicyKind::CamdnFull)
+//!     .workload(Workload::closed(vec![zoo::mobilenet_v2(), zoo::resnet50()], 2))
+//!     .seed(7)
+//!     .run()
+//!     .expect("valid configuration");
+//! assert_eq!(result.tasks.len(), 2);
+//! ```
+
+use crate::engine::{Engine, PolicyKind, RunResult, SimParams};
+use crate::error::EngineError;
+use crate::policies::{builtin_policy, create_policy, Policy};
+use crate::scenario::Workload;
+use camdn_common::config::SocConfig;
+use camdn_common::types::Cycle;
+use camdn_mapper::MapperConfig;
+
+/// Which policy the builder should instantiate at build time.
+enum PolicyChoice {
+    Kind(PolicyKind),
+    Named(String),
+    Instance(Box<dyn Policy>),
+}
+
+/// A fully-assembled simulation, ready to run once.
+pub struct Simulation {
+    engine: Engine,
+}
+
+impl Simulation {
+    /// Starts assembling a simulation. Defaults: Table II SoC, the
+    /// shared baseline policy, seed `0xCA3D41`, one warm-up round and a
+    /// 200k-cycle scheduling epoch. A workload must be supplied.
+    pub fn builder() -> SimulationBuilder {
+        SimulationBuilder {
+            soc: SocConfig::paper_default(),
+            policy: PolicyChoice::Kind(PolicyKind::SharedBaseline),
+            workload: None,
+            seed: 0xCA3D41,
+            warmup_rounds: 1,
+            qos_scale: None,
+            epoch_cycles: 200_000,
+            mapper: MapperConfig::paper_default(),
+            lookahead: None,
+        }
+    }
+
+    /// Runs the simulation to completion.
+    pub fn run(mut self) -> Result<RunResult, EngineError> {
+        self.engine.run()
+    }
+}
+
+/// Fluent builder for a [`Simulation`].
+pub struct SimulationBuilder {
+    soc: SocConfig,
+    policy: PolicyChoice,
+    workload: Option<Workload>,
+    seed: u64,
+    warmup_rounds: u32,
+    qos_scale: Option<f64>,
+    epoch_cycles: Cycle,
+    mapper: MapperConfig,
+    lookahead: Option<f64>,
+}
+
+impl SimulationBuilder {
+    /// Sets the SoC parameters (default: Table II).
+    pub fn soc(mut self, soc: SocConfig) -> Self {
+        self.soc = soc;
+        self
+    }
+
+    /// Selects a built-in policy.
+    pub fn policy(mut self, kind: PolicyKind) -> Self {
+        self.policy = PolicyChoice::Kind(kind);
+        self
+    }
+
+    /// Selects a policy by registry name (resolved at [`build`]
+    /// time against the process-global registry; see
+    /// [`register_policy`](crate::register_policy)).
+    ///
+    /// [`build`]: SimulationBuilder::build
+    pub fn policy_named(mut self, name: impl Into<String>) -> Self {
+        self.policy = PolicyChoice::Named(name.into());
+        self
+    }
+
+    /// Supplies a policy instance directly (custom systems that are not
+    /// registered).
+    pub fn policy_instance(mut self, policy: Box<dyn Policy>) -> Self {
+        self.policy = PolicyChoice::Instance(policy);
+        self
+    }
+
+    /// Sets the workload scenario (required).
+    pub fn workload(mut self, workload: Workload) -> Self {
+        self.workload = Some(workload);
+        self
+    }
+
+    /// Sets the RNG seed (dispatch jitter, NPU choice, arrivals).
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Leading inferences per task excluded from statistics (cache
+    /// warm-up; default 1). Applies to closed-loop workloads only —
+    /// open-loop (Poisson/bursty) runs measure every arrival, since
+    /// their per-task request counts vary.
+    pub fn warmup_rounds(mut self, rounds: u32) -> Self {
+        self.warmup_rounds = rounds;
+        self
+    }
+
+    /// Enables QoS mode at a deadline scale over the Table I targets
+    /// (0.8 = QoS-H, 1.0 = QoS-M, 1.2 = QoS-L).
+    pub fn qos_scale(mut self, scale: f64) -> Self {
+        self.qos_scale = Some(scale);
+        self
+    }
+
+    /// Bandwidth/NPU reallocation epoch in cycles (default 200_000).
+    pub fn epoch_cycles(mut self, cycles: Cycle) -> Self {
+        self.epoch_cycles = cycles;
+        self
+    }
+
+    /// Sets the offline mapper configuration.
+    pub fn mapper(mut self, mapper: MapperConfig) -> Self {
+        self.mapper = mapper;
+        self
+    }
+
+    /// Overrides Algorithm 1's look-ahead fraction on policies that
+    /// carry the knob (paper default 0.2).
+    pub fn lookahead(mut self, factor: f64) -> Self {
+        self.lookahead = Some(factor);
+        self
+    }
+
+    /// Validates the configuration and assembles the engine.
+    pub fn build(self) -> Result<Simulation, EngineError> {
+        let workload = self.workload.ok_or_else(|| {
+            EngineError::InvalidConfig("a workload is required — call .workload(...)".into())
+        })?;
+        if let Some(scale) = self.qos_scale {
+            let ok = scale.is_finite() && scale > 0.0;
+            if !ok {
+                return Err(EngineError::InvalidConfig(
+                    "qos scale must be positive and finite".into(),
+                ));
+            }
+        }
+        if self.epoch_cycles == 0 {
+            return Err(EngineError::InvalidConfig(
+                "epoch_cycles must be positive".into(),
+            ));
+        }
+        let mut policy = match self.policy {
+            PolicyChoice::Kind(kind) => builtin_policy(kind),
+            PolicyChoice::Named(name) => create_policy(&name)?,
+            PolicyChoice::Instance(p) => p,
+        };
+        if let Some(f) = self.lookahead {
+            policy.set_lookahead(f);
+        }
+        let params = SimParams {
+            soc: self.soc,
+            seed: self.seed,
+            warmup_rounds: self.warmup_rounds,
+            qos_scale: self.qos_scale,
+            epoch_cycles: self.epoch_cycles,
+            mapper: self.mapper,
+        };
+        let engine = Engine::with_policy(params, policy, &workload)?;
+        Ok(Simulation { engine })
+    }
+
+    /// [`build`](SimulationBuilder::build) + [`Simulation::run`] in one
+    /// call.
+    pub fn run(self) -> Result<RunResult, EngineError> {
+        self.build()?.run()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use camdn_models::zoo;
+
+    #[test]
+    fn missing_or_empty_workload_is_an_error() {
+        // Never calling .workload(...) names the real mistake...
+        match Simulation::builder().build().err() {
+            Some(EngineError::InvalidConfig(msg)) => {
+                assert!(msg.contains("workload is required"), "{msg}")
+            }
+            other => panic!("expected InvalidConfig, got {other:?}"),
+        }
+        // ...while an explicitly empty model list is EmptyWorkload.
+        assert_eq!(
+            Simulation::builder()
+                .workload(Workload::closed(vec![], 2))
+                .build()
+                .err(),
+            Some(EngineError::EmptyWorkload)
+        );
+    }
+
+    #[test]
+    fn invalid_knobs_are_rejected() {
+        let w = Workload::closed(vec![zoo::mobilenet_v2()], 1);
+        assert!(matches!(
+            Simulation::builder()
+                .workload(w.clone())
+                .qos_scale(0.0)
+                .build(),
+            Err(EngineError::InvalidConfig(_))
+        ));
+        assert!(matches!(
+            Simulation::builder()
+                .workload(w.clone())
+                .epoch_cycles(0)
+                .build(),
+            Err(EngineError::InvalidConfig(_))
+        ));
+        let mut soc = SocConfig::paper_default();
+        soc.npu.cores = 0;
+        assert!(matches!(
+            Simulation::builder().workload(w).soc(soc).build(),
+            Err(EngineError::InvalidConfig(_))
+        ));
+    }
+
+    #[test]
+    fn degenerate_configs_are_typed_errors() {
+        // Warm-up that swallows every measured round.
+        let starved = Workload::closed(vec![zoo::mobilenet_v2()], 1);
+        match Simulation::builder().workload(starved).build().err() {
+            Some(EngineError::InvalidConfig(msg)) => {
+                assert!(msg.contains("warmup"), "{msg}")
+            }
+            other => panic!("expected InvalidConfig, got {other:?}"),
+        }
+        // Cache geometry the model would otherwise assert on.
+        let mut soc = SocConfig::paper_default();
+        soc.cache.ways = 12; // not a power of two
+        let w = Workload::closed(vec![zoo::mobilenet_v2()], 2);
+        match Simulation::builder().workload(w).soc(soc).build().err() {
+            Some(EngineError::InvalidConfig(msg)) => {
+                assert!(msg.contains("power of two"), "{msg}")
+            }
+            other => panic!("expected InvalidConfig, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn unknown_policy_name_is_reported() {
+        let w = Workload::closed(vec![zoo::mobilenet_v2()], 1);
+        assert_eq!(
+            Simulation::builder()
+                .workload(w)
+                .policy_named("no-such-policy")
+                .build()
+                .err(),
+            Some(EngineError::UnknownPolicy("no-such-policy".into()))
+        );
+    }
+
+    #[test]
+    fn named_and_kind_paths_agree() {
+        let models = vec![zoo::mobilenet_v2(), zoo::efficientnet_b0()];
+        let by_kind = Simulation::builder()
+            .policy(PolicyKind::CamdnFull)
+            .workload(Workload::closed(models.clone(), 2))
+            .run()
+            .unwrap();
+        let by_name = Simulation::builder()
+            .policy_named("camdn-full")
+            .workload(Workload::closed(models, 2))
+            .run()
+            .unwrap();
+        assert_eq!(by_kind, by_name);
+    }
+}

@@ -1,0 +1,124 @@
+//! Tiny timing harness exposing the subset of the Criterion API used by
+//! `crates/bench/benches/*` (offline stand-in; see `vendor/README.md`).
+//!
+//! Each benchmark closure is run a fixed number of iterations and the
+//! mean wall-clock time is printed. Numbers are indicative, not
+//! statistically rigorous — use the real Criterion for that.
+
+use std::hint::black_box as std_black_box;
+use std::time::Instant;
+
+/// Re-export matching `criterion::black_box`.
+pub fn black_box<T>(x: T) -> T {
+    std_black_box(x)
+}
+
+/// Timing loop handle passed to benchmark closures.
+pub struct Bencher {
+    iters: u64,
+}
+
+impl Bencher {
+    /// Runs `f` for the configured iteration count, timing the total.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            std_black_box(f());
+        }
+        let total = start.elapsed();
+        let mean_us = total.as_secs_f64() * 1e6 / self.iters as f64;
+        println!("    {:>12.2} us/iter  ({} iters)", mean_us, self.iters);
+    }
+}
+
+/// Top-level harness handle (stand-in for `criterion::Criterion`).
+#[derive(Default)]
+pub struct Criterion {
+    sample_size: u64,
+}
+
+impl Criterion {
+    /// Overrides the iteration count (API parity with
+    /// `criterion::Criterion::sample_size`).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n as u64;
+        self
+    }
+
+    /// Runs one named benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        println!("bench {name}");
+        let mut b = Bencher {
+            iters: self.effective_iters(),
+        };
+        f(&mut b);
+        self
+    }
+
+    /// Opens a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        println!("group {name}");
+        BenchmarkGroup {
+            parent: self,
+            sample_size: None,
+        }
+    }
+
+    fn effective_iters(&self) -> u64 {
+        if self.sample_size > 0 {
+            self.sample_size
+        } else {
+            10
+        }
+    }
+}
+
+/// Group of related benchmarks (stand-in for `criterion::BenchmarkGroup`).
+pub struct BenchmarkGroup<'a> {
+    parent: &'a mut Criterion,
+    sample_size: Option<u64>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Overrides the iteration count for this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = Some(n as u64);
+        self
+    }
+
+    /// Runs one named benchmark within the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        println!("  bench {name}");
+        let mut b = Bencher {
+            iters: self
+                .sample_size
+                .unwrap_or_else(|| self.parent.effective_iters()),
+        };
+        f(&mut b);
+        self
+    }
+
+    /// Ends the group (no-op).
+    pub fn finish(self) {}
+}
+
+/// Declares a benchmark group runner, mirroring `criterion_group!`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Declares the benchmark `main`, mirroring `criterion_main!`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:ident),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

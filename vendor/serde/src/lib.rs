@@ -1,0 +1,15 @@
+//! Marker-trait stand-in for `serde` (offline builds).
+//!
+//! The workspace derives `Serialize`/`Deserialize` on its public config
+//! and result types so downstream users can plug in the real serde; the
+//! repo itself never serializes, so blanket marker impls are enough.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker stand-in for `serde::Serialize`; implemented for every type.
+pub trait Serialize {}
+impl<T: ?Sized> Serialize for T {}
+
+/// Marker stand-in for `serde::Deserialize`; implemented for every type.
+pub trait Deserialize<'de> {}
+impl<'de, T: ?Sized> Deserialize<'de> for T {}

@@ -1,0 +1,22 @@
+//! No-op stand-in for `serde_derive` (offline builds).
+//!
+//! The derives accept the same helper attributes as the real macros and
+//! expand to nothing; the sibling `serde` stand-in blanket-implements
+//! the marker traits, so every `#[derive(Serialize, Deserialize)]` in
+//! the workspace compiles unchanged.
+
+use proc_macro::TokenStream;
+
+/// Accepts `#[derive(Serialize)]` (and `#[serde(...)]` attributes) and
+/// expands to nothing.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Accepts `#[derive(Deserialize)]` (and `#[serde(...)]` attributes)
+/// and expands to nothing.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
