@@ -8,20 +8,15 @@
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
+use camdn_bench::cycling_workload;
 use camdn_common::types::MIB;
-use camdn_models::Model;
 use camdn_runtime::{PolicyKind, Simulation, Workload};
-
-fn workload(n: usize) -> Vec<Model> {
-    let zoo = camdn_models::zoo::all();
-    (0..n).map(|i| zoo[i % zoo.len()].clone()).collect()
-}
 
 fn run(n: usize, cache_mb: u64) -> (f64, f64, f64) {
     let r = Simulation::builder()
         .policy(PolicyKind::SharedBaseline)
         .soc(camdn_common::SocConfig::paper_default().with_cache_bytes(cache_mb * MIB))
-        .workload(Workload::closed(workload(n), 2))
+        .workload(Workload::closed(cycling_workload(n), 2))
         .run()
         .expect("fig2 run");
     (r.cache_hit_rate, r.mem_mb_per_model, r.avg_latency_ms)

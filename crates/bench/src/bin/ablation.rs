@@ -8,16 +8,10 @@
 //!    disabled (static policy semantics), isolating the layer-block
 //!    mapping win that Fig. 7 attributes to MB/EF.
 
-use camdn_bench::{parallel_sims, print_table, quick_mode};
+use camdn_bench::{cycling_workload, parallel_sims, print_table, quick_mode};
 use camdn_common::SocConfig;
 use camdn_mapper::MapperConfig;
-use camdn_models::Model;
 use camdn_runtime::{PolicyKind, Simulation, Workload};
-
-fn workload(n: usize) -> Vec<Model> {
-    let zoo = camdn_models::zoo::all();
-    (0..n).map(|i| zoo[i % zoo.len()].clone()).collect()
-}
 
 fn main() {
     let n = if quick_mode() { 4 } else { 8 };
@@ -28,7 +22,7 @@ fn main() {
     for &f in &factors {
         let r = Simulation::builder()
             .policy(PolicyKind::CamdnFull)
-            .workload(Workload::closed(workload(n), 2))
+            .workload(Workload::closed(cycling_workload(n), 2))
             .lookahead(f)
             .run()
             .expect("lookahead run");
@@ -56,7 +50,7 @@ fn main() {
             .policy(PolicyKind::CamdnFull)
             .soc(soc)
             .mapper(mapper)
-            .workload(Workload::closed(workload(n), 2))
+            .workload(Workload::closed(cycling_workload(n), 2))
             .run()
             .expect("page-size run");
         let cpt_entries = soc.cache.total_bytes / soc.cache.page_bytes;
@@ -81,10 +75,10 @@ fn main() {
     let runs = vec![
         Simulation::builder()
             .policy(PolicyKind::CamdnHwOnly)
-            .workload(Workload::closed(workload(n), 2)),
+            .workload(Workload::closed(cycling_workload(n), 2)),
         Simulation::builder()
             .policy(PolicyKind::CamdnFull)
-            .workload(Workload::closed(workload(n), 2)),
+            .workload(Workload::closed(cycling_workload(n), 2)),
     ];
     let results = parallel_sims(runs);
     let mut rows = Vec::new();

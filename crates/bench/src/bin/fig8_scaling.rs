@@ -6,15 +6,9 @@
 //! Paper result: CaMDN(Full) cuts latency by 34.3–42.3 % and memory
 //! access by 16.0–37.7 % across scales, with larger caches helping more.
 
-use camdn_bench::{parallel_sims, print_table, quick_mode, speedup_policies};
+use camdn_bench::{cycling_workload, parallel_sims, print_table, quick_mode, speedup_policies};
 use camdn_common::types::MIB;
-use camdn_models::Model;
 use camdn_runtime::{PolicyKind, Simulation, Workload};
-
-fn workload(n: usize) -> Vec<Model> {
-    let zoo = camdn_models::zoo::all();
-    (0..n).map(|i| zoo[i % zoo.len()].clone()).collect()
-}
 
 fn sweep(title: &str, configs: Vec<(String, u64, usize)>) {
     // (label, cache bytes, #DNNs) per point, x 3 policies.
@@ -25,7 +19,7 @@ fn sweep(title: &str, configs: Vec<(String, u64, usize)>) {
                 Simulation::builder()
                     .policy(p)
                     .soc(camdn_common::SocConfig::paper_default().with_cache_bytes(cache))
-                    .workload(Workload::closed(workload(n), 2)),
+                    .workload(Workload::closed(cycling_workload(n), 2)),
             );
         }
     }

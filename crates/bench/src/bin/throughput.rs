@@ -1,0 +1,145 @@
+//! Engine throughput harness: simulated-cycles-per-wall-second, batched
+//! fast paths vs the per-line reference model, tracked over time via
+//! `BENCH_engine.json`.
+//!
+//! Each scenario runs twice — once through the batched memory-system
+//! fast paths (the default) and once with
+//! [`SimulationBuilder::reference_model`] — and the harness asserts the
+//! two [`RunResult`]s are identical before reporting the speedup, so
+//! every benchmark run doubles as a whole-engine differential test.
+//!
+//! Usage: `cargo run --release -p camdn-bench --bin throughput`
+//!
+//! * `CAMDN_QUICK=1` — reduced scenario sizes (CI smoke mode).
+//! * `CAMDN_BENCH_OUT=<path>` — output path (default `BENCH_engine.json`).
+
+use camdn_bench::{quick_mode, speedup_workload};
+use camdn_models::zoo;
+use camdn_runtime::{PolicyKind, RunResult, Simulation, Workload};
+use std::time::Instant;
+
+struct Scenario {
+    name: &'static str,
+    policy: PolicyKind,
+    workload: Workload,
+}
+
+fn scenarios(quick: bool) -> Vec<Scenario> {
+    let rounds = if quick { 2 } else { 3 };
+    let small: Vec<_> = (0..4).map(|_| zoo::mobilenet_v2()).collect();
+    let large = if quick {
+        vec![zoo::gnmt(), zoo::bert_base(), zoo::resnet50(), zoo::gnmt()]
+    } else {
+        // The 16-tenant Section IV-A4 workload on the transparent
+        // baseline: every weight tensor streams through the shared
+        // cache under full contention — the simulator's hottest regime.
+        speedup_workload()
+    };
+    let open = if quick {
+        Workload::poisson(
+            vec![zoo::mobilenet_v2(), zoo::efficientnet_b0()],
+            0.05,
+            50.0,
+        )
+    } else {
+        Workload::poisson(zoo::all(), 0.05, 100.0)
+    };
+    vec![
+        Scenario {
+            name: "small_closed",
+            policy: PolicyKind::SharedBaseline,
+            workload: Workload::closed(small, rounds),
+        },
+        Scenario {
+            // The paper's own system on the heavy end of the zoo: big
+            // weight tensors move as NEC bulk DMA (fills, bypasses,
+            // multicast), the regime the closed-form burst timing
+            // targets.
+            name: "large_tensor_multi_tenant",
+            policy: PolicyKind::CamdnFull,
+            workload: Workload::closed(large.clone(), 2),
+        },
+        Scenario {
+            // Same tenants through the transparent baseline: every line
+            // probes the shared tag array, so this one is bounded by the
+            // (shared) tag pass rather than the batched memory pass.
+            name: "baseline_contention",
+            policy: PolicyKind::SharedBaseline,
+            workload: Workload::closed(large, 2),
+        },
+        Scenario {
+            name: "open_loop_poisson",
+            policy: PolicyKind::CamdnFull,
+            workload: open,
+        },
+    ]
+}
+
+fn run(sc: &Scenario, reference: bool) -> (RunResult, f64) {
+    let t0 = Instant::now();
+    let r = Simulation::builder()
+        .policy(sc.policy)
+        .workload(sc.workload.clone())
+        .reference_model(reference)
+        .run()
+        .expect("scenario run");
+    (r, t0.elapsed().as_secs_f64())
+}
+
+fn main() {
+    let quick = quick_mode();
+    let mut rows = Vec::new();
+    for sc in scenarios(quick) {
+        // Reference (seed-equivalent per-line path) first, then batched.
+        let (r_ref, wall_ref) = run(&sc, true);
+        let (r_fast, wall_fast) = run(&sc, false);
+        let identical = r_ref == r_fast;
+        assert!(
+            identical,
+            "{}: batched result diverged from the reference model",
+            sc.name
+        );
+        let sim_cycles = camdn_common::types::ms_to_cycles(r_fast.makespan_ms);
+        let cps_fast = sim_cycles as f64 / wall_fast.max(1e-9);
+        let cps_ref = sim_cycles as f64 / wall_ref.max(1e-9);
+        let speedup = cps_fast / cps_ref.max(1e-9);
+        println!(
+            "{:<28} {:>12} sim-cycles  batched {:>10.3e} cyc/s  reference {:>10.3e} cyc/s  speedup {:>5.2}x",
+            sc.name, sim_cycles, cps_fast, cps_ref, speedup
+        );
+        rows.push(format!(
+            concat!(
+                "    {{\n",
+                "      \"name\": \"{}\",\n",
+                "      \"policy\": \"{}\",\n",
+                "      \"tasks\": {},\n",
+                "      \"sim_cycles\": {},\n",
+                "      \"wall_s_batched\": {:.6},\n",
+                "      \"wall_s_reference\": {:.6},\n",
+                "      \"cycles_per_sec_batched\": {:.1},\n",
+                "      \"cycles_per_sec_reference\": {:.1},\n",
+                "      \"speedup\": {:.3},\n",
+                "      \"results_identical\": {}\n",
+                "    }}"
+            ),
+            sc.name,
+            sc.policy.name(),
+            r_fast.tasks.len(),
+            sim_cycles,
+            wall_fast,
+            wall_ref,
+            cps_fast,
+            cps_ref,
+            speedup,
+            identical
+        ));
+    }
+    let json = format!(
+        "{{\n  \"schema\": \"camdn-bench-engine/1\",\n  \"quick\": {},\n  \"scenarios\": [\n{}\n  ]\n}}\n",
+        quick,
+        rows.join(",\n")
+    );
+    let out = std::env::var("CAMDN_BENCH_OUT").unwrap_or_else(|_| "BENCH_engine.json".into());
+    std::fs::write(&out, json).expect("write BENCH_engine.json");
+    println!("wrote {out}");
+}

@@ -29,6 +29,12 @@ pub fn quick_mode() -> bool {
         .unwrap_or(false)
 }
 
+/// The standard N-tenant workload: cycle the Table I zoo models.
+pub fn cycling_workload(n: usize) -> Vec<Model> {
+    let zoo = camdn_models::zoo::all();
+    (0..n).map(|i| zoo[i % zoo.len()].clone()).collect()
+}
+
 /// The 16-tenant speedup workload of Section IV-A4: two instances of
 /// each Table I model, one per NPU.
 pub fn speedup_workload() -> Vec<Model> {

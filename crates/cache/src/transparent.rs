@@ -9,6 +9,24 @@
 //! Way partitioning (Section III-B1) is modelled with a per-cache way
 //! mask: a lookup is only allowed to hit/allocate in the ways enabled in
 //! its mask, exactly like the way-mask register CaMDN adds to each slice.
+//!
+//! # Batched range accesses
+//!
+//! [`SharedCache::access_range`] simulates a whole transfer in two
+//! passes instead of one fused per-line loop:
+//!
+//! 1. a **tag pass** walks the tag array once, applying LRU updates and
+//!    collecting the transfer's outcome as a compact event tape — runs
+//!    of consecutive missing lines plus interleaved dirty-victim
+//!    writebacks (a cold multi-MB tensor is a *single* run);
+//! 2. a **memory pass** replays that tape through
+//!    [`DramModel::line_batch`], which reproduces the MSHR-gated
+//!    per-miss DRAM sequence in closed form wherever the gates provably
+//!    cannot bind.
+//!
+//! The original fused per-line walk is retained as a reference model
+//! ([`SharedCache::set_reference_model`]); differential tests here and
+//! in `camdn` assert the two paths are bit-identical.
 
 use crate::geometry::CacheGeometry;
 use camdn_common::config::CacheConfig;
@@ -55,12 +73,75 @@ pub struct RangeOutcome {
     pub writebacks: u64,
 }
 
-#[derive(Debug, Clone, Copy, Default)]
-struct LineTag {
+/// Sentinel tag of an invalid way (no real line index reaches 2^64−1).
+const INVALID_TAG: u64 = u64::MAX;
+
+/// Outcome of one tag-array touch.
+enum Touch {
+    Hit,
+    /// Miss; carries the dirty victim's tag (= line index) if one must
+    /// be written back.
+    Miss(Option<u64>),
+}
+
+/// Tag lookup and update for one line within one set — `tags` holds the
+/// set's way tags (`INVALID_TAG` when empty), `meta` the packed
+/// `stamp << 2 | dirty << 1 | valid` words. Misses allocate immediately;
+/// dirty victims are reported for the caller to write back. This is the
+/// single source of truth for hit/replacement semantics — both the
+/// batched and the reference paths run it.
+///
+/// Victim selection is `argmin(meta)` over the allowed ways, which is
+/// exactly the LRU rule: an invalid way packs to 0 and beats every valid
+/// way (valid bit set, stamps start at 1), ties cannot occur between
+/// valid ways (stamps are unique), and the first minimum in way order
+/// wins — the same way the original scan broke ties.
+#[inline]
+#[allow(clippy::needless_range_loop)] // explicit indices keep the paired tag/meta scans tight
+fn touch_set(
+    tags: &mut [u64],
+    meta: &mut [u64],
+    way_mask: u16,
     tag: u64,
-    valid: bool,
-    dirty: bool,
     stamp: u64,
+    is_write: bool,
+) -> Touch {
+    debug_assert!(way_mask != 0, "empty way mask");
+    let wr = (is_write as u64) << 1;
+    let n = tags.len();
+    // First match in way order wins (invalid ways hold INVALID_TAG and
+    // can never match a real line index).
+    for w in 0..n {
+        if tags[w] == tag && way_mask & (1 << w) != 0 {
+            meta[w] = (stamp << 2) | (meta[w] & 2) | wr | 1;
+            return Touch::Hit;
+        }
+    }
+    // Argmin over the allowed ways; strict less keeps the first minimum,
+    // matching the original scan's tie-break.
+    let mut vw = 0usize;
+    let mut vm = u64::MAX;
+    for w in 0..n {
+        if way_mask & (1 << w) != 0 && meta[w] < vm {
+            vm = meta[w];
+            vw = w;
+        }
+    }
+    debug_assert!(vm != u64::MAX, "way mask guarantees at least one candidate");
+    // Valid && dirty victim → write back its line.
+    let wb = if vm & 3 == 3 { Some(tags[vw]) } else { None };
+    tags[vw] = tag;
+    meta[vw] = (stamp << 2) | wr | 1;
+    Touch::Miss(wb)
+}
+
+/// One entry of the tag pass's event tape.
+#[derive(Debug, Clone, Copy)]
+enum RangeEvent {
+    /// `len` consecutive missing lines starting at line index `start`.
+    Run { start: u64, len: u64 },
+    /// Posted writeback of the dirty victim line `victim`.
+    Writeback { victim: u64 },
 }
 
 /// A sliced, set-associative, write-back/write-allocate shared cache.
@@ -69,11 +150,22 @@ pub struct SharedCache {
     geom: CacheGeometry,
     hit_latency: Cycle,
     lines_per_cycle: f64,
-    /// `tags[slice][set * ways + way]`.
-    tags: Vec<Vec<LineTag>>,
+    /// Way tags, set-major: `tags[(line % (sets·slices)) * ways + way]`.
+    /// Consecutive lines walk this array sequentially (slices are the
+    /// low-order index), which is what keeps the tag pass streaming.
+    tags: Vec<u64>,
+    /// Packed `stamp << 2 | dirty << 1 | valid` per way, same indexing.
+    meta: Vec<u64>,
+    /// `ways` (stride from one set group to the next).
+    set_stride: usize,
+    /// `sets_per_slice * slices − 1`: line → set-group index mask.
+    group_mask: u64,
     lru_clock: u64,
     npu_way_mask: u16,
     stats: CacheStats,
+    /// Reused tag-pass event tape (no per-call allocation).
+    scratch: Vec<RangeEvent>,
+    reference: bool,
 }
 
 impl SharedCache {
@@ -81,17 +173,22 @@ impl SharedCache {
     /// reserved for the NPU subspace (fully transparent baseline).
     pub fn new(cfg: &CacheConfig) -> Self {
         let geom = CacheGeometry::new(cfg);
-        let per_slice = geom.sets_per_slice as usize * geom.ways as usize;
+        let ways = geom.ways as usize;
+        let sets = geom.sets_per_slice as usize;
+        let groups = geom.slices as usize * sets;
         SharedCache {
             geom,
             hit_latency: cfg.hit_latency,
             lines_per_cycle: cfg.lines_per_cycle,
-            tags: (0..geom.slices)
-                .map(|_| vec![LineTag::default(); per_slice])
-                .collect(),
+            tags: vec![INVALID_TAG; groups * ways],
+            meta: vec![0; groups * ways],
+            set_stride: ways,
+            group_mask: groups as u64 - 1,
             lru_clock: 0,
             npu_way_mask: 0,
             stats: CacheStats::default(),
+            scratch: Vec::new(),
+            reference: false,
         }
     }
 
@@ -108,6 +205,19 @@ impl SharedCache {
     /// Resets statistics (cache contents survive).
     pub fn reset_stats(&mut self) {
         self.stats = CacheStats::default();
+    }
+
+    /// Selects the fused per-line reference walk (`true`) or the batched
+    /// two-pass walk (`false`, default) for range accesses. Both are
+    /// bit-identical; the reference path exists for differential
+    /// verification and as the throughput harness's baseline.
+    pub fn set_reference_model(&mut self, reference: bool) {
+        self.reference = reference;
+    }
+
+    /// True when the reference walk is selected.
+    pub fn reference_model(&self) -> bool {
+        self.reference
     }
 
     /// Bit mask over all ways.
@@ -146,95 +256,71 @@ impl SharedCache {
         }
         self.npu_way_mask = mask;
         // Flush the reserved ways: the NEC takes raw ownership of them.
-        for slice in 0..self.geom.slices as usize {
-            for set in 0..self.geom.sets_per_slice as usize {
-                for way in lo..self.geom.ways {
-                    let idx = set * self.geom.ways as usize + way as usize;
-                    let line = &mut self.tags[slice][idx];
-                    if line.valid && line.dirty {
-                        self.stats.writebacks.incr();
-                        // Reconstruct an address in the right channel set;
-                        // exact identity is irrelevant for timing.
-                        let addr = PhysAddr(line.tag * self.geom.line_bytes);
-                        dram.access_burst(now, addr, 1, true, 0);
-                    }
-                    *line = LineTag::default();
+        let groups = self.group_mask as usize + 1;
+        for g in 0..groups {
+            let base = g * self.set_stride;
+            for way in lo as usize..self.geom.ways as usize {
+                let idx = base + way;
+                if self.meta[idx] & 3 == 3 {
+                    self.stats.writebacks.incr();
+                    // Reconstruct an address in the right channel set;
+                    // exact identity is irrelevant for timing.
+                    let addr = PhysAddr(self.tags[idx] * self.geom.line_bytes);
+                    dram.access_burst(now, addr, 1, true, 0);
                 }
+                self.tags[idx] = INVALID_TAG;
+                self.meta[idx] = 0;
             }
         }
         mask
     }
 
+    /// Base index of a line's way group in the flat tag/meta arrays.
+    /// Set groups are line-ordered: `line % (sets·slices)` names the
+    /// group, so streaming ranges touch the arrays sequentially.
     #[inline]
-    fn slice_set_of(&self, addr: PhysAddr) -> (usize, usize, u64) {
-        let line = addr.line_index(self.geom.line_bytes);
-        let slice = (line % u64::from(self.geom.slices)) as usize;
-        let set =
-            ((line / u64::from(self.geom.slices)) % u64::from(self.geom.sets_per_slice)) as usize;
-        // Tag = full line index; simplest unique identity.
-        (slice, set, line)
+    fn group_base(&self, line: u64) -> usize {
+        (line & self.group_mask) as usize * self.set_stride
     }
 
-    /// Tag lookup and update for one line: returns `(hit, writeback)`.
-    /// Misses allocate immediately (victim selected by LRU within the
-    /// mask); dirty victims are reported for the caller to write back.
+    /// Tag lookup and update for one line: returns `(hit, writeback)`,
+    /// updating statistics (the reference path's per-line primitive).
     fn touch_line(
         &mut self,
         addr: PhysAddr,
         is_write: bool,
         way_mask: u16,
     ) -> (bool, Option<PhysAddr>) {
-        debug_assert!(way_mask != 0, "empty way mask");
-        let (slice, set, tag) = self.slice_set_of(addr);
+        let tag = addr.line_index(self.geom.line_bytes);
         self.lru_clock += 1;
-        let stamp = self.lru_clock;
-        let base = set * self.geom.ways as usize;
-        let ways = self.geom.ways as usize;
-
-        // Hit check across allowed ways.
-        let mut victim: Option<usize> = None;
-        let mut victim_stamp = u64::MAX;
-        for w in 0..ways {
-            if way_mask & (1 << w) == 0 {
-                continue;
-            }
-            let line = &mut self.tags[slice][base + w];
-            if line.valid && line.tag == tag {
-                line.stamp = stamp;
-                line.dirty |= is_write;
+        let base = self.group_base(tag);
+        let end = base + self.set_stride;
+        match touch_set(
+            &mut self.tags[base..end],
+            &mut self.meta[base..end],
+            way_mask,
+            tag,
+            self.lru_clock,
+            is_write,
+        ) {
+            Touch::Hit => {
                 self.stats.hits.incr();
-                return (true, None);
+                (true, None)
             }
-            if !line.valid {
-                if victim_stamp != 0 {
-                    victim = Some(w);
-                    victim_stamp = 0;
-                }
-            } else if line.stamp < victim_stamp {
-                victim = Some(w);
-                victim_stamp = line.stamp;
+            Touch::Miss(victim) => {
+                self.stats.misses.incr();
+                // Conventional write-allocate: write misses fetch the
+                // line first (read-for-ownership). Avoiding that fetch is
+                // exactly what the NEC's explicit cache-write /
+                // bypass-write semantics provide.
+                self.stats.fills.incr();
+                let wb = victim.map(|tag| {
+                    self.stats.writebacks.incr();
+                    PhysAddr(tag * self.geom.line_bytes)
+                });
+                (false, wb)
             }
         }
-
-        // Miss path.
-        self.stats.misses.incr();
-        let w = victim.expect("way mask guarantees at least one candidate");
-        let line = &mut self.tags[slice][base + w];
-        let wb = if line.valid && line.dirty {
-            self.stats.writebacks.incr();
-            Some(PhysAddr(line.tag * self.geom.line_bytes))
-        } else {
-            None
-        };
-        line.tag = tag;
-        line.valid = true;
-        line.dirty = is_write;
-        line.stamp = stamp;
-        // Conventional write-allocate: write misses fetch the line first
-        // (read-for-ownership). Avoiding that fetch is exactly what the
-        // NEC's explicit cache-write / bypass-write semantics provide.
-        self.stats.fills.incr();
-        (false, wb)
     }
 
     /// Looks up a single line; fills on miss (write misses fetch the
@@ -265,6 +351,13 @@ impl SharedCache {
     /// advantages of NPU-controlled regions.
     pub const MSHR_WINDOW: usize = 144;
 
+    /// Cache port service time for `lines` line transfers: the slices
+    /// collectively serve `slices * lines_per_cycle` lines per cycle.
+    #[inline]
+    fn port_cycles(&self, lines: u64) -> Cycle {
+        (lines as f64 / (f64::from(self.geom.slices) * self.lines_per_cycle)).ceil() as Cycle
+    }
+
     /// Accesses a contiguous byte range through the transparent path.
     ///
     /// Demand misses are limited to [`SharedCache::MSHR_WINDOW`]
@@ -275,6 +368,126 @@ impl SharedCache {
     /// the latency-bandwidth spiral that makes transparent caches
     /// inefficient for co-located DNNs.
     pub fn access_range(
+        &mut self,
+        now: Cycle,
+        base: PhysAddr,
+        bytes: u64,
+        is_write: bool,
+        way_mask: u16,
+        dram: &mut DramModel,
+    ) -> RangeOutcome {
+        if self.reference {
+            self.access_range_reference(now, base, bytes, is_write, way_mask, dram)
+        } else {
+            self.access_range_batched(now, base, bytes, is_write, way_mask, dram)
+        }
+    }
+
+    /// Batched implementation of [`SharedCache::access_range`]: one tag
+    /// pass builds the miss-run/writeback event tape, one memory pass
+    /// replays it through [`DramModel::line_batch`].
+    fn access_range_batched(
+        &mut self,
+        now: Cycle,
+        base: PhysAddr,
+        bytes: u64,
+        is_write: bool,
+        way_mask: u16,
+        dram: &mut DramModel,
+    ) -> RangeOutcome {
+        if bytes == 0 {
+            return RangeOutcome {
+                finish: now,
+                ..RangeOutcome::default()
+            };
+        }
+        let lb = self.geom.line_bytes;
+        let first = base.line_index(lb);
+        let last = base.offset(bytes - 1).line_index(lb);
+        let lines = last - first + 1;
+
+        // --- tag pass -------------------------------------------------
+        let mut events = std::mem::take(&mut self.scratch);
+        events.clear();
+        let (mut hits, mut misses, mut wbs) = (0u64, 0u64, 0u64);
+        let mut run_start: Option<u64> = None;
+        let set_stride = self.set_stride;
+        for line in first..=last {
+            let idx = (line & self.group_mask) as usize * set_stride;
+            self.lru_clock += 1;
+            let end = idx + set_stride;
+            match touch_set(
+                &mut self.tags[idx..end],
+                &mut self.meta[idx..end],
+                way_mask,
+                line,
+                self.lru_clock,
+                is_write,
+            ) {
+                Touch::Hit => {
+                    hits += 1;
+                    if let Some(s) = run_start.take() {
+                        events.push(RangeEvent::Run {
+                            start: s,
+                            len: line - s,
+                        });
+                    }
+                }
+                Touch::Miss(victim) => {
+                    misses += 1;
+                    if let Some(victim) = victim {
+                        // The posted write goes out before this line's
+                        // fill, so it splits the run.
+                        wbs += 1;
+                        if let Some(s) = run_start.take() {
+                            events.push(RangeEvent::Run {
+                                start: s,
+                                len: line - s,
+                            });
+                        }
+                        events.push(RangeEvent::Writeback { victim });
+                    }
+                    if run_start.is_none() {
+                        run_start = Some(line);
+                    }
+                }
+            }
+        }
+        if let Some(s) = run_start {
+            events.push(RangeEvent::Run {
+                start: s,
+                len: last + 1 - s,
+            });
+        }
+        self.stats.hits.add(hits);
+        self.stats.misses.add(misses);
+        self.stats.fills.add(misses);
+        self.stats.writebacks.add(wbs);
+
+        // --- memory pass ---------------------------------------------
+        let mut batch = dram.line_batch(now, Self::MSHR_WINDOW, misses);
+        for ev in &events {
+            match *ev {
+                RangeEvent::Run { start, len } => batch.fill_run(PhysAddr(start * lb), len),
+                RangeEvent::Writeback { victim } => batch.writeback(PhysAddr(victim * lb)),
+            }
+        }
+        let mut finish = batch.finish();
+        self.scratch = events;
+
+        finish = finish.max(now + self.hit_latency + self.port_cycles(lines));
+        RangeOutcome {
+            finish,
+            hits,
+            misses,
+            writebacks: wbs,
+        }
+    }
+
+    /// Reference implementation of [`SharedCache::access_range`]: the
+    /// original fused per-line walk, one tag probe and one DRAM burst
+    /// call per line. Kept as the differential baseline.
+    pub fn access_range_reference(
         &mut self,
         now: Cycle,
         base: PhysAddr,
@@ -324,34 +537,100 @@ impl SharedCache {
             miss_no += 1;
             out.finish = out.finish.max(done);
         }
-        // Cache port/bandwidth: the slices collectively serve
-        // `slices * lines_per_cycle` lines per cycle.
         let lines = last - first + 1;
-        let serve =
-            (lines as f64 / (f64::from(self.geom.slices) * self.lines_per_cycle)).ceil() as Cycle;
-        out.finish = out.finish.max(now + self.hit_latency + serve);
+        out.finish = out
+            .finish
+            .max(now + self.hit_latency + self.port_cycles(lines));
         out
+    }
+
+    /// Accesses a range on behalf of a multicast group of `reps` NPUs
+    /// running the same model: the range is walked **once**, and the
+    /// `reps − 1` replica fetches are charged in closed form. Replicas
+    /// hit the lines the first walk brought in — each replica costs one
+    /// more pass over the cache port, no tag churn. When the range
+    /// exceeds the allowed ways' capacity the first walk self-evicts its
+    /// head, so the non-resident head lines are charged to each replica
+    /// as straight DRAM re-fetches (they would only self-evict again if
+    /// allocated).
+    ///
+    /// This replaces the thundering-herd model where every replica
+    /// re-walked the whole range through the tag array.
+    #[allow(clippy::too_many_arguments)]
+    pub fn access_range_multicast(
+        &mut self,
+        now: Cycle,
+        base: PhysAddr,
+        bytes: u64,
+        is_write: bool,
+        way_mask: u16,
+        dram: &mut DramModel,
+        reps: u32,
+    ) -> RangeOutcome {
+        let out = self.access_range(now, base, bytes, is_write, way_mask, dram);
+        if reps <= 1 || bytes == 0 {
+            return out;
+        }
+        let lb = self.geom.line_bytes;
+        let lines = base.offset(bytes - 1).line_index(lb) - base.line_index(lb) + 1;
+        // At most this many lines of the range survive the first walk:
+        // one line per allowed way per set group.
+        let allowed_ways = u64::from((way_mask & self.full_way_mask()).count_ones());
+        let capacity = (self.group_mask + 1) * allowed_ways;
+        let resident = lines.min(capacity);
+        let evicted = lines - resident;
+        let replicas = u64::from(reps - 1);
+        self.stats.hits.add(resident * replicas);
+        let mut finish = out
+            .finish
+            .max(now + self.hit_latency + u64::from(reps) * self.port_cycles(lines));
+        if evicted > 0 {
+            // Each replica re-fetches the self-evicted head from DRAM
+            // (one bulk burst per replica, still no tag walk).
+            self.stats.misses.add(evicted * replicas);
+            for _ in 1..reps {
+                finish = finish.max(dram.access_burst(now, base, evicted, false, 0));
+            }
+        }
+        RangeOutcome {
+            finish,
+            hits: out.hits + resident * replicas,
+            misses: out.misses + evicted * replicas,
+            ..out
+        }
     }
 
     /// True if the line holding `addr` is present (test/diagnostic aid).
     pub fn probe(&self, addr: PhysAddr, way_mask: u16) -> bool {
-        let (slice, set, tag) = self.slice_set_of(addr);
-        let base = set * self.geom.ways as usize;
+        let tag = addr.line_index(self.geom.line_bytes);
+        let base = self.group_base(tag);
         (0..self.geom.ways as usize)
             .filter(|w| way_mask & (1 << w) != 0)
-            .any(|w| {
-                let l = &self.tags[slice][base + w];
-                l.valid && l.tag == tag
-            })
+            .any(|w| self.tags[base + w] == tag)
     }
 
     /// Invalidates the whole cache without writebacks (test aid).
     pub fn invalidate_all(&mut self) {
-        for slice in &mut self.tags {
-            for line in slice.iter_mut() {
-                *line = LineTag::default();
-            }
+        self.tags.fill(INVALID_TAG);
+        self.meta.fill(0);
+    }
+
+    /// Order- and content-sensitive digest of the full tag state (tags,
+    /// validity, dirtiness, LRU stamps). Lets differential tests assert
+    /// two caches evolved identically.
+    #[doc(hidden)]
+    pub fn state_fingerprint(&self) -> u64 {
+        let mut h = 0xcbf29ce484222325u64;
+        let mut mix = |v: u64| {
+            h ^= v;
+            h = h.wrapping_mul(0x100000001b3);
+        };
+        mix(self.lru_clock);
+        for (&t, &m) in self.tags.iter().zip(&self.meta) {
+            mix(t);
+            mix(m);
         }
+        h
     }
 }
 
@@ -359,6 +638,7 @@ impl SharedCache {
 mod tests {
     use super::*;
     use camdn_common::config::DramConfig;
+    use camdn_common::SimRng;
 
     fn setup() -> (SharedCache, DramModel) {
         let cfg = CacheConfig::paper_default();
@@ -482,5 +762,206 @@ mod tests {
         let out = c.access_range(5, PhysAddr(0), 0, false, c.full_way_mask(), &mut d);
         assert_eq!(out.finish, 5);
         assert_eq!(out.hits + out.misses, 0);
+    }
+
+    // --- batched vs reference differential ---------------------------
+
+    fn assert_twin_state(
+        fast: &(SharedCache, DramModel),
+        refm: &(SharedCache, DramModel),
+        ctx: &str,
+    ) {
+        assert_eq!(
+            fast.0.state_fingerprint(),
+            refm.0.state_fingerprint(),
+            "tag state diverged: {ctx}"
+        );
+        assert_eq!(
+            fast.1.state_fingerprint(),
+            refm.1.state_fingerprint(),
+            "dram state diverged: {ctx}"
+        );
+        let (fs, rs) = (fast.0.stats(), refm.0.stats());
+        assert_eq!(fs.hits.get(), rs.hits.get(), "{ctx}");
+        assert_eq!(fs.misses.get(), rs.misses.get(), "{ctx}");
+        assert_eq!(fs.writebacks.get(), rs.writebacks.get(), "{ctx}");
+        assert_eq!(fs.fills.get(), rs.fills.get(), "{ctx}");
+        let (fd, rd) = (fast.1.stats(), refm.1.stats());
+        assert_eq!(fd.total_bytes(), rd.total_bytes(), "{ctx}");
+        assert_eq!(fd.requests.get(), rd.requests.get(), "{ctx}");
+        assert_eq!(fd.row_hits.get(), rd.row_hits.get(), "{ctx}");
+        assert_eq!(fd.row_misses.get(), rd.row_misses.get(), "{ctx}");
+    }
+
+    /// Valid cache geometries of very different shapes, plus matching
+    /// DRAM configs, for the property sweep.
+    fn sweep_configs() -> Vec<(CacheConfig, DramConfig)> {
+        let paper = CacheConfig::paper_default();
+        vec![
+            (paper, DramConfig::paper_default()),
+            (
+                CacheConfig {
+                    total_bytes: 256 * 1024,
+                    ways: 4,
+                    npu_ways: 0,
+                    slices: 2,
+                    line_bytes: 64,
+                    page_bytes: 8 * 1024,
+                    ..paper
+                },
+                DramConfig {
+                    channels: 2,
+                    banks_per_channel: 4,
+                    row_bytes: 512,
+                    bytes_per_cycle: 32.0,
+                    row_miss_penalty: 25,
+                    cas_latency: 11,
+                },
+            ),
+            (
+                CacheConfig {
+                    total_bytes: 1024 * 1024,
+                    ways: 8,
+                    npu_ways: 0,
+                    slices: 4,
+                    line_bytes: 32,
+                    page_bytes: 16 * 1024,
+                    ..paper
+                },
+                DramConfig {
+                    channels: 1,
+                    banks_per_channel: 2,
+                    row_bytes: 256,
+                    bytes_per_cycle: 7.3,
+                    row_miss_penalty: 3,
+                    cas_latency: 160, // gates really bind at this CAS
+                },
+            ),
+        ]
+    }
+
+    #[test]
+    fn property_sweep_batched_equals_reference() {
+        // Property-style sweep: random (geometry, range, way-mask)
+        // triples; the batched path must match the per-line reference on
+        // outcome, statistics, tag state and DRAM state after every op.
+        for (gi, (ccfg, dcfg)) in sweep_configs().into_iter().enumerate() {
+            let mut rng = SimRng::new(0x5EED ^ gi as u64);
+            let mut fast = (
+                SharedCache::new(&ccfg),
+                DramModel::new(dcfg, ccfg.line_bytes),
+            );
+            let mut refm = (
+                SharedCache::new(&ccfg),
+                DramModel::new(dcfg, ccfg.line_bytes),
+            );
+            refm.0.set_reference_model(true);
+            refm.1.set_reference_model(true);
+            let ways = ccfg.ways;
+            // Footprint chosen to alias heavily (a few times the cache).
+            let footprint = ccfg.total_bytes * 3;
+            let mut now = 0;
+            for op in 0..150 {
+                let mask = loop {
+                    let m = rng.next_below(1 << ways) as u16;
+                    if m != 0 {
+                        break m;
+                    }
+                };
+                let base = PhysAddr(rng.next_below(footprint));
+                // Mostly modest transfers, occasionally far beyond the
+                // MSHR window to exercise the gated regime.
+                let bytes = if rng.next_below(5) == 0 {
+                    (200 + rng.next_below(400)) * ccfg.line_bytes
+                } else {
+                    rng.next_below(64 * ccfg.line_bytes)
+                };
+                let is_write = rng.next_below(3) == 0;
+                now += rng.next_below(1000);
+                let a = fast
+                    .0
+                    .access_range(now, base, bytes, is_write, mask, &mut fast.1);
+                let b = refm
+                    .0
+                    .access_range(now, base, bytes, is_write, mask, &mut refm.1);
+                assert_eq!(a, b, "outcome diverged: geom {gi}, op {op}");
+                assert_twin_state(&fast, &refm, &format!("geom {gi}, op {op}"));
+            }
+        }
+    }
+
+    #[test]
+    fn streaming_cold_tensor_matches_reference() {
+        // The motivating case: a cold multi-MB tensor streamed through
+        // the paper cache — one giant miss run, far over the MSHR window.
+        let (mut cf, mut df) = setup();
+        let (mut cr, mut dr) = setup();
+        cr.set_reference_model(true);
+        dr.set_reference_model(true);
+        let bytes = 3_500_000; // ~3.5 MB, > 54k lines
+        let a = cf.access_range(7, PhysAddr(0), bytes, false, cf.full_way_mask(), &mut df);
+        let b = cr.access_range(7, PhysAddr(0), bytes, false, cr.full_way_mask(), &mut dr);
+        assert_eq!(a, b);
+        assert_eq!(a.misses, bytes.div_ceil(64));
+        assert_twin_state(&(cf, df), &(cr, dr), "cold stream");
+    }
+
+    #[test]
+    fn multicast_range_charges_replicas_without_tag_churn() {
+        let (mut c, mut d) = setup();
+        let mask = c.full_way_mask();
+        let bytes = 64 * 256; // 256 lines
+        let solo = {
+            let (mut c2, mut d2) = setup();
+            c2.access_range_multicast(0, PhysAddr(0), bytes, false, mask, &mut d2, 1)
+        };
+        let grouped = c.access_range_multicast(0, PhysAddr(0), bytes, false, mask, &mut d, 4);
+        // Replicas hit: 3 × 256 extra hits, no extra misses or traffic.
+        assert_eq!(grouped.misses, solo.misses);
+        assert_eq!(grouped.hits, solo.hits + 3 * 256);
+        assert_eq!(c.stats().hits.get(), 3 * 256);
+        assert_eq!(d.stats().total_bytes(), 256 * 64);
+        // Replicas serialize on the cache port but never re-walk DRAM:
+        // the group finish is the solo finish or the port-limited bound.
+        let port = (256f64 / 8.0).ceil() as Cycle;
+        assert_eq!(grouped.finish, solo.finish.max(30 + 4 * port));
+        assert!(grouped.finish >= solo.finish);
+    }
+
+    #[test]
+    fn multicast_over_capacity_charges_replica_refetches() {
+        // A grouped fetch larger than the allowed ways' capacity
+        // self-evicts its head: replicas only hit the resident tail and
+        // re-fetch the evicted head from DRAM (not free hits).
+        let (mut c, mut d) = setup();
+        let mask = 0x0001u16; // one way: 16384-line capacity (1 MiB)
+        let lines = 32768u64; // 2 MiB range, twice the capacity
+        let out = c.access_range_multicast(0, PhysAddr(0), lines * 64, false, mask, &mut d, 2);
+        assert_eq!(out.misses, lines + 16384, "evicted head re-misses once");
+        assert_eq!(out.hits, 16384, "only the resident tail multicast-hits");
+        assert_eq!(c.stats().hits.get(), 16384);
+        assert_eq!(
+            d.stats().read_bytes.get(),
+            (lines + 16384) * 64,
+            "replica re-fetch traffic must reach DRAM"
+        );
+    }
+
+    #[test]
+    fn multicast_group_fetch_cycles_are_pinned() {
+        // Regression pin for the thundering-herd fix: exact cycle count
+        // of a 4-NPU group fetch of a cold 16 KiB weight tile on the
+        // paper SoC. One walk fills 256 lines; 3 replicas are charged
+        // 32 port cycles each on top of the 30-cycle hit latency.
+        let (mut c, mut d) = setup();
+        let mask = c.full_way_mask();
+        let out = c.access_range_multicast(0, PhysAddr(0), 64 * 256, false, mask, &mut d, 4);
+        let solo_finish = {
+            let (mut c2, mut d2) = setup();
+            c2.access_range(0, PhysAddr(0), 64 * 256, false, mask, &mut d2)
+                .finish
+        };
+        assert_eq!(out.finish, solo_finish.max(30 + 4 * 32));
+        assert_eq!(out.finish, 220, "pinned group-fetch finish changed");
     }
 }

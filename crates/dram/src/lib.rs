@@ -12,6 +12,27 @@
 //! granularity. A request to an open row pays only CAS latency; a row
 //! miss pays precharge + activate ([`DramConfig::row_miss_penalty`]).
 //!
+//! # Batched accounting
+//!
+//! Timing is defined by a per-line recurrence: each line occupies its
+//! channel's data bus for `line / channel_bandwidth` cycles behind the
+//! bus's current horizon and its bank's readiness. Evaluating that
+//! recurrence literally costs one loop iteration per 64 B line, which
+//! made multi-MB DNN transfers the simulator's hottest loop. Because
+//! consecutive lines round-robin the channels and share a row until the
+//! next row boundary, the recurrence telescopes: within one (row,
+//! channel) segment every line after the first starts exactly where the
+//! previous one finished, so a whole segment advances the channel
+//! horizon by `k × burst` in one step. [`DramModel::access_burst`]
+//! walks those segments — O(rows × channels) work instead of O(lines) —
+//! and sub-cycle time is kept in **fixed point** (2⁻²⁰ cycles) so the
+//! closed form is *bit-identical* to the per-line walk (integer adds
+//! associate; float adds do not).
+//!
+//! The per-line walk is retained as a **reference model**
+//! ([`DramModel::set_reference_model`]) and differential tests in this
+//! crate and in `camdn` assert the two agree exactly.
+//!
 //! # Example
 //!
 //! ```
@@ -31,6 +52,23 @@ use camdn_common::config::DramConfig;
 use camdn_common::stats::Counter;
 use camdn_common::types::{Cycle, PhysAddr};
 use serde::{Deserialize, Serialize};
+
+/// Sub-cycle fixed-point resolution: 1 cycle == `2^FP_SHIFT` ticks.
+const FP_SHIFT: u32 = 20;
+/// One cycle in fixed-point ticks.
+const FP_ONE: u64 = 1 << FP_SHIFT;
+
+/// A cycle count in fixed-point ticks.
+#[inline]
+fn fp(c: Cycle) -> u64 {
+    c << FP_SHIFT
+}
+
+/// Rounds a fixed-point time up to whole cycles.
+#[inline]
+fn ceil_fp(x: u64) -> Cycle {
+    (x + (FP_ONE - 1)) >> FP_SHIFT
+}
 
 /// Aggregate DRAM statistics.
 #[derive(Debug, Clone, Default, Serialize, Deserialize)]
@@ -75,11 +113,11 @@ struct Bank {
 
 #[derive(Debug, Clone)]
 struct Channel {
-    /// The (fractional) cycle at which the channel data bus becomes
-    /// free. Tracked in sub-cycle resolution so that a 64 B burst at
-    /// 25.6 B/cycle occupies exactly 2.5 cycles instead of a rounded 3 —
-    /// rounding up would silently shave 17 % off the peak bandwidth.
-    free_at: f64,
+    /// Fixed-point tick at which the channel data bus becomes free.
+    /// Sub-cycle resolution keeps a 64 B burst at 25.6 B/cycle on exactly
+    /// 2.5 cycles instead of a rounded 3 — rounding up would silently
+    /// shave 17 % off the peak bandwidth.
+    free_at: u64,
     banks: Vec<Bank>,
 }
 
@@ -93,9 +131,25 @@ struct Channel {
 pub struct DramModel {
     cfg: DramConfig,
     line_bytes: u64,
-    burst_cycles: f64,
+    /// Bus occupancy of one line on one channel, fixed-point ticks.
+    burst_fp: u64,
+    /// `ceil` of the per-line bus occupancy (busy-cycle accounting).
+    burst_ceil: Cycle,
     channels: Vec<Channel>,
     stats: DramStats,
+    reference: bool,
+    /// Reused [`LineBatch`] scratch (MSHR ring + gate history) — range
+    /// walks allocate nothing per call.
+    scratch: BatchScratch,
+}
+
+/// Reusable buffers for [`LineBatch`] (returned on drop).
+#[derive(Debug, Clone, Default)]
+struct BatchScratch {
+    ring: Vec<Cycle>,
+    hist: Vec<SegDesc>,
+    hist_pos: Vec<(u32, u32)>,
+    nproc: Vec<u64>,
 }
 
 impl DramModel {
@@ -103,7 +157,7 @@ impl DramModel {
     pub fn new(cfg: DramConfig, line_bytes: u64) -> Self {
         let channels = (0..cfg.channels)
             .map(|_| Channel {
-                free_at: 0.0,
+                free_at: 0,
                 banks: vec![
                     Bank {
                         open_row: None,
@@ -114,12 +168,16 @@ impl DramModel {
             })
             .collect();
         let burst_cycles = line_bytes as f64 / cfg.channel_bytes_per_cycle();
+        let burst_fp = (burst_cycles * FP_ONE as f64).round() as u64;
         DramModel {
             cfg,
             line_bytes,
-            burst_cycles,
+            burst_fp,
+            burst_ceil: ceil_fp(burst_fp),
             channels,
             stats: DramStats::default(),
+            reference: false,
+            scratch: BatchScratch::default(),
         }
     }
 
@@ -138,17 +196,101 @@ impl DramModel {
         self.stats = DramStats::default();
     }
 
+    /// Selects the per-line reference walk (`true`) or the closed-form
+    /// segment walk (`false`, default) for burst timing. Both produce
+    /// bit-identical results; the reference path exists so differential
+    /// tests and the throughput harness can prove and measure that.
+    pub fn set_reference_model(&mut self, reference: bool) {
+        self.reference = reference;
+    }
+
+    /// True when the per-line reference walk is selected.
+    pub fn reference_model(&self) -> bool {
+        self.reference
+    }
+
     /// Channel index for a line address (line-granularity interleaving).
     #[inline]
     pub fn channel_of(&self, addr: PhysAddr) -> usize {
         (addr.line_index(self.line_bytes) % u64::from(self.cfg.channels)) as usize
     }
 
+    /// Advances the state machine for one line at `byte_addr`, gated to
+    /// start no earlier than `earliest`. Returns the line's completion
+    /// cycle. Row-buffer statistics are updated here; request/byte/busy
+    /// accounting is the caller's (so bursts can batch it).
     #[inline]
-    fn bank_and_row(&self, addr: PhysAddr) -> (usize, u64) {
-        let row_index = addr.0 / self.cfg.row_bytes;
-        let bank = (row_index % u64::from(self.cfg.banks_per_channel)) as usize;
-        (bank, row_index)
+    fn line_timing(&mut self, earliest: Cycle, byte_addr: u64) -> Cycle {
+        let line = byte_addr / self.line_bytes;
+        let ch_idx = (line % u64::from(self.cfg.channels)) as usize;
+        let row = byte_addr / self.cfg.row_bytes;
+        let bank_idx = (row % u64::from(self.cfg.banks_per_channel)) as usize;
+        let ch = &mut self.channels[ch_idx];
+        let bank = &mut ch.banks[bank_idx];
+        if bank.open_row == Some(row) {
+            self.stats.row_hits.incr();
+        } else {
+            // Precharge + activate runs on the bank, overlapping with
+            // data transfers of other banks on the same channel
+            // (bank-level parallelism, as in DRAMsim3's FR-FCFS).
+            self.stats.row_misses.incr();
+            bank.open_row = Some(row);
+            bank.ready_at = earliest.max(bank.ready_at) + self.cfg.row_miss_penalty;
+        }
+        let data_start = fp(earliest).max(ch.free_at).max(fp(bank.ready_at));
+        ch.free_at = data_start + self.burst_fp;
+        ceil_fp(ch.free_at) + self.cfg.cas_latency
+    }
+
+    /// Per-line reference walk over `lines` consecutive lines.
+    fn burst_lines_reference(&mut self, earliest: Cycle, addr: PhysAddr, lines: u64) -> Cycle {
+        let mut finish = earliest;
+        for i in 0..lines {
+            finish = finish.max(self.line_timing(earliest, addr.0 + i * self.line_bytes));
+        }
+        finish
+    }
+
+    /// Closed-form segment walk: consecutive lines share a row until the
+    /// next row boundary and round-robin the channels, so each (row,
+    /// channel) pair collapses to one horizon update. Bit-identical to
+    /// [`DramModel::burst_lines_reference`].
+    fn burst_lines_batched(&mut self, earliest: Cycle, addr: PhysAddr, lines: u64) -> Cycle {
+        let lb = self.line_bytes;
+        let nch = u64::from(self.cfg.channels);
+        let e_fp = fp(earliest);
+        let first_line = addr.0 / lb;
+        let mut finish = earliest;
+        let mut i = 0u64;
+        while i < lines {
+            let byte = addr.0 + i * lb;
+            let row = byte / self.cfg.row_bytes;
+            let row_end = (row + 1) * self.cfg.row_bytes;
+            let seg = (row_end - byte).div_ceil(lb).min(lines - i);
+            let bank_idx = (row % u64::from(self.cfg.banks_per_channel)) as usize;
+            let c0 = (first_line + i) % nch;
+            for t in 0..nch.min(seg) {
+                // Lines of this segment landing on this channel.
+                let k = (seg - t).div_ceil(nch);
+                let ch = &mut self.channels[((c0 + t) % nch) as usize];
+                let bank = &mut ch.banks[bank_idx];
+                if bank.open_row == Some(row) {
+                    self.stats.row_hits.add(k);
+                } else {
+                    self.stats.row_misses.incr();
+                    self.stats.row_hits.add(k - 1);
+                    bank.open_row = Some(row);
+                    bank.ready_at = earliest.max(bank.ready_at) + self.cfg.row_miss_penalty;
+                }
+                // After the first line, each line starts exactly where
+                // the previous one on this channel finished.
+                let start = e_fp.max(ch.free_at).max(fp(bank.ready_at));
+                ch.free_at = start + k * self.burst_fp;
+                finish = finish.max(ceil_fp(ch.free_at) + self.cfg.cas_latency);
+            }
+            i += seg;
+        }
+        finish
     }
 
     /// Issues a burst of `lines` consecutive cache lines starting at `addr`.
@@ -174,42 +316,76 @@ impl DramModel {
         } else {
             self.stats.read_bytes.add(bytes);
         }
-
+        self.stats.busy_cycles.add(lines * self.burst_ceil);
         let earliest = now + extra_queue_delay;
-        let mut finish = earliest;
-        for i in 0..lines {
-            let line_addr = addr.offset(i * self.line_bytes);
-            let ch_idx = self.channel_of(line_addr);
-            let (bank_idx, row) = self.bank_and_row(line_addr);
-            let burst = self.burst_cycles;
-            let cas = self.cfg.cas_latency;
-            let miss_pen = self.cfg.row_miss_penalty;
-
-            let ch = &mut self.channels[ch_idx];
-            let bank = &mut ch.banks[bank_idx];
-            let row_hit = bank.open_row == Some(row);
-            if row_hit {
-                self.stats.row_hits.incr();
-            } else {
-                // Precharge + activate runs on the bank, overlapping with
-                // data transfers of other banks on the same channel
-                // (bank-level parallelism, as in DRAMsim3's FR-FCFS).
-                self.stats.row_misses.incr();
-                bank.open_row = Some(row);
-                bank.ready_at = earliest.max(bank.ready_at) + miss_pen;
-            }
-            let data_start = (earliest as f64).max(ch.free_at).max(bank.ready_at as f64);
-            ch.free_at = data_start + burst;
-            self.stats.busy_cycles.add(burst.ceil() as u64);
-            finish = finish.max((data_start + burst).ceil() as Cycle + cas);
+        if self.reference {
+            self.burst_lines_reference(earliest, addr, lines)
+        } else {
+            self.burst_lines_batched(earliest, addr, lines)
         }
-        finish
+    }
+
+    /// Opens a batched sequence of MSHR-gated single-line fills and
+    /// posted writebacks, all anchored at `now` (see [`LineBatch`]).
+    ///
+    /// `window` is the caller's MSHR window; `expected_misses` is the
+    /// total number of fills the batch will see, which decides up front
+    /// whether the window can ever fill (and hence whether completion
+    /// times must be ring-buffered at all).
+    pub fn line_batch(&mut self, now: Cycle, window: usize, expected_misses: u64) -> LineBatch<'_> {
+        let use_ring = expected_misses > window as u64;
+        let nch = self.cfg.channels.max(1);
+        let per_ch = (window as u64) / u64::from(nch);
+        // In a gap-free run of consecutive missing lines, the fill that
+        // re-uses MSHR slot `k` gates on the fill `window` lines earlier
+        // — the *same channel* when channels divide the window — whose
+        // data left the bus at least `(window/channels − 1) × burst`
+        // cycles before this line could start. When CAS (+1 cycle of
+        // rounding) cannot bridge that gap, the gate provably never
+        // delays a transfer and runs collapse to the closed-form segment
+        // walk. (The gate still feeds the bank-ready update of
+        // row-opening lines, which the walk reproduces from per-channel
+        // completion-time descriptors.)
+        let inert_gates = window.is_multiple_of(nch as usize)
+            && per_ch >= 1
+            && fp(self.cfg.cas_latency) + FP_ONE <= (per_ch - 1) * self.burst_fp;
+        let track_hist = use_ring && inert_gates && !self.reference;
+        let cap = if track_hist { per_ch as usize + 2 } else { 0 };
+        // Reuse the model's scratch buffers: no allocation per range.
+        let mut scratch = std::mem::take(&mut self.scratch);
+        scratch.ring.clear();
+        if use_ring {
+            scratch.ring.resize(window, 0);
+        }
+        // History contents are gated by per-run resets of `hist_pos` and
+        // `nproc` (in `fill_run`), so stale values never leak.
+        if scratch.hist.len() < cap * nch as usize {
+            scratch.hist.resize(cap * nch as usize, SegDesc::default());
+        }
+        let hist_len = if track_hist { nch as usize } else { 0 };
+        scratch.hist_pos.clear();
+        scratch.hist_pos.resize(hist_len, (0, 0));
+        scratch.nproc.clear();
+        scratch.nproc.resize(hist_len, 0);
+        LineBatch {
+            scratch,
+            hist_cap: cap,
+            run_hist: false,
+            per_ch,
+            run_start_miss: 0,
+            dram: self,
+            now,
+            window,
+            use_ring,
+            miss_no: 0,
+            finish: now,
+        }
     }
 
     /// Latency of a single line access with no queueing (used for
     /// analytical latency estimates in the mapper).
     pub fn unloaded_line_latency(&self) -> Cycle {
-        self.cfg.cas_latency + self.burst_cycles.ceil() as Cycle
+        self.cfg.cas_latency + self.burst_ceil
     }
 
     /// The earliest cycle at which any channel is free (useful to detect
@@ -217,7 +393,7 @@ impl DramModel {
     pub fn earliest_free(&self) -> Cycle {
         self.channels
             .iter()
-            .map(|c| c.free_at.ceil() as Cycle)
+            .map(|c| ceil_fp(c.free_at))
             .min()
             .unwrap_or(0)
     }
@@ -231,12 +407,299 @@ impl DramModel {
             self.stats.total_bytes() as f64 / elapsed as f64
         }
     }
+
+    /// Order- and content-sensitive digest of the full timing state
+    /// (channel horizons, open rows, bank readiness). Lets differential
+    /// tests assert that two models evolved identically.
+    #[doc(hidden)]
+    pub fn state_fingerprint(&self) -> u64 {
+        let mut h = 0xcbf29ce484222325u64;
+        let mut mix = |v: u64| {
+            h ^= v;
+            h = h.wrapping_mul(0x100000001b3);
+        };
+        for ch in &self.channels {
+            mix(ch.free_at);
+            for b in &ch.banks {
+                mix(b.open_row.map_or(u64::MAX, |r| r));
+                mix(b.ready_at);
+            }
+        }
+        h
+    }
+}
+
+/// Completion times of one channel's lines within one closed-form
+/// segment: line `n` (per-channel count) finished at
+/// `ceil(d0 + (n − start_n + 1) × burst) + cas`.
+#[derive(Debug, Clone, Copy, Default)]
+struct SegDesc {
+    start_n: u64,
+    d0: u64,
+}
+
+/// Which source a per-line walk reads its MSHR gates from.
+#[derive(Clone, Copy, PartialEq)]
+enum GateSrc {
+    /// The real MSHR ring (gates that predate the current run).
+    Ring,
+    /// Per-channel segment descriptors (in-run gates).
+    Hist,
+}
+
+/// A batched sequence of MSHR-gated demand fills and posted writebacks.
+///
+/// This reproduces — in closed form where provably equivalent — exactly
+/// the DRAM call sequence of a per-line cache range walk: each missing
+/// line is a 1-line read burst gated by the MSHR ring (miss `k` may not
+/// issue before miss `k − window` completed), and each dirty victim is a
+/// 1-line posted write at `now`. Obtain one via [`DramModel::line_batch`],
+/// feed it [`LineBatch::fill_run`]/[`LineBatch::writeback`] events in
+/// line order, and read [`LineBatch::finish`].
+///
+/// Within a gap-free run the gate of miss `k` is the completion time of
+/// miss `k − window`, which lands on the *same channel* and (when the
+/// CAS latency cannot bridge `(window/channels − 1)` bursts) can never
+/// delay the transfer — but it still feeds the bank-ready update of
+/// row-opening lines, so the closed-form walk keeps per-channel
+/// [`SegDesc`] history to evaluate those gates exactly.
+pub struct LineBatch<'a> {
+    dram: &'a mut DramModel,
+    now: Cycle,
+    window: usize,
+    /// False when the whole batch fits the window (gates are all `now`).
+    use_ring: bool,
+    /// MSHR ring + per-channel descriptor history, borrowed from the
+    /// model's reusable scratch (returned on drop).
+    scratch: BatchScratch,
+    hist_cap: usize,
+    /// True while the current run is long enough (`> window`) for
+    /// in-run gate look-ups — only then is history recorded.
+    run_hist: bool,
+    /// `window / channels`: per-channel gate look-back in lines.
+    per_ch: u64,
+    /// `miss_no` at the start of the current run.
+    run_start_miss: u64,
+    miss_no: u64,
+    finish: Cycle,
+}
+
+impl LineBatch<'_> {
+    /// True when in-run gate history is being tracked.
+    #[inline]
+    fn hist_on(&self) -> bool {
+        self.hist_cap != 0
+    }
+
+    /// Records that channel `c`'s lines from per-channel count `start_n`
+    /// onward start their bus transfers at `d0 + i × burst`.
+    #[inline]
+    fn hist_push(&mut self, c: usize, start_n: u64, d0: u64) {
+        let (head, len) = &mut self.scratch.hist_pos[c];
+        self.scratch.hist[c * self.hist_cap + *head as usize] = SegDesc { start_n, d0 };
+        *head = (*head + 1) % self.hist_cap as u32;
+        *len = (*len + 1).min(self.hist_cap as u32);
+    }
+
+    /// Completion time of channel `c`'s line number `n` (per-channel
+    /// count within the current run). `n` is guaranteed to be within the
+    /// retained history (at most `per_ch` lines back).
+    fn hist_done(&self, c: usize, n: u64) -> Cycle {
+        let (head, len) = self.scratch.hist_pos[c];
+        let base = c * self.hist_cap;
+        for i in 1..=len {
+            let slot = (head + self.hist_cap as u32 - i) % self.hist_cap as u32;
+            let d = self.scratch.hist[base + slot as usize];
+            if d.start_n <= n {
+                return ceil_fp(d.d0 + (n - d.start_n + 1) * self.dram.burst_fp)
+                    + self.dram.cfg.cas_latency;
+            }
+        }
+        unreachable!("gate history pruned below the MSHR look-back");
+    }
+
+    /// Per-line walk: advances `n` missing lines starting `start` lines
+    /// after `base`, reading gates from `src` and recording ring/history
+    /// state. Exact for arbitrary (even binding) gates.
+    fn per_line(&mut self, base: PhysAddr, start: u64, n: u64, src: GateSrc) {
+        let w = self.window as u64;
+        let lb = self.dram.line_bytes;
+        let nch = u64::from(self.dram.cfg.channels);
+        for i in start..start + n {
+            let byte = base.0 + i * lb;
+            let slot = (self.miss_no % w) as usize;
+            let ch = ((byte / lb) % nch) as usize;
+            let gate = if self.miss_no < w {
+                self.now
+            } else {
+                match src {
+                    GateSrc::Ring => self.scratch.ring[slot].max(self.now),
+                    GateSrc::Hist => self.hist_done(ch, self.scratch.nproc[ch] - self.per_ch),
+                }
+            };
+            let done = self.dram.line_timing(gate, byte);
+            if self.use_ring {
+                self.scratch.ring[slot] = done;
+            }
+            if self.run_hist {
+                // The transfer started one burst before `free_at`.
+                let d0 = self.dram.channels[ch].free_at - self.dram.burst_fp;
+                let n_c = self.scratch.nproc[ch];
+                self.hist_push(ch, n_c, d0);
+                self.scratch.nproc[ch] += 1;
+            }
+            self.miss_no += 1;
+            self.finish = self.finish.max(done);
+        }
+    }
+
+    /// Closed-form walk of `n` in-run lines starting `offset` lines
+    /// after `base`: per (row, channel) segment, evaluate the
+    /// row-opening gate from history, fold the bank-ready update, and
+    /// advance the channel horizon by `k × burst` in one step.
+    fn run_mid(&mut self, base: PhysAddr, offset: u64, n: u64) {
+        let lb = self.dram.line_bytes;
+        let nch = u64::from(self.dram.cfg.channels);
+        let row_bytes = self.dram.cfg.row_bytes;
+        let nbanks = u64::from(self.dram.cfg.banks_per_channel);
+        let pen = self.dram.cfg.row_miss_penalty;
+        let cas = self.dram.cfg.cas_latency;
+        let burst = self.dram.burst_fp;
+        let w = self.window as u64;
+        let now_fp = fp(self.now);
+        let l0 = base.0 / lb;
+        let mut j = offset;
+        let end = offset + n;
+        while j < end {
+            let byte = base.0 + j * lb;
+            let row = byte / row_bytes;
+            let seg = ((row + 1) * row_bytes - byte).div_ceil(lb).min(end - j);
+            let bank_idx = (row % nbanks) as usize;
+            let c0 = (l0 + j) % nch;
+            for t in 0..nch.min(seg) {
+                let k = (seg - t).div_ceil(nch);
+                let c = ((c0 + t) % nch) as usize;
+                if self.dram.channels[c].banks[bank_idx].open_row == Some(row) {
+                    self.dram.stats.row_hits.add(k);
+                } else {
+                    self.dram.stats.row_misses.incr();
+                    self.dram.stats.row_hits.add(k - 1);
+                    // The row-opening line's gate feeds the bank-ready
+                    // update even though it never delays the data bus.
+                    let m = self.run_start_miss + j + t;
+                    let gate = if m < w {
+                        self.now
+                    } else {
+                        self.hist_done(c, self.scratch.nproc[c] - self.per_ch)
+                    };
+                    let bank = &mut self.dram.channels[c].banks[bank_idx];
+                    bank.open_row = Some(row);
+                    bank.ready_at = gate.max(bank.ready_at) + pen;
+                }
+                let ch = &mut self.dram.channels[c];
+                let d0 = now_fp.max(ch.free_at).max(fp(ch.banks[bank_idx].ready_at));
+                ch.free_at = d0 + k * burst;
+                let done = ceil_fp(ch.free_at) + cas;
+                self.finish = self.finish.max(done);
+                let n_c = self.scratch.nproc[c];
+                self.hist_push(c, n_c, d0);
+                self.scratch.nproc[c] += k;
+            }
+            j += seg;
+        }
+        self.miss_no += n;
+    }
+
+    /// Issues a gap-free run of `lines` consecutive missing lines
+    /// starting at `base` (line order, immediately after any preceding
+    /// events).
+    pub fn fill_run(&mut self, base: PhysAddr, lines: u64) {
+        if lines == 0 {
+            return;
+        }
+        self.dram.stats.requests.add(lines);
+        self.dram.stats.read_bytes.add(lines * self.dram.line_bytes);
+        self.dram
+            .stats
+            .busy_cycles
+            .add(lines * self.dram.burst_ceil);
+        let w = self.window as u64;
+        if !self.use_ring {
+            // The window never fills: every gate is `now`, the whole run
+            // is one closed-form segment walk.
+            let done = self.dram.burst_lines_batched(self.now, base, lines);
+            self.finish = self.finish.max(done);
+            self.miss_no += lines;
+            return;
+        }
+        // In-run gate look-ups (mid/tail) only exist when the run
+        // outlives the window; shorter runs walk per line against the
+        // real ring, with no history bookkeeping at all.
+        self.run_hist = self.hist_on() && lines > w;
+        if !self.run_hist {
+            self.per_line(base, 0, lines, GateSrc::Ring);
+            return;
+        }
+        // Gates are per-run state: in-run gate look-ups only reach back
+        // `window` consecutive-miss lines, never across a gap.
+        self.run_start_miss = self.miss_no;
+        for p in self.scratch.nproc.iter_mut() {
+            *p = 0;
+        }
+        for p in self.scratch.hist_pos.iter_mut() {
+            *p = (0, 0);
+        }
+        // Head: misses whose gate predates this run (arbitrary, possibly
+        // binding ring values — walk them per line against the real
+        // ring). Later misses gate within the run, where gates are
+        // provably inert on the data path.
+        let head = if self.miss_no + lines.min(w) > w {
+            lines.min(w)
+        } else {
+            0
+        };
+        // Tail: walked per line to re-record the last `window` MSHR
+        // completion times, which runs after this one will read.
+        let tail = (lines - head).min(w);
+        let mid = lines - head - tail;
+        if head > 0 {
+            self.per_line(base, 0, head, GateSrc::Ring);
+        }
+        if mid > 0 {
+            self.run_mid(base, head, mid);
+        }
+        if tail > 0 {
+            self.per_line(base, head + mid, tail, GateSrc::Hist);
+        }
+    }
+
+    /// Issues one posted single-line writeback at `now` (dirty victim;
+    /// occupies a channel but no MSHR and does not gate completion).
+    pub fn writeback(&mut self, addr: PhysAddr) {
+        self.dram.stats.requests.incr();
+        self.dram.stats.write_bytes.add(self.dram.line_bytes);
+        self.dram.stats.busy_cycles.add(self.dram.burst_ceil);
+        self.dram.line_timing(self.now, addr.0);
+    }
+
+    /// Completion cycle of the latest fill so far (`now` if none).
+    pub fn finish(&self) -> Cycle {
+        self.finish
+    }
+}
+
+impl Drop for LineBatch<'_> {
+    fn drop(&mut self) {
+        // Hand the scratch buffers back for the next range walk.
+        self.dram.scratch = std::mem::take(&mut self.scratch);
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use camdn_common::types::KIB;
+    use camdn_common::SimRng;
 
     fn model() -> DramModel {
         DramModel::new(DramConfig::paper_default(), 64)
@@ -335,5 +798,172 @@ mod tests {
         d.reset_stats();
         assert_eq!(d.stats().total_bytes(), 0);
         assert_eq!(d.earliest_free(), busy, "bank/bus state must survive");
+    }
+
+    // --- differential: closed form vs per-line reference ------------
+
+    fn assert_same(fast: &DramModel, refm: &DramModel, ctx: &str) {
+        assert_eq!(
+            fast.state_fingerprint(),
+            refm.state_fingerprint(),
+            "timing state diverged: {ctx}"
+        );
+        let (f, r) = (fast.stats(), refm.stats());
+        assert_eq!(f.read_bytes.get(), r.read_bytes.get(), "{ctx}");
+        assert_eq!(f.write_bytes.get(), r.write_bytes.get(), "{ctx}");
+        assert_eq!(f.row_hits.get(), r.row_hits.get(), "{ctx}");
+        assert_eq!(f.row_misses.get(), r.row_misses.get(), "{ctx}");
+        assert_eq!(f.requests.get(), r.requests.get(), "{ctx}");
+        assert_eq!(f.busy_cycles.get(), r.busy_cycles.get(), "{ctx}");
+    }
+
+    #[test]
+    fn batched_burst_matches_reference_exactly() {
+        let configs = [
+            DramConfig::paper_default(),
+            DramConfig {
+                channels: 2,
+                banks_per_channel: 4,
+                row_bytes: 512,
+                bytes_per_cycle: 32.0,
+                row_miss_penalty: 25,
+                cas_latency: 11,
+            },
+            DramConfig {
+                channels: 1,
+                banks_per_channel: 2,
+                row_bytes: 256,
+                bytes_per_cycle: 7.3,
+                row_miss_penalty: 3,
+                cas_latency: 2,
+            },
+        ];
+        let mut rng = SimRng::new(0xD1FF);
+        for (ci, cfg) in configs.iter().enumerate() {
+            for line_bytes in [32u64, 64, 128] {
+                let mut fast = DramModel::new(*cfg, line_bytes);
+                let mut refm = DramModel::new(*cfg, line_bytes);
+                refm.set_reference_model(true);
+                let mut now = 0;
+                for step in 0..200 {
+                    // Random bursts: some sequential, some overlapping,
+                    // some unaligned, reads and writes, queued or not.
+                    let addr = PhysAddr(rng.next_below(1 << 22));
+                    let lines = rng.next_below(700);
+                    let is_write = rng.next_below(2) == 1;
+                    let delay = rng.next_below(3) * 17;
+                    now += rng.next_below(500);
+                    let a = fast.access_burst(now, addr, lines, is_write, delay);
+                    let b = refm.access_burst(now, addr, lines, is_write, delay);
+                    assert_eq!(a, b, "finish diverged: cfg {ci}, step {step}");
+                    assert_same(&fast, &refm, &format!("cfg {ci}, step {step}"));
+                }
+            }
+        }
+    }
+
+    /// Reference emulation of a gated fill/writeback sequence: the exact
+    /// per-miss `access_burst` + MSHR-ring loop the shared cache used to
+    /// run line by line.
+    fn emulate_gated(
+        d: &mut DramModel,
+        now: Cycle,
+        window: usize,
+        events: &[(PhysAddr, u64, bool)],
+    ) -> Cycle {
+        let mut ring = vec![0 as Cycle; window];
+        let mut miss_no = 0usize;
+        let mut finish = now;
+        for &(base, lines, is_wb) in events {
+            if is_wb {
+                d.access_burst(now, base, 1, true, 0);
+                continue;
+            }
+            for i in 0..lines {
+                let addr = PhysAddr(base.0 + i * 64);
+                let slot = miss_no % window;
+                let gate = if miss_no >= window {
+                    ring[slot].max(now)
+                } else {
+                    now
+                };
+                let done = d.access_burst(gate, addr, 1, false, 0);
+                ring[slot] = done;
+                miss_no += 1;
+                finish = finish.max(done);
+            }
+        }
+        finish
+    }
+
+    #[test]
+    fn line_batch_matches_gated_reference_exactly() {
+        const W: usize = 144;
+        let mut rng = SimRng::new(0xBA7C4);
+        for trial in 0..60 {
+            // Random event tapes: runs of consecutive misses (some far
+            // longer than the window), interleaved writebacks, gaps.
+            let mut events: Vec<(PhysAddr, u64, bool)> = Vec::new();
+            let mut total = 0u64;
+            let n_ev = 1 + rng.next_below(8);
+            let mut cursor = rng.next_below(1 << 20) * 64;
+            for _ in 0..n_ev {
+                if rng.next_below(4) == 0 {
+                    events.push((PhysAddr(rng.next_below(1 << 24) * 64), 1, true));
+                }
+                let lines = 1 + rng.next_below(600);
+                events.push((PhysAddr(cursor), lines, false));
+                total += lines;
+                cursor += lines * 64 + (1 + rng.next_below(40)) * 64; // gap
+            }
+            let now = rng.next_below(10_000);
+
+            let mut fast = model();
+            let mut refm = model();
+            // Shared warm state so runs start against non-trivial horizons.
+            let warm = PhysAddr(rng.next_below(1 << 18) * 64);
+            let warm_lines = rng.next_below(300);
+            fast.access_burst(0, warm, warm_lines, false, 0);
+            refm.access_burst(0, warm, warm_lines, false, 0);
+
+            let mut batch = fast.line_batch(now, W, total);
+            for &(base, lines, is_wb) in &events {
+                if is_wb {
+                    batch.writeback(base);
+                } else {
+                    batch.fill_run(base, lines);
+                }
+            }
+            let a = batch.finish();
+            drop(batch); // returns the scratch, releasing the borrow
+            let b = emulate_gated(&mut refm, now, W, &events);
+            assert_eq!(a, b, "finish diverged on trial {trial}");
+            assert_same(&fast, &refm, &format!("trial {trial}"));
+        }
+    }
+
+    #[test]
+    fn line_batch_gates_throttle_when_window_fills() {
+        // A run far longer than the window on a 1-channel model with a
+        // CAS large enough that gates really bind: the batch must match
+        // the reference even then (per-line fallback).
+        let cfg = DramConfig {
+            channels: 1,
+            banks_per_channel: 2,
+            row_bytes: 2048,
+            bytes_per_cycle: 64.0,
+            row_miss_penalty: 4,
+            cas_latency: 500,
+        };
+        let mut fast = DramModel::new(cfg, 64);
+        let mut refm = DramModel::new(cfg, 64);
+        let events = [(PhysAddr(0), 400u64, false)];
+        let mut batch = fast.line_batch(0, 16, 400);
+        batch.fill_run(PhysAddr(0), 400);
+        let a = batch.finish();
+        drop(batch); // returns the scratch, releasing the borrow
+        let b = emulate_gated(&mut refm, 0, 16, &events);
+        assert_eq!(a, b);
+        assert_same(&fast, &refm, "binding gates");
     }
 }

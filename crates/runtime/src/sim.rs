@@ -50,6 +50,7 @@ impl Simulation {
             epoch_cycles: 200_000,
             mapper: MapperConfig::paper_default(),
             lookahead: None,
+            reference_model: false,
         }
     }
 
@@ -70,6 +71,7 @@ pub struct SimulationBuilder {
     epoch_cycles: Cycle,
     mapper: MapperConfig,
     lookahead: Option<f64>,
+    reference_model: bool,
 }
 
 impl SimulationBuilder {
@@ -149,6 +151,17 @@ impl SimulationBuilder {
         self
     }
 
+    /// Routes all memory-system timing through the per-line *reference
+    /// model* instead of the batched fast paths (default `false`).
+    ///
+    /// Both models are bit-identical by construction — this switch
+    /// exists so differential tests can prove it on full runs and so
+    /// the throughput harness can measure the speedup against it.
+    pub fn reference_model(mut self, reference: bool) -> Self {
+        self.reference_model = reference;
+        self
+    }
+
     /// Validates the configuration and assembles the engine.
     pub fn build(self) -> Result<Simulation, EngineError> {
         let workload = self.workload.ok_or_else(|| {
@@ -182,6 +195,7 @@ impl SimulationBuilder {
             qos_scale: self.qos_scale,
             epoch_cycles: self.epoch_cycles,
             mapper: self.mapper,
+            reference_model: self.reference_model,
         };
         let engine = Engine::with_policy(params, policy, &workload)?;
         Ok(Simulation { engine })

@@ -7,7 +7,11 @@ use camdn_mapper::LayerPlan;
 use serde::{Deserialize, Serialize};
 
 /// Execution state of a task.
-#[derive(Debug, Clone, PartialEq, Eq)]
+///
+/// `Copy` on purpose: the engine's event loop matches on a task's state
+/// once per event, and a by-value copy of this small enum (the pending
+/// [`Decision`] is itself `Copy`) keeps that hot path allocation-free.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum TaskState {
     /// Waiting for a free NPU to start the next inference.
     WaitingNpu,
