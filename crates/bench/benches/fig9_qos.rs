@@ -21,7 +21,8 @@ fn workload() -> Vec<Model> {
 }
 
 fn isolated() -> Vec<f64> {
-    let by_abbr = camdn_bench::isolated_latencies(PolicyKind::SharedBaseline);
+    let by_abbr =
+        camdn_bench::isolated_latencies(PolicyKind::SharedBaseline).expect("isolated runs");
     workload().iter().map(|m| by_abbr[&m.abbr]).collect()
 }
 

@@ -7,27 +7,34 @@
 //! 3. **LBM contribution** — CaMDN(Full) vs the same system with LBM
 //!    disabled (static policy semantics), isolating the layer-block
 //!    mapping win that Fig. 7 attributes to MB/EF.
+//!
+//! All three studies are axes of `Sweep::grid()`: the look-ahead
+//! factor, the SoC (paired with its mapper for the page-size study)
+//! and the policy.
 
-use camdn_bench::{cycling_workload, parallel_sims, print_table, quick_mode};
+use camdn_bench::{cycling_workload, print_table, quick_mode};
 use camdn_common::SocConfig;
 use camdn_mapper::MapperConfig;
-use camdn_runtime::{PolicyKind, Simulation, Workload};
+use camdn_runtime::{PolicyKind, Workload};
+use camdn_sweep::Sweep;
 
 fn main() {
     let n = if quick_mode() { 4 } else { 8 };
+    let workload = || Workload::closed(cycling_workload(n), 2);
 
     // --- 1. Look-ahead factor sweep -------------------------------
     let factors = [0.0, 0.1, 0.2, 0.5, 1.0];
+    let grid = Sweep::grid()
+        .policy(PolicyKind::CamdnFull)
+        .lookaheads(factors)
+        .workload("cycling", workload())
+        .run()
+        .expect("lookahead grid");
     let mut rows = Vec::new();
-    for &f in &factors {
-        let r = Simulation::builder()
-            .policy(PolicyKind::CamdnFull)
-            .workload(Workload::closed(cycling_workload(n), 2))
-            .lookahead(f)
-            .run()
-            .expect("lookahead run");
+    for cell in &grid.cells {
+        let r = cell.outcome.as_ref().expect("lookahead run");
         rows.push(vec![
-            format!("{f:.1}"),
+            format!("{:.1}", factors[cell.coord.lookahead]),
             format!("{:.2}", r.avg_latency_ms),
             format!("{:.1}", r.mem_mb_per_model),
             format!("{:.3}", r.cache_hit_rate),
@@ -40,20 +47,25 @@ fn main() {
     );
 
     // --- 2. Cache page size sweep ----------------------------------
-    let mut rows = Vec::new();
-    for &kib in &[8u64, 16, 32, 64, 128] {
+    // Page size changes the SoC *and* the mapper: the axis pairs them.
+    let kibs = [8u64, 16, 32, 64, 128];
+    let mut grid = Sweep::grid().policy(PolicyKind::CamdnFull);
+    for &kib in &kibs {
         let mut soc = SocConfig::paper_default();
         soc.cache.page_bytes = kib * 1024;
         let mut mapper = MapperConfig::paper_default();
         mapper.page_bytes = kib * 1024;
-        let r = Simulation::builder()
-            .policy(PolicyKind::CamdnFull)
-            .soc(soc)
-            .mapper(mapper)
-            .workload(Workload::closed(cycling_workload(n), 2))
-            .run()
-            .expect("page-size run");
-        let cpt_entries = soc.cache.total_bytes / soc.cache.page_bytes;
+        grid = grid.soc_with_mapper(format!("{kib}KiB"), soc, mapper);
+    }
+    let grid = grid
+        .workload("cycling", workload())
+        .run()
+        .expect("page-size grid");
+    let mut rows = Vec::new();
+    for cell in &grid.cells {
+        let r = cell.outcome.as_ref().expect("page-size run");
+        let kib = kibs[cell.coord.soc];
+        let cpt_entries = SocConfig::paper_default().cache.total_bytes / (kib * 1024);
         rows.push(vec![
             format!("{kib} KiB"),
             format!("{:.2}", r.avg_latency_ms),
@@ -72,17 +84,14 @@ fn main() {
     );
 
     // --- 3. LBM contribution ---------------------------------------
-    let runs = vec![
-        Simulation::builder()
-            .policy(PolicyKind::CamdnHwOnly)
-            .workload(Workload::closed(cycling_workload(n), 2)),
-        Simulation::builder()
-            .policy(PolicyKind::CamdnFull)
-            .workload(Workload::closed(cycling_workload(n), 2)),
-    ];
-    let results = parallel_sims(runs);
+    let grid = Sweep::grid()
+        .policies([PolicyKind::CamdnHwOnly, PolicyKind::CamdnFull])
+        .workload("cycling", workload())
+        .run()
+        .expect("lbm grid");
     let mut rows = Vec::new();
-    for r in &results {
+    for cell in &grid.cells {
+        let r = cell.outcome.as_ref().expect("lbm run");
         rows.push(vec![
             r.policy.clone(),
             format!("{:.2}", r.avg_latency_ms),

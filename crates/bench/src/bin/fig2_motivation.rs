@@ -6,10 +6,11 @@
 //! Paper result: hit rate drops by 18.9–59.7 %, memory access rises by
 //! 32.7–64.1 % and latency by 3.46–5.65× as the DNN count reaches 32.
 
-use camdn_bench::{parallel_sims, print_table, quick_mode};
+use camdn_bench::{print_table, quick_mode};
 use camdn_common::types::MIB;
 use camdn_models::Model;
-use camdn_runtime::{PolicyKind, RunResult, Simulation, Workload};
+use camdn_runtime::{PolicyKind, Workload};
+use camdn_sweep::Sweep;
 
 fn rotations(n: usize) -> Vec<Vec<Model>> {
     // Every model must participate at every tenant count: rotate the zoo
@@ -32,29 +33,30 @@ fn main() {
         (vec![1, 2, 4, 8, 16, 32], vec![4, 8, 16, 32, 64])
     };
 
-    // Build every (cache, #DNN, rotation) run.
-    let mut runs = Vec::new();
-    let mut index = Vec::new(); // (cache_idx, dnn_idx)
-    for (ci, &mb) in cache_mibs.iter().enumerate() {
-        for (ni, &n) in dnn_counts.iter().enumerate() {
-            for workload in rotations(n) {
-                runs.push(
-                    Simulation::builder()
-                        .policy(PolicyKind::SharedBaseline)
-                        .soc(camdn_common::SocConfig::paper_default().with_cache_bytes(mb * MIB))
-                        .workload(Workload::closed(workload, 2)),
-                );
-                index.push((ci, ni));
-            }
+    // Workload axis: every rotation of every tenant count, remembering
+    // which count each axis entry belongs to. The cache axis and the
+    // cross-product are the sweep's job.
+    let mut workloads = Vec::new();
+    let mut wl_count_idx = Vec::new(); // workload-axis index -> dnn_counts index
+    for (ni, &n) in dnn_counts.iter().enumerate() {
+        for (rot, models) in rotations(n).into_iter().enumerate() {
+            workloads.push((format!("{n}dnn/rot{rot}"), Workload::closed(models, 2)));
+            wl_count_idx.push(ni);
         }
     }
-    let results = parallel_sims(runs);
+    let grid = Sweep::grid()
+        .policy(PolicyKind::SharedBaseline)
+        .cache_bytes(cache_mibs.iter().map(|mb| mb * MIB))
+        .workloads(workloads)
+        .run()
+        .expect("fig2 grid");
 
     // Average each (cache, #DNN) cell over its rotations.
     let mut cells: Vec<Vec<(f64, f64, f64, u32)>> =
         vec![vec![(0.0, 0.0, 0.0, 0); dnn_counts.len()]; cache_mibs.len()];
-    for (r, &(ci, ni)) in results.iter().zip(&index) {
-        let c = &mut cells[ci][ni];
+    for cell in &grid.cells {
+        let r = cell.outcome.as_ref().expect("fig2 cell");
+        let c = &mut cells[cell.coord.cache][wl_count_idx[cell.coord.workload]];
         c.0 += r.cache_hit_rate;
         c.1 += r.mem_mb_per_model;
         c.2 += r.avg_latency_ms;
@@ -120,8 +122,10 @@ fn main() {
         "average latency rises {:.2}x..{:.2}x (paper: 3.46x..5.65x).",
         lat_rise.0, lat_rise.1
     );
-}
-
-fn _type_check(r: &RunResult) -> f64 {
-    r.cache_hit_rate
+    println!(
+        "\n[{} cells in {:.2}s on {} threads, one shared mapping per model]",
+        grid.cells.len(),
+        grid.wall_s,
+        grid.threads
+    );
 }

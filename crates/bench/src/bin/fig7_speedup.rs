@@ -6,10 +6,10 @@
 //! 1.18× on average; memory access drops by 33.4% on average.
 
 use camdn_bench::{
-    dram_by_model, latency_by_model, parallel_sims, print_table, quick_mode, speedup_policies,
-    speedup_workload,
+    dram_by_model, latency_by_model, print_table, quick_mode, speedup_policies, speedup_workload,
 };
-use camdn_runtime::{Simulation, Workload};
+use camdn_runtime::Workload;
+use camdn_sweep::Sweep;
 
 fn main() {
     let mut workload = speedup_workload();
@@ -19,16 +19,17 @@ fn main() {
         rounds = 2;
     }
 
-    let configs = speedup_policies()
-        .into_iter()
-        .map(|p| {
-            Simulation::builder()
-                .policy(p)
-                .workload(Workload::closed(workload.clone(), rounds))
-        })
+    let grid = Sweep::grid()
+        .policies(speedup_policies())
+        .workload("16tenant", Workload::closed(workload, rounds))
+        .run()
+        .expect("fig7 grid");
+    let results: Vec<_> = grid
+        .cells
+        .iter()
+        .map(|c| c.outcome.as_ref().expect("fig7 cell"))
         .collect();
-    let results = parallel_sims(configs);
-    let (aurora, hw_only, full) = (&results[0], &results[1], &results[2]);
+    let (aurora, hw_only, full) = (results[0], results[1], results[2]);
 
     let base_lat = latency_by_model(aurora);
     let hw_lat = latency_by_model(hw_only);

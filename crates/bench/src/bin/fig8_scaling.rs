@@ -6,31 +6,39 @@
 //! Paper result: CaMDN(Full) cuts latency by 34.3–42.3 % and memory
 //! access by 16.0–37.7 % across scales, with larger caches helping more.
 
-use camdn_bench::{cycling_workload, parallel_sims, print_table, quick_mode, speedup_policies};
+use camdn_bench::{cycling_workload, print_table, quick_mode, speedup_policies};
 use camdn_common::types::MIB;
-use camdn_runtime::{PolicyKind, Simulation, Workload};
+use camdn_runtime::{RunResult, Workload};
+use camdn_sweep::SweepBuilder;
 
-fn sweep(title: &str, configs: Vec<(String, u64, usize)>) {
-    // (label, cache bytes, #DNNs) per point, x 3 policies.
-    let mut runs = Vec::new();
-    for &(_, cache, n) in &configs {
-        for p in speedup_policies() {
-            runs.push(
-                Simulation::builder()
-                    .policy(p)
-                    .soc(camdn_common::SocConfig::paper_default().with_cache_bytes(cache))
-                    .workload(Workload::closed(cycling_workload(n), 2)),
-            );
-        }
+/// Runs a policies × points grid and prints the two Fig. 8 tables. The
+/// point axis is either the cache axis or the workload axis — the
+/// caller sets one of them on `grid`; `point` maps a cell coordinate
+/// back to its point index.
+fn sweep(
+    title: &str,
+    labels: &[String],
+    grid: SweepBuilder,
+    point: fn(&camdn_sweep::CellCoord) -> usize,
+) {
+    let n_policies = speedup_policies().len();
+    let grid = grid.policies(speedup_policies()).run().expect("fig8 grid");
+
+    // results[point][policy]
+    let mut results: Vec<Vec<Option<&RunResult>>> = vec![vec![None; n_policies]; labels.len()];
+    for cell in &grid.cells {
+        results[point(&cell.coord)][cell.coord.policy] =
+            Some(cell.outcome.as_ref().expect("fig8 cell"));
     }
-    let results = parallel_sims(runs);
 
     let mut lat_rows = Vec::new();
     let mut mem_rows = Vec::new();
-    for (i, (label, _, _)) in configs.iter().enumerate() {
-        let base = &results[3 * i];
-        let hw = &results[3 * i + 1];
-        let full = &results[3 * i + 2];
+    for (i, label) in labels.iter().enumerate() {
+        let (base, hw, full) = (
+            results[i][0].expect("aurora cell"),
+            results[i][1].expect("hw-only cell"),
+            results[i][2].expect("full cell"),
+        );
         let lat_red = 100.0 * (1.0 - full.avg_latency_ms / base.avg_latency_ms.max(1e-9));
         let mem_red = 100.0 * (1.0 - full.mem_mb_per_model / base.mem_mb_per_model.max(1e-9));
         lat_rows.push(vec![
@@ -86,18 +94,29 @@ fn main() {
 
     sweep(
         "Fig. 8(a) — cache capacity sweep (8 DNNs)",
-        cache_points
+        &cache_points
             .iter()
-            .map(|&mb| (format!("{mb}MB"), mb * MIB, 8))
-            .collect(),
+            .map(|mb| format!("{mb}MB"))
+            .collect::<Vec<_>>(),
+        camdn_sweep::Sweep::grid()
+            .cache_bytes(cache_points.iter().map(|mb| mb * MIB))
+            .workload("8dnn", Workload::closed(cycling_workload(8), 2)),
+        |c| c.cache,
     );
     sweep(
         "Fig. 8(b) — co-located DNN sweep (16 MiB cache)",
-        dnn_points
+        &dnn_points
             .iter()
-            .map(|&n| (format!("{n} DNNs"), 16 * MIB, n))
-            .collect(),
+            .map(|n| format!("{n} DNNs"))
+            .collect::<Vec<_>>(),
+        camdn_sweep::Sweep::grid()
+            .cache_bytes([16 * MIB])
+            .workloads(
+                dnn_points
+                    .iter()
+                    .map(|&n| (format!("{n}dnn"), Workload::closed(cycling_workload(n), 2))),
+            ),
+        |c| c.workload,
     );
     println!("\nPaper: latency -34.3%..-42.3%, memory access -16.0%..-37.7%.");
-    let _ = PolicyKind::CamdnFull;
 }

@@ -5,8 +5,9 @@
 //! Paper result: CaMDN improves SLA rate, STP and fairness by 5.9×,
 //! 2.5× and 3.0× on average over the baselines.
 
-use camdn_bench::{isolated_latencies, parallel_sims, print_table, qos_workload, quick_mode};
-use camdn_runtime::{qos_metrics, PolicyKind, QosMetrics, Simulation, Workload};
+use camdn_bench::{isolated_latencies, print_table, qos_workload, quick_mode};
+use camdn_runtime::{qos_metrics, PolicyKind, QosMetrics, Workload};
+use camdn_sweep::Sweep;
 
 fn main() {
     let workload = qos_workload();
@@ -14,28 +15,32 @@ fn main() {
     let policies = [PolicyKind::Moca, PolicyKind::Aurora, PolicyKind::CamdnFull];
     let rounds = if quick_mode() { 2 } else { 4 };
 
-    // Isolated calibration for normalized progress.
-    let iso_map = isolated_latencies(PolicyKind::SharedBaseline);
+    // Isolated calibration for normalized progress, keyed by the task
+    // abbreviation each run itself reports.
+    let iso_map = isolated_latencies(PolicyKind::SharedBaseline).expect("isolated runs");
     let iso: Vec<f64> = workload.iter().map(|m| iso_map[&m.abbr]).collect();
 
-    let mut runs = Vec::new();
-    for &(_, scale) in &levels {
-        for p in policies {
-            runs.push(
-                Simulation::builder()
-                    .policy(p)
-                    .qos_scale(scale)
-                    .workload(Workload::closed(workload.clone(), rounds)),
-            );
-        }
-    }
-    let results = parallel_sims(runs);
+    // One grid: policies × QoS levels, a single 8-tenant workload.
+    let grid = Sweep::grid()
+        .policies(policies)
+        .qos_scales(levels.iter().map(|&(_, s)| s))
+        .workload("qos8", Workload::closed(workload, rounds))
+        .run()
+        .expect("fig9 grid");
 
-    let metric = |i: usize| -> QosMetrics { qos_metrics(&results[i], &iso) };
+    // metrics[level][policy]
+    let mut metrics: Vec<Vec<Option<QosMetrics>>> = vec![vec![None; policies.len()]; levels.len()];
+    for cell in &grid.cells {
+        let r = cell.outcome.as_ref().expect("fig9 cell");
+        metrics[cell.coord.qos][cell.coord.policy] = Some(qos_metrics(r, &iso));
+    }
+
     let mut rows = Vec::new();
     let mut improvements = [0.0f64; 3]; // SLA, STP, fairness (CaMDN / best baseline)
     for (li, (name, _)) in levels.iter().enumerate() {
-        let m: Vec<QosMetrics> = (0..3).map(|pi| metric(3 * li + pi)).collect();
+        let m: Vec<QosMetrics> = (0..policies.len())
+            .map(|pi| metrics[li][pi].expect("fig9 metric"))
+            .collect();
         for (pi, p) in policies.iter().enumerate() {
             rows.push(vec![
                 name.to_string(),

@@ -16,7 +16,7 @@
 use camdn_bench::{quick_mode, speedup_workload};
 use camdn_models::zoo;
 use camdn_runtime::{PolicyKind, RunResult, Simulation, Workload};
-use std::time::Instant;
+use camdn_sweep::run_cells;
 
 struct Scenario {
     name: &'static str,
@@ -75,24 +75,32 @@ fn scenarios(quick: bool) -> Vec<Scenario> {
     ]
 }
 
-fn run(sc: &Scenario, reference: bool) -> (RunResult, f64) {
-    let t0 = Instant::now();
-    let r = Simulation::builder()
-        .policy(sc.policy)
-        .workload(sc.workload.clone())
-        .reference_model(reference)
-        .run()
-        .expect("scenario run");
-    (r, t0.elapsed().as_secs_f64())
+/// Runs one scenario through both memory models on the sweep executor
+/// (one worker: the wall-clock numbers must not contend), returning
+/// `(reference, batched)` with per-cell wall seconds.
+fn run_pair(sc: &Scenario) -> ((RunResult, f64), (RunResult, f64)) {
+    let mk = |reference| {
+        Simulation::builder()
+            .policy(sc.policy)
+            .workload(sc.workload.clone())
+            .reference_model(reference)
+    };
+    // Reference (seed-equivalent per-line path) first, then batched.
+    let mut runs = run_cells(vec![mk(true), mk(false)], Some(1));
+    let fast = runs.pop().expect("batched cell");
+    let reference = runs.pop().expect("reference cell");
+    let unwrap = |name: &str, r: camdn_sweep::CellRun| match r.outcome {
+        Ok(result) => (result, r.wall_s),
+        Err(e) => panic!("{}: {} run failed: {e}", sc.name, name),
+    };
+    (unwrap("reference", reference), unwrap("batched", fast))
 }
 
 fn main() {
     let quick = quick_mode();
     let mut rows = Vec::new();
     for sc in scenarios(quick) {
-        // Reference (seed-equivalent per-line path) first, then batched.
-        let (r_ref, wall_ref) = run(&sc, true);
-        let (r_fast, wall_fast) = run(&sc, false);
+        let ((r_ref, wall_ref), (r_fast, wall_fast)) = run_pair(&sc);
         let identical = r_ref == r_fast;
         assert!(
             identical,

@@ -11,22 +11,46 @@
 //! | `fig8_scaling` | Fig. 8: latency & memory access across scales |
 //! | `fig9_qos` | Fig. 9: SLA / STP / fairness at QoS-H/M/L |
 //! | `table3_area` | Table III: area breakdown |
+//! | `sweep` | fig8-style grid through `Sweep::grid()` → `BENCH_sweep.json` |
+//! | `throughput` | engine throughput, batched vs reference → `BENCH_engine.json` |
 //!
 //! Set `CAMDN_QUICK=1` to run reduced sweeps (used by CI and the
-//! Criterion wrappers).
+//! Criterion wrappers); see [`quick_mode`] for the accepted values.
+//!
+//! Grid-shaped experiments run through the
+//! [`camdn_sweep`](../camdn_sweep/index.html) subsystem
+//! (`Sweep::grid()`), which fans cells out over a thread pool, shares
+//! one mapping-plan cache across the grid, and surfaces per-cell
+//! errors without aborting the sweep. The `sweep` binary records a
+//! fig8-style grid (with and without the shared cache) in
+//! `BENCH_sweep.json`.
 
 #![warn(missing_docs)]
 
 use camdn_models::Model;
-use camdn_runtime::{PolicyKind, RunResult, Simulation, SimulationBuilder, Workload};
+use camdn_runtime::{EngineError, PolicyKind, RunResult, Simulation, SimulationBuilder, Workload};
 use std::collections::HashMap;
 
 /// True when the `CAMDN_QUICK` environment variable requests reduced
 /// sweeps.
+///
+/// Falsy values (case-insensitive, surrounding whitespace ignored):
+/// unset, empty, `0`, `false`, `no`, `off`. Every other value —
+/// `1`, `true`, `yes`, `on`, … — enables quick mode. The old parser
+/// treated anything but the literal `"0"` as enabled, so
+/// `CAMDN_QUICK=false` silently ran *reduced* sweeps.
 pub fn quick_mode() -> bool {
     std::env::var("CAMDN_QUICK")
-        .map(|v| v != "0")
+        .map(|v| env_flag_truthy(&v))
         .unwrap_or(false)
+}
+
+/// Truthy/falsy parse behind [`quick_mode`].
+fn env_flag_truthy(value: &str) -> bool {
+    !matches!(
+        value.trim().to_ascii_lowercase().as_str(),
+        "" | "0" | "false" | "no" | "off"
+    )
 }
 
 /// The standard N-tenant workload: cycle the Table I zoo models.
@@ -58,17 +82,25 @@ pub fn qos_workload() -> Vec<Model> {
 /// Runs every model alone under `policy` (closed loop, no QoS) and
 /// returns its mean isolated latency (ms) keyed by abbreviation. Used
 /// for STP/fairness.
-pub fn isolated_latencies(policy: PolicyKind) -> HashMap<String, f64> {
+///
+/// Latencies are keyed by the abbreviation each [`TaskSummary`] itself
+/// reports (not by the order models were submitted), so a reordered
+/// `RunResult` cannot mis-attribute them; failures propagate as
+/// [`EngineError`] instead of panicking.
+///
+/// [`TaskSummary`]: camdn_runtime::TaskSummary
+pub fn isolated_latencies(policy: PolicyKind) -> Result<HashMap<String, f64>, EngineError> {
     let mut out = HashMap::new();
     for m in camdn_models::zoo::all() {
         let r = Simulation::builder()
             .policy(policy)
-            .workload(Workload::closed(vec![m.clone()], 2))
-            .run()
-            .expect("isolated run");
-        out.insert(m.abbr.clone(), r.tasks[0].mean_latency_ms);
+            .workload(Workload::closed(vec![m], 2))
+            .run()?;
+        for t in &r.tasks {
+            out.insert(t.abbr.clone(), t.mean_latency_ms);
+        }
     }
-    out
+    Ok(out)
 }
 
 /// Mean latency per model abbreviation over the tasks of a run.
@@ -100,53 +132,44 @@ pub fn dram_by_model(result: &RunResult) -> HashMap<String, f64> {
 /// Builds and runs several simulations in parallel threads (each
 /// engine is single-threaded and independent), preserving input order.
 ///
+/// This is a thin shim over [`camdn_sweep::run_cells`]: every cell runs
+/// to completion even when another fails (the old implementation
+/// panicked inside a scoped worker on the first failing run, aborting
+/// the whole sweep and poisoning its slot locks).
+///
 /// # Panics
 ///
-/// Panics when any builder fails to build or a run reports an
-/// [`EngineError`](camdn_runtime::EngineError).
+/// Panics *after the full batch has run* when any cell failed, naming
+/// every failed index. Callers that want the per-cell
+/// `Result<RunResult, EngineError>` should use
+/// [`camdn_sweep::run_cells`] or `camdn_sweep::Sweep::grid()` directly.
+#[deprecated(
+    since = "0.3.0",
+    note = "use `camdn_sweep::Sweep::grid()` or `camdn_sweep::run_cells` for per-cell errors"
+)]
 pub fn parallel_sims(builders: Vec<SimulationBuilder>) -> Vec<RunResult> {
-    let n = builders.len();
-    let jobs: Vec<std::sync::Mutex<Option<SimulationBuilder>>> = builders
-        .into_iter()
-        .map(|b| std::sync::Mutex::new(Some(b)))
+    let runs = camdn_sweep::run_cells(builders, None);
+    let failures: Vec<String> = runs
+        .iter()
+        .enumerate()
+        .filter_map(|(i, r)| r.outcome.as_ref().err().map(|e| format!("cell {i}: {e}")))
         .collect();
-    let slots: Vec<std::sync::Mutex<Option<RunResult>>> =
-        (0..n).map(|_| std::sync::Mutex::new(None)).collect();
-    let threads = std::thread::available_parallelism()
-        .map(|p| p.get())
-        .unwrap_or(4);
-    let next = std::sync::atomic::AtomicUsize::new(0);
-    std::thread::scope(|s| {
-        for _ in 0..threads.min(n) {
-            s.spawn(|| loop {
-                let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                if i >= n {
-                    break;
-                }
-                let b = jobs[i]
-                    .lock()
-                    .expect("job lock poisoned")
-                    .take()
-                    .expect("job taken once");
-                let r = b.run().expect("simulation failed");
-                *slots[i].lock().expect("slot lock poisoned") = Some(r);
-            });
-        }
-    });
-    slots
-        .into_iter()
-        .map(|s| {
-            s.into_inner()
-                .expect("slot lock poisoned")
-                .expect("every slot filled")
-        })
+    assert!(
+        failures.is_empty(),
+        "parallel_sims: {} of {} cells failed\n{}",
+        failures.len(),
+        runs.len(),
+        failures.join("\n")
+    );
+    runs.into_iter()
+        .map(|r| r.outcome.expect("checked above"))
         .collect()
 }
 
 /// Runs several engine configurations in parallel threads.
 #[deprecated(
     since = "0.2.0",
-    note = "use `parallel_sims` with `SimulationBuilder`s"
+    note = "use `camdn_sweep::Sweep::grid()` or `camdn_sweep::run_cells` with `SimulationBuilder`s"
 )]
 #[allow(deprecated)]
 pub fn parallel_runs(configs: Vec<(camdn_runtime::EngineConfig, Vec<Model>)>) -> Vec<RunResult> {
@@ -221,6 +244,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(deprecated)]
     fn parallel_sims_preserve_order() {
         let models = vec![camdn_models::zoo::mobilenet_v2()];
         let mk = |seed| {
@@ -233,5 +257,43 @@ mod tests {
         let res = parallel_sims(vec![mk(1), mk(2), mk(1)]);
         assert_eq!(res.len(), 3);
         assert_eq!(res[0], res[2], "same seed must give identical results");
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    #[should_panic(expected = "1 of 2 cells failed")]
+    fn parallel_sims_shim_reports_failures_after_the_batch() {
+        let ok = Simulation::builder()
+            .policy(PolicyKind::SharedBaseline)
+            .warmup_rounds(0)
+            .workload(Workload::closed(vec![camdn_models::zoo::mobilenet_v2()], 1));
+        let bad = Simulation::builder()
+            .policy(PolicyKind::SharedBaseline)
+            .workload(Workload::closed(vec![], 2));
+        parallel_sims(vec![ok, bad]);
+    }
+
+    #[test]
+    fn quick_mode_flag_parses_truthy_and_falsy() {
+        for falsy in ["", "0", "false", "no", "off", "FALSE", " Off ", "No"] {
+            assert!(!env_flag_truthy(falsy), "{falsy:?} must be falsy");
+        }
+        for truthy in ["1", "true", "yes", "on", "2", "quick", "TRUE"] {
+            assert!(env_flag_truthy(truthy), "{truthy:?} must be truthy");
+        }
+    }
+
+    #[test]
+    fn isolated_latencies_key_by_task_abbreviation() {
+        let iso = isolated_latencies(PolicyKind::SharedBaseline).expect("isolated runs");
+        let zoo = camdn_models::zoo::all();
+        assert_eq!(iso.len(), zoo.len());
+        for m in &zoo {
+            assert!(
+                iso[&m.abbr] > 0.0,
+                "{} must have a positive isolated latency",
+                m.abbr
+            );
+        }
     }
 }

@@ -16,11 +16,27 @@
 //! println!("{}: {:.2} ms", result.policy, result.avg_latency_ms);
 //! ```
 //!
+//! Grid experiments (policies × SoCs × cache sizes × workloads ×
+//! seeds) run through the sweep subsystem:
+//!
+//! ```no_run
+//! use camdn::{PolicyKind, Sweep, Workload};
+//!
+//! let grid = Sweep::grid()
+//!     .policies(PolicyKind::ALL)
+//!     .workload("zoo", Workload::closed(camdn::models::zoo::all(), 2))
+//!     .seeds([1, 2, 3])
+//!     .run()
+//!     .expect("valid grid");
+//! assert_eq!(grid.cells.len(), 15);
+//! ```
+//!
 //! See the crate-level docs of each member for details:
 //! [`camdn_core`] (the co-design), [`camdn_runtime`] (multi-tenant
-//! engine, policies and scenarios), [`camdn_mapper`], [`camdn_models`],
-//! [`camdn_cache`], [`camdn_dram`], [`camdn_npu`], [`camdn_analysis`]
-//! and [`camdn_common`].
+//! engine, policies and scenarios), [`camdn_sweep`] (parallel grid
+//! sweeps), [`camdn_mapper`], [`camdn_models`], [`camdn_cache`],
+//! [`camdn_dram`], [`camdn_npu`], [`camdn_analysis`] and
+//! [`camdn_common`].
 
 pub use camdn_analysis as analysis;
 pub use camdn_cache as cache;
@@ -31,8 +47,11 @@ pub use camdn_mapper as mapper;
 pub use camdn_models as models;
 pub use camdn_npu as npu;
 pub use camdn_runtime as runtime;
+pub use camdn_sweep as sweep;
 
+pub use camdn_mapper::{PlanCache, PlanCacheStats};
 pub use camdn_runtime::{
     register_policy, ArrivalProcess, EngineError, Policy, PolicyKind, PolicyRegistry, RunResult,
     Simulation, SimulationBuilder, Workload,
 };
+pub use camdn_sweep::{CellCoord, Sweep, SweepBuilder, SweepCell, SweepResult};

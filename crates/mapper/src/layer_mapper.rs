@@ -317,9 +317,52 @@ fn segment_blocks(model: &Model, cfg: &MapperConfig) -> Vec<Vec<usize>> {
     blocks
 }
 
+/// Builds the deduped, dominance-pruned LWM candidate ladder for one
+/// layer: one candidate per distinct `pneed`, ascending in pages and
+/// strictly descending in DRAM traffic.
+pub fn lwm_ladder(layer: &Layer, cfg: &MapperConfig) -> Vec<MappingCandidate> {
+    let mut lwm: Vec<MappingCandidate> = Vec::new();
+    for &cu in &cfg.cu_levels {
+        let cand = map_layer_lwm(layer, cfg, cu);
+        match lwm.iter_mut().find(|c| c.pneed == cand.pneed) {
+            Some(existing) => {
+                if cand.dram_bytes < existing.dram_bytes {
+                    *existing = cand;
+                }
+            }
+            None => lwm.push(cand),
+        }
+    }
+    lwm.sort_by_key(|c| c.pneed);
+    // Drop dominated candidates (more pages, no less traffic).
+    let mut pruned: Vec<MappingCandidate> = Vec::new();
+    for c in lwm {
+        if pruned
+            .last()
+            .map(|p: &MappingCandidate| c.dram_bytes < p.dram_bytes)
+            .unwrap_or(true)
+        {
+            pruned.push(c);
+        }
+    }
+    pruned
+}
+
 /// Maps a whole model: MCTs for every layer plus the cache-unaware
 /// baseline mapping.
 pub fn map_model(model: &Model, cfg: &MapperConfig) -> ModelMapping {
+    map_model_with(model, cfg, &mut lwm_ladder)
+}
+
+/// [`map_model`] with an injectable LWM-ladder source, so a
+/// [`PlanCache`](crate::PlanCache) can serve repeated `(layer, NPU
+/// config, CU ladder)` solves from its shared memo instead of
+/// re-running the solver.
+pub(crate) fn map_model_with(
+    model: &Model,
+    cfg: &MapperConfig,
+    ladder: &mut dyn FnMut(&Layer, &MapperConfig) -> Vec<MappingCandidate>,
+) -> ModelMapping {
     let blocks = segment_blocks(model, cfg);
     let mut mcts: Vec<Mct> = Vec::with_capacity(model.layers.len());
     let mut baseline = Vec::with_capacity(model.layers.len());
@@ -349,31 +392,7 @@ pub fn map_model(model: &Model, cfg: &MapperConfig) -> ModelMapping {
         for (j, &li) in block.iter().enumerate() {
             let layer = &model.layers[li];
             // LWM candidates, deduped by pneed, ascending.
-            let mut lwm: Vec<MappingCandidate> = Vec::new();
-            for &cu in &cfg.cu_levels {
-                let cand = map_layer_lwm(layer, cfg, cu);
-                match lwm.iter_mut().find(|c| c.pneed == cand.pneed) {
-                    Some(existing) => {
-                        if cand.dram_bytes < existing.dram_bytes {
-                            *existing = cand;
-                        }
-                    }
-                    None => lwm.push(cand),
-                }
-            }
-            lwm.sort_by_key(|c| c.pneed);
-            // Drop dominated candidates (more pages, no less traffic).
-            let mut pruned: Vec<MappingCandidate> = Vec::new();
-            for c in lwm {
-                if pruned
-                    .last()
-                    .map(|p: &MappingCandidate| c.dram_bytes < p.dram_bytes)
-                    .unwrap_or(true)
-                {
-                    pruned.push(c);
-                }
-            }
-            let lwm = pruned;
+            let lwm = ladder(layer, cfg);
 
             let pos = match (block.len(), j) {
                 (1, _) => BlockPos::Solo,

@@ -10,7 +10,9 @@
 //!   (MCT) format;
 //! * [`layer_mapper`] — model-level mapping: LWM ladders, LBM block
 //!   segmentation, [`layer_mapper::map_model`];
-//! * [`plan`] — dispatch-time unrolling of a candidate into tile phases.
+//! * [`plan`] — dispatch-time unrolling of a candidate into tile phases;
+//! * [`cache`] — a shared, thread-safe [`PlanCache`] memoizing mapping
+//!   results across simulations (grid sweeps map each model once).
 //!
 //! # Example
 //!
@@ -26,14 +28,16 @@
 
 #![warn(missing_docs)]
 
+pub mod cache;
 pub mod candidate;
 pub mod layer_mapper;
 pub mod plan;
 pub mod solver;
 
+pub use cache::{PlanCache, PlanCacheStats};
 pub use candidate::{
     BlockInfo, CacheMapEntry, CandidateKind, LoopOrder, MappingCandidate, Mct, TensorKind, Tiling,
 };
-pub use layer_mapper::{map_layer_lwm, map_model, MapperConfig, ModelMapping};
+pub use layer_mapper::{lwm_ladder, map_layer_lwm, map_model, MapperConfig, ModelMapping};
 pub use plan::{lower, LayerPlan, LowerMode, Phase, PlanSizes, Route, Transfer};
 pub use solver::{solve, Solution, TensorSizes};

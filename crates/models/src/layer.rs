@@ -55,7 +55,11 @@ pub enum WeightClass {
 }
 
 /// One layer of a model: an operator instance on the canonical nest.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+///
+/// `Hash`/`Eq` are structural, which is what lets the mapper's
+/// [`PlanCache`](../camdn_mapper/struct.PlanCache.html) key solved
+/// candidate ladders by layer content.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub struct Layer {
     /// Human-readable name, unique within the model.
     pub name: String,

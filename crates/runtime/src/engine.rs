@@ -33,13 +33,14 @@ use camdn_core::{
 };
 use camdn_dram::DramModel;
 use camdn_mapper::{
-    lower, map_model, LayerPlan, LowerMode, MapperConfig, ModelMapping, PlanSizes, Route,
-    TensorKind,
+    lower, map_model, LayerPlan, LowerMode, MapperConfig, ModelMapping, PlanCache, PlanSizes,
+    Route, TensorKind,
 };
 use camdn_models::{Model, WeightClass};
 use camdn_npu::NpuCore;
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
+use std::sync::Arc;
 
 /// Names one of the five built-in system configurations.
 ///
@@ -225,7 +226,8 @@ pub struct Engine {
     caps: PolicyCapabilities,
     label: String,
     models: Vec<Model>,
-    mappings: Vec<ModelMapping>,
+    /// Shared (possibly cache-served) mapping per distinct model.
+    mappings: Vec<Arc<ModelMapping>>,
     tasks: Vec<Task>,
     /// Inference rounds each task will run in total.
     rounds_target: Vec<u32>,
@@ -273,16 +275,19 @@ impl Engine {
     #[allow(deprecated)]
     pub fn new(cfg: EngineConfig, task_models: &[Model]) -> Self {
         let workload = Workload::closed(task_models.to_vec(), cfg.rounds_per_task);
-        Engine::with_policy(cfg.params(), builtin_policy(cfg.policy), &workload)
+        Engine::with_policy(cfg.params(), builtin_policy(cfg.policy), &workload, None)
             .expect("invalid engine configuration")
     }
 
     /// Builds an engine from parameters, a policy instance and a
-    /// workload scenario.
+    /// workload scenario. Model mappings are served from `plan_cache`
+    /// when one is supplied (sweeps share one across cells); results
+    /// are bit-identical either way.
     pub(crate) fn with_policy(
         params: SimParams,
         mut policy: Box<dyn Policy>,
         workload: &Workload,
+        plan_cache: Option<&PlanCache>,
     ) -> Result<Self, EngineError> {
         workload.validate()?;
         if params.soc.npu.cores == 0 {
@@ -321,15 +326,19 @@ impl Engine {
         }
         let alloc = PageAllocator::new(nec.first_pcpn(), nec.npu_pages());
 
-        // Distinct models are mapped once and shared.
+        // Distinct models are mapped once and shared (and, under a
+        // sweep's plan cache, once per *grid* rather than per cell).
         let mut models: Vec<Model> = Vec::new();
-        let mut mappings: Vec<ModelMapping> = Vec::new();
+        let mut mappings: Vec<Arc<ModelMapping>> = Vec::new();
         let mut index: HashMap<String, usize> = HashMap::new();
         let mut tasks = Vec::with_capacity(task_models.len());
         for (tid, m) in task_models.iter().enumerate() {
             let midx = *index.entry(m.name.clone()).or_insert_with(|| {
                 models.push(m.clone());
-                mappings.push(map_model(m, &params.mapper));
+                mappings.push(match plan_cache {
+                    Some(cache) => cache.map_model(m, &params.mapper),
+                    None => Arc::new(map_model(m, &params.mapper)),
+                });
                 models.len() - 1
             });
             tasks.push(Task::new(tid as u32, midx, TaskLayout::new(tid as u32, m)));
@@ -1157,7 +1166,7 @@ pub fn workload(n: usize) -> Vec<Model> {
 #[allow(deprecated)]
 pub fn simulate(cfg: EngineConfig, task_models: &[Model]) -> RunResult {
     let workload = Workload::closed(task_models.to_vec(), cfg.rounds_per_task);
-    Engine::with_policy(cfg.params(), builtin_policy(cfg.policy), &workload)
+    Engine::with_policy(cfg.params(), builtin_policy(cfg.policy), &workload, None)
         .and_then(|mut e| e.run())
         .expect("simulation failed")
 }
@@ -1218,8 +1227,13 @@ mod tests {
             mapper: MapperConfig::paper_default(),
             reference_model: false,
         };
-        let mut engine =
-            Engine::with_policy(params, builtin_policy(PolicyKind::CamdnFull), &workload).unwrap();
+        let mut engine = Engine::with_policy(
+            params,
+            builtin_policy(PolicyKind::CamdnFull),
+            &workload,
+            None,
+        )
+        .unwrap();
         let r = engine.run().unwrap();
         assert_eq!(r.tasks[0].inferences, 1);
         // All cache pages must be back after the run (no leaks).
@@ -1404,8 +1418,13 @@ mod tests {
             mapper: MapperConfig::paper_default(),
             reference_model: false,
         };
-        let mut engine =
-            Engine::with_policy(params, builtin_policy(PolicyKind::CamdnFull), &workload).unwrap();
+        let mut engine = Engine::with_policy(
+            params,
+            builtin_policy(PolicyKind::CamdnFull),
+            &workload,
+            None,
+        )
+        .unwrap();
         let idle = engine.alloc.idle_pages();
         engine.tasks[1].state = TaskState::WaitingPages {
             decision: camdn_core::Decision {

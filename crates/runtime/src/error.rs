@@ -57,6 +57,14 @@ pub enum EngineError {
         /// Layer index the decision applies to.
         layer: usize,
     },
+    /// The simulation panicked (an internal invariant `assert!` fired,
+    /// or a custom policy panicked). Sweep executors catch the unwind
+    /// and surface it as this variant so one broken cell cannot abort a
+    /// whole grid.
+    Panicked {
+        /// The panic payload, when it was a string.
+        detail: String,
+    },
 }
 
 impl fmt::Display for EngineError {
@@ -88,6 +96,9 @@ impl fmt::Display for EngineError {
                 f,
                 "policy decision for task {task} does not match the MCT of layer {layer}"
             ),
+            EngineError::Panicked { detail } => {
+                write!(f, "simulation panicked: {detail}")
+            }
         }
     }
 }

@@ -21,7 +21,8 @@ use crate::policies::{builtin_policy, create_policy, Policy};
 use crate::scenario::Workload;
 use camdn_common::config::SocConfig;
 use camdn_common::types::Cycle;
-use camdn_mapper::MapperConfig;
+use camdn_mapper::{MapperConfig, PlanCache};
+use std::sync::Arc;
 
 /// Which policy the builder should instantiate at build time.
 enum PolicyChoice {
@@ -51,6 +52,7 @@ impl Simulation {
             mapper: MapperConfig::paper_default(),
             lookahead: None,
             reference_model: false,
+            plan_cache: None,
         }
     }
 
@@ -72,6 +74,7 @@ pub struct SimulationBuilder {
     mapper: MapperConfig,
     lookahead: Option<f64>,
     reference_model: bool,
+    plan_cache: Option<Arc<PlanCache>>,
 }
 
 impl SimulationBuilder {
@@ -151,6 +154,19 @@ impl SimulationBuilder {
         self
     }
 
+    /// Serves model mappings from a shared [`PlanCache`] instead of
+    /// re-running the offline mapper at build time.
+    ///
+    /// Mapping is a pure function of `(model, MapperConfig)`, so the
+    /// result is bit-identical with or without the cache; what changes
+    /// is that a cache shared across many builders (a sweep grid, a
+    /// service assembling engines per request) solves each distinct
+    /// key once instead of once per simulation.
+    pub fn plan_cache(mut self, cache: Arc<PlanCache>) -> Self {
+        self.plan_cache = Some(cache);
+        self
+    }
+
     /// Routes all memory-system timing through the per-line *reference
     /// model* instead of the batched fast paths (default `false`).
     ///
@@ -197,7 +213,7 @@ impl SimulationBuilder {
             mapper: self.mapper,
             reference_model: self.reference_model,
         };
-        let engine = Engine::with_policy(params, policy, &workload)?;
+        let engine = Engine::with_policy(params, policy, &workload, self.plan_cache.as_deref())?;
         Ok(Simulation { engine })
     }
 
@@ -290,6 +306,25 @@ mod tests {
                 .err(),
             Some(EngineError::UnknownPolicy("no-such-policy".into()))
         );
+    }
+
+    #[test]
+    fn plan_cache_is_bit_identical_and_shared() {
+        let cache = Arc::new(PlanCache::new());
+        let models = vec![zoo::mobilenet_v2(), zoo::resnet50()];
+        let mk = || {
+            Simulation::builder()
+                .policy(PolicyKind::CamdnFull)
+                .workload(Workload::closed(models.clone(), 2))
+        };
+        let plain = mk().run().unwrap();
+        let cached_cold = mk().plan_cache(Arc::clone(&cache)).run().unwrap();
+        let cached_warm = mk().plan_cache(Arc::clone(&cache)).run().unwrap();
+        assert_eq!(plain, cached_cold);
+        assert_eq!(plain, cached_warm);
+        let s = cache.stats();
+        assert_eq!(s.model_misses, 2, "two distinct models mapped once");
+        assert_eq!(s.model_hits, 2, "second run served entirely from cache");
     }
 
     #[test]

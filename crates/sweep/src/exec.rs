@@ -1,0 +1,161 @@
+//! The parallel cell executor.
+//!
+//! Engines are deterministic and single-threaded, so a sweep's cells
+//! are embarrassingly parallel: [`run_cells`] fans a batch of
+//! [`SimulationBuilder`]s out over a pool of worker threads pulling
+//! from a shared atomic work queue (finished workers steal whatever
+//! cell is next, so an uneven grid keeps every core busy).
+//!
+//! Failure is *per cell*: a build error, run error or even a panic in
+//! one simulation becomes that cell's `Err` — it cannot poison a lock,
+//! lose neighbors' results, or abort the grid. This replaces the old
+//! `camdn_bench::parallel_sims` behavior, where the first failing run
+//! panicked inside a scoped worker and took the whole sweep down with
+//! it.
+
+use camdn_runtime::{EngineError, RunResult, SimulationBuilder};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+/// Outcome of one executed cell.
+#[derive(Debug)]
+pub struct CellRun {
+    /// The simulation's result, or the structured error that stopped it
+    /// (including [`EngineError::Panicked`] for caught panics).
+    pub outcome: Result<RunResult, EngineError>,
+    /// Wall-clock seconds this cell spent building + running.
+    pub wall_s: f64,
+}
+
+/// Worker count for `jobs` cells: the explicit request, else available
+/// parallelism, never more workers than cells.
+pub(crate) fn resolve_threads(requested: Option<usize>, jobs: usize) -> usize {
+    requested
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(|p| p.get())
+                .unwrap_or(4)
+        })
+        .clamp(1, jobs.max(1))
+}
+
+/// Runs every builder to completion over a worker pool, preserving
+/// input order in the returned vector.
+///
+/// `threads` is the worker count (`None` = available parallelism); it
+/// is capped at the number of jobs. Each cell's failure — including a
+/// panic inside the engine or a custom policy — surfaces as its own
+/// `Err` entry without disturbing any other cell.
+///
+/// Caught panics still pass through the process's panic hook before
+/// unwinding, so each one prints its usual `thread panicked at ...`
+/// message to stderr (useful diagnostics, and the hook is process
+/// state this library deliberately does not touch). Callers that want
+/// silence can install their own quiet hook around the call.
+pub fn run_cells(builders: Vec<SimulationBuilder>, threads: Option<usize>) -> Vec<CellRun> {
+    let n = builders.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let threads = resolve_threads(threads, n);
+    // Each job is taken exactly once; a Mutex<Option<..>> per slot keeps
+    // the builders `Sync` without cloning them.
+    let jobs: Vec<Mutex<Option<SimulationBuilder>>> =
+        builders.into_iter().map(|b| Mutex::new(Some(b))).collect();
+    let next = AtomicUsize::new(0);
+    let mut out: Vec<Option<CellRun>> = (0..n).map(|_| None).collect();
+    std::thread::scope(|s| {
+        let handles: Vec<_> = (0..threads)
+            .map(|_| {
+                s.spawn(|| {
+                    let mut mine: Vec<(usize, CellRun)> = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= n {
+                            break;
+                        }
+                        let builder = match jobs[i].lock() {
+                            Ok(mut guard) => guard.take(),
+                            // Cannot happen (cells catch their own
+                            // panics), but un-poison rather than die.
+                            Err(poisoned) => poisoned.into_inner().take(),
+                        };
+                        let t0 = Instant::now();
+                        let outcome = match builder {
+                            Some(b) => run_one(b),
+                            None => Err(EngineError::Panicked {
+                                detail: "sweep job vanished before it ran".into(),
+                            }),
+                        };
+                        mine.push((
+                            i,
+                            CellRun {
+                                outcome,
+                                wall_s: t0.elapsed().as_secs_f64(),
+                            },
+                        ));
+                    }
+                    mine
+                })
+            })
+            .collect();
+        for h in handles {
+            if let Ok(cells) = h.join() {
+                for (i, r) in cells {
+                    out[i] = Some(r);
+                }
+            }
+        }
+    });
+    out.into_iter()
+        .map(|slot| {
+            slot.unwrap_or_else(|| CellRun {
+                outcome: Err(EngineError::Panicked {
+                    detail: "worker thread lost this cell".into(),
+                }),
+                wall_s: 0.0,
+            })
+        })
+        .collect()
+}
+
+/// Builds and runs one cell, converting a panic into a structured
+/// error.
+fn run_one(builder: SimulationBuilder) -> Result<RunResult, EngineError> {
+    match catch_unwind(AssertUnwindSafe(move || builder.run())) {
+        Ok(result) => result,
+        Err(payload) => Err(EngineError::Panicked {
+            detail: panic_detail(payload.as_ref()),
+        }),
+    }
+}
+
+fn panic_detail(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".into()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_batch_is_empty() {
+        assert!(run_cells(Vec::new(), None).is_empty());
+    }
+
+    #[test]
+    fn thread_resolution_caps_at_jobs() {
+        assert_eq!(resolve_threads(Some(8), 3), 3);
+        assert_eq!(resolve_threads(Some(2), 100), 2);
+        assert_eq!(resolve_threads(Some(0), 5), 1);
+        assert!(resolve_threads(None, 100) >= 1);
+    }
+}

@@ -1,0 +1,148 @@
+//! JSON export of sweep results (`BENCH_sweep.json`).
+//!
+//! The workspace builds offline against a marker-trait serde stand-in
+//! (see `vendor/README.md`), so the export is hand-rolled — the same
+//! approach the throughput harness uses for `BENCH_engine.json`. The
+//! document schema is `camdn-bench-sweep/1`.
+
+use crate::SweepResult;
+use std::fmt::Write;
+
+/// Escapes a string for inclusion in a JSON string literal.
+fn esc(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn str_array(items: &[String]) -> String {
+    let quoted: Vec<String> = items.iter().map(|s| format!("\"{}\"", esc(s))).collect();
+    format!("[{}]", quoted.join(", "))
+}
+
+impl SweepResult {
+    /// The result as a self-contained `camdn-bench-sweep/1` JSON
+    /// document (the format of `BENCH_sweep.json`).
+    pub fn to_json(&self, name: &str) -> String {
+        format!(
+            "{{\n  \"schema\": \"camdn-bench-sweep/1\",\n  \"name\": \"{}\",\n{}\n}}\n",
+            esc(name),
+            self.json_body(2)
+        )
+    }
+
+    /// The result's fields as JSON object members (no surrounding
+    /// braces), indented by `indent` spaces — for embedding in a larger
+    /// report document.
+    pub fn json_body(&self, indent: usize) -> String {
+        let pad = " ".repeat(indent);
+        let a = &self.axes;
+        let plan_cache = match &self.plan_cache {
+            None => "null".to_string(),
+            Some(s) => format!(
+                "{{\"model_hits\": {}, \"model_misses\": {}, \"layer_hits\": {}, \"layer_misses\": {}}}",
+                s.model_hits, s.model_misses, s.layer_hits, s.layer_misses
+            ),
+        };
+        let seeds: Vec<String> = a.seeds.iter().map(u64::to_string).collect();
+        let mut cells = Vec::with_capacity(self.cells.len());
+        for cell in &self.cells {
+            let c = &cell.coord;
+            let head = format!(
+                "{pad}  {{\"policy\": \"{}\", \"soc\": \"{}\", \"cache\": \"{}\", \"workload\": \"{}\", \
+                 \"qos\": \"{}\", \"lookahead\": \"{}\", \"seed\": {}, \"wall_s\": {:.6}, ",
+                esc(&a.policies[c.policy]),
+                esc(&a.socs[c.soc]),
+                esc(&a.caches[c.cache]),
+                esc(&a.workloads[c.workload]),
+                esc(&a.qos[c.qos]),
+                esc(&a.lookaheads[c.lookahead]),
+                a.seeds[c.seed],
+                cell.wall_s,
+            );
+            let tail = match &cell.outcome {
+                Ok(r) => format!(
+                    "\"ok\": true, \"tasks\": {}, \"avg_latency_ms\": {:.6}, \
+                     \"mem_mb_per_model\": {:.6}, \"cache_hit_rate\": {:.6}, \
+                     \"makespan_ms\": {:.6}, \"error\": null}}",
+                    r.tasks.len(),
+                    r.avg_latency_ms,
+                    r.mem_mb_per_model,
+                    r.cache_hit_rate,
+                    r.makespan_ms,
+                ),
+                Err(e) => format!("\"ok\": false, \"error\": \"{}\"}}", esc(&e.to_string())),
+            };
+            cells.push(format!("{head}{tail}"));
+        }
+        format!(
+            "{pad}\"threads\": {},\n\
+             {pad}\"wall_s\": {:.6},\n\
+             {pad}\"ok_cells\": {},\n\
+             {pad}\"error_cells\": {},\n\
+             {pad}\"plan_cache\": {},\n\
+             {pad}\"axes\": {{\"policies\": {}, \"socs\": {}, \"caches\": {}, \"workloads\": {}, \
+             \"qos\": {}, \"lookaheads\": {}, \"seeds\": [{}]}},\n\
+             {pad}\"cells\": [\n{}\n{pad}]",
+            self.threads,
+            self.wall_s,
+            self.ok_count(),
+            self.cells.len() - self.ok_count(),
+            plan_cache,
+            str_array(&a.policies),
+            str_array(&a.socs),
+            str_array(&a.caches),
+            str_array(&a.workloads),
+            str_array(&a.qos),
+            str_array(&a.lookaheads),
+            seeds.join(", "),
+            cells.join(",\n"),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Sweep;
+    use camdn_runtime::Workload;
+
+    #[test]
+    fn escaping_covers_the_specials() {
+        assert_eq!(esc("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        assert_eq!(esc("\u{1}"), "\\u0001");
+    }
+
+    #[test]
+    fn json_export_has_schema_and_cells() {
+        let models = vec![camdn_models::zoo::mobilenet_v2()];
+        let r = Sweep::grid()
+            .workload("tiny \"quoted\"", Workload::closed(models, 2))
+            .run()
+            .unwrap();
+        let json = r.to_json("unit");
+        assert!(json.contains("\"schema\": \"camdn-bench-sweep/1\""));
+        assert!(json.contains("\"name\": \"unit\""));
+        assert!(json.contains("\"tiny \\\"quoted\\\"\""));
+        assert!(json.contains("\"ok\": true"));
+        assert!(json.contains("\"plan_cache\": {\"model_hits\""));
+        // Crude balance check on the hand-rolled document.
+        assert_eq!(
+            json.matches('{').count(),
+            json.matches('}').count(),
+            "unbalanced braces:\n{json}"
+        );
+    }
+}
