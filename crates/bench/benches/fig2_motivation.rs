@@ -19,7 +19,11 @@ fn run(n: usize, cache_mb: u64) -> (f64, f64, f64) {
         .workload(Workload::closed(cycling_workload(n), 2))
         .run()
         .expect("fig2 run");
-    (r.cache_hit_rate, r.mem_mb_per_model, r.avg_latency_ms)
+    (
+        r.summary.cache_hit_rate,
+        r.summary.mem_mb_per_model,
+        r.summary.avg_latency_ms,
+    )
 }
 
 fn bench(c: &mut Criterion) {

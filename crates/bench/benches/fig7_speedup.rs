@@ -8,13 +8,13 @@ use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
 use camdn_models::Model;
-use camdn_runtime::{PolicyKind, RunResult, Simulation, Workload};
+use camdn_runtime::{PolicyKind, RunOutput, Simulation, Workload};
 
 fn workload() -> Vec<Model> {
     camdn_models::zoo::all()
 }
 
-fn run(policy: PolicyKind) -> RunResult {
+fn run(policy: PolicyKind) -> RunOutput {
     Simulation::builder()
         .policy(policy)
         .workload(Workload::closed(workload(), 2))
@@ -25,7 +25,7 @@ fn run(policy: PolicyKind) -> RunResult {
 fn bench(c: &mut Criterion) {
     let base = run(PolicyKind::Aurora);
     let full = run(PolicyKind::CamdnFull);
-    for (b, f) in base.tasks.iter().zip(&full.tasks) {
+    for (b, f) in base.tasks().iter().zip(full.tasks()) {
         println!(
             "fig7[{}]: speedup {:.2}x (AuRORA {:.2}ms -> CaMDN {:.2}ms)",
             b.abbr,

@@ -23,7 +23,7 @@ fn run(policy: PolicyKind, cache_mb: u64) -> (f64, f64) {
         .workload(Workload::closed(workload(), 2))
         .run()
         .expect("fig8 run");
-    (r.avg_latency_ms, r.mem_mb_per_model)
+    (r.summary.avg_latency_ms, r.summary.mem_mb_per_model)
 }
 
 fn bench(c: &mut Criterion) {

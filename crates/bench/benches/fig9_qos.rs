@@ -33,7 +33,7 @@ fn run(policy: PolicyKind, iso: &[f64]) -> QosMetrics {
         .workload(Workload::closed(workload(), 3))
         .run()
         .expect("fig9 run");
-    qos_metrics(&r, iso)
+    qos_metrics(r.tasks(), iso).expect("one isolated latency per task")
 }
 
 fn bench(c: &mut Criterion) {

@@ -32,7 +32,7 @@ fn main() {
         .expect("lookahead grid");
     let mut rows = Vec::new();
     for cell in &grid.cells {
-        let r = cell.outcome.as_ref().expect("lookahead run");
+        let r = &cell.outcome.as_ref().expect("lookahead run").summary;
         rows.push(vec![
             format!("{:.1}", factors[cell.coord.lookahead]),
             format!("{:.2}", r.avg_latency_ms),
@@ -63,7 +63,7 @@ fn main() {
         .expect("page-size grid");
     let mut rows = Vec::new();
     for cell in &grid.cells {
-        let r = cell.outcome.as_ref().expect("page-size run");
+        let r = &cell.outcome.as_ref().expect("page-size run").summary;
         let kib = kibs[cell.coord.soc];
         let cpt_entries = SocConfig::paper_default().cache.total_bytes / (kib * 1024);
         rows.push(vec![
@@ -94,8 +94,8 @@ fn main() {
         let r = cell.outcome.as_ref().expect("lbm run");
         rows.push(vec![
             r.policy.clone(),
-            format!("{:.2}", r.avg_latency_ms),
-            format!("{:.1}", r.mem_mb_per_model),
+            format!("{:.2}", r.summary.avg_latency_ms),
+            format!("{:.1}", r.summary.mem_mb_per_model),
         ]);
     }
     print_table(

@@ -24,13 +24,13 @@ fn main() {
         println!(
             "{:16} hit={:.3} avg_lat={:8.2}ms mem/model={:7.1}MB makespan={:8.1}ms mcast={:6.1}MB",
             p.label(),
-            r.cache_hit_rate,
-            r.avg_latency_ms,
-            r.mem_mb_per_model,
-            r.makespan_ms,
-            r.multicast_saved_mb
+            r.summary.cache_hit_rate,
+            r.summary.avg_latency_ms,
+            r.summary.mem_mb_per_model,
+            r.summary.makespan_ms,
+            r.summary.multicast_saved_mb
         );
-        for t in &r.tasks {
+        for t in r.tasks() {
             print!(
                 "  {}={:.1}ms/{:.0}MB",
                 t.abbr, t.mean_latency_ms, t.mean_dram_mb

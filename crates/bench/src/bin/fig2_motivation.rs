@@ -55,7 +55,7 @@ fn main() {
     let mut cells: Vec<Vec<(f64, f64, f64, u32)>> =
         vec![vec![(0.0, 0.0, 0.0, 0); dnn_counts.len()]; cache_mibs.len()];
     for cell in &grid.cells {
-        let r = cell.outcome.as_ref().expect("fig2 cell");
+        let r = &cell.outcome.as_ref().expect("fig2 cell").summary;
         let c = &mut cells[cell.coord.cache][wl_count_idx[cell.coord.workload]];
         c.0 += r.cache_hit_rate;
         c.1 += r.mem_mb_per_model;

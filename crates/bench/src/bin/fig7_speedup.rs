@@ -8,7 +8,7 @@
 use camdn_bench::{
     dram_by_model, latency_by_model, print_table, quick_mode, speedup_policies, speedup_workload,
 };
-use camdn_runtime::Workload;
+use camdn_runtime::{DetailLevel, Workload};
 use camdn_sweep::Sweep;
 
 fn main() {
@@ -22,6 +22,7 @@ fn main() {
     let grid = Sweep::grid()
         .policies(speedup_policies())
         .workload("16tenant", Workload::closed(workload, rounds))
+        .detail(DetailLevel::Tasks)
         .run()
         .expect("fig7 grid");
     let results: Vec<_> = grid
@@ -31,11 +32,11 @@ fn main() {
         .collect();
     let (aurora, hw_only, full) = (results[0], results[1], results[2]);
 
-    let base_lat = latency_by_model(aurora);
-    let hw_lat = latency_by_model(hw_only);
-    let full_lat = latency_by_model(full);
-    let base_mem = dram_by_model(aurora);
-    let full_mem = dram_by_model(full);
+    let base_lat = latency_by_model(aurora.tasks());
+    let hw_lat = latency_by_model(hw_only.tasks());
+    let full_lat = latency_by_model(full.tasks());
+    let base_mem = dram_by_model(aurora.tasks());
+    let full_mem = dram_by_model(full.tasks());
 
     let abbrs: Vec<String> = camdn_models::zoo::all()
         .iter()

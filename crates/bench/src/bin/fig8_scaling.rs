@@ -8,7 +8,7 @@
 
 use camdn_bench::{cycling_workload, print_table, quick_mode, speedup_policies};
 use camdn_common::types::MIB;
-use camdn_runtime::{RunResult, Workload};
+use camdn_runtime::{RunOutput, Workload};
 use camdn_sweep::SweepBuilder;
 
 /// Runs a policies × points grid and prints the two Fig. 8 tables. The
@@ -25,7 +25,7 @@ fn sweep(
     let grid = grid.policies(speedup_policies()).run().expect("fig8 grid");
 
     // results[point][policy]
-    let mut results: Vec<Vec<Option<&RunResult>>> = vec![vec![None; n_policies]; labels.len()];
+    let mut results: Vec<Vec<Option<&RunOutput>>> = vec![vec![None; n_policies]; labels.len()];
     for cell in &grid.cells {
         results[point(&cell.coord)][cell.coord.policy] =
             Some(cell.outcome.as_ref().expect("fig8 cell"));
@@ -39,6 +39,7 @@ fn sweep(
             results[i][1].expect("hw-only cell"),
             results[i][2].expect("full cell"),
         );
+        let (base, hw, full) = (&base.summary, &hw.summary, &full.summary);
         let lat_red = 100.0 * (1.0 - full.avg_latency_ms / base.avg_latency_ms.max(1e-9));
         let mem_red = 100.0 * (1.0 - full.mem_mb_per_model / base.mem_mb_per_model.max(1e-9));
         lat_rows.push(vec![

@@ -6,7 +6,7 @@
 //! 2.5× and 3.0× on average over the baselines.
 
 use camdn_bench::{isolated_latencies, print_table, qos_workload, quick_mode};
-use camdn_runtime::{qos_metrics, PolicyKind, QosMetrics, Workload};
+use camdn_runtime::{qos_metrics, DetailLevel, PolicyKind, QosMetrics, Workload};
 use camdn_sweep::Sweep;
 
 fn main() {
@@ -25,6 +25,7 @@ fn main() {
         .policies(policies)
         .qos_scales(levels.iter().map(|&(_, s)| s))
         .workload("qos8", Workload::closed(workload, rounds))
+        .detail(DetailLevel::Tasks)
         .run()
         .expect("fig9 grid");
 
@@ -32,7 +33,8 @@ fn main() {
     let mut metrics: Vec<Vec<Option<QosMetrics>>> = vec![vec![None; policies.len()]; levels.len()];
     for cell in &grid.cells {
         let r = cell.outcome.as_ref().expect("fig9 cell");
-        metrics[cell.coord.qos][cell.coord.policy] = Some(qos_metrics(r, &iso));
+        metrics[cell.coord.qos][cell.coord.policy] =
+            Some(qos_metrics(r.tasks(), &iso).expect("one isolated latency per task"));
     }
 
     let mut rows = Vec::new();

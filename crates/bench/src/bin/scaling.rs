@@ -1,0 +1,272 @@
+//! Scaling studies on top of the streaming sweep subsystem (the
+//! ROADMAP's heavy-traffic item):
+//!
+//! 1. **Poisson rate ramp** — open-loop traffic at rising request
+//!    rates, multiple seeds per cell, folded into mean ± 95% CI by
+//!    [`SeedAggregate`]; reports each policy's *knee* (the first rate
+//!    whose mean response time exceeds 2× its low-rate latency). The
+//!    ramp grid is streamed to a `camdn-sweep-cells/1` JSONL log, so a
+//!    killed run resumes via `Sweep::grid()...resume(path)`.
+//! 2. **256 co-located tenants** — `cycling_workload(256)` through the
+//!    three speedup policies, summary-only cells (memory stays flat no
+//!    matter the tenant count).
+//! 3. **SoC design space** — NPU count × cache capacity under
+//!    CaMDN(Full) vs the shared baseline.
+//!
+//! Usage: `cargo run --release -p camdn-bench --bin scaling`
+//!
+//! * `CAMDN_QUICK=1` — reduced grids (CI smoke mode).
+//! * `CAMDN_BENCH_OUT=<path>` — JSON output (default `BENCH_scaling.json`).
+//! * `CAMDN_SCALING_CELLS=<path>` — rate-ramp cell log
+//!   (default `BENCH_scaling_cells.jsonl`).
+//! * `CAMDN_SCALING_RESUME=1` — keep an existing cell log and resume
+//!   the ramp from it (default: start fresh by deleting the log).
+
+use camdn_bench::{cycling_workload, print_table, quick_mode, speedup_policies};
+use camdn_common::types::MIB;
+use camdn_common::SocConfig;
+use camdn_models::zoo;
+use camdn_runtime::Workload;
+use camdn_sweep::{SeedStats, Sweep, SweepResult};
+use std::fmt::Write as _;
+
+/// Latency multiple over the lowest-rate mean that marks the knee.
+const KNEE_FACTOR: f64 = 2.0;
+
+struct RampPoint {
+    policy: String,
+    rate: f64,
+    stats: SeedStats,
+}
+
+fn rate_ramp(quick: bool, cells_path: &str) -> (SweepResult, Vec<RampPoint>, Vec<(String, f64)>) {
+    let (rates, seeds, horizon_ms): (Vec<f64>, Vec<u64>, f64) = if quick {
+        (vec![0.02, 0.08], vec![1, 2], 40.0)
+    } else {
+        (
+            vec![0.01, 0.02, 0.04, 0.08, 0.16],
+            vec![1, 2, 3, 4, 5],
+            120.0,
+        )
+    };
+    let models = if quick {
+        vec![zoo::mobilenet_v2(), zoo::efficientnet_b0()]
+    } else {
+        zoo::all()
+    };
+    let grid = Sweep::grid()
+        .policies(speedup_policies())
+        .workloads(rates.iter().map(|&r| {
+            (
+                format!("poisson@{r}"),
+                Workload::poisson(models.clone(), r, horizon_ms),
+            )
+        }))
+        .seeds(seeds)
+        .resume(cells_path)
+        .expect("rate-ramp grid");
+    assert_eq!(
+        grid.ok_count(),
+        grid.cells.len(),
+        "ramp must have no errors"
+    );
+
+    let stats = grid.seed_stats();
+    let mut points = Vec::new();
+    for s in &stats {
+        points.push(RampPoint {
+            policy: grid.axes.policies[s.coord.policy].clone(),
+            rate: rates[s.coord.workload],
+            stats: *s,
+        });
+    }
+
+    // Knee per policy: the first rate whose mean latency exceeds
+    // KNEE_FACTOR x the lowest-rate mean (response time includes
+    // queueing, so saturation shows up as a latency blow-up).
+    let mut knees = Vec::new();
+    for policy in &grid.axes.policies {
+        let series: Vec<&RampPoint> = points
+            .iter()
+            .filter(|p| grid.axes.policies[p.stats.coord.policy] == *policy)
+            .collect();
+        let base = series
+            .iter()
+            .find(|p| p.stats.coord.workload == 0)
+            .map(|p| p.stats.avg_latency_ms.mean)
+            .unwrap_or(0.0);
+        let knee = series
+            .iter()
+            .find(|p| p.stats.avg_latency_ms.mean > KNEE_FACTOR * base)
+            .map(|p| p.rate)
+            .unwrap_or(f64::INFINITY);
+        knees.push((policy.clone(), knee));
+    }
+    (grid, points, knees)
+}
+
+fn tenants_study(quick: bool) -> SweepResult {
+    let n = if quick { 32 } else { 256 };
+    Sweep::grid()
+        .policies(speedup_policies())
+        .workload(
+            format!("{n}tenant"),
+            Workload::closed(cycling_workload(n), 2),
+        )
+        .run()
+        .expect("tenant grid")
+}
+
+fn soc_grid(quick: bool) -> SweepResult {
+    let (npus, cache_mibs): (Vec<u32>, Vec<u64>) = if quick {
+        (vec![4, 16], vec![8, 32])
+    } else {
+        (vec![2, 4, 8, 16, 32], vec![4, 8, 16, 32, 64])
+    };
+    let mut grid = Sweep::grid().policies([
+        camdn_runtime::PolicyKind::SharedBaseline,
+        camdn_runtime::PolicyKind::CamdnFull,
+    ]);
+    for &cores in &npus {
+        let mut soc = SocConfig::paper_default();
+        soc.npu.cores = cores;
+        grid = grid.soc(format!("{cores}npu"), soc);
+    }
+    grid.cache_bytes(cache_mibs.iter().map(|mb| mb * MIB))
+        .workload("8dnn", Workload::closed(cycling_workload(8), 2))
+        .run()
+        .expect("soc grid")
+}
+
+fn main() {
+    let quick = quick_mode();
+    let cells_path =
+        std::env::var("CAMDN_SCALING_CELLS").unwrap_or_else(|_| "BENCH_scaling_cells.jsonl".into());
+    // A fresh invocation starts a fresh ramp; a kill mid-grid leaves
+    // the log resumable by re-running the binary with the log intact.
+    if std::env::var("CAMDN_SCALING_RESUME").map_or(true, |v| v.trim() == "0") {
+        std::fs::remove_file(&cells_path).ok();
+    }
+
+    // --- 1. Poisson rate ramp -------------------------------------
+    let (ramp, points, knees) = rate_ramp(quick, &cells_path);
+    let mut rows = Vec::new();
+    for p in &points {
+        rows.push(vec![
+            p.policy.clone(),
+            format!("{}", p.rate),
+            format!(
+                "{:.2} ± {:.2}",
+                p.stats.avg_latency_ms.mean, p.stats.avg_latency_ms.ci95
+            ),
+            format!("{:.2}", p.stats.avg_latency_ms.stddev),
+            format!("{}", p.stats.n),
+        ]);
+    }
+    print_table(
+        "Scaling 1 — Poisson rate ramp (mean response ± 95% CI over seeds)",
+        &["policy", "req/ms/task", "latency (ms)", "stddev", "seeds"],
+        &rows,
+    );
+    for (policy, knee) in &knees {
+        if knee.is_finite() {
+            println!("{policy}: knee at {knee} req/ms/task (> {KNEE_FACTOR}x low-rate latency)");
+        } else {
+            println!("{policy}: no knee inside the swept rates");
+        }
+    }
+
+    // --- 2. 256 co-located tenants --------------------------------
+    let tenants = tenants_study(quick);
+    let mut rows = Vec::new();
+    for cell in &tenants.cells {
+        let r = cell.outcome.as_ref().expect("tenant cell");
+        rows.push(vec![
+            r.policy.clone(),
+            format!("{}", r.summary.tasks),
+            format!("{:.2}", r.summary.avg_latency_ms),
+            format!("{:.1}", r.summary.mem_mb_per_model),
+            format!("{:.3}", r.summary.cache_hit_rate),
+            format!("{:.1}", r.summary.makespan_ms),
+        ]);
+    }
+    print_table(
+        "Scaling 2 — co-located tenants (summary-only cells)",
+        &[
+            "policy",
+            "tenants",
+            "avg lat (ms)",
+            "MB/model",
+            "hit rate",
+            "makespan (ms)",
+        ],
+        &rows,
+    );
+
+    // --- 3. NPU count x cache size --------------------------------
+    let soc = soc_grid(quick);
+    let mut rows = Vec::new();
+    for cell in &soc.cells {
+        let r = cell.outcome.as_ref().expect("soc cell");
+        rows.push(vec![
+            soc.axes.policies[cell.coord.policy].clone(),
+            soc.axes.socs[cell.coord.soc].clone(),
+            soc.axes.caches[cell.coord.cache].clone(),
+            format!("{:.2}", r.summary.avg_latency_ms),
+            format!("{:.1}", r.summary.mem_mb_per_model),
+        ]);
+    }
+    print_table(
+        "Scaling 3 — SoC design space (NPU count x cache size, 8 DNNs)",
+        &["policy", "NPUs", "cache", "avg lat (ms)", "MB/model"],
+        &rows,
+    );
+
+    // --- BENCH_scaling.json ---------------------------------------
+    let mut ramp_json = String::new();
+    for (i, p) in points.iter().enumerate() {
+        let m = &p.stats.avg_latency_ms;
+        let _ = write!(
+            ramp_json,
+            "{}      {{\"policy\": \"{}\", \"rate_per_ms\": {}, \"seeds\": {}, \
+             \"mean_latency_ms\": {:.6}, \"stddev_ms\": {:.6}, \"ci95_ms\": {:.6}, \
+             \"mean_mem_mb\": {:.6}}}",
+            if i == 0 { "" } else { ",\n" },
+            p.policy,
+            p.rate,
+            p.stats.n,
+            m.mean,
+            m.stddev,
+            m.ci95,
+            p.stats.mem_mb_per_model.mean,
+        );
+    }
+    let knees_json: Vec<String> = knees
+        .iter()
+        .map(|(policy, knee)| {
+            format!(
+                "{{\"policy\": \"{policy}\", \"knee_rate_per_ms\": {}}}",
+                if knee.is_finite() {
+                    format!("{knee}")
+                } else {
+                    "null".into()
+                }
+            )
+        })
+        .collect();
+    let json = format!(
+        "{{\n  \"schema\": \"camdn-bench-scaling/1\",\n  \"quick\": {},\n  \
+         \"rate_ramp\": {{\n    \"cells_log\": \"{}\",\n    \"knees\": [{}],\n    \"points\": [\n{}\n    ],\n{}\n  }},\n  \
+         \"tenants\": {{\n{}\n  }},\n  \"soc_grid\": {{\n{}\n  }}\n}}\n",
+        quick,
+        cells_path,
+        knees_json.join(", "),
+        ramp_json,
+        ramp.json_body(4),
+        tenants.json_body(4),
+        soc.json_body(4),
+    );
+    let out = std::env::var("CAMDN_BENCH_OUT").unwrap_or_else(|_| "BENCH_scaling.json".into());
+    std::fs::write(&out, json).expect("write BENCH_scaling.json");
+    println!("\nwrote {out} (+ cell log {cells_path})");
+}

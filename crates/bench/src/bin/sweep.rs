@@ -104,7 +104,7 @@ fn main() {
     let mut rows = Vec::new();
     for cell in &shared.cells {
         let c = &cell.coord;
-        let r = cell.outcome.as_ref().expect("checked above");
+        let r = &cell.outcome.as_ref().expect("checked above").summary;
         rows.push(vec![
             shared.axes.policies[c.policy].clone(),
             shared.axes.caches[c.cache].clone(),

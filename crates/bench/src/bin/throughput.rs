@@ -15,7 +15,7 @@
 
 use camdn_bench::{quick_mode, speedup_workload};
 use camdn_models::zoo;
-use camdn_runtime::{PolicyKind, RunResult, Simulation, Workload};
+use camdn_runtime::{PolicyKind, RunOutput, Simulation, Workload};
 use camdn_sweep::run_cells;
 
 struct Scenario {
@@ -78,7 +78,7 @@ fn scenarios(quick: bool) -> Vec<Scenario> {
 /// Runs one scenario through both memory models on the sweep executor
 /// (one worker: the wall-clock numbers must not contend), returning
 /// `(reference, batched)` with per-cell wall seconds.
-fn run_pair(sc: &Scenario) -> ((RunResult, f64), (RunResult, f64)) {
+fn run_pair(sc: &Scenario) -> ((RunOutput, f64), (RunOutput, f64)) {
     let mk = |reference| {
         Simulation::builder()
             .policy(sc.policy)
@@ -107,7 +107,7 @@ fn main() {
             "{}: batched result diverged from the reference model",
             sc.name
         );
-        let sim_cycles = camdn_common::types::ms_to_cycles(r_fast.makespan_ms);
+        let sim_cycles = camdn_common::types::ms_to_cycles(r_fast.summary.makespan_ms);
         let cps_fast = sim_cycles as f64 / wall_fast.max(1e-9);
         let cps_ref = sim_cycles as f64 / wall_ref.max(1e-9);
         let speedup = cps_fast / cps_ref.max(1e-9);
@@ -132,7 +132,7 @@ fn main() {
             ),
             sc.name,
             sc.policy.name(),
-            r_fast.tasks.len(),
+            r_fast.summary.tasks,
             sim_cycles,
             wall_fast,
             wall_ref,

@@ -12,6 +12,7 @@
 //! | `fig9_qos` | Fig. 9: SLA / STP / fairness at QoS-H/M/L |
 //! | `table3_area` | Table III: area breakdown |
 //! | `sweep` | fig8-style grid through `Sweep::grid()` → `BENCH_sweep.json` |
+//! | `scaling` | rate ramp / tenant / SoC scaling studies → `BENCH_scaling.json` |
 //! | `throughput` | engine throughput, batched vs reference → `BENCH_engine.json` |
 //!
 //! Set `CAMDN_QUICK=1` to run reduced sweeps (used by CI and the
@@ -26,9 +27,12 @@
 //! `BENCH_sweep.json`.
 
 #![warn(missing_docs)]
+#![deny(deprecated)]
 
 use camdn_models::Model;
-use camdn_runtime::{EngineError, PolicyKind, RunResult, Simulation, SimulationBuilder, Workload};
+use camdn_runtime::{
+    EngineError, PolicyKind, Simulation, SimulationBuilder, TaskSummary, Workload,
+};
 use std::collections::HashMap;
 
 /// True when the `CAMDN_QUICK` environment variable requests reduced
@@ -96,17 +100,18 @@ pub fn isolated_latencies(policy: PolicyKind) -> Result<HashMap<String, f64>, En
             .policy(policy)
             .workload(Workload::closed(vec![m], 2))
             .run()?;
-        for t in &r.tasks {
+        for t in r.tasks() {
             out.insert(t.abbr.clone(), t.mean_latency_ms);
         }
     }
     Ok(out)
 }
 
-/// Mean latency per model abbreviation over the tasks of a run.
-pub fn latency_by_model(result: &RunResult) -> HashMap<String, f64> {
+/// Mean latency per model abbreviation over the per-task summaries of
+/// a run (see [`RunOutput::tasks`](camdn_runtime::RunOutput::tasks)).
+pub fn latency_by_model(tasks: &[TaskSummary]) -> HashMap<String, f64> {
     let mut sums: HashMap<String, (f64, u32)> = HashMap::new();
-    for t in &result.tasks {
+    for t in tasks {
         let e = sums.entry(t.abbr.clone()).or_insert((0.0, 0));
         e.0 += t.mean_latency_ms;
         e.1 += 1;
@@ -116,10 +121,11 @@ pub fn latency_by_model(result: &RunResult) -> HashMap<String, f64> {
         .collect()
 }
 
-/// Mean DRAM MB per model abbreviation over the tasks of a run.
-pub fn dram_by_model(result: &RunResult) -> HashMap<String, f64> {
+/// Mean DRAM MB per model abbreviation over the per-task summaries of
+/// a run.
+pub fn dram_by_model(tasks: &[TaskSummary]) -> HashMap<String, f64> {
     let mut sums: HashMap<String, (f64, u32)> = HashMap::new();
-    for t in &result.tasks {
+    for t in tasks {
         let e = sums.entry(t.abbr.clone()).or_insert((0.0, 0));
         e.0 += t.mean_dram_mb;
         e.1 += 1;
@@ -147,7 +153,8 @@ pub fn dram_by_model(result: &RunResult) -> HashMap<String, f64> {
     since = "0.3.0",
     note = "use `camdn_sweep::Sweep::grid()` or `camdn_sweep::run_cells` for per-cell errors"
 )]
-pub fn parallel_sims(builders: Vec<SimulationBuilder>) -> Vec<RunResult> {
+#[allow(deprecated)]
+pub fn parallel_sims(builders: Vec<SimulationBuilder>) -> Vec<camdn_runtime::RunResult> {
     let runs = camdn_sweep::run_cells(builders, None);
     let failures: Vec<String> = runs
         .iter()
@@ -162,7 +169,12 @@ pub fn parallel_sims(builders: Vec<SimulationBuilder>) -> Vec<RunResult> {
         failures.join("\n")
     );
     runs.into_iter()
-        .map(|r| r.outcome.expect("checked above"))
+        .map(|r| {
+            r.outcome
+                .expect("checked above")
+                .legacy_result()
+                .expect("builder cells retain per-task detail by default")
+        })
         .collect()
 }
 
@@ -172,7 +184,9 @@ pub fn parallel_sims(builders: Vec<SimulationBuilder>) -> Vec<RunResult> {
     note = "use `camdn_sweep::Sweep::grid()` or `camdn_sweep::run_cells` with `SimulationBuilder`s"
 )]
 #[allow(deprecated)]
-pub fn parallel_runs(configs: Vec<(camdn_runtime::EngineConfig, Vec<Model>)>) -> Vec<RunResult> {
+pub fn parallel_runs(
+    configs: Vec<(camdn_runtime::EngineConfig, Vec<Model>)>,
+) -> Vec<camdn_runtime::RunResult> {
     parallel_sims(
         configs
             .into_iter()

@@ -36,6 +36,7 @@
 //! ```
 
 #![warn(missing_docs)]
+#![deny(deprecated)]
 
 pub mod geometry;
 pub mod nec;

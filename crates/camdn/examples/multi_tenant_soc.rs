@@ -30,10 +30,10 @@ fn main() {
         println!(
             "{:16} {:>8.1}% {:>9.2} ms {:>11.1} MB {:>9.1} MB",
             r.policy,
-            100.0 * r.cache_hit_rate,
-            r.avg_latency_ms,
-            r.mem_mb_per_model,
-            r.multicast_saved_mb
+            100.0 * r.summary.cache_hit_rate,
+            r.summary.avg_latency_ms,
+            r.summary.mem_mb_per_model,
+            r.summary.multicast_saved_mb
         );
     }
 }

@@ -21,7 +21,7 @@ fn main() {
                 .workload(Workload::closed(vec![m.clone()], 2))
                 .run()
                 .expect("isolated run")
-                .tasks[0]
+                .tasks()[0]
                 .mean_latency_ms
         })
         .collect();
@@ -38,7 +38,7 @@ fn main() {
             .workload(Workload::closed(tenants.clone(), 3))
             .run()
             .expect("qos run");
-        let q = qos_metrics(&r, &iso);
+        let q = qos_metrics(r.tasks(), &iso).expect("one isolated latency per task");
         println!(
             "{:16} {:>9.1}% {:>8.2} {:>10.2}",
             r.policy,

@@ -18,10 +18,11 @@ fn main() {
             .run()
             .expect("valid configuration");
         println!("{}:", result.policy);
-        println!("  cache hit rate     {:.1}%", 100.0 * result.cache_hit_rate);
-        println!("  avg model latency  {:.2} ms", result.avg_latency_ms);
-        println!("  DRAM per inference {:.1} MB", result.mem_mb_per_model);
-        for t in &result.tasks {
+        let s = &result.summary;
+        println!("  cache hit rate     {:.1}%", 100.0 * s.cache_hit_rate);
+        println!("  avg model latency  {:.2} ms", s.avg_latency_ms);
+        println!("  DRAM per inference {:.1} MB", s.mem_mb_per_model);
+        for t in result.tasks() {
             println!(
                 "    {:3}  {:.2} ms, {:.1} MB DRAM",
                 t.abbr, t.mean_latency_ms, t.mean_dram_mb

@@ -13,7 +13,7 @@
 //!     .workload(Workload::closed(models, 2))
 //!     .run()
 //!     .expect("valid configuration");
-//! println!("{}: {:.2} ms", result.policy, result.avg_latency_ms);
+//! println!("{}: {:.2} ms", result.policy, result.summary.avg_latency_ms);
 //! ```
 //!
 //! Grid experiments (policies × SoCs × cache sizes × workloads ×
@@ -38,6 +38,8 @@
 //! [`camdn_dram`], [`camdn_npu`], [`camdn_analysis`] and
 //! [`camdn_common`].
 
+#![deny(deprecated)]
+
 pub use camdn_analysis as analysis;
 pub use camdn_cache as cache;
 pub use camdn_common as common;
@@ -50,8 +52,14 @@ pub use camdn_runtime as runtime;
 pub use camdn_sweep as sweep;
 
 pub use camdn_mapper::{PlanCache, PlanCacheStats};
+#[allow(deprecated)]
+pub use camdn_runtime::RunResult;
 pub use camdn_runtime::{
-    register_policy, ArrivalProcess, EngineError, Policy, PolicyKind, PolicyRegistry, RunResult,
-    Simulation, SimulationBuilder, Workload,
+    qos_metrics, register_policy, ArrivalProcess, DetailLevel, EngineError, Policy, PolicyKind,
+    PolicyRegistry, QosMetrics, RunDetail, RunOutput, RunSummary, Simulation, SimulationBuilder,
+    TaskSummary, Workload,
 };
-pub use camdn_sweep::{CellCoord, Sweep, SweepBuilder, SweepCell, SweepResult};
+pub use camdn_sweep::{
+    CellCoord, CellOutcome, CellSink, JsonlSink, MemorySink, MetricStats, SeedAggregate, SeedStats,
+    Sweep, SweepBuilder, SweepCell, SweepInfo, SweepResult,
+};

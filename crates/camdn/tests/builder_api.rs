@@ -6,7 +6,7 @@ use camdn::models::zoo;
 use camdn::runtime::{
     register_policy, EngineError, Policy, PolicyCapabilities, PolicyRegistry, Selection,
 };
-use camdn::{PolicyKind, RunResult, Simulation, Workload};
+use camdn::{PolicyKind, Simulation, Workload};
 use camdn_common::types::Cycle;
 use camdn_mapper::Mct;
 
@@ -63,8 +63,8 @@ fn different_seeds_change_the_schedule() {
             .expect("run")
     };
     assert_ne!(
-        run(1).makespan_ms,
-        run(2).makespan_ms,
+        run(1).summary.makespan_ms,
+        run(2).summary.makespan_ms,
         "dispatch jitter must depend on the seed"
     );
 }
@@ -81,7 +81,7 @@ fn custom_policy_registers_and_simulates() {
         .run()
         .expect("custom policy run");
     assert_eq!(custom.policy, "NoOp(custom)");
-    assert!(custom.tasks.iter().all(|t| t.inferences == 1));
+    assert!(custom.tasks().iter().all(|t| t.inferences == 1));
 
     // With identical capabilities and selections, the custom no-op
     // matches the built-in baseline cycle for cycle.
@@ -90,8 +90,8 @@ fn custom_policy_registers_and_simulates() {
         .workload(Workload::closed(models, 2))
         .run()
         .expect("baseline run");
-    assert_eq!(custom.tasks, baseline.tasks);
-    assert_eq!(custom.makespan_ms, baseline.makespan_ms);
+    assert_eq!(custom.detail, baseline.detail);
+    assert_eq!(custom.summary, baseline.summary);
 }
 
 #[test]
@@ -103,7 +103,7 @@ fn policy_instance_bypasses_the_registry() {
         .run()
         .expect("instance run");
     assert_eq!(r.policy, "NoOp(custom)");
-    assert_eq!(r.tasks[0].inferences, 1);
+    assert_eq!(r.tasks()[0].inferences, 1);
 }
 
 #[test]
@@ -135,19 +135,20 @@ fn open_loop_scenarios_run_every_builtin() {
             .run()
             .expect("poisson run");
         assert!(
-            r.tasks.iter().any(|t| t.inferences > 0),
+            r.tasks().iter().any(|t| t.inferences > 0),
             "{policy:?} open loop must complete arrivals"
         );
     }
 }
 
 #[allow(deprecated)]
-fn shim_run(policy: PolicyKind, models: &[camdn::models::Model]) -> RunResult {
+fn shim_run(policy: PolicyKind, models: &[camdn::models::Model]) -> camdn::RunResult {
     use camdn::runtime::{simulate, EngineConfig};
     simulate(EngineConfig::speedup(policy), models)
 }
 
 #[test]
+#[allow(deprecated)]
 fn deprecated_shims_agree_with_the_builder() {
     // The EngineConfig/simulate shims and the builder drive the same
     // engine: identical knobs must give identical results, so existing
@@ -162,7 +163,9 @@ fn deprecated_shims_agree_with_the_builder() {
             .warmup_rounds(1)
             .epoch_cycles(200_000)
             .run()
-            .expect("builder run");
+            .expect("builder run")
+            .legacy_result()
+            .expect("default detail retains the per-task table");
         assert_eq!(old, new, "{policy:?} shim and builder must agree");
     }
 }

@@ -4,9 +4,9 @@
 use camdn::common::types::MIB;
 use camdn::common::SocConfig;
 use camdn::models::zoo;
-use camdn::{PolicyKind, RunResult, Simulation, Workload};
+use camdn::{PolicyKind, RunOutput, Simulation, Workload};
 
-fn quick(policy: PolicyKind, models: Vec<camdn::models::Model>) -> RunResult {
+fn quick(policy: PolicyKind, models: Vec<camdn::models::Model>) -> RunOutput {
     Simulation::builder()
         .policy(policy)
         .workload(Workload::closed(models, 2))
@@ -19,8 +19,9 @@ fn every_policy_completes_a_mixed_workload() {
     let models = vec![zoo::mobilenet_v2(), zoo::gnmt(), zoo::efficientnet_b0()];
     for policy in PolicyKind::ALL {
         let r = quick(policy, models.clone());
-        assert_eq!(r.tasks.len(), 3, "{policy:?}");
-        for t in &r.tasks {
+        assert_eq!(r.tasks().len(), 3, "{policy:?}");
+        assert_eq!(r.summary.tasks, 3, "{policy:?}");
+        for t in r.tasks() {
             assert_eq!(t.inferences, 1, "{policy:?}/{}", t.abbr);
             assert!(t.mean_latency_ms > 0.0);
         }
@@ -35,16 +36,16 @@ fn camdn_full_reduces_traffic_on_the_zoo_mix() {
     let base = quick(PolicyKind::Aurora, models.clone());
     let full = quick(PolicyKind::CamdnFull, models);
     assert!(
-        full.mem_mb_per_model < base.mem_mb_per_model,
+        full.summary.mem_mb_per_model < base.summary.mem_mb_per_model,
         "CaMDN {:.1} MB !< baseline {:.1} MB",
-        full.mem_mb_per_model,
-        base.mem_mb_per_model
+        full.summary.mem_mb_per_model,
+        base.summary.mem_mb_per_model
     );
     assert!(
-        full.avg_latency_ms < base.avg_latency_ms,
+        full.summary.avg_latency_ms < base.summary.avg_latency_ms,
         "CaMDN {:.2} ms !< baseline {:.2} ms",
-        full.avg_latency_ms,
-        base.avg_latency_ms
+        full.summary.avg_latency_ms,
+        base.summary.avg_latency_ms
     );
 }
 
@@ -63,10 +64,10 @@ fn camdn_full_beats_hw_only_on_intermediate_heavy_mix() {
     let hw = quick(PolicyKind::CamdnHwOnly, models.clone());
     let full = quick(PolicyKind::CamdnFull, models);
     assert!(
-        full.mem_mb_per_model < hw.mem_mb_per_model,
+        full.summary.mem_mb_per_model < hw.summary.mem_mb_per_model,
         "Full {:.1} MB !< HW-only {:.1} MB",
-        full.mem_mb_per_model,
-        hw.mem_mb_per_model
+        full.summary.mem_mb_per_model,
+        hw.summary.mem_mb_per_model
     );
 }
 
@@ -75,11 +76,11 @@ fn contention_degrades_the_baseline_not_camdn() {
     let lone = quick(PolicyKind::SharedBaseline, vec![zoo::efficientnet_b0()]);
     let crowd_models: Vec<_> = (0..8).map(|_| zoo::efficientnet_b0()).collect();
     let crowd = quick(PolicyKind::SharedBaseline, crowd_models.clone());
-    let ratio_base = crowd.tasks[0].mean_latency_ms / lone.tasks[0].mean_latency_ms;
+    let ratio_base = crowd.tasks()[0].mean_latency_ms / lone.tasks()[0].mean_latency_ms;
 
     let lone_c = quick(PolicyKind::CamdnFull, vec![zoo::efficientnet_b0()]);
     let crowd_c = quick(PolicyKind::CamdnFull, crowd_models);
-    let ratio_camdn = crowd_c.tasks[0].mean_latency_ms / lone_c.tasks[0].mean_latency_ms;
+    let ratio_camdn = crowd_c.tasks()[0].mean_latency_ms / lone_c.tasks()[0].mean_latency_ms;
 
     assert!(
         ratio_base > ratio_camdn,
@@ -102,12 +103,12 @@ fn scaling_cache_helps_the_baseline() {
     let small = run(4 * MIB);
     let big = run(64 * MIB);
     assert!(
-        big.cache_hit_rate > small.cache_hit_rate,
+        big.summary.cache_hit_rate > small.summary.cache_hit_rate,
         "hit rate {:.3} @64MB !> {:.3} @4MB",
-        big.cache_hit_rate,
-        small.cache_hit_rate
+        big.summary.cache_hit_rate,
+        small.summary.cache_hit_rate
     );
-    assert!(big.mem_mb_per_model < small.mem_mb_per_model);
+    assert!(big.summary.mem_mb_per_model < small.summary.mem_mb_per_model);
 }
 
 #[test]
@@ -122,7 +123,7 @@ fn qos_levels_order_sla_rates() {
             .workload(Workload::closed(models.clone(), 2))
             .run()
             .expect("qos run");
-        let sla: f64 = r.tasks.iter().map(|t| t.sla_rate).sum::<f64>() / r.tasks.len() as f64;
+        let sla: f64 = r.tasks().iter().map(|t| t.sla_rate).sum::<f64>() / r.tasks().len() as f64;
         rates.push(sla);
     }
     assert!(

@@ -1,17 +1,18 @@
 //! Whole-engine differential tests: the batched memory-system fast
 //! paths (closed-form DRAM bursts, two-pass cache ranges, analytic
 //! multicast replicas) must reproduce the per-line reference model
-//! **exactly** — identical `RunResult` aggregates, for every built-in
+//! **exactly** — identical `RunOutput` aggregates, for every built-in
 //! policy, across closed-loop, open-loop and QoS workloads.
 //!
-//! `RunResult` derives `PartialEq` over every field (per-task latencies,
-//! DRAM traffic, cache hit rate, makespan, multicast savings), so one
-//! equality assert covers the full observable surface of a run.
+//! `RunOutput` derives `PartialEq` over every field (the scalar
+//! summary plus, at the default detail level, per-task latencies and
+//! DRAM traffic), so one equality assert covers the full observable
+//! surface of a run.
 
 use camdn::models::zoo;
-use camdn::{PolicyKind, RunResult, Simulation, SimulationBuilder, Workload};
+use camdn::{PolicyKind, RunOutput, Simulation, SimulationBuilder, Workload};
 
-fn diff(build: impl Fn() -> SimulationBuilder) -> (RunResult, RunResult) {
+fn diff(build: impl Fn() -> SimulationBuilder) -> (RunOutput, RunOutput) {
     let fast = build().reference_model(false).run().expect("batched run");
     let refm = build().reference_model(true).run().expect("reference run");
     (fast, refm)

@@ -8,7 +8,7 @@
 use camdn::common::types::MIB;
 use camdn::runtime::{Policy, PolicyCapabilities, Selection};
 use camdn::sweep::run_cells;
-use camdn::{EngineError, PolicyKind, RunResult, Simulation, Sweep, Workload};
+use camdn::{DetailLevel, EngineError, PolicyKind, RunOutput, Simulation, Sweep, Workload};
 use camdn_models::zoo;
 
 fn small() -> Vec<camdn_models::Model> {
@@ -20,7 +20,7 @@ fn pair() -> Vec<camdn_models::Model> {
 }
 
 /// Serial ground truth for one (policy, cache-bytes, workload) cell.
-fn serial(policy: PolicyKind, cache: u64, models: Vec<camdn_models::Model>) -> RunResult {
+fn serial(policy: PolicyKind, cache: u64, models: Vec<camdn_models::Model>) -> RunOutput {
     Simulation::builder()
         .policy(policy)
         .soc(camdn::common::SocConfig::paper_default().with_cache_bytes(cache))
@@ -46,6 +46,7 @@ fn grid_cells_match_serial_runs_bit_for_bit() {
                     .map(|(l, m)| (l.to_string(), Workload::closed(m.clone(), 2))),
             )
             .shared_plan_cache(shared_cache)
+            .detail(DetailLevel::Tasks)
             .run()
             .expect("grid");
         assert_eq!(grid.cells.len(), 8);
@@ -79,6 +80,7 @@ fn order_is_preserved_under_thread_oversubscription() {
         .workload("mb", Workload::closed(small(), 2))
         .seeds(seeds.clone())
         .threads(8)
+        .detail(DetailLevel::Tasks)
         .run()
         .expect("seed grid");
     assert_eq!(grid.cells.len(), seeds.len());
@@ -109,6 +111,7 @@ fn error_cells_do_not_disturb_their_neighbors() {
         .workload("good", Workload::closed(small(), 2))
         .workload("empty", Workload::closed(vec![], 2))
         .workload("also-good", Workload::closed(pair(), 2))
+        .detail(DetailLevel::Tasks)
         .run()
         .expect("grid with a broken cell");
     assert_eq!(grid.cells.len(), 6);

@@ -22,6 +22,7 @@
 //! ```
 
 #![warn(missing_docs)]
+#![deny(deprecated)]
 
 pub mod config;
 pub mod event;

@@ -185,6 +185,80 @@ impl MeanTracker {
     }
 }
 
+/// Streaming mean/variance accumulator (Welford's algorithm), used by
+/// the sweep layer's multi-seed statistics.
+///
+/// Numerically stable one-pass updates; `stddev` is the *sample*
+/// standard deviation (`n - 1` denominator) and [`Welford::ci95`] the
+/// half-width of the two-sided 95% Student-t confidence interval of
+/// the mean.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct Welford {
+    n: u64,
+    mean: f64,
+    m2: f64,
+}
+
+impl Welford {
+    /// Creates an empty accumulator.
+    pub fn new() -> Self {
+        Welford::default()
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, v: f64) {
+        self.n += 1;
+        let delta = v - self.mean;
+        self.mean += delta / self.n as f64;
+        self.m2 += delta * (v - self.mean);
+    }
+
+    /// Number of samples.
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+
+    /// Arithmetic mean (0.0 when empty).
+    pub fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    /// Sample standard deviation (0.0 with fewer than two samples).
+    pub fn stddev(&self) -> f64 {
+        if self.n < 2 {
+            0.0
+        } else {
+            (self.m2 / (self.n - 1) as f64).sqrt()
+        }
+    }
+
+    /// Half-width of the 95% confidence interval of the mean,
+    /// `t(0.975, n-1) * stddev / sqrt(n)` (0.0 with fewer than two
+    /// samples).
+    pub fn ci95(&self) -> f64 {
+        if self.n < 2 {
+            0.0
+        } else {
+            t95(self.n - 1) * self.stddev() / (self.n as f64).sqrt()
+        }
+    }
+}
+
+/// Two-sided 95% Student-t critical value for `df` degrees of freedom
+/// (the classic table for `df <= 30`, 1.96 asymptote beyond).
+pub fn t95(df: u64) -> f64 {
+    const TABLE: [f64; 30] = [
+        12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262, 2.228, 2.201, 2.179, 2.160,
+        2.145, 2.131, 2.120, 2.110, 2.101, 2.093, 2.086, 2.080, 2.074, 2.069, 2.064, 2.060, 2.056,
+        2.052, 2.048, 2.045, 2.042,
+    ];
+    match df {
+        0 => f64::INFINITY,
+        1..=30 => TABLE[(df - 1) as usize],
+        _ => 1.96,
+    }
+}
+
 /// Geometric mean of a slice of positive values (1.0 for empty input).
 pub fn geomean(values: &[f64]) -> f64 {
     if values.is_empty() {
@@ -261,6 +335,42 @@ mod tests {
         assert!((m.mean() - 2.0).abs() < 1e-12);
         assert_eq!(m.min(), 1.0);
         assert_eq!(m.max(), 3.0);
+    }
+
+    #[test]
+    fn welford_matches_two_pass_statistics() {
+        // Fixture: {10, 12, 14} -> mean 12, sample stddev 2, and a 95%
+        // CI half-width of t(0.975, 2) * 2 / sqrt(3) = 4.303 * 1.1547.
+        let mut w = Welford::new();
+        for v in [10.0, 12.0, 14.0] {
+            w.record(v);
+        }
+        assert_eq!(w.count(), 3);
+        assert!((w.mean() - 12.0).abs() < 1e-12);
+        assert!((w.stddev() - 2.0).abs() < 1e-12);
+        assert!((w.ci95() - 4.303 * 2.0 / 3.0_f64.sqrt()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn welford_degenerate_counts_are_nan_free() {
+        let mut w = Welford::new();
+        assert_eq!(w.mean(), 0.0);
+        assert_eq!(w.stddev(), 0.0);
+        assert_eq!(w.ci95(), 0.0);
+        w.record(7.5);
+        assert_eq!(w.mean(), 7.5);
+        assert_eq!(w.stddev(), 0.0, "one sample has no spread");
+        assert_eq!(w.ci95(), 0.0);
+    }
+
+    #[test]
+    fn t_table_endpoints() {
+        assert_eq!(t95(0), f64::INFINITY);
+        assert!((t95(1) - 12.706).abs() < 1e-9);
+        assert!((t95(2) - 4.303).abs() < 1e-9);
+        assert!((t95(30) - 2.042).abs() < 1e-9);
+        assert_eq!(t95(31), 1.96);
+        assert_eq!(t95(10_000), 1.96);
     }
 
     #[test]

@@ -47,6 +47,7 @@
 //! ```
 
 #![warn(missing_docs)]
+#![deny(deprecated)]
 
 use camdn_common::config::DramConfig;
 use camdn_common::stats::Counter;

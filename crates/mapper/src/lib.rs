@@ -27,6 +27,7 @@
 //! ```
 
 #![warn(missing_docs)]
+#![deny(deprecated)]
 
 pub mod cache;
 pub mod candidate;

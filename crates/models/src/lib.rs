@@ -23,6 +23,7 @@
 //! ```
 
 #![warn(missing_docs)]
+#![deny(deprecated)]
 
 pub mod layer;
 pub mod model;

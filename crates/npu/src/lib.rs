@@ -27,6 +27,7 @@
 //! ```
 
 #![warn(missing_docs)]
+#![deny(deprecated)]
 
 pub mod compute;
 pub mod core;

@@ -21,10 +21,12 @@ use crate::policies::{
     builtin_policy, AllocFailure, EpochSlot, InstallEvent, PartitionCtx, Policy,
     PolicyCapabilities, Selection,
 };
+use crate::result::{DetailLevel, RunDetail, RunOutput, RunSummary, TaskSummary};
 use crate::scenario::Workload;
 use crate::task::{InferenceRecord, Task, TaskState};
 use camdn_cache::{Nec, SharedCache};
 use camdn_common::config::SocConfig;
+use camdn_common::stats::Histogram;
 use camdn_common::types::{cycles_to_ms, ms_to_cycles, Cycle};
 use camdn_common::{EventQueue, SimRng};
 use camdn_core::{
@@ -159,6 +161,8 @@ impl EngineConfig {
             epoch_cycles: self.epoch_cycles,
             mapper: self.mapper.clone(),
             reference_model: false,
+            // The pre-split API always returned the per-task table.
+            detail: DetailLevel::Tasks,
         }
     }
 }
@@ -176,43 +180,9 @@ pub(crate) struct SimParams {
     /// model instead of the batched fast paths (differential testing
     /// and benchmarking only — results are bit-identical).
     pub reference_model: bool,
-}
-
-/// Per-task summary of a run.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
-pub struct TaskSummary {
-    /// Model abbreviation (Table I).
-    pub abbr: String,
-    /// QoS target in ms.
-    pub qos_ms: f64,
-    /// Measured inferences (after warm-up).
-    pub inferences: usize,
-    /// Mean end-to-end latency, ms.
-    pub mean_latency_ms: f64,
-    /// Mean DRAM traffic per inference, MB.
-    pub mean_dram_mb: f64,
-    /// SLA satisfaction rate (QoS mode).
-    pub sla_rate: f64,
-}
-
-/// Aggregate result of one engine run.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
-pub struct RunResult {
-    /// Label of the policy that produced this result.
-    pub policy: String,
-    /// Per-task summaries in task order.
-    pub tasks: Vec<TaskSummary>,
-    /// Shared-cache hit rate (transparent path for baselines; controlled
-    /// hits over all NPU line movements for CaMDN).
-    pub cache_hit_rate: f64,
-    /// Mean of per-task mean latencies, ms.
-    pub avg_latency_ms: f64,
-    /// Mean DRAM traffic per model inference, MB.
-    pub mem_mb_per_model: f64,
-    /// Wall-clock span of the simulation, ms.
-    pub makespan_ms: f64,
-    /// Line transfers saved by multicast, MB.
-    pub multicast_saved_mb: f64,
+    /// How much output to retain ([`RunSummary`] only, plus the
+    /// per-task table, or everything including latency histograms).
+    pub detail: DetailLevel,
 }
 
 /// The multi-tenant discrete-event engine.
@@ -447,7 +417,7 @@ impl Engine {
     }
 
     /// Runs the simulation to completion and aggregates the results.
-    pub fn run(&mut self) -> Result<RunResult, EngineError> {
+    pub fn run(&mut self) -> Result<RunOutput, EngineError> {
         if self.started {
             return Err(EngineError::InvalidConfig(
                 "engine already ran; build a fresh Simulation".into(),
@@ -1065,7 +1035,7 @@ impl Engine {
     // Aggregation
     // ---------------------------------------------------------------
 
-    fn aggregate(&self) -> RunResult {
+    fn aggregate(&self) -> RunOutput {
         // Warm-up is a closed-loop concept (discard the cold leading
         // rounds of a fixed schedule). Open-loop tasks draw variable
         // request counts — skipping records there would silently zero
@@ -1075,29 +1045,48 @@ impl Engine {
         } else {
             0
         };
-        let mut tasks = Vec::with_capacity(self.tasks.len());
+        // The summary is computed from the same per-task means at every
+        // detail level, so a summary-only run is bit-for-bit the
+        // `summary` of a detailed run.
+        let want_tasks = self.params.detail >= DetailLevel::Tasks;
+        let mut hist = (self.params.detail >= DetailLevel::Full)
+            .then(|| Histogram::new(&crate::result::LATENCY_HIST_EDGES));
+        let mut tasks = Vec::with_capacity(if want_tasks { self.tasks.len() } else { 0 });
         let mut lat_sum = 0.0;
         let mut dram_sum = 0.0;
         let mut measured_tasks = 0usize;
+        let mut inferences = 0usize;
+        let mut sla_num = 0.0;
         for t in &self.tasks {
             let model = &self.models[t.model_idx];
             let mean_lat = t.mean_latency(skip);
             let mean_dram = t.mean_dram_bytes(skip);
+            let measured = t.records.len().saturating_sub(skip);
+            let sla = t.sla_rate(skip);
             // An open-loop task may draw no arrivals; averaging its
             // phantom 0.0 latency in would deflate the run-level means.
-            if t.records.len() > skip {
+            if measured > 0 {
                 lat_sum += mean_lat;
                 dram_sum += mean_dram;
                 measured_tasks += 1;
             }
-            tasks.push(TaskSummary {
-                abbr: model.abbr.clone(),
-                qos_ms: model.qos_ms,
-                inferences: t.records.len().saturating_sub(skip),
-                mean_latency_ms: cycles_to_ms(mean_lat as Cycle),
-                mean_dram_mb: mean_dram / 1e6,
-                sla_rate: t.sla_rate(skip),
-            });
+            inferences += measured;
+            sla_num += sla * measured as f64;
+            if let Some(h) = &mut hist {
+                for r in &t.records[skip.min(t.records.len())..] {
+                    h.record(r.latency);
+                }
+            }
+            if want_tasks {
+                tasks.push(TaskSummary {
+                    abbr: model.abbr.clone(),
+                    qos_ms: model.qos_ms,
+                    inferences: measured,
+                    mean_latency_ms: cycles_to_ms(mean_lat as Cycle),
+                    mean_dram_mb: mean_dram / 1e6,
+                    sla_rate: sla,
+                });
+            }
         }
         // Guard the division: every task may have retired nothing
         // (e.g. a workload whose rounds never exceed the warm-up).
@@ -1118,16 +1107,29 @@ impl Engine {
         } else {
             self.cache.stats().hit_rate()
         };
-        RunResult {
-            policy: self.label.clone(),
-            tasks,
+        let summary = RunSummary {
+            tasks: self.tasks.len(),
+            inferences,
             cache_hit_rate,
             avg_latency_ms: cycles_to_ms((lat_sum / n) as Cycle),
             mem_mb_per_model: dram_sum / n / 1e6,
             makespan_ms: cycles_to_ms(self.now),
+            sla_rate: if inferences > 0 {
+                sla_num / inferences as f64
+            } else {
+                1.0
+            },
             multicast_saved_mb: self.nec.stats().multicast_saved_lines.get() as f64
                 * self.params.soc.cache.line_bytes as f64
                 / 1e6,
+        };
+        RunOutput {
+            policy: self.label.clone(),
+            summary,
+            detail: want_tasks.then_some(RunDetail {
+                tasks,
+                latency_hist: hist,
+            }),
         }
     }
 
@@ -1164,11 +1166,13 @@ pub fn workload(n: usize) -> Vec<Model> {
     note = "assemble runs with `Simulation::builder()` instead"
 )]
 #[allow(deprecated)]
-pub fn simulate(cfg: EngineConfig, task_models: &[Model]) -> RunResult {
+pub fn simulate(cfg: EngineConfig, task_models: &[Model]) -> crate::result::RunResult {
     let workload = Workload::closed(task_models.to_vec(), cfg.rounds_per_task);
     Engine::with_policy(cfg.params(), builtin_policy(cfg.policy), &workload, None)
         .and_then(|mut e| e.run())
         .expect("simulation failed")
+        .legacy_result()
+        .expect("the legacy params always retain the per-task table")
 }
 
 #[cfg(test)]
@@ -1177,7 +1181,7 @@ mod tests {
     use crate::sim::Simulation;
     use camdn_models::zoo;
 
-    fn quick(policy: PolicyKind, models: &[Model]) -> RunResult {
+    fn quick(policy: PolicyKind, models: &[Model]) -> RunOutput {
         Simulation::builder()
             .policy(policy)
             .workload(Workload::closed(models.to_vec(), 2))
@@ -1194,11 +1198,14 @@ mod tests {
             .warmup_rounds(0)
             .run()
             .unwrap();
-        assert_eq!(r.tasks.len(), 1);
-        assert_eq!(r.tasks[0].inferences, 2);
-        assert!(r.tasks[0].mean_latency_ms > 0.0);
-        assert!(r.tasks[0].mean_dram_mb > 0.0);
-        assert!(r.cache_hit_rate > 0.0, "refetches must hit the big cache");
+        assert_eq!(r.tasks().len(), 1);
+        assert_eq!(r.tasks()[0].inferences, 2);
+        assert!(r.tasks()[0].mean_latency_ms > 0.0);
+        assert!(r.tasks()[0].mean_dram_mb > 0.0);
+        assert!(
+            r.summary.cache_hit_rate > 0.0,
+            "refetches must hit the big cache"
+        );
     }
 
     #[test]
@@ -1209,9 +1216,9 @@ mod tests {
         // destroys with co-tenants.
         let r = quick(PolicyKind::SharedBaseline, &[zoo::mobilenet_v2()]);
         assert!(
-            r.tasks[0].mean_dram_mb < 1.0,
+            r.tasks()[0].mean_dram_mb < 1.0,
             "warm lone run should be almost DRAM-free, got {:.2} MB",
-            r.tasks[0].mean_dram_mb
+            r.tasks()[0].mean_dram_mb
         );
     }
 
@@ -1226,6 +1233,7 @@ mod tests {
             epoch_cycles: 200_000,
             mapper: MapperConfig::paper_default(),
             reference_model: false,
+            detail: DetailLevel::Tasks,
         };
         let mut engine = Engine::with_policy(
             params,
@@ -1235,7 +1243,7 @@ mod tests {
         )
         .unwrap();
         let r = engine.run().unwrap();
-        assert_eq!(r.tasks[0].inferences, 1);
+        assert_eq!(r.tasks()[0].inferences, 1);
         // All cache pages must be back after the run (no leaks).
         let (idle, total, claimed) = engine.debug_cache_state();
         assert_eq!(idle, total);
@@ -1253,10 +1261,10 @@ mod tests {
         let base = quick(PolicyKind::SharedBaseline, &models);
         let camdn = quick(PolicyKind::CamdnFull, &models);
         assert!(
-            camdn.mem_mb_per_model < base.mem_mb_per_model * 1.05,
+            camdn.summary.mem_mb_per_model < base.summary.mem_mb_per_model * 1.05,
             "CaMDN {:.1} MB vs baseline {:.1} MB",
-            camdn.mem_mb_per_model,
-            base.mem_mb_per_model
+            camdn.summary.mem_mb_per_model,
+            base.summary.mem_mb_per_model
         );
     }
 
@@ -1272,7 +1280,7 @@ mod tests {
     fn hw_only_policy_completes() {
         let models = vec![zoo::mobilenet_v2(), zoo::efficientnet_b0()];
         let r = quick(PolicyKind::CamdnHwOnly, &models);
-        assert!(r.tasks.iter().all(|t| t.inferences == 1));
+        assert!(r.tasks().iter().all(|t| t.inferences == 1));
     }
 
     #[test]
@@ -1284,9 +1292,10 @@ mod tests {
             .qos_scale(1.2)
             .run()
             .unwrap();
-        for t in &r.tasks {
+        for t in r.tasks() {
             assert!(t.sla_rate >= 0.0 && t.sla_rate <= 1.0);
         }
+        assert!(r.summary.sla_rate >= 0.0 && r.summary.sla_rate <= 1.0);
     }
 
     #[test]
@@ -1305,7 +1314,7 @@ mod tests {
             .workload(Workload::closed(models, 2))
             .run()
             .unwrap();
-        assert!(r.tasks.iter().all(|t| t.inferences == 1));
+        assert!(r.tasks().iter().all(|t| t.inferences == 1));
     }
 
     #[test]
@@ -1313,8 +1322,8 @@ mod tests {
         let one = quick(PolicyKind::SharedBaseline, &[zoo::efficientnet_b0()]);
         let crowd: Vec<Model> = (0..16).map(|_| zoo::efficientnet_b0()).collect();
         let many = quick(PolicyKind::SharedBaseline, &crowd);
-        let ef_alone = one.tasks[0].mean_latency_ms;
-        let ef_crowd = many.tasks[0].mean_latency_ms;
+        let ef_alone = one.tasks()[0].mean_latency_ms;
+        let ef_crowd = many.tasks()[0].mean_latency_ms;
         assert!(
             ef_crowd > ef_alone,
             "16 tenants ({ef_crowd:.2} ms) must be slower than 1 ({ef_alone:.2} ms)"
@@ -1331,8 +1340,8 @@ mod tests {
             .run()
             .unwrap();
         // ~5 expected arrivals per task; every drawn arrival must retire.
-        assert!(r.tasks.iter().any(|t| t.inferences > 0));
-        assert!(r.makespan_ms >= 0.0);
+        assert!(r.tasks().iter().any(|t| t.inferences > 0));
+        assert!(r.summary.makespan_ms >= 0.0);
     }
 
     #[test]
@@ -1346,17 +1355,17 @@ mod tests {
             .workload(Workload::poisson(models, 0.001, 10.0))
             .run()
             .unwrap();
-        let measured: Vec<_> = r.tasks.iter().filter(|t| t.inferences > 0).collect();
+        let measured: Vec<_> = r.tasks().iter().filter(|t| t.inferences > 0).collect();
         if measured.is_empty() {
-            assert_eq!(r.avg_latency_ms, 0.0);
+            assert_eq!(r.summary.avg_latency_ms, 0.0);
         } else {
             let mean: f64 =
                 measured.iter().map(|t| t.mean_latency_ms).sum::<f64>() / measured.len() as f64;
             // Tolerance covers the cycle-truncation in cycles_to_ms.
             assert!(
-                (r.avg_latency_ms - mean).abs() < 1e-5,
+                (r.summary.avg_latency_ms - mean).abs() < 1e-5,
                 "avg {:.4} != mean over measured tasks {:.4}",
-                r.avg_latency_ms,
+                r.summary.avg_latency_ms,
                 mean
             );
         }
@@ -1373,8 +1382,8 @@ mod tests {
             .workload(Workload::bursty(models, 1, 2, 0.0))
             .run()
             .unwrap();
-        assert_eq!(r.tasks[0].inferences, 2);
-        assert!(r.avg_latency_ms > 0.0);
+        assert_eq!(r.tasks()[0].inferences, 2);
+        assert!(r.summary.avg_latency_ms > 0.0);
     }
 
     #[test]
@@ -1396,10 +1405,10 @@ mod tests {
             .run()
             .unwrap();
         assert!(
-            burst.tasks[0].mean_latency_ms > closed.tasks[0].mean_latency_ms * 1.5,
+            burst.tasks()[0].mean_latency_ms > closed.tasks()[0].mean_latency_ms * 1.5,
             "queued burst {:.2} ms should far exceed per-dispatch {:.2} ms",
-            burst.tasks[0].mean_latency_ms,
-            closed.tasks[0].mean_latency_ms
+            burst.tasks()[0].mean_latency_ms,
+            closed.tasks()[0].mean_latency_ms
         );
     }
 
@@ -1417,6 +1426,7 @@ mod tests {
             epoch_cycles: 200_000,
             mapper: MapperConfig::paper_default(),
             reference_model: false,
+            detail: DetailLevel::Tasks,
         };
         let mut engine = Engine::with_policy(
             params,
@@ -1472,8 +1482,8 @@ mod tests {
         let a = run();
         let b = run();
         assert_eq!(a, b, "group fetches must stay deterministic");
-        assert!(a.tasks.iter().all(|t| t.inferences == 1));
-        assert!(a.cache_hit_rate > 0.0);
+        assert!(a.tasks().iter().all(|t| t.inferences == 1));
+        assert!(a.summary.cache_hit_rate > 0.0);
     }
 
     #[test]
@@ -1504,21 +1514,21 @@ mod tests {
                 .unwrap()
         };
         let spread = run(50.0);
-        let total: usize = spread.tasks.iter().map(|t| t.inferences).sum();
+        let total: usize = spread.tasks().iter().map(|t| t.inferences).sum();
         assert_eq!(total, 4 * 6, "every burst arrival must complete");
         // The second burst arrives 50 ms after the first: the run must
         // span the gap, and collapsing the gap must shorten it.
         assert!(
-            spread.makespan_ms >= 50.0,
+            spread.summary.makespan_ms >= 50.0,
             "makespan {:.1} ms ignores the burst gap",
-            spread.makespan_ms
+            spread.summary.makespan_ms
         );
         let packed = run(0.0);
         assert!(
-            packed.makespan_ms < spread.makespan_ms,
+            packed.summary.makespan_ms < spread.summary.makespan_ms,
             "gap 0 ({:.1} ms) must finish before gap 50 ({:.1} ms)",
-            packed.makespan_ms,
-            spread.makespan_ms
+            packed.summary.makespan_ms,
+            spread.summary.makespan_ms
         );
     }
 }

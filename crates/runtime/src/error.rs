@@ -65,6 +65,12 @@ pub enum EngineError {
         /// The panic payload, when it was a string.
         detail: String,
     },
+    /// An I/O operation on behalf of a run failed (e.g. the sweep
+    /// layer's streamed JSONL cell log could not be written or read).
+    Io {
+        /// The underlying I/O error, as text.
+        detail: String,
+    },
 }
 
 impl fmt::Display for EngineError {
@@ -99,6 +105,7 @@ impl fmt::Display for EngineError {
             EngineError::Panicked { detail } => {
                 write!(f, "simulation panicked: {detail}")
             }
+            EngineError::Io { detail } => write!(f, "i/o failed: {detail}"),
         }
     }
 }

@@ -23,23 +23,25 @@
 //!     .workload(Workload::closed(models, 3))
 //!     .run()
 //!     .expect("valid configuration");
-//! println!("avg latency {:.2} ms", result.avg_latency_ms);
+//! println!("avg latency {:.2} ms", result.summary.avg_latency_ms);
 //! ```
 
 #![warn(missing_docs)]
+#![deny(deprecated)]
 
 pub mod engine;
 pub mod error;
 pub mod layout;
 pub mod metrics;
 pub mod policies;
+pub mod result;
 pub mod scenario;
 pub mod sim;
 pub mod task;
 
 #[allow(deprecated)]
 pub use engine::{simulate, workload, EngineConfig};
-pub use engine::{Engine, PolicyKind, RunResult, TaskSummary};
+pub use engine::{Engine, PolicyKind};
 pub use error::EngineError;
 pub use layout::TaskLayout;
 pub use metrics::{qos_metrics, QosMetrics};
@@ -47,6 +49,9 @@ pub use policies::{
     builtin_policy, create_policy, register_policy, registered_policies, AllocFailure, EpochSlot,
     InstallEvent, PartitionCtx, Policy, PolicyCapabilities, PolicyRegistry, Selection,
 };
+#[allow(deprecated)]
+pub use result::RunResult;
+pub use result::{DetailLevel, RunDetail, RunOutput, RunSummary, TaskSummary};
 pub use scenario::{ArrivalProcess, Workload};
 pub use sim::{Simulation, SimulationBuilder};
 pub use task::{InferenceRecord, Task, TaskState};

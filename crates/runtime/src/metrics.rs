@@ -9,7 +9,8 @@
 //!   full isolated speed each would score `n`);
 //! * **Fairness** — `min_i NP_i / max_i NP_i`.
 
-use crate::engine::RunResult;
+use crate::error::EngineError;
+use crate::result::TaskSummary;
 use serde::{Deserialize, Serialize};
 
 /// Aggregated QoS metrics of one run.
@@ -23,22 +24,30 @@ pub struct QosMetrics {
     pub fairness: f64,
 }
 
-/// Computes QoS metrics from a shared run and the matching isolated
-/// per-model latencies (`isolated_ms[i]` for task `i`).
+/// Computes QoS metrics from a shared run's per-task summaries (see
+/// [`RunOutput::tasks`](crate::RunOutput::tasks)) and the matching
+/// isolated per-model latencies (`isolated_ms[i]` for task `i`).
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if `isolated_ms.len()` differs from the number of tasks.
-pub fn qos_metrics(shared: &RunResult, isolated_ms: &[f64]) -> QosMetrics {
-    assert_eq!(
-        shared.tasks.len(),
-        isolated_ms.len(),
-        "need one isolated latency per task"
-    );
-    let mut progress = Vec::with_capacity(shared.tasks.len());
+/// Returns [`EngineError::InvalidConfig`] when `isolated_ms` does not
+/// carry exactly one latency per task — an empty or short calibration
+/// vector used to be zipped silently, dropping the tail tasks from STP
+/// and fairness. Empty `tasks` with empty `isolated_ms` is valid and
+/// yields the NaN-free identity metrics (SLA 1.0, STP 0.0,
+/// fairness 1.0).
+pub fn qos_metrics(tasks: &[TaskSummary], isolated_ms: &[f64]) -> Result<QosMetrics, EngineError> {
+    if tasks.len() != isolated_ms.len() {
+        return Err(EngineError::InvalidConfig(format!(
+            "need one isolated latency per task: {} tasks, {} isolated latencies",
+            tasks.len(),
+            isolated_ms.len()
+        )));
+    }
+    let mut progress = Vec::with_capacity(tasks.len());
     let mut sla_num = 0.0;
     let mut sla_den = 0.0;
-    for (t, &iso) in shared.tasks.iter().zip(isolated_ms) {
+    for (t, &iso) in tasks.iter().zip(isolated_ms) {
         let np = if t.mean_latency_ms > 0.0 {
             (iso / t.mean_latency_ms).min(1.0)
         } else {
@@ -48,7 +57,7 @@ pub fn qos_metrics(shared: &RunResult, isolated_ms: &[f64]) -> QosMetrics {
         sla_num += t.sla_rate * t.inferences as f64;
         sla_den += t.inferences as f64;
     }
-    QosMetrics {
+    Ok(QosMetrics {
         sla_rate: if sla_den > 0.0 {
             sla_num / sla_den
         } else {
@@ -56,42 +65,32 @@ pub fn qos_metrics(shared: &RunResult, isolated_ms: &[f64]) -> QosMetrics {
         },
         stp: progress.iter().sum(),
         fairness: camdn_common::stats::fairness(&progress),
-    }
+    })
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::engine::TaskSummary;
 
-    fn result(lat: &[f64], sla: &[f64]) -> RunResult {
-        RunResult {
-            policy: "Baseline".into(),
-            tasks: lat
-                .iter()
-                .zip(sla)
-                .enumerate()
-                .map(|(i, (&l, &s))| TaskSummary {
-                    abbr: format!("T{i}"),
-                    qos_ms: 10.0,
-                    inferences: 10,
-                    mean_latency_ms: l,
-                    mean_dram_mb: 1.0,
-                    sla_rate: s,
-                })
-                .collect(),
-            cache_hit_rate: 0.5,
-            avg_latency_ms: 0.0,
-            mem_mb_per_model: 0.0,
-            makespan_ms: 0.0,
-            multicast_saved_mb: 0.0,
-        }
+    fn tasks(lat: &[f64], sla: &[f64]) -> Vec<TaskSummary> {
+        lat.iter()
+            .zip(sla)
+            .enumerate()
+            .map(|(i, (&l, &s))| TaskSummary {
+                abbr: format!("T{i}"),
+                qos_ms: 10.0,
+                inferences: 10,
+                mean_latency_ms: l,
+                mean_dram_mb: 1.0,
+                sla_rate: s,
+            })
+            .collect()
     }
 
     #[test]
     fn perfect_isolation_scores_n() {
-        let r = result(&[5.0, 5.0], &[1.0, 1.0]);
-        let m = qos_metrics(&r, &[5.0, 5.0]);
+        let t = tasks(&[5.0, 5.0], &[1.0, 1.0]);
+        let m = qos_metrics(&t, &[5.0, 5.0]).unwrap();
         assert!((m.stp - 2.0).abs() < 1e-12);
         assert!((m.fairness - 1.0).abs() < 1e-12);
         assert!((m.sla_rate - 1.0).abs() < 1e-12);
@@ -100,8 +99,8 @@ mod tests {
     #[test]
     fn slowdown_reduces_stp() {
         // Task 0 runs at half speed, task 1 at full speed.
-        let r = result(&[10.0, 5.0], &[0.5, 1.0]);
-        let m = qos_metrics(&r, &[5.0, 5.0]);
+        let t = tasks(&[10.0, 5.0], &[0.5, 1.0]);
+        let m = qos_metrics(&t, &[5.0, 5.0]).unwrap();
         assert!((m.stp - 1.5).abs() < 1e-12);
         assert!((m.fairness - 0.5).abs() < 1e-12);
         assert!((m.sla_rate - 0.75).abs() < 1e-12);
@@ -111,15 +110,51 @@ mod tests {
     fn progress_is_capped_at_one() {
         // Shared faster than isolated (measurement noise) must not
         // inflate STP beyond the task count.
-        let r = result(&[2.0], &[1.0]);
-        let m = qos_metrics(&r, &[5.0]);
+        let t = tasks(&[2.0], &[1.0]);
+        let m = qos_metrics(&t, &[5.0]).unwrap();
         assert!(m.stp <= 1.0 + 1e-12);
     }
 
     #[test]
-    #[should_panic(expected = "isolated latency")]
-    fn mismatched_lengths_panic() {
-        let r = result(&[1.0], &[1.0]);
-        let _ = qos_metrics(&r, &[1.0, 2.0]);
+    fn empty_isolated_latencies_are_an_error_not_a_truncation() {
+        let t = tasks(&[1.0, 2.0], &[1.0, 1.0]);
+        match qos_metrics(&t, &[]) {
+            Err(EngineError::InvalidConfig(msg)) => {
+                assert!(msg.contains("2 tasks, 0 isolated"), "{msg}")
+            }
+            other => panic!("expected InvalidConfig, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn short_isolated_latencies_are_an_error_not_a_truncation() {
+        // The old zip silently dropped task 1 from STP/fairness.
+        let t = tasks(&[1.0, 2.0], &[1.0, 1.0]);
+        assert!(matches!(
+            qos_metrics(&t, &[1.0]),
+            Err(EngineError::InvalidConfig(_))
+        ));
+        // Too many calibration entries is just as mis-matched.
+        assert!(qos_metrics(&t, &[1.0, 2.0, 3.0]).is_err());
+    }
+
+    #[test]
+    fn empty_run_yields_nan_free_identity_metrics() {
+        let m = qos_metrics(&[], &[]).unwrap();
+        assert_eq!(m.sla_rate, 1.0);
+        assert_eq!(m.stp, 0.0);
+        assert_eq!(m.fairness, 1.0);
+        assert!(m.sla_rate.is_finite() && m.stp.is_finite() && m.fairness.is_finite());
+    }
+
+    #[test]
+    fn zero_latency_tasks_do_not_divide_by_zero() {
+        // A task that measured nothing reports 0.0 mean latency; its
+        // normalized progress defaults to 1.0 instead of inf/NaN.
+        let mut t = tasks(&[0.0], &[1.0]);
+        t[0].inferences = 0;
+        let m = qos_metrics(&t, &[5.0]).unwrap();
+        assert_eq!(m.stp, 1.0);
+        assert_eq!(m.sla_rate, 1.0);
     }
 }

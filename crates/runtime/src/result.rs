@@ -1,0 +1,280 @@
+//! The result pipeline: compact run summaries, opt-in per-task detail,
+//! and the deprecated [`RunResult`] shim.
+//!
+//! A simulation's observable output is split in two:
+//!
+//! * [`RunSummary`] — a `Copy` struct of scalar aggregates (hit rate,
+//!   latency, DRAM traffic, makespan, SLA rate). This is what scaling
+//!   studies keep per grid cell: its size is independent of the tenant
+//!   count, so a 256-tenant × 1000-cell sweep stays memory-bounded.
+//! * [`RunDetail`] — the per-task [`TaskSummary`] table and, at
+//!   [`DetailLevel::Full`], a latency histogram. Opt-in via
+//!   [`SimulationBuilder::detail`](crate::SimulationBuilder::detail),
+//!   because its size grows with the number of co-located tasks.
+//!
+//! Every run returns a [`RunOutput`] carrying the summary, the policy
+//! label and (depending on the configured [`DetailLevel`]) the detail.
+//! The summary is computed identically at every detail level, so a
+//! summary-only run is bit-for-bit the `summary` of a detailed run
+//! (tested in `crates/camdn/tests/results_pipeline.rs`).
+//!
+//! The pre-split [`RunResult`] survives as a deprecated shim that
+//! [`RunOutput::legacy_result`] assembles bit-for-bit from the pair.
+
+use camdn_common::stats::Histogram;
+use serde::{Deserialize, Serialize};
+
+/// How much per-run output the engine should retain.
+///
+/// Ordered: each level includes everything below it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum DetailLevel {
+    /// Scalar aggregates only ([`RunSummary`]); `RunOutput::detail` is
+    /// `None`. The right level for large sweeps.
+    Summary,
+    /// Summary plus the per-task [`TaskSummary`] table.
+    Tasks,
+    /// Summary, per-task table and the run-level latency histogram.
+    Full,
+}
+
+/// Latency-histogram bucket edges, in cycles (1 GHz clock): powers of
+/// two from ~65 µs (`2^16`) to ~1.07 s (`2^30`).
+pub const LATENCY_HIST_EDGES: [u64; 15] = [
+    1 << 16,
+    1 << 17,
+    1 << 18,
+    1 << 19,
+    1 << 20,
+    1 << 21,
+    1 << 22,
+    1 << 23,
+    1 << 24,
+    1 << 25,
+    1 << 26,
+    1 << 27,
+    1 << 28,
+    1 << 29,
+    1 << 30,
+];
+
+/// Per-task summary of a run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TaskSummary {
+    /// Model abbreviation (Table I).
+    pub abbr: String,
+    /// QoS target in ms.
+    pub qos_ms: f64,
+    /// Measured inferences (after warm-up).
+    pub inferences: usize,
+    /// Mean end-to-end latency, ms.
+    pub mean_latency_ms: f64,
+    /// Mean DRAM traffic per inference, MB.
+    pub mean_dram_mb: f64,
+    /// SLA satisfaction rate (QoS mode).
+    pub sla_rate: f64,
+}
+
+/// Compact scalar aggregates of one run. `Copy`: its size does not
+/// depend on the workload, so grid sweeps can keep one per cell.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RunSummary {
+    /// Number of tasks in the workload.
+    pub tasks: usize,
+    /// Total measured inferences across all tasks (after warm-up).
+    pub inferences: usize,
+    /// Shared-cache hit rate (transparent path for baselines;
+    /// controlled hits over all NPU line movements for CaMDN).
+    pub cache_hit_rate: f64,
+    /// Mean of per-task mean latencies, ms.
+    pub avg_latency_ms: f64,
+    /// Mean DRAM traffic per model inference, MB.
+    pub mem_mb_per_model: f64,
+    /// Wall-clock span of the simulation, ms.
+    pub makespan_ms: f64,
+    /// Inference-weighted SLA satisfaction rate over all tasks
+    /// (1.0 when nothing was measured, or without QoS deadlines).
+    pub sla_rate: f64,
+    /// Line transfers saved by multicast, MB.
+    pub multicast_saved_mb: f64,
+}
+
+/// Opt-in per-task (and, at [`DetailLevel::Full`], per-latency) detail
+/// of one run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RunDetail {
+    /// Per-task summaries in task order.
+    pub tasks: Vec<TaskSummary>,
+    /// Histogram of measured inference latencies in cycles over
+    /// [`LATENCY_HIST_EDGES`] (`None` below [`DetailLevel::Full`]).
+    pub latency_hist: Option<Histogram>,
+}
+
+impl RunDetail {
+    /// Rough heap footprint of this detail block, used by the sweep
+    /// layer's per-grid memory budget.
+    pub fn approx_bytes(&self) -> u64 {
+        let tasks: u64 = self
+            .tasks
+            .iter()
+            .map(|t| (std::mem::size_of::<TaskSummary>() + t.abbr.len()) as u64)
+            .sum();
+        let hist = self
+            .latency_hist
+            .as_ref()
+            .map(|h| 8 * (h.edges().len() + h.counts().len()) as u64)
+            .unwrap_or(0);
+        std::mem::size_of::<RunDetail>() as u64 + tasks + hist
+    }
+}
+
+/// Everything one engine run produces: the policy label, the compact
+/// [`RunSummary`], and — when the builder asked for it — a
+/// [`RunDetail`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RunOutput {
+    /// Label of the policy that produced this result.
+    pub policy: String,
+    /// Scalar aggregates (always present).
+    pub summary: RunSummary,
+    /// Per-task detail (`None` when the run was summary-only).
+    pub detail: Option<RunDetail>,
+}
+
+impl RunOutput {
+    /// The per-task summaries.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the run was summary-only — request detail with
+    /// [`SimulationBuilder::detail`](crate::SimulationBuilder::detail)
+    /// (or the sweep builder's `detail`) first. Use
+    /// [`RunOutput::try_tasks`] for a non-panicking variant.
+    pub fn tasks(&self) -> &[TaskSummary] {
+        self.try_tasks()
+            .expect("run was summary-only; request DetailLevel::Tasks or ::Full")
+    }
+
+    /// The per-task summaries, or `None` for a summary-only run.
+    pub fn try_tasks(&self) -> Option<&[TaskSummary]> {
+        self.detail.as_ref().map(|d| d.tasks.as_slice())
+    }
+
+    /// Assembles the pre-split [`RunResult`] from the pair — bit-for-bit
+    /// the value the old aggregate returned. `None` when the run was
+    /// summary-only (the shim needs the per-task table).
+    #[deprecated(
+        since = "0.4.0",
+        note = "read `RunOutput::summary` / `RunOutput::detail` directly"
+    )]
+    #[allow(deprecated)]
+    pub fn legacy_result(&self) -> Option<RunResult> {
+        self.detail.as_ref().map(|d| RunResult {
+            policy: self.policy.clone(),
+            tasks: d.tasks.clone(),
+            cache_hit_rate: self.summary.cache_hit_rate,
+            avg_latency_ms: self.summary.avg_latency_ms,
+            mem_mb_per_model: self.summary.mem_mb_per_model,
+            makespan_ms: self.summary.makespan_ms,
+            multicast_saved_mb: self.summary.multicast_saved_mb,
+        })
+    }
+}
+
+/// Aggregate result of one engine run, as a single struct (the
+/// pre-split API).
+#[deprecated(
+    since = "0.4.0",
+    note = "runs now return `RunOutput` (a `RunSummary` + optional `RunDetail`); \
+            assemble this shim with `RunOutput::legacy_result` if needed"
+)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RunResult {
+    /// Label of the policy that produced this result.
+    pub policy: String,
+    /// Per-task summaries in task order.
+    pub tasks: Vec<TaskSummary>,
+    /// Shared-cache hit rate (transparent path for baselines; controlled
+    /// hits over all NPU line movements for CaMDN).
+    pub cache_hit_rate: f64,
+    /// Mean of per-task mean latencies, ms.
+    pub avg_latency_ms: f64,
+    /// Mean DRAM traffic per model inference, MB.
+    pub mem_mb_per_model: f64,
+    /// Wall-clock span of the simulation, ms.
+    pub makespan_ms: f64,
+    /// Line transfers saved by multicast, MB.
+    pub multicast_saved_mb: f64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn output(detail: Option<RunDetail>) -> RunOutput {
+        RunOutput {
+            policy: "Baseline".into(),
+            summary: RunSummary {
+                tasks: 1,
+                inferences: 2,
+                cache_hit_rate: 0.5,
+                avg_latency_ms: 1.25,
+                mem_mb_per_model: 3.5,
+                makespan_ms: 10.0,
+                sla_rate: 1.0,
+                multicast_saved_mb: 0.0,
+            },
+            detail,
+        }
+    }
+
+    fn one_task_detail() -> RunDetail {
+        RunDetail {
+            tasks: vec![TaskSummary {
+                abbr: "MB".into(),
+                qos_ms: 10.0,
+                inferences: 2,
+                mean_latency_ms: 1.25,
+                mean_dram_mb: 3.5,
+                sla_rate: 1.0,
+            }],
+            latency_hist: None,
+        }
+    }
+
+    #[test]
+    fn detail_levels_are_ordered() {
+        assert!(DetailLevel::Summary < DetailLevel::Tasks);
+        assert!(DetailLevel::Tasks < DetailLevel::Full);
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn legacy_shim_is_assembled_from_the_pair() {
+        let out = output(Some(one_task_detail()));
+        let legacy = out.legacy_result().expect("detail present");
+        assert_eq!(legacy.policy, out.policy);
+        assert_eq!(legacy.tasks, out.detail.as_ref().unwrap().tasks);
+        assert_eq!(legacy.avg_latency_ms, out.summary.avg_latency_ms);
+        assert_eq!(legacy.makespan_ms, out.summary.makespan_ms);
+        // A summary-only run cannot back the shim.
+        assert!(output(None).legacy_result().is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "summary-only")]
+    fn tasks_accessor_names_the_fix() {
+        let _ = output(None).tasks();
+    }
+
+    #[test]
+    fn approx_bytes_tracks_task_count() {
+        let one = one_task_detail().approx_bytes();
+        let mut two = one_task_detail();
+        two.tasks.push(two.tasks[0].clone());
+        assert!(two.approx_bytes() > one);
+        let mut full = one_task_detail();
+        full.latency_hist = Some(Histogram::new(&LATENCY_HIST_EDGES));
+        assert!(full.approx_bytes() > one);
+    }
+}

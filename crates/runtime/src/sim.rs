@@ -12,12 +12,14 @@
 //!     .seed(7)
 //!     .run()
 //!     .expect("valid configuration");
-//! assert_eq!(result.tasks.len(), 2);
+//! assert_eq!(result.summary.tasks, 2);
+//! assert_eq!(result.tasks().len(), 2); // per-task detail (default level)
 //! ```
 
-use crate::engine::{Engine, PolicyKind, RunResult, SimParams};
+use crate::engine::{Engine, PolicyKind, SimParams};
 use crate::error::EngineError;
 use crate::policies::{builtin_policy, create_policy, Policy};
+use crate::result::{DetailLevel, RunOutput};
 use crate::scenario::Workload;
 use camdn_common::config::SocConfig;
 use camdn_common::types::Cycle;
@@ -38,8 +40,9 @@ pub struct Simulation {
 
 impl Simulation {
     /// Starts assembling a simulation. Defaults: Table II SoC, the
-    /// shared baseline policy, seed `0xCA3D41`, one warm-up round and a
-    /// 200k-cycle scheduling epoch. A workload must be supplied.
+    /// shared baseline policy, seed `0xCA3D41`, one warm-up round, a
+    /// 200k-cycle scheduling epoch and [`DetailLevel::Tasks`] output.
+    /// A workload must be supplied.
     pub fn builder() -> SimulationBuilder {
         SimulationBuilder {
             soc: SocConfig::paper_default(),
@@ -53,11 +56,12 @@ impl Simulation {
             lookahead: None,
             reference_model: false,
             plan_cache: None,
+            detail: DetailLevel::Tasks,
         }
     }
 
     /// Runs the simulation to completion.
-    pub fn run(mut self) -> Result<RunResult, EngineError> {
+    pub fn run(mut self) -> Result<RunOutput, EngineError> {
         self.engine.run()
     }
 }
@@ -75,6 +79,7 @@ pub struct SimulationBuilder {
     lookahead: Option<f64>,
     reference_model: bool,
     plan_cache: Option<Arc<PlanCache>>,
+    detail: DetailLevel,
 }
 
 impl SimulationBuilder {
@@ -167,6 +172,17 @@ impl SimulationBuilder {
         self
     }
 
+    /// Selects how much output the run retains (default
+    /// [`DetailLevel::Tasks`]): [`DetailLevel::Summary`] keeps only the
+    /// compact scalar [`RunSummary`](crate::RunSummary) — the right
+    /// level for big sweeps — while [`DetailLevel::Full`] adds the
+    /// run-level latency histogram to the per-task table. The summary
+    /// is computed identically at every level.
+    pub fn detail(mut self, level: DetailLevel) -> Self {
+        self.detail = level;
+        self
+    }
+
     /// Routes all memory-system timing through the per-line *reference
     /// model* instead of the batched fast paths (default `false`).
     ///
@@ -212,6 +228,7 @@ impl SimulationBuilder {
             epoch_cycles: self.epoch_cycles,
             mapper: self.mapper,
             reference_model: self.reference_model,
+            detail: self.detail,
         };
         let engine = Engine::with_policy(params, policy, &workload, self.plan_cache.as_deref())?;
         Ok(Simulation { engine })
@@ -219,7 +236,7 @@ impl SimulationBuilder {
 
     /// [`build`](SimulationBuilder::build) + [`Simulation::run`] in one
     /// call.
-    pub fn run(self) -> Result<RunResult, EngineError> {
+    pub fn run(self) -> Result<RunOutput, EngineError> {
         self.build()?.run()
     }
 }

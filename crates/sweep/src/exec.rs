@@ -12,8 +12,15 @@
 //! `camdn_bench::parallel_sims` behavior, where the first failing run
 //! panicked inside a scoped worker and took the whole sweep down with
 //! it.
+//!
+//! Completed cells are *streamed*: [`run_cells_into`] hands each
+//! `(index, CellRun)` to a delivery callback the moment its worker
+//! finishes, which is what drives the sweep layer's
+//! [`CellSink`](crate::CellSink)s — a JSONL line hits disk while
+//! neighboring cells are still running, instead of after the whole
+//! grid. [`run_cells`] is the buffered convenience wrapper.
 
-use camdn_runtime::{EngineError, RunResult, SimulationBuilder};
+use camdn_runtime::{EngineError, RunOutput, SimulationBuilder};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
@@ -24,21 +31,99 @@ use std::time::Instant;
 pub struct CellRun {
     /// The simulation's result, or the structured error that stopped it
     /// (including [`EngineError::Panicked`] for caught panics).
-    pub outcome: Result<RunResult, EngineError>,
+    pub outcome: Result<RunOutput, EngineError>,
     /// Wall-clock seconds this cell spent building + running.
     pub wall_s: f64,
 }
 
 /// Worker count for `jobs` cells: the explicit request, else available
-/// parallelism, never more workers than cells.
+/// parallelism — clamped in both cases to
+/// `1..=available_parallelism` and never more workers than cells.
+///
+/// An explicit request outside that range (`threads(0)`, or an absurd
+/// oversubscription like `threads(10_000)`) used to spawn exactly what
+/// was asked; it is now clamped with a note on stderr, since zero
+/// workers deadlock and thousands of engine threads only thrash.
 pub(crate) fn resolve_threads(requested: Option<usize>, jobs: usize) -> usize {
-    requested
-        .unwrap_or_else(|| {
-            std::thread::available_parallelism()
-                .map(|p| p.get())
-                .unwrap_or(4)
-        })
-        .clamp(1, jobs.max(1))
+    let available = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(4);
+    let cap = available.min(jobs.max(1)).max(1);
+    match requested {
+        None => cap,
+        Some(t) => {
+            let clamped = t.clamp(1, cap);
+            if t == 0 || t > available {
+                eprintln!(
+                    "camdn-sweep: clamping requested thread count {t} to {clamped} \
+                     (available parallelism {available}, {jobs} cells)"
+                );
+            }
+            clamped
+        }
+    }
+}
+
+/// Runs every builder to completion over a worker pool, delivering each
+/// finished cell to `deliver(index, run)` as soon as its worker
+/// completes it.
+///
+/// Delivery order is completion order (non-deterministic under more
+/// than one worker); the index identifies the cell. `deliver` is called
+/// from worker threads, one call at a time (an internal lock
+/// serializes it), so sinks need no interior synchronization of their
+/// own.
+pub fn run_cells_into(
+    builders: Vec<SimulationBuilder>,
+    threads: Option<usize>,
+    deliver: &mut (dyn FnMut(usize, CellRun) + Send),
+) {
+    let n = builders.len();
+    if n == 0 {
+        return;
+    }
+    let threads = resolve_threads(threads, n);
+    // Each job is taken exactly once; a Mutex<Option<..>> per slot keeps
+    // the builders `Sync` without cloning them.
+    let jobs: Vec<Mutex<Option<SimulationBuilder>>> =
+        builders.into_iter().map(|b| Mutex::new(Some(b))).collect();
+    let next = AtomicUsize::new(0);
+    // The delivery callback is shared by all workers behind one lock.
+    let sink = Mutex::new(deliver);
+    std::thread::scope(|s| {
+        for _ in 0..threads {
+            s.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let builder = match jobs[i].lock() {
+                    Ok(mut guard) => guard.take(),
+                    // Cannot happen (cells catch their own
+                    // panics), but un-poison rather than die.
+                    Err(poisoned) => poisoned.into_inner().take(),
+                };
+                let t0 = Instant::now();
+                let outcome = match builder {
+                    Some(b) => run_one(b),
+                    None => Err(EngineError::Panicked {
+                        detail: "sweep job vanished before it ran".into(),
+                    }),
+                };
+                let run = CellRun {
+                    outcome,
+                    wall_s: t0.elapsed().as_secs_f64(),
+                };
+                let mut guard = match sink.lock() {
+                    Ok(guard) => guard,
+                    // A sink panicked on an earlier cell; keep draining
+                    // the queue so the scope can join.
+                    Err(poisoned) => poisoned.into_inner(),
+                };
+                (*guard)(i, run);
+            });
+        }
+    });
 }
 
 /// Runs every builder to completion over a worker pool, preserving
@@ -56,59 +141,8 @@ pub(crate) fn resolve_threads(requested: Option<usize>, jobs: usize) -> usize {
 /// silence can install their own quiet hook around the call.
 pub fn run_cells(builders: Vec<SimulationBuilder>, threads: Option<usize>) -> Vec<CellRun> {
     let n = builders.len();
-    if n == 0 {
-        return Vec::new();
-    }
-    let threads = resolve_threads(threads, n);
-    // Each job is taken exactly once; a Mutex<Option<..>> per slot keeps
-    // the builders `Sync` without cloning them.
-    let jobs: Vec<Mutex<Option<SimulationBuilder>>> =
-        builders.into_iter().map(|b| Mutex::new(Some(b))).collect();
-    let next = AtomicUsize::new(0);
     let mut out: Vec<Option<CellRun>> = (0..n).map(|_| None).collect();
-    std::thread::scope(|s| {
-        let handles: Vec<_> = (0..threads)
-            .map(|_| {
-                s.spawn(|| {
-                    let mut mine: Vec<(usize, CellRun)> = Vec::new();
-                    loop {
-                        let i = next.fetch_add(1, Ordering::Relaxed);
-                        if i >= n {
-                            break;
-                        }
-                        let builder = match jobs[i].lock() {
-                            Ok(mut guard) => guard.take(),
-                            // Cannot happen (cells catch their own
-                            // panics), but un-poison rather than die.
-                            Err(poisoned) => poisoned.into_inner().take(),
-                        };
-                        let t0 = Instant::now();
-                        let outcome = match builder {
-                            Some(b) => run_one(b),
-                            None => Err(EngineError::Panicked {
-                                detail: "sweep job vanished before it ran".into(),
-                            }),
-                        };
-                        mine.push((
-                            i,
-                            CellRun {
-                                outcome,
-                                wall_s: t0.elapsed().as_secs_f64(),
-                            },
-                        ));
-                    }
-                    mine
-                })
-            })
-            .collect();
-        for h in handles {
-            if let Ok(cells) = h.join() {
-                for (i, r) in cells {
-                    out[i] = Some(r);
-                }
-            }
-        }
-    });
+    run_cells_into(builders, threads, &mut |i, run| out[i] = Some(run));
     out.into_iter()
         .map(|slot| {
             slot.unwrap_or_else(|| CellRun {
@@ -123,7 +157,7 @@ pub fn run_cells(builders: Vec<SimulationBuilder>, threads: Option<usize>) -> Ve
 
 /// Builds and runs one cell, converting a panic into a structured
 /// error.
-fn run_one(builder: SimulationBuilder) -> Result<RunResult, EngineError> {
+fn run_one(builder: SimulationBuilder) -> Result<RunOutput, EngineError> {
     match catch_unwind(AssertUnwindSafe(move || builder.run())) {
         Ok(result) => result,
         Err(payload) => Err(EngineError::Panicked {
@@ -152,10 +186,42 @@ mod tests {
     }
 
     #[test]
-    fn thread_resolution_caps_at_jobs() {
-        assert_eq!(resolve_threads(Some(8), 3), 3);
-        assert_eq!(resolve_threads(Some(2), 100), 2);
-        assert_eq!(resolve_threads(Some(0), 5), 1);
-        assert!(resolve_threads(None, 100) >= 1);
+    fn thread_resolution_caps_at_jobs_and_parallelism() {
+        let available = std::thread::available_parallelism()
+            .map(|p| p.get())
+            .unwrap_or(4);
+        // Explicit requests are clamped to [1, min(available, jobs)].
+        assert_eq!(resolve_threads(Some(8), 3), available.min(3));
+        assert_eq!(resolve_threads(Some(2), 100), 2.min(available));
+        assert_eq!(resolve_threads(Some(0), 5), 1, "zero workers deadlock");
+        assert_eq!(
+            resolve_threads(Some(1_000_000), 1_000_000),
+            available,
+            "absurd oversubscription is clamped to available parallelism"
+        );
+        // The default never exceeds parallelism or the job count.
+        let d = resolve_threads(None, 100);
+        assert!(d >= 1 && d <= available);
+        assert_eq!(resolve_threads(None, 1), 1);
+        assert_eq!(resolve_threads(None, 0), 1);
+    }
+
+    #[test]
+    fn streaming_delivery_covers_every_index_exactly_once() {
+        let models = vec![camdn_models::zoo::mobilenet_v2()];
+        let builders: Vec<_> = (0..6)
+            .map(|seed| {
+                camdn_runtime::Simulation::builder()
+                    .seed(seed)
+                    .warmup_rounds(0)
+                    .workload(camdn_runtime::Workload::closed(models.clone(), 1))
+            })
+            .collect();
+        let mut seen = vec![0u32; 6];
+        run_cells_into(builders, Some(3), &mut |i, run| {
+            assert!(run.outcome.is_ok());
+            seen[i] += 1;
+        });
+        assert!(seen.iter().all(|&c| c == 1), "{seen:?}");
     }
 }

@@ -21,8 +21,19 @@
 //!   are done once per distinct `(model, MapperConfig)` key. Results
 //!   are bit-identical with and without it (tested); only wall time
 //!   changes.
+//! * **streaming collection** — finished cells are pushed into a
+//!   [`CellSink`] the moment they complete. The in-memory sink backs
+//!   [`SweepBuilder::run`] (summary-only cells by default, with an
+//!   optional per-grid [`memory_budget_bytes`] on retained detail);
+//!   [`SweepBuilder::run_streamed`] additionally writes a
+//!   `camdn-sweep-cells/1` JSONL log, one flushed line per cell, which
+//!   [`SweepBuilder::resume`] uses to skip already-recorded
+//!   coordinates after a kill; [`SeedAggregate`] folds the seeds axis
+//!   into mean / stddev / 95% confidence intervals. Custom sinks plug
+//!   in through [`SweepBuilder::run_with_sink`] for grids too large to
+//!   buffer at all.
 //! * **structured results** — a [`SweepResult`] with axis labels,
-//!   per-cell `Result<RunResult, EngineError>` + wall time, cache
+//!   per-cell `Result<RunOutput, EngineError>` + wall time, cache
 //!   statistics, and a serde-style JSON export
 //!   ([`SweepResult::to_json`], schema `camdn-bench-sweep/1`, the
 //!   format of `BENCH_sweep.json`).
@@ -46,22 +57,36 @@
 //! Cells are ordered row-major with policies outermost and seeds
 //! innermost (see [`SweepResult::index_of`]); the order is identical to
 //! the serial double-loop you would have written by hand, and each
-//! cell's `RunResult` is bit-for-bit the result of running that
-//! configuration alone through [`Simulation::builder`].
+//! cell's [`RunOutput`] is bit-for-bit the result of running that
+//! configuration alone through [`Simulation::builder`] at the grid's
+//! [`DetailLevel`] (default [`DetailLevel::Summary`] — request
+//! [`DetailLevel::Tasks`] via [`SweepBuilder::detail`] when a study
+//! needs per-task tables).
 //!
 //! [`Simulation::builder`]: camdn_runtime::Simulation::builder
+//! [`memory_budget_bytes`]: SweepBuilder::memory_budget_bytes
 
 #![warn(missing_docs)]
+#![deny(deprecated)]
 
 mod exec;
 mod report;
+mod sink;
 
-pub use exec::{run_cells, CellRun};
+pub use exec::{run_cells, run_cells_into, CellRun};
+pub use sink::{
+    CellOutcome, CellSink, JsonlSink, MemorySink, MetricStats, SeedAggregate, SeedStats,
+    CELLS_SCHEMA,
+};
 
 use camdn_common::config::SocConfig;
 use camdn_common::types::{Cycle, MIB};
 use camdn_mapper::{MapperConfig, PlanCache, PlanCacheStats};
-use camdn_runtime::{EngineError, PolicyKind, RunResult, Simulation, Workload};
+use camdn_runtime::{
+    DetailLevel, EngineError, PolicyKind, RunOutput, Simulation, SimulationBuilder, Workload,
+};
+use std::collections::HashSet;
+use std::path::Path;
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -115,6 +140,8 @@ impl Sweep {
             reference_model: false,
             threads: None,
             shared_plan_cache: true,
+            detail: DetailLevel::Summary,
+            memory_budget: None,
         }
     }
 }
@@ -134,6 +161,8 @@ pub struct SweepBuilder {
     reference_model: bool,
     threads: Option<usize>,
     shared_plan_cache: bool,
+    detail: DetailLevel,
+    memory_budget: Option<u64>,
 }
 
 impl SweepBuilder {
@@ -251,8 +280,9 @@ impl SweepBuilder {
         self
     }
 
-    /// Worker-thread count (default: available parallelism, capped at
-    /// the number of cells).
+    /// Worker-thread count, clamped to `1..=available_parallelism`
+    /// (default: available parallelism, capped at the number of
+    /// cells).
     pub fn threads(mut self, threads: usize) -> Self {
         self.threads = Some(threads);
         self
@@ -266,7 +296,29 @@ impl SweepBuilder {
         self
     }
 
-    /// Expands the cross-product and executes every cell.
+    /// Sets every cell's [`DetailLevel`] (default
+    /// [`DetailLevel::Summary`]: cells carry only the compact
+    /// [`RunSummary`](camdn_runtime::RunSummary), so a grid's memory is
+    /// independent of the tenant count). Studies that read per-task
+    /// tables ask for [`DetailLevel::Tasks`].
+    pub fn detail(mut self, level: DetailLevel) -> Self {
+        self.detail = level;
+        self
+    }
+
+    /// Caps the bytes the in-memory result spends on per-cell
+    /// [`RunDetail`](camdn_runtime::RunDetail) blocks. Cells finishing
+    /// after the budget is exhausted are downgraded to their summary
+    /// ([`SweepResult::detail_dropped`] counts them); summaries are
+    /// never dropped. Which cells keep detail depends on completion
+    /// order — aggregates over summaries stay deterministic.
+    pub fn memory_budget_bytes(mut self, bytes: u64) -> Self {
+        self.memory_budget = Some(bytes);
+        self
+    }
+
+    /// Expands the cross-product and executes every cell into the
+    /// in-memory sink.
     ///
     /// Cell order is row-major with the axes nested
     /// policies → SoCs → cache sizes → workloads → QoS scales →
@@ -274,6 +326,106 @@ impl SweepBuilder {
     /// when the grid itself is malformed (no workload axis); per-cell
     /// failures land in their cell's [`SweepCell::outcome`].
     pub fn run(self) -> Result<SweepResult, EngineError> {
+        let budget = self.memory_budget;
+        let prepared = self.prepare()?;
+        let mut memory = MemorySink::new(prepared.axes.clone(), budget);
+        let info = prepared.execute(&mut memory, &HashSet::new())?;
+        Ok(assemble(info, memory))
+    }
+
+    /// Like [`SweepBuilder::run`], additionally streaming every cell to
+    /// a `camdn-sweep-cells/1` JSONL log at `path` (truncated first).
+    ///
+    /// Each line is written and flushed the moment its cell completes,
+    /// so a killed grid leaves every finished cell on disk and
+    /// [`SweepBuilder::resume`] can pick up where it stopped. The
+    /// returned [`SweepResult`] is identical cell-for-cell to what
+    /// [`SweepBuilder::run`] returns.
+    pub fn run_streamed(self, path: impl AsRef<Path>) -> Result<SweepResult, EngineError> {
+        let budget = self.memory_budget;
+        let prepared = self.prepare()?;
+        let jsonl = JsonlSink::create(path, &prepared.axes).map_err(|e| EngineError::Io {
+            detail: e.to_string(),
+        })?;
+        let mut memory = MemorySink::new(prepared.axes.clone(), budget);
+        let mut tee = Tee {
+            jsonl,
+            inner: &mut memory,
+        };
+        let info = prepared.execute(&mut tee, &HashSet::new())?;
+        tee.jsonl.finish()?;
+        Ok(assemble(info, memory))
+    }
+
+    /// Resumes a streamed grid from its JSONL cell log: coordinates
+    /// recorded as successful in `path` are *not* re-run (their
+    /// summaries are parsed back, bit-for-bit); everything else —
+    /// missing cells, error cells, a torn final line — runs now and is
+    /// appended to the same log. If the log does not exist yet this is
+    /// exactly [`SweepBuilder::run_streamed`].
+    ///
+    /// The log's axis header must match this grid; a log from a
+    /// different grid is a structured error, not a silent merge.
+    pub fn resume(self, path: impl AsRef<Path>) -> Result<SweepResult, EngineError> {
+        let path = path.as_ref();
+        if !path.exists() {
+            return self.run_streamed(path);
+        }
+        let budget = self.memory_budget;
+        let prepared = self.prepare()?;
+        let recorded = sink::read_recorded(path, &prepared.axes)?;
+        let mut memory = MemorySink::new(prepared.axes.clone(), budget);
+        // Rewrite the log before continuing: header + the valid
+        // recorded lines. This compacts away error cells (about to
+        // re-run) and a torn final line a kill may have left behind —
+        // appending after a torn line would corrupt the next cell. The
+        // rewrite goes to a scratch file that atomically renames over
+        // the original, so a kill *during resume* can never lose cells
+        // that already survived the first kill; fresh cells then append
+        // to the renamed log.
+        let mut skip = HashSet::new();
+        let mut replay = Vec::new();
+        for (coord, run, wall_s) in recorded {
+            if skip.insert(coord) {
+                replay.push((
+                    coord,
+                    CellRun {
+                        outcome: Ok(run),
+                        wall_s,
+                    },
+                ));
+            }
+        }
+        let jsonl =
+            JsonlSink::rewrite(path, &prepared.axes, &replay).map_err(|e| EngineError::Io {
+                detail: e.to_string(),
+            })?;
+        for (coord, cell) in replay {
+            memory.on_cell(coord, cell);
+        }
+        let mut tee = Tee {
+            jsonl,
+            inner: &mut memory,
+        };
+        let info = prepared.execute(&mut tee, &skip)?;
+        tee.jsonl.finish()?;
+        Ok(assemble(info, memory))
+    }
+
+    /// Expands the cross-product and drives every cell into a caller
+    /// sink as cells finish, buffering nothing — the path for grids too
+    /// large (or too long-lived) for an in-memory [`SweepResult`].
+    ///
+    /// Returns the grid-level information (axes, thread count, wall
+    /// time, plan-cache statistics); everything per-cell went through
+    /// the sink.
+    pub fn run_with_sink(self, cell_sink: &mut dyn CellSink) -> Result<SweepInfo, EngineError> {
+        self.prepare()?.execute(cell_sink, &HashSet::new())
+    }
+
+    /// Validates the grid and expands the cross-product into cell
+    /// builders + coordinates.
+    fn prepare(self) -> Result<PreparedGrid, EngineError> {
         if self.workloads.is_empty() {
             return Err(EngineError::InvalidConfig(
                 "a sweep needs at least one workload — call .workload(label, ...)".into(),
@@ -343,8 +495,10 @@ impl SweepBuilder {
                         for (qi, q) in qos.iter().enumerate() {
                             for (li, lookahead) in lookaheads.iter().enumerate() {
                                 for (ei, &seed) in seeds.iter().enumerate() {
-                                    let mut b =
-                                        Simulation::builder().workload(workload.clone()).seed(seed);
+                                    let mut b = Simulation::builder()
+                                        .workload(workload.clone())
+                                        .seed(seed)
+                                        .detail(self.detail);
                                     b = match policy {
                                         PolicyAxisEntry::Kind(k) => b.policy(*k),
                                         PolicyAxisEntry::Named(n) => b.policy_named(n.clone()),
@@ -392,26 +546,102 @@ impl SweepBuilder {
             }
         }
 
-        let threads = exec::resolve_threads(self.threads, builders.len());
-        let t0 = Instant::now();
-        let runs = run_cells(builders, Some(threads));
-        let wall_s = t0.elapsed().as_secs_f64();
-        let cells = coords
-            .into_iter()
-            .zip(runs)
-            .map(|(coord, run)| SweepCell {
-                coord,
-                outcome: run.outcome,
-                wall_s: run.wall_s,
-            })
-            .collect();
-        Ok(SweepResult {
+        Ok(PreparedGrid {
             axes,
-            cells,
+            builders,
+            coords,
+            threads: self.threads,
+            plan_cache,
+        })
+    }
+}
+
+/// A validated, expanded grid ready to execute.
+struct PreparedGrid {
+    axes: SweepAxes,
+    builders: Vec<SimulationBuilder>,
+    coords: Vec<CellCoord>,
+    threads: Option<usize>,
+    plan_cache: Option<Arc<PlanCache>>,
+}
+
+impl PreparedGrid {
+    /// Runs every cell not in `skip`, delivering each to `sink` as it
+    /// finishes.
+    fn execute(
+        self,
+        cell_sink: &mut dyn CellSink,
+        skip: &HashSet<CellCoord>,
+    ) -> Result<SweepInfo, EngineError> {
+        let mut run_coords = Vec::with_capacity(self.builders.len());
+        let mut run_builders = Vec::with_capacity(self.builders.len());
+        for (builder, coord) in self.builders.into_iter().zip(&self.coords) {
+            if !skip.contains(coord) {
+                run_builders.push(builder);
+                run_coords.push(*coord);
+            }
+        }
+        let threads = exec::resolve_threads(self.threads, run_builders.len());
+        let cells_run = run_builders.len();
+        let t0 = Instant::now();
+        run_cells_into(run_builders, Some(threads), &mut |i, run| {
+            cell_sink.on_cell(run_coords[i], run);
+        });
+        let wall_s = t0.elapsed().as_secs_f64();
+        Ok(SweepInfo {
+            axes: self.axes,
             threads,
             wall_s,
-            plan_cache: plan_cache.map(|c| c.stats()),
+            plan_cache: self.plan_cache.map(|c| c.stats()),
+            cells_total: self.coords.len(),
+            cells_run,
         })
+    }
+}
+
+/// Streams each cell to the JSONL log, then hands it to the inner sink.
+struct Tee<'a> {
+    jsonl: JsonlSink,
+    inner: &'a mut MemorySink,
+}
+
+impl CellSink for Tee<'_> {
+    fn on_cell(&mut self, coord: CellCoord, outcome: CellOutcome) {
+        self.jsonl.write_cell(coord, &outcome);
+        self.inner.on_cell(coord, outcome);
+    }
+}
+
+/// Grid-level information of a sink-driven sweep (what
+/// [`SweepBuilder::run_with_sink`] returns in place of the buffered
+/// [`SweepResult`]).
+#[derive(Debug)]
+pub struct SweepInfo {
+    /// Axis labels (cell coordinates index into these).
+    pub axes: SweepAxes,
+    /// Worker threads the executor actually used.
+    pub threads: usize,
+    /// Wall-clock seconds for the executed cells.
+    pub wall_s: f64,
+    /// Hit/miss statistics of the shared mapping-plan cache (`None`
+    /// when it was disabled).
+    pub plan_cache: Option<PlanCacheStats>,
+    /// Total cells of the cross-product.
+    pub cells_total: usize,
+    /// Cells actually executed (fewer than `cells_total` on resume).
+    pub cells_run: usize,
+}
+
+fn assemble(info: SweepInfo, memory: MemorySink) -> SweepResult {
+    let (cells, detail_dropped) = memory.into_cells();
+    SweepResult {
+        axes: info.axes,
+        cells,
+        threads: info.threads,
+        wall_s: info.wall_s,
+        plan_cache: info.plan_cache,
+        detail_dropped,
+        cells_resumed: info.cells_total - info.cells_run,
     }
 }
 
@@ -424,7 +654,7 @@ fn cache_label(bytes: Option<u64>) -> String {
 }
 
 /// Position of a cell on every axis (indices into [`SweepAxes`]).
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct CellCoord {
     /// Index into [`SweepAxes::policies`].
     pub policy: usize,
@@ -447,8 +677,8 @@ pub struct CellCoord {
 pub struct SweepCell {
     /// Where the cell sits in the grid.
     pub coord: CellCoord,
-    /// The run's result, or the structured error that stopped it.
-    pub outcome: Result<RunResult, EngineError>,
+    /// The run's output, or the structured error that stopped it.
+    pub outcome: Result<RunOutput, EngineError>,
     /// Wall-clock seconds spent building + running this cell.
     pub wall_s: f64,
 }
@@ -474,6 +704,70 @@ pub struct SweepAxes {
     pub seeds: Vec<u64>,
 }
 
+impl SweepAxes {
+    /// Number of cells in the cross-product.
+    pub fn cell_count(&self) -> usize {
+        self.policies.len()
+            * self.socs.len()
+            * self.caches.len()
+            * self.workloads.len()
+            * self.qos.len()
+            * self.lookaheads.len()
+            * self.seeds.len()
+    }
+
+    /// Row-major index of a coordinate (policies outermost, seeds
+    /// innermost).
+    pub fn index_of(&self, c: &CellCoord) -> usize {
+        (((((c.policy * self.socs.len() + c.soc) * self.caches.len() + c.cache)
+            * self.workloads.len()
+            + c.workload)
+            * self.qos.len()
+            + c.qos)
+            * self.lookaheads.len()
+            + c.lookahead)
+            * self.seeds.len()
+            + c.seed
+    }
+
+    /// The coordinate at a row-major index (inverse of
+    /// [`SweepAxes::index_of`]).
+    pub fn coord_of(&self, mut idx: usize) -> CellCoord {
+        let seed = idx % self.seeds.len();
+        idx /= self.seeds.len();
+        let lookahead = idx % self.lookaheads.len();
+        idx /= self.lookaheads.len();
+        let qos = idx % self.qos.len();
+        idx /= self.qos.len();
+        let workload = idx % self.workloads.len();
+        idx /= self.workloads.len();
+        let cache = idx % self.caches.len();
+        idx /= self.caches.len();
+        let soc = idx % self.socs.len();
+        idx /= self.socs.len();
+        CellCoord {
+            policy: idx,
+            soc,
+            cache,
+            workload,
+            qos,
+            lookahead,
+            seed,
+        }
+    }
+
+    /// True when every component of the coordinate is inside its axis.
+    pub fn contains(&self, c: &CellCoord) -> bool {
+        c.policy < self.policies.len()
+            && c.soc < self.socs.len()
+            && c.cache < self.caches.len()
+            && c.workload < self.workloads.len()
+            && c.qos < self.qos.len()
+            && c.lookahead < self.lookaheads.len()
+            && c.seed < self.seeds.len()
+    }
+}
+
 /// Structured result of a grid sweep.
 #[derive(Debug)]
 pub struct SweepResult {
@@ -484,41 +778,31 @@ pub struct SweepResult {
     pub cells: Vec<SweepCell>,
     /// Worker threads the executor actually used.
     pub threads: usize,
-    /// Wall-clock seconds for the whole grid.
+    /// Wall-clock seconds for the whole grid (executed cells only —
+    /// resumed cells cost nothing).
     pub wall_s: f64,
     /// Hit/miss statistics of the shared mapping-plan cache (`None`
     /// when it was disabled).
     pub plan_cache: Option<PlanCacheStats>,
+    /// Cells whose [`RunDetail`](camdn_runtime::RunDetail) was dropped
+    /// to honor [`SweepBuilder::memory_budget_bytes`].
+    pub detail_dropped: usize,
+    /// Cells served from a resumed JSONL log instead of re-running.
+    pub cells_resumed: usize,
 }
 
 impl SweepResult {
     /// Row-major index of a coordinate (the position of that cell in
     /// [`SweepResult::cells`]).
     pub fn index_of(&self, c: &CellCoord) -> usize {
-        let a = &self.axes;
-        (((((c.policy * a.socs.len() + c.soc) * a.caches.len() + c.cache) * a.workloads.len()
-            + c.workload)
-            * a.qos.len()
-            + c.qos)
-            * a.lookaheads.len()
-            + c.lookahead)
-            * a.seeds.len()
-            + c.seed
+        self.axes.index_of(c)
     }
 
     /// The cell at a coordinate, or `None` when any component is past
     /// its axis end (row-major index arithmetic would otherwise alias a
     /// different configuration's cell).
     pub fn cell(&self, coord: CellCoord) -> Option<&SweepCell> {
-        let a = &self.axes;
-        let in_bounds = coord.policy < a.policies.len()
-            && coord.soc < a.socs.len()
-            && coord.cache < a.caches.len()
-            && coord.workload < a.workloads.len()
-            && coord.qos < a.qos.len()
-            && coord.lookahead < a.lookaheads.len()
-            && coord.seed < a.seeds.len();
-        if !in_bounds {
+        if !self.axes.contains(&coord) {
             return None;
         }
         self.cells.get(self.index_of(&coord))
@@ -532,6 +816,13 @@ impl SweepResult {
     /// Number of cells that completed successfully.
     pub fn ok_count(&self) -> usize {
         self.cells.iter().filter(|c| c.outcome.is_ok()).count()
+    }
+
+    /// Multi-seed statistics: folds the seeds axis into mean / sample
+    /// stddev / 95% CI per non-seed coordinate, in row-major order
+    /// (see [`SeedAggregate`]).
+    pub fn seed_stats(&self) -> Vec<SeedStats> {
+        SeedAggregate::of(self)
     }
 }
 
@@ -563,7 +854,22 @@ mod tests {
         assert_eq!(r.axes.qos, vec!["closed".to_string()]);
         assert_eq!(r.axes.seeds, vec![DEFAULT_SEED]);
         assert!(r.cells[0].outcome.is_ok());
-        // Default run matches a plain builder run bit-for-bit.
+        // Default cells are summary-only...
+        let cell = r.cells[0].outcome.as_ref().unwrap();
+        assert!(cell.detail.is_none(), "sweep default is summary-only");
+        // ...and the summary matches a plain builder run bit-for-bit.
+        let serial = Simulation::builder().workload(one_model()).run().unwrap();
+        assert_eq!(cell.summary, serial.summary);
+        assert_eq!(cell.policy, serial.policy);
+    }
+
+    #[test]
+    fn detailed_grid_matches_builder_runs_exactly() {
+        let r = Sweep::grid()
+            .workload("w", one_model())
+            .detail(DetailLevel::Tasks)
+            .run()
+            .unwrap();
         let serial = Simulation::builder().workload(one_model()).run().unwrap();
         assert_eq!(*r.cells[0].outcome.as_ref().unwrap(), serial);
     }
@@ -580,6 +886,7 @@ mod tests {
         assert_eq!(r.cells.len(), 2 * 2 * 3);
         for (i, cell) in r.cells.iter().enumerate() {
             assert_eq!(r.index_of(&cell.coord), i, "cell {i} out of order");
+            assert_eq!(r.axes.coord_of(i), cell.coord, "coord_of must invert");
         }
         // Seeds innermost, policies outermost.
         assert_eq!(
@@ -612,6 +919,7 @@ mod tests {
         let r = Sweep::grid()
             .policy_named("camdn-full")
             .workload("w", one_model())
+            .detail(DetailLevel::Tasks)
             .run()
             .unwrap();
         assert_eq!(r.axes.policies, vec!["camdn-full".to_string()]);
@@ -637,6 +945,45 @@ mod tests {
             r.cells[1].outcome.as_ref().err(),
             Some(&EngineError::UnknownPolicy("no-such-policy".into()))
         );
+    }
+
+    #[test]
+    fn memory_budget_zero_drops_every_detail_block() {
+        let r = Sweep::grid()
+            .workload("w", one_model())
+            .seeds([1, 2, 3])
+            .detail(DetailLevel::Tasks)
+            .memory_budget_bytes(0)
+            .run()
+            .unwrap();
+        assert_eq!(r.detail_dropped, 3);
+        assert!(r
+            .cells
+            .iter()
+            .all(|c| c.outcome.as_ref().unwrap().detail.is_none()));
+        // Summaries survive the downgrade untouched.
+        let serial = Simulation::builder()
+            .workload(one_model())
+            .seed(1)
+            .run()
+            .unwrap();
+        assert_eq!(r.cells[0].outcome.as_ref().unwrap().summary, serial.summary);
+    }
+
+    #[test]
+    fn generous_memory_budget_keeps_all_detail() {
+        let r = Sweep::grid()
+            .workload("w", one_model())
+            .seeds([1, 2])
+            .detail(DetailLevel::Tasks)
+            .memory_budget_bytes(1 << 20)
+            .run()
+            .unwrap();
+        assert_eq!(r.detail_dropped, 0);
+        assert!(r
+            .cells
+            .iter()
+            .all(|c| c.outcome.as_ref().unwrap().detail.is_some()));
     }
 
     #[test]

@@ -9,7 +9,7 @@ use crate::SweepResult;
 use std::fmt::Write;
 
 /// Escapes a string for inclusion in a JSON string literal.
-fn esc(s: &str) -> String {
+pub(crate) fn esc(s: &str) -> String {
     let mut out = String::with_capacity(s.len());
     for c in s.chars() {
         match c {
@@ -27,7 +27,7 @@ fn esc(s: &str) -> String {
     out
 }
 
-fn str_array(items: &[String]) -> String {
+pub(crate) fn str_array(items: &[String]) -> String {
     let quoted: Vec<String> = items.iter().map(|s| format!("\"{}\"", esc(s))).collect();
     format!("[{}]", quoted.join(", "))
 }
@@ -76,12 +76,13 @@ impl SweepResult {
                 Ok(r) => format!(
                     "\"ok\": true, \"tasks\": {}, \"avg_latency_ms\": {:.6}, \
                      \"mem_mb_per_model\": {:.6}, \"cache_hit_rate\": {:.6}, \
-                     \"makespan_ms\": {:.6}, \"error\": null}}",
-                    r.tasks.len(),
-                    r.avg_latency_ms,
-                    r.mem_mb_per_model,
-                    r.cache_hit_rate,
-                    r.makespan_ms,
+                     \"makespan_ms\": {:.6}, \"sla_rate\": {:.6}, \"error\": null}}",
+                    r.summary.tasks,
+                    r.summary.avg_latency_ms,
+                    r.summary.mem_mb_per_model,
+                    r.summary.cache_hit_rate,
+                    r.summary.makespan_ms,
+                    r.summary.sla_rate,
                 ),
                 Err(e) => format!("\"ok\": false, \"error\": \"{}\"}}", esc(&e.to_string())),
             };

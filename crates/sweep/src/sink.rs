@@ -1,0 +1,826 @@
+//! Cell sinks: streaming collection of sweep results.
+//!
+//! The original sweep buffered every cell until the whole grid
+//! finished, which made very large grids (hundreds of tenants × many
+//! seeds) memory-unbounded and non-resumable. A [`CellSink`] receives
+//! each cell *as it finishes* instead; the executor drives it from the
+//! worker threads (serialized — a sink never sees two cells at once).
+//!
+//! Three sinks ship with the crate:
+//!
+//! * [`MemorySink`] — today's in-memory [`SweepResult`], now
+//!   summary-only by default and bounded by an optional per-grid
+//!   detail-memory budget;
+//! * [`JsonlSink`] — a streamed `camdn-sweep-cells/1` writer: one JSON
+//!   line per cell, written the moment the cell completes, so a killed
+//!   grid leaves a valid log behind and
+//!   [`SweepBuilder::resume`](crate::SweepBuilder::resume) can skip the
+//!   already-recorded coordinates;
+//! * [`SeedAggregate`] — folds the seeds axis into mean / sample
+//!   stddev / 95% Student-t confidence intervals per non-seed cell,
+//!   the multi-seed statistics the scaling studies report.
+
+use crate::{CellCoord, SweepAxes, SweepCell};
+use camdn_common::stats::Welford;
+use camdn_runtime::{EngineError, RunOutput, RunSummary};
+use std::collections::HashMap;
+use std::fmt::Write as _;
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+
+pub use crate::exec::CellRun;
+
+/// Outcome of one finished cell, as delivered to a [`CellSink`]
+/// (the executor's [`CellRun`] under the name the sink API uses).
+pub type CellOutcome = CellRun;
+
+/// A consumer of finished sweep cells.
+///
+/// The executor calls [`CellSink::on_cell`] once per cell, in
+/// *completion* order (non-deterministic under more than one worker
+/// thread); the coordinate identifies the cell. Calls are serialized —
+/// implementations need no locking of their own, but must be `Send`
+/// because the call comes from a worker thread.
+pub trait CellSink: Send {
+    /// Receives one finished cell.
+    fn on_cell(&mut self, coord: CellCoord, outcome: CellOutcome);
+}
+
+// ------------------------------------------------------------------
+// In-memory sink
+// ------------------------------------------------------------------
+
+/// Collects cells into row-major order for a [`SweepResult`], bounding
+/// the memory spent on per-cell [`RunDetail`](camdn_runtime::RunDetail)
+/// blocks.
+///
+/// When a `memory_budget_bytes` is set and a cell's detail would push
+/// the running total past it, that cell is downgraded to its summary
+/// (the detail block is dropped; the summary is never touched). Which
+/// cells are downgraded depends on completion order; summaries — and
+/// therefore every aggregate a study reads — are deterministic
+/// regardless.
+///
+/// [`SweepResult`]: crate::SweepResult
+#[derive(Debug)]
+pub struct MemorySink {
+    axes: SweepAxes,
+    cells: Vec<Option<SweepCell>>,
+    budget: Option<u64>,
+    detail_bytes: u64,
+    detail_dropped: usize,
+}
+
+impl MemorySink {
+    /// Creates a sink for a grid with the given axes (one slot per
+    /// coordinate of the cross-product) and optional detail budget.
+    pub fn new(axes: SweepAxes, memory_budget_bytes: Option<u64>) -> Self {
+        let slots = axes.cell_count();
+        MemorySink {
+            axes,
+            cells: (0..slots).map(|_| None).collect(),
+            budget: memory_budget_bytes,
+            detail_bytes: 0,
+            detail_dropped: 0,
+        }
+    }
+
+    /// Detail bytes currently retained.
+    pub fn detail_bytes(&self) -> u64 {
+        self.detail_bytes
+    }
+
+    /// Cells whose detail was dropped to honor the budget.
+    pub fn detail_dropped(&self) -> usize {
+        self.detail_dropped
+    }
+
+    /// Consumes the sink: the cells in row-major order (missing slots —
+    /// a cell the executor never delivered — become structured errors)
+    /// plus the number of detail blocks dropped for the budget.
+    pub fn into_cells(self) -> (Vec<SweepCell>, usize) {
+        let dropped = self.detail_dropped;
+        let axes = self.axes;
+        let cells = self
+            .cells
+            .into_iter()
+            .enumerate()
+            .map(|(i, slot)| {
+                slot.unwrap_or_else(|| SweepCell {
+                    coord: axes.coord_of(i),
+                    outcome: Err(EngineError::Panicked {
+                        detail: "worker thread lost this cell".into(),
+                    }),
+                    wall_s: 0.0,
+                })
+            })
+            .collect();
+        (cells, dropped)
+    }
+}
+
+impl CellSink for MemorySink {
+    fn on_cell(&mut self, coord: CellCoord, mut outcome: CellOutcome) {
+        if let Ok(run) = &mut outcome.outcome {
+            if let (Some(budget), Some(detail)) = (self.budget, run.detail.as_ref()) {
+                let bytes = detail.approx_bytes();
+                if self.detail_bytes + bytes > budget {
+                    run.detail = None;
+                    self.detail_dropped += 1;
+                } else {
+                    self.detail_bytes += bytes;
+                }
+            }
+        }
+        let idx = self.axes.index_of(&coord);
+        self.cells[idx] = Some(SweepCell {
+            coord,
+            outcome: outcome.outcome,
+            wall_s: outcome.wall_s,
+        });
+    }
+}
+
+// ------------------------------------------------------------------
+// JSONL streaming sink
+// ------------------------------------------------------------------
+
+/// Streamed cell log: schema `camdn-sweep-cells/1`.
+///
+/// The first line is a header naming the schema and every axis; each
+/// subsequent line is one cell — its coordinate, wall time, and either
+/// the policy label + [`RunSummary`] scalars (`"ok": true`) or the
+/// error text. Lines are written unbuffered the moment the cell
+/// completes, so a killed grid leaves every finished cell on disk; a
+/// torn final line (kill mid-write) is ignored by the reader and the
+/// cell simply re-runs on resume.
+///
+/// Summary floats are serialized with Rust's shortest-roundtrip
+/// `Display`, so a parsed line reproduces the in-memory summary
+/// bit-for-bit.
+#[derive(Debug)]
+pub struct JsonlSink {
+    file: std::fs::File,
+    path: PathBuf,
+    error: Option<String>,
+}
+
+/// Schema identifier of the cell-log header line.
+pub const CELLS_SCHEMA: &str = "camdn-sweep-cells/1";
+
+impl JsonlSink {
+    /// Creates (truncates) the log at `path` and writes the header line
+    /// for `axes`.
+    pub fn create(path: impl AsRef<Path>, axes: &SweepAxes) -> std::io::Result<Self> {
+        let path = path.as_ref().to_path_buf();
+        let mut file = std::fs::File::create(&path)?;
+        file.write_all(header_line(axes).as_bytes())?;
+        file.write_all(b"\n")?;
+        Ok(JsonlSink {
+            file,
+            path,
+            error: None,
+        })
+    }
+
+    /// Rewrites the log at `path` as header + the given cells, then
+    /// opens it for appending. The rewrite goes through a scratch file
+    /// that is atomically renamed over the original, so the previously
+    /// persisted cells can never be lost to a kill mid-rewrite.
+    pub(crate) fn rewrite(
+        path: impl AsRef<Path>,
+        axes: &SweepAxes,
+        cells: &[(CellCoord, CellOutcome)],
+    ) -> std::io::Result<Self> {
+        let path = path.as_ref().to_path_buf();
+        let mut tmp = path.clone().into_os_string();
+        tmp.push(".rewrite");
+        let tmp = PathBuf::from(tmp);
+        {
+            let mut sink = JsonlSink::create(&tmp, axes)?;
+            for (coord, cell) in cells {
+                sink.write_cell(*coord, cell);
+            }
+            if let Some(detail) = sink.error {
+                return Err(std::io::Error::other(detail));
+            }
+            sink.file.sync_all()?;
+        }
+        std::fs::rename(&tmp, &path)?;
+        let file = std::fs::OpenOptions::new().append(true).open(&path)?;
+        Ok(JsonlSink {
+            file,
+            path,
+            error: None,
+        })
+    }
+
+    /// Writes one cell line. I/O failures are recorded and re-surfaced
+    /// by [`JsonlSink::finish`] (a sink callback has nowhere to return
+    /// an error mid-grid).
+    pub fn write_cell(&mut self, coord: CellCoord, outcome: &CellOutcome) {
+        if self.error.is_some() {
+            return;
+        }
+        let mut line = cell_line(coord, outcome);
+        line.push('\n');
+        if let Err(e) = self.file.write_all(line.as_bytes()) {
+            self.error = Some(format!("writing {}: {e}", self.path.display()));
+        }
+    }
+
+    /// Flushes and closes the log, surfacing any write error deferred
+    /// during the grid.
+    pub fn finish(mut self) -> Result<(), EngineError> {
+        if self.error.is_none() {
+            if let Err(e) = self.file.flush() {
+                self.error = Some(format!("flushing {}: {e}", self.path.display()));
+            }
+        }
+        match self.error {
+            None => Ok(()),
+            Some(detail) => Err(EngineError::Io { detail }),
+        }
+    }
+}
+
+impl CellSink for JsonlSink {
+    fn on_cell(&mut self, coord: CellCoord, outcome: CellOutcome) {
+        self.write_cell(coord, &outcome);
+    }
+}
+
+/// The header line of a cell log for `axes`.
+pub(crate) fn header_line(axes: &SweepAxes) -> String {
+    let seeds: Vec<String> = axes.seeds.iter().map(u64::to_string).collect();
+    format!(
+        "{{\"schema\": \"{}\", \"policies\": {}, \"socs\": {}, \"caches\": {}, \
+         \"workloads\": {}, \"qos\": {}, \"lookaheads\": {}, \"seeds\": [{}]}}",
+        CELLS_SCHEMA,
+        crate::report::str_array(&axes.policies),
+        crate::report::str_array(&axes.socs),
+        crate::report::str_array(&axes.caches),
+        crate::report::str_array(&axes.workloads),
+        crate::report::str_array(&axes.qos),
+        crate::report::str_array(&axes.lookaheads),
+        seeds.join(", "),
+    )
+}
+
+/// A float as a JSON token: shortest-roundtrip `Display` for finite
+/// values, `null` otherwise — `NaN`/`inf` are not JSON, and a `null`ed
+/// cell simply re-runs on resume instead of corrupting the log.
+fn jnum(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "null".into()
+    }
+}
+
+/// One cell as a JSONL line (no trailing newline).
+pub(crate) fn cell_line(coord: CellCoord, outcome: &CellOutcome) -> String {
+    let mut s = String::with_capacity(256);
+    let _ = write!(
+        s,
+        "{{\"policy\": {}, \"soc\": {}, \"cache\": {}, \"workload\": {}, \"qos\": {}, \
+         \"lookahead\": {}, \"seed\": {}, \"wall_s\": {}, ",
+        coord.policy,
+        coord.soc,
+        coord.cache,
+        coord.workload,
+        coord.qos,
+        coord.lookahead,
+        coord.seed,
+        jnum(outcome.wall_s),
+    );
+    match &outcome.outcome {
+        Ok(run) => {
+            let m = &run.summary;
+            let _ = write!(
+                s,
+                "\"ok\": true, \"label\": \"{}\", \"tasks\": {}, \"inferences\": {}, \
+                 \"cache_hit_rate\": {}, \"avg_latency_ms\": {}, \"mem_mb_per_model\": {}, \
+                 \"makespan_ms\": {}, \"sla_rate\": {}, \"multicast_saved_mb\": {}}}",
+                crate::report::esc(&run.policy),
+                m.tasks,
+                m.inferences,
+                jnum(m.cache_hit_rate),
+                jnum(m.avg_latency_ms),
+                jnum(m.mem_mb_per_model),
+                jnum(m.makespan_ms),
+                jnum(m.sla_rate),
+                jnum(m.multicast_saved_mb),
+            );
+        }
+        Err(e) => {
+            let _ = write!(
+                s,
+                "\"ok\": false, \"error\": \"{}\"}}",
+                crate::report::esc(&e.to_string())
+            );
+        }
+    }
+    s
+}
+
+/// Reads the successfully recorded cells of a log, validating that its
+/// header matches `axes` (a log from a different grid must not be
+/// silently merged). Error cells and torn trailing lines are skipped —
+/// resume re-runs them.
+pub(crate) fn read_recorded(
+    path: impl AsRef<Path>,
+    axes: &SweepAxes,
+) -> Result<Vec<(CellCoord, RunOutput, f64)>, EngineError> {
+    let path = path.as_ref();
+    let text = std::fs::read_to_string(path).map_err(|e| EngineError::Io {
+        detail: format!("reading {}: {e}", path.display()),
+    })?;
+    let mut lines = text.lines();
+    let header = lines.next().unwrap_or("");
+    if header.trim() != header_line(axes) {
+        return Err(EngineError::InvalidConfig(format!(
+            "{} belongs to a different grid (axes header mismatch); \
+             delete it or point the sweep elsewhere",
+            path.display()
+        )));
+    }
+    let mut out = Vec::new();
+    for line in lines {
+        // A torn final line (killed mid-write) parses as None: skip it
+        // and let the cell re-run.
+        if let Some(cell) = parse_cell_line(line, axes) {
+            out.push(cell);
+        }
+    }
+    Ok(out)
+}
+
+/// Parses one cell line back into its coordinate + summary-only
+/// [`RunOutput`] + recorded wall seconds. `None` for error cells,
+/// malformed (torn) lines, or out-of-range coordinates.
+fn parse_cell_line(line: &str, axes: &SweepAxes) -> Option<(CellCoord, RunOutput, f64)> {
+    let fields = parse_flat_object(line)?;
+    let num = |key: &str| fields.iter().find(|(k, _)| k.as_str() == key)?.1.as_f64();
+    let coord = CellCoord {
+        policy: num("policy")? as usize,
+        soc: num("soc")? as usize,
+        cache: num("cache")? as usize,
+        workload: num("workload")? as usize,
+        qos: num("qos")? as usize,
+        lookahead: num("lookahead")? as usize,
+        seed: num("seed")? as usize,
+    };
+    if !axes.contains(&coord) {
+        return None;
+    }
+    let ok = fields
+        .iter()
+        .find(|(k, _)| k.as_str() == "ok")
+        .and_then(|(_, v)| v.as_bool())?;
+    if !ok {
+        return None;
+    }
+    let label = match &fields.iter().find(|(k, _)| k.as_str() == "label")?.1 {
+        JsonVal::Str(s) => s.clone(),
+        _ => return None,
+    };
+    let summary = RunSummary {
+        tasks: num("tasks")? as usize,
+        inferences: num("inferences")? as usize,
+        cache_hit_rate: num("cache_hit_rate")?,
+        avg_latency_ms: num("avg_latency_ms")?,
+        mem_mb_per_model: num("mem_mb_per_model")?,
+        makespan_ms: num("makespan_ms")?,
+        sla_rate: num("sla_rate")?,
+        multicast_saved_mb: num("multicast_saved_mb")?,
+    };
+    Some((
+        coord,
+        RunOutput {
+            policy: label,
+            summary,
+            detail: None,
+        },
+        num("wall_s")?,
+    ))
+}
+
+// ------------------------------------------------------------------
+// Minimal flat-JSON parsing (the log is written by this module, so a
+// full JSON parser is not needed — but string escapes are honored so
+// user-supplied labels round-trip)
+// ------------------------------------------------------------------
+
+#[derive(Debug, PartialEq)]
+enum JsonVal {
+    Num(String),
+    Bool(bool),
+    Str(String),
+}
+
+impl JsonVal {
+    fn as_f64(&self) -> Option<f64> {
+        match self {
+            JsonVal::Num(s) => s.parse().ok(),
+            _ => None,
+        }
+    }
+
+    fn as_bool(&self) -> Option<bool> {
+        match self {
+            JsonVal::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+}
+
+/// Parses a one-level JSON object of string/number/boolean values.
+fn parse_flat_object(line: &str) -> Option<Vec<(String, JsonVal)>> {
+    let mut chars = line.trim().char_indices().peekable();
+    let s = line.trim();
+    if !s.starts_with('{') || !s.ends_with('}') {
+        return None;
+    }
+    chars.next(); // consume '{'
+    let mut fields = Vec::new();
+    loop {
+        // Skip whitespace and separators up to the next key or the end.
+        while matches!(chars.peek(), Some((_, c)) if c.is_whitespace() || *c == ',') {
+            chars.next();
+        }
+        match chars.peek() {
+            Some((_, '}')) | None => break,
+            Some((_, '"')) => {}
+            _ => return None,
+        }
+        let key = parse_string(&mut chars)?;
+        while matches!(chars.peek(), Some((_, c)) if c.is_whitespace()) {
+            chars.next();
+        }
+        if !matches!(chars.next(), Some((_, ':'))) {
+            return None;
+        }
+        while matches!(chars.peek(), Some((_, c)) if c.is_whitespace()) {
+            chars.next();
+        }
+        let val = match chars.peek()? {
+            (_, '"') => JsonVal::Str(parse_string(&mut chars)?),
+            (_, 't' | 'f') => {
+                let word: String = std::iter::from_fn(|| {
+                    matches!(chars.peek(), Some((_, c)) if c.is_ascii_alphabetic())
+                        .then(|| chars.next().map(|(_, c)| c))
+                        .flatten()
+                })
+                .collect();
+                match word.as_str() {
+                    "true" => JsonVal::Bool(true),
+                    "false" => JsonVal::Bool(false),
+                    _ => return None,
+                }
+            }
+            _ => {
+                let num: String = std::iter::from_fn(|| {
+                    matches!(chars.peek(), Some((_, c)) if !c.is_whitespace() && *c != ',' && *c != '}')
+                        .then(|| chars.next().map(|(_, c)| c))
+                        .flatten()
+                })
+                .collect();
+                if num.is_empty() {
+                    return None;
+                }
+                JsonVal::Num(num)
+            }
+        };
+        fields.push((key, val));
+    }
+    Some(fields)
+}
+
+/// Parses a double-quoted JSON string (cursor on the opening quote),
+/// un-escaping what the report module's `esc` produced.
+fn parse_string(chars: &mut std::iter::Peekable<std::str::CharIndices<'_>>) -> Option<String> {
+    if !matches!(chars.next(), Some((_, '"'))) {
+        return None;
+    }
+    let mut out = String::new();
+    loop {
+        match chars.next()? {
+            (_, '"') => return Some(out),
+            (_, '\\') => match chars.next()?.1 {
+                '"' => out.push('"'),
+                '\\' => out.push('\\'),
+                'n' => out.push('\n'),
+                'r' => out.push('\r'),
+                't' => out.push('\t'),
+                'u' => {
+                    let mut code = 0u32;
+                    for _ in 0..4 {
+                        code = code * 16 + chars.next()?.1.to_digit(16)?;
+                    }
+                    out.push(char::from_u32(code)?);
+                }
+                _ => return None,
+            },
+            (_, c) => out.push(c),
+        }
+    }
+}
+
+// ------------------------------------------------------------------
+// Multi-seed statistics sink
+// ------------------------------------------------------------------
+
+/// Mean / sample stddev / 95% CI half-width of one metric over the
+/// seeds of a cell group.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MetricStats {
+    /// Arithmetic mean over seeds.
+    pub mean: f64,
+    /// Sample standard deviation (0.0 with fewer than two seeds).
+    pub stddev: f64,
+    /// Half-width of the two-sided 95% Student-t confidence interval
+    /// of the mean (0.0 with fewer than two seeds).
+    pub ci95: f64,
+}
+
+impl From<&Welford> for MetricStats {
+    fn from(w: &Welford) -> Self {
+        MetricStats {
+            mean: w.mean(),
+            stddev: w.stddev(),
+            ci95: w.ci95(),
+        }
+    }
+}
+
+/// Multi-seed statistics of one non-seed coordinate.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SeedStats {
+    /// The group's coordinate with `seed` normalized to 0.
+    pub coord: CellCoord,
+    /// Successful runs folded into the statistics.
+    pub n: u64,
+    /// Failed cells in the group (excluded from the statistics).
+    pub errors: u64,
+    /// Stats over [`RunSummary::avg_latency_ms`].
+    pub avg_latency_ms: MetricStats,
+    /// Stats over [`RunSummary::mem_mb_per_model`].
+    pub mem_mb_per_model: MetricStats,
+    /// Stats over [`RunSummary::cache_hit_rate`].
+    pub cache_hit_rate: MetricStats,
+    /// Stats over [`RunSummary::makespan_ms`].
+    pub makespan_ms: MetricStats,
+    /// Stats over [`RunSummary::sla_rate`].
+    pub sla_rate: MetricStats,
+}
+
+#[derive(Debug, Default)]
+struct SeedGroup {
+    errors: u64,
+    lat: Welford,
+    mem: Welford,
+    hit: Welford,
+    makespan: Welford,
+    sla: Welford,
+}
+
+/// Folds the seeds axis into per-group mean / stddev / 95% CI as cells
+/// arrive: two cells belong to the same group when every coordinate
+/// but `seed` matches.
+///
+/// Aggregation is order-insensitive up to floating-point associativity
+/// of Welford updates over the (deterministic) per-seed summaries; for
+/// exact reproducibility fold a finished [`SweepResult`] with
+/// [`SeedAggregate::of`], which visits cells in row-major order.
+///
+/// [`SweepResult`]: crate::SweepResult
+#[derive(Debug, Default)]
+pub struct SeedAggregate {
+    groups: HashMap<CellCoord, SeedGroup>,
+}
+
+impl SeedAggregate {
+    /// Creates an empty aggregate.
+    pub fn new() -> Self {
+        SeedAggregate::default()
+    }
+
+    /// Folds a whole in-memory sweep (cells visited in row-major
+    /// order) and returns the statistics.
+    pub fn of(result: &crate::SweepResult) -> Vec<SeedStats> {
+        let mut agg = SeedAggregate::new();
+        for cell in &result.cells {
+            match &cell.outcome {
+                Ok(run) => agg.fold(cell.coord, &run.summary),
+                Err(_) => agg.fold_error(cell.coord),
+            }
+        }
+        agg.stats()
+    }
+
+    /// Folds one successful cell's summary into its group.
+    pub fn fold(&mut self, coord: CellCoord, summary: &RunSummary) {
+        let g = self.groups.entry(group_key(coord)).or_default();
+        g.lat.record(summary.avg_latency_ms);
+        g.mem.record(summary.mem_mb_per_model);
+        g.hit.record(summary.cache_hit_rate);
+        g.makespan.record(summary.makespan_ms);
+        g.sla.record(summary.sla_rate);
+    }
+
+    /// Counts one failed cell against its group.
+    pub fn fold_error(&mut self, coord: CellCoord) {
+        self.groups.entry(group_key(coord)).or_default().errors += 1;
+    }
+
+    /// The per-group statistics, sorted in row-major coordinate order.
+    pub fn stats(&self) -> Vec<SeedStats> {
+        let mut out: Vec<SeedStats> = self
+            .groups
+            .iter()
+            .map(|(coord, g)| SeedStats {
+                coord: *coord,
+                n: g.lat.count(),
+                errors: g.errors,
+                avg_latency_ms: (&g.lat).into(),
+                mem_mb_per_model: (&g.mem).into(),
+                cache_hit_rate: (&g.hit).into(),
+                makespan_ms: (&g.makespan).into(),
+                sla_rate: (&g.sla).into(),
+            })
+            .collect();
+        out.sort_by_key(|s| {
+            let c = s.coord;
+            (c.policy, c.soc, c.cache, c.workload, c.qos, c.lookahead)
+        });
+        out
+    }
+}
+
+impl CellSink for SeedAggregate {
+    fn on_cell(&mut self, coord: CellCoord, outcome: CellOutcome) {
+        match &outcome.outcome {
+            Ok(run) => self.fold(coord, &run.summary),
+            Err(_) => self.fold_error(coord),
+        }
+    }
+}
+
+fn group_key(mut coord: CellCoord) -> CellCoord {
+    coord.seed = 0;
+    coord
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn coord(seed: usize) -> CellCoord {
+        CellCoord {
+            policy: 1,
+            soc: 0,
+            cache: 2,
+            workload: 0,
+            qos: 0,
+            lookahead: 0,
+            seed,
+        }
+    }
+
+    fn summary(lat: f64) -> RunSummary {
+        RunSummary {
+            tasks: 2,
+            inferences: 4,
+            cache_hit_rate: lat / 100.0,
+            avg_latency_ms: lat,
+            mem_mb_per_model: 2.0 * lat,
+            makespan_ms: 10.0 * lat,
+            sla_rate: 1.0,
+            multicast_saved_mb: 0.0,
+        }
+    }
+
+    #[test]
+    fn seed_aggregate_matches_hand_computed_fixture() {
+        // Latencies {10, 12, 14} over three seeds: mean 12, sample
+        // stddev 2, CI95 half-width t(0.975, 2) * 2 / sqrt(3).
+        let mut agg = SeedAggregate::new();
+        for (seed, lat) in [(0, 10.0), (1, 12.0), (2, 14.0)] {
+            agg.fold(coord(seed), &summary(lat));
+        }
+        let stats = agg.stats();
+        assert_eq!(stats.len(), 1, "one non-seed group");
+        let s = &stats[0];
+        assert_eq!(s.coord.seed, 0);
+        assert_eq!((s.coord.policy, s.coord.cache), (1, 2));
+        assert_eq!(s.n, 3);
+        assert_eq!(s.errors, 0);
+        assert!((s.avg_latency_ms.mean - 12.0).abs() < 1e-12);
+        assert!((s.avg_latency_ms.stddev - 2.0).abs() < 1e-12);
+        let expect_ci = 4.303 * 2.0 / 3.0_f64.sqrt();
+        assert!(
+            (s.avg_latency_ms.ci95 - expect_ci).abs() < 1e-9,
+            "ci {} != {expect_ci}",
+            s.avg_latency_ms.ci95
+        );
+        // The dependent metrics scale with the fixture.
+        assert!((s.mem_mb_per_model.mean - 24.0).abs() < 1e-12);
+        assert!((s.makespan_ms.stddev - 20.0).abs() < 1e-12);
+        assert!((s.sla_rate.stddev - 0.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn error_cells_are_counted_not_folded() {
+        let mut agg = SeedAggregate::new();
+        agg.fold(coord(0), &summary(10.0));
+        agg.fold_error(coord(1));
+        let stats = agg.stats();
+        assert_eq!(stats[0].n, 1);
+        assert_eq!(stats[0].errors, 1);
+        assert_eq!(stats[0].avg_latency_ms.mean, 10.0);
+        assert_eq!(stats[0].avg_latency_ms.ci95, 0.0, "one sample, no CI");
+    }
+
+    #[test]
+    fn cell_lines_roundtrip_bit_for_bit() {
+        let axes = SweepAxes {
+            policies: vec!["Baseline".into(), "needs \"escaping\"".into()],
+            socs: vec!["paper".into()],
+            caches: vec!["default".into(), "16MiB".into(), "32MiB".into()],
+            workloads: vec!["w".into()],
+            qos: vec!["closed".into()],
+            lookaheads: vec!["default".into()],
+            seeds: vec![1, 2],
+        };
+        let c = CellCoord {
+            policy: 1,
+            soc: 0,
+            cache: 2,
+            workload: 0,
+            qos: 0,
+            lookahead: 0,
+            seed: 1,
+        };
+        let run = RunOutput {
+            policy: "needs \"escaping\"".into(),
+            summary: RunSummary {
+                tasks: 3,
+                inferences: 7,
+                // Awkward doubles: shortest-roundtrip Display must
+                // reproduce them exactly.
+                cache_hit_rate: 1.0 / 3.0,
+                avg_latency_ms: 0.1 + 0.2,
+                mem_mb_per_model: f64::MIN_POSITIVE,
+                makespan_ms: 12345.678901234567,
+                sla_rate: 1.0,
+                multicast_saved_mb: 0.0,
+            },
+            detail: None,
+        };
+        let line = cell_line(
+            c,
+            &CellRun {
+                outcome: Ok(run.clone()),
+                wall_s: 0.015625,
+            },
+        );
+        let (pc, prun, wall) = parse_cell_line(&line, &axes).expect("line parses");
+        assert_eq!(pc, c);
+        assert_eq!(prun, run, "summary must roundtrip bit-for-bit");
+        assert_eq!(wall, 0.015625);
+        // Error lines are skipped (they re-run on resume).
+        let err_line = cell_line(
+            c,
+            &CellRun {
+                outcome: Err(EngineError::EmptyWorkload),
+                wall_s: 0.0,
+            },
+        );
+        assert!(parse_cell_line(&err_line, &axes).is_none());
+        // Torn lines (killed mid-write) are skipped, not fatal.
+        assert!(parse_cell_line(&line[..line.len() / 2], &axes).is_none());
+        // Out-of-range coordinates (a log from a bigger grid) too.
+        let small = SweepAxes {
+            caches: vec!["default".into()],
+            ..axes.clone()
+        };
+        assert!(parse_cell_line(&line, &small).is_none());
+        // Non-finite values serialize as JSON null (never `NaN`/`inf`),
+        // which the reader skips — the cell re-runs instead of
+        // poisoning the log.
+        let mut weird = run;
+        weird.summary.avg_latency_ms = f64::NAN;
+        let weird_line = cell_line(
+            c,
+            &CellRun {
+                outcome: Ok(weird),
+                wall_s: f64::INFINITY,
+            },
+        );
+        assert!(weird_line.contains("\"avg_latency_ms\": null"));
+        assert!(weird_line.contains("\"wall_s\": null"));
+        assert!(!weird_line.contains(": NaN") && !weird_line.contains(": inf"));
+        assert!(parse_cell_line(&weird_line, &axes).is_none());
+    }
+}
