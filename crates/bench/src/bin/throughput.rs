@@ -4,9 +4,14 @@
 //!
 //! Each scenario runs twice — once through the batched memory-system
 //! fast paths (the default) and once with
-//! [`SimulationBuilder::reference_model`] — and the harness asserts the
-//! two [`RunResult`]s are identical before reporting the speedup, so
+//! `SimulationBuilder::reference_model` — and the harness asserts the
+//! two `RunOutput`s are identical before reporting the speedup, so
 //! every benchmark run doubles as a whole-engine differential test.
+//! It also asserts that the summary-level latency tail is populated
+//! with exactly one sample per measured inference at *every* detail
+//! level — the O(bins) tail accounting rides the aggregation step, not
+//! the hot loop, and the cycles-per-second figures tracked per commit
+//! would expose any regression there.
 //!
 //! Usage: `cargo run --release -p camdn-bench --bin throughput`
 //!
@@ -105,6 +110,27 @@ fn main() {
         assert!(
             identical,
             "{}: batched result diverged from the reference model",
+            sc.name
+        );
+        // Tail stats cost O(bins) and are filled during aggregation:
+        // every measured inference lands in the compact tail, at the
+        // default detail level and bit-identically at summary-only.
+        let tail = &r_fast.summary.latency_tail;
+        assert_eq!(
+            tail.total(),
+            r_fast.summary.inferences as u64,
+            "{}: latency tail must count every measured inference",
+            sc.name
+        );
+        let summary_only = Simulation::builder()
+            .policy(sc.policy)
+            .workload(sc.workload.clone())
+            .detail(camdn_runtime::DetailLevel::Summary)
+            .run()
+            .expect("summary-only run");
+        assert_eq!(
+            summary_only.summary, r_fast.summary,
+            "{}: summary (incl. tail) must be bit-identical at every detail level",
             sc.name
         );
         let sim_cycles = camdn_common::types::ms_to_cycles(r_fast.summary.makespan_ms);

@@ -38,7 +38,15 @@
 //! [`camdn_dram`], [`camdn_npu`], [`camdn_analysis`] and
 //! [`camdn_common`].
 
+#![warn(missing_docs)]
 #![deny(deprecated)]
+
+/// Compiles and runs the README's code examples as doctests, so the
+/// documented snippets (Quickstart, Sweeps, Results pipeline) cannot
+/// drift from the real API.
+#[doc = include_str!("../../../README.md")]
+#[cfg(doctest)]
+pub struct ReadmeDoctests;
 
 pub use camdn_analysis as analysis;
 pub use camdn_cache as cache;
@@ -55,11 +63,11 @@ pub use camdn_mapper::{PlanCache, PlanCacheStats};
 #[allow(deprecated)]
 pub use camdn_runtime::RunResult;
 pub use camdn_runtime::{
-    qos_metrics, register_policy, ArrivalProcess, DetailLevel, EngineError, Policy, PolicyKind,
-    PolicyRegistry, QosMetrics, RunDetail, RunOutput, RunSummary, Simulation, SimulationBuilder,
-    TaskSummary, Workload,
+    qos_metrics, register_policy, ArrivalProcess, DetailLevel, EngineError, LatencyTail, Policy,
+    PolicyKind, PolicyRegistry, QosMetrics, RunDetail, RunOutput, RunSummary, Simulation,
+    SimulationBuilder, TaskSummary, Workload, LATENCY_HIST_BUCKETS, LATENCY_HIST_EDGES,
 };
 pub use camdn_sweep::{
-    CellCoord, CellOutcome, CellSink, JsonlSink, MemorySink, MetricStats, SeedAggregate, SeedStats,
-    Sweep, SweepBuilder, SweepCell, SweepInfo, SweepResult,
+    bursty_ramp, CellCoord, CellOutcome, CellSink, JsonlSink, MemorySink, MetricStats,
+    SeedAggregate, SeedStats, Sweep, SweepBuilder, SweepCell, SweepInfo, SweepResult,
 };

@@ -47,7 +47,21 @@ fn streamed_grid_equals_in_memory_grid_cell_for_cell() {
     // it back through resume re-runs nothing.
     let text = std::fs::read_to_string(&path).expect("log exists");
     assert_eq!(text.lines().count(), 1 + streamed.cells.len());
-    assert!(text.lines().next().unwrap().contains("camdn-sweep-cells/1"));
+    let header = text.lines().next().unwrap();
+    assert!(header.contains("camdn-sweep-cells/2"));
+    assert!(
+        header.contains("\"channels\": [\"default\"]"),
+        "v2 header names the channel axis: {header}"
+    );
+    assert!(
+        header.contains("\"hist_edges\": [65536,"),
+        "v2 header names the latency bucket edges: {header}"
+    );
+    // Every ok cell line serializes the latency tail.
+    for line in text.lines().skip(1) {
+        assert!(line.contains("\"lat_counts\": ["), "cell line: {line}");
+        assert!(line.contains("\"p99_ms\": "), "cell line: {line}");
+    }
     let resumed = small_grid().resume(&path).expect("resume full log");
     assert_eq!(
         resumed.cells_resumed,
@@ -78,12 +92,111 @@ fn killed_grid_resumes_to_a_bit_for_bit_cold_run() {
         "exactly the two recorded cells are skipped"
     );
     assert_same_cells(&resumed, &cold);
+    // Bit-for-bit includes the latency tail: resumed-from-log cells
+    // reproduce their recorded bucket counts exactly.
+    for cell in &resumed.cells {
+        let tail = cell.outcome.as_ref().unwrap().summary.latency_tail;
+        assert!(tail.total() > 0, "every cell measured inferences");
+        assert!(tail.p99_ms() > 0.0);
+    }
 
     // After the resume the log is complete again: resuming once more
     // runs nothing and still matches.
     let resumed_again = small_grid().resume(&path).expect("second resume");
     assert_eq!(resumed_again.cells_resumed, resumed_again.cells.len());
     assert_same_cells(&resumed_again, &cold);
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn resume_accepts_a_v1_log_with_empty_tails_and_upgrades_it() {
+    // Reconstruct, byte for byte, the log the retired
+    // `camdn-sweep-cells/1` writer produced for this grid's first two
+    // cells (no channel axis, no latency-tail fields), and resume from
+    // it: the recorded coordinates must be served from the log — with
+    // an *empty* tail, since v1 never recorded one — while everything
+    // else runs fresh, and the rewritten log must be upgraded to /2.
+    let path = unique_path("v1log");
+    let cold = small_grid().run().expect("cold grid");
+    let v1_header = "{\"schema\": \"camdn-sweep-cells/1\", \
+                     \"policies\": [\"Baseline\", \"CaMDN(Full)\"], \"socs\": [\"paper\"], \
+                     \"caches\": [\"default\"], \"workloads\": [\"mb\"], \"qos\": [\"closed\"], \
+                     \"lookaheads\": [\"default\"], \"seeds\": [1, 2, 3]}";
+    let mut log = String::from(v1_header);
+    for cell in &cold.cells[..2] {
+        let r = cell.outcome.as_ref().unwrap();
+        let m = &r.summary;
+        let c = &cell.coord;
+        log.push_str(&format!(
+            "\n{{\"policy\": {}, \"soc\": {}, \"cache\": {}, \"workload\": {}, \"qos\": {}, \
+             \"lookahead\": {}, \"seed\": {}, \"wall_s\": 0.5, \"ok\": true, \
+             \"label\": \"{}\", \"tasks\": {}, \"inferences\": {}, \"cache_hit_rate\": {}, \
+             \"avg_latency_ms\": {}, \"mem_mb_per_model\": {}, \"makespan_ms\": {}, \
+             \"sla_rate\": {}, \"multicast_saved_mb\": {}}}",
+            c.policy,
+            c.soc,
+            c.cache,
+            c.workload,
+            c.qos,
+            c.lookahead,
+            c.seed,
+            r.policy,
+            m.tasks,
+            m.inferences,
+            m.cache_hit_rate,
+            m.avg_latency_ms,
+            m.mem_mb_per_model,
+            m.makespan_ms,
+            m.sla_rate,
+            m.multicast_saved_mb,
+        ));
+    }
+    log.push('\n');
+    std::fs::write(&path, log).expect("write v1 log");
+
+    let resumed = small_grid().resume(&path).expect("v1 log accepted");
+    assert_eq!(resumed.cells_resumed, 2, "both v1 cells are served");
+    for (i, (x, y)) in cold.cells.iter().zip(&resumed.cells).enumerate() {
+        let (a, b) = (x.outcome.as_ref().unwrap(), y.outcome.as_ref().unwrap());
+        assert_eq!(a.policy, b.policy);
+        // Scalar aggregates round-trip bit-for-bit even from v1...
+        assert_eq!(a.summary.avg_latency_ms, b.summary.avg_latency_ms);
+        assert_eq!(a.summary.makespan_ms, b.summary.makespan_ms);
+        assert_eq!(a.summary.inferences, b.summary.inferences);
+        if i < 2 {
+            // ...but v1 never recorded a tail: the resumed cells carry
+            // an empty one (documented compatibility trade-off).
+            assert_eq!(b.summary.latency_tail.total(), 0);
+        } else {
+            // Fresh cells measured their tails as usual.
+            assert_eq!(a.summary.latency_tail, b.summary.latency_tail);
+            assert!(b.summary.latency_tail.total() > 0);
+        }
+    }
+    // The resume rewrote the log in the current schema.
+    let text = std::fs::read_to_string(&path).expect("rewritten log");
+    assert!(text.lines().next().unwrap().contains("camdn-sweep-cells/2"));
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn resume_rejects_a_v1_log_when_the_grid_has_a_channel_axis() {
+    // A v1 grid could not express a channel axis, so its coordinates
+    // are ambiguous against one: the log must be rejected as a
+    // different grid, not silently merged at channel 0.
+    let path = unique_path("v1chan");
+    let v1_header = "{\"schema\": \"camdn-sweep-cells/1\", \
+                     \"policies\": [\"Baseline\"], \"socs\": [\"paper\"], \
+                     \"caches\": [\"default\"], \"workloads\": [\"mb\"], \"qos\": [\"closed\"], \
+                     \"lookaheads\": [\"default\"], \"seeds\": [1]}";
+    std::fs::write(&path, format!("{v1_header}\n")).expect("write v1 header");
+    let err = Sweep::grid()
+        .workload("mb", Workload::closed(vec![zoo::mobilenet_v2()], 2))
+        .seeds([1])
+        .channel_counts([2, 4])
+        .resume(&path)
+        .expect_err("channel-axis grid must reject a v1 log");
+    assert!(err.to_string().contains("different grid"), "{err}");
     std::fs::remove_file(&path).ok();
 }
 

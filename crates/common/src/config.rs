@@ -240,6 +240,25 @@ impl SocConfig {
         self.cache.total_bytes = total_bytes;
         self
     }
+
+    /// Scaling-experiment variant: same SoC with a different DRAM
+    /// channel count, keeping *per-channel* bandwidth constant — the
+    /// aggregate `bytes_per_cycle` scales with the channel count, so
+    /// doubling the channels doubles peak memory bandwidth (the
+    /// physical meaning of adding channels to a design).
+    ///
+    /// # Panics
+    ///
+    /// Panics on `channels == 0` — a zero-channel DRAM has no
+    /// bandwidth and would otherwise only surface as a
+    /// division-by-zero deep inside the memory model.
+    pub fn with_dram_channels(mut self, channels: u32) -> Self {
+        assert!(channels > 0, "the DRAM needs at least one channel");
+        let per_channel = self.dram.channel_bytes_per_cycle();
+        self.dram.channels = channels;
+        self.dram.bytes_per_cycle = per_channel * f64::from(channels);
+        self
+    }
 }
 
 #[cfg(test)]
@@ -296,5 +315,24 @@ mod tests {
         assert_eq!(c.cache.total_bytes, 64 * MIB);
         assert_eq!(c.cache.ways, 16);
         assert_eq!(c.npu.cores, 16);
+    }
+
+    #[test]
+    fn channel_variant_scales_aggregate_bandwidth() {
+        let c = SocConfig::paper_default().with_dram_channels(8);
+        assert_eq!(c.dram.channels, 8);
+        // Per-channel bandwidth is held at the Table II 25.6 B/cycle, so
+        // the aggregate doubles with the channel count.
+        assert!((c.dram.channel_bytes_per_cycle() - 25.6).abs() < 1e-9);
+        assert!((c.dram.bytes_per_cycle - 204.8).abs() < 1e-9);
+        // Identity at the paper's own channel count.
+        let same = SocConfig::paper_default().with_dram_channels(4);
+        assert_eq!(same.dram, DramConfig::paper_default());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one channel")]
+    fn zero_channels_are_rejected_at_configuration_time() {
+        let _ = SocConfig::paper_default().with_dram_channels(0);
     }
 }

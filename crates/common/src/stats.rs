@@ -50,12 +50,22 @@ impl std::fmt::Display for Counter {
 ///
 /// Bucket `i` covers `[edges[i-1], edges[i])`, with an implicit final
 /// bucket for values `>= edges.last()`.
+///
+/// Histograms over the *same* edges are mergeable ([`Histogram::merge`])
+/// and quantile-queryable ([`Histogram::quantile`]): merging adds the
+/// bucket counts (and pools min/max/sum), so percentiles of a merged
+/// histogram come from the pooled samples — the right way to fold
+/// per-seed tails, as opposed to averaging per-seed percentiles.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct Histogram {
     edges: Vec<u64>,
     counts: Vec<u64>,
     total: u64,
     sum: u128,
+    /// Smallest recorded sample (`u64::MAX` when empty).
+    min: u64,
+    /// Largest recorded sample (`0` when empty).
+    max: u64,
 }
 
 impl Histogram {
@@ -75,6 +85,8 @@ impl Histogram {
             counts: vec![0; edges.len() + 1],
             total: 0,
             sum: 0,
+            min: u64::MAX,
+            max: 0,
         }
     }
 
@@ -85,10 +97,55 @@ impl Histogram {
 
     /// Records `n` identical samples (weighted insert).
     pub fn record_n(&mut self, value: u64, n: u64) {
+        if n == 0 {
+            return;
+        }
         let idx = self.edges.partition_point(|&e| e <= value);
         self.counts[idx] += n;
         self.total += n;
         self.sum += u128::from(value) * u128::from(n);
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+    }
+
+    /// Folds another histogram into this one: bucket counts add, and
+    /// min/max/sum pool, so quantiles of the merged histogram are
+    /// quantiles of the pooled sample set.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the two histograms do not share identical bucket
+    /// edges — counts over different buckets cannot be added
+    /// meaningfully.
+    pub fn merge(&mut self, other: &Histogram) {
+        assert_eq!(
+            self.edges, other.edges,
+            "merging histograms requires identical bucket edges"
+        );
+        for (c, o) in self.counts.iter_mut().zip(&other.counts) {
+            *c += o;
+        }
+        self.total += other.total;
+        self.sum += other.sum;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// An upper-bound estimate of the `q`-quantile of the recorded
+    /// samples (`None` when empty); see [`bucket_quantile`] for the
+    /// estimator and its documented error bound.
+    pub fn quantile(&self, q: f64) -> Option<u64> {
+        bucket_quantile(&self.edges, &self.counts, self.max, q)
+    }
+
+    /// Smallest recorded sample (`None` when empty).
+    pub fn min(&self) -> Option<u64> {
+        (self.total > 0).then_some(self.min)
+    }
+
+    /// Largest recorded sample (`None` when empty).
+    pub fn max(&self) -> Option<u64> {
+        (self.total > 0).then_some(self.max)
     }
 
     /// Number of samples recorded.
@@ -125,6 +182,49 @@ impl Histogram {
     pub fn edges(&self) -> &[u64] {
         &self.edges
     }
+}
+
+/// Upper-bound quantile estimate over bucketed counts — the estimator
+/// behind [`Histogram::quantile`] and the runtime's compact latency
+/// tail.
+///
+/// `edges` are the ascending bucket boundaries ([`Histogram`]
+/// semantics: bucket `i` covers `[edges[i-1], edges[i])`, the final
+/// bucket is `[edges.last(), ∞)`), `counts` has `edges.len() + 1`
+/// entries, and `max` is the largest recorded sample (used to clamp
+/// the open-ended final bucket). Returns `None` when `counts` is all
+/// zero.
+///
+/// The estimate is the inclusive upper bound of the bucket holding the
+/// `⌈q·n⌉`-th smallest sample (clamped to `max`). Two guarantees
+/// follow, and the test suite checks both against exact sorted-sample
+/// quantiles:
+///
+/// * **never an under-estimate** — `exact ≤ estimate` (conservative
+///   for SLA/tail reporting);
+/// * **bin-resolution error** — the estimate lies in the *same bucket*
+///   as the exact order statistic, so `estimate − exact` is less than
+///   that bucket's width. For geometric (e.g. power-of-two) edges this
+///   is a bounded *relative* error: `estimate < 2 × exact` whenever
+///   the exact value is at or above the bucket's lower edge ≥ 1.
+pub fn bucket_quantile(edges: &[u64], counts: &[u64], max: u64, q: f64) -> Option<u64> {
+    debug_assert_eq!(counts.len(), edges.len() + 1);
+    let total: u64 = counts.iter().sum();
+    if total == 0 {
+        return None;
+    }
+    let q = q.clamp(0.0, 1.0);
+    let k = ((q * total as f64).ceil() as u64).clamp(1, total);
+    let mut cum = 0u64;
+    for (i, &c) in counts.iter().enumerate() {
+        cum += c;
+        if cum >= k {
+            let upper_incl = edges.get(i).map_or(u64::MAX, |&e| e.saturating_sub(1));
+            return Some(upper_incl.min(max));
+        }
+    }
+    // Unreachable: cum == total >= k after the loop.
+    Some(max)
 }
 
 /// Streaming mean/min/max tracker for floating-point samples.
@@ -324,6 +424,156 @@ mod tests {
     #[should_panic(expected = "ascending")]
     fn histogram_rejects_unsorted_edges() {
         let _ = Histogram::new(&[10, 10]);
+    }
+
+    #[test]
+    fn histogram_tracks_min_and_max() {
+        let mut h = Histogram::new(&[10, 20]);
+        assert_eq!(h.min(), None);
+        assert_eq!(h.max(), None);
+        h.record(15);
+        h.record_n(3, 2);
+        h.record(40);
+        assert_eq!(h.min(), Some(3));
+        assert_eq!(h.max(), Some(40));
+        // Zero-weight inserts change nothing.
+        h.record_n(1000, 0);
+        assert_eq!(h.max(), Some(40));
+        assert_eq!(h.total(), 4);
+    }
+
+    #[test]
+    fn histogram_merge_pools_samples() {
+        let mut a = Histogram::new(&[10, 20]);
+        a.record(5);
+        a.record(12);
+        let mut b = Histogram::new(&[10, 20]);
+        b.record(25);
+        b.record_n(1, 3);
+        a.merge(&b);
+        assert_eq!(a.counts(), &[4, 1, 1]);
+        assert_eq!(a.total(), 6);
+        assert_eq!(a.min(), Some(1));
+        assert_eq!(a.max(), Some(25));
+        // The pooled mean covers all six samples (three weight-1 ones).
+        let exact = (5.0 + 12.0 + 25.0 + 3.0 * 1.0) / 6.0;
+        assert!((a.mean() - exact).abs() < 1e-12);
+        // Merging an empty histogram is the identity.
+        let before = a.clone();
+        a.merge(&Histogram::new(&[10, 20]));
+        assert_eq!(a, before);
+    }
+
+    #[test]
+    #[should_panic(expected = "identical bucket edges")]
+    fn histogram_merge_rejects_different_edges() {
+        let mut a = Histogram::new(&[10]);
+        a.merge(&Histogram::new(&[20]));
+    }
+
+    #[test]
+    fn quantile_is_empty_safe_and_clamped() {
+        let h = Histogram::new(&[10, 20]);
+        assert_eq!(h.quantile(0.5), None);
+        let mut h = Histogram::new(&[10, 20]);
+        h.record(7);
+        // One sample: every q maps to it; clamped to the recorded max.
+        assert_eq!(h.quantile(0.0), Some(7));
+        assert_eq!(h.quantile(0.5), Some(7));
+        assert_eq!(h.quantile(1.0), Some(7));
+        // Out-of-range q is clamped, not NaN'd.
+        assert_eq!(h.quantile(-3.0), Some(7));
+        assert_eq!(h.quantile(42.0), Some(7));
+    }
+
+    #[test]
+    fn quantile_overflow_bucket_uses_the_recorded_max() {
+        let mut h = Histogram::new(&[10]);
+        h.record(5);
+        h.record(1_000_000);
+        // The p100 sample sits in the open-ended bucket: the estimate
+        // is the recorded max, not u64::MAX.
+        assert_eq!(h.quantile(1.0), Some(1_000_000));
+        // The p25 sample is in [0, 10): upper bound 9, clamped by max.
+        assert_eq!(h.quantile(0.25), Some(9));
+    }
+
+    /// Exact q-quantile of a sorted sample set under the same rank
+    /// convention the estimator uses (the ⌈q·n⌉-th smallest).
+    fn exact_quantile(sorted: &[u64], q: f64) -> u64 {
+        let n = sorted.len() as u64;
+        let k = ((q * n as f64).ceil() as u64).clamp(1, n);
+        sorted[(k - 1) as usize]
+    }
+
+    /// Bucket index of a value under Histogram semantics.
+    fn bucket_of(edges: &[u64], v: u64) -> usize {
+        edges.partition_point(|&e| e <= v)
+    }
+
+    #[test]
+    fn quantile_matches_exact_sorted_quantiles_within_bin_error() {
+        // Property test (hand-rolled, deterministic): random sample
+        // sets through random geometric edge ladders; the histogram
+        // estimate must never under-state the exact order statistic and
+        // must land in the exact value's own bucket (error < bin
+        // width). Merged histograms over random splits of the same
+        // samples must agree with the unsplit histogram exactly.
+        let mut rng = crate::SimRng::new(0xD1CE);
+        for trial in 0..200 {
+            // Edges: a geometric ladder with a random base and ratio.
+            let base = 1 + rng.next_below(100);
+            let levels = 3 + rng.next_below(10) as usize;
+            let mut edges = Vec::with_capacity(levels);
+            let mut e = base;
+            for _ in 0..levels {
+                edges.push(e);
+                e = e.saturating_mul(2);
+            }
+            // Samples: mixture of uniform, clustered and heavy tail.
+            let n = 1 + rng.next_below(300) as usize;
+            let mut samples = Vec::with_capacity(n);
+            for _ in 0..n {
+                let v = match rng.next_below(4) {
+                    0 => rng.next_below(base * 2),
+                    1 => base * 4 + rng.next_below(base),
+                    2 => rng.next_below(*edges.last().unwrap() * 4),
+                    _ => rng.next_below(16),
+                };
+                samples.push(v);
+            }
+            let mut h = Histogram::new(&edges);
+            // Random split into two histograms merged back together —
+            // quantiles must come from the pooled samples.
+            let mut left = Histogram::new(&edges);
+            let mut right = Histogram::new(&edges);
+            for &s in &samples {
+                h.record(s);
+                if rng.next_below(2) == 0 {
+                    left.record(s);
+                } else {
+                    right.record(s);
+                }
+            }
+            left.merge(&right);
+            assert_eq!(left, h, "trial {trial}: merge must pool exactly");
+
+            let mut sorted = samples.clone();
+            sorted.sort_unstable();
+            for &q in &[0.0, 0.1, 0.5, 0.9, 0.95, 0.99, 0.999, 1.0] {
+                let exact = exact_quantile(&sorted, q);
+                let est = h.quantile(q).expect("non-empty");
+                assert!(
+                    est >= exact,
+                    "trial {trial} q={q}: estimate {est} under-states exact {exact}"
+                );
+                assert_eq!(
+                    bucket_of(&edges, est),
+                    bucket_of(&edges, exact),
+                    "trial {trial} q={q}: estimate {est} left exact {exact}'s bucket"
+                );
+            }
+        }
     }
 
     #[test]

@@ -463,7 +463,8 @@ enum GateSrc {
 /// CAS latency cannot bridge `(window/channels − 1)` bursts) can never
 /// delay the transfer — but it still feeds the bank-ready update of
 /// row-opening lines, so the closed-form walk keeps per-channel
-/// [`SegDesc`] history to evaluate those gates exactly.
+/// segment-descriptor (`SegDesc`) history to evaluate those gates
+/// exactly.
 pub struct LineBatch<'a> {
     dram: &'a mut DramModel,
     now: Cycle,

@@ -9,8 +9,8 @@
 //!
 //! The engine core is policy-agnostic: every scheduling choice (cache
 //! pages, bandwidth shares, NPU groups) is delegated to a boxed
-//! [`Policy`](crate::Policy) through its hooks, and the workload's
-//! timing comes from a [`Workload`](crate::Workload) scenario. The five
+//! [`Policy`] through its hooks, and the workload's
+//! timing comes from a [`Workload`] scenario. The five
 //! systems evaluated in the paper are the built-in policies named by
 //! [`PolicyKind`]; use [`Simulation::builder`](crate::Simulation) to
 //! assemble and run a configuration.
@@ -46,7 +46,7 @@ use std::sync::Arc;
 
 /// Names one of the five built-in system configurations.
 ///
-/// Custom systems implement [`Policy`](crate::Policy) instead; this
+/// Custom systems implement [`Policy`] instead; this
 /// enum remains the convenient way to pick a built-in.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub enum PolicyKind {
@@ -263,6 +263,11 @@ impl Engine {
         if params.soc.npu.cores == 0 {
             return Err(EngineError::InvalidConfig(
                 "the SoC needs at least one NPU core".into(),
+            ));
+        }
+        if params.soc.dram.channels == 0 {
+            return Err(EngineError::InvalidConfig(
+                "the DRAM needs at least one channel".into(),
             ));
         }
         params
@@ -1051,6 +1056,10 @@ impl Engine {
         let want_tasks = self.params.detail >= DetailLevel::Tasks;
         let mut hist = (self.params.detail >= DetailLevel::Full)
             .then(|| Histogram::new(&crate::result::LATENCY_HIST_EDGES));
+        // The compact tail is populated at *every* detail level: it is
+        // `Copy`, costs O(bins) memory, and is filled here — after the
+        // event loop — so the zero-alloc hot loop is untouched.
+        let mut tail = crate::result::LatencyTail::new();
         let mut tasks = Vec::with_capacity(if want_tasks { self.tasks.len() } else { 0 });
         let mut lat_sum = 0.0;
         let mut dram_sum = 0.0;
@@ -1072,8 +1081,9 @@ impl Engine {
             }
             inferences += measured;
             sla_num += sla * measured as f64;
-            if let Some(h) = &mut hist {
-                for r in &t.records[skip.min(t.records.len())..] {
+            for r in &t.records[skip.min(t.records.len())..] {
+                tail.record(r.latency);
+                if let Some(h) = &mut hist {
                     h.record(r.latency);
                 }
             }
@@ -1122,6 +1132,7 @@ impl Engine {
             multicast_saved_mb: self.nec.stats().multicast_saved_lines.get() as f64
                 * self.params.soc.cache.line_bytes as f64
                 / 1e6,
+            latency_tail: tail,
         };
         RunOutput {
             policy: self.label.clone(),

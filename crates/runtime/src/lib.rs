@@ -51,7 +51,10 @@ pub use policies::{
 };
 #[allow(deprecated)]
 pub use result::RunResult;
-pub use result::{DetailLevel, RunDetail, RunOutput, RunSummary, TaskSummary};
+pub use result::{
+    DetailLevel, LatencyTail, RunDetail, RunOutput, RunSummary, TaskSummary, LATENCY_HIST_BUCKETS,
+    LATENCY_HIST_EDGES,
+};
 pub use scenario::{ArrivalProcess, Workload};
 pub use sim::{Simulation, SimulationBuilder};
 pub use task::{InferenceRecord, Task, TaskState};

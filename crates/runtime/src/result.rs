@@ -4,9 +4,12 @@
 //! A simulation's observable output is split in two:
 //!
 //! * [`RunSummary`] — a `Copy` struct of scalar aggregates (hit rate,
-//!   latency, DRAM traffic, makespan, SLA rate). This is what scaling
-//!   studies keep per grid cell: its size is independent of the tenant
-//!   count, so a 256-tenant × 1000-cell sweep stays memory-bounded.
+//!   latency, DRAM traffic, makespan, SLA rate) plus a compact
+//!   [`LatencyTail`] (fixed-size bucket counts; p50/p90/p95/p99/p99.9
+//!   queries). This is what scaling studies keep per grid cell: its
+//!   size is independent of the tenant count, so a 256-tenant ×
+//!   1000-cell sweep stays memory-bounded — and tail percentiles are
+//!   available even when no detail is retained.
 //! * [`RunDetail`] — the per-task [`TaskSummary`] table and, at
 //!   [`DetailLevel::Full`], a latency histogram. Opt-in via
 //!   [`SimulationBuilder::detail`](crate::SimulationBuilder::detail),
@@ -21,7 +24,8 @@
 //! The pre-split [`RunResult`] survives as a deprecated shim that
 //! [`RunOutput::legacy_result`] assembles bit-for-bit from the pair.
 
-use camdn_common::stats::Histogram;
+use camdn_common::stats::{bucket_quantile, Histogram};
+use camdn_common::types::{cycles_to_ms, Cycle};
 use serde::{Deserialize, Serialize};
 
 /// How much per-run output the engine should retain.
@@ -57,6 +61,156 @@ pub const LATENCY_HIST_EDGES: [u64; 15] = [
     1 << 29,
     1 << 30,
 ];
+
+/// Number of buckets of the fixed latency ladder
+/// ([`LATENCY_HIST_EDGES`] plus the open-ended overflow bucket).
+pub const LATENCY_HIST_BUCKETS: usize = LATENCY_HIST_EDGES.len() + 1;
+
+/// Compact tail-latency statistics of one run: a fixed-size bucket
+/// ladder over [`LATENCY_HIST_EDGES`], queryable for p50/p90/p95/p99/
+/// p99.9, and carried *inside* [`RunSummary`] — so percentiles are
+/// available even at [`DetailLevel::Summary`], where no [`RunDetail`]
+/// (and no heap-allocated [`Histogram`]) is retained.
+///
+/// `Copy` and exactly `O(bins)` in size (16 bucket counts + min/max),
+/// independent of the inference count, so sweep cells stay
+/// memory-flat. Tails over the same ladder are mergeable
+/// ([`LatencyTail::merge`]): merged counts pool the underlying
+/// samples, which is how [`SeedAggregate`] derives per-coordinate
+/// percentiles from *pooled* seeds rather than averaging per-seed
+/// percentiles (percentiles do not average).
+///
+/// Quantile estimates inherit the [`bucket_quantile`] guarantees:
+/// never below the exact sorted-sample quantile, and
+/// within the matching bucket's width of it (a `< 2×` relative error
+/// on this power-of-two ladder).
+///
+/// [`SeedAggregate`]: https://docs.rs/camdn-sweep
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LatencyTail {
+    /// Per-bucket sample counts over [`LATENCY_HIST_EDGES`].
+    counts: [u64; LATENCY_HIST_BUCKETS],
+    /// Total recorded samples (the sum of `counts`).
+    total: u64,
+    /// Smallest recorded latency in cycles (`u64::MAX` when empty).
+    min_cycles: u64,
+    /// Largest recorded latency in cycles (`0` when empty).
+    max_cycles: u64,
+}
+
+impl Default for LatencyTail {
+    fn default() -> Self {
+        LatencyTail::new()
+    }
+}
+
+impl LatencyTail {
+    /// An empty tail (no samples; every percentile reads 0.0 ms).
+    pub fn new() -> Self {
+        LatencyTail {
+            counts: [0; LATENCY_HIST_BUCKETS],
+            total: 0,
+            min_cycles: u64::MAX,
+            max_cycles: 0,
+        }
+    }
+
+    /// Reassembles a tail from its serialized parts (the JSONL cell
+    /// log stores counts + min + max; the total is the counts' sum).
+    pub fn from_parts(
+        counts: [u64; LATENCY_HIST_BUCKETS],
+        min_cycles: u64,
+        max_cycles: u64,
+    ) -> Self {
+        let total = counts.iter().sum();
+        LatencyTail {
+            counts,
+            total,
+            min_cycles: if total == 0 { u64::MAX } else { min_cycles },
+            max_cycles: if total == 0 { 0 } else { max_cycles },
+        }
+    }
+
+    /// Records one inference latency in cycles.
+    pub fn record(&mut self, latency_cycles: Cycle) {
+        let idx = LATENCY_HIST_EDGES.partition_point(|&e| e <= latency_cycles);
+        self.counts[idx] += 1;
+        self.total += 1;
+        self.min_cycles = self.min_cycles.min(latency_cycles);
+        self.max_cycles = self.max_cycles.max(latency_cycles);
+    }
+
+    /// Folds another tail into this one (bucket counts add, min/max
+    /// pool) — quantiles of the merged tail are quantiles of the
+    /// pooled samples.
+    pub fn merge(&mut self, other: &LatencyTail) {
+        for (c, o) in self.counts.iter_mut().zip(&other.counts) {
+            *c += o;
+        }
+        self.total += other.total;
+        self.min_cycles = self.min_cycles.min(other.min_cycles);
+        self.max_cycles = self.max_cycles.max(other.max_cycles);
+    }
+
+    /// Recorded sample count.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Per-bucket counts ([`LATENCY_HIST_BUCKETS`] entries over
+    /// [`LATENCY_HIST_EDGES`]).
+    pub fn counts(&self) -> &[u64; LATENCY_HIST_BUCKETS] {
+        &self.counts
+    }
+
+    /// Smallest recorded latency in cycles (`None` when empty).
+    pub fn min_cycles(&self) -> Option<u64> {
+        (self.total > 0).then_some(self.min_cycles)
+    }
+
+    /// Largest recorded latency in cycles (`None` when empty).
+    pub fn max_cycles(&self) -> Option<u64> {
+        (self.total > 0).then_some(self.max_cycles)
+    }
+
+    /// Upper-bound estimate of the `q`-quantile latency in cycles
+    /// (`None` when empty); see [`bucket_quantile`] for the
+    /// documented error bound.
+    pub fn quantile_cycles(&self, q: f64) -> Option<u64> {
+        bucket_quantile(&LATENCY_HIST_EDGES, &self.counts, self.max_cycles, q)
+    }
+
+    /// Upper-bound estimate of the `q`-quantile latency in
+    /// milliseconds (0.0 when empty).
+    pub fn quantile_ms(&self, q: f64) -> f64 {
+        self.quantile_cycles(q).map_or(0.0, cycles_to_ms)
+    }
+
+    /// Median latency estimate, ms.
+    pub fn p50_ms(&self) -> f64 {
+        self.quantile_ms(0.50)
+    }
+
+    /// 90th-percentile latency estimate, ms.
+    pub fn p90_ms(&self) -> f64 {
+        self.quantile_ms(0.90)
+    }
+
+    /// 95th-percentile latency estimate, ms.
+    pub fn p95_ms(&self) -> f64 {
+        self.quantile_ms(0.95)
+    }
+
+    /// 99th-percentile latency estimate, ms.
+    pub fn p99_ms(&self) -> f64 {
+        self.quantile_ms(0.99)
+    }
+
+    /// 99.9th-percentile latency estimate, ms.
+    pub fn p999_ms(&self) -> f64 {
+        self.quantile_ms(0.999)
+    }
+}
 
 /// Per-task summary of a run.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -97,6 +251,11 @@ pub struct RunSummary {
     pub sla_rate: f64,
     /// Line transfers saved by multicast, MB.
     pub multicast_saved_mb: f64,
+    /// Tail-latency statistics over every measured inference:
+    /// p50/p90/p95/p99/p99.9 queries at O(bins) memory, populated at
+    /// *every* [`DetailLevel`] (mean latency hides the SLA-violating
+    /// p99 spikes multi-tenant cache contention produces).
+    pub latency_tail: LatencyTail,
 }
 
 /// Opt-in per-task (and, at [`DetailLevel::Full`], per-latency) detail
@@ -223,6 +382,7 @@ mod tests {
                 makespan_ms: 10.0,
                 sla_rate: 1.0,
                 multicast_saved_mb: 0.0,
+                latency_tail: LatencyTail::new(),
             },
             detail,
         }
@@ -265,6 +425,72 @@ mod tests {
     #[should_panic(expected = "summary-only")]
     fn tasks_accessor_names_the_fix() {
         let _ = output(None).tasks();
+    }
+
+    #[test]
+    fn latency_tail_quantiles_track_recorded_samples() {
+        let mut t = LatencyTail::new();
+        assert_eq!(t.total(), 0);
+        assert_eq!(t.quantile_cycles(0.99), None);
+        assert_eq!(t.p99_ms(), 0.0, "empty tail is NaN-free");
+        assert_eq!(t.min_cycles(), None);
+        // 99 fast inferences in [2^20, 2^21), one slow one in
+        // [2^24, 2^25): the p50 stays in the fast bucket, the p99.9
+        // lands on the straggler's bucket (clamped to the recorded
+        // max).
+        for _ in 0..99 {
+            t.record(1_500_000);
+        }
+        t.record(20_000_000);
+        assert_eq!(t.total(), 100);
+        assert_eq!(t.min_cycles(), Some(1_500_000));
+        assert_eq!(t.max_cycles(), Some(20_000_000));
+        let p50 = t.quantile_cycles(0.50).unwrap();
+        assert!((1_500_000..1 << 21).contains(&p50), "p50 {p50}");
+        assert_eq!(t.quantile_cycles(0.999), Some(20_000_000));
+        assert_eq!(t.quantile_cycles(1.0), Some(20_000_000));
+        // ms accessors are cycles_to_ms of the cycle estimates.
+        assert!((t.p999_ms() - cycles_to_ms(20_000_000)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn latency_tail_merge_pools_samples() {
+        let mut a = LatencyTail::new();
+        let mut b = LatencyTail::new();
+        let mut all = LatencyTail::new();
+        for (i, v) in [(0u64, 100_000u64), (1, 2_000_000), (2, 40_000_000)]
+            .iter()
+            .flat_map(|&(k, v)| std::iter::repeat_n((k, v), 5))
+        {
+            if i % 2 == 0 {
+                a.record(v);
+            } else {
+                b.record(v);
+            }
+            all.record(v);
+        }
+        a.merge(&b);
+        assert_eq!(a, all, "merge must pool exactly");
+        // An empty merge is the identity (min/max untouched).
+        let before = a;
+        a.merge(&LatencyTail::new());
+        assert_eq!(a, before);
+    }
+
+    #[test]
+    fn latency_tail_roundtrips_through_parts() {
+        let mut t = LatencyTail::new();
+        t.record(1 << 18);
+        t.record((1 << 26) + 123);
+        let rebuilt = LatencyTail::from_parts(
+            *t.counts(),
+            t.min_cycles().unwrap(),
+            t.max_cycles().unwrap(),
+        );
+        assert_eq!(rebuilt, t);
+        // Empty parts normalize to the canonical empty tail.
+        let empty = LatencyTail::from_parts([0; LATENCY_HIST_BUCKETS], 7, 9);
+        assert_eq!(empty, LatencyTail::new());
     }
 
     #[test]

@@ -285,6 +285,13 @@ mod tests {
         let mut soc = SocConfig::paper_default();
         soc.npu.cores = 0;
         assert!(matches!(
+            Simulation::builder().workload(w.clone()).soc(soc).build(),
+            Err(EngineError::InvalidConfig(_))
+        ));
+        // A zero-channel DRAM is a typed error, not a deep panic.
+        let mut soc = SocConfig::paper_default();
+        soc.dram.channels = 0;
+        assert!(matches!(
             Simulation::builder().workload(w).soc(soc).build(),
             Err(EngineError::InvalidConfig(_))
         ));

@@ -10,9 +10,11 @@
 //!
 //! * **axes** — policies (built-in kinds or registry names), labelled
 //!   SoCs (optionally with their own [`MapperConfig`]), cache
-//!   capacities, labelled [`Workload`]s, QoS deadline scales,
-//!   Algorithm 1 look-ahead factors, and seeds. Unset axes collapse to
-//!   a singleton default, so a one-axis sweep stays one line of code.
+//!   capacities, DRAM channel counts, labelled [`Workload`]s (see
+//!   [`bursty_ramp`] for ramped burst intensities), QoS deadline
+//!   scales, Algorithm 1 look-ahead factors, and seeds. Unset axes
+//!   collapse to a singleton default, so a one-axis sweep stays one
+//!   line of code.
 //! * **execution** — a work-queue thread pool ([`run_cells`]) where a
 //!   panic or error in one cell becomes that cell's
 //!   `Err(`[`EngineError`]`)` without disturbing neighbors.
@@ -26,11 +28,16 @@
 //!   [`SweepBuilder::run`] (summary-only cells by default, with an
 //!   optional per-grid [`memory_budget_bytes`] on retained detail);
 //!   [`SweepBuilder::run_streamed`] additionally writes a
-//!   `camdn-sweep-cells/1` JSONL log, one flushed line per cell, which
+//!   `camdn-sweep-cells/2` JSONL log (summary scalars *and* the
+//!   compact latency-tail histogram), one flushed line per cell, which
 //!   [`SweepBuilder::resume`] uses to skip already-recorded
-//!   coordinates after a kill; [`SeedAggregate`] folds the seeds axis
-//!   into mean / stddev / 95% confidence intervals. Custom sinks plug
-//!   in through [`SweepBuilder::run_with_sink`] for grids too large to
+//!   coordinates after a kill (logs written by the older
+//!   `camdn-sweep-cells/1` schema are still accepted — their cells
+//!   resume with an empty tail); [`SeedAggregate`] folds the seeds
+//!   axis into mean / stddev / 95% confidence intervals and pools the
+//!   per-seed latency tails by histogram merge, so per-coordinate
+//!   percentiles come from the pooled samples. Custom sinks plug in
+//!   through [`SweepBuilder::run_with_sink`] for grids too large to
 //!   buffer at all.
 //! * **structured results** — a [`SweepResult`] with axis labels,
 //!   per-cell `Result<RunOutput, EngineError>` + wall time, cache
@@ -76,7 +83,7 @@ mod sink;
 pub use exec::{run_cells, run_cells_into, CellRun};
 pub use sink::{
     CellOutcome, CellSink, JsonlSink, MemorySink, MetricStats, SeedAggregate, SeedStats,
-    CELLS_SCHEMA,
+    CELLS_SCHEMA, CELLS_SCHEMA_V1,
 };
 
 use camdn_common::config::SocConfig;
@@ -123,13 +130,14 @@ pub struct Sweep;
 impl Sweep {
     /// Starts assembling a grid sweep. Every axis left unset collapses
     /// to a singleton default (baseline policy, Table II SoC, the
-    /// SoC's own cache size, no QoS, default look-ahead, builder seed);
-    /// at least one workload is required.
+    /// SoC's own cache size and DRAM channel count, no QoS, default
+    /// look-ahead, builder seed); at least one workload is required.
     pub fn grid() -> SweepBuilder {
         SweepBuilder {
             policies: Vec::new(),
             socs: Vec::new(),
             cache_bytes: Vec::new(),
+            channel_counts: Vec::new(),
             workloads: Vec::new(),
             qos_scales: Vec::new(),
             lookaheads: Vec::new(),
@@ -151,6 +159,7 @@ pub struct SweepBuilder {
     policies: Vec<PolicyAxisEntry>,
     socs: Vec<SocAxisEntry>,
     cache_bytes: Vec<u64>,
+    channel_counts: Vec<u32>,
     workloads: Vec<(String, Workload)>,
     qos_scales: Vec<f64>,
     lookaheads: Vec<f64>,
@@ -218,6 +227,16 @@ impl SweepBuilder {
     /// (see [`SocConfig::with_cache_bytes`]).
     pub fn cache_bytes(mut self, sizes: impl IntoIterator<Item = u64>) -> Self {
         self.cache_bytes.extend(sizes);
+        self
+    }
+
+    /// Sets the DRAM channel-count axis: each entry runs every SoC of
+    /// the SoC axis with its channel count overridden, holding
+    /// *per-channel* bandwidth constant so the aggregate bandwidth
+    /// scales with the channel count
+    /// (see [`SocConfig::with_dram_channels`]).
+    pub fn channel_counts(mut self, channels: impl IntoIterator<Item = u32>) -> Self {
+        self.channel_counts.extend(channels);
         self
     }
 
@@ -321,8 +340,9 @@ impl SweepBuilder {
     /// in-memory sink.
     ///
     /// Cell order is row-major with the axes nested
-    /// policies → SoCs → cache sizes → workloads → QoS scales →
-    /// look-aheads → seeds (seeds innermost). Returns an error only
+    /// policies → SoCs → cache sizes → channel counts → workloads →
+    /// QoS scales → look-aheads → seeds (seeds innermost). Returns an
+    /// error only
     /// when the grid itself is malformed (no workload axis); per-cell
     /// failures land in their cell's [`SweepCell::outcome`].
     pub fn run(self) -> Result<SweepResult, EngineError> {
@@ -452,6 +472,11 @@ impl SweepBuilder {
         } else {
             self.cache_bytes.into_iter().map(Some).collect()
         };
+        let channels: Vec<Option<u32>> = if self.channel_counts.is_empty() {
+            vec![None]
+        } else {
+            self.channel_counts.into_iter().map(Some).collect()
+        };
         let qos: Vec<Option<f64>> = if self.qos_scales.is_empty() {
             vec![None]
         } else {
@@ -473,6 +498,7 @@ impl SweepBuilder {
             policies: policies.iter().map(PolicyAxisEntry::label).collect(),
             socs: socs.iter().map(|s| s.label.clone()).collect(),
             caches: caches.iter().map(|c| cache_label(*c)).collect(),
+            channels: channels.iter().map(|c| channel_label(*c)).collect(),
             workloads: workloads.iter().map(|(l, _)| l.clone()).collect(),
             qos: qos
                 .iter()
@@ -491,53 +517,62 @@ impl SweepBuilder {
         for (pi, policy) in policies.iter().enumerate() {
             for (si, soc) in socs.iter().enumerate() {
                 for (ci, cache) in caches.iter().enumerate() {
-                    for (wi, (_, workload)) in workloads.iter().enumerate() {
-                        for (qi, q) in qos.iter().enumerate() {
-                            for (li, lookahead) in lookaheads.iter().enumerate() {
-                                for (ei, &seed) in seeds.iter().enumerate() {
-                                    let mut b = Simulation::builder()
-                                        .workload(workload.clone())
-                                        .seed(seed)
-                                        .detail(self.detail);
-                                    b = match policy {
-                                        PolicyAxisEntry::Kind(k) => b.policy(*k),
-                                        PolicyAxisEntry::Named(n) => b.policy_named(n.clone()),
-                                    };
-                                    b = b.soc(match cache {
-                                        Some(bytes) => soc.soc.with_cache_bytes(*bytes),
-                                        None => soc.soc,
-                                    });
-                                    if let Some(m) = soc.mapper.as_ref().or(self.mapper.as_ref()) {
-                                        b = b.mapper(m.clone());
+                    for (hi, channel) in channels.iter().enumerate() {
+                        for (wi, (_, workload)) in workloads.iter().enumerate() {
+                            for (qi, q) in qos.iter().enumerate() {
+                                for (li, lookahead) in lookaheads.iter().enumerate() {
+                                    for (ei, &seed) in seeds.iter().enumerate() {
+                                        let mut b = Simulation::builder()
+                                            .workload(workload.clone())
+                                            .seed(seed)
+                                            .detail(self.detail);
+                                        b = match policy {
+                                            PolicyAxisEntry::Kind(k) => b.policy(*k),
+                                            PolicyAxisEntry::Named(n) => b.policy_named(n.clone()),
+                                        };
+                                        let mut cell_soc = match cache {
+                                            Some(bytes) => soc.soc.with_cache_bytes(*bytes),
+                                            None => soc.soc,
+                                        };
+                                        if let Some(n) = channel {
+                                            cell_soc = cell_soc.with_dram_channels(*n);
+                                        }
+                                        b = b.soc(cell_soc);
+                                        if let Some(m) =
+                                            soc.mapper.as_ref().or(self.mapper.as_ref())
+                                        {
+                                            b = b.mapper(m.clone());
+                                        }
+                                        if let Some(scale) = q {
+                                            b = b.qos_scale(*scale);
+                                        }
+                                        if let Some(factor) = lookahead {
+                                            b = b.lookahead(*factor);
+                                        }
+                                        if let Some(rounds) = self.warmup_rounds {
+                                            b = b.warmup_rounds(rounds);
+                                        }
+                                        if let Some(cycles) = self.epoch_cycles {
+                                            b = b.epoch_cycles(cycles);
+                                        }
+                                        if self.reference_model {
+                                            b = b.reference_model(true);
+                                        }
+                                        if let Some(cache) = &plan_cache {
+                                            b = b.plan_cache(Arc::clone(cache));
+                                        }
+                                        builders.push(b);
+                                        coords.push(CellCoord {
+                                            policy: pi,
+                                            soc: si,
+                                            cache: ci,
+                                            channel: hi,
+                                            workload: wi,
+                                            qos: qi,
+                                            lookahead: li,
+                                            seed: ei,
+                                        });
                                     }
-                                    if let Some(scale) = q {
-                                        b = b.qos_scale(*scale);
-                                    }
-                                    if let Some(factor) = lookahead {
-                                        b = b.lookahead(*factor);
-                                    }
-                                    if let Some(rounds) = self.warmup_rounds {
-                                        b = b.warmup_rounds(rounds);
-                                    }
-                                    if let Some(cycles) = self.epoch_cycles {
-                                        b = b.epoch_cycles(cycles);
-                                    }
-                                    if self.reference_model {
-                                        b = b.reference_model(true);
-                                    }
-                                    if let Some(cache) = &plan_cache {
-                                        b = b.plan_cache(Arc::clone(cache));
-                                    }
-                                    builders.push(b);
-                                    coords.push(CellCoord {
-                                        policy: pi,
-                                        soc: si,
-                                        cache: ci,
-                                        workload: wi,
-                                        qos: qi,
-                                        lookahead: li,
-                                        seed: ei,
-                                    });
                                 }
                             }
                         }
@@ -653,6 +688,49 @@ fn cache_label(bytes: Option<u64>) -> String {
     }
 }
 
+fn channel_label(channels: Option<u32>) -> String {
+    match channels {
+        None => "default".into(),
+        Some(n) => format!("{n}ch"),
+    }
+}
+
+/// Labelled bursty workloads of rising burst intensity — the bursty
+/// analogue of a Poisson rate ramp, for the sweep's workload axis.
+///
+/// Each entry keeps the burst count and start-to-start gap fixed and
+/// ramps the *burst length* (requests per burst), so higher entries
+/// deliver the same arrival pattern at higher instantaneous load —
+/// the worst case for cache contention, and where p99 knees live.
+/// Labels are `"burst@{len}"`.
+///
+/// ```
+/// use camdn_sweep::{bursty_ramp, Sweep};
+///
+/// let models = vec![camdn_models::zoo::mobilenet_v2()];
+/// let grid = Sweep::grid()
+///     .workloads(bursty_ramp(&models, [1, 2, 4], 2, 20.0))
+///     .run()
+///     .expect("ramp grid");
+/// assert_eq!(grid.axes.workloads, ["burst@1", "burst@2", "burst@4"]);
+/// ```
+pub fn bursty_ramp(
+    models: &[camdn_models::Model],
+    burst_lens: impl IntoIterator<Item = u32>,
+    bursts: u32,
+    gap_ms: f64,
+) -> Vec<(String, Workload)> {
+    burst_lens
+        .into_iter()
+        .map(|len| {
+            (
+                format!("burst@{len}"),
+                Workload::bursty(models.to_vec(), bursts, len, gap_ms),
+            )
+        })
+        .collect()
+}
+
 /// Position of a cell on every axis (indices into [`SweepAxes`]).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct CellCoord {
@@ -662,6 +740,8 @@ pub struct CellCoord {
     pub soc: usize,
     /// Index into [`SweepAxes::caches`].
     pub cache: usize,
+    /// Index into [`SweepAxes::channels`].
+    pub channel: usize,
     /// Index into [`SweepAxes::workloads`].
     pub workload: usize,
     /// Index into [`SweepAxes::qos`].
@@ -694,6 +774,9 @@ pub struct SweepAxes {
     /// Cache-capacity labels (`"16MiB"`, or `"default"` when the axis
     /// was unset).
     pub caches: Vec<String>,
+    /// DRAM channel-count labels (`"8ch"`, or `"default"` when the
+    /// axis was unset).
+    pub channels: Vec<String>,
     /// Workload labels as given to the builder.
     pub workloads: Vec<String>,
     /// QoS labels (`"0.80x"`, or `"closed"` when the axis was unset).
@@ -710,6 +793,7 @@ impl SweepAxes {
         self.policies.len()
             * self.socs.len()
             * self.caches.len()
+            * self.channels.len()
             * self.workloads.len()
             * self.qos.len()
             * self.lookaheads.len()
@@ -719,7 +803,9 @@ impl SweepAxes {
     /// Row-major index of a coordinate (policies outermost, seeds
     /// innermost).
     pub fn index_of(&self, c: &CellCoord) -> usize {
-        (((((c.policy * self.socs.len() + c.soc) * self.caches.len() + c.cache)
+        ((((((c.policy * self.socs.len() + c.soc) * self.caches.len() + c.cache)
+            * self.channels.len()
+            + c.channel)
             * self.workloads.len()
             + c.workload)
             * self.qos.len()
@@ -741,6 +827,8 @@ impl SweepAxes {
         idx /= self.qos.len();
         let workload = idx % self.workloads.len();
         idx /= self.workloads.len();
+        let channel = idx % self.channels.len();
+        idx /= self.channels.len();
         let cache = idx % self.caches.len();
         idx /= self.caches.len();
         let soc = idx % self.socs.len();
@@ -749,6 +837,7 @@ impl SweepAxes {
             policy: idx,
             soc,
             cache,
+            channel,
             workload,
             qos,
             lookahead,
@@ -761,6 +850,7 @@ impl SweepAxes {
         c.policy < self.policies.len()
             && c.soc < self.socs.len()
             && c.cache < self.caches.len()
+            && c.channel < self.channels.len()
             && c.workload < self.workloads.len()
             && c.qos < self.qos.len()
             && c.lookahead < self.lookaheads.len()
@@ -895,6 +985,7 @@ mod tests {
                 policy: 0,
                 soc: 0,
                 cache: 0,
+                channel: 0,
                 workload: 0,
                 qos: 0,
                 lookahead: 0,
@@ -991,5 +1082,59 @@ mod tests {
         assert_eq!(cache_label(Some(16 * MIB)), "16MiB");
         assert_eq!(cache_label(Some(1000)), "1000B");
         assert_eq!(cache_label(None), "default");
+        assert_eq!(channel_label(Some(8)), "8ch");
+        assert_eq!(channel_label(None), "default");
+    }
+
+    #[test]
+    fn channel_axis_cells_match_builder_runs_exactly() {
+        let r = Sweep::grid()
+            .workload("w", one_model())
+            .channel_counts([2, 8])
+            .detail(DetailLevel::Tasks)
+            .run()
+            .unwrap();
+        assert_eq!(r.axes.channels, vec!["2ch".to_string(), "8ch".to_string()]);
+        assert_eq!(r.cells.len(), 2);
+        for (i, &n) in [2u32, 8].iter().enumerate() {
+            let cell = r.cells[i].outcome.as_ref().unwrap();
+            let serial = Simulation::builder()
+                .soc(SocConfig::paper_default().with_dram_channels(n))
+                .workload(one_model())
+                .run()
+                .unwrap();
+            assert_eq!(*cell, serial, "channel cell {n}ch");
+        }
+        // More channels = more aggregate bandwidth: the 8-channel run
+        // must not be slower than the 2-channel run.
+        let lat = |i: usize| r.cells[i].outcome.as_ref().unwrap().summary.avg_latency_ms;
+        assert!(
+            lat(1) <= lat(0),
+            "8ch ({:.3} ms) should not be slower than 2ch ({:.3} ms)",
+            lat(1),
+            lat(0)
+        );
+    }
+
+    #[test]
+    fn bursty_ramp_generates_rising_intensity_workloads() {
+        let models = vec![zoo::mobilenet_v2()];
+        let ramp = bursty_ramp(&models, [1, 2, 4], 3, 25.0);
+        assert_eq!(ramp.len(), 3);
+        for ((label, w), expect_len) in ramp.iter().zip([1u32, 2, 4]) {
+            assert_eq!(label, &format!("burst@{expect_len}"));
+            match w.arrival() {
+                camdn_runtime::ArrivalProcess::Bursty {
+                    bursts,
+                    burst_len,
+                    gap_ms,
+                } => {
+                    assert_eq!(bursts, 3);
+                    assert_eq!(burst_len, expect_len);
+                    assert_eq!(gap_ms, 25.0);
+                }
+                other => panic!("expected bursty arrivals, got {other:?}"),
+            }
+        }
     }
 }

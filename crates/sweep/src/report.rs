@@ -61,11 +61,13 @@ impl SweepResult {
         for cell in &self.cells {
             let c = &cell.coord;
             let head = format!(
-                "{pad}  {{\"policy\": \"{}\", \"soc\": \"{}\", \"cache\": \"{}\", \"workload\": \"{}\", \
+                "{pad}  {{\"policy\": \"{}\", \"soc\": \"{}\", \"cache\": \"{}\", \
+                 \"channel\": \"{}\", \"workload\": \"{}\", \
                  \"qos\": \"{}\", \"lookahead\": \"{}\", \"seed\": {}, \"wall_s\": {:.6}, ",
                 esc(&a.policies[c.policy]),
                 esc(&a.socs[c.soc]),
                 esc(&a.caches[c.cache]),
+                esc(&a.channels[c.channel]),
                 esc(&a.workloads[c.workload]),
                 esc(&a.qos[c.qos]),
                 esc(&a.lookaheads[c.lookahead]),
@@ -76,13 +78,19 @@ impl SweepResult {
                 Ok(r) => format!(
                     "\"ok\": true, \"tasks\": {}, \"avg_latency_ms\": {:.6}, \
                      \"mem_mb_per_model\": {:.6}, \"cache_hit_rate\": {:.6}, \
-                     \"makespan_ms\": {:.6}, \"sla_rate\": {:.6}, \"error\": null}}",
+                     \"makespan_ms\": {:.6}, \"sla_rate\": {:.6}, \
+                     \"p50_ms\": {:.6}, \"p95_ms\": {:.6}, \"p99_ms\": {:.6}, \
+                     \"p999_ms\": {:.6}, \"error\": null}}",
                     r.summary.tasks,
                     r.summary.avg_latency_ms,
                     r.summary.mem_mb_per_model,
                     r.summary.cache_hit_rate,
                     r.summary.makespan_ms,
                     r.summary.sla_rate,
+                    r.summary.latency_tail.p50_ms(),
+                    r.summary.latency_tail.p95_ms(),
+                    r.summary.latency_tail.p99_ms(),
+                    r.summary.latency_tail.p999_ms(),
                 ),
                 Err(e) => format!("\"ok\": false, \"error\": \"{}\"}}", esc(&e.to_string())),
             };
@@ -94,7 +102,8 @@ impl SweepResult {
              {pad}\"ok_cells\": {},\n\
              {pad}\"error_cells\": {},\n\
              {pad}\"plan_cache\": {},\n\
-             {pad}\"axes\": {{\"policies\": {}, \"socs\": {}, \"caches\": {}, \"workloads\": {}, \
+             {pad}\"axes\": {{\"policies\": {}, \"socs\": {}, \"caches\": {}, \"channels\": {}, \
+             \"workloads\": {}, \
              \"qos\": {}, \"lookaheads\": {}, \"seeds\": [{}]}},\n\
              {pad}\"cells\": [\n{}\n{pad}]",
             self.threads,
@@ -105,6 +114,7 @@ impl SweepResult {
             str_array(&a.policies),
             str_array(&a.socs),
             str_array(&a.caches),
+            str_array(&a.channels),
             str_array(&a.workloads),
             str_array(&a.qos),
             str_array(&a.lookaheads),

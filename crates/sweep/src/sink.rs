@@ -11,18 +11,23 @@
 //! * [`MemorySink`] — today's in-memory [`SweepResult`], now
 //!   summary-only by default and bounded by an optional per-grid
 //!   detail-memory budget;
-//! * [`JsonlSink`] — a streamed `camdn-sweep-cells/1` writer: one JSON
-//!   line per cell, written the moment the cell completes, so a killed
-//!   grid leaves a valid log behind and
+//! * [`JsonlSink`] — a streamed `camdn-sweep-cells/2` writer: one JSON
+//!   line per cell (summary scalars + the compact latency tail),
+//!   written the moment the cell completes, so a killed grid leaves a
+//!   valid log behind and
 //!   [`SweepBuilder::resume`](crate::SweepBuilder::resume) can skip the
 //!   already-recorded coordinates;
 //! * [`SeedAggregate`] — folds the seeds axis into mean / sample
 //!   stddev / 95% Student-t confidence intervals per non-seed cell,
-//!   the multi-seed statistics the scaling studies report.
+//!   pooling the per-seed latency tails by histogram merge so
+//!   percentiles come from the pooled samples — the multi-seed
+//!   statistics the scaling studies report.
 
 use crate::{CellCoord, SweepAxes, SweepCell};
 use camdn_common::stats::Welford;
-use camdn_runtime::{EngineError, RunOutput, RunSummary};
+use camdn_runtime::{
+    EngineError, LatencyTail, RunOutput, RunSummary, LATENCY_HIST_BUCKETS, LATENCY_HIST_EDGES,
+};
 use std::collections::HashMap;
 use std::fmt::Write as _;
 use std::io::Write as _;
@@ -145,19 +150,28 @@ impl CellSink for MemorySink {
 // JSONL streaming sink
 // ------------------------------------------------------------------
 
-/// Streamed cell log: schema `camdn-sweep-cells/1`.
+/// Streamed cell log: schema `camdn-sweep-cells/2`.
 ///
-/// The first line is a header naming the schema and every axis; each
-/// subsequent line is one cell — its coordinate, wall time, and either
-/// the policy label + [`RunSummary`] scalars (`"ok": true`) or the
-/// error text. Lines are written unbuffered the moment the cell
-/// completes, so a killed grid leaves every finished cell on disk; a
-/// torn final line (kill mid-write) is ignored by the reader and the
-/// cell simply re-runs on resume.
+/// The first line is a header naming the schema, every axis, and the
+/// latency-histogram bucket edges; each subsequent line is one cell —
+/// its coordinate, wall time, and either the policy label +
+/// [`RunSummary`] scalars plus the compact latency tail
+/// (`"ok": true`) or the error text. Lines are written unbuffered the
+/// moment the cell completes, so a killed grid leaves every finished
+/// cell on disk; a torn final line (kill mid-write) is ignored by the
+/// reader and the cell simply re-runs on resume.
 ///
 /// Summary floats are serialized with Rust's shortest-roundtrip
-/// `Display`, so a parsed line reproduces the in-memory summary
-/// bit-for-bit.
+/// `Display`, so a parsed line reproduces the in-memory summary —
+/// including its [`LatencyTail`] (integer bucket counts + min/max
+/// cycles) — bit-for-bit.
+///
+/// Logs written by the previous `camdn-sweep-cells/1` schema (no
+/// channel axis, no latency tail) are still accepted by
+/// [`SweepBuilder::resume`](crate::SweepBuilder::resume) when the
+/// grid's channel axis is the unset default: their cells resume with
+/// an *empty* tail (percentiles read 0.0), and the rewritten log is
+/// upgraded to `/2`.
 #[derive(Debug)]
 pub struct JsonlSink {
     file: std::fs::File,
@@ -166,7 +180,11 @@ pub struct JsonlSink {
 }
 
 /// Schema identifier of the cell-log header line.
-pub const CELLS_SCHEMA: &str = "camdn-sweep-cells/1";
+pub const CELLS_SCHEMA: &str = "camdn-sweep-cells/2";
+
+/// Previous cell-log schema (summary scalars only, no channel axis);
+/// still accepted on resume.
+pub const CELLS_SCHEMA_V1: &str = "camdn-sweep-cells/1";
 
 impl JsonlSink {
     /// Creates (truncates) the log at `path` and writes the header line
@@ -253,10 +271,34 @@ impl CellSink for JsonlSink {
 /// The header line of a cell log for `axes`.
 pub(crate) fn header_line(axes: &SweepAxes) -> String {
     let seeds: Vec<String> = axes.seeds.iter().map(u64::to_string).collect();
+    let edges: Vec<String> = LATENCY_HIST_EDGES.iter().map(u64::to_string).collect();
+    format!(
+        "{{\"schema\": \"{}\", \"policies\": {}, \"socs\": {}, \"caches\": {}, \
+         \"channels\": {}, \"workloads\": {}, \"qos\": {}, \"lookaheads\": {}, \
+         \"seeds\": [{}], \"hist_edges\": [{}]}}",
+        CELLS_SCHEMA,
+        crate::report::str_array(&axes.policies),
+        crate::report::str_array(&axes.socs),
+        crate::report::str_array(&axes.caches),
+        crate::report::str_array(&axes.channels),
+        crate::report::str_array(&axes.workloads),
+        crate::report::str_array(&axes.qos),
+        crate::report::str_array(&axes.lookaheads),
+        seeds.join(", "),
+        edges.join(", "),
+    )
+}
+
+/// The header line the retired `camdn-sweep-cells/1` schema wrote for
+/// these axes (no channel axis, no histogram edges) — used to accept
+/// old logs on resume. Only meaningful when the grid's channel axis is
+/// the unset singleton, since a v1 grid could not express one.
+pub(crate) fn header_line_v1(axes: &SweepAxes) -> String {
+    let seeds: Vec<String> = axes.seeds.iter().map(u64::to_string).collect();
     format!(
         "{{\"schema\": \"{}\", \"policies\": {}, \"socs\": {}, \"caches\": {}, \
          \"workloads\": {}, \"qos\": {}, \"lookaheads\": {}, \"seeds\": [{}]}}",
-        CELLS_SCHEMA,
+        CELLS_SCHEMA_V1,
         crate::report::str_array(&axes.policies),
         crate::report::str_array(&axes.socs),
         crate::report::str_array(&axes.caches),
@@ -280,14 +322,15 @@ fn jnum(v: f64) -> String {
 
 /// One cell as a JSONL line (no trailing newline).
 pub(crate) fn cell_line(coord: CellCoord, outcome: &CellOutcome) -> String {
-    let mut s = String::with_capacity(256);
+    let mut s = String::with_capacity(384);
     let _ = write!(
         s,
-        "{{\"policy\": {}, \"soc\": {}, \"cache\": {}, \"workload\": {}, \"qos\": {}, \
-         \"lookahead\": {}, \"seed\": {}, \"wall_s\": {}, ",
+        "{{\"policy\": {}, \"soc\": {}, \"cache\": {}, \"channel\": {}, \"workload\": {}, \
+         \"qos\": {}, \"lookahead\": {}, \"seed\": {}, \"wall_s\": {}, ",
         coord.policy,
         coord.soc,
         coord.cache,
+        coord.channel,
         coord.workload,
         coord.qos,
         coord.lookahead,
@@ -297,11 +340,16 @@ pub(crate) fn cell_line(coord: CellCoord, outcome: &CellOutcome) -> String {
     match &outcome.outcome {
         Ok(run) => {
             let m = &run.summary;
+            let tail = &m.latency_tail;
+            let counts: Vec<String> = tail.counts().iter().map(u64::to_string).collect();
             let _ = write!(
                 s,
                 "\"ok\": true, \"label\": \"{}\", \"tasks\": {}, \"inferences\": {}, \
                  \"cache_hit_rate\": {}, \"avg_latency_ms\": {}, \"mem_mb_per_model\": {}, \
-                 \"makespan_ms\": {}, \"sla_rate\": {}, \"multicast_saved_mb\": {}}}",
+                 \"makespan_ms\": {}, \"sla_rate\": {}, \"multicast_saved_mb\": {}, \
+                 \"p50_ms\": {}, \"p90_ms\": {}, \"p95_ms\": {}, \"p99_ms\": {}, \
+                 \"p999_ms\": {}, \"lat_counts\": [{}], \"lat_min_cycles\": {}, \
+                 \"lat_max_cycles\": {}}}",
                 crate::report::esc(&run.policy),
                 m.tasks,
                 m.inferences,
@@ -311,6 +359,14 @@ pub(crate) fn cell_line(coord: CellCoord, outcome: &CellOutcome) -> String {
                 jnum(m.makespan_ms),
                 jnum(m.sla_rate),
                 jnum(m.multicast_saved_mb),
+                jnum(tail.p50_ms()),
+                jnum(tail.p90_ms()),
+                jnum(tail.p95_ms()),
+                jnum(tail.p99_ms()),
+                jnum(tail.p999_ms()),
+                counts.join(", "),
+                tail.min_cycles().unwrap_or(0),
+                tail.max_cycles().unwrap_or(0),
             );
         }
         Err(e) => {
@@ -328,6 +384,10 @@ pub(crate) fn cell_line(coord: CellCoord, outcome: &CellOutcome) -> String {
 /// header matches `axes` (a log from a different grid must not be
 /// silently merged). Error cells and torn trailing lines are skipped —
 /// resume re-runs them.
+///
+/// A header in the retired `camdn-sweep-cells/1` format is accepted
+/// when the grid's channel axis is the unset singleton (a v1 grid
+/// could not express one); its cells parse with an empty latency tail.
 pub(crate) fn read_recorded(
     path: impl AsRef<Path>,
     axes: &SweepAxes,
@@ -337,19 +397,23 @@ pub(crate) fn read_recorded(
         detail: format!("reading {}: {e}", path.display()),
     })?;
     let mut lines = text.lines();
-    let header = lines.next().unwrap_or("");
-    if header.trim() != header_line(axes) {
+    let header = lines.next().unwrap_or("").trim();
+    let v1 = if header == header_line(axes) {
+        false
+    } else if header == header_line_v1(axes) && axes.channels == ["default"] {
+        true
+    } else {
         return Err(EngineError::InvalidConfig(format!(
             "{} belongs to a different grid (axes header mismatch); \
              delete it or point the sweep elsewhere",
             path.display()
         )));
-    }
+    };
     let mut out = Vec::new();
     for line in lines {
         // A torn final line (killed mid-write) parses as None: skip it
         // and let the cell re-run.
-        if let Some(cell) = parse_cell_line(line, axes) {
+        if let Some(cell) = parse_cell_line(line, axes, v1) {
             out.push(cell);
         }
     }
@@ -358,14 +422,17 @@ pub(crate) fn read_recorded(
 
 /// Parses one cell line back into its coordinate + summary-only
 /// [`RunOutput`] + recorded wall seconds. `None` for error cells,
-/// malformed (torn) lines, or out-of-range coordinates.
-fn parse_cell_line(line: &str, axes: &SweepAxes) -> Option<(CellCoord, RunOutput, f64)> {
+/// malformed (torn) lines, or out-of-range coordinates. With `v1` the
+/// line has no channel coordinate (it reads 0) and no latency tail
+/// (it reads empty).
+fn parse_cell_line(line: &str, axes: &SweepAxes, v1: bool) -> Option<(CellCoord, RunOutput, f64)> {
     let fields = parse_flat_object(line)?;
     let num = |key: &str| fields.iter().find(|(k, _)| k.as_str() == key)?.1.as_f64();
     let coord = CellCoord {
         policy: num("policy")? as usize,
         soc: num("soc")? as usize,
         cache: num("cache")? as usize,
+        channel: if v1 { 0 } else { num("channel")? as usize },
         workload: num("workload")? as usize,
         qos: num("qos")? as usize,
         lookahead: num("lookahead")? as usize,
@@ -385,6 +452,29 @@ fn parse_cell_line(line: &str, axes: &SweepAxes) -> Option<(CellCoord, RunOutput
         JsonVal::Str(s) => s.clone(),
         _ => return None,
     };
+    // Exact u64 parse (cycle counts must roundtrip bit-for-bit; the
+    // f64 path would round above 2^53).
+    let int = |key: &str| match &fields.iter().find(|(k, _)| k.as_str() == key)?.1 {
+        JsonVal::Num(s) => s.parse::<u64>().ok(),
+        _ => None,
+    };
+    let latency_tail = if v1 {
+        LatencyTail::new()
+    } else {
+        let counts_field = &fields.iter().find(|(k, _)| k.as_str() == "lat_counts")?.1;
+        let raw = match counts_field {
+            JsonVal::Arr(items) => items,
+            _ => return None,
+        };
+        if raw.len() != LATENCY_HIST_BUCKETS {
+            return None;
+        }
+        let mut counts = [0u64; LATENCY_HIST_BUCKETS];
+        for (slot, item) in counts.iter_mut().zip(raw) {
+            *slot = item.parse().ok()?;
+        }
+        LatencyTail::from_parts(counts, int("lat_min_cycles")?, int("lat_max_cycles")?)
+    };
     let summary = RunSummary {
         tasks: num("tasks")? as usize,
         inferences: num("inferences")? as usize,
@@ -394,6 +484,7 @@ fn parse_cell_line(line: &str, axes: &SweepAxes) -> Option<(CellCoord, RunOutput
         makespan_ms: num("makespan_ms")?,
         sla_rate: num("sla_rate")?,
         multicast_saved_mb: num("multicast_saved_mb")?,
+        latency_tail,
     };
     Some((
         coord,
@@ -417,6 +508,8 @@ enum JsonVal {
     Num(String),
     Bool(bool),
     Str(String),
+    /// A flat array of number tokens (the latency-tail bucket counts).
+    Arr(Vec<String>),
 }
 
 impl JsonVal {
@@ -435,7 +528,8 @@ impl JsonVal {
     }
 }
 
-/// Parses a one-level JSON object of string/number/boolean values.
+/// Parses a one-level JSON object of string/number/boolean values and
+/// flat arrays of numbers.
 fn parse_flat_object(line: &str) -> Option<Vec<(String, JsonVal)>> {
     let mut chars = line.trim().char_indices().peekable();
     let s = line.trim();
@@ -466,6 +560,31 @@ fn parse_flat_object(line: &str) -> Option<Vec<(String, JsonVal)>> {
         }
         let val = match chars.peek()? {
             (_, '"') => JsonVal::Str(parse_string(&mut chars)?),
+            (_, '[') => {
+                chars.next(); // consume '['
+                let mut items = Vec::new();
+                loop {
+                    while matches!(chars.peek(), Some((_, c)) if c.is_whitespace() || *c == ',') {
+                        chars.next();
+                    }
+                    if matches!(chars.peek(), Some((_, ']'))) {
+                        chars.next();
+                        break;
+                    }
+                    let num: String = std::iter::from_fn(|| {
+                        matches!(chars.peek(), Some((_, c))
+                            if !c.is_whitespace() && *c != ',' && *c != ']')
+                        .then(|| chars.next().map(|(_, c)| c))
+                        .flatten()
+                    })
+                    .collect();
+                    if num.is_empty() {
+                        return None;
+                    }
+                    items.push(num);
+                }
+                JsonVal::Arr(items)
+            }
             (_, 't' | 'f') => {
                 let word: String = std::iter::from_fn(|| {
                     matches!(chars.peek(), Some((_, c)) if c.is_ascii_alphabetic())
@@ -573,6 +692,12 @@ pub struct SeedStats {
     pub makespan_ms: MetricStats,
     /// Stats over [`RunSummary::sla_rate`].
     pub sla_rate: MetricStats,
+    /// The group's per-seed [`RunSummary::latency_tail`]s pooled by
+    /// histogram merge: `latency_tail.p99_ms()` is the p99 of *all*
+    /// inferences across the seeds, not an average of per-seed p99s
+    /// (percentiles do not average — a seed with a long tail would be
+    /// washed out).
+    pub latency_tail: LatencyTail,
 }
 
 #[derive(Debug, Default)]
@@ -583,6 +708,7 @@ struct SeedGroup {
     hit: Welford,
     makespan: Welford,
     sla: Welford,
+    tail: LatencyTail,
 }
 
 /// Folds the seeds axis into per-group mean / stddev / 95% CI as cells
@@ -619,7 +745,8 @@ impl SeedAggregate {
         agg.stats()
     }
 
-    /// Folds one successful cell's summary into its group.
+    /// Folds one successful cell's summary into its group (scalar
+    /// Welford updates, plus a histogram merge of the latency tail).
     pub fn fold(&mut self, coord: CellCoord, summary: &RunSummary) {
         let g = self.groups.entry(group_key(coord)).or_default();
         g.lat.record(summary.avg_latency_ms);
@@ -627,6 +754,7 @@ impl SeedAggregate {
         g.hit.record(summary.cache_hit_rate);
         g.makespan.record(summary.makespan_ms);
         g.sla.record(summary.sla_rate);
+        g.tail.merge(&summary.latency_tail);
     }
 
     /// Counts one failed cell against its group.
@@ -648,11 +776,20 @@ impl SeedAggregate {
                 cache_hit_rate: (&g.hit).into(),
                 makespan_ms: (&g.makespan).into(),
                 sla_rate: (&g.sla).into(),
+                latency_tail: g.tail,
             })
             .collect();
         out.sort_by_key(|s| {
             let c = s.coord;
-            (c.policy, c.soc, c.cache, c.workload, c.qos, c.lookahead)
+            (
+                c.policy,
+                c.soc,
+                c.cache,
+                c.channel,
+                c.workload,
+                c.qos,
+                c.lookahead,
+            )
         });
         out
     }
@@ -681,6 +818,7 @@ mod tests {
             policy: 1,
             soc: 0,
             cache: 2,
+            channel: 0,
             workload: 0,
             qos: 0,
             lookahead: 0,
@@ -689,6 +827,8 @@ mod tests {
     }
 
     fn summary(lat: f64) -> RunSummary {
+        let mut latency_tail = LatencyTail::new();
+        latency_tail.record(camdn_common::types::ms_to_cycles(lat));
         RunSummary {
             tasks: 2,
             inferences: 4,
@@ -698,6 +838,7 @@ mod tests {
             makespan_ms: 10.0 * lat,
             sla_rate: 1.0,
             multicast_saved_mb: 0.0,
+            latency_tail,
         }
     }
 
@@ -742,26 +883,39 @@ mod tests {
         assert_eq!(stats[0].avg_latency_ms.ci95, 0.0, "one sample, no CI");
     }
 
-    #[test]
-    fn cell_lines_roundtrip_bit_for_bit() {
-        let axes = SweepAxes {
+    fn roundtrip_axes() -> SweepAxes {
+        SweepAxes {
             policies: vec!["Baseline".into(), "needs \"escaping\"".into()],
             socs: vec!["paper".into()],
             caches: vec!["default".into(), "16MiB".into(), "32MiB".into()],
+            channels: vec!["default".into()],
             workloads: vec!["w".into()],
             qos: vec!["closed".into()],
             lookaheads: vec!["default".into()],
             seeds: vec![1, 2],
-        };
+        }
+    }
+
+    #[test]
+    fn cell_lines_roundtrip_bit_for_bit() {
+        let axes = roundtrip_axes();
         let c = CellCoord {
             policy: 1,
             soc: 0,
             cache: 2,
+            channel: 0,
             workload: 0,
             qos: 0,
             lookahead: 0,
             seed: 1,
         };
+        // A tail with samples in three buckets plus awkward extremes:
+        // the integer counts/min/max must come back exactly — the max
+        // is deliberately above 2^53, where an f64 path would round.
+        let mut latency_tail = LatencyTail::new();
+        latency_tail.record(123);
+        latency_tail.record((1 << 20) + 1);
+        latency_tail.record((1 << 53) + 1);
         let run = RunOutput {
             policy: "needs \"escaping\"".into(),
             summary: RunSummary {
@@ -775,6 +929,7 @@ mod tests {
                 makespan_ms: 12345.678901234567,
                 sla_rate: 1.0,
                 multicast_saved_mb: 0.0,
+                latency_tail,
             },
             detail: None,
         };
@@ -785,10 +940,16 @@ mod tests {
                 wall_s: 0.015625,
             },
         );
-        let (pc, prun, wall) = parse_cell_line(&line, &axes).expect("line parses");
+        let (pc, prun, wall) = parse_cell_line(&line, &axes, false).expect("line parses");
         assert_eq!(pc, c);
         assert_eq!(prun, run, "summary must roundtrip bit-for-bit");
+        assert_eq!(
+            prun.summary.latency_tail, run.summary.latency_tail,
+            "tail counts/min/max must roundtrip exactly"
+        );
         assert_eq!(wall, 0.015625);
+        // The line carries derived percentiles for plain consumers.
+        assert!(line.contains("\"p99_ms\": "));
         // Error lines are skipped (they re-run on resume).
         let err_line = cell_line(
             c,
@@ -797,15 +958,15 @@ mod tests {
                 wall_s: 0.0,
             },
         );
-        assert!(parse_cell_line(&err_line, &axes).is_none());
+        assert!(parse_cell_line(&err_line, &axes, false).is_none());
         // Torn lines (killed mid-write) are skipped, not fatal.
-        assert!(parse_cell_line(&line[..line.len() / 2], &axes).is_none());
+        assert!(parse_cell_line(&line[..line.len() / 2], &axes, false).is_none());
         // Out-of-range coordinates (a log from a bigger grid) too.
         let small = SweepAxes {
             caches: vec!["default".into()],
             ..axes.clone()
         };
-        assert!(parse_cell_line(&line, &small).is_none());
+        assert!(parse_cell_line(&line, &small, false).is_none());
         // Non-finite values serialize as JSON null (never `NaN`/`inf`),
         // which the reader skips — the cell re-runs instead of
         // poisoning the log.
@@ -821,6 +982,64 @@ mod tests {
         assert!(weird_line.contains("\"avg_latency_ms\": null"));
         assert!(weird_line.contains("\"wall_s\": null"));
         assert!(!weird_line.contains(": NaN") && !weird_line.contains(": inf"));
-        assert!(parse_cell_line(&weird_line, &axes).is_none());
+        assert!(parse_cell_line(&weird_line, &axes, false).is_none());
+    }
+
+    #[test]
+    fn v1_cell_lines_parse_with_an_empty_tail() {
+        // A line in the exact format the camdn-sweep-cells/1 writer
+        // produced: no channel coordinate, no latency-tail fields.
+        let axes = roundtrip_axes();
+        let line = "{\"policy\": 1, \"soc\": 0, \"cache\": 2, \"workload\": 0, \"qos\": 0, \
+                    \"lookahead\": 0, \"seed\": 1, \"wall_s\": 0.25, \"ok\": true, \
+                    \"label\": \"Baseline\", \"tasks\": 2, \"inferences\": 4, \
+                    \"cache_hit_rate\": 0.5, \"avg_latency_ms\": 3.5, \
+                    \"mem_mb_per_model\": 1.25, \"makespan_ms\": 10.5, \"sla_rate\": 1, \
+                    \"multicast_saved_mb\": 0}";
+        // In v2 mode the line is rejected (no channel/tail fields)...
+        assert!(parse_cell_line(line, &axes, false).is_none());
+        // ...in v1 mode it parses: channel reads 0, the tail is empty.
+        let (c, run, wall) = parse_cell_line(line, &axes, true).expect("v1 line parses");
+        assert_eq!(c, coord(1));
+        assert_eq!(wall, 0.25);
+        assert_eq!(run.summary.avg_latency_ms, 3.5);
+        assert_eq!(run.summary.latency_tail, LatencyTail::new());
+        assert_eq!(run.summary.latency_tail.p99_ms(), 0.0);
+    }
+
+    #[test]
+    fn seed_aggregate_pools_tails_instead_of_averaging_percentiles() {
+        // Seed 0: 99 fast inferences. Seed 1: 99 fast + 99 slow. The
+        // pooled p99 must see the slow samples (pooled tail ranks over
+        // all 297 samples); an average of per-seed p99s would sit half
+        // way and a fast-only pool would miss them entirely.
+        let fast = 1_000_000u64; // ~1 ms
+        let slow = 500_000_000u64; // ~500 ms
+        let mk = |n_fast: u64, n_slow: u64| {
+            let mut s = summary(1.0);
+            let mut t = LatencyTail::new();
+            for _ in 0..n_fast {
+                t.record(fast);
+            }
+            for _ in 0..n_slow {
+                t.record(slow);
+            }
+            s.latency_tail = t;
+            s
+        };
+        let mut agg = SeedAggregate::new();
+        agg.fold(coord(0), &mk(99, 0));
+        agg.fold(coord(1), &mk(99, 99));
+        let stats = agg.stats();
+        assert_eq!(stats.len(), 1);
+        let pooled = stats[0].latency_tail;
+        assert_eq!(pooled.total(), 297);
+        // A third of the pooled samples are slow: p90 and above land in
+        // the slow straggler's bucket (clamped to the recorded max).
+        assert_eq!(pooled.quantile_cycles(0.90), Some(slow));
+        assert_eq!(pooled.max_cycles(), Some(slow));
+        // The median stays fast.
+        let p50 = pooled.quantile_cycles(0.50).unwrap();
+        assert!(p50 < 2 * fast, "median {p50} must stay in the fast bucket");
     }
 }
