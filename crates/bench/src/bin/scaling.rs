@@ -28,7 +28,7 @@
 //! * `CAMDN_SCALING_RESUME=1` — keep an existing cell log and resume
 //!   the ramp from it (default: start fresh by deleting the log).
 
-use camdn_bench::{cycling_workload, print_table, quick_mode, speedup_policies};
+use camdn_bench::{cycling_workload, env_flag, print_table, quick_mode, speedup_policies};
 use camdn_common::types::MIB;
 use camdn_common::SocConfig;
 use camdn_models::zoo;
@@ -335,7 +335,7 @@ fn main() {
         std::env::var("CAMDN_SCALING_CELLS").unwrap_or_else(|_| "BENCH_scaling_cells.jsonl".into());
     // A fresh invocation starts a fresh ramp; a kill mid-grid leaves
     // the log resumable by re-running the binary with the log intact.
-    if std::env::var("CAMDN_SCALING_RESUME").map_or(true, |v| v.trim() == "0") {
+    if !env_flag("CAMDN_SCALING_RESUME") {
         std::fs::remove_file(&cells_path).ok();
     }
 

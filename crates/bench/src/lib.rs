@@ -14,6 +14,7 @@
 //! | `sweep` | fig8-style grid through `Sweep::grid()` → `BENCH_sweep.json` |
 //! | `scaling` | rate ramp / tenant / SoC scaling studies → `BENCH_scaling.json` |
 //! | `throughput` | engine throughput, batched vs reference → `BENCH_engine.json` |
+//! | `serve` | trace-driven rate ramp → per-policy SLO knee → `BENCH_serve.json` |
 //!
 //! Set `CAMDN_QUICK=1` to run reduced sweeps (used by CI and the
 //! Criterion wrappers); see [`quick_mode`] for the accepted values.
@@ -44,12 +45,23 @@ use std::collections::HashMap;
 /// treated anything but the literal `"0"` as enabled, so
 /// `CAMDN_QUICK=false` silently ran *reduced* sweeps.
 pub fn quick_mode() -> bool {
-    std::env::var("CAMDN_QUICK")
+    env_flag("CAMDN_QUICK")
+}
+
+/// True when the environment variable `name` holds a truthy value.
+///
+/// The single boolean-flag parse shared by every bench binary
+/// (`CAMDN_QUICK`, `CAMDN_SCALING_RESUME`, `CAMDN_SERVE_RESUME`, …),
+/// so `FLAG=false` means the same thing everywhere. Falsy
+/// (case-insensitive, surrounding whitespace ignored): unset, empty,
+/// `0`, `false`, `no`, `off`; everything else is truthy.
+pub fn env_flag(name: &str) -> bool {
+    std::env::var(name)
         .map(|v| env_flag_truthy(&v))
         .unwrap_or(false)
 }
 
-/// Truthy/falsy parse behind [`quick_mode`].
+/// Truthy/falsy parse behind [`env_flag`].
 fn env_flag_truthy(value: &str) -> bool {
     !matches!(
         value.trim().to_ascii_lowercase().as_str(),

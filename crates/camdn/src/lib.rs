@@ -34,7 +34,8 @@
 //! See the crate-level docs of each member for details:
 //! [`camdn_core`] (the co-design), [`camdn_runtime`] (multi-tenant
 //! engine, policies and scenarios), [`camdn_sweep`] (parallel grid
-//! sweeps), [`camdn_mapper`], [`camdn_models`], [`camdn_cache`],
+//! sweeps), [`camdn_trace`] (trace-driven serving replay),
+//! [`camdn_mapper`], [`camdn_models`], [`camdn_cache`],
 //! [`camdn_dram`], [`camdn_npu`], [`camdn_analysis`] and
 //! [`camdn_common`].
 
@@ -58,6 +59,7 @@ pub use camdn_models as models;
 pub use camdn_npu as npu;
 pub use camdn_runtime as runtime;
 pub use camdn_sweep as sweep;
+pub use camdn_trace as trace;
 
 pub use camdn_mapper::{PlanCache, PlanCacheStats};
 #[allow(deprecated)]

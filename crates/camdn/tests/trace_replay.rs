@@ -1,0 +1,191 @@
+//! Integration tests of the trace subsystem end to end: generated
+//! traces must replay deterministically (bit-identical windowed
+//! metrics run-to-run and through the file format), the windowed
+//! streaming path must hold only one window in memory across a
+//! million-arrival trace, and a killed-and-resumed replay log must
+//! equal an uninterrupted one bit for bit.
+
+use camdn::trace::{
+    windows, JsonlReplaySink, ReplayAggregate, ReplayConfig, ReplayDriver, ReplaySink, SlaClass,
+    TraceGen, TraceGenConfig, TraceReader, TraceRecord, TraceWriter, WindowMetrics,
+};
+use camdn::PolicyKind;
+
+fn unique_path(name: &str) -> std::path::PathBuf {
+    let mut p = std::env::temp_dir();
+    p.push(format!(
+        "camdn-trace-{name}-{}-{:?}",
+        std::process::id(),
+        std::thread::current().id()
+    ));
+    p
+}
+
+/// A sink that keeps every window in memory for comparisons.
+#[derive(Default)]
+struct Collect(Vec<WindowMetrics>);
+
+impl ReplaySink for Collect {
+    fn on_window(&mut self, w: &WindowMetrics) {
+        self.0.push(w.clone());
+    }
+}
+
+fn test_trace() -> TraceGenConfig {
+    TraceGenConfig {
+        rate_per_s: 400.0,
+        horizon_s: 0.1,
+        ..TraceGenConfig::default()
+    }
+}
+
+fn replay_cfg() -> ReplayConfig {
+    ReplayConfig::new(PolicyKind::CamdnFull, 20_000)
+}
+
+fn replay_collect(cfg: &ReplayConfig) -> Vec<WindowMetrics> {
+    let records = TraceGen::new(test_trace()).expect("gen config").map(Ok);
+    let mut driver = ReplayDriver::new(cfg.clone()).expect("replay config");
+    let mut sink = Collect::default();
+    driver.replay(records, &mut sink).expect("replay");
+    sink.0
+}
+
+#[test]
+fn replaying_the_same_trace_twice_is_bit_identical() {
+    let a = replay_collect(&replay_cfg());
+    let b = replay_collect(&replay_cfg());
+    assert!(!a.is_empty(), "the test trace must produce windows");
+    assert_eq!(a, b, "same seeded trace must give identical metrics");
+    // The windows carry real analytics, not zeroed placeholders.
+    assert!(a.iter().any(|w| w.tail.total() > 0));
+    assert!(a.iter().any(|w| !w.queue_depth.is_empty()));
+    assert!(a.iter().any(|w| !w.tenants.is_empty()));
+}
+
+#[test]
+fn replay_through_the_file_format_matches_in_memory_replay() {
+    let path = unique_path("roundtrip.ndjson");
+    let file = std::fs::File::create(&path).expect("create trace");
+    let mut writer = TraceWriter::new(std::io::BufWriter::new(file)).expect("header");
+    for rec in TraceGen::new(test_trace()).expect("gen config") {
+        writer.write(&rec).expect("record");
+    }
+    writer.finish().expect("flush");
+
+    let direct = replay_collect(&replay_cfg());
+    let mut driver = ReplayDriver::new(replay_cfg()).expect("replay config");
+    let mut sink = Collect::default();
+    driver
+        .replay(TraceReader::open(&path).expect("reopen"), &mut sink)
+        .expect("replay from file");
+    std::fs::remove_file(&path).ok();
+    assert_eq!(sink.0, direct, "file roundtrip must not change metrics");
+}
+
+#[test]
+fn windowing_streams_a_million_arrivals_one_window_at_a_time() {
+    // 10 arrivals/window over 1M arrivals: the adapter must never
+    // buffer more than one window's records, so peak memory is the
+    // densest window — not the trace.
+    let window_us = 1_000u64;
+    let total = 1_000_000u64;
+    let records = (0..total).map(|i| {
+        Ok(TraceRecord {
+            ts_us: i * 100,
+            tenant: format!("t{:03}", i % 8),
+            model: "MB".to_string(),
+            class: SlaClass::Medium,
+        })
+    });
+    let mut seen = 0u64;
+    let mut max_window_len = 0usize;
+    let mut last_index = None;
+    for w in windows(records, window_us) {
+        let w = w.expect("synthetic trace is well-formed");
+        seen += w.records.len() as u64;
+        max_window_len = max_window_len.max(w.records.len());
+        assert!(last_index < Some(w.index), "windows must arrive in order");
+        last_index = Some(w.index);
+    }
+    assert_eq!(seen, total, "every arrival must land in exactly one window");
+    assert_eq!(
+        max_window_len, 10,
+        "one window buffers exactly its own arrivals"
+    );
+}
+
+#[test]
+fn killed_replay_log_resumes_to_an_identical_log() {
+    let cfg = replay_cfg();
+    let gen_records = || TraceGen::new(test_trace()).expect("gen config").map(Ok);
+
+    // Uninterrupted reference replay.
+    let clean_path = unique_path("clean.jsonl");
+    let mut driver = ReplayDriver::new(cfg.clone()).expect("replay config");
+    let mut sink = JsonlReplaySink::create(&clean_path, &cfg).expect("create log");
+    driver.replay(gen_records(), &mut sink).expect("replay");
+    sink.finish().expect("close log");
+
+    // "Kill" a second replay by truncating its log mid-line after the
+    // first few windows.
+    let killed_path = unique_path("killed.jsonl");
+    let mut driver = ReplayDriver::new(cfg.clone()).expect("replay config");
+    let mut sink = JsonlReplaySink::create(&killed_path, &cfg).expect("create log");
+    driver.replay(gen_records(), &mut sink).expect("replay");
+    sink.finish().expect("close log");
+    let full = std::fs::read_to_string(&killed_path).expect("read log");
+    let lines: Vec<&str> = full.lines().collect();
+    assert!(lines.len() > 3, "need enough windows to interrupt");
+    let keep = 1 + (lines.len() - 1) / 2; // header + half the windows
+    let mut truncated: String = lines[..keep].iter().map(|l| format!("{l}\n")).collect();
+    let torn = &lines[keep][..lines[keep].len() / 2]; // half a line
+    truncated.push_str(torn);
+    std::fs::write(&killed_path, truncated).expect("simulate kill");
+
+    // Resume: the torn line is dropped, recorded windows are skipped,
+    // the rest re-run, and the final log equals the clean one.
+    let mut driver = ReplayDriver::new(cfg.clone()).expect("replay config");
+    let mut sink = JsonlReplaySink::resume(&killed_path, &cfg).expect("resume log");
+    let skipped = sink.recorded().len() as u64;
+    assert_eq!(skipped, keep as u64 - 1, "intact windows must be kept");
+    let totals = driver.replay(gen_records(), &mut sink).expect("replay");
+    assert_eq!(totals.windows_skipped, skipped);
+    assert!(totals.windows_run > 0, "the torn tail must re-run");
+    sink.finish().expect("close log");
+
+    let clean = camdn::trace::read_window_log(&clean_path, &cfg).expect("read clean");
+    let resumed = camdn::trace::read_window_log(&killed_path, &cfg).expect("read resumed");
+    assert_eq!(resumed, clean, "resumed log must equal the clean log");
+
+    // A log written under one config must not resume under another.
+    let mut other = cfg.clone();
+    other.policy = PolicyKind::SharedBaseline;
+    assert!(JsonlReplaySink::resume(&killed_path, &other).is_err());
+
+    std::fs::remove_file(&clean_path).ok();
+    std::fs::remove_file(&killed_path).ok();
+}
+
+#[test]
+fn aggregate_matches_the_sum_of_windows() {
+    let cfg = replay_cfg();
+    let windows = replay_collect(&cfg);
+    let records = TraceGen::new(test_trace()).expect("gen config").map(Ok);
+    let mut driver = ReplayDriver::new(cfg).expect("replay config");
+    let mut agg = ReplayAggregate::new();
+    driver.replay(records, &mut agg).expect("replay");
+
+    assert_eq!(agg.windows, windows.len() as u64);
+    assert_eq!(
+        agg.arrivals,
+        windows.iter().map(|w| w.arrivals).sum::<u64>()
+    );
+    assert_eq!(agg.sla_met, windows.iter().map(|w| w.sla_met).sum::<u64>());
+    assert_eq!(
+        agg.tail.total(),
+        windows.iter().map(|w| w.tail.total()).sum::<u64>()
+    );
+    let worst = windows.iter().map(|w| w.sla_rate()).fold(1.0f64, f64::min);
+    assert_eq!(agg.worst_window_sla, worst);
+}

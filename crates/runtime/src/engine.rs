@@ -21,7 +21,7 @@ use crate::policies::{
     builtin_policy, AllocFailure, EpochSlot, InstallEvent, PartitionCtx, Policy,
     PolicyCapabilities, Selection,
 };
-use crate::result::{DetailLevel, RunDetail, RunOutput, RunSummary, TaskSummary};
+use crate::result::{DetailLevel, QueueSample, RunDetail, RunOutput, RunSummary, TaskSummary};
 use crate::scenario::Workload;
 use crate::task::{InferenceRecord, Task, TaskState};
 use camdn_cache::{Nec, SharedCache};
@@ -163,6 +163,7 @@ impl EngineConfig {
             reference_model: false,
             // The pre-split API always returned the per-task table.
             detail: DetailLevel::Tasks,
+            queue_sample_cycles: None,
         }
     }
 }
@@ -183,6 +184,10 @@ pub(crate) struct SimParams {
     /// How much output to retain ([`RunSummary`] only, plus the
     /// per-task table, or everything including latency histograms).
     pub detail: DetailLevel,
+    /// Sample the outstanding-request depth every this many cycles
+    /// into [`RunDetail::queue_depth`](crate::RunDetail) (`None` — the
+    /// default — records nothing and leaves the run loop untouched).
+    pub queue_sample_cycles: Option<Cycle>,
 }
 
 /// The multi-tenant discrete-event engine.
@@ -226,6 +231,9 @@ pub struct Engine {
     next_epoch: Cycle,
     /// Rough isolated-latency estimate per model (for urgency).
     iso_est: Vec<Cycle>,
+    /// Queue-depth timeline (populated only when
+    /// `params.queue_sample_cycles` is set).
+    queue_samples: Vec<QueueSample>,
     now: Cycle,
     started: bool,
 }
@@ -339,8 +347,8 @@ impl Engine {
         // Only Closed re-issues immediately; Poisson and Bursty tasks
         // honor their drawn arrival times.
         let closed_loop = matches!(workload.arrival(), crate::ArrivalProcess::Closed { .. });
-        for _ in 0..n {
-            let sched = workload.draw_arrivals(&mut rng);
+        for tid in 0..n {
+            let sched = workload.draw_arrivals(tid, &mut rng);
             rounds_target.push(if closed_loop {
                 workload
                     .rounds_hint()
@@ -371,6 +379,7 @@ impl Engine {
             npu_waiters: Vec::new(),
             page_waiters: Vec::new(),
             next_epoch: params.epoch_cycles,
+            queue_samples: Vec::new(),
             now: 0,
             started: false,
             params,
@@ -444,12 +453,45 @@ impl Engine {
                 }
             }
         }
+        // Queue sampling walks fixed boundaries between events: state
+        // only changes at events, so sampling just before the first
+        // event at-or-past a boundary observes the state *at* it.
+        let sample_every = self.params.queue_sample_cycles;
+        let mut next_sample = sample_every.unwrap_or(0);
         while let Some((now, tid)) = self.events.pop() {
+            if let Some(every) = sample_every {
+                while next_sample <= now {
+                    self.sample_queue_depth(next_sample);
+                    next_sample += every;
+                }
+            }
             self.now = now.max(self.now);
             self.maybe_rebalance();
             self.step(tid, now)?;
         }
         Ok(self.aggregate())
+    }
+
+    /// Records one queue-depth sample: requests arrived by `at` but
+    /// not yet retired, summed over all tasks. A closed-loop task's
+    /// whole round budget "arrives" with its single dispatch jitter.
+    fn sample_queue_depth(&mut self, at: Cycle) {
+        let mut outstanding = 0u32;
+        for (tid, sched) in self.arrivals.iter().enumerate() {
+            let arrived = if self.closed_loop {
+                match sched.first() {
+                    Some(&t0) if t0 <= at => self.rounds_target[tid],
+                    _ => 0,
+                }
+            } else {
+                sched.partition_point(|&a| a <= at) as u32
+            };
+            outstanding += arrived.saturating_sub(self.tasks[tid].rounds_done);
+        }
+        self.queue_samples.push(QueueSample {
+            cycle: at,
+            outstanding,
+        });
     }
 
     // ---------------------------------------------------------------
@@ -1140,6 +1182,7 @@ impl Engine {
             detail: want_tasks.then_some(RunDetail {
                 tasks,
                 latency_hist: hist,
+                queue_depth: self.queue_samples.clone(),
             }),
         }
     }
@@ -1245,6 +1288,7 @@ mod tests {
             mapper: MapperConfig::paper_default(),
             reference_model: false,
             detail: DetailLevel::Tasks,
+            queue_sample_cycles: None,
         };
         let mut engine = Engine::with_policy(
             params,
@@ -1438,6 +1482,7 @@ mod tests {
             mapper: MapperConfig::paper_default(),
             reference_model: false,
             detail: DetailLevel::Tasks,
+            queue_sample_cycles: None,
         };
         let mut engine = Engine::with_policy(
             params,

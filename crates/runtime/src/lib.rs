@@ -52,8 +52,8 @@ pub use policies::{
 #[allow(deprecated)]
 pub use result::RunResult;
 pub use result::{
-    DetailLevel, LatencyTail, RunDetail, RunOutput, RunSummary, TaskSummary, LATENCY_HIST_BUCKETS,
-    LATENCY_HIST_EDGES,
+    DetailLevel, LatencyTail, QueueSample, RunDetail, RunOutput, RunSummary, TaskSummary,
+    LATENCY_HIST_BUCKETS, LATENCY_HIST_EDGES,
 };
 pub use scenario::{ArrivalProcess, Workload};
 pub use sim::{Simulation, SimulationBuilder};

@@ -258,6 +258,21 @@ pub struct RunSummary {
     pub latency_tail: LatencyTail,
 }
 
+/// One point of an opt-in queue-depth timeline: how many requests had
+/// arrived but not yet finished at a fixed sampling boundary.
+///
+/// Produced only when
+/// [`SimulationBuilder::sample_queue_depth`](crate::SimulationBuilder::sample_queue_depth)
+/// sets a sampling interval; the default engine run records none.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct QueueSample {
+    /// Sample time in engine cycles (a multiple of the interval).
+    pub cycle: Cycle,
+    /// Requests arrived but not yet retired across all tasks
+    /// (executing requests count: depth 0 means a fully idle system).
+    pub outstanding: u32,
+}
+
 /// Opt-in per-task (and, at [`DetailLevel::Full`], per-latency) detail
 /// of one run.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -267,6 +282,9 @@ pub struct RunDetail {
     /// Histogram of measured inference latencies in cycles over
     /// [`LATENCY_HIST_EDGES`] (`None` below [`DetailLevel::Full`]).
     pub latency_hist: Option<Histogram>,
+    /// Queue-depth timeline at the configured sampling interval
+    /// (empty unless queue sampling was requested).
+    pub queue_depth: Vec<QueueSample>,
 }
 
 impl RunDetail {
@@ -283,7 +301,8 @@ impl RunDetail {
             .as_ref()
             .map(|h| 8 * (h.edges().len() + h.counts().len()) as u64)
             .unwrap_or(0);
-        std::mem::size_of::<RunDetail>() as u64 + tasks + hist
+        let queue = (self.queue_depth.len() * std::mem::size_of::<QueueSample>()) as u64;
+        std::mem::size_of::<RunDetail>() as u64 + tasks + hist + queue
     }
 }
 
@@ -399,6 +418,7 @@ mod tests {
                 sla_rate: 1.0,
             }],
             latency_hist: None,
+            queue_depth: Vec::new(),
         }
     }
 

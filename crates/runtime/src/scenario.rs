@@ -13,9 +13,14 @@
 //! * [`ArrivalProcess::Bursty`] — clustered arrivals: periodic bursts of
 //!   back-to-back requests separated by idle gaps, the worst case for
 //!   cache contention.
+//! * [`ArrivalProcess::Trace`] — explicit per-task request schedules
+//!   ([`Workload::traced`]): the arrival cycles are supplied verbatim,
+//!   which is how the trace-replay layer (`camdn-trace`) feeds recorded
+//!   or generated production traces through the engine.
 //!
 //! Arrival schedules are drawn from the engine's seeded [`SimRng`], so a
-//! given `(workload, seed)` pair is exactly reproducible.
+//! given `(workload, seed)` pair is exactly reproducible (trace
+//! schedules bypass the RNG entirely — they *are* the schedule).
 //!
 //! Latency semantics differ by loop type: closed-loop rounds have no
 //! arrival, so latency is measured from dispatch (as in the paper's
@@ -57,6 +62,11 @@ pub enum ArrivalProcess {
         /// Start-to-start spacing of bursts in milliseconds.
         gap_ms: f64,
     },
+    /// Explicit open loop: every task's arrival cycles are supplied
+    /// verbatim via [`Workload::traced`]. The schedules live on the
+    /// [`Workload`] (this variant stays `Copy`); latency is response
+    /// time, as for the other open-loop processes.
+    Trace,
 }
 
 /// A simulation scenario: the co-located models plus their arrival
@@ -65,6 +75,9 @@ pub enum ArrivalProcess {
 pub struct Workload {
     models: Vec<Model>,
     arrival: ArrivalProcess,
+    /// Explicit per-task arrival schedules ([`ArrivalProcess::Trace`]
+    /// only; empty otherwise).
+    schedules: Vec<Vec<Cycle>>,
 }
 
 impl Workload {
@@ -74,6 +87,7 @@ impl Workload {
         Workload {
             models,
             arrival: ArrivalProcess::Closed { rounds },
+            schedules: Vec::new(),
         }
     }
 
@@ -86,6 +100,7 @@ impl Workload {
                 rate_per_ms,
                 horizon_ms,
             },
+            schedules: Vec::new(),
         }
     }
 
@@ -99,6 +114,22 @@ impl Workload {
                 burst_len,
                 gap_ms,
             },
+            schedules: Vec::new(),
+        }
+    }
+
+    /// Explicit-schedule workload: task `i` receives one request at
+    /// every cycle of `schedules[i]` (absolute cycles, non-decreasing).
+    /// This is the arrival path trace replay uses: the schedule comes
+    /// from a recorded or generated trace rather than a stochastic
+    /// process, so replaying the same trace is bit-for-bit
+    /// reproducible. A task with an empty schedule completes without
+    /// running (like an open-loop task that drew no arrivals).
+    pub fn traced(models: Vec<Model>, schedules: Vec<Vec<Cycle>>) -> Self {
+        Workload {
+            models,
+            arrival: ArrivalProcess::Trace,
+            schedules,
         }
     }
 
@@ -163,18 +194,44 @@ impl Workload {
                     ))
                 }
             }
+            ArrivalProcess::Trace => {
+                if self.schedules.len() != self.models.len() {
+                    return Err(InvalidConfig(format!(
+                        "traced workload has {} schedules for {} models \
+                         (one per task required)",
+                        self.schedules.len(),
+                        self.models.len()
+                    )));
+                }
+                for (i, sched) in self.schedules.iter().enumerate() {
+                    if sched.windows(2).any(|w| w[0] > w[1]) {
+                        return Err(InvalidConfig(format!(
+                            "traced schedule of task {i} is not sorted \
+                             (arrival cycles must be non-decreasing)"
+                        )));
+                    }
+                }
+                if self.schedules.iter().all(|s| s.is_empty()) {
+                    return Err(InvalidConfig(
+                        "traced workload has no arrivals in any schedule".into(),
+                    ));
+                }
+                Ok(())
+            }
         }
     }
 
-    /// Draws the absolute arrival cycles for one task.
+    /// Draws the absolute arrival cycles for task `task_idx`.
     ///
     /// Closed-loop tasks get a single dispatch-jitter arrival (their
     /// remaining rounds re-issue immediately); open-loop tasks get the
-    /// full request schedule. The caller iterates tasks in id order so
-    /// the RNG stream — and therefore the run — is deterministic.
-    pub(crate) fn draw_arrivals(&self, rng: &mut SimRng) -> Vec<Cycle> {
+    /// full request schedule; traced tasks return their explicit
+    /// schedule verbatim. The caller iterates tasks in id order so the
+    /// RNG stream — and therefore the run — is deterministic.
+    pub(crate) fn draw_arrivals(&self, task_idx: usize, rng: &mut SimRng) -> Vec<Cycle> {
         match self.arrival {
             ArrivalProcess::Closed { .. } => vec![rng.next_below(50_000)],
+            ArrivalProcess::Trace => self.schedules[task_idx].clone(),
             ArrivalProcess::Poisson {
                 rate_per_ms,
                 horizon_ms,
@@ -216,7 +273,7 @@ impl Workload {
     pub(crate) fn rounds_hint(&self) -> Option<u32> {
         match self.arrival {
             ArrivalProcess::Closed { rounds } => Some(rounds),
-            ArrivalProcess::Poisson { .. } => None,
+            ArrivalProcess::Poisson { .. } | ArrivalProcess::Trace => None,
             ArrivalProcess::Bursty {
                 bursts, burst_len, ..
             } => Some(bursts * burst_len),
@@ -233,7 +290,7 @@ mod tests {
     fn closed_draws_one_jitter_arrival() {
         let w = Workload::closed(vec![zoo::mobilenet_v2()], 3);
         let mut rng = SimRng::new(1);
-        let a = w.draw_arrivals(&mut rng);
+        let a = w.draw_arrivals(0, &mut rng);
         assert_eq!(a.len(), 1);
         assert!(a[0] < 50_000);
         assert_eq!(w.rounds_hint(), Some(3));
@@ -243,7 +300,7 @@ mod tests {
     fn poisson_arrivals_are_sorted_and_bounded() {
         let w = Workload::poisson(vec![zoo::mobilenet_v2()], 0.5, 100.0);
         let mut rng = SimRng::new(7);
-        let a = w.draw_arrivals(&mut rng);
+        let a = w.draw_arrivals(0, &mut rng);
         assert!(!a.is_empty(), "50 expected arrivals, drew none");
         assert!(a.windows(2).all(|w| w[0] <= w[1]));
         assert!(*a.last().unwrap() < ms_to_cycles(100.0));
@@ -254,8 +311,8 @@ mod tests {
     #[test]
     fn poisson_is_deterministic_per_seed() {
         let w = Workload::poisson(vec![zoo::mobilenet_v2()], 1.0, 50.0);
-        let a = w.draw_arrivals(&mut SimRng::new(9));
-        let b = w.draw_arrivals(&mut SimRng::new(9));
+        let a = w.draw_arrivals(0, &mut SimRng::new(9));
+        let b = w.draw_arrivals(0, &mut SimRng::new(9));
         assert_eq!(a, b);
     }
 
@@ -263,7 +320,7 @@ mod tests {
     fn bursty_schedule_shape() {
         let w = Workload::bursty(vec![zoo::mobilenet_v2()], 3, 4, 10.0);
         let mut rng = SimRng::new(3);
-        let a = w.draw_arrivals(&mut rng);
+        let a = w.draw_arrivals(0, &mut rng);
         assert_eq!(a.len(), 12);
         assert_eq!(w.rounds_hint(), Some(12));
         // Bursts are gap-separated: arrivals 0..4 equal, 4..8 equal, ...
@@ -293,5 +350,46 @@ mod tests {
             .validate()
             .is_err());
         assert!(Workload::closed(vec![zoo::gnmt()], 2).validate().is_ok());
+    }
+
+    #[test]
+    fn traced_schedules_are_returned_verbatim_per_task() {
+        let models = vec![zoo::mobilenet_v2(), zoo::resnet50()];
+        let scheds = vec![vec![100, 200, 200, 900], vec![50]];
+        let w = Workload::traced(models, scheds.clone());
+        assert!(w.validate().is_ok());
+        assert_eq!(w.rounds_hint(), None, "per-task counts vary");
+        let mut rng = SimRng::new(1);
+        assert_eq!(w.draw_arrivals(0, &mut rng), scheds[0]);
+        assert_eq!(w.draw_arrivals(1, &mut rng), scheds[1]);
+        // The RNG stream is untouched: a fresh RNG draws the same.
+        assert_eq!(w.draw_arrivals(0, &mut SimRng::new(99)), scheds[0]);
+    }
+
+    #[test]
+    fn traced_validation_rejects_mismatch_and_disorder() {
+        let models = vec![zoo::mobilenet_v2(), zoo::resnet50()];
+        // Schedule count must match the task count.
+        let err = Workload::traced(models.clone(), vec![vec![1]])
+            .validate()
+            .err()
+            .unwrap();
+        assert!(err.to_string().contains("schedules"), "{err}");
+        // Arrival cycles must be non-decreasing.
+        let err = Workload::traced(models.clone(), vec![vec![5, 3], vec![1]])
+            .validate()
+            .err()
+            .unwrap();
+        assert!(err.to_string().contains("not sorted"), "{err}");
+        // At least one task must receive a request.
+        let err = Workload::traced(models.clone(), vec![vec![], vec![]])
+            .validate()
+            .err()
+            .unwrap();
+        assert!(err.to_string().contains("no arrivals"), "{err}");
+        // An individual empty schedule is fine (task retires unstarted).
+        assert!(Workload::traced(models, vec![vec![], vec![7]])
+            .validate()
+            .is_ok());
     }
 }

@@ -57,6 +57,7 @@ impl Simulation {
             reference_model: false,
             plan_cache: None,
             detail: DetailLevel::Tasks,
+            queue_sample_cycles: None,
         }
     }
 
@@ -80,6 +81,7 @@ pub struct SimulationBuilder {
     reference_model: bool,
     plan_cache: Option<Arc<PlanCache>>,
     detail: DetailLevel,
+    queue_sample_cycles: Option<Cycle>,
 }
 
 impl SimulationBuilder {
@@ -183,6 +185,17 @@ impl SimulationBuilder {
         self
     }
 
+    /// Samples the outstanding-request depth (arrived but not yet
+    /// retired, across all tasks) every `cycles` into
+    /// [`RunDetail::queue_depth`](crate::RunDetail). Off by default:
+    /// an unsampled run records nothing and is bit-identical to one
+    /// built before this knob existed. Requires a detail level of at
+    /// least [`DetailLevel::Tasks`] for the samples to be returned.
+    pub fn sample_queue_depth(mut self, cycles: Cycle) -> Self {
+        self.queue_sample_cycles = Some(cycles);
+        self
+    }
+
     /// Routes all memory-system timing through the per-line *reference
     /// model* instead of the batched fast paths (default `false`).
     ///
@@ -212,6 +225,11 @@ impl SimulationBuilder {
                 "epoch_cycles must be positive".into(),
             ));
         }
+        if self.queue_sample_cycles == Some(0) {
+            return Err(EngineError::InvalidConfig(
+                "queue sampling interval must be positive".into(),
+            ));
+        }
         let mut policy = match self.policy {
             PolicyChoice::Kind(kind) => builtin_policy(kind),
             PolicyChoice::Named(name) => create_policy(&name)?,
@@ -229,6 +247,7 @@ impl SimulationBuilder {
             mapper: self.mapper,
             reference_model: self.reference_model,
             detail: self.detail,
+            queue_sample_cycles: self.queue_sample_cycles,
         };
         let engine = Engine::with_policy(params, policy, &workload, self.plan_cache.as_deref())?;
         Ok(Simulation { engine })
@@ -349,6 +368,43 @@ mod tests {
         let s = cache.stats();
         assert_eq!(s.model_misses, 2, "two distinct models mapped once");
         assert_eq!(s.model_hits, 2, "second run served entirely from cache");
+    }
+
+    #[test]
+    fn queue_depth_sampling_is_opt_in_and_deterministic() {
+        let mk = || {
+            Simulation::builder()
+                .policy(PolicyKind::CamdnFull)
+                .workload(Workload::poisson(
+                    vec![zoo::mobilenet_v2(), zoo::resnet50()],
+                    2.0,
+                    4.0,
+                ))
+                .seed(11)
+        };
+        // Off by default: detail carries no samples and the run is
+        // unchanged by a sampled run existing elsewhere.
+        let plain = mk().run().unwrap();
+        assert!(plain.detail.as_ref().unwrap().queue_depth.is_empty());
+        let sampled = mk().sample_queue_depth(100_000).run().unwrap();
+        let sampled2 = mk().sample_queue_depth(100_000).run().unwrap();
+        assert_eq!(plain.summary, sampled.summary, "sampling must not perturb");
+        assert_eq!(sampled, sampled2, "sampling is deterministic");
+        let depth = &sampled.detail.as_ref().unwrap().queue_depth;
+        assert!(!depth.is_empty(), "a 4 ms run spans many 100k boundaries");
+        for (i, s) in depth.iter().enumerate() {
+            assert_eq!(s.cycle, (i as Cycle + 1) * 100_000);
+        }
+        assert!(depth.iter().any(|s| s.outstanding > 0));
+        // A zero interval is a typed error, not a hang.
+        let w = Workload::closed(vec![zoo::mobilenet_v2()], 2);
+        assert!(matches!(
+            Simulation::builder()
+                .workload(w)
+                .sample_queue_depth(0)
+                .build(),
+            Err(EngineError::InvalidConfig(_))
+        ));
     }
 
     #[test]

@@ -77,6 +77,7 @@
 #![deny(deprecated)]
 
 mod exec;
+pub mod jsonl;
 mod report;
 mod sink;
 

@@ -5,27 +5,8 @@
 //! approach the throughput harness uses for `BENCH_engine.json`. The
 //! document schema is `camdn-bench-sweep/1`.
 
+use crate::jsonl::esc;
 use crate::SweepResult;
-use std::fmt::Write;
-
-/// Escapes a string for inclusion in a JSON string literal.
-pub(crate) fn esc(s: &str) -> String {
-    let mut out = String::with_capacity(s.len());
-    for c in s.chars() {
-        match c {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            '\n' => out.push_str("\\n"),
-            '\r' => out.push_str("\\r"),
-            '\t' => out.push_str("\\t"),
-            c if (c as u32) < 0x20 => {
-                let _ = write!(out, "\\u{:04x}", c as u32);
-            }
-            c => out.push(c),
-        }
-    }
-    out
-}
 
 pub(crate) fn str_array(items: &[String]) -> String {
     let quoted: Vec<String> = items.iter().map(|s| format!("\"{}\"", esc(s))).collect();

@@ -23,6 +23,7 @@
 //!   percentiles come from the pooled samples — the multi-seed
 //!   statistics the scaling studies report.
 
+use crate::jsonl::{esc, jnum, parse_flat_object, JsonVal};
 use crate::{CellCoord, SweepAxes, SweepCell};
 use camdn_common::stats::Welford;
 use camdn_runtime::{
@@ -309,17 +310,6 @@ pub(crate) fn header_line_v1(axes: &SweepAxes) -> String {
     )
 }
 
-/// A float as a JSON token: shortest-roundtrip `Display` for finite
-/// values, `null` otherwise — `NaN`/`inf` are not JSON, and a `null`ed
-/// cell simply re-runs on resume instead of corrupting the log.
-fn jnum(v: f64) -> String {
-    if v.is_finite() {
-        format!("{v}")
-    } else {
-        "null".into()
-    }
-}
-
 /// One cell as a JSONL line (no trailing newline).
 pub(crate) fn cell_line(coord: CellCoord, outcome: &CellOutcome) -> String {
     let mut s = String::with_capacity(384);
@@ -350,7 +340,7 @@ pub(crate) fn cell_line(coord: CellCoord, outcome: &CellOutcome) -> String {
                  \"p50_ms\": {}, \"p90_ms\": {}, \"p95_ms\": {}, \"p99_ms\": {}, \
                  \"p999_ms\": {}, \"lat_counts\": [{}], \"lat_min_cycles\": {}, \
                  \"lat_max_cycles\": {}}}",
-                crate::report::esc(&run.policy),
+                esc(&run.policy),
                 m.tasks,
                 m.inferences,
                 jnum(m.cache_hit_rate),
@@ -370,11 +360,7 @@ pub(crate) fn cell_line(coord: CellCoord, outcome: &CellOutcome) -> String {
             );
         }
         Err(e) => {
-            let _ = write!(
-                s,
-                "\"ok\": false, \"error\": \"{}\"}}",
-                crate::report::esc(&e.to_string())
-            );
+            let _ = write!(s, "\"ok\": false, \"error\": \"{}\"}}", esc(&e.to_string()));
         }
     }
     s
@@ -495,155 +481,6 @@ fn parse_cell_line(line: &str, axes: &SweepAxes, v1: bool) -> Option<(CellCoord,
         },
         num("wall_s")?,
     ))
-}
-
-// ------------------------------------------------------------------
-// Minimal flat-JSON parsing (the log is written by this module, so a
-// full JSON parser is not needed — but string escapes are honored so
-// user-supplied labels round-trip)
-// ------------------------------------------------------------------
-
-#[derive(Debug, PartialEq)]
-enum JsonVal {
-    Num(String),
-    Bool(bool),
-    Str(String),
-    /// A flat array of number tokens (the latency-tail bucket counts).
-    Arr(Vec<String>),
-}
-
-impl JsonVal {
-    fn as_f64(&self) -> Option<f64> {
-        match self {
-            JsonVal::Num(s) => s.parse().ok(),
-            _ => None,
-        }
-    }
-
-    fn as_bool(&self) -> Option<bool> {
-        match self {
-            JsonVal::Bool(b) => Some(*b),
-            _ => None,
-        }
-    }
-}
-
-/// Parses a one-level JSON object of string/number/boolean values and
-/// flat arrays of numbers.
-fn parse_flat_object(line: &str) -> Option<Vec<(String, JsonVal)>> {
-    let mut chars = line.trim().char_indices().peekable();
-    let s = line.trim();
-    if !s.starts_with('{') || !s.ends_with('}') {
-        return None;
-    }
-    chars.next(); // consume '{'
-    let mut fields = Vec::new();
-    loop {
-        // Skip whitespace and separators up to the next key or the end.
-        while matches!(chars.peek(), Some((_, c)) if c.is_whitespace() || *c == ',') {
-            chars.next();
-        }
-        match chars.peek() {
-            Some((_, '}')) | None => break,
-            Some((_, '"')) => {}
-            _ => return None,
-        }
-        let key = parse_string(&mut chars)?;
-        while matches!(chars.peek(), Some((_, c)) if c.is_whitespace()) {
-            chars.next();
-        }
-        if !matches!(chars.next(), Some((_, ':'))) {
-            return None;
-        }
-        while matches!(chars.peek(), Some((_, c)) if c.is_whitespace()) {
-            chars.next();
-        }
-        let val = match chars.peek()? {
-            (_, '"') => JsonVal::Str(parse_string(&mut chars)?),
-            (_, '[') => {
-                chars.next(); // consume '['
-                let mut items = Vec::new();
-                loop {
-                    while matches!(chars.peek(), Some((_, c)) if c.is_whitespace() || *c == ',') {
-                        chars.next();
-                    }
-                    if matches!(chars.peek(), Some((_, ']'))) {
-                        chars.next();
-                        break;
-                    }
-                    let num: String = std::iter::from_fn(|| {
-                        matches!(chars.peek(), Some((_, c))
-                            if !c.is_whitespace() && *c != ',' && *c != ']')
-                        .then(|| chars.next().map(|(_, c)| c))
-                        .flatten()
-                    })
-                    .collect();
-                    if num.is_empty() {
-                        return None;
-                    }
-                    items.push(num);
-                }
-                JsonVal::Arr(items)
-            }
-            (_, 't' | 'f') => {
-                let word: String = std::iter::from_fn(|| {
-                    matches!(chars.peek(), Some((_, c)) if c.is_ascii_alphabetic())
-                        .then(|| chars.next().map(|(_, c)| c))
-                        .flatten()
-                })
-                .collect();
-                match word.as_str() {
-                    "true" => JsonVal::Bool(true),
-                    "false" => JsonVal::Bool(false),
-                    _ => return None,
-                }
-            }
-            _ => {
-                let num: String = std::iter::from_fn(|| {
-                    matches!(chars.peek(), Some((_, c)) if !c.is_whitespace() && *c != ',' && *c != '}')
-                        .then(|| chars.next().map(|(_, c)| c))
-                        .flatten()
-                })
-                .collect();
-                if num.is_empty() {
-                    return None;
-                }
-                JsonVal::Num(num)
-            }
-        };
-        fields.push((key, val));
-    }
-    Some(fields)
-}
-
-/// Parses a double-quoted JSON string (cursor on the opening quote),
-/// un-escaping what the report module's `esc` produced.
-fn parse_string(chars: &mut std::iter::Peekable<std::str::CharIndices<'_>>) -> Option<String> {
-    if !matches!(chars.next(), Some((_, '"'))) {
-        return None;
-    }
-    let mut out = String::new();
-    loop {
-        match chars.next()? {
-            (_, '"') => return Some(out),
-            (_, '\\') => match chars.next()?.1 {
-                '"' => out.push('"'),
-                '\\' => out.push('\\'),
-                'n' => out.push('\n'),
-                'r' => out.push('\r'),
-                't' => out.push('\t'),
-                'u' => {
-                    let mut code = 0u32;
-                    for _ in 0..4 {
-                        code = code * 16 + chars.next()?.1.to_digit(16)?;
-                    }
-                    out.push(char::from_u32(code)?);
-                }
-                _ => return None,
-            },
-            (_, c) => out.push(c),
-        }
-    }
 }
 
 // ------------------------------------------------------------------

@@ -1,0 +1,447 @@
+//! Heavy-tailed synthetic trace generators.
+//!
+//! Real serving traffic is not Poisson: model popularity follows a
+//! Zipf law (a few hot models take most requests), request rates swing
+//! diurnally, and inter-arrival gaps are heavy-tailed (bursts far
+//! larger than an exponential would ever produce). [`TraceGen`]
+//! composes the three — Zipf popularity over the model roster, a
+//! sinusoidal diurnal rate curve, and Pareto inter-arrival gaps — into
+//! an infinite-stream iterator of [`TraceRecord`]s, seeded through
+//! [`SimRng`] so the same [`TraceGenConfig`] always produces the same
+//! trace, byte for byte.
+
+use crate::schema::{SlaClass, TraceError, TraceRecord, TraceWriter};
+use camdn_common::SimRng;
+use std::io::Write;
+
+/// Configuration of a synthetic trace: who asks for what, how often,
+/// and how bursty it gets.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceGenConfig {
+    /// RNG seed; the trace is a pure function of this config.
+    pub seed: u64,
+    /// Number of tenants (`t000`, `t001`, …), drawn uniformly.
+    pub tenants: u32,
+    /// Model roster by Table I abbreviation, most popular first
+    /// (rank 1 of the Zipf law).
+    pub models: Vec<String>,
+    /// Zipf exponent `s`: model at rank `r` is requested with weight
+    /// `1/r^s`. 0 = uniform; ~1 = classic web-like skew.
+    pub zipf_s: f64,
+    /// Mean request rate in requests per second (before diurnal
+    /// modulation).
+    pub rate_per_s: f64,
+    /// Pareto shape `α` of the inter-arrival gaps (must be > 1 so the
+    /// mean exists; smaller = heavier tail / burstier).
+    pub pareto_alpha: f64,
+    /// Diurnal swing: instantaneous rate is
+    /// `rate_per_s × (1 + amplitude·sin(2πt/period))`. 0 = flat;
+    /// must stay below 1 so the rate never reaches zero.
+    pub diurnal_amplitude: f64,
+    /// Period of the diurnal curve in seconds (a scaled-down "day").
+    pub diurnal_period_s: f64,
+    /// Relative weights of the H/M/L SLA classes.
+    pub class_weights: [f64; 3],
+    /// Trace length in seconds.
+    pub horizon_s: f64,
+}
+
+impl Default for TraceGenConfig {
+    /// A small but fully heavy-tailed default: 8 tenants over the
+    /// Table I roster, Zipf s = 1, 2000 req/s over a 1 s horizon with
+    /// a 1 s diurnal period at ±50% swing, Pareto α = 2.5.
+    fn default() -> Self {
+        TraceGenConfig {
+            seed: 0xCA3D41,
+            tenants: 8,
+            models: ["RS", "MB", "EF", "VT", "BE", "GN", "WV", "PP"]
+                .map(String::from)
+                .to_vec(),
+            zipf_s: 1.0,
+            rate_per_s: 2000.0,
+            pareto_alpha: 2.5,
+            diurnal_amplitude: 0.5,
+            diurnal_period_s: 1.0,
+            class_weights: [0.25, 0.5, 0.25],
+            horizon_s: 1.0,
+        }
+    }
+}
+
+impl TraceGenConfig {
+    /// Checks every knob, returning [`TraceError::InvalidConfig`] with
+    /// the first offending field.
+    pub fn validate(&self) -> Result<(), TraceError> {
+        let bad = |msg: String| Err(TraceError::InvalidConfig(msg));
+        if self.tenants == 0 {
+            return bad("tenants must be positive".into());
+        }
+        if self.models.is_empty() {
+            return bad("the model roster is empty".into());
+        }
+        if self.models.iter().any(String::is_empty) {
+            return bad("model names must be non-empty".into());
+        }
+        if !(self.zipf_s.is_finite() && self.zipf_s >= 0.0) {
+            return bad(format!(
+                "zipf_s must be finite and >= 0, got {}",
+                self.zipf_s
+            ));
+        }
+        if !(self.rate_per_s.is_finite() && self.rate_per_s > 0.0) {
+            return bad(format!(
+                "rate_per_s must be positive, got {}",
+                self.rate_per_s
+            ));
+        }
+        if !(self.pareto_alpha.is_finite() && self.pareto_alpha > 1.0) {
+            return bad(format!(
+                "pareto_alpha must be > 1 (finite mean), got {}",
+                self.pareto_alpha
+            ));
+        }
+        if !(self.diurnal_amplitude.is_finite() && (0.0..1.0).contains(&self.diurnal_amplitude)) {
+            return bad(format!(
+                "diurnal_amplitude must be in [0, 1), got {}",
+                self.diurnal_amplitude
+            ));
+        }
+        if !(self.diurnal_period_s.is_finite() && self.diurnal_period_s > 0.0) {
+            return bad(format!(
+                "diurnal_period_s must be positive, got {}",
+                self.diurnal_period_s
+            ));
+        }
+        if self
+            .class_weights
+            .iter()
+            .any(|w| !w.is_finite() || *w < 0.0)
+            || self.class_weights.iter().sum::<f64>() <= 0.0
+        {
+            return bad("class_weights must be non-negative with a positive sum".into());
+        }
+        if !(self.horizon_s.is_finite() && self.horizon_s > 0.0) {
+            return bad(format!(
+                "horizon_s must be positive, got {}",
+                self.horizon_s
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// Seeded iterator of trace records; see the module docs for the
+/// stochastic model.
+#[derive(Debug)]
+pub struct TraceGen {
+    cfg: TraceGenConfig,
+    rng: SimRng,
+    /// Continuous arrival clock in µs.
+    t_us: f64,
+    /// Cumulative Zipf distribution over model ranks.
+    model_cdf: Vec<f64>,
+    /// Cumulative distribution over SLA classes.
+    class_cdf: [f64; 3],
+}
+
+impl TraceGen {
+    /// Validates the config and builds the generator.
+    pub fn new(cfg: TraceGenConfig) -> Result<Self, TraceError> {
+        cfg.validate()?;
+        let mut model_cdf: Vec<f64> = Vec::with_capacity(cfg.models.len());
+        let mut acc = 0.0;
+        for rank in 1..=cfg.models.len() {
+            acc += 1.0 / (rank as f64).powf(cfg.zipf_s);
+            model_cdf.push(acc);
+        }
+        for w in &mut model_cdf {
+            *w /= acc;
+        }
+        let total: f64 = cfg.class_weights.iter().sum();
+        let mut class_cdf = [0.0; 3];
+        let mut acc = 0.0;
+        for (slot, w) in class_cdf.iter_mut().zip(cfg.class_weights) {
+            acc += w / total;
+            *slot = acc;
+        }
+        let rng = SimRng::new(cfg.seed);
+        Ok(TraceGen {
+            cfg,
+            rng,
+            t_us: 0.0,
+            model_cdf,
+            class_cdf,
+        })
+    }
+
+    /// The generator's configuration.
+    pub fn config(&self) -> &TraceGenConfig {
+        &self.cfg
+    }
+
+    /// One Pareto(α) inter-arrival gap in µs, scaled so the mean gap
+    /// matches the diurnally modulated rate at time `t_us`.
+    fn draw_gap_us(&mut self) -> f64 {
+        let cfg = &self.cfg;
+        let mean_gap_us = 1e6 / cfg.rate_per_s;
+        // Pareto(x_m, α) has mean α·x_m/(α−1); pick x_m so the mean is
+        // the target gap.
+        let x_m = mean_gap_us * (cfg.pareto_alpha - 1.0) / cfg.pareto_alpha;
+        // Inverse-CDF sample over u ∈ (0, 1]: x = x_m · u^(−1/α).
+        let u = 1.0 - self.rng.next_f64();
+        let gap = x_m * u.powf(-1.0 / cfg.pareto_alpha);
+        // The diurnal curve scales the instantaneous rate, so it
+        // divides the gap.
+        let phase = 2.0 * std::f64::consts::PI * (self.t_us / 1e6) / cfg.diurnal_period_s;
+        let modulation = 1.0 + cfg.diurnal_amplitude * phase.sin();
+        gap / modulation
+    }
+}
+
+impl Iterator for TraceGen {
+    type Item = TraceRecord;
+
+    fn next(&mut self) -> Option<TraceRecord> {
+        self.t_us += self.draw_gap_us();
+        if self.t_us >= self.cfg.horizon_s * 1e6 {
+            return None;
+        }
+        let ts_us = self.t_us as u64;
+        let tenant = format!("t{:03}", self.rng.next_below(self.cfg.tenants as u64));
+        let u = self.rng.next_f64();
+        let rank = self.model_cdf.partition_point(|&c| c <= u);
+        let model = self.cfg.models[rank.min(self.cfg.models.len() - 1)].clone();
+        let u = self.rng.next_f64();
+        let class_idx = self.class_cdf.partition_point(|&c| c <= u);
+        let class = SlaClass::ALL[class_idx.min(2)];
+        Some(TraceRecord {
+            ts_us,
+            tenant,
+            model,
+            class,
+        })
+    }
+}
+
+/// Generates a full trace into any writer (header + every record),
+/// returning the record count. The output is a pure function of the
+/// config.
+pub fn generate_into<W: Write>(cfg: TraceGenConfig, w: W) -> Result<u64, TraceError> {
+    let generator = TraceGen::new(cfg)?;
+    let mut writer = TraceWriter::new(w)?;
+    for rec in generator {
+        writer.write(&rec)?;
+    }
+    let n = writer.records();
+    writer.finish()?;
+    Ok(n)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick(cfg: &TraceGenConfig) -> Vec<TraceRecord> {
+        TraceGen::new(cfg.clone()).unwrap().collect()
+    }
+
+    #[test]
+    fn generation_is_deterministic_and_monotonic() {
+        let cfg = TraceGenConfig::default();
+        let a = quick(&cfg);
+        let b = quick(&cfg);
+        assert_eq!(a, b, "same seed, same trace");
+        assert!(a.len() > 500, "≈2000 expected, got {}", a.len());
+        assert!(a.windows(2).all(|w| w[0].ts_us <= w[1].ts_us));
+        let c = quick(&TraceGenConfig {
+            seed: 7,
+            ..cfg.clone()
+        });
+        assert_ne!(a, c, "different seed, different trace");
+    }
+
+    #[test]
+    fn invalid_configs_are_typed_errors() {
+        let base = TraceGenConfig::default();
+        let cases: Vec<(TraceGenConfig, &str)> = vec![
+            (
+                TraceGenConfig {
+                    tenants: 0,
+                    ..base.clone()
+                },
+                "tenants",
+            ),
+            (
+                TraceGenConfig {
+                    models: vec![],
+                    ..base.clone()
+                },
+                "roster",
+            ),
+            (
+                TraceGenConfig {
+                    pareto_alpha: 1.0,
+                    ..base.clone()
+                },
+                "pareto_alpha",
+            ),
+            (
+                TraceGenConfig {
+                    diurnal_amplitude: 1.0,
+                    ..base.clone()
+                },
+                "amplitude",
+            ),
+            (
+                TraceGenConfig {
+                    rate_per_s: f64::NAN,
+                    ..base.clone()
+                },
+                "rate_per_s",
+            ),
+            (
+                TraceGenConfig {
+                    horizon_s: 0.0,
+                    ..base.clone()
+                },
+                "horizon",
+            ),
+        ];
+        for (cfg, needle) in cases {
+            match TraceGen::new(cfg) {
+                Err(TraceError::InvalidConfig(msg)) => {
+                    assert!(msg.contains(needle), "{needle}: {msg}")
+                }
+                other => panic!("{needle}: expected InvalidConfig, got {other:?}"),
+            }
+        }
+    }
+
+    /// Rank-frequency least-squares slope in log-log space should come
+    /// out near −s.
+    #[test]
+    fn zipf_rank_frequency_slope_matches_exponent() {
+        let cfg = TraceGenConfig {
+            zipf_s: 1.0,
+            rate_per_s: 50_000.0,
+            diurnal_amplitude: 0.0,
+            horizon_s: 1.0,
+            ..TraceGenConfig::default()
+        };
+        let mut counts = vec![0u64; cfg.models.len()];
+        let ranks: Vec<String> = cfg.models.clone();
+        for rec in TraceGen::new(cfg).unwrap() {
+            let rank = ranks.iter().position(|m| *m == rec.model).unwrap();
+            counts[rank] += 1;
+        }
+        assert!(counts.iter().all(|&c| c > 0), "{counts:?}");
+        // Least-squares fit of ln(count) over ln(rank).
+        let pts: Vec<(f64, f64)> = counts
+            .iter()
+            .enumerate()
+            .map(|(i, &c)| (((i + 1) as f64).ln(), (c as f64).ln()))
+            .collect();
+        let n = pts.len() as f64;
+        let (sx, sy): (f64, f64) = pts.iter().fold((0.0, 0.0), |a, p| (a.0 + p.0, a.1 + p.1));
+        let sxx: f64 = pts.iter().map(|p| p.0 * p.0).sum();
+        let sxy: f64 = pts.iter().map(|p| p.0 * p.1).sum();
+        let slope = (n * sxy - sx * sy) / (n * sxx - sx * sx);
+        assert!(
+            (slope + 1.0).abs() < 0.25,
+            "rank-frequency slope {slope:.3}, expected ≈ −1"
+        );
+    }
+
+    /// The Hill estimator over the largest inter-arrival gaps should
+    /// recover the Pareto tail index.
+    #[test]
+    fn pareto_tail_index_matches_alpha() {
+        let alpha = 2.5;
+        let cfg = TraceGenConfig {
+            pareto_alpha: alpha,
+            rate_per_s: 50_000.0,
+            diurnal_amplitude: 0.0, // flat rate: gaps are pure Pareto
+            horizon_s: 1.0,
+            ..TraceGenConfig::default()
+        };
+        // Work from the continuous clock, not the µs-rounded ts.
+        let mut generator = TraceGen::new(cfg).unwrap();
+        let mut gaps: Vec<f64> = Vec::new();
+        let mut prev = 0.0;
+        while generator.next().is_some() {
+            gaps.push(generator.t_us - prev);
+            prev = generator.t_us;
+        }
+        assert!(gaps.len() > 10_000);
+        gaps.sort_by(|a, b| b.partial_cmp(a).unwrap());
+        let k = gaps.len() / 50; // top 2% order statistics
+        let xk = gaps[k];
+        let hill: f64 = (0..k).map(|i| (gaps[i] / xk).ln()).sum::<f64>() / k as f64;
+        let alpha_hat = 1.0 / hill;
+        assert!(
+            (alpha_hat - alpha).abs() < 0.5,
+            "Hill tail index {alpha_hat:.2}, expected ≈ {alpha}"
+        );
+    }
+
+    /// Folding arrivals by the configured period must reproduce the
+    /// sinusoidal rate profile: correlation with sin(2πφ) near 1, and
+    /// a clear peak/trough ratio.
+    #[test]
+    fn diurnal_rate_follows_the_configured_period() {
+        let cfg = TraceGenConfig {
+            diurnal_amplitude: 0.8,
+            diurnal_period_s: 0.25, // 4 full periods in the horizon
+            rate_per_s: 40_000.0,
+            horizon_s: 1.0,
+            ..TraceGenConfig::default()
+        };
+        let period_us = cfg.diurnal_period_s * 1e6;
+        const BINS: usize = 16;
+        let mut phase_counts = [0u64; BINS];
+        for rec in TraceGen::new(cfg.clone()).unwrap() {
+            let phase = (rec.ts_us as f64 % period_us) / period_us;
+            phase_counts[((phase * BINS as f64) as usize).min(BINS - 1)] += 1;
+        }
+        let mean = phase_counts.iter().sum::<u64>() as f64 / BINS as f64;
+        // Pearson correlation of the phase profile with sin(2πφ).
+        let mut num = 0.0;
+        let mut dc = 0.0;
+        let mut ds = 0.0;
+        for (i, &c) in phase_counts.iter().enumerate() {
+            let phi = (i as f64 + 0.5) / BINS as f64;
+            let s = (2.0 * std::f64::consts::PI * phi).sin();
+            num += (c as f64 - mean) * s;
+            dc += (c as f64 - mean).powi(2);
+            ds += s * s;
+        }
+        let corr = num / (dc.sqrt() * ds.sqrt());
+        assert!(
+            corr > 0.9,
+            "phase profile should track sin, correlation {corr:.3} ({phase_counts:?})"
+        );
+        let peak = *phase_counts.iter().max().unwrap() as f64;
+        let trough = *phase_counts.iter().min().unwrap() as f64;
+        // (1+A)/(1−A) = 9 at A = 0.8; leave sampling slack.
+        assert!(
+            peak / trough > 3.0,
+            "peak/trough {peak}/{trough} too flat for amplitude 0.8"
+        );
+    }
+
+    #[test]
+    fn generate_into_writes_a_readable_trace() {
+        let cfg = TraceGenConfig {
+            rate_per_s: 500.0,
+            ..TraceGenConfig::default()
+        };
+        let mut buf = Vec::new();
+        let n = generate_into(cfg, &mut buf).unwrap();
+        let records: Vec<TraceRecord> = crate::TraceReader::new(buf.as_slice())
+            .unwrap()
+            .collect::<Result<_, _>>()
+            .unwrap();
+        assert_eq!(records.len() as u64, n);
+        assert!(n > 100);
+    }
+}

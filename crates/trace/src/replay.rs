@@ -1,0 +1,939 @@
+//! Bounded-memory windowed replay of a trace through the engine.
+//!
+//! The replay driver chops an arbitrarily long trace into fixed
+//! [`TraceWindow`]s (window index = `ts_us / window_us`) and runs each
+//! window as one deterministic engine run: every distinct
+//! `(tenant, model, SLA class)` group in the window becomes one task
+//! with its arrival cycles passed verbatim via
+//! [`Workload::traced`], and per-class deadlines come from cloning the
+//! model with its QoS target scaled by the class factor. Only the
+//! current window's records are ever buffered — a billion-arrival
+//! trace streams through in the memory of its densest window — and
+//! each finished window's [`WindowMetrics`] (latency tail, per-tenant
+//! SLO burn, queue-depth timeline) is flushed to a [`ReplaySink`]
+//! before the next window starts.
+//!
+//! Window runs are independent and seeded `seed ^ window_index`, so
+//! replaying the same trace twice — or resuming after a kill via
+//! [`JsonlReplaySink`] — produces bit-identical metrics.
+
+use crate::schema::{SlaClass, TraceError, TraceRecord};
+use camdn_common::config::SocConfig;
+use camdn_common::types::Cycle;
+use camdn_mapper::{MapperConfig, PlanCache};
+use camdn_models::{zoo, Model};
+use camdn_runtime::{
+    DetailLevel, LatencyTail, PolicyKind, QueueSample, Simulation, LATENCY_HIST_BUCKETS,
+};
+use camdn_runtime::{RunOutput, Workload};
+use camdn_sweep::jsonl::{esc, field, jnum, parse_flat_object, JsonVal};
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+/// Cycles per trace microsecond (the engine clock runs at 1 GHz).
+const CYCLES_PER_US: u64 = 1000;
+
+/// One fixed-length slice of a trace.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceWindow {
+    /// Window index (`ts_us / window_us`).
+    pub index: u64,
+    /// Absolute start of the window in µs.
+    pub start_us: u64,
+    /// The window's records, in arrival order.
+    pub records: Vec<TraceRecord>,
+}
+
+/// Streaming adapter that groups a record stream into
+/// [`TraceWindow`]s, buffering exactly one window at a time.
+///
+/// Empty windows (no arrivals) are skipped, so indices in the output
+/// may have gaps. Errors from the underlying stream are passed through
+/// and fuse the iterator; records running backwards across windows are
+/// reported as [`TraceError::NonMonotonic`].
+#[derive(Debug)]
+pub struct Windows<I> {
+    inner: I,
+    window_us: u64,
+    pending: Option<TraceRecord>,
+    last_us: Option<u64>,
+    failed: bool,
+}
+
+/// Groups `records` into windows of `window_us` microseconds.
+///
+/// # Panics
+///
+/// Panics when `window_us` is zero ([`ReplayConfig::validate`] rejects
+/// that earlier on the driver path).
+pub fn windows<I>(records: I, window_us: u64) -> Windows<I::IntoIter>
+where
+    I: IntoIterator<Item = Result<TraceRecord, TraceError>>,
+{
+    assert!(window_us > 0, "window_us must be positive");
+    Windows {
+        inner: records.into_iter(),
+        window_us,
+        pending: None,
+        last_us: None,
+        failed: false,
+    }
+}
+
+impl<I: Iterator<Item = Result<TraceRecord, TraceError>>> Iterator for Windows<I> {
+    type Item = Result<TraceWindow, TraceError>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.failed {
+            return None;
+        }
+        let mut records: Vec<TraceRecord> = Vec::new();
+        let mut index = None;
+        loop {
+            let rec = match self.pending.take() {
+                Some(rec) => rec,
+                None => match self.inner.next() {
+                    Some(Ok(rec)) => rec,
+                    Some(Err(e)) => {
+                        self.failed = true;
+                        return Some(Err(e));
+                    }
+                    None => {
+                        return index.map(|index| {
+                            Ok(TraceWindow {
+                                index,
+                                start_us: index * self.window_us,
+                                records: std::mem::take(&mut records),
+                            })
+                        });
+                    }
+                },
+            };
+            if let Some(prev) = self.last_us {
+                if rec.ts_us < prev {
+                    self.failed = true;
+                    return Some(Err(TraceError::NonMonotonic {
+                        line: 0,
+                        prev_us: prev,
+                        ts_us: rec.ts_us,
+                    }));
+                }
+            }
+            self.last_us = Some(rec.ts_us);
+            let rec_index = rec.ts_us / self.window_us;
+            match index {
+                None => {
+                    index = Some(rec_index);
+                    records.push(rec);
+                }
+                Some(cur) if rec_index == cur => records.push(rec),
+                Some(cur) => {
+                    self.pending = Some(rec);
+                    return Some(Ok(TraceWindow {
+                        index: cur,
+                        start_us: cur * self.window_us,
+                        records,
+                    }));
+                }
+            }
+        }
+    }
+}
+
+// ------------------------------------------------------------------
+// Replay configuration
+// ------------------------------------------------------------------
+
+/// How a trace is replayed: which policy serves it, the analysis
+/// window, and the engine knobs shared by every window run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ReplayConfig {
+    /// Policy serving the trace.
+    pub policy: PolicyKind,
+    /// Analysis window length in µs; each window is one engine run.
+    pub window_us: u64,
+    /// Base seed; window `i` runs with `seed ^ i`.
+    pub seed: u64,
+    /// Queue-depth samples per window (0 = no queue timeline).
+    pub queue_samples_per_window: u32,
+    /// SoC parameters for every window run.
+    pub soc: SocConfig,
+    /// Offline mapper settings for every window run.
+    pub mapper: MapperConfig,
+}
+
+impl ReplayConfig {
+    /// A replay of `policy` with `window_us`-µs windows on the Table II
+    /// SoC: seed `0xCA3D41`, 8 queue samples per window.
+    pub fn new(policy: PolicyKind, window_us: u64) -> Self {
+        ReplayConfig {
+            policy,
+            window_us,
+            seed: 0xCA3D41,
+            queue_samples_per_window: 8,
+            soc: SocConfig::paper_default(),
+            mapper: MapperConfig::paper_default(),
+        }
+    }
+
+    /// Checks the window geometry.
+    pub fn validate(&self) -> Result<(), TraceError> {
+        if self.window_us == 0 {
+            return Err(TraceError::InvalidConfig(
+                "window_us must be positive".into(),
+            ));
+        }
+        if self.queue_samples_per_window as u64 > self.window_us * CYCLES_PER_US {
+            return Err(TraceError::InvalidConfig(format!(
+                "{} queue samples do not fit a {} µs window",
+                self.queue_samples_per_window, self.window_us
+            )));
+        }
+        Ok(())
+    }
+
+    /// The queue sampling interval in cycles, when sampling is on.
+    fn queue_interval_cycles(&self) -> Option<Cycle> {
+        (self.queue_samples_per_window > 0)
+            .then(|| (self.window_us * CYCLES_PER_US) / self.queue_samples_per_window as u64)
+    }
+}
+
+// ------------------------------------------------------------------
+// Windowed metrics
+// ------------------------------------------------------------------
+
+/// Per-tenant SLO accounting of one window, in exact integer counts so
+/// metrics survive a write→read→resume cycle bit-for-bit.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TenantBurn {
+    /// Tenant identifier from the trace.
+    pub tenant: String,
+    /// Requests that met their deadline.
+    pub met: u64,
+    /// Requests measured.
+    pub total: u64,
+}
+
+impl TenantBurn {
+    /// Fraction of the tenant's requests that *violated* their SLO in
+    /// this window (the burn rate of an SLO error budget). 0.0 when
+    /// nothing was measured.
+    pub fn burn_rate(&self) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            1.0 - self.met as f64 / self.total as f64
+        }
+    }
+}
+
+/// Everything one replayed window reports.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WindowMetrics {
+    /// Window index in the trace.
+    pub index: u64,
+    /// Absolute window start in µs.
+    pub start_us: u64,
+    /// Arrivals replayed in this window.
+    pub arrivals: u64,
+    /// Deadline-met count over all arrivals.
+    pub sla_met: u64,
+    /// Requests measured (equals `arrivals`).
+    pub sla_total: u64,
+    /// Wall-clock span of the window's engine run, ms.
+    pub makespan_ms: f64,
+    /// Latency tail over the window's inferences.
+    pub tail: LatencyTail,
+    /// Per-tenant SLO accounting, sorted by tenant id.
+    pub tenants: Vec<TenantBurn>,
+    /// Queue-depth timeline at the configured per-window interval
+    /// (window-relative cycles; empty when sampling is off).
+    pub queue_depth: Vec<QueueSample>,
+}
+
+impl WindowMetrics {
+    /// The window's SLA satisfaction rate (1.0 when empty).
+    pub fn sla_rate(&self) -> f64 {
+        if self.sla_total == 0 {
+            1.0
+        } else {
+            self.sla_met as f64 / self.sla_total as f64
+        }
+    }
+
+    /// Peak outstanding depth in the window's queue timeline.
+    pub fn max_queue_depth(&self) -> u32 {
+        self.queue_depth
+            .iter()
+            .map(|s| s.outstanding)
+            .max()
+            .unwrap_or(0)
+    }
+}
+
+// ------------------------------------------------------------------
+// Sinks
+// ------------------------------------------------------------------
+
+/// Receives each window's metrics the moment its run finishes — the
+/// replay-side mirror of the sweep crate's `CellSink`.
+pub trait ReplaySink {
+    /// True when this window is already recorded (resume support): the
+    /// driver skips its engine run entirely.
+    fn is_recorded(&self, index: u64) -> bool {
+        let _ = index;
+        false
+    }
+
+    /// Called once per replayed window, in window order.
+    fn on_window(&mut self, w: &WindowMetrics);
+}
+
+/// In-memory accumulator over a whole replay: merged latency tail,
+/// exact SLO counts, per-tenant burn and peak queue depth — O(tenants)
+/// memory no matter how long the trace is.
+#[derive(Debug, Default)]
+pub struct ReplayAggregate {
+    /// Windows folded in.
+    pub windows: u64,
+    /// Arrivals folded in.
+    pub arrivals: u64,
+    /// Deadline-met count over all windows.
+    pub sla_met: u64,
+    /// Requests measured over all windows.
+    pub sla_total: u64,
+    /// Latency tail pooled over all windows by histogram merge.
+    pub tail: LatencyTail,
+    /// Per-tenant (met, total) counts.
+    pub tenants: BTreeMap<String, (u64, u64)>,
+    /// Largest queue depth seen in any window.
+    pub max_queue_depth: u32,
+    /// Smallest per-window SLA rate (the worst window).
+    pub worst_window_sla: f64,
+}
+
+impl ReplayAggregate {
+    /// A fresh, empty aggregate.
+    pub fn new() -> Self {
+        ReplayAggregate {
+            tail: LatencyTail::new(),
+            worst_window_sla: 1.0,
+            ..Default::default()
+        }
+    }
+
+    /// Overall SLA satisfaction rate (1.0 when nothing was measured).
+    pub fn sla_rate(&self) -> f64 {
+        if self.sla_total == 0 {
+            1.0
+        } else {
+            self.sla_met as f64 / self.sla_total as f64
+        }
+    }
+
+    /// Per-tenant burn rates, sorted by tenant id.
+    pub fn tenant_burns(&self) -> Vec<TenantBurn> {
+        self.tenants
+            .iter()
+            .map(|(tenant, &(met, total))| TenantBurn {
+                tenant: tenant.clone(),
+                met,
+                total,
+            })
+            .collect()
+    }
+}
+
+impl ReplaySink for ReplayAggregate {
+    fn on_window(&mut self, w: &WindowMetrics) {
+        self.windows += 1;
+        self.arrivals += w.arrivals;
+        self.sla_met += w.sla_met;
+        self.sla_total += w.sla_total;
+        self.tail.merge(&w.tail);
+        for t in &w.tenants {
+            let slot = self.tenants.entry(t.tenant.clone()).or_insert((0, 0));
+            slot.0 += t.met;
+            slot.1 += t.total;
+        }
+        self.max_queue_depth = self.max_queue_depth.max(w.max_queue_depth());
+        self.worst_window_sla = self.worst_window_sla.min(w.sla_rate());
+    }
+}
+
+// ------------------------------------------------------------------
+// The driver
+// ------------------------------------------------------------------
+
+/// Summary of one [`ReplayDriver::replay`] call.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ReplayTotals {
+    /// Windows whose engine runs executed in this call.
+    pub windows_run: u64,
+    /// Windows skipped because the sink already had them (resume).
+    pub windows_skipped: u64,
+    /// Arrivals consumed from the stream (including skipped windows).
+    pub arrivals: u64,
+}
+
+/// Replays record streams through the engine, one window at a time.
+///
+/// The driver owns a shared [`PlanCache`], so every window (and every
+/// policy replayed through the same driver) maps each distinct model
+/// once.
+pub struct ReplayDriver {
+    cfg: ReplayConfig,
+    plan_cache: Arc<PlanCache>,
+    /// Deadline-scaled model clones, keyed by (model string, class).
+    model_cache: HashMap<(String, SlaClass), Model>,
+}
+
+impl ReplayDriver {
+    /// Validates the config and builds a driver.
+    pub fn new(cfg: ReplayConfig) -> Result<Self, TraceError> {
+        cfg.validate()?;
+        Ok(ReplayDriver {
+            cfg,
+            plan_cache: Arc::new(PlanCache::new()),
+            model_cache: HashMap::new(),
+        })
+    }
+
+    /// The driver's configuration.
+    pub fn config(&self) -> &ReplayConfig {
+        &self.cfg
+    }
+
+    /// Switches the policy (e.g. to replay the same trace through all
+    /// five systems), keeping the shared plan cache warm.
+    pub fn set_policy(&mut self, policy: PolicyKind) {
+        self.cfg.policy = policy;
+    }
+
+    /// Resolves a trace model string (Table I abbreviation or full
+    /// name) into a deadline-scaled clone for `class`.
+    fn class_model(&mut self, name: &str, class: SlaClass) -> Result<Model, TraceError> {
+        let key = (name.to_string(), class);
+        if let Some(m) = self.model_cache.get(&key) {
+            return Ok(m.clone());
+        }
+        let base = zoo::by_abbr(name)
+            .or_else(|| zoo::all().into_iter().find(|m| m.name == name))
+            .ok_or_else(|| TraceError::UnknownModel {
+                line: 0,
+                model: name.to_string(),
+            })?;
+        let mut m = base;
+        // The engine's QoS deadline is `qos_scale × model.qos_ms`; the
+        // replay runs at qos_scale 1.0 and bakes the class factor into
+        // a per-class model clone instead, so one window can mix
+        // classes. The suffixed name keeps the clones distinct in the
+        // engine's model dedup (the mapper's layer ladder still shares
+        // the actual solves).
+        m.qos_ms *= class.qos_scale();
+        m.name = format!("{}+{}", m.name, class.letter());
+        self.model_cache.insert(key, m.clone());
+        Ok(m)
+    }
+
+    /// Runs one window through the engine and distills its metrics.
+    pub fn run_window(&mut self, window: &TraceWindow) -> Result<WindowMetrics, TraceError> {
+        // One task per distinct (tenant, model, class): BTreeMap gives
+        // a deterministic task order.
+        let mut groups: BTreeMap<(String, String, SlaClass), Vec<Cycle>> = BTreeMap::new();
+        for rec in &window.records {
+            let rel_cycles = (rec.ts_us - window.start_us) * CYCLES_PER_US;
+            groups
+                .entry((rec.tenant.clone(), rec.model.clone(), rec.class))
+                .or_default()
+                .push(rel_cycles);
+        }
+        let mut models = Vec::with_capacity(groups.len());
+        let mut schedules = Vec::with_capacity(groups.len());
+        let mut tenants_by_task: Vec<String> = Vec::with_capacity(groups.len());
+        for ((tenant, model, class), sched) in groups {
+            models.push(self.class_model(&model, class)?);
+            schedules.push(sched);
+            tenants_by_task.push(tenant);
+        }
+        let mut builder = Simulation::builder()
+            .policy(self.cfg.policy)
+            .workload(Workload::traced(models, schedules))
+            .soc(self.cfg.soc)
+            .mapper(self.cfg.mapper.clone())
+            .seed(self.cfg.seed ^ window.index)
+            .qos_scale(1.0)
+            .detail(DetailLevel::Tasks)
+            .plan_cache(Arc::clone(&self.plan_cache));
+        if let Some(interval) = self.cfg.queue_interval_cycles() {
+            builder = builder.sample_queue_depth(interval);
+        }
+        let run = builder.run().map_err(|e| TraceError::Engine {
+            window: window.index,
+            detail: e.to_string(),
+        })?;
+        Ok(distill(window, &run, &tenants_by_task))
+    }
+
+    /// Streams records through windowing, engine runs and the sink.
+    ///
+    /// Windows the sink reports as already recorded are skipped
+    /// without running (kill/resume: see [`JsonlReplaySink::resume`]).
+    pub fn replay<I>(
+        &mut self,
+        records: I,
+        sink: &mut dyn ReplaySink,
+    ) -> Result<ReplayTotals, TraceError>
+    where
+        I: IntoIterator<Item = Result<TraceRecord, TraceError>>,
+    {
+        let mut totals = ReplayTotals {
+            windows_run: 0,
+            windows_skipped: 0,
+            arrivals: 0,
+        };
+        for window in windows(records, self.cfg.window_us) {
+            let window = window?;
+            totals.arrivals += window.records.len() as u64;
+            if sink.is_recorded(window.index) {
+                totals.windows_skipped += 1;
+                continue;
+            }
+            let metrics = self.run_window(&window)?;
+            sink.on_window(&metrics);
+            totals.windows_run += 1;
+        }
+        Ok(totals)
+    }
+}
+
+/// Distills one window's engine output into [`WindowMetrics`], using
+/// exact integer SLA counts (`round(sla_rate × inferences)` inverts
+/// the engine's mean exactly).
+fn distill(window: &TraceWindow, run: &RunOutput, tenants_by_task: &[String]) -> WindowMetrics {
+    let detail = run
+        .detail
+        .as_ref()
+        .expect("replay windows run at DetailLevel::Tasks");
+    let mut per_tenant: BTreeMap<&str, (u64, u64)> = BTreeMap::new();
+    let mut sla_met = 0u64;
+    let mut sla_total = 0u64;
+    for (task, tenant) in detail.tasks.iter().zip(tenants_by_task) {
+        let total = task.inferences as u64;
+        let met = (task.sla_rate * task.inferences as f64).round() as u64;
+        let slot = per_tenant.entry(tenant).or_insert((0, 0));
+        slot.0 += met;
+        slot.1 += total;
+        sla_met += met;
+        sla_total += total;
+    }
+    WindowMetrics {
+        index: window.index,
+        start_us: window.start_us,
+        arrivals: window.records.len() as u64,
+        sla_met,
+        sla_total,
+        makespan_ms: run.summary.makespan_ms,
+        tail: run.summary.latency_tail,
+        tenants: per_tenant
+            .into_iter()
+            .map(|(tenant, (met, total))| TenantBurn {
+                tenant: tenant.to_string(),
+                met,
+                total,
+            })
+            .collect(),
+        queue_depth: detail.queue_depth.clone(),
+    }
+}
+
+// ------------------------------------------------------------------
+// JSONL window log (kill/resume)
+// ------------------------------------------------------------------
+
+/// Schema identifier of the replay window log.
+pub const REPLAY_SCHEMA: &str = "camdn-replay-windows/1";
+
+/// Streamed window log with kill/resume semantics, mirroring the sweep
+/// crate's `JsonlSink`: a header line fingerprinting the replay
+/// config, then one flushed line per window. A killed replay leaves
+/// every finished window on disk; [`JsonlReplaySink::resume`] drops a
+/// torn trailing line via an atomic rewrite and reports the recorded
+/// windows so the driver re-runs only what is missing.
+#[derive(Debug)]
+pub struct JsonlReplaySink {
+    file: std::fs::File,
+    path: PathBuf,
+    recorded: BTreeSet<u64>,
+    error: Option<String>,
+}
+
+/// The header line fingerprinting `cfg` (no trailing newline).
+fn replay_header(cfg: &ReplayConfig) -> String {
+    format!(
+        "{{\"schema\": \"{}\", \"policy\": \"{}\", \"window_us\": {}, \"seed\": {}, \
+         \"qsamples\": {}}}",
+        REPLAY_SCHEMA,
+        esc(cfg.policy.name()),
+        cfg.window_us,
+        cfg.seed,
+        cfg.queue_samples_per_window,
+    )
+}
+
+/// One window as its log line (no trailing newline).
+fn window_line(w: &WindowMetrics) -> String {
+    let counts: Vec<String> = w.tail.counts().iter().map(u64::to_string).collect();
+    let ids: Vec<String> = w
+        .tenants
+        .iter()
+        .map(|t| format!("\"{}\"", esc(&t.tenant)))
+        .collect();
+    let met: Vec<String> = w.tenants.iter().map(|t| t.met.to_string()).collect();
+    let total: Vec<String> = w.tenants.iter().map(|t| t.total.to_string()).collect();
+    let queue: Vec<String> = w
+        .queue_depth
+        .iter()
+        .map(|s| s.outstanding.to_string())
+        .collect();
+    format!(
+        "{{\"window\": {}, \"start_us\": {}, \"arrivals\": {}, \"sla_met\": {}, \
+         \"sla_total\": {}, \"makespan_ms\": {}, \"lat_counts\": [{}], \
+         \"lat_min_cycles\": {}, \"lat_max_cycles\": {}, \"tenant_ids\": [{}], \
+         \"tenant_met\": [{}], \"tenant_total\": [{}], \"queue\": [{}]}}",
+        w.index,
+        w.start_us,
+        w.arrivals,
+        w.sla_met,
+        w.sla_total,
+        jnum(w.makespan_ms),
+        counts.join(", "),
+        w.tail.min_cycles().unwrap_or(0),
+        w.tail.max_cycles().unwrap_or(0),
+        ids.join(", "),
+        met.join(", "),
+        total.join(", "),
+        queue.join(", "),
+    )
+}
+
+/// Parses one window line back. `None` for torn/malformed lines.
+fn parse_window_line(line: &str, queue_interval: Option<Cycle>) -> Option<WindowMetrics> {
+    let fields = parse_flat_object(line)?;
+    let int = |key: &str| field(&fields, key)?.as_u64();
+    let arr = |key: &str| match field(&fields, key)? {
+        JsonVal::Arr(items) => Some(items.clone()),
+        _ => None,
+    };
+    let raw_counts = arr("lat_counts")?;
+    if raw_counts.len() != LATENCY_HIST_BUCKETS {
+        return None;
+    }
+    let mut counts = [0u64; LATENCY_HIST_BUCKETS];
+    for (slot, item) in counts.iter_mut().zip(&raw_counts) {
+        *slot = item.parse().ok()?;
+    }
+    let tail = LatencyTail::from_parts(counts, int("lat_min_cycles")?, int("lat_max_cycles")?);
+    let ids = arr("tenant_ids")?;
+    let met = arr("tenant_met")?;
+    let total = arr("tenant_total")?;
+    if ids.len() != met.len() || ids.len() != total.len() {
+        return None;
+    }
+    let tenants = ids
+        .into_iter()
+        .zip(met)
+        .zip(total)
+        .map(|((tenant, m), t)| {
+            Some(TenantBurn {
+                tenant,
+                met: m.parse().ok()?,
+                total: t.parse().ok()?,
+            })
+        })
+        .collect::<Option<Vec<_>>>()?;
+    let interval = queue_interval.unwrap_or(0);
+    let queue_depth = arr("queue")?
+        .into_iter()
+        .enumerate()
+        .map(|(i, d)| {
+            Some(QueueSample {
+                cycle: (i as Cycle + 1) * interval,
+                outstanding: d.parse().ok()?,
+            })
+        })
+        .collect::<Option<Vec<_>>>()?;
+    let makespan_ms = field(&fields, "makespan_ms")?.as_f64()?;
+    Some(WindowMetrics {
+        index: int("window")?,
+        start_us: int("start_us")?,
+        arrivals: int("arrivals")?,
+        sla_met: int("sla_met")?,
+        sla_total: int("sla_total")?,
+        makespan_ms,
+        tail,
+        tenants,
+        queue_depth,
+    })
+}
+
+impl JsonlReplaySink {
+    /// Creates (truncates) the log at `path` and writes the config
+    /// header.
+    pub fn create(path: impl AsRef<Path>, cfg: &ReplayConfig) -> Result<Self, TraceError> {
+        let path = path.as_ref().to_path_buf();
+        let mut file = std::fs::File::create(&path).map_err(|e| TraceError::Io {
+            detail: format!("creating {}: {e}", path.display()),
+        })?;
+        writeln!(file, "{}", replay_header(cfg)).map_err(|e| TraceError::Io {
+            detail: format!("writing {}: {e}", path.display()),
+        })?;
+        Ok(JsonlReplaySink {
+            file,
+            path,
+            recorded: BTreeSet::new(),
+            error: None,
+        })
+    }
+
+    /// Reopens an interrupted log for `cfg`: validates the header
+    /// fingerprint, drops torn lines via an atomic rewrite (scratch
+    /// file + rename, so a kill mid-resume loses nothing), and
+    /// remembers the recorded windows so
+    /// [`ReplaySink::is_recorded`] can skip them.
+    pub fn resume(path: impl AsRef<Path>, cfg: &ReplayConfig) -> Result<Self, TraceError> {
+        let path = path.as_ref().to_path_buf();
+        let recorded = read_window_log(&path, cfg)?;
+        let mut tmp = path.clone().into_os_string();
+        tmp.push(".rewrite");
+        let tmp = PathBuf::from(tmp);
+        {
+            let mut sink = JsonlReplaySink::create(&tmp, cfg)?;
+            for w in &recorded {
+                sink.on_window(w);
+            }
+            if let Some(detail) = sink.error {
+                return Err(TraceError::Io { detail });
+            }
+            sink.file.sync_all().map_err(|e| TraceError::Io {
+                detail: format!("syncing {}: {e}", tmp.display()),
+            })?;
+        }
+        std::fs::rename(&tmp, &path).map_err(|e| TraceError::Io {
+            detail: format!("renaming {} over {}: {e}", tmp.display(), path.display()),
+        })?;
+        let file = std::fs::OpenOptions::new()
+            .append(true)
+            .open(&path)
+            .map_err(|e| TraceError::Io {
+                detail: format!("reopening {}: {e}", path.display()),
+            })?;
+        Ok(JsonlReplaySink {
+            file,
+            path,
+            recorded: recorded.iter().map(|w| w.index).collect(),
+            error: None,
+        })
+    }
+
+    /// Window indices already present in the log.
+    pub fn recorded(&self) -> &BTreeSet<u64> {
+        &self.recorded
+    }
+
+    /// Flushes and closes the log, surfacing any write error deferred
+    /// during the replay.
+    pub fn finish(mut self) -> Result<(), TraceError> {
+        if self.error.is_none() {
+            if let Err(e) = self.file.flush() {
+                self.error = Some(format!("flushing {}: {e}", self.path.display()));
+            }
+        }
+        match self.error {
+            None => Ok(()),
+            Some(detail) => Err(TraceError::Io { detail }),
+        }
+    }
+}
+
+impl ReplaySink for JsonlReplaySink {
+    fn is_recorded(&self, index: u64) -> bool {
+        self.recorded.contains(&index)
+    }
+
+    fn on_window(&mut self, w: &WindowMetrics) {
+        if self.error.is_some() {
+            return;
+        }
+        let mut line = window_line(w);
+        line.push('\n');
+        // Unbuffered: a kill after this write loses at most the line
+        // in flight, which resume drops as torn.
+        if let Err(e) = self.file.write_all(line.as_bytes()) {
+            self.error = Some(format!("writing {}: {e}", self.path.display()));
+        }
+        self.recorded.insert(w.index);
+    }
+}
+
+/// Reads every intact window of a replay log written for `cfg`,
+/// validating the header fingerprint (a log from a different replay
+/// must not be silently merged), in window order. Torn trailing lines
+/// are skipped — resume re-runs them.
+pub fn read_window_log(
+    path: impl AsRef<Path>,
+    cfg: &ReplayConfig,
+) -> Result<Vec<WindowMetrics>, TraceError> {
+    let path = path.as_ref();
+    let text = std::fs::read_to_string(path).map_err(|e| TraceError::Io {
+        detail: format!("reading {}: {e}", path.display()),
+    })?;
+    let mut lines = text.lines();
+    let header = lines.next().unwrap_or("").trim();
+    if header != replay_header(cfg) {
+        return Err(TraceError::InvalidConfig(format!(
+            "{} belongs to a different replay (config fingerprint mismatch); \
+             delete it or point the replay elsewhere",
+            path.display()
+        )));
+    }
+    let mut out: Vec<WindowMetrics> = Vec::new();
+    for line in lines {
+        if let Some(w) = parse_window_line(line, cfg.queue_interval_cycles()) {
+            out.push(w);
+        }
+    }
+    out.sort_by_key(|w| w.index);
+    out.dedup_by_key(|w| w.index);
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::TraceRecord;
+
+    fn rec(ts_us: u64, tenant: &str, model: &str, class: SlaClass) -> TraceRecord {
+        TraceRecord {
+            ts_us,
+            tenant: tenant.into(),
+            model: model.into(),
+            class,
+        }
+    }
+
+    #[test]
+    fn windows_group_by_index_and_buffer_one_window() {
+        let records = vec![
+            rec(0, "t0", "MB", SlaClass::Medium),
+            rec(999, "t1", "MB", SlaClass::Medium),
+            rec(1_000, "t0", "RS", SlaClass::High),
+            // window 2 empty: index gap expected
+            rec(3_500, "t1", "RS", SlaClass::Low),
+        ];
+        let wins: Vec<TraceWindow> = windows(records.into_iter().map(Ok), 1_000)
+            .collect::<Result<_, _>>()
+            .unwrap();
+        assert_eq!(
+            wins.iter().map(|w| w.index).collect::<Vec<_>>(),
+            vec![0, 1, 3]
+        );
+        assert_eq!(wins[0].records.len(), 2);
+        assert_eq!(wins[1].start_us, 1_000);
+        assert_eq!(wins[2].records[0].ts_us, 3_500);
+    }
+
+    #[test]
+    fn windows_reject_backwards_streams_and_pass_errors_through() {
+        let records = vec![
+            Ok(rec(5_000, "t0", "MB", SlaClass::Medium)),
+            Ok(rec(100, "t0", "MB", SlaClass::Medium)),
+        ];
+        let mut it = windows(records, 1_000);
+        assert!(matches!(
+            it.next(),
+            Some(Err(TraceError::NonMonotonic { .. }))
+        ));
+        assert!(it.next().is_none(), "fused after the error");
+
+        let records = vec![Err(TraceError::Malformed {
+            line: 2,
+            detail: "x".into(),
+        })];
+        let mut it = windows(records, 1_000);
+        assert!(matches!(it.next(), Some(Err(TraceError::Malformed { .. }))));
+        assert!(it.next().is_none());
+    }
+
+    #[test]
+    fn unknown_models_are_typed_errors() {
+        let mut driver =
+            ReplayDriver::new(ReplayConfig::new(PolicyKind::CamdnFull, 1_000)).unwrap();
+        let window = TraceWindow {
+            index: 0,
+            start_us: 0,
+            records: vec![rec(0, "t0", "NOPE", SlaClass::Medium)],
+        };
+        assert!(matches!(
+            driver.run_window(&window),
+            Err(TraceError::UnknownModel { .. })
+        ));
+    }
+
+    #[test]
+    fn zero_window_is_rejected() {
+        assert!(matches!(
+            ReplayDriver::new(ReplayConfig::new(PolicyKind::Aurora, 0)),
+            Err(TraceError::InvalidConfig(_))
+        ));
+    }
+
+    #[test]
+    fn window_lines_roundtrip_bit_for_bit() {
+        let cfg = ReplayConfig::new(PolicyKind::CamdnFull, 2_000);
+        let mut tail = LatencyTail::new();
+        tail.record(1 << 20);
+        tail.record(1 << 22);
+        let w = WindowMetrics {
+            index: 7,
+            start_us: 14_000,
+            arrivals: 2,
+            sla_met: 1,
+            sla_total: 2,
+            makespan_ms: 1.9375,
+            tail,
+            tenants: vec![
+                TenantBurn {
+                    tenant: "t000".into(),
+                    met: 1,
+                    total: 1,
+                },
+                TenantBurn {
+                    tenant: "t0\"01".into(),
+                    met: 0,
+                    total: 1,
+                },
+            ],
+            queue_depth: vec![
+                QueueSample {
+                    cycle: cfg.queue_interval_cycles().unwrap(),
+                    outstanding: 2,
+                },
+                QueueSample {
+                    cycle: 2 * cfg.queue_interval_cycles().unwrap(),
+                    outstanding: 0,
+                },
+            ],
+        };
+        let line = window_line(&w);
+        let back = parse_window_line(&line, cfg.queue_interval_cycles()).unwrap();
+        assert_eq!(back, w);
+        // Torn prefixes of the line never parse.
+        for cut in [1, line.len() / 2, line.len() - 1] {
+            assert!(parse_window_line(&line[..cut], cfg.queue_interval_cycles()).is_none());
+        }
+    }
+}
