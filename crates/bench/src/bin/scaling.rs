@@ -7,7 +7,7 @@
 //!    histograms so p99s come from the pooled samples; reports each
 //!    policy's *knee* on both the mean and the p99 (the first rate
 //!    whose statistic exceeds 2× its low-rate value). The ramp grid is
-//!    streamed to a `camdn-sweep-cells/2` JSONL log, so a killed run
+//!    streamed to a `camdn-sweep-cells/3` JSONL log, so a killed run
 //!    resumes via `Sweep::grid()...resume(path)`.
 //! 2. **Bursty ramp to the knee** — `bursty_ramp` workloads of rising
 //!    burst length under QoS deadlines; reports each policy's p99 knee

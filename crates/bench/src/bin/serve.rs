@@ -21,10 +21,23 @@ use camdn_trace::{ReplayAggregate, ReplayConfig, ReplayDriver, TraceGen, TraceGe
 /// meet their class-scaled QoS deadline over the whole trace.
 const SLA_TARGET: f64 = 0.9;
 
+/// Simulated-cycle budget per window, as a multiple of the window
+/// span. Deep-overload cells used to be skipped with an ad-hoc
+/// early-exit once a rate fell below the SLA knee (their queues — and
+/// the epoch-rebalance work — grow without bound); the engine's cycle
+/// budget now bounds each window instead, so every offered rate
+/// terminates deterministically with a partial, `truncated`-flagged
+/// summary.
+const WINDOW_BUDGET_FACTOR: u64 = 32;
+
+/// Cycles per trace microsecond (the engine clock runs at 1 GHz).
+const CYCLES_PER_US: u64 = 1000;
+
 struct Point {
     rate_per_s: f64,
     arrivals: u64,
     windows: u64,
+    truncated_windows: u64,
     sla: f64,
     worst_window_sla: f64,
     p99_ms: f64,
@@ -52,36 +65,26 @@ fn ramp_policy(
     policy: PolicyKind,
     rates: &[f64],
     horizon_s: f64,
-) -> PolicyRamp {
+) -> Result<PolicyRamp, camdn_trace::TraceError> {
     driver.set_policy(policy);
     let mut points = Vec::with_capacity(rates.len());
     for &rate in rates {
-        let records = TraceGen::new(trace_config(rate, horizon_s))
-            .expect("generator config")
-            .map(Ok);
+        let records = TraceGen::new(trace_config(rate, horizon_s))?.map(Ok);
         let mut agg = ReplayAggregate::new();
         let t0 = std::time::Instant::now();
-        driver
-            .replay(records, &mut agg)
-            .expect("replay of a generated trace");
+        driver.replay(records, &mut agg)?;
         let sla = agg.sla_rate();
         points.push(Point {
             rate_per_s: rate,
             arrivals: agg.arrivals,
             windows: agg.windows,
+            truncated_windows: agg.truncated_windows,
             sla,
             worst_window_sla: agg.worst_window_sla,
             p99_ms: agg.tail.p99_ms(),
             max_queue_depth: agg.max_queue_depth,
             wall_s: t0.elapsed().as_secs_f64(),
         });
-        // The knee is bracketed once a rate fails the target: one
-        // failing point demonstrates it, and deeper overload cells
-        // cost ~50x a sustainable cell (the simulated queues — and
-        // with them the epoch-rebalance work — grow without bound).
-        if sla < SLA_TARGET {
-            break;
-        }
     }
     let knee_rate_per_s = points
         .iter()
@@ -90,11 +93,11 @@ fn ramp_policy(
         .fold(None, |acc: Option<f64>, r| {
             Some(acc.map_or(r, |a| a.max(r)))
         });
-    PolicyRamp {
+    Ok(PolicyRamp {
         policy,
         points,
         knee_rate_per_s,
-    }
+    })
 }
 
 fn jopt(v: Option<f64>) -> String {
@@ -102,6 +105,13 @@ fn jopt(v: Option<f64>) -> String {
 }
 
 fn main() {
+    if let Err(e) = run() {
+        eprintln!("serve: {e}");
+        std::process::exit(1);
+    }
+}
+
+fn run() -> Result<(), Box<dyn std::error::Error>> {
     let quick = quick_mode();
     let (rates, horizon_s, window_us): (Vec<f64>, f64, u64) = if quick {
         (vec![125.0, 500.0, 2_000.0], 0.1, 25_000)
@@ -115,14 +125,16 @@ fn main() {
 
     // One driver for the whole ramp: the shared mapping-plan cache
     // makes every policy after the first map each (model, class) pair
-    // for free.
-    let mut driver =
-        ReplayDriver::new(ReplayConfig::new(PolicyKind::ALL[0], window_us)).expect("replay config");
+    // for free. The per-window cycle budget bounds deep-overload
+    // cells; their windows surface as `truncated` partial summaries.
+    let mut cfg = ReplayConfig::new(PolicyKind::ALL[0], window_us);
+    cfg.max_cycles_per_window = Some(WINDOW_BUDGET_FACTOR * window_us * CYCLES_PER_US);
+    let mut driver = ReplayDriver::new(cfg)?;
 
     let ramps: Vec<PolicyRamp> = PolicyKind::ALL
         .iter()
         .map(|&p| ramp_policy(&mut driver, p, &rates, horizon_s))
-        .collect();
+        .collect::<Result<_, _>>()?;
 
     let mut rows = Vec::new();
     for ramp in &ramps {
@@ -135,6 +147,7 @@ fn main() {
                 format!("{:.4}", p.worst_window_sla),
                 format!("{:.3}", p.p99_ms),
                 p.max_queue_depth.to_string(),
+                p.truncated_windows.to_string(),
             ]);
         }
     }
@@ -148,6 +161,7 @@ fn main() {
             "worst window",
             "p99 (ms)",
             "max queue",
+            "trunc win",
         ],
         &rows,
     );
@@ -168,11 +182,13 @@ fn main() {
                 .map(|p| {
                     format!(
                         "        {{\"rate_per_s\": {}, \"arrivals\": {}, \"windows\": {}, \
+                         \"truncated_windows\": {}, \
                          \"sla\": {:.6}, \"worst_window_sla\": {:.6}, \"p99_ms\": {:.6}, \
                          \"max_queue_depth\": {}, \"wall_s\": {:.4}}}",
                         p.rate_per_s,
                         p.arrivals,
                         p.windows,
+                        p.truncated_windows,
                         p.sla,
                         p.worst_window_sla,
                         p.p99_ms,
@@ -209,6 +225,7 @@ fn main() {
         policies_json.join(",\n"),
     );
     let out = std::env::var("CAMDN_BENCH_OUT").unwrap_or_else(|_| "BENCH_serve.json".into());
-    std::fs::write(&out, json).expect("write BENCH_serve.json");
+    std::fs::write(&out, json)?;
     println!("wrote {out}");
+    Ok(())
 }

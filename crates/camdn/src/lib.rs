@@ -65,9 +65,10 @@ pub use camdn_mapper::{PlanCache, PlanCacheStats};
 #[allow(deprecated)]
 pub use camdn_runtime::RunResult;
 pub use camdn_runtime::{
-    qos_metrics, register_policy, ArrivalProcess, DetailLevel, EngineError, LatencyTail, Policy,
-    PolicyKind, PolicyRegistry, QosMetrics, RunDetail, RunOutput, RunSummary, Simulation,
-    SimulationBuilder, TaskSummary, Workload, LATENCY_HIST_BUCKETS, LATENCY_HIST_EDGES,
+    qos_metrics, register_policy, ArrivalProcess, BudgetKind, DetailLevel, EngineError, FaultEvent,
+    FaultGenConfig, FaultKind, FaultPlan, LatencyTail, Policy, PolicyKind, PolicyRegistry,
+    QosMetrics, RunDetail, RunOutput, RunSummary, Simulation, SimulationBuilder, TaskSummary,
+    Workload, LATENCY_HIST_BUCKETS, LATENCY_HIST_EDGES,
 };
 pub use camdn_sweep::{
     bursty_ramp, CellCoord, CellOutcome, CellSink, JsonlSink, MemorySink, MetricStats,

@@ -48,14 +48,14 @@ fn streamed_grid_equals_in_memory_grid_cell_for_cell() {
     let text = std::fs::read_to_string(&path).expect("log exists");
     assert_eq!(text.lines().count(), 1 + streamed.cells.len());
     let header = text.lines().next().unwrap();
-    assert!(header.contains("camdn-sweep-cells/2"));
+    assert!(header.contains("camdn-sweep-cells/3"));
     assert!(
         header.contains("\"channels\": [\"default\"]"),
-        "v2 header names the channel axis: {header}"
+        "header names the channel axis: {header}"
     );
     assert!(
         header.contains("\"hist_edges\": [65536,"),
-        "v2 header names the latency bucket edges: {header}"
+        "header names the latency bucket edges: {header}"
     );
     // Every ok cell line serializes the latency tail.
     for line in text.lines().skip(1) {
@@ -115,7 +115,7 @@ fn resume_accepts_a_v1_log_with_empty_tails_and_upgrades_it() {
     // cells (no channel axis, no latency-tail fields), and resume from
     // it: the recorded coordinates must be served from the log — with
     // an *empty* tail, since v1 never recorded one — while everything
-    // else runs fresh, and the rewritten log must be upgraded to /2.
+    // else runs fresh, and the rewritten log must be upgraded to /3.
     let path = unique_path("v1log");
     let cold = small_grid().run().expect("cold grid");
     let v1_header = "{\"schema\": \"camdn-sweep-cells/1\", \
@@ -175,7 +175,7 @@ fn resume_accepts_a_v1_log_with_empty_tails_and_upgrades_it() {
     }
     // The resume rewrote the log in the current schema.
     let text = std::fs::read_to_string(&path).expect("rewritten log");
-    assert!(text.lines().next().unwrap().contains("camdn-sweep-cells/2"));
+    assert!(text.lines().next().unwrap().contains("camdn-sweep-cells/3"));
     std::fs::remove_file(&path).ok();
 }
 

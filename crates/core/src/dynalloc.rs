@@ -96,6 +96,16 @@ impl DynamicAllocator {
         ahead.max(0) as u32
     }
 
+    /// The block id `task` currently has LBM enabled for, if any.
+    pub fn lbm_block(&self, task: TaskId) -> Option<u32> {
+        self.tasks.get(task as usize).and_then(|t| t.lbm_block)
+    }
+
+    /// Number of task slots the allocator currently tracks.
+    pub fn num_tasks(&self) -> usize {
+        self.tasks.len()
+    }
+
     /// True if LBM is currently enabled for `task` on block `block_id`.
     pub fn lbm_enabled(&self, task: TaskId, block_id: u32) -> bool {
         self.tasks

@@ -132,9 +132,17 @@ struct Channel {
 pub struct DramModel {
     cfg: DramConfig,
     line_bytes: u64,
-    /// Bus occupancy of one line on one channel, fixed-point ticks.
+    /// Nominal bus occupancy of one line on one channel, fixed-point
+    /// ticks.
     burst_fp: u64,
-    /// `ceil` of the per-line bus occupancy (busy-cycle accounting).
+    /// Effective per-channel bus occupancy: `burst_fp / scale` for each
+    /// channel's bandwidth scale (all equal to `burst_fp` until a fault
+    /// degrades a channel).
+    burst_fp_ch: Vec<u64>,
+    /// Current per-channel bandwidth scale in `(0, 1]`.
+    scale_ch: Vec<f64>,
+    /// `ceil` of the nominal per-line bus occupancy (busy-cycle
+    /// accounting, kept at nominal pricing even for degraded channels).
     burst_ceil: Cycle,
     channels: Vec<Channel>,
     stats: DramStats,
@@ -174,6 +182,8 @@ impl DramModel {
             cfg,
             line_bytes,
             burst_fp,
+            burst_fp_ch: vec![burst_fp; cfg.channels as usize],
+            scale_ch: vec![1.0; cfg.channels as usize],
             burst_ceil: ceil_fp(burst_fp),
             channels,
             stats: DramStats::default(),
@@ -239,7 +249,7 @@ impl DramModel {
             bank.ready_at = earliest.max(bank.ready_at) + self.cfg.row_miss_penalty;
         }
         let data_start = fp(earliest).max(ch.free_at).max(fp(bank.ready_at));
-        ch.free_at = data_start + self.burst_fp;
+        ch.free_at = data_start + self.burst_fp_ch[ch_idx];
         ceil_fp(ch.free_at) + self.cfg.cas_latency
     }
 
@@ -273,7 +283,9 @@ impl DramModel {
             for t in 0..nch.min(seg) {
                 // Lines of this segment landing on this channel.
                 let k = (seg - t).div_ceil(nch);
-                let ch = &mut self.channels[((c0 + t) % nch) as usize];
+                let ci = ((c0 + t) % nch) as usize;
+                let burst = self.burst_fp_ch[ci];
+                let ch = &mut self.channels[ci];
                 let bank = &mut ch.banks[bank_idx];
                 if bank.open_row == Some(row) {
                     self.stats.row_hits.add(k);
@@ -286,7 +298,7 @@ impl DramModel {
                 // After the first line, each line starts exactly where
                 // the previous one on this channel finished.
                 let start = e_fp.max(ch.free_at).max(fp(bank.ready_at));
-                ch.free_at = start + k * self.burst_fp;
+                ch.free_at = start + k * burst;
                 finish = finish.max(ceil_fp(ch.free_at) + self.cfg.cas_latency);
             }
             i += seg;
@@ -347,9 +359,17 @@ impl DramModel {
         // walk. (The gate still feeds the bank-ready update of
         // row-opening lines, which the walk reproduces from per-channel
         // completion-time descriptors.)
+        // Degraded channels only *lengthen* bursts, so the bound must
+        // hold for the fastest (minimum-burst) channel to hold for all.
+        let min_burst = self
+            .burst_fp_ch
+            .iter()
+            .copied()
+            .min()
+            .unwrap_or(self.burst_fp);
         let inert_gates = window.is_multiple_of(nch as usize)
             && per_ch >= 1
-            && fp(self.cfg.cas_latency) + FP_ONE <= (per_ch - 1) * self.burst_fp;
+            && fp(self.cfg.cas_latency) + FP_ONE <= (per_ch - 1) * min_burst;
         let track_hist = use_ring && inert_gates && !self.reference;
         let cap = if track_hist { per_ch as usize + 2 } else { 0 };
         // Reuse the model's scratch buffers: no allocation per range.
@@ -381,6 +401,37 @@ impl DramModel {
             miss_no: 0,
             finish: now,
         }
+    }
+
+    /// Re-prices one channel's bus occupancy at `scale` of its nominal
+    /// bandwidth (fault injection: a browned-out or degraded channel).
+    /// `1.0` restores nominal pricing exactly, so a round trip through
+    /// degrade-and-restore leaves timing bit-identical. Busy-cycle
+    /// statistics and [`DramModel::unloaded_line_latency`] stay at
+    /// nominal pricing (they are utilization/estimate quantities, not
+    /// timing).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `channel` is out of range or `scale` is not in
+    /// `(0, 1]` — the runtime validates fault plans against the SoC
+    /// before the first event fires.
+    pub fn set_channel_bandwidth_scale(&mut self, channel: usize, scale: f64) {
+        assert!(
+            scale.is_finite() && scale > 0.0 && scale <= 1.0,
+            "channel bandwidth scale {scale} outside (0, 1]"
+        );
+        self.scale_ch[channel] = scale;
+        self.burst_fp_ch[channel] = if scale == 1.0 {
+            self.burst_fp
+        } else {
+            (self.burst_fp as f64 / scale).round() as u64
+        };
+    }
+
+    /// Current bandwidth scale of `channel` (1.0 = nominal).
+    pub fn channel_bandwidth_scale(&self, channel: usize) -> f64 {
+        self.scale_ch[channel]
     }
 
     /// Latency of a single line access with no queueing (used for
@@ -513,7 +564,7 @@ impl LineBatch<'_> {
             let slot = (head + self.hist_cap as u32 - i) % self.hist_cap as u32;
             let d = self.scratch.hist[base + slot as usize];
             if d.start_n <= n {
-                return ceil_fp(d.d0 + (n - d.start_n + 1) * self.dram.burst_fp)
+                return ceil_fp(d.d0 + (n - d.start_n + 1) * self.dram.burst_fp_ch[c])
                     + self.dram.cfg.cas_latency;
             }
         }
@@ -545,7 +596,7 @@ impl LineBatch<'_> {
             }
             if self.run_hist {
                 // The transfer started one burst before `free_at`.
-                let d0 = self.dram.channels[ch].free_at - self.dram.burst_fp;
+                let d0 = self.dram.channels[ch].free_at - self.dram.burst_fp_ch[ch];
                 let n_c = self.scratch.nproc[ch];
                 self.hist_push(ch, n_c, d0);
                 self.scratch.nproc[ch] += 1;
@@ -566,7 +617,6 @@ impl LineBatch<'_> {
         let nbanks = u64::from(self.dram.cfg.banks_per_channel);
         let pen = self.dram.cfg.row_miss_penalty;
         let cas = self.dram.cfg.cas_latency;
-        let burst = self.dram.burst_fp;
         let w = self.window as u64;
         let now_fp = fp(self.now);
         let l0 = base.0 / lb;
@@ -598,6 +648,7 @@ impl LineBatch<'_> {
                     bank.open_row = Some(row);
                     bank.ready_at = gate.max(bank.ready_at) + pen;
                 }
+                let burst = self.dram.burst_fp_ch[c];
                 let ch = &mut self.dram.channels[c];
                 let d0 = now_fp.max(ch.free_at).max(fp(ch.banks[bank_idx].ready_at));
                 ch.free_at = d0 + k * burst;
@@ -942,6 +993,80 @@ mod tests {
             assert_eq!(a, b, "finish diverged on trial {trial}");
             assert_same(&fast, &refm, &format!("trial {trial}"));
         }
+    }
+
+    #[test]
+    fn degraded_channels_match_reference_exactly() {
+        // The closed form must stay bit-identical to the per-line walk
+        // when channels carry *different* bus occupancies (telescoping
+        // is per channel, so per-channel bursts keep it exact).
+        let mut rng = SimRng::new(0xDE64);
+        let mut fast = model();
+        let mut refm = model();
+        refm.set_reference_model(true);
+        for d in [&mut fast, &mut refm] {
+            d.set_channel_bandwidth_scale(1, 0.25);
+            d.set_channel_bandwidth_scale(3, 0.05);
+        }
+        let mut now = 0;
+        for step in 0..120 {
+            let addr = PhysAddr(rng.next_below(1 << 22));
+            let lines = rng.next_below(700);
+            let is_write = rng.next_below(2) == 1;
+            now += rng.next_below(500);
+            let a = fast.access_burst(now, addr, lines, is_write, 0);
+            let b = refm.access_burst(now, addr, lines, is_write, 0);
+            assert_eq!(a, b, "finish diverged at step {step}");
+            assert_same(&fast, &refm, &format!("degraded step {step}"));
+        }
+    }
+
+    #[test]
+    fn degrade_slows_and_restore_is_exact() {
+        let mut d = model();
+        let healthy = d.clone();
+        let t0 = d.clone().access_burst(0, PhysAddr(0), 256, false, 0);
+        d.set_channel_bandwidth_scale(0, 0.1);
+        let t1 = d.clone().access_burst(0, PhysAddr(0), 256, false, 0);
+        assert!(
+            t1 > t0,
+            "degraded channel must slow the burst: {t1} vs {t0}"
+        );
+        assert_eq!(d.channel_bandwidth_scale(0), 0.1);
+        d.set_channel_bandwidth_scale(0, 1.0);
+        assert_eq!(
+            d.access_burst(0, PhysAddr(0), 256, false, 0),
+            healthy.clone().access_burst(0, PhysAddr(0), 256, false, 0),
+            "restoring 1.0 must reprice at exactly nominal"
+        );
+    }
+
+    #[test]
+    fn line_batch_matches_reference_with_degraded_channels() {
+        const W: usize = 144;
+        let mut fast = model();
+        let mut refm = model();
+        for d in [&mut fast, &mut refm] {
+            d.set_channel_bandwidth_scale(2, 0.25);
+        }
+        let events = [
+            (PhysAddr(0), 500u64, false),
+            (PhysAddr(1 << 16), 1, true),
+            (PhysAddr(40_000 * 64), 300, false),
+        ];
+        let mut batch = fast.line_batch(100, W, 800);
+        for &(base, lines, is_wb) in &events {
+            if is_wb {
+                batch.writeback(base);
+            } else {
+                batch.fill_run(base, lines);
+            }
+        }
+        let a = batch.finish();
+        drop(batch);
+        let b = emulate_gated(&mut refm, 100, W, &events);
+        assert_eq!(a, b);
+        assert_same(&fast, &refm, "degraded line batch");
     }
 
     #[test]

@@ -15,7 +15,10 @@
 //! [`PolicyKind`]; use [`Simulation::builder`](crate::Simulation) to
 //! assemble and run a configuration.
 
-use crate::error::EngineError;
+use crate::error::{BudgetKind, EngineError};
+use crate::fault::{
+    FaultKind, FaultPlan, CHANNEL_DOWN_SCALE, MAX_INFERENCE_RETRIES, RETRY_BACKOFF_CYCLES,
+};
 use crate::layout::TaskLayout;
 use crate::policies::{
     builtin_policy, AllocFailure, EpochSlot, InstallEvent, PartitionCtx, Policy,
@@ -43,6 +46,17 @@ use camdn_npu::NpuCore;
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Sentinel task id marking a fault event in the event queue. Pushed
+/// before task arrivals, so the FIFO tie-break applies same-cycle
+/// faults before any task work at that cycle.
+const FAULT_EVENT: u32 = u32::MAX;
+
+/// Wall-clock budget polling stride (events between `Instant::now()`
+/// calls): cheap enough to never show in profiles, fine-grained enough
+/// that an overrunning run stops within milliseconds of its budget.
+const WALL_CHECK_STRIDE: u32 = 4096;
 
 /// Names one of the five built-in system configurations.
 ///
@@ -164,6 +178,10 @@ impl EngineConfig {
             // The pre-split API always returned the per-task table.
             detail: DetailLevel::Tasks,
             queue_sample_cycles: None,
+            fault_plan: None,
+            max_sim_cycles: None,
+            max_wall: None,
+            admission_control: false,
         }
     }
 }
@@ -188,6 +206,21 @@ pub(crate) struct SimParams {
     /// into [`RunDetail::queue_depth`](crate::RunDetail) (`None` — the
     /// default — records nothing and leaves the run loop untouched).
     pub queue_sample_cycles: Option<Cycle>,
+    /// Fault schedule applied at event timestamps (`None` — the
+    /// default — leaves the run loop untouched and results bit-for-bit
+    /// identical to a fault-free engine).
+    pub fault_plan: Option<FaultPlan>,
+    /// Simulated-cycle budget: the run stops with a typed
+    /// [`EngineError::BudgetExceeded`] partial result once an event
+    /// past this cycle pops. Deterministic.
+    pub max_sim_cycles: Option<Cycle>,
+    /// Wall-clock budget, polled every [`WALL_CHECK_STRIDE`] events.
+    /// Where the run stops depends on host speed — use
+    /// `max_sim_cycles` when determinism matters.
+    pub max_wall: Option<Duration>,
+    /// Deadline-aware admission control: shed open-loop QoS arrivals
+    /// whose predicted completion already misses the deadline.
+    pub admission_control: bool,
 }
 
 /// The multi-tenant discrete-event engine.
@@ -234,6 +267,14 @@ pub struct Engine {
     /// Queue-depth timeline (populated only when
     /// `params.queue_sample_cycles` is set).
     queue_samples: Vec<QueueSample>,
+    /// Per-NPU failed flag (`params.fault_plan`). A failed NPU is out
+    /// of the free pool until its `NpuUp` event.
+    npu_failed: Vec<bool>,
+    /// Next unapplied event of `params.fault_plan`.
+    fault_cursor: usize,
+    /// DVFS scale on compute throughput (`ClockThrottle`); 1.0 —
+    /// the only value a fault-free run ever sees — is IEEE-exact.
+    clock_scale: f64,
     now: Cycle,
     started: bool,
 }
@@ -283,6 +324,14 @@ impl Engine {
             .cache
             .validate()
             .map_err(EngineError::InvalidConfig)?;
+        if let Some(plan) = &params.fault_plan {
+            plan.validate_for(params.soc.npu.cores, params.soc.dram.channels)?;
+        }
+        if workload.models().len() >= FAULT_EVENT as usize {
+            return Err(EngineError::InvalidConfig(
+                "task count collides with the fault-event sentinel id".into(),
+            ));
+        }
         // A closed-loop run whose rounds never exceed the warm-up would
         // return all-zero statistics with no hint anything is wrong.
         if let Some(rounds) = workload.rounds_hint() {
@@ -380,6 +429,9 @@ impl Engine {
             page_waiters: Vec::new(),
             next_epoch: params.epoch_cycles,
             queue_samples: Vec::new(),
+            npu_failed: vec![false; params.soc.npu.cores as usize],
+            fault_cursor: 0,
+            clock_scale: 1.0,
             now: 0,
             started: false,
             params,
@@ -438,6 +490,17 @@ impl Engine {
             ));
         }
         self.started = true;
+        // Fault events go in before any arrival so the FIFO tie-break
+        // applies a same-cycle fault before task work at that cycle.
+        let fault_ats: Vec<Cycle> = self
+            .params
+            .fault_plan
+            .as_ref()
+            .map(|p| p.events().iter().map(|e| e.at).collect())
+            .unwrap_or_default();
+        for at in fault_ats {
+            self.events.push(at, FAULT_EVENT);
+        }
         // Closed loop: a small jitter staggers the first dispatch so
         // tasks do not execute in lock-step. Open loop: the request
         // schedule drives everything.
@@ -458,7 +521,32 @@ impl Engine {
         // event at-or-past a boundary observes the state *at* it.
         let sample_every = self.params.queue_sample_cycles;
         let mut next_sample = sample_every.unwrap_or(0);
+        let wall_start = Instant::now();
+        let mut wall_tick = 0u32;
         while let Some((now, tid)) = self.events.pop() {
+            // Budget guards. The cycle budget trips on the first event
+            // *past* the limit (deterministic); the wall-clock budget is
+            // polled every few thousand events and depends on host
+            // speed. Both surface the work done so far as a partial.
+            if let Some(max) = self.params.max_sim_cycles {
+                if now > max {
+                    return Err(EngineError::BudgetExceeded {
+                        budget: BudgetKind::SimCycles,
+                        at_cycle: now,
+                        partial: Box::new(self.aggregate()),
+                    });
+                }
+            }
+            if let Some(max) = self.params.max_wall {
+                wall_tick = wall_tick.wrapping_add(1);
+                if wall_tick.is_multiple_of(WALL_CHECK_STRIDE) && wall_start.elapsed() >= max {
+                    return Err(EngineError::BudgetExceeded {
+                        budget: BudgetKind::WallClock,
+                        at_cycle: now,
+                        partial: Box::new(self.aggregate()),
+                    });
+                }
+            }
             if let Some(every) = sample_every {
                 while next_sample <= now {
                     self.sample_queue_depth(next_sample);
@@ -466,6 +554,10 @@ impl Engine {
                 }
             }
             self.now = now.max(self.now);
+            if tid == FAULT_EVENT {
+                self.apply_next_fault(now)?;
+                continue;
+            }
             self.maybe_rebalance();
             self.step(tid, now)?;
         }
@@ -534,6 +626,180 @@ impl Engine {
     }
 
     // ---------------------------------------------------------------
+    // Fault injection (`params.fault_plan`)
+    // ---------------------------------------------------------------
+
+    /// Applies the next unapplied event of the fault plan, then gives
+    /// the policy its topology-change hook with the surviving capacity.
+    fn apply_next_fault(&mut self, now: Cycle) -> Result<(), EngineError> {
+        let kind = match &self.params.fault_plan {
+            Some(p) => p.events()[self.fault_cursor].kind,
+            // Defensive: a sentinel without a plan is a stale event.
+            None => return Ok(()),
+        };
+        self.fault_cursor += 1;
+        match kind {
+            FaultKind::NpuDown(n) => self.fail_npu(n as usize, now)?,
+            FaultKind::NpuUp(n) => self.restore_npu(n as usize, now),
+            FaultKind::DramChannelDown(c) => self
+                .dram
+                .set_channel_bandwidth_scale(c as usize, CHANNEL_DOWN_SCALE),
+            FaultKind::DramChannelUp(c) => self.dram.set_channel_bandwidth_scale(c as usize, 1.0),
+            FaultKind::DramDegrade { channel, factor } => self
+                .dram
+                .set_channel_bandwidth_scale(channel as usize, factor),
+            FaultKind::ClockThrottle { factor } => self.clock_scale = factor,
+        }
+        let surviving = self.npu_failed.iter().filter(|f| !**f).count() as u32;
+        let ctx = PartitionCtx {
+            num_tasks: self.tasks.len(),
+            npu_pages: self.nec.npu_pages(),
+            // All NPUs down still hands the policy a sane divisor; no
+            // work dispatches until an `NpuUp` regardless.
+            npu_cores: surviving.max(1),
+            qos: self.params.qos_scale.is_some(),
+        };
+        self.policy.on_topology_change(now, &ctx);
+        Ok(())
+    }
+
+    /// Takes NPU `n` out of service: out of the free pool if idle,
+    /// otherwise the inference holding it is killed and re-queued.
+    fn fail_npu(&mut self, n: usize, now: Cycle) -> Result<(), EngineError> {
+        if self.npu_failed[n] {
+            return Ok(());
+        }
+        self.npu_failed[n] = true;
+        if self.npus_free[n] {
+            self.npus_free[n] = false;
+            self.free_npus -= 1;
+            return Ok(());
+        }
+        match self.tasks.iter().position(|t| t.npus.contains(&n)) {
+            Some(tid) => self.kill_inference(tid as u32, now),
+            // Held by no one and not free: already failed under a
+            // racing event — nothing to do.
+            None => Ok(()),
+        }
+    }
+
+    /// Returns NPU `n` to service and wakes the dispatch queue.
+    fn restore_npu(&mut self, n: usize, now: Cycle) {
+        if !self.npu_failed[n] {
+            return;
+        }
+        self.npu_failed[n] = false;
+        self.npus_free[n] = true;
+        self.free_npus += 1;
+        let Engine {
+            events,
+            npu_waiters,
+            ..
+        } = self;
+        for &w in npu_waiters.iter() {
+            events.push(now, w);
+        }
+        npu_waiters.clear();
+    }
+
+    /// Kills the in-flight inference of `tid` after an NPU failure:
+    /// tears down its cache grants, releases its surviving NPUs, and
+    /// either re-queues the inference (bounded retries, exponential
+    /// back-off in simulated time) or drops it past the retry budget.
+    fn kill_inference(&mut self, tid: u32, now: Cycle) -> Result<(), EngineError> {
+        let cur_layer = self.tasks[tid as usize].cur_layer;
+        let primary = self.tasks[tid as usize].npus[0];
+        self.tasks[tid as usize].plan = None;
+        // Mirror finish_layer's teardown: LWM and LBM grants both go
+        // back (a retry restarts the inference from layer 0).
+        let mut released = false;
+        if let Some(grant) = self.tasks[tid as usize].lwm_grant.take() {
+            teardown_region(
+                &grant,
+                &mut self.alloc,
+                &mut self.nec,
+                &mut self.npu_cores[primary],
+            )
+            .map_err(Self::region_err(tid, cur_layer))?;
+            released = true;
+        }
+        if let Some(grant) = self.tasks[tid as usize].lbm_grant.take() {
+            teardown_region(
+                &grant,
+                &mut self.alloc,
+                &mut self.nec,
+                &mut self.npu_cores[primary],
+            )
+            .map_err(Self::region_err(tid, cur_layer))?;
+            released = true;
+        }
+        self.tasks[tid as usize].lbm_block = None;
+        self.tasks[tid as usize].cur_is_lbm = false;
+        if released {
+            self.wake_page_waiters(now);
+        }
+        // Surviving NPUs of the group go back to the pool; the failed
+        // one stays out until its `NpuUp`.
+        let mut freed = 0;
+        for i in 0..self.tasks[tid as usize].npus.len() {
+            let n = self.tasks[tid as usize].npus[i];
+            if !self.npu_failed[n] {
+                self.npus_free[n] = true;
+                freed += 1;
+            }
+        }
+        self.free_npus += freed;
+        self.tasks[tid as usize].npus.clear();
+        if freed > 0 {
+            let Engine {
+                events,
+                npu_waiters,
+                ..
+            } = self;
+            for &w in npu_waiters.iter() {
+                events.push(now, w);
+            }
+            npu_waiters.clear();
+        }
+        self.page_waiters.retain(|&w| w != tid);
+        let t = &mut self.tasks[tid as usize];
+        t.attempt += 1;
+        if t.attempt > MAX_INFERENCE_RETRIES {
+            t.dropped += 1;
+            t.attempt = 0;
+            self.retire_without_record(tid, now);
+        } else {
+            t.retried += 1;
+            // k-th retry backs off 50k << (k-1) simulated cycles.
+            t.retry_at = now + (RETRY_BACKOFF_CYCLES << (t.attempt - 1));
+            t.state = TaskState::WaitingNpu;
+            let at = t.retry_at;
+            self.events.push(at, tid);
+        }
+        Ok(())
+    }
+
+    /// Advances a task past an inference that retired without a record
+    /// (dropped past the retry budget, or shed at admission): schedule
+    /// the next round or finish the task.
+    fn retire_without_record(&mut self, tid: u32, now: Cycle) {
+        let t = &mut self.tasks[tid as usize];
+        t.rounds_done += 1;
+        if t.rounds_done < self.rounds_target[tid as usize] {
+            t.state = TaskState::WaitingNpu;
+            let at = if self.closed_loop {
+                now
+            } else {
+                self.arrivals[tid as usize][t.rounds_done as usize].max(now)
+            };
+            self.events.push(at, tid);
+        } else {
+            t.state = TaskState::Done;
+            self.policy.on_task_done(tid);
+        }
+    }
+
+    // ---------------------------------------------------------------
     // Task state machine
     // ---------------------------------------------------------------
 
@@ -545,6 +811,12 @@ impl Engine {
                 // earlier wait): the next inference has not arrived
                 // yet — its own arrival event will dispatch it.
                 if self.next_arrival(tid).is_some_and(|a| now < a) {
+                    return Ok(());
+                }
+                // Fault-retry back-off: the killed inference may not
+                // re-dispatch before its retry event (always 0 — never
+                // taken — without a fault plan).
+                if now < self.tasks[tid as usize].retry_at {
                     return Ok(());
                 }
                 self.try_dispatch(tid, now)
@@ -572,7 +844,11 @@ impl Engine {
                         })?;
                         let c = plan.phases[phase_idx].compute_cycles;
                         let eff = if t.group > 1 { 0.9 } else { 1.0 };
-                        let adj = (c as f64 / (f64::from(t.group) * eff)).ceil() as Cycle;
+                        // DVFS throttle scales compute throughput; the
+                        // fault-free ×1.0 is IEEE-exact, so results
+                        // without a plan are untouched bit for bit.
+                        let adj = (c as f64 / (f64::from(t.group) * eff * self.clock_scale)).ceil()
+                            as Cycle;
                         t.compute_horizon = t.compute_horizon.max(now) + adj;
                     }
                 }
@@ -608,6 +884,23 @@ impl Engine {
     }
 
     fn try_dispatch(&mut self, tid: u32, now: Cycle) -> Result<(), EngineError> {
+        // Deadline-aware admission: when even the isolated estimate —
+        // a lower bound no amount of scheduling beats — can no longer
+        // land the queued request inside its deadline, shed it instead
+        // of burning capacity on a guaranteed miss. Open-loop QoS only:
+        // closed-loop rounds have no arrival, so nothing ever queues
+        // long enough to be doomed at dispatch.
+        if self.params.admission_control && !self.closed_loop {
+            let model_idx = self.tasks[tid as usize].model_idx;
+            if let Some(deadline) = self.deadline_cycles(model_idx) {
+                let arrived = self.next_arrival(tid).map_or(now, |a| a.min(now));
+                if now + self.iso_est[model_idx] > arrived + deadline {
+                    self.tasks[tid as usize].shed += 1;
+                    self.retire_without_record(tid, now);
+                    return Ok(());
+                }
+            }
+        }
         let want = if self.groups_active() {
             self.tasks[tid as usize].npu_quota.max(1)
         } else {
@@ -1040,6 +1333,8 @@ impl Engine {
             deadline_met: deadline.map(|d| latency <= d).unwrap_or(true),
         });
         t.rounds_done += 1;
+        // The retry budget is per inference: a completion resets it.
+        t.attempt = 0;
         // Release the NPUs and wake queued tasks (in place: the NPU id
         // and waiter vectors are long-lived, never re-allocated).
         let released = self.tasks[tid as usize].npus.len();
@@ -1108,7 +1403,13 @@ impl Engine {
         let mut measured_tasks = 0usize;
         let mut inferences = 0usize;
         let mut sla_num = 0.0;
+        let mut shed_requests = 0u64;
+        let mut retried_inferences = 0u64;
+        let mut dropped_inferences = 0u64;
         for t in &self.tasks {
+            shed_requests += t.shed;
+            retried_inferences += t.retried;
+            dropped_inferences += t.dropped;
             let model = &self.models[t.model_idx];
             let mean_lat = t.mean_latency(skip);
             let mean_dram = t.mean_dram_bytes(skip);
@@ -1137,6 +1438,7 @@ impl Engine {
                     mean_latency_ms: cycles_to_ms(mean_lat as Cycle),
                     mean_dram_mb: mean_dram / 1e6,
                     sla_rate: sla,
+                    shed: t.shed,
                 });
             }
         }
@@ -1175,6 +1477,9 @@ impl Engine {
                 * self.params.soc.cache.line_bytes as f64
                 / 1e6,
             latency_tail: tail,
+            shed_requests,
+            retried_inferences,
+            dropped_inferences,
         };
         RunOutput {
             policy: self.label.clone(),
@@ -1289,6 +1594,10 @@ mod tests {
             reference_model: false,
             detail: DetailLevel::Tasks,
             queue_sample_cycles: None,
+            fault_plan: None,
+            max_sim_cycles: None,
+            max_wall: None,
+            admission_control: false,
         };
         let mut engine = Engine::with_policy(
             params,
@@ -1483,6 +1792,10 @@ mod tests {
             reference_model: false,
             detail: DetailLevel::Tasks,
             queue_sample_cycles: None,
+            fault_plan: None,
+            max_sim_cycles: None,
+            max_wall: None,
+            admission_control: false,
         };
         let mut engine = Engine::with_policy(
             params,
@@ -1556,6 +1869,310 @@ mod tests {
                 .unwrap()
         };
         assert_eq!(run(false), run(true));
+    }
+
+    #[test]
+    fn fault_knobs_left_unset_are_bitwise_inert() {
+        // An empty plan, unreachable budgets and admission control on a
+        // closed-loop run must all leave results bit-for-bit identical
+        // to a build that never heard of the chaos layer.
+        let models = vec![zoo::mobilenet_v2(), zoo::gnmt()];
+        let plain = quick(PolicyKind::CamdnFull, &models);
+        let armed = Simulation::builder()
+            .policy(PolicyKind::CamdnFull)
+            .workload(Workload::closed(models.clone(), 2))
+            .fault_plan(FaultPlan::default())
+            .max_sim_cycles(Cycle::MAX)
+            .max_wall(Duration::from_secs(3600))
+            .admission_control(true)
+            .run()
+            .expect("inert knobs must not trip");
+        assert_eq!(plain, armed);
+    }
+
+    #[test]
+    fn npu_outage_requeues_inflight_work_and_completes() {
+        let models: Vec<Model> = (0..4).map(|_| zoo::mobilenet_v2()).collect();
+        // Take the whole SoC down mid-run, bring it back later: every
+        // in-flight inference is killed, retried after back-off, and
+        // the run still retires all rounds without panic or deadlock.
+        let cores = SocConfig::paper_default().npu.cores;
+        let mut events = Vec::new();
+        for n in 0..cores {
+            events.push(crate::FaultEvent {
+                at: 200_000,
+                kind: FaultKind::NpuDown(n),
+            });
+        }
+        for n in 0..cores {
+            events.push(crate::FaultEvent {
+                at: 2_000_000,
+                kind: FaultKind::NpuUp(n),
+            });
+        }
+        let plan = FaultPlan::new(events).unwrap();
+        let r = Simulation::builder()
+            .policy(PolicyKind::CamdnFull)
+            .workload(Workload::closed(models, 2))
+            .fault_plan(plan)
+            .run()
+            .expect("outage run must complete");
+        assert!(
+            r.summary.retried_inferences > 0,
+            "a full-SoC outage at 200k cycles must kill in-flight work"
+        );
+        assert_eq!(r.summary.dropped_inferences, 0, "one kill never drops");
+        let total: usize = r.tasks().iter().map(|t| t.inferences).sum();
+        assert_eq!(total, 4, "every non-warmup round must still retire");
+        // No page leaks through the kill/teardown path: rerun through
+        // the raw engine to inspect allocator state.
+        let params = SimParams {
+            soc: SocConfig::paper_default(),
+            seed: 0xCA3D41,
+            warmup_rounds: 1,
+            qos_scale: None,
+            epoch_cycles: 200_000,
+            mapper: MapperConfig::paper_default(),
+            reference_model: false,
+            detail: DetailLevel::Tasks,
+            queue_sample_cycles: None,
+            fault_plan: Some(
+                FaultPlan::new(vec![crate::FaultEvent {
+                    at: 200_000,
+                    kind: FaultKind::NpuDown(0),
+                }])
+                .unwrap(),
+            ),
+            max_sim_cycles: None,
+            max_wall: None,
+            admission_control: false,
+        };
+        let workload = Workload::closed((0..4).map(|_| zoo::mobilenet_v2()).collect(), 2);
+        let mut engine = Engine::with_policy(
+            params,
+            builtin_policy(PolicyKind::CamdnFull),
+            &workload,
+            None,
+        )
+        .unwrap();
+        engine.run().unwrap();
+        let (idle, total, claimed) = engine.debug_cache_state();
+        assert_eq!(idle, total, "killed inferences must return their pages");
+        assert_eq!(claimed, 0);
+    }
+
+    #[test]
+    fn repeated_outages_exhaust_the_retry_budget() {
+        // One NPU, hammered down/up forever: the lone task's inferences
+        // keep getting killed; past the retry budget they are dropped,
+        // and the run still terminates.
+        let mut soc = SocConfig::paper_default();
+        soc.npu.cores = 1;
+        let mut events = Vec::new();
+        let mut at = 50_000;
+        for _ in 0..200 {
+            events.push(crate::FaultEvent {
+                at,
+                kind: FaultKind::NpuDown(0),
+            });
+            events.push(crate::FaultEvent {
+                at: at + 400_000,
+                kind: FaultKind::NpuUp(0),
+            });
+            at += 800_000;
+        }
+        let plan = FaultPlan::new(events).unwrap();
+        let r = Simulation::builder()
+            .policy(PolicyKind::SharedBaseline)
+            .soc(soc)
+            .workload(Workload::closed(vec![zoo::resnet50()], 4))
+            .warmup_rounds(0)
+            .fault_plan(plan)
+            .run()
+            .expect("a hammered run must still terminate");
+        assert!(r.summary.retried_inferences > 0);
+        assert!(
+            r.summary.dropped_inferences > 0,
+            "four kills of one inference must exhaust the retry budget"
+        );
+        assert_eq!(
+            r.tasks()[0].inferences as u64 + r.summary.dropped_inferences,
+            4,
+            "every round retires exactly once: a record or a drop"
+        );
+    }
+
+    #[test]
+    fn clock_throttle_stretches_the_run() {
+        let models = vec![zoo::mobilenet_v2(), zoo::efficientnet_b0()];
+        let run = |plan: Option<FaultPlan>| {
+            let mut b = Simulation::builder()
+                .policy(PolicyKind::SharedBaseline)
+                .workload(Workload::closed(models.clone(), 2))
+                .warmup_rounds(0);
+            if let Some(p) = plan {
+                b = b.fault_plan(p);
+            }
+            b.run().unwrap()
+        };
+        let healthy = run(None);
+        let throttled = run(Some(
+            FaultPlan::new(vec![crate::FaultEvent {
+                at: 0,
+                kind: FaultKind::ClockThrottle { factor: 0.5 },
+            }])
+            .unwrap(),
+        ));
+        assert!(
+            throttled.summary.makespan_ms > healthy.summary.makespan_ms,
+            "half clock ({:.2} ms) must be slower than full ({:.2} ms)",
+            throttled.summary.makespan_ms,
+            healthy.summary.makespan_ms
+        );
+    }
+
+    #[test]
+    fn dram_channel_outage_stretches_the_run() {
+        let models = vec![zoo::resnet50(), zoo::resnet50()];
+        let run = |events: Vec<crate::FaultEvent>| {
+            Simulation::builder()
+                .policy(PolicyKind::SharedBaseline)
+                .workload(Workload::closed(models.clone(), 2))
+                .warmup_rounds(0)
+                .fault_plan(FaultPlan::new(events).unwrap())
+                .run()
+                .unwrap()
+        };
+        let healthy = run(vec![]);
+        let degraded = run(vec![
+            crate::FaultEvent {
+                at: 0,
+                kind: FaultKind::DramChannelDown(0),
+            },
+            crate::FaultEvent {
+                at: 0,
+                kind: FaultKind::DramChannelDown(1),
+            },
+        ]);
+        assert!(
+            degraded.summary.makespan_ms > healthy.summary.makespan_ms,
+            "two dead channels ({:.2} ms) must be slower than four live ({:.2} ms)",
+            degraded.summary.makespan_ms,
+            healthy.summary.makespan_ms
+        );
+    }
+
+    #[test]
+    fn cycle_budget_stops_deterministically_with_a_partial() {
+        let models: Vec<Model> = (0..8).map(|_| zoo::resnet50()).collect();
+        let run = || {
+            Simulation::builder()
+                .policy(PolicyKind::SharedBaseline)
+                .workload(Workload::closed(models.clone(), 4))
+                .warmup_rounds(0)
+                .max_sim_cycles(2_000_000)
+                .run()
+        };
+        let (a, b) = (run(), run());
+        match (a, b) {
+            (
+                Err(EngineError::BudgetExceeded {
+                    budget: a_kind,
+                    at_cycle: a_at,
+                    partial: a_part,
+                }),
+                Err(EngineError::BudgetExceeded {
+                    budget: b_kind,
+                    at_cycle: b_at,
+                    partial: b_part,
+                }),
+            ) => {
+                assert_eq!(a_kind, BudgetKind::SimCycles);
+                assert_eq!(a_kind, b_kind);
+                assert_eq!(a_at, b_at, "the cycle budget must trip deterministically");
+                assert_eq!(a_part, b_part);
+                assert!(
+                    a_part.summary.makespan_ms <= cycles_to_ms(2_000_000),
+                    "the partial covers only work inside the budget"
+                );
+                assert_eq!(a_part.policy, "Baseline");
+            }
+            other => panic!("expected two BudgetExceeded, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn admission_control_sheds_doomed_arrivals() {
+        // A same-cycle burst of 6 requests against a deadline shorter
+        // than two back-to-back inferences: the tail of the queue is
+        // provably doomed at dispatch and must shed, not run.
+        let models = vec![zoo::resnet50()];
+        let r = Simulation::builder()
+            .policy(PolicyKind::SharedBaseline)
+            .workload(Workload::bursty(models.clone(), 1, 6, 0.0))
+            .qos_scale(0.5)
+            .admission_control(true)
+            .run()
+            .unwrap();
+        assert!(
+            r.summary.shed_requests > 0,
+            "a 6-deep same-cycle queue must shed its doomed tail"
+        );
+        assert_eq!(
+            r.tasks()[0].inferences as u64 + r.summary.shed_requests,
+            6,
+            "every arrival either runs or sheds"
+        );
+        assert_eq!(r.tasks()[0].shed, r.summary.shed_requests);
+        // Without the knob the same workload runs everything.
+        let r = Simulation::builder()
+            .policy(PolicyKind::SharedBaseline)
+            .workload(Workload::bursty(models, 1, 6, 0.0))
+            .qos_scale(0.5)
+            .run()
+            .unwrap();
+        assert_eq!(r.summary.shed_requests, 0);
+        assert_eq!(r.tasks()[0].inferences, 6);
+    }
+
+    #[test]
+    fn random_fault_schedules_never_panic_or_deadlock() {
+        // Property test over the generator: aggressive random fault
+        // schedules across every policy must complete (Ok or a typed
+        // budget error — never a panic, never a hang).
+        for seed in 0..6u64 {
+            let plan = FaultPlan::generate(&crate::FaultGenConfig {
+                seed: 0xFA017 + seed,
+                horizon: 20_000_000,
+                npu_cores: 16,
+                dram_channels: 4,
+                npu_mtbf_cycles: 2_000_000.0,
+                npu_mttr_cycles: 500_000.0,
+                dram_mtbf_cycles: 3_000_000.0,
+                dram_mttr_cycles: 500_000.0,
+                dram_degrade_factor: 0.25,
+                throttle_mtbf_cycles: 4_000_000.0,
+                throttle_mttr_cycles: 1_000_000.0,
+                throttle_factor: 0.6,
+            })
+            .unwrap();
+            let kind = PolicyKind::ALL[seed as usize % PolicyKind::ALL.len()];
+            let models = vec![zoo::mobilenet_v2(), zoo::efficientnet_b0()];
+            let r = Simulation::builder()
+                .policy(kind)
+                .workload(Workload::poisson(models, 1.0, 10.0))
+                .qos_scale(1.0)
+                .admission_control(true)
+                .fault_plan(plan)
+                .seed(seed)
+                .run();
+            assert!(
+                r.is_ok(),
+                "seed {seed} under {} must complete: {:?}",
+                kind.label(),
+                r.err()
+            );
+        }
     }
 
     #[test]

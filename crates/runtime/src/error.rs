@@ -8,11 +8,34 @@
 //! values so embedding services can log, retry with a different
 //! configuration, or shed the offending tenant instead of crashing.
 
+use crate::result::RunOutput;
+use camdn_common::types::Cycle;
 use std::error::Error;
 use std::fmt;
 
+/// Which run budget was exhausted (see
+/// [`EngineError::BudgetExceeded`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BudgetKind {
+    /// The simulated-cycle budget
+    /// ([`SimulationBuilder::max_sim_cycles`](crate::SimulationBuilder::max_sim_cycles)).
+    SimCycles,
+    /// The wall-clock budget
+    /// ([`SimulationBuilder::max_wall`](crate::SimulationBuilder::max_wall)).
+    WallClock,
+}
+
+impl fmt::Display for BudgetKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BudgetKind::SimCycles => write!(f, "simulated-cycle"),
+            BudgetKind::WallClock => write!(f, "wall-clock"),
+        }
+    }
+}
+
 /// Error type of the simulation API.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq)]
 #[non_exhaustive]
 pub enum EngineError {
     /// The workload contains no models, so there is nothing to simulate
@@ -71,6 +94,18 @@ pub enum EngineError {
         /// The underlying I/O error, as text.
         detail: String,
     },
+    /// A run budget expired before every task finished. The work
+    /// simulated up to the cut-off is aggregated into `partial` — a
+    /// truncated cell reports what it measured instead of running away.
+    BudgetExceeded {
+        /// Which budget tripped.
+        budget: BudgetKind,
+        /// Simulated cycle at which the run was cut off.
+        at_cycle: Cycle,
+        /// Aggregated output of the truncated run (boxed: the variant
+        /// would otherwise dominate the size of every `Result`).
+        partial: Box<RunOutput>,
+    },
 }
 
 impl fmt::Display for EngineError {
@@ -106,6 +141,9 @@ impl fmt::Display for EngineError {
                 write!(f, "simulation panicked: {detail}")
             }
             EngineError::Io { detail } => write!(f, "i/o failed: {detail}"),
+            EngineError::BudgetExceeded {
+                budget, at_cycle, ..
+            } => write!(f, "{budget} budget exceeded at cycle {at_cycle}"),
         }
     }
 }

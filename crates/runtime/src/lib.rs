@@ -31,6 +31,7 @@
 
 pub mod engine;
 pub mod error;
+pub mod fault;
 pub mod layout;
 pub mod metrics;
 pub mod policies;
@@ -42,7 +43,8 @@ pub mod task;
 #[allow(deprecated)]
 pub use engine::{simulate, workload, EngineConfig};
 pub use engine::{Engine, PolicyKind};
-pub use error::EngineError;
+pub use error::{BudgetKind, EngineError};
+pub use fault::{FaultEvent, FaultGenConfig, FaultKind, FaultPlan};
 pub use layout::TaskLayout;
 pub use metrics::{qos_metrics, QosMetrics};
 pub use policies::{

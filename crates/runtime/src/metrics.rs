@@ -83,6 +83,7 @@ mod tests {
                 mean_latency_ms: l,
                 mean_dram_mb: 1.0,
                 sla_rate: s,
+                shed: 0,
             })
             .collect()
     }

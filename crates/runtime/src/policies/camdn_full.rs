@@ -107,4 +107,21 @@ impl Policy for CamdnFull {
     fn set_lookahead(&mut self, factor: f64) {
         self.alloc.lookahead = factor;
     }
+
+    fn on_topology_change(&mut self, _now: Cycle, ctx: &PartitionCtx) {
+        // Re-run Algorithm 1's allocation step against the surviving
+        // resources: fresh prediction tables, look-ahead preserved.
+        // In-flight page ownership lives in the NEC, so stale
+        // predAvail entries only make the next few decisions more
+        // conservative. LBM activations must survive the reset: a task
+        // mid-block still holds its installed block grant, and
+        // forgetting that would hand it an overlapping LWM region.
+        let old = std::mem::replace(&mut self.alloc, DynamicAllocator::new(ctx.num_tasks));
+        self.alloc.lookahead = old.lookahead;
+        for task in 0..old.num_tasks() as u32 {
+            if let Some(block) = old.lbm_block(task) {
+                self.alloc.enable_lbm(task, block);
+            }
+        }
+    }
 }

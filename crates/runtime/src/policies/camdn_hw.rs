@@ -61,4 +61,9 @@ impl Policy for CamdnHwOnly {
     // Static quotas guarantee availability; the default on_alloc_failure
     // (immediate degrade) is the right defensive behavior if they ever
     // don't.
+
+    fn on_topology_change(&mut self, _now: Cycle, ctx: &PartitionCtx) {
+        // Re-run the static equal split over the surviving capacity.
+        self.quota = camdn_core::StaticPolicy::equal_split(ctx.npu_pages, ctx.num_tasks as u32);
+    }
 }

@@ -188,6 +188,21 @@ pub trait Policy: Send {
     /// Overrides a look-ahead style tuning knob, when the policy has
     /// one (Algorithm 1's prediction horizon). No-op otherwise.
     fn set_lookahead(&mut self, _factor: f64) {}
+
+    /// Called after a fault event changes the machine's capacity
+    /// mid-run (an NPU dropping out or returning, a DRAM channel
+    /// degrading, the clock throttling). `ctx` carries the *surviving*
+    /// resource counts.
+    ///
+    /// The default re-runs [`Policy::partition`] against the new
+    /// context — a proportional re-split of whatever the policy
+    /// partitioned at startup. The CaMDN built-ins override this to
+    /// re-run their allocation step explicitly. Only ever called when
+    /// a [`FaultPlan`](crate::FaultPlan) is active, so fault-free runs
+    /// are untouched.
+    fn on_topology_change(&mut self, _now: Cycle, ctx: &PartitionCtx) {
+        self.partition(ctx);
+    }
 }
 
 /// Creates a fresh boxed instance of a built-in policy.

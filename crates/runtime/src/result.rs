@@ -227,6 +227,11 @@ pub struct TaskSummary {
     pub mean_dram_mb: f64,
     /// SLA satisfaction rate (QoS mode).
     pub sla_rate: f64,
+    /// Arrivals shed by deadline-aware admission control (0 unless
+    /// admission control is on and the task missed its deadline
+    /// prediction).
+    #[serde(default)]
+    pub shed: u64,
 }
 
 /// Compact scalar aggregates of one run. `Copy`: its size does not
@@ -256,6 +261,20 @@ pub struct RunSummary {
     /// *every* [`DetailLevel`] (mean latency hides the SLA-violating
     /// p99 spikes multi-tenant cache contention produces).
     pub latency_tail: LatencyTail,
+    /// Arrivals shed by deadline-aware admission control across all
+    /// tasks (always 0 unless
+    /// [`SimulationBuilder::admission_control`](crate::SimulationBuilder::admission_control)
+    /// is on).
+    #[serde(default)]
+    pub shed_requests: u64,
+    /// Inferences killed by an NPU failure and re-queued (always 0
+    /// without a [`FaultPlan`](crate::FaultPlan)).
+    #[serde(default)]
+    pub retried_inferences: u64,
+    /// Inferences dropped after exhausting the fault-retry budget
+    /// (always 0 without a [`FaultPlan`](crate::FaultPlan)).
+    #[serde(default)]
+    pub dropped_inferences: u64,
 }
 
 /// One point of an opt-in queue-depth timeline: how many requests had
@@ -402,6 +421,9 @@ mod tests {
                 sla_rate: 1.0,
                 multicast_saved_mb: 0.0,
                 latency_tail: LatencyTail::new(),
+                shed_requests: 0,
+                retried_inferences: 0,
+                dropped_inferences: 0,
             },
             detail,
         }
@@ -416,6 +438,7 @@ mod tests {
                 mean_latency_ms: 1.25,
                 mean_dram_mb: 3.5,
                 sla_rate: 1.0,
+                shed: 0,
             }],
             latency_hist: None,
             queue_depth: Vec::new(),

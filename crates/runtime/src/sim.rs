@@ -18,6 +18,7 @@
 
 use crate::engine::{Engine, PolicyKind, SimParams};
 use crate::error::EngineError;
+use crate::fault::FaultPlan;
 use crate::policies::{builtin_policy, create_policy, Policy};
 use crate::result::{DetailLevel, RunOutput};
 use crate::scenario::Workload;
@@ -25,6 +26,7 @@ use camdn_common::config::SocConfig;
 use camdn_common::types::Cycle;
 use camdn_mapper::{MapperConfig, PlanCache};
 use std::sync::Arc;
+use std::time::Duration;
 
 /// Which policy the builder should instantiate at build time.
 enum PolicyChoice {
@@ -58,6 +60,10 @@ impl Simulation {
             plan_cache: None,
             detail: DetailLevel::Tasks,
             queue_sample_cycles: None,
+            fault_plan: None,
+            max_sim_cycles: None,
+            max_wall: None,
+            admission_control: false,
         }
     }
 
@@ -82,6 +88,10 @@ pub struct SimulationBuilder {
     plan_cache: Option<Arc<PlanCache>>,
     detail: DetailLevel,
     queue_sample_cycles: Option<Cycle>,
+    fault_plan: Option<FaultPlan>,
+    max_sim_cycles: Option<Cycle>,
+    max_wall: Option<Duration>,
+    admission_control: bool,
 }
 
 impl SimulationBuilder {
@@ -196,6 +206,51 @@ impl SimulationBuilder {
         self
     }
 
+    /// Injects a [`FaultPlan`]: a validated, time-ordered schedule of
+    /// NPU failures, DRAM channel degradations and DVFS throttles the
+    /// engine applies at their event timestamps. Off by default — a
+    /// run without a plan is bit-for-bit identical to one built before
+    /// this knob existed. The plan is checked against the SoC (NPU and
+    /// channel indices in range) at [`build`](SimulationBuilder::build)
+    /// time.
+    pub fn fault_plan(mut self, plan: FaultPlan) -> Self {
+        self.fault_plan = Some(plan);
+        self
+    }
+
+    /// Caps the run at a simulated-cycle budget: the first event past
+    /// `cycles` stops the run with a typed
+    /// [`EngineError::BudgetExceeded`] carrying the partial results.
+    /// Deterministic — the same configuration always stops at the same
+    /// event.
+    pub fn max_sim_cycles(mut self, cycles: Cycle) -> Self {
+        self.max_sim_cycles = Some(cycles);
+        self
+    }
+
+    /// Caps the run at a wall-clock budget, polled every few thousand
+    /// events. Where the run stops depends on host speed — prefer
+    /// [`max_sim_cycles`](SimulationBuilder::max_sim_cycles) when the
+    /// partial result must be reproducible.
+    pub fn max_wall(mut self, budget: Duration) -> Self {
+        self.max_wall = Some(budget);
+        self
+    }
+
+    /// Enables deadline-aware admission control (default off): an
+    /// open-loop QoS arrival whose queue-predicted completion already
+    /// misses its deadline is shed instead of dispatched, counted in
+    /// [`RunSummary::shed_requests`](crate::RunSummary) and per task in
+    /// [`TaskSummary::shed`](crate::TaskSummary). No effect on
+    /// closed-loop workloads or without [`qos_scale`]
+    /// (there is no deadline to miss).
+    ///
+    /// [`qos_scale`]: SimulationBuilder::qos_scale
+    pub fn admission_control(mut self, enabled: bool) -> Self {
+        self.admission_control = enabled;
+        self
+    }
+
     /// Routes all memory-system timing through the per-line *reference
     /// model* instead of the batched fast paths (default `false`).
     ///
@@ -230,6 +285,16 @@ impl SimulationBuilder {
                 "queue sampling interval must be positive".into(),
             ));
         }
+        if self.max_sim_cycles == Some(0) {
+            return Err(EngineError::InvalidConfig(
+                "the simulated-cycle budget must be positive".into(),
+            ));
+        }
+        if self.max_wall == Some(Duration::ZERO) {
+            return Err(EngineError::InvalidConfig(
+                "the wall-clock budget must be positive".into(),
+            ));
+        }
         let mut policy = match self.policy {
             PolicyChoice::Kind(kind) => builtin_policy(kind),
             PolicyChoice::Named(name) => create_policy(&name)?,
@@ -248,6 +313,10 @@ impl SimulationBuilder {
             reference_model: self.reference_model,
             detail: self.detail,
             queue_sample_cycles: self.queue_sample_cycles,
+            fault_plan: self.fault_plan,
+            max_sim_cycles: self.max_sim_cycles,
+            max_wall: self.max_wall,
+            admission_control: self.admission_control,
         };
         let engine = Engine::with_policy(params, policy, &workload, self.plan_cache.as_deref())?;
         Ok(Simulation { engine })

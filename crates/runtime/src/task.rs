@@ -89,6 +89,19 @@ pub struct Task {
     pub npu_quota: u32,
     /// Completed inference records.
     pub records: Vec<InferenceRecord>,
+    /// Stale-event guard while waiting out a fault-retry back-off: an
+    /// NPU is not requested before this cycle.
+    pub retry_at: Cycle,
+    /// Kills the in-flight inference has survived (reset per
+    /// inference; bounded by
+    /// [`MAX_INFERENCE_RETRIES`](crate::fault::MAX_INFERENCE_RETRIES)).
+    pub attempt: u32,
+    /// Inferences re-queued after an NPU failure (run total).
+    pub retried: u64,
+    /// Inferences dropped after exhausting the retry budget.
+    pub dropped: u64,
+    /// Arrivals shed by deadline-aware admission control.
+    pub shed: u64,
 }
 
 impl Task {
@@ -116,6 +129,11 @@ impl Task {
             bw_share: 1.0,
             npu_quota: 1,
             records: Vec::new(),
+            retry_at: 0,
+            attempt: 0,
+            retried: 0,
+            dropped: 0,
+            shed: 0,
         }
     }
 

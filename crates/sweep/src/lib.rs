@@ -12,9 +12,10 @@
 //!   SoCs (optionally with their own [`MapperConfig`]), cache
 //!   capacities, DRAM channel counts, labelled [`Workload`]s (see
 //!   [`bursty_ramp`] for ramped burst intensities), QoS deadline
-//!   scales, Algorithm 1 look-ahead factors, and seeds. Unset axes
-//!   collapse to a singleton default, so a one-axis sweep stays one
-//!   line of code.
+//!   scales, Algorithm 1 look-ahead factors, labelled
+//!   [`FaultPlan`]s (chaos studies sweep fault intensity like any
+//!   other axis), and seeds. Unset axes collapse to a singleton
+//!   default, so a one-axis sweep stays one line of code.
 //! * **execution** — a work-queue thread pool ([`run_cells`]) where a
 //!   panic or error in one cell becomes that cell's
 //!   `Err(`[`EngineError`]`)` without disturbing neighbors.
@@ -28,12 +29,13 @@
 //!   [`SweepBuilder::run`] (summary-only cells by default, with an
 //!   optional per-grid [`memory_budget_bytes`] on retained detail);
 //!   [`SweepBuilder::run_streamed`] additionally writes a
-//!   `camdn-sweep-cells/2` JSONL log (summary scalars *and* the
+//!   `camdn-sweep-cells/3` JSONL log (summary scalars *and* the
 //!   compact latency-tail histogram), one flushed line per cell, which
 //!   [`SweepBuilder::resume`] uses to skip already-recorded
 //!   coordinates after a kill (logs written by the older
-//!   `camdn-sweep-cells/1` schema are still accepted — their cells
-//!   resume with an empty tail); [`SeedAggregate`] folds the seeds
+//!   `camdn-sweep-cells/1` and `/2` schemas are still accepted —
+//!   their cells resume with zeroed missing fields); [`SeedAggregate`]
+//!   folds the seeds
 //!   axis into mean / stddev / 95% confidence intervals and pools the
 //!   per-seed latency tails by histogram merge, so per-coordinate
 //!   percentiles come from the pooled samples. Custom sinks plug in
@@ -84,14 +86,15 @@ mod sink;
 pub use exec::{run_cells, run_cells_into, CellRun};
 pub use sink::{
     CellOutcome, CellSink, JsonlSink, MemorySink, MetricStats, SeedAggregate, SeedStats,
-    CELLS_SCHEMA, CELLS_SCHEMA_V1,
+    CELLS_SCHEMA, CELLS_SCHEMA_V1, CELLS_SCHEMA_V2,
 };
 
 use camdn_common::config::SocConfig;
 use camdn_common::types::{Cycle, MIB};
 use camdn_mapper::{MapperConfig, PlanCache, PlanCacheStats};
 use camdn_runtime::{
-    DetailLevel, EngineError, PolicyKind, RunOutput, Simulation, SimulationBuilder, Workload,
+    DetailLevel, EngineError, FaultPlan, PolicyKind, RunOutput, Simulation, SimulationBuilder,
+    Workload,
 };
 use std::collections::HashSet;
 use std::path::Path;
@@ -142,6 +145,7 @@ impl Sweep {
             workloads: Vec::new(),
             qos_scales: Vec::new(),
             lookaheads: Vec::new(),
+            fault_plans: Vec::new(),
             seeds: Vec::new(),
             warmup_rounds: None,
             epoch_cycles: None,
@@ -164,6 +168,7 @@ pub struct SweepBuilder {
     workloads: Vec<(String, Workload)>,
     qos_scales: Vec<f64>,
     lookaheads: Vec<f64>,
+    fault_plans: Vec<(String, Option<FaultPlan>)>,
     seeds: Vec<u64>,
     warmup_rounds: Option<u32>,
     epoch_cycles: Option<Cycle>,
@@ -267,6 +272,27 @@ impl SweepBuilder {
         self
     }
 
+    /// Appends one labelled entry to the fault-plan axis. `None` is
+    /// the fault-free baseline; `Some(plan)` injects that schedule
+    /// into every run of the entry (see
+    /// [`FaultPlan`]). Unset = the singleton
+    /// fault-free default, which leaves every cell bit-for-bit
+    /// identical to a plain builder run.
+    pub fn fault_plan(mut self, label: impl Into<String>, plan: Option<FaultPlan>) -> Self {
+        self.fault_plans.push((label.into(), plan));
+        self
+    }
+
+    /// Appends labelled entries to the fault-plan axis (chaos studies
+    /// ramp fault intensity the way [`bursty_ramp`] ramps load).
+    pub fn fault_plans(
+        mut self,
+        entries: impl IntoIterator<Item = (String, Option<FaultPlan>)>,
+    ) -> Self {
+        self.fault_plans.extend(entries);
+        self
+    }
+
     /// Sets the seed axis (default: the builder's standard seed).
     pub fn seeds(mut self, seeds: impl IntoIterator<Item = u64>) -> Self {
         self.seeds.extend(seeds);
@@ -342,8 +368,8 @@ impl SweepBuilder {
     ///
     /// Cell order is row-major with the axes nested
     /// policies → SoCs → cache sizes → channel counts → workloads →
-    /// QoS scales → look-aheads → seeds (seeds innermost). Returns an
-    /// error only
+    /// QoS scales → look-aheads → fault plans → seeds (seeds
+    /// innermost). Returns an error only
     /// when the grid itself is malformed (no workload axis); per-cell
     /// failures land in their cell's [`SweepCell::outcome`].
     pub fn run(self) -> Result<SweepResult, EngineError> {
@@ -355,7 +381,7 @@ impl SweepBuilder {
     }
 
     /// Like [`SweepBuilder::run`], additionally streaming every cell to
-    /// a `camdn-sweep-cells/1` JSONL log at `path` (truncated first).
+    /// a `camdn-sweep-cells/3` JSONL log at `path` (truncated first).
     ///
     /// Each line is written and flushed the moment its cell completes,
     /// so a killed grid leaves every finished cell on disk and
@@ -488,6 +514,11 @@ impl SweepBuilder {
         } else {
             self.lookaheads.into_iter().map(Some).collect()
         };
+        let faults: Vec<(String, Option<FaultPlan>)> = if self.fault_plans.is_empty() {
+            vec![("none".into(), None)]
+        } else {
+            self.fault_plans
+        };
         let seeds = if self.seeds.is_empty() {
             vec![DEFAULT_SEED]
         } else {
@@ -509,6 +540,7 @@ impl SweepBuilder {
                 .iter()
                 .map(|l| l.map_or_else(|| "default".into(), |f| format!("{f}")))
                 .collect(),
+            faults: faults.iter().map(|(l, _)| l.clone()).collect(),
             seeds: seeds.clone(),
         };
 
@@ -522,57 +554,65 @@ impl SweepBuilder {
                         for (wi, (_, workload)) in workloads.iter().enumerate() {
                             for (qi, q) in qos.iter().enumerate() {
                                 for (li, lookahead) in lookaheads.iter().enumerate() {
-                                    for (ei, &seed) in seeds.iter().enumerate() {
-                                        let mut b = Simulation::builder()
-                                            .workload(workload.clone())
-                                            .seed(seed)
-                                            .detail(self.detail);
-                                        b = match policy {
-                                            PolicyAxisEntry::Kind(k) => b.policy(*k),
-                                            PolicyAxisEntry::Named(n) => b.policy_named(n.clone()),
-                                        };
-                                        let mut cell_soc = match cache {
-                                            Some(bytes) => soc.soc.with_cache_bytes(*bytes),
-                                            None => soc.soc,
-                                        };
-                                        if let Some(n) = channel {
-                                            cell_soc = cell_soc.with_dram_channels(*n);
+                                    for (fi, (_, plan)) in faults.iter().enumerate() {
+                                        for (ei, &seed) in seeds.iter().enumerate() {
+                                            let mut b = Simulation::builder()
+                                                .workload(workload.clone())
+                                                .seed(seed)
+                                                .detail(self.detail);
+                                            b = match policy {
+                                                PolicyAxisEntry::Kind(k) => b.policy(*k),
+                                                PolicyAxisEntry::Named(n) => {
+                                                    b.policy_named(n.clone())
+                                                }
+                                            };
+                                            let mut cell_soc = match cache {
+                                                Some(bytes) => soc.soc.with_cache_bytes(*bytes),
+                                                None => soc.soc,
+                                            };
+                                            if let Some(n) = channel {
+                                                cell_soc = cell_soc.with_dram_channels(*n);
+                                            }
+                                            b = b.soc(cell_soc);
+                                            if let Some(m) =
+                                                soc.mapper.as_ref().or(self.mapper.as_ref())
+                                            {
+                                                b = b.mapper(m.clone());
+                                            }
+                                            if let Some(scale) = q {
+                                                b = b.qos_scale(*scale);
+                                            }
+                                            if let Some(factor) = lookahead {
+                                                b = b.lookahead(*factor);
+                                            }
+                                            if let Some(plan) = plan {
+                                                b = b.fault_plan(plan.clone());
+                                            }
+                                            if let Some(rounds) = self.warmup_rounds {
+                                                b = b.warmup_rounds(rounds);
+                                            }
+                                            if let Some(cycles) = self.epoch_cycles {
+                                                b = b.epoch_cycles(cycles);
+                                            }
+                                            if self.reference_model {
+                                                b = b.reference_model(true);
+                                            }
+                                            if let Some(cache) = &plan_cache {
+                                                b = b.plan_cache(Arc::clone(cache));
+                                            }
+                                            builders.push(b);
+                                            coords.push(CellCoord {
+                                                policy: pi,
+                                                soc: si,
+                                                cache: ci,
+                                                channel: hi,
+                                                workload: wi,
+                                                qos: qi,
+                                                lookahead: li,
+                                                fault: fi,
+                                                seed: ei,
+                                            });
                                         }
-                                        b = b.soc(cell_soc);
-                                        if let Some(m) =
-                                            soc.mapper.as_ref().or(self.mapper.as_ref())
-                                        {
-                                            b = b.mapper(m.clone());
-                                        }
-                                        if let Some(scale) = q {
-                                            b = b.qos_scale(*scale);
-                                        }
-                                        if let Some(factor) = lookahead {
-                                            b = b.lookahead(*factor);
-                                        }
-                                        if let Some(rounds) = self.warmup_rounds {
-                                            b = b.warmup_rounds(rounds);
-                                        }
-                                        if let Some(cycles) = self.epoch_cycles {
-                                            b = b.epoch_cycles(cycles);
-                                        }
-                                        if self.reference_model {
-                                            b = b.reference_model(true);
-                                        }
-                                        if let Some(cache) = &plan_cache {
-                                            b = b.plan_cache(Arc::clone(cache));
-                                        }
-                                        builders.push(b);
-                                        coords.push(CellCoord {
-                                            policy: pi,
-                                            soc: si,
-                                            cache: ci,
-                                            channel: hi,
-                                            workload: wi,
-                                            qos: qi,
-                                            lookahead: li,
-                                            seed: ei,
-                                        });
                                     }
                                 }
                             }
@@ -749,6 +789,8 @@ pub struct CellCoord {
     pub qos: usize,
     /// Index into [`SweepAxes::lookaheads`].
     pub lookahead: usize,
+    /// Index into [`SweepAxes::faults`].
+    pub fault: usize,
     /// Index into [`SweepAxes::seeds`].
     pub seed: usize,
 }
@@ -784,6 +826,8 @@ pub struct SweepAxes {
     pub qos: Vec<String>,
     /// Look-ahead labels (`"0.2"`, or `"default"` when unset).
     pub lookaheads: Vec<String>,
+    /// Fault-plan labels (`"none"` when the axis was unset).
+    pub faults: Vec<String>,
     /// The seed axis values themselves.
     pub seeds: Vec<u64>,
 }
@@ -798,13 +842,14 @@ impl SweepAxes {
             * self.workloads.len()
             * self.qos.len()
             * self.lookaheads.len()
+            * self.faults.len()
             * self.seeds.len()
     }
 
     /// Row-major index of a coordinate (policies outermost, seeds
     /// innermost).
     pub fn index_of(&self, c: &CellCoord) -> usize {
-        ((((((c.policy * self.socs.len() + c.soc) * self.caches.len() + c.cache)
+        (((((((c.policy * self.socs.len() + c.soc) * self.caches.len() + c.cache)
             * self.channels.len()
             + c.channel)
             * self.workloads.len()
@@ -813,6 +858,8 @@ impl SweepAxes {
             + c.qos)
             * self.lookaheads.len()
             + c.lookahead)
+            * self.faults.len()
+            + c.fault)
             * self.seeds.len()
             + c.seed
     }
@@ -822,6 +869,8 @@ impl SweepAxes {
     pub fn coord_of(&self, mut idx: usize) -> CellCoord {
         let seed = idx % self.seeds.len();
         idx /= self.seeds.len();
+        let fault = idx % self.faults.len();
+        idx /= self.faults.len();
         let lookahead = idx % self.lookaheads.len();
         idx /= self.lookaheads.len();
         let qos = idx % self.qos.len();
@@ -842,6 +891,7 @@ impl SweepAxes {
             workload,
             qos,
             lookahead,
+            fault,
             seed,
         }
     }
@@ -855,6 +905,7 @@ impl SweepAxes {
             && c.workload < self.workloads.len()
             && c.qos < self.qos.len()
             && c.lookahead < self.lookaheads.len()
+            && c.fault < self.faults.len()
             && c.seed < self.seeds.len()
     }
 }
@@ -990,6 +1041,7 @@ mod tests {
                 workload: 0,
                 qos: 0,
                 lookahead: 0,
+                fault: 0,
                 seed: 0
             }
         );
@@ -1115,6 +1167,45 @@ mod tests {
             lat(1),
             lat(0)
         );
+    }
+
+    #[test]
+    fn fault_axis_cells_match_builder_runs_exactly() {
+        use camdn_runtime::{FaultEvent, FaultKind};
+        let plan = FaultPlan::new(vec![
+            FaultEvent {
+                at: 200_000,
+                kind: FaultKind::NpuDown(0),
+            },
+            FaultEvent {
+                at: 2_000_000,
+                kind: FaultKind::NpuUp(0),
+            },
+        ])
+        .expect("valid plan");
+        let r = Sweep::grid()
+            .workload("w", one_model())
+            .fault_plan("none", None)
+            .fault_plan("outage", Some(plan.clone()))
+            .detail(DetailLevel::Tasks)
+            .run()
+            .unwrap();
+        assert_eq!(
+            r.axes.faults,
+            vec!["none".to_string(), "outage".to_string()]
+        );
+        assert_eq!(r.cells.len(), 2);
+        assert_eq!(r.cells[1].coord.fault, 1);
+        // The fault-free cell is bit-for-bit a plain builder run...
+        let clean = Simulation::builder().workload(one_model()).run().unwrap();
+        assert_eq!(*r.cells[0].outcome.as_ref().unwrap(), clean);
+        // ...and the faulted cell matches a builder run with the plan.
+        let faulted = Simulation::builder()
+            .workload(one_model())
+            .fault_plan(plan)
+            .run()
+            .unwrap();
+        assert_eq!(*r.cells[1].outcome.as_ref().unwrap(), faulted);
     }
 
     #[test]

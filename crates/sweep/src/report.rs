@@ -44,7 +44,8 @@ impl SweepResult {
             let head = format!(
                 "{pad}  {{\"policy\": \"{}\", \"soc\": \"{}\", \"cache\": \"{}\", \
                  \"channel\": \"{}\", \"workload\": \"{}\", \
-                 \"qos\": \"{}\", \"lookahead\": \"{}\", \"seed\": {}, \"wall_s\": {:.6}, ",
+                 \"qos\": \"{}\", \"lookahead\": \"{}\", \"fault\": \"{}\", \"seed\": {}, \
+                 \"wall_s\": {:.6}, ",
                 esc(&a.policies[c.policy]),
                 esc(&a.socs[c.soc]),
                 esc(&a.caches[c.cache]),
@@ -52,6 +53,7 @@ impl SweepResult {
                 esc(&a.workloads[c.workload]),
                 esc(&a.qos[c.qos]),
                 esc(&a.lookaheads[c.lookahead]),
+                esc(&a.faults[c.fault]),
                 a.seeds[c.seed],
                 cell.wall_s,
             );
@@ -85,7 +87,7 @@ impl SweepResult {
              {pad}\"plan_cache\": {},\n\
              {pad}\"axes\": {{\"policies\": {}, \"socs\": {}, \"caches\": {}, \"channels\": {}, \
              \"workloads\": {}, \
-             \"qos\": {}, \"lookaheads\": {}, \"seeds\": [{}]}},\n\
+             \"qos\": {}, \"lookaheads\": {}, \"faults\": {}, \"seeds\": [{}]}},\n\
              {pad}\"cells\": [\n{}\n{pad}]",
             self.threads,
             self.wall_s,
@@ -99,6 +101,7 @@ impl SweepResult {
             str_array(&a.workloads),
             str_array(&a.qos),
             str_array(&a.lookaheads),
+            str_array(&a.faults),
             seeds.join(", "),
             cells.join(",\n"),
         )

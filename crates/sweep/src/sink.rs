@@ -11,7 +11,7 @@
 //! * [`MemorySink`] — today's in-memory [`SweepResult`], now
 //!   summary-only by default and bounded by an optional per-grid
 //!   detail-memory budget;
-//! * [`JsonlSink`] — a streamed `camdn-sweep-cells/2` writer: one JSON
+//! * [`JsonlSink`] — a streamed `camdn-sweep-cells/3` writer: one JSON
 //!   line per cell (summary scalars + the compact latency tail),
 //!   written the moment the cell completes, so a killed grid leaves a
 //!   valid log behind and
@@ -151,28 +151,34 @@ impl CellSink for MemorySink {
 // JSONL streaming sink
 // ------------------------------------------------------------------
 
-/// Streamed cell log: schema `camdn-sweep-cells/2`.
+/// Streamed cell log: schema `camdn-sweep-cells/3`.
 ///
 /// The first line is a header naming the schema, every axis, and the
 /// latency-histogram bucket edges; each subsequent line is one cell —
 /// its coordinate, wall time, and either the policy label +
-/// [`RunSummary`] scalars plus the compact latency tail
-/// (`"ok": true`) or the error text. Lines are written unbuffered the
-/// moment the cell completes, so a killed grid leaves every finished
-/// cell on disk; a torn final line (kill mid-write) is ignored by the
-/// reader and the cell simply re-runs on resume.
+/// [`RunSummary`] scalars (including the fault counters
+/// `shed_requests` / `retried_inferences` / `dropped_inferences`)
+/// plus the compact latency tail (`"ok": true`) or the error text.
+/// Lines are written unbuffered the moment the cell completes, so a
+/// killed grid leaves every finished cell on disk; a torn final line
+/// (kill mid-write) is ignored by the reader and the cell simply
+/// re-runs on resume.
 ///
 /// Summary floats are serialized with Rust's shortest-roundtrip
 /// `Display`, so a parsed line reproduces the in-memory summary —
 /// including its [`LatencyTail`] (integer bucket counts + min/max
 /// cycles) — bit-for-bit.
 ///
-/// Logs written by the previous `camdn-sweep-cells/1` schema (no
-/// channel axis, no latency tail) are still accepted by
+/// Logs written by the previous schemas are still accepted by
 /// [`SweepBuilder::resume`](crate::SweepBuilder::resume) when the
-/// grid's channel axis is the unset default: their cells resume with
-/// an *empty* tail (percentiles read 0.0), and the rewritten log is
-/// upgraded to `/2`.
+/// axes they could not express are the unset defaults:
+/// `camdn-sweep-cells/2` (no fault axis, no fault counters) when the
+/// fault axis is the `"none"` singleton — its cells resume with
+/// zeroed counters — and `camdn-sweep-cells/1` (additionally no
+/// channel axis, no latency tail) when the channel axis is also the
+/// unset default — its cells resume with an *empty* tail
+/// (percentiles read 0.0). Either way the rewritten log is upgraded
+/// to `/3`.
 #[derive(Debug)]
 pub struct JsonlSink {
     file: std::fs::File,
@@ -181,11 +187,29 @@ pub struct JsonlSink {
 }
 
 /// Schema identifier of the cell-log header line.
-pub const CELLS_SCHEMA: &str = "camdn-sweep-cells/2";
+pub const CELLS_SCHEMA: &str = "camdn-sweep-cells/3";
 
-/// Previous cell-log schema (summary scalars only, no channel axis);
+/// Previous cell-log schema (no fault axis or fault counters); still
+/// accepted on resume.
+pub const CELLS_SCHEMA_V2: &str = "camdn-sweep-cells/2";
+
+/// Oldest cell-log schema (summary scalars only, no channel axis);
 /// still accepted on resume.
 pub const CELLS_SCHEMA_V1: &str = "camdn-sweep-cells/1";
+
+/// Which writer produced a cell log being resumed (detected from its
+/// header line).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum LogVersion {
+    /// `camdn-sweep-cells/1`: no channel coordinate, no latency tail,
+    /// no fault coordinate or counters.
+    V1,
+    /// `camdn-sweep-cells/2`: channel + tail, but no fault coordinate
+    /// or counters.
+    V2,
+    /// The current schema.
+    V3,
+}
 
 impl JsonlSink {
     /// Creates (truncates) the log at `path` and writes the header line
@@ -276,8 +300,33 @@ pub(crate) fn header_line(axes: &SweepAxes) -> String {
     format!(
         "{{\"schema\": \"{}\", \"policies\": {}, \"socs\": {}, \"caches\": {}, \
          \"channels\": {}, \"workloads\": {}, \"qos\": {}, \"lookaheads\": {}, \
-         \"seeds\": [{}], \"hist_edges\": [{}]}}",
+         \"faults\": {}, \"seeds\": [{}], \"hist_edges\": [{}]}}",
         CELLS_SCHEMA,
+        crate::report::str_array(&axes.policies),
+        crate::report::str_array(&axes.socs),
+        crate::report::str_array(&axes.caches),
+        crate::report::str_array(&axes.channels),
+        crate::report::str_array(&axes.workloads),
+        crate::report::str_array(&axes.qos),
+        crate::report::str_array(&axes.lookaheads),
+        crate::report::str_array(&axes.faults),
+        seeds.join(", "),
+        edges.join(", "),
+    )
+}
+
+/// The header line the retired `camdn-sweep-cells/2` schema wrote for
+/// these axes (no fault axis) — used to accept old logs on resume.
+/// Only meaningful when the grid's fault axis is the unset singleton,
+/// since a v2 grid could not express one.
+pub(crate) fn header_line_v2(axes: &SweepAxes) -> String {
+    let seeds: Vec<String> = axes.seeds.iter().map(u64::to_string).collect();
+    let edges: Vec<String> = LATENCY_HIST_EDGES.iter().map(u64::to_string).collect();
+    format!(
+        "{{\"schema\": \"{}\", \"policies\": {}, \"socs\": {}, \"caches\": {}, \
+         \"channels\": {}, \"workloads\": {}, \"qos\": {}, \"lookaheads\": {}, \
+         \"seeds\": [{}], \"hist_edges\": [{}]}}",
+        CELLS_SCHEMA_V2,
         crate::report::str_array(&axes.policies),
         crate::report::str_array(&axes.socs),
         crate::report::str_array(&axes.caches),
@@ -316,7 +365,7 @@ pub(crate) fn cell_line(coord: CellCoord, outcome: &CellOutcome) -> String {
     let _ = write!(
         s,
         "{{\"policy\": {}, \"soc\": {}, \"cache\": {}, \"channel\": {}, \"workload\": {}, \
-         \"qos\": {}, \"lookahead\": {}, \"seed\": {}, \"wall_s\": {}, ",
+         \"qos\": {}, \"lookahead\": {}, \"fault\": {}, \"seed\": {}, \"wall_s\": {}, ",
         coord.policy,
         coord.soc,
         coord.cache,
@@ -324,6 +373,7 @@ pub(crate) fn cell_line(coord: CellCoord, outcome: &CellOutcome) -> String {
         coord.workload,
         coord.qos,
         coord.lookahead,
+        coord.fault,
         coord.seed,
         jnum(outcome.wall_s),
     );
@@ -337,6 +387,8 @@ pub(crate) fn cell_line(coord: CellCoord, outcome: &CellOutcome) -> String {
                 "\"ok\": true, \"label\": \"{}\", \"tasks\": {}, \"inferences\": {}, \
                  \"cache_hit_rate\": {}, \"avg_latency_ms\": {}, \"mem_mb_per_model\": {}, \
                  \"makespan_ms\": {}, \"sla_rate\": {}, \"multicast_saved_mb\": {}, \
+                 \"shed_requests\": {}, \"retried_inferences\": {}, \
+                 \"dropped_inferences\": {}, \
                  \"p50_ms\": {}, \"p90_ms\": {}, \"p95_ms\": {}, \"p99_ms\": {}, \
                  \"p999_ms\": {}, \"lat_counts\": [{}], \"lat_min_cycles\": {}, \
                  \"lat_max_cycles\": {}}}",
@@ -349,6 +401,9 @@ pub(crate) fn cell_line(coord: CellCoord, outcome: &CellOutcome) -> String {
                 jnum(m.makespan_ms),
                 jnum(m.sla_rate),
                 jnum(m.multicast_saved_mb),
+                m.shed_requests,
+                m.retried_inferences,
+                m.dropped_inferences,
                 jnum(tail.p50_ms()),
                 jnum(tail.p90_ms()),
                 jnum(tail.p95_ms()),
@@ -371,9 +426,11 @@ pub(crate) fn cell_line(coord: CellCoord, outcome: &CellOutcome) -> String {
 /// silently merged). Error cells and torn trailing lines are skipped —
 /// resume re-runs them.
 ///
-/// A header in the retired `camdn-sweep-cells/1` format is accepted
-/// when the grid's channel axis is the unset singleton (a v1 grid
-/// could not express one); its cells parse with an empty latency tail.
+/// A header in a retired format is accepted when the axes it could
+/// not express are the unset defaults: `/2` needs the fault axis to
+/// be the `"none"` singleton, `/1` additionally needs the channel
+/// axis to be the unset singleton. Their cells parse with zeroed
+/// fault counters (and, for `/1`, an empty latency tail).
 pub(crate) fn read_recorded(
     path: impl AsRef<Path>,
     axes: &SweepAxes,
@@ -384,10 +441,13 @@ pub(crate) fn read_recorded(
     })?;
     let mut lines = text.lines();
     let header = lines.next().unwrap_or("").trim();
-    let v1 = if header == header_line(axes) {
-        false
-    } else if header == header_line_v1(axes) && axes.channels == ["default"] {
-        true
+    let no_fault_axis = axes.faults == ["none"];
+    let version = if header == header_line(axes) {
+        LogVersion::V3
+    } else if header == header_line_v2(axes) && no_fault_axis {
+        LogVersion::V2
+    } else if header == header_line_v1(axes) && no_fault_axis && axes.channels == ["default"] {
+        LogVersion::V1
     } else {
         return Err(EngineError::InvalidConfig(format!(
             "{} belongs to a different grid (axes header mismatch); \
@@ -399,7 +459,7 @@ pub(crate) fn read_recorded(
     for line in lines {
         // A torn final line (killed mid-write) parses as None: skip it
         // and let the cell re-run.
-        if let Some(cell) = parse_cell_line(line, axes, v1) {
+        if let Some(cell) = parse_cell_line(line, axes, version) {
             out.push(cell);
         }
     }
@@ -408,20 +468,34 @@ pub(crate) fn read_recorded(
 
 /// Parses one cell line back into its coordinate + summary-only
 /// [`RunOutput`] + recorded wall seconds. `None` for error cells,
-/// malformed (torn) lines, or out-of-range coordinates. With `v1` the
-/// line has no channel coordinate (it reads 0) and no latency tail
-/// (it reads empty).
-fn parse_cell_line(line: &str, axes: &SweepAxes, v1: bool) -> Option<(CellCoord, RunOutput, f64)> {
+/// malformed (torn) lines, or out-of-range coordinates. Pre-`/3`
+/// lines have no fault coordinate (it reads 0) and no fault counters
+/// (they read 0); `/1` lines additionally have no channel coordinate
+/// and no latency tail (it reads empty).
+fn parse_cell_line(
+    line: &str,
+    axes: &SweepAxes,
+    version: LogVersion,
+) -> Option<(CellCoord, RunOutput, f64)> {
     let fields = parse_flat_object(line)?;
     let num = |key: &str| fields.iter().find(|(k, _)| k.as_str() == key)?.1.as_f64();
     let coord = CellCoord {
         policy: num("policy")? as usize,
         soc: num("soc")? as usize,
         cache: num("cache")? as usize,
-        channel: if v1 { 0 } else { num("channel")? as usize },
+        channel: if version == LogVersion::V1 {
+            0
+        } else {
+            num("channel")? as usize
+        },
         workload: num("workload")? as usize,
         qos: num("qos")? as usize,
         lookahead: num("lookahead")? as usize,
+        fault: if version == LogVersion::V3 {
+            num("fault")? as usize
+        } else {
+            0
+        },
         seed: num("seed")? as usize,
     };
     if !axes.contains(&coord) {
@@ -444,7 +518,7 @@ fn parse_cell_line(line: &str, axes: &SweepAxes, v1: bool) -> Option<(CellCoord,
         JsonVal::Num(s) => s.parse::<u64>().ok(),
         _ => None,
     };
-    let latency_tail = if v1 {
+    let latency_tail = if version == LogVersion::V1 {
         LatencyTail::new()
     } else {
         let counts_field = &fields.iter().find(|(k, _)| k.as_str() == "lat_counts")?.1;
@@ -461,6 +535,11 @@ fn parse_cell_line(line: &str, axes: &SweepAxes, v1: bool) -> Option<(CellCoord,
         }
         LatencyTail::from_parts(counts, int("lat_min_cycles")?, int("lat_max_cycles")?)
     };
+    // Fault counters: required in /3 lines, absent (zero) before.
+    let counter = |key: &str| match version {
+        LogVersion::V3 => int(key),
+        LogVersion::V1 | LogVersion::V2 => Some(0),
+    };
     let summary = RunSummary {
         tasks: num("tasks")? as usize,
         inferences: num("inferences")? as usize,
@@ -470,6 +549,9 @@ fn parse_cell_line(line: &str, axes: &SweepAxes, v1: bool) -> Option<(CellCoord,
         makespan_ms: num("makespan_ms")?,
         sla_rate: num("sla_rate")?,
         multicast_saved_mb: num("multicast_saved_mb")?,
+        shed_requests: counter("shed_requests")?,
+        retried_inferences: counter("retried_inferences")?,
+        dropped_inferences: counter("dropped_inferences")?,
         latency_tail,
     };
     Some((
@@ -626,6 +708,7 @@ impl SeedAggregate {
                 c.workload,
                 c.qos,
                 c.lookahead,
+                c.fault,
             )
         });
         out
@@ -659,6 +742,7 @@ mod tests {
             workload: 0,
             qos: 0,
             lookahead: 0,
+            fault: 0,
             seed,
         }
     }
@@ -675,6 +759,9 @@ mod tests {
             makespan_ms: 10.0 * lat,
             sla_rate: 1.0,
             multicast_saved_mb: 0.0,
+            shed_requests: 0,
+            retried_inferences: 0,
+            dropped_inferences: 0,
             latency_tail,
         }
     }
@@ -729,6 +816,7 @@ mod tests {
             workloads: vec!["w".into()],
             qos: vec!["closed".into()],
             lookaheads: vec!["default".into()],
+            faults: vec!["none".into()],
             seeds: vec![1, 2],
         }
     }
@@ -744,6 +832,7 @@ mod tests {
             workload: 0,
             qos: 0,
             lookahead: 0,
+            fault: 0,
             seed: 1,
         };
         // A tail with samples in three buckets plus awkward extremes:
@@ -766,6 +855,10 @@ mod tests {
                 makespan_ms: 12345.678901234567,
                 sla_rate: 1.0,
                 multicast_saved_mb: 0.0,
+                // Non-zero fault counters: they must roundtrip exactly.
+                shed_requests: 5,
+                retried_inferences: 2,
+                dropped_inferences: 1,
                 latency_tail,
             },
             detail: None,
@@ -777,7 +870,7 @@ mod tests {
                 wall_s: 0.015625,
             },
         );
-        let (pc, prun, wall) = parse_cell_line(&line, &axes, false).expect("line parses");
+        let (pc, prun, wall) = parse_cell_line(&line, &axes, LogVersion::V3).expect("line parses");
         assert_eq!(pc, c);
         assert_eq!(prun, run, "summary must roundtrip bit-for-bit");
         assert_eq!(
@@ -795,15 +888,15 @@ mod tests {
                 wall_s: 0.0,
             },
         );
-        assert!(parse_cell_line(&err_line, &axes, false).is_none());
+        assert!(parse_cell_line(&err_line, &axes, LogVersion::V3).is_none());
         // Torn lines (killed mid-write) are skipped, not fatal.
-        assert!(parse_cell_line(&line[..line.len() / 2], &axes, false).is_none());
+        assert!(parse_cell_line(&line[..line.len() / 2], &axes, LogVersion::V3).is_none());
         // Out-of-range coordinates (a log from a bigger grid) too.
         let small = SweepAxes {
             caches: vec!["default".into()],
             ..axes.clone()
         };
-        assert!(parse_cell_line(&line, &small, false).is_none());
+        assert!(parse_cell_line(&line, &small, LogVersion::V3).is_none());
         // Non-finite values serialize as JSON null (never `NaN`/`inf`),
         // which the reader skips — the cell re-runs instead of
         // poisoning the log.
@@ -819,7 +912,7 @@ mod tests {
         assert!(weird_line.contains("\"avg_latency_ms\": null"));
         assert!(weird_line.contains("\"wall_s\": null"));
         assert!(!weird_line.contains(": NaN") && !weird_line.contains(": inf"));
-        assert!(parse_cell_line(&weird_line, &axes, false).is_none());
+        assert!(parse_cell_line(&weird_line, &axes, LogVersion::V3).is_none());
     }
 
     #[test]
@@ -833,15 +926,46 @@ mod tests {
                     \"cache_hit_rate\": 0.5, \"avg_latency_ms\": 3.5, \
                     \"mem_mb_per_model\": 1.25, \"makespan_ms\": 10.5, \"sla_rate\": 1, \
                     \"multicast_saved_mb\": 0}";
-        // In v2 mode the line is rejected (no channel/tail fields)...
-        assert!(parse_cell_line(line, &axes, false).is_none());
-        // ...in v1 mode it parses: channel reads 0, the tail is empty.
-        let (c, run, wall) = parse_cell_line(line, &axes, true).expect("v1 line parses");
+        // In v3 mode the line is rejected (no channel/tail fields)...
+        assert!(parse_cell_line(line, &axes, LogVersion::V3).is_none());
+        // ...in v1 mode it parses: channel reads 0, the tail is empty,
+        // the fault counters read 0.
+        let (c, run, wall) = parse_cell_line(line, &axes, LogVersion::V1).expect("v1 line parses");
         assert_eq!(c, coord(1));
         assert_eq!(wall, 0.25);
         assert_eq!(run.summary.avg_latency_ms, 3.5);
+        assert_eq!(run.summary.shed_requests, 0);
         assert_eq!(run.summary.latency_tail, LatencyTail::new());
         assert_eq!(run.summary.latency_tail.p99_ms(), 0.0);
+    }
+
+    #[test]
+    fn v2_cell_lines_parse_with_zeroed_fault_counters() {
+        // A line in the exact format the camdn-sweep-cells/2 writer
+        // produced: channel + latency tail, but no fault coordinate
+        // and no fault counters.
+        let axes = roundtrip_axes();
+        let counts = vec!["0"; LATENCY_HIST_BUCKETS].join(", ");
+        let line = format!(
+            "{{\"policy\": 1, \"soc\": 0, \"cache\": 2, \"channel\": 0, \"workload\": 0, \
+             \"qos\": 0, \"lookahead\": 0, \"seed\": 1, \"wall_s\": 0.25, \"ok\": true, \
+             \"label\": \"Baseline\", \"tasks\": 2, \"inferences\": 4, \
+             \"cache_hit_rate\": 0.5, \"avg_latency_ms\": 3.5, \
+             \"mem_mb_per_model\": 1.25, \"makespan_ms\": 10.5, \"sla_rate\": 1, \
+             \"multicast_saved_mb\": 0, \"p50_ms\": 0, \"p90_ms\": 0, \"p95_ms\": 0, \
+             \"p99_ms\": 0, \"p999_ms\": 0, \"lat_counts\": [{counts}], \
+             \"lat_min_cycles\": 0, \"lat_max_cycles\": 0}}"
+        );
+        // In v3 mode the line is rejected (no fault coordinate)...
+        assert!(parse_cell_line(&line, &axes, LogVersion::V3).is_none());
+        // ...in v2 mode it parses with fault 0 and zeroed counters.
+        let (c, run, wall) = parse_cell_line(&line, &axes, LogVersion::V2).expect("v2 line parses");
+        assert_eq!(c, coord(1));
+        assert_eq!(wall, 0.25);
+        assert_eq!(run.summary.avg_latency_ms, 3.5);
+        assert_eq!(run.summary.shed_requests, 0);
+        assert_eq!(run.summary.retried_inferences, 0);
+        assert_eq!(run.summary.dropped_inferences, 0);
     }
 
     #[test]

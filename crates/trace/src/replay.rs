@@ -23,11 +23,13 @@ use camdn_common::types::Cycle;
 use camdn_mapper::{MapperConfig, PlanCache};
 use camdn_models::{zoo, Model};
 use camdn_runtime::{
-    DetailLevel, LatencyTail, PolicyKind, QueueSample, Simulation, LATENCY_HIST_BUCKETS,
+    DetailLevel, EngineError, FaultPlan, LatencyTail, PolicyKind, QueueSample, Simulation,
+    LATENCY_HIST_BUCKETS,
 };
 use camdn_runtime::{RunOutput, Workload};
 use camdn_sweep::jsonl::{esc, field, jnum, parse_flat_object, JsonVal};
 use std::collections::{BTreeMap, BTreeSet, HashMap};
+use std::fmt::Write as _;
 use std::io::Write as _;
 use std::path::{Path, PathBuf};
 use std::sync::Arc;
@@ -162,6 +164,22 @@ pub struct ReplayConfig {
     pub soc: SocConfig,
     /// Offline mapper settings for every window run.
     pub mapper: MapperConfig,
+    /// Fault schedule in *absolute trace cycles* (µs × 1000): each
+    /// window runs the slice overlapping its span, with faults still
+    /// active at the window boundary re-materialized at its start
+    /// (see [`FaultPlan::slice`]). `None` leaves every window
+    /// bit-for-bit identical to a fault-free replay.
+    pub fault_plan: Option<FaultPlan>,
+    /// Simulated-cycle budget per window run: a window exceeding it
+    /// reports the partial metrics it reached, flagged
+    /// [`WindowMetrics::truncated`], instead of running unbounded in
+    /// deep overload. `None` = no budget.
+    pub max_cycles_per_window: Option<Cycle>,
+    /// Deadline-aware admission control in every window run: arrivals
+    /// whose queue-predicted completion already misses the QoS
+    /// deadline are shed (counted in [`WindowMetrics::shed`]) instead
+    /// of queued. Default off.
+    pub admission_control: bool,
 }
 
 impl ReplayConfig {
@@ -175,6 +193,9 @@ impl ReplayConfig {
             queue_samples_per_window: 8,
             soc: SocConfig::paper_default(),
             mapper: MapperConfig::paper_default(),
+            fault_plan: None,
+            max_cycles_per_window: None,
+            admission_control: false,
         }
     }
 
@@ -183,6 +204,11 @@ impl ReplayConfig {
         if self.window_us == 0 {
             return Err(TraceError::InvalidConfig(
                 "window_us must be positive".into(),
+            ));
+        }
+        if self.max_cycles_per_window == Some(0) {
+            return Err(TraceError::InvalidConfig(
+                "max_cycles_per_window must be positive (use None for unbounded)".into(),
             ));
         }
         if self.queue_samples_per_window as u64 > self.window_us * CYCLES_PER_US {
@@ -252,6 +278,13 @@ pub struct WindowMetrics {
     /// Queue-depth timeline at the configured per-window interval
     /// (window-relative cycles; empty when sampling is off).
     pub queue_depth: Vec<QueueSample>,
+    /// Arrivals shed by admission control in this window (always 0
+    /// unless [`ReplayConfig::admission_control`] is on).
+    pub shed: u64,
+    /// True when the window hit
+    /// [`ReplayConfig::max_cycles_per_window`] and reports partial
+    /// metrics.
+    pub truncated: bool,
 }
 
 impl WindowMetrics {
@@ -313,6 +346,10 @@ pub struct ReplayAggregate {
     pub max_queue_depth: u32,
     /// Smallest per-window SLA rate (the worst window).
     pub worst_window_sla: f64,
+    /// Arrivals shed by admission control over all windows.
+    pub shed: u64,
+    /// Windows that hit their per-window cycle budget.
+    pub truncated_windows: u64,
 }
 
 impl ReplayAggregate {
@@ -361,6 +398,8 @@ impl ReplaySink for ReplayAggregate {
         }
         self.max_queue_depth = self.max_queue_depth.max(w.max_queue_depth());
         self.worst_window_sla = self.worst_window_sla.min(w.sla_rate());
+        self.shed += w.shed;
+        self.truncated_windows += u64::from(w.truncated);
     }
 }
 
@@ -471,11 +510,32 @@ impl ReplayDriver {
         if let Some(interval) = self.cfg.queue_interval_cycles() {
             builder = builder.sample_queue_depth(interval);
         }
-        let run = builder.run().map_err(|e| TraceError::Engine {
-            window: window.index,
-            detail: e.to_string(),
-        })?;
-        Ok(distill(window, &run, &tenants_by_task))
+        if let Some(plan) = &self.cfg.fault_plan {
+            // The plan speaks absolute trace cycles; each window gets
+            // the slice overlapping its span, rebased to window-local
+            // cycle 0 with boundary-active faults materialized.
+            let start = window.start_us * CYCLES_PER_US;
+            let end = (window.start_us + self.cfg.window_us) * CYCLES_PER_US;
+            builder = builder.fault_plan(plan.slice(start, end));
+        }
+        if let Some(max) = self.cfg.max_cycles_per_window {
+            builder = builder.max_sim_cycles(max);
+        }
+        if self.cfg.admission_control {
+            builder = builder.admission_control(true);
+        }
+        match builder.run() {
+            Ok(run) => distill(window, &run, &tenants_by_task, false),
+            // A window past its cycle budget reports what it reached,
+            // flagged truncated, instead of aborting the replay.
+            Err(EngineError::BudgetExceeded { partial, .. }) => {
+                distill(window, &partial, &tenants_by_task, true)
+            }
+            Err(e) => Err(TraceError::Engine {
+                window: window.index,
+                detail: e.to_string(),
+            }),
+        }
     }
 
     /// Streams records through windowing, engine runs and the sink.
@@ -513,11 +573,19 @@ impl ReplayDriver {
 /// Distills one window's engine output into [`WindowMetrics`], using
 /// exact integer SLA counts (`round(sla_rate × inferences)` inverts
 /// the engine's mean exactly).
-fn distill(window: &TraceWindow, run: &RunOutput, tenants_by_task: &[String]) -> WindowMetrics {
-    let detail = run
-        .detail
-        .as_ref()
-        .expect("replay windows run at DetailLevel::Tasks");
+fn distill(
+    window: &TraceWindow,
+    run: &RunOutput,
+    tenants_by_task: &[String],
+    truncated: bool,
+) -> Result<WindowMetrics, TraceError> {
+    // Windows run at DetailLevel::Tasks; a missing detail block is a
+    // typed error, not a panic — a budget-truncated partial must not
+    // take the whole replay down.
+    let detail = run.detail.as_ref().ok_or_else(|| TraceError::Engine {
+        window: window.index,
+        detail: "window run returned no per-task detail".into(),
+    })?;
     let mut per_tenant: BTreeMap<&str, (u64, u64)> = BTreeMap::new();
     let mut sla_met = 0u64;
     let mut sla_total = 0u64;
@@ -530,7 +598,7 @@ fn distill(window: &TraceWindow, run: &RunOutput, tenants_by_task: &[String]) ->
         sla_met += met;
         sla_total += total;
     }
-    WindowMetrics {
+    Ok(WindowMetrics {
         index: window.index,
         start_us: window.start_us,
         arrivals: window.records.len() as u64,
@@ -547,7 +615,9 @@ fn distill(window: &TraceWindow, run: &RunOutput, tenants_by_task: &[String]) ->
             })
             .collect(),
         queue_depth: detail.queue_depth.clone(),
-    }
+        shed: run.summary.shed_requests,
+        truncated,
+    })
 }
 
 // ------------------------------------------------------------------
@@ -572,10 +642,25 @@ pub struct JsonlReplaySink {
 }
 
 /// The header line fingerprinting `cfg` (no trailing newline).
+///
+/// The fault-plan fingerprint and per-window cycle budget are appended
+/// *only when set*, so a fault-free, unbudgeted replay writes headers
+/// byte-identical to logs from before those knobs existed — old logs
+/// keep resuming.
 fn replay_header(cfg: &ReplayConfig) -> String {
+    let mut extras = String::new();
+    if let Some(plan) = &cfg.fault_plan {
+        let _ = write!(extras, ", \"fault_fp\": {}", plan.fingerprint());
+    }
+    if let Some(max) = cfg.max_cycles_per_window {
+        let _ = write!(extras, ", \"max_cycles\": {max}");
+    }
+    if cfg.admission_control {
+        extras.push_str(", \"admission\": true");
+    }
     format!(
         "{{\"schema\": \"{}\", \"policy\": \"{}\", \"window_us\": {}, \"seed\": {}, \
-         \"qsamples\": {}}}",
+         \"qsamples\": {}{extras}}}",
         REPLAY_SCHEMA,
         esc(cfg.policy.name()),
         cfg.window_us,
@@ -603,7 +688,8 @@ fn window_line(w: &WindowMetrics) -> String {
         "{{\"window\": {}, \"start_us\": {}, \"arrivals\": {}, \"sla_met\": {}, \
          \"sla_total\": {}, \"makespan_ms\": {}, \"lat_counts\": [{}], \
          \"lat_min_cycles\": {}, \"lat_max_cycles\": {}, \"tenant_ids\": [{}], \
-         \"tenant_met\": [{}], \"tenant_total\": [{}], \"queue\": [{}]}}",
+         \"tenant_met\": [{}], \"tenant_total\": [{}], \"queue\": [{}], \
+         \"shed\": {}, \"truncated\": {}}}",
         w.index,
         w.start_us,
         w.arrivals,
@@ -617,10 +703,14 @@ fn window_line(w: &WindowMetrics) -> String {
         met.join(", "),
         total.join(", "),
         queue.join(", "),
+        w.shed,
+        w.truncated,
     )
 }
 
 /// Parses one window line back. `None` for torn/malformed lines.
+/// `shed` and `truncated` default to 0/false when absent, so window
+/// lines written before the fault layer still resume.
 fn parse_window_line(line: &str, queue_interval: Option<Cycle>) -> Option<WindowMetrics> {
     let fields = parse_flat_object(line)?;
     let int = |key: &str| field(&fields, key)?.as_u64();
@@ -677,6 +767,10 @@ fn parse_window_line(line: &str, queue_interval: Option<Cycle>) -> Option<Window
         tail,
         tenants,
         queue_depth,
+        shed: int("shed").unwrap_or(0),
+        truncated: field(&fields, "truncated")
+            .and_then(JsonVal::as_bool)
+            .unwrap_or(false),
     })
 }
 
@@ -927,6 +1021,8 @@ mod tests {
                     outstanding: 0,
                 },
             ],
+            shed: 3,
+            truncated: true,
         };
         let line = window_line(&w);
         let back = parse_window_line(&line, cfg.queue_interval_cycles()).unwrap();
@@ -935,5 +1031,80 @@ mod tests {
         for cut in [1, line.len() / 2, line.len() - 1] {
             assert!(parse_window_line(&line[..cut], cfg.queue_interval_cycles()).is_none());
         }
+    }
+
+    #[test]
+    fn pre_fault_window_lines_parse_with_zeroed_chaos_fields() {
+        // A line in the exact format the writer produced before the
+        // fault layer (no shed/truncated keys) must still resume.
+        let line = "{\"window\": 3, \"start_us\": 6000, \"arrivals\": 1, \"sla_met\": 1, \
+                    \"sla_total\": 1, \"makespan_ms\": 1.5, \"lat_counts\": ["
+            .to_string()
+            + &vec!["0"; LATENCY_HIST_BUCKETS].join(", ")
+            + "], \"lat_min_cycles\": 0, \"lat_max_cycles\": 0, \"tenant_ids\": [\"t0\"], \
+               \"tenant_met\": [1], \"tenant_total\": [1], \"queue\": []}";
+        let w = parse_window_line(&line, None).expect("pre-fault line parses");
+        assert_eq!(w.index, 3);
+        assert_eq!(w.shed, 0);
+        assert!(!w.truncated);
+    }
+
+    #[test]
+    fn fault_free_headers_predate_the_chaos_knobs_byte_for_byte() {
+        // With both knobs unset the header must not mention them, so
+        // logs written before the fault layer still pass the
+        // fingerprint check on resume.
+        let cfg = ReplayConfig::new(PolicyKind::CamdnFull, 2_000);
+        let h = replay_header(&cfg);
+        assert!(!h.contains("fault_fp") && !h.contains("max_cycles"), "{h}");
+        // Setting either knob changes the fingerprint, so a faulted
+        // log can never silently resume a fault-free replay.
+        let mut faulted = cfg.clone();
+        faulted.fault_plan = Some(FaultPlan::default());
+        assert_ne!(replay_header(&faulted), h);
+        let mut budgeted = cfg;
+        budgeted.max_cycles_per_window = Some(1_000_000);
+        assert_ne!(replay_header(&budgeted), h);
+    }
+
+    #[test]
+    fn faulted_windows_slice_the_plan_and_still_distill() {
+        use camdn_runtime::{FaultEvent, FaultKind};
+        // An NPU outage spanning window 0's middle: the replay must
+        // run, report metrics, and differ from the fault-free replay.
+        let mut cfg = ReplayConfig::new(PolicyKind::SharedBaseline, 4_000);
+        let records = || {
+            (0..8)
+                .map(|i| Ok(rec(i * 450, "t0", "MB", SlaClass::Medium)))
+                .collect::<Vec<_>>()
+        };
+        let mut clean_agg = ReplayAggregate::new();
+        ReplayDriver::new(cfg.clone())
+            .unwrap()
+            .replay(records(), &mut clean_agg)
+            .unwrap();
+        cfg.fault_plan = Some(
+            FaultPlan::new(vec![
+                FaultEvent {
+                    at: 100_000,
+                    kind: FaultKind::ClockThrottle { factor: 0.5 },
+                },
+                FaultEvent {
+                    at: 3_000_000,
+                    kind: FaultKind::ClockThrottle { factor: 1.0 },
+                },
+            ])
+            .unwrap(),
+        );
+        let mut faulted_agg = ReplayAggregate::new();
+        ReplayDriver::new(cfg)
+            .unwrap()
+            .replay(records(), &mut faulted_agg)
+            .unwrap();
+        assert_eq!(faulted_agg.arrivals, clean_agg.arrivals);
+        assert!(
+            faulted_agg.tail.quantile_cycles(0.5) > clean_agg.tail.quantile_cycles(0.5),
+            "a half-speed clock must stretch window latencies"
+        );
     }
 }
