@@ -203,6 +203,7 @@ impl DynamicAllocator {
     /// Panics if the decision does not match the MCT; prefer the
     /// fallible [`resolve_candidate`].
     pub fn resolve<'m>(&self, mct: &'m Mct, dec: &Decision) -> &'m MappingCandidate {
+        // camdn-lint: allow(panic-in-lib, reason = "documented panicking convenience; resolve_candidate is the fallible variant")
         resolve_candidate(mct, dec).expect("decision does not match the MCT")
     }
 }

@@ -129,6 +129,7 @@ pub fn install_region(
             }
             alloc
                 .release(task, &pages)
+                // camdn-lint: allow(panic-in-lib, reason = "rollback of pages this function just reserved; a failure means allocator bookkeeping is already corrupt")
                 .expect("rollback release must succeed");
             Err(e)
         }

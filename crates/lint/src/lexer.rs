@@ -1,0 +1,501 @@
+//! A hand-rolled, dependency-free lexer for (a practical superset of)
+//! Rust source text.
+//!
+//! The lint engine never needs a parse tree — every invariant it
+//! checks is visible in the token stream — so this lexer stays small
+//! and total: it never fails, it just keeps producing tokens until the
+//! input is exhausted. It does, however, get the genuinely tricky
+//! parts of Rust's lexical grammar right, because a lint that
+//! mis-lexes a raw string or a nested comment will hallucinate or miss
+//! findings:
+//!
+//! * raw strings `r"…"` / `r#"…"#` (any number of hashes), raw byte
+//!   strings `br#"…"#`, and C strings `c"…"` / `cr#"…"#`;
+//! * nested block comments `/* /* … */ */`;
+//! * the lifetime-vs-char-literal ambiguity (`'a` vs `'a'` vs `'\''`);
+//! * string/char escapes (`"\""`, `'\u{1F980}'`);
+//! * raw identifiers `r#match`;
+//! * `::` as a single token so path patterns like `Instant::now` are a
+//!   three-token window.
+//!
+//! Comments are kept in the stream (the suppression-directive scanner
+//! reads them); every other consumer filters them out.
+
+/// What a [`Token`] is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// An identifier or keyword (`HashMap`, `fn`, `r#match`).
+    Ident,
+    /// A lifetime (`'a`, `'static`, `'_`) — *not* a char literal.
+    Lifetime,
+    /// A char or byte-char literal (`'x'`, `'\''`, `b'\n'`).
+    CharLit,
+    /// A numeric literal (`42`, `0xFF_u8`, `1.5e-3`).
+    NumLit,
+    /// Any string-like literal (`"…"`, `r#"…"#`, `b"…"`, `c"…"`),
+    /// including its quotes/prefix/hashes in [`Token::text`].
+    StrLit,
+    /// A line comment, including doc comments (`//`, `///`, `//!`).
+    LineComment,
+    /// A block comment, including doc comments (`/* */`, `/** */`),
+    /// with nesting handled.
+    BlockComment,
+    /// Punctuation. One char per token, except `::` which is fused.
+    Punct,
+}
+
+/// One lexed token with its source position (1-based line and column).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    /// Token class.
+    pub kind: TokKind,
+    /// The raw source text of the token.
+    pub text: String,
+    /// 1-based line of the token's first character.
+    pub line: u32,
+    /// 1-based column (in chars) of the token's first character.
+    pub col: u32,
+}
+
+/// Cursor over the source chars with line/column tracking.
+struct Cursor {
+    chars: Vec<char>,
+    pos: usize,
+    line: u32,
+    col: u32,
+}
+
+impl Cursor {
+    fn new(src: &str) -> Self {
+        Cursor {
+            chars: src.chars().collect(),
+            pos: 0,
+            line: 1,
+            col: 1,
+        }
+    }
+
+    fn peek(&self, ahead: usize) -> Option<char> {
+        self.chars.get(self.pos + ahead).copied()
+    }
+
+    /// Like [`Cursor::bump`], for positions the caller has already
+    /// peeked: total, returning NUL at end of input instead of
+    /// panicking (the lint engine must never panic on any input).
+    fn bump_char(&mut self) -> char {
+        self.bump().unwrap_or('\0')
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.chars.get(self.pos).copied()?;
+        self.pos += 1;
+        if c == '\n' {
+            self.line += 1;
+            self.col = 1;
+        } else {
+            self.col += 1;
+        }
+        Some(c)
+    }
+}
+
+fn is_ident_start(c: char) -> bool {
+    c == '_' || c.is_alphabetic()
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c == '_' || c.is_alphanumeric()
+}
+
+/// Lexes `src` into a token stream. Total: never fails; malformed
+/// input (e.g. an unterminated string) yields a final token that runs
+/// to end of input.
+pub fn lex(src: &str) -> Vec<Token> {
+    let mut cur = Cursor::new(src);
+    let mut out = Vec::new();
+    while let Some(c) = cur.peek(0) {
+        let (line, col) = (cur.line, cur.col);
+        if c.is_whitespace() {
+            cur.bump();
+            continue;
+        }
+        let tok = if c == '/' && cur.peek(1) == Some('/') {
+            lex_line_comment(&mut cur)
+        } else if c == '/' && cur.peek(1) == Some('*') {
+            lex_block_comment(&mut cur)
+        } else if let Some(prefix_len) = string_prefix_len(&cur) {
+            lex_string(&mut cur, prefix_len)
+        } else if c == '\'' {
+            lex_quote(&mut cur)
+        } else if c == 'b' && cur.peek(1) == Some('\'') {
+            // Byte char literal b'x'.
+            cur.bump();
+            let mut t = lex_quote(&mut cur);
+            t.text.insert(0, 'b');
+            t
+        } else if is_ident_start(c) {
+            lex_ident(&mut cur)
+        } else if c.is_ascii_digit() {
+            lex_number(&mut cur)
+        } else {
+            lex_punct(&mut cur)
+        };
+        out.push(Token { line, col, ..tok });
+    }
+    out
+}
+
+/// If the cursor sits on a string-literal prefix (`"`, `r"`, `r#"`,
+/// `b"`, `br#"`, `c"`, `cr#"`, …), returns the length of the prefix up
+/// to but excluding the opening quote's hashes — i.e. the number of
+/// chars before the `#*"` part begins. Returns `None` for raw
+/// identifiers like `r#match` and for plain identifiers.
+fn string_prefix_len(cur: &Cursor) -> Option<usize> {
+    let c0 = cur.peek(0)?;
+    if c0 == '"' {
+        return Some(0);
+    }
+    let raw_after = |at: usize| -> bool {
+        // After an `r` at offset `at - 1`: hashes then a quote?
+        let mut i = at;
+        while cur.peek(i) == Some('#') {
+            i += 1;
+        }
+        cur.peek(i) == Some('"')
+    };
+    match c0 {
+        'r' if raw_after(1) => Some(1),
+        'b' | 'c' => match cur.peek(1) {
+            Some('"') => Some(1),
+            Some('r') if raw_after(2) => Some(2),
+            _ => None,
+        },
+        _ => None,
+    }
+}
+
+/// Lexes any string-like literal. `prefix_len` chars of letter prefix
+/// (`r`, `br`, `c`, …) come first; raw forms then carry `#` fences.
+fn lex_string(cur: &mut Cursor, prefix_len: usize) -> Token {
+    let mut text = String::new();
+    let mut raw = false;
+    for _ in 0..prefix_len {
+        let c = cur.bump_char();
+        raw |= c == 'r';
+        text.push(c);
+    }
+    let mut hashes = 0usize;
+    while cur.peek(0) == Some('#') {
+        hashes += 1;
+        text.push(cur.bump_char());
+    }
+    if let Some('"') = cur.peek(0) {
+        text.push(cur.bump_char());
+    }
+    while let Some(c) = cur.bump() {
+        text.push(c);
+        if c == '\\' && !raw {
+            // Escaped next char (e.g. `\"`) can't close the literal.
+            if let Some(e) = cur.bump() {
+                text.push(e);
+            }
+            continue;
+        }
+        if c == '"' {
+            if raw {
+                let mut matched = 0usize;
+                while matched < hashes && cur.peek(0) == Some('#') {
+                    matched += 1;
+                    text.push(cur.bump_char());
+                }
+                if matched == hashes {
+                    break;
+                }
+            } else {
+                break;
+            }
+        }
+    }
+    Token {
+        kind: TokKind::StrLit,
+        text,
+        line: 0,
+        col: 0,
+    }
+}
+
+/// Lexes a `'…` form: a lifetime (`'a`, `'_`) or a char literal
+/// (`'a'`, `'\n'`). The disambiguation rule: after the quote, an
+/// identifier run *not* immediately followed by another quote is a
+/// lifetime; everything else is a char literal.
+fn lex_quote(cur: &mut Cursor) -> Token {
+    let mut text = String::new();
+    text.push(cur.bump_char());
+    match cur.peek(0) {
+        Some(c) if is_ident_start(c) => {
+            // Could be `'a` (lifetime) or `'a'` (char). Look past the
+            // identifier run for a closing quote.
+            let mut len = 1;
+            while cur.peek(len).is_some_and(is_ident_continue) {
+                len += 1;
+            }
+            if cur.peek(len) == Some('\'') {
+                for _ in 0..=len {
+                    text.push(cur.bump_char());
+                }
+                Token {
+                    kind: TokKind::CharLit,
+                    text,
+                    line: 0,
+                    col: 0,
+                }
+            } else {
+                for _ in 0..len {
+                    text.push(cur.bump_char());
+                }
+                Token {
+                    kind: TokKind::Lifetime,
+                    text,
+                    line: 0,
+                    col: 0,
+                }
+            }
+        }
+        _ => {
+            // Char literal with an escape or punctuation payload:
+            // consume to the closing quote, honoring `\`.
+            while let Some(c) = cur.bump() {
+                text.push(c);
+                if c == '\\' {
+                    if let Some(e) = cur.bump() {
+                        text.push(e);
+                    }
+                    continue;
+                }
+                if c == '\'' {
+                    break;
+                }
+            }
+            Token {
+                kind: TokKind::CharLit,
+                text,
+                line: 0,
+                col: 0,
+            }
+        }
+    }
+}
+
+fn lex_line_comment(cur: &mut Cursor) -> Token {
+    let mut text = String::new();
+    while let Some(c) = cur.peek(0) {
+        if c == '\n' {
+            break;
+        }
+        text.push(cur.bump_char());
+    }
+    Token {
+        kind: TokKind::LineComment,
+        text,
+        line: 0,
+        col: 0,
+    }
+}
+
+fn lex_block_comment(cur: &mut Cursor) -> Token {
+    let mut text = String::new();
+    let mut depth = 0usize;
+    while let Some(c) = cur.bump() {
+        text.push(c);
+        if c == '/' && cur.peek(0) == Some('*') {
+            text.push(cur.bump_char());
+            depth += 1;
+        } else if c == '*' && cur.peek(0) == Some('/') {
+            text.push(cur.bump_char());
+            depth -= 1;
+            if depth == 0 {
+                break;
+            }
+        }
+    }
+    Token {
+        kind: TokKind::BlockComment,
+        text,
+        line: 0,
+        col: 0,
+    }
+}
+
+fn lex_ident(cur: &mut Cursor) -> Token {
+    let mut text = String::new();
+    text.push(cur.bump_char());
+    // Raw identifier `r#match` (string prefixes were ruled out by the
+    // caller, so `r#` here can only start a raw ident).
+    if text == "r" && cur.peek(0) == Some('#') && cur.peek(1).is_some_and(is_ident_start) {
+        text.push(cur.bump_char());
+    }
+    while cur.peek(0).is_some_and(is_ident_continue) {
+        text.push(cur.bump_char());
+    }
+    Token {
+        kind: TokKind::Ident,
+        text,
+        line: 0,
+        col: 0,
+    }
+}
+
+fn lex_number(cur: &mut Cursor) -> Token {
+    let mut text = String::new();
+    let mut seen_dot = false;
+    while let Some(c) = cur.peek(0) {
+        if c.is_ascii_alphanumeric() || c == '_' {
+            // Covers digits, base prefixes (0x…), suffixes (u64), and
+            // exponents (1e9). `1e-3` loses its `-` to a Punct token,
+            // which is fine for linting purposes.
+            text.push(cur.bump_char());
+        } else if c == '.' && !seen_dot && cur.peek(1).is_some_and(|d| d.is_ascii_digit()) {
+            // `1.5` continues the literal; `0..n` does not (the char
+            // after the dot is another dot, not a digit).
+            seen_dot = true;
+            text.push(cur.bump_char());
+        } else {
+            break;
+        }
+    }
+    Token {
+        kind: TokKind::NumLit,
+        text,
+        line: 0,
+        col: 0,
+    }
+}
+
+fn lex_punct(cur: &mut Cursor) -> Token {
+    let c = cur.bump_char();
+    let mut text = String::from(c);
+    if c == ':' && cur.peek(0) == Some(':') {
+        text.push(cur.bump_char());
+    }
+    Token {
+        kind: TokKind::Punct,
+        text,
+        line: 0,
+        col: 0,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokKind, String)> {
+        lex(src).into_iter().map(|t| (t.kind, t.text)).collect()
+    }
+
+    #[test]
+    fn raw_strings_with_hashes() {
+        let toks = kinds(r####"let s = r#"a "quoted" b"#; x"####);
+        assert!(toks.contains(&(TokKind::StrLit, r###"r#"a "quoted" b"#"###.into())));
+        assert_eq!(toks.last().unwrap().1, "x");
+    }
+
+    #[test]
+    fn raw_string_hash_fence_must_match() {
+        // A lone `"#` inside an `r##"…"##` literal does not close it.
+        let src = "r##\"one \"# two\"## tail";
+        let toks = kinds(src);
+        assert_eq!(toks[0], (TokKind::StrLit, "r##\"one \"# two\"##".into()));
+        assert_eq!(toks[1], (TokKind::Ident, "tail".into()));
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let toks = kinds("a /* outer /* inner */ still comment */ b");
+        assert_eq!(toks[0].1, "a");
+        assert_eq!(toks[1].0, TokKind::BlockComment);
+        assert_eq!(toks[2].1, "b");
+    }
+
+    #[test]
+    fn lifetime_vs_char() {
+        let toks = kinds("fn f<'a>(x: &'a str) { let c = 'a'; let e = '\\''; }");
+        let lifetimes: Vec<_> = toks.iter().filter(|t| t.0 == TokKind::Lifetime).collect();
+        let chars: Vec<_> = toks.iter().filter(|t| t.0 == TokKind::CharLit).collect();
+        assert_eq!(lifetimes.len(), 2);
+        assert!(lifetimes.iter().all(|t| t.1 == "'a"));
+        assert_eq!(chars.len(), 2);
+        assert_eq!(chars[0].1, "'a'");
+        assert_eq!(chars[1].1, "'\\''");
+    }
+
+    #[test]
+    fn static_lifetime_and_underscore() {
+        let toks = kinds("&'static str; &'_ T");
+        assert!(toks.contains(&(TokKind::Lifetime, "'static".into())));
+        assert!(toks.contains(&(TokKind::Lifetime, "'_".into())));
+    }
+
+    #[test]
+    fn string_escapes_do_not_close() {
+        let toks = kinds(r#"let s = "a \" b"; done"#);
+        assert!(toks.contains(&(TokKind::StrLit, r#""a \" b""#.into())));
+        assert!(toks.contains(&(TokKind::Ident, "done".into())));
+    }
+
+    #[test]
+    fn byte_and_c_strings() {
+        let toks = kinds(r##"b"bytes" br#"raw bytes"# c"cstr" b'\n'"##);
+        assert_eq!(toks[0], (TokKind::StrLit, r#"b"bytes""#.into()));
+        assert_eq!(toks[1], (TokKind::StrLit, r##"br#"raw bytes"#"##.into()));
+        assert_eq!(toks[2], (TokKind::StrLit, r#"c"cstr""#.into()));
+        assert_eq!(toks[3], (TokKind::CharLit, "b'\\n'".into()));
+    }
+
+    #[test]
+    fn raw_identifier_is_ident_not_string() {
+        let toks = kinds("let r#match = r#move; r#\"raw\"#");
+        assert!(toks.contains(&(TokKind::Ident, "r#match".into())));
+        assert!(toks.contains(&(TokKind::Ident, "r#move".into())));
+        assert!(toks.contains(&(TokKind::StrLit, "r#\"raw\"#".into())));
+    }
+
+    #[test]
+    fn path_sep_is_one_token() {
+        let toks = kinds("std::time::Instant::now()");
+        let seps = toks.iter().filter(|t| t.1 == "::").count();
+        assert_eq!(seps, 3);
+        // And a lone `:` stays single.
+        let toks = kinds("let x: u8 = 0;");
+        assert!(toks.contains(&(TokKind::Punct, ":".into())));
+    }
+
+    #[test]
+    fn numbers_and_ranges() {
+        let toks = kinds("for i in 0..10 { let f = 1.5e3; let h = 0xFF_u8; }");
+        assert!(toks.contains(&(TokKind::NumLit, "0".into())));
+        assert!(toks.contains(&(TokKind::NumLit, "10".into())));
+        assert!(toks.contains(&(TokKind::NumLit, "1.5e3".into())));
+        assert!(toks.contains(&(TokKind::NumLit, "0xFF_u8".into())));
+    }
+
+    #[test]
+    fn positions_are_one_based_and_track_lines() {
+        let toks = lex("ab\n  cd");
+        assert_eq!((toks[0].line, toks[0].col), (1, 1));
+        assert_eq!((toks[1].line, toks[1].col), (2, 3));
+    }
+
+    #[test]
+    fn unterminated_string_is_total() {
+        let toks = kinds("let s = \"never closed");
+        assert_eq!(toks.last().unwrap().0, TokKind::StrLit);
+    }
+
+    #[test]
+    fn line_comments_kept() {
+        let toks = kinds("x // trailing note\ny");
+        assert_eq!(toks[1], (TokKind::LineComment, "// trailing note".into()));
+        assert_eq!(toks[2].1, "y");
+    }
+}

@@ -1,0 +1,162 @@
+//! Report rendering: the `camdn-lint-report/1` JSON document and the
+//! compiler-style text listing. JSON is hand-rolled (this crate is
+//! dependency-free) with deterministic field and finding order.
+
+use std::fmt::Write as _;
+
+use crate::engine::{Finding, Lint, LintReport};
+
+/// Escapes a string for a JSON document.
+fn esc(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Renders the machine-readable report (schema `camdn-lint-report/1`).
+///
+/// Shape: a `totals` block, per-lint finding counts under `lints`
+/// (every lint present, fired or not), and the full sorted `findings`
+/// array — suppressed findings included, carrying their reasons, so
+/// the artifact records *why* each exception exists.
+pub fn to_json(report: &LintReport, root: &str) -> String {
+    let mut s = String::new();
+    s.push_str("{\n");
+    let _ = writeln!(s, "  \"schema\": \"camdn-lint-report/1\",");
+    let _ = writeln!(s, "  \"root\": \"{}\",", esc(root));
+    let _ = writeln!(s, "  \"files_scanned\": {},", report.files_scanned);
+    let total = report.findings.len();
+    let live = report.unsuppressed().count();
+    let _ = writeln!(
+        s,
+        "  \"totals\": {{\"findings\": {total}, \"unsuppressed\": {live}, \"suppressed\": {}}},",
+        total - live
+    );
+    s.push_str("  \"lints\": {\n");
+    for (i, lint) in Lint::ALL.into_iter().enumerate() {
+        let (u, q) = report.counts(lint);
+        let comma = if i + 1 == Lint::ALL.len() { "" } else { "," };
+        let _ = writeln!(
+            s,
+            "    \"{}\": {{\"unsuppressed\": {u}, \"suppressed\": {q}}}{comma}",
+            lint.name()
+        );
+    }
+    s.push_str("  },\n");
+    s.push_str("  \"findings\": [\n");
+    for (i, f) in report.findings.iter().enumerate() {
+        let comma = if i + 1 == report.findings.len() {
+            ""
+        } else {
+            ","
+        };
+        let reason = match &f.reason {
+            Some(r) => format!("\"{}\"", esc(r)),
+            None => "null".to_string(),
+        };
+        let _ = writeln!(
+            s,
+            "    {{\"lint\": \"{}\", \"file\": \"{}\", \"line\": {}, \"col\": {}, \
+             \"suppressed\": {}, \"reason\": {reason}, \"message\": \"{}\"}}{comma}",
+            f.lint.name(),
+            esc(&f.file),
+            f.line,
+            f.col,
+            f.suppressed,
+            esc(&f.message),
+        );
+    }
+    s.push_str("  ]\n}\n");
+    s
+}
+
+/// Renders one finding as a `file:line:col: lint: message` line.
+pub fn text_line(f: &Finding) -> String {
+    format!(
+        "{}:{}:{}: {}: {}",
+        f.file,
+        f.line,
+        f.col,
+        f.lint.name(),
+        f.message
+    )
+}
+
+/// Renders the one-line run summary.
+pub fn summary_line(report: &LintReport) -> String {
+    let live = report.unsuppressed().count();
+    let quiet = report.findings.len() - live;
+    format!(
+        "camdn-lint: {} files scanned, {live} unsuppressed finding{} ({quiet} suppressed)",
+        report.files_scanned,
+        if live == 1 { "" } else { "s" }
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::{Finding, Lint, LintReport};
+
+    fn sample() -> LintReport {
+        LintReport {
+            findings: vec![
+                Finding {
+                    lint: Lint::PanicInLib,
+                    file: "crates/x/src/lib.rs".into(),
+                    line: 3,
+                    col: 9,
+                    message: "`.unwrap()` in library code".into(),
+                    suppressed: false,
+                    reason: None,
+                },
+                Finding {
+                    lint: Lint::NondetIter,
+                    file: "crates/x/src/lib.rs".into(),
+                    line: 7,
+                    col: 1,
+                    message: "`HashMap` with \"quotes\"".into(),
+                    suppressed: true,
+                    reason: Some("lookup only".into()),
+                },
+            ],
+            files_scanned: 2,
+        }
+    }
+
+    #[test]
+    fn json_counts_and_escaping() {
+        let json = to_json(&sample(), ".");
+        assert!(json.contains("\"schema\": \"camdn-lint-report/1\""));
+        assert!(
+            json.contains("\"totals\": {\"findings\": 2, \"unsuppressed\": 1, \"suppressed\": 1}")
+        );
+        assert!(json.contains("\"panic-in-lib\": {\"unsuppressed\": 1, \"suppressed\": 0}"));
+        assert!(json.contains("\"reason\": \"lookup only\""));
+        assert!(json.contains("\\\"quotes\\\""));
+        // Every lint appears even with zero findings.
+        assert!(json.contains("\"crate-hygiene\": {\"unsuppressed\": 0, \"suppressed\": 0}"));
+    }
+
+    #[test]
+    fn text_rendering() {
+        let r = sample();
+        assert_eq!(
+            text_line(&r.findings[0]),
+            "crates/x/src/lib.rs:3:9: panic-in-lib: `.unwrap()` in library code"
+        );
+        assert!(summary_line(&r).contains("1 unsuppressed finding (1 suppressed)"));
+    }
+}

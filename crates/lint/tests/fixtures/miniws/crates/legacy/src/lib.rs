@@ -1,0 +1,11 @@
+// camdn-lint: allow(crate-hygiene, reason = "grandfathered pre-lint crate; cleanup tracked separately")
+//! Legacy fixture crate: no inner attributes at all, excused by the
+//! directive on line one. Also hosts the two bad-directive cases.
+
+// camdn-lint: allow(not-a-lint, reason = "malformed on purpose: unknown lint name")
+fn nothing() {}
+
+// camdn-lint: allow(panic-in-lib, reason = "stale on purpose: the panic below was fixed")
+fn fixed() -> u32 {
+    7
+}

@@ -1,0 +1,8 @@
+//! Bin fixture: panicking escape hatches are allowed in binaries,
+//! which own their process exit.
+
+fn main() {
+    let arg = std::env::args().nth(1).unwrap();
+    let n: u32 = arg.parse().expect("usage: tool <n>");
+    let _ = n;
+}

@@ -1,0 +1,44 @@
+//! Golden lexer input: every construct that has historically broken
+//! hand-rolled Rust lexers, in one file. Never compiled — only lexed.
+
+fn lifetimes<'a, 'b: 'a>(x: &'a str, y: &'b str) -> &'a str {
+    let c: char = 'a';
+    let esc = '\'';
+    let nl = '\n';
+    let uni = '\u{1F980}';
+    let _ = 'b';
+    x
+}
+
+fn strings() {
+    let plain = "with \"escaped\" quotes and a \\ backslash";
+    let raw = r"no escapes \n here";
+    let hashed = r#"contains "quotes" freely"#;
+    let two = r##"even a "# inside"##;
+    let bytes = b"\x00\xFF";
+    let raw_bytes = br#"raw "bytes""#;
+}
+
+/* block comment
+   /* nested block comment with code-like text: fn f() { '"' } */
+   still in the outer comment */
+fn after_comments() {}
+
+fn numbers() {
+    let a = 0..10;
+    let b = 1.5e3_f64;
+    let c = 0xFF_u8;
+    let d = 0b1010;
+    let t = (1, 2).0;
+}
+
+fn r#match(r#type: u32) -> u32 {
+    r#type
+}
+
+mod paths {
+    use std::time::Instant; // trailing line comment
+    fn f() {
+        let _ = Instant::now();
+    }
+}

@@ -25,6 +25,7 @@ use crate::candidate::MappingCandidate;
 use crate::layer_mapper::{lwm_ladder, map_model_with, MapperConfig, ModelMapping};
 use camdn_common::config::NpuConfig;
 use camdn_models::{Layer, Model};
+// camdn-lint: allow(nondet-iter, reason = "keyed memo; entries are only get/insert by key, never iterated, and the keys are not Ord")
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
@@ -112,7 +113,9 @@ pub struct PlanCacheStats {
 /// ```
 #[derive(Default)]
 pub struct PlanCache {
+    // camdn-lint: allow(nondet-iter, reason = "keyed memo; entries are only get/insert by key, never iterated, and the keys are not Ord")
     models: Mutex<HashMap<ModelKey, Arc<ModelMapping>>>,
+    // camdn-lint: allow(nondet-iter, reason = "keyed memo; entries are only get/insert by key, never iterated, and the keys are not Ord")
     ladders: Mutex<HashMap<LadderKey, Arc<Vec<MappingCandidate>>>>,
     model_hits: AtomicU64,
     model_misses: AtomicU64,
@@ -137,6 +140,7 @@ impl PlanCache {
             layers: model.layers.clone(),
             cfg: ConfigKey::of(cfg),
         };
+        // camdn-lint: allow(panic-in-lib, reason = "Mutex poisoning only follows a panic on another thread; propagating it would mask that panic")
         if let Some(hit) = self.models.lock().expect("plan cache lock").get(&key) {
             self.model_hits.fetch_add(1, Ordering::Relaxed);
             return Arc::clone(hit);
@@ -145,6 +149,7 @@ impl PlanCache {
         let mapping = Arc::new(map_model_with(model, cfg, &mut |layer, cfg| {
             self.ladder(layer, cfg)
         }));
+        // camdn-lint: allow(panic-in-lib, reason = "Mutex poisoning only follows a panic on another thread; propagating it would mask that panic")
         let mut models = self.models.lock().expect("plan cache lock");
         // A concurrent miss may have inserted first; keep that value so
         // every holder shares one Arc.
@@ -163,12 +168,14 @@ impl PlanCache {
             cu_levels: cfg.cu_levels.clone(),
             est_bw_bits: cfg.est_bw_bytes_per_cycle.to_bits(),
         };
+        // camdn-lint: allow(panic-in-lib, reason = "Mutex poisoning only follows a panic on another thread; propagating it would mask that panic")
         if let Some(hit) = self.ladders.lock().expect("plan cache lock").get(&key) {
             self.layer_hits.fetch_add(1, Ordering::Relaxed);
             return hit.as_ref().clone();
         }
         self.layer_misses.fetch_add(1, Ordering::Relaxed);
         let solved = Arc::new(lwm_ladder(layer, cfg));
+        // camdn-lint: allow(panic-in-lib, reason = "Mutex poisoning only follows a panic on another thread; propagating it would mask that panic")
         let mut ladders = self.ladders.lock().expect("plan cache lock");
         ladders.entry(key).or_insert(solved).as_ref().clone()
     }
@@ -185,6 +192,7 @@ impl PlanCache {
 
     /// Number of whole-model mappings held.
     pub fn models_cached(&self) -> usize {
+        // camdn-lint: allow(panic-in-lib, reason = "Mutex poisoning only follows a panic on another thread; propagating it would mask that panic")
         self.models.lock().expect("plan cache lock").len()
     }
 }

@@ -111,8 +111,10 @@ pub fn tile_grids(layer: &Layer, npu: &NpuConfig) -> (Vec<u64>, Vec<u64>) {
             kept.push(t_ocs[idx]);
             idx = (idx + 1).max(idx * 5 / 4);
         }
-        if *kept.last().unwrap() != *t_ocs.last().unwrap() {
-            kept.push(*t_ocs.last().unwrap());
+        if let (Some(&last_kept), Some(&last_oc)) = (kept.last(), t_ocs.last()) {
+            if last_kept != last_oc {
+                kept.push(last_oc);
+            }
         }
         t_ocs = kept;
     }

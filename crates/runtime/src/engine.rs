@@ -44,7 +44,7 @@ use camdn_mapper::{
 use camdn_models::{Model, WeightClass};
 use camdn_npu::NpuCore;
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -295,6 +295,7 @@ impl Engine {
     pub fn new(cfg: EngineConfig, task_models: &[Model]) -> Self {
         let workload = Workload::closed(task_models.to_vec(), cfg.rounds_per_task);
         Engine::with_policy(cfg.params(), builtin_policy(cfg.policy), &workload, None)
+            // camdn-lint: allow(panic-in-lib, reason = "deprecated pre-builder shim; its documented contract is to panic on invalid configs")
             .expect("invalid engine configuration")
     }
 
@@ -362,7 +363,7 @@ impl Engine {
         // sweep's plan cache, once per *grid* rather than per cell).
         let mut models: Vec<Model> = Vec::new();
         let mut mappings: Vec<Arc<ModelMapping>> = Vec::new();
-        let mut index: HashMap<String, usize> = HashMap::new();
+        let mut index: BTreeMap<String, usize> = BTreeMap::new();
         let mut tasks = Vec::with_capacity(task_models.len());
         for (tid, m) in task_models.iter().enumerate() {
             let midx = *index.entry(m.name.clone()).or_insert_with(|| {
@@ -401,6 +402,7 @@ impl Engine {
             rounds_target.push(if closed_loop {
                 workload
                     .rounds_hint()
+                    // camdn-lint: allow(panic-in-lib, reason = "closed_loop is true only for workloads built with a fixed round count, so rounds_hint is Some")
                     .expect("closed-loop workloads carry a fixed round count")
             } else {
                 sched.len() as u32
@@ -521,6 +523,7 @@ impl Engine {
         // event at-or-past a boundary observes the state *at* it.
         let sample_every = self.params.queue_sample_cycles;
         let mut next_sample = sample_every.unwrap_or(0);
+        // camdn-lint: allow(wall-clock-in-sim, reason = "max_wall budget guard: wall time only decides when to stop, never what the simulation computes")
         let wall_start = Instant::now();
         let mut wall_tick = 0u32;
         while let Some((now, tid)) = self.events.pop() {
@@ -1529,8 +1532,10 @@ pub fn simulate(cfg: EngineConfig, task_models: &[Model]) -> crate::result::RunR
     let workload = Workload::closed(task_models.to_vec(), cfg.rounds_per_task);
     Engine::with_policy(cfg.params(), builtin_policy(cfg.policy), &workload, None)
         .and_then(|mut e| e.run())
+        // camdn-lint: allow(panic-in-lib, reason = "deprecated pre-builder shim; its documented contract is to panic on failure")
         .expect("simulation failed")
         .legacy_result()
+        // camdn-lint: allow(panic-in-lib, reason = "the legacy EngineConfig path always requests per-task detail")
         .expect("the legacy params always retain the per-task table")
 }
 

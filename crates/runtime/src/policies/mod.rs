@@ -287,6 +287,7 @@ where
 {
     global_registry()
         .write()
+        // camdn-lint: allow(panic-in-lib, reason = "RwLock poisoning only follows a panic on another thread; propagating it would mask that panic")
         .expect("policy registry poisoned")
         .register(name, factory);
 }
@@ -295,6 +296,7 @@ where
 pub fn create_policy(name: &str) -> Result<Box<dyn Policy>, EngineError> {
     global_registry()
         .read()
+        // camdn-lint: allow(panic-in-lib, reason = "RwLock poisoning only follows a panic on another thread; propagating it would mask that panic")
         .expect("policy registry poisoned")
         .create(name)
 }
@@ -303,6 +305,7 @@ pub fn create_policy(name: &str) -> Result<Box<dyn Policy>, EngineError> {
 pub fn registered_policies() -> Vec<String> {
     global_registry()
         .read()
+        // camdn-lint: allow(panic-in-lib, reason = "RwLock poisoning only follows a panic on another thread; propagating it would mask that panic")
         .expect("policy registry poisoned")
         .names()
 }

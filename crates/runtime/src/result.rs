@@ -349,6 +349,7 @@ impl RunOutput {
     /// [`RunOutput::try_tasks`] for a non-panicking variant.
     pub fn tasks(&self) -> &[TaskSummary] {
         self.try_tasks()
+            // camdn-lint: allow(panic-in-lib, reason = "documented panicking accessor; try_tasks is the fallible variant")
             .expect("run was summary-only; request DetailLevel::Tasks or ::Full")
     }
 

@@ -103,6 +103,7 @@ pub fn run_cells_into(
                     // panics), but un-poison rather than die.
                     Err(poisoned) => poisoned.into_inner().take(),
                 };
+                // camdn-lint: allow(wall-clock-in-sim, reason = "reported wall_s bookkeeping only; simulated results never read it and bit-for-bit comparisons exclude it")
                 let t0 = Instant::now();
                 let outcome = match builder {
                     Some(b) => run_one(b),

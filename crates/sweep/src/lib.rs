@@ -96,7 +96,7 @@ use camdn_runtime::{
     DetailLevel, EngineError, FaultPlan, PolicyKind, RunOutput, Simulation, SimulationBuilder,
     Workload,
 };
-use std::collections::HashSet;
+use std::collections::BTreeSet;
 use std::path::Path;
 use std::sync::Arc;
 use std::time::Instant;
@@ -376,7 +376,7 @@ impl SweepBuilder {
         let budget = self.memory_budget;
         let prepared = self.prepare()?;
         let mut memory = MemorySink::new(prepared.axes.clone(), budget);
-        let info = prepared.execute(&mut memory, &HashSet::new())?;
+        let info = prepared.execute(&mut memory, &BTreeSet::new())?;
         Ok(assemble(info, memory))
     }
 
@@ -399,7 +399,7 @@ impl SweepBuilder {
             jsonl,
             inner: &mut memory,
         };
-        let info = prepared.execute(&mut tee, &HashSet::new())?;
+        let info = prepared.execute(&mut tee, &BTreeSet::new())?;
         tee.jsonl.finish()?;
         Ok(assemble(info, memory))
     }
@@ -430,7 +430,7 @@ impl SweepBuilder {
         // the original, so a kill *during resume* can never lose cells
         // that already survived the first kill; fresh cells then append
         // to the renamed log.
-        let mut skip = HashSet::new();
+        let mut skip = BTreeSet::new();
         let mut replay = Vec::new();
         for (coord, run, wall_s) in recorded {
             if skip.insert(coord) {
@@ -467,7 +467,7 @@ impl SweepBuilder {
     /// time, plan-cache statistics); everything per-cell went through
     /// the sink.
     pub fn run_with_sink(self, cell_sink: &mut dyn CellSink) -> Result<SweepInfo, EngineError> {
-        self.prepare()?.execute(cell_sink, &HashSet::new())
+        self.prepare()?.execute(cell_sink, &BTreeSet::new())
     }
 
     /// Validates the grid and expands the cross-product into cell
@@ -647,7 +647,7 @@ impl PreparedGrid {
     fn execute(
         self,
         cell_sink: &mut dyn CellSink,
-        skip: &HashSet<CellCoord>,
+        skip: &BTreeSet<CellCoord>,
     ) -> Result<SweepInfo, EngineError> {
         let mut run_coords = Vec::with_capacity(self.builders.len());
         let mut run_builders = Vec::with_capacity(self.builders.len());
@@ -659,6 +659,7 @@ impl PreparedGrid {
         }
         let threads = exec::resolve_threads(self.threads, run_builders.len());
         let cells_run = run_builders.len();
+        // camdn-lint: allow(wall-clock-in-sim, reason = "reported wall_s bookkeeping only; simulated results never read it and bit-for-bit comparisons exclude it")
         let t0 = Instant::now();
         run_cells_into(run_builders, Some(threads), &mut |i, run| {
             cell_sink.on_cell(run_coords[i], run);
@@ -773,7 +774,7 @@ pub fn bursty_ramp(
 }
 
 /// Position of a cell on every axis (indices into [`SweepAxes`]).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct CellCoord {
     /// Index into [`SweepAxes::policies`].
     pub policy: usize,

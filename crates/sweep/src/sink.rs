@@ -29,7 +29,7 @@ use camdn_common::stats::Welford;
 use camdn_runtime::{
     EngineError, LatencyTail, RunOutput, RunSummary, LATENCY_HIST_BUCKETS, LATENCY_HIST_EDGES,
 };
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::fmt::Write as _;
 use std::io::Write as _;
 use std::path::{Path, PathBuf};
@@ -642,7 +642,7 @@ struct SeedGroup {
 /// [`SweepResult`]: crate::SweepResult
 #[derive(Debug, Default)]
 pub struct SeedAggregate {
-    groups: HashMap<CellCoord, SeedGroup>,
+    groups: BTreeMap<CellCoord, SeedGroup>,
 }
 
 impl SeedAggregate {

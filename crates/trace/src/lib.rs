@@ -48,6 +48,7 @@
 //! ```
 
 #![warn(missing_docs)]
+#![deny(deprecated)]
 
 pub mod gen;
 pub mod replay;

@@ -28,7 +28,7 @@ use camdn_runtime::{
 };
 use camdn_runtime::{RunOutput, Workload};
 use camdn_sweep::jsonl::{esc, field, jnum, parse_flat_object, JsonVal};
-use std::collections::{BTreeMap, BTreeSet, HashMap};
+use std::collections::{BTreeMap, BTreeSet};
 use std::fmt::Write as _;
 use std::io::Write as _;
 use std::path::{Path, PathBuf};
@@ -427,7 +427,7 @@ pub struct ReplayDriver {
     cfg: ReplayConfig,
     plan_cache: Arc<PlanCache>,
     /// Deadline-scaled model clones, keyed by (model string, class).
-    model_cache: HashMap<(String, SlaClass), Model>,
+    model_cache: BTreeMap<(String, SlaClass), Model>,
 }
 
 impl ReplayDriver {
@@ -437,7 +437,7 @@ impl ReplayDriver {
         Ok(ReplayDriver {
             cfg,
             plan_cache: Arc::new(PlanCache::new()),
-            model_cache: HashMap::new(),
+            model_cache: BTreeMap::new(),
         })
     }
 
