@@ -13,12 +13,24 @@
 //! the hot loop, and the cycles-per-second figures tracked per commit
 //! would expose any regression there.
 //!
+//! Besides the wall clocks, each scenario row carries a
+//! `tag_pass_frac` estimate — the scenario re-run in the cache's
+//! tag-pass-only diagnostic mode ([`SimulationBuilder::tag_pass_only`])
+//! and its wall clock divided by the batched wall clock — and the
+//! `tag_bound_sweep_w*` family re-times the contention workload across
+//! ways counts at a fixed 16 MiB footprint, so a tag-pass regression
+//! shows up per lane width, not just in aggregate.
+//!
+//! [`SimulationBuilder::tag_pass_only`]: camdn_runtime::SimulationBuilder::tag_pass_only
+//!
 //! Usage: `cargo run --release -p camdn-bench --bin throughput`
 //!
 //! * `CAMDN_QUICK=1` — reduced scenario sizes (CI smoke mode).
 //! * `CAMDN_BENCH_OUT=<path>` — output path (default `BENCH_engine.json`).
 
 use camdn_bench::{quick_mode, speedup_workload};
+use camdn_cache::TAG_LANE_WIDTH;
+use camdn_common::config::SocConfig;
 use camdn_models::zoo;
 use camdn_runtime::{PolicyKind, RunOutput, Simulation, Workload};
 use camdn_sweep::run_cells;
@@ -27,6 +39,17 @@ struct Scenario {
     name: &'static str,
     policy: PolicyKind,
     workload: Workload,
+    soc: SocConfig,
+}
+
+/// The Table II SoC with the shared cache re-diced to `ways` ways at
+/// the same 16 MiB footprint (sets shrink as ways grow) and the NPU
+/// subspace kept at its paper 3/4 share.
+fn soc_with_ways(ways: u32) -> SocConfig {
+    let mut soc = SocConfig::paper_default();
+    soc.cache.ways = ways;
+    soc.cache.npu_ways = ways * 3 / 4;
+    soc
 }
 
 fn scenarios(quick: bool) -> Vec<Scenario> {
@@ -49,11 +72,12 @@ fn scenarios(quick: bool) -> Vec<Scenario> {
     } else {
         Workload::poisson(zoo::all(), 0.05, 100.0)
     };
-    vec![
+    let mut v = vec![
         Scenario {
             name: "small_closed",
             policy: PolicyKind::SharedBaseline,
             workload: Workload::closed(small, rounds),
+            soc: SocConfig::paper_default(),
         },
         Scenario {
             // The paper's own system on the heavy end of the zoo: big
@@ -63,6 +87,7 @@ fn scenarios(quick: bool) -> Vec<Scenario> {
             name: "large_tensor_multi_tenant",
             policy: PolicyKind::CamdnFull,
             workload: Workload::closed(large.clone(), 2),
+            soc: SocConfig::paper_default(),
         },
         Scenario {
             // Same tenants through the transparent baseline: every line
@@ -70,42 +95,73 @@ fn scenarios(quick: bool) -> Vec<Scenario> {
             // (shared) tag pass rather than the batched memory pass.
             name: "baseline_contention",
             policy: PolicyKind::SharedBaseline,
-            workload: Workload::closed(large, 2),
+            workload: Workload::closed(large.clone(), 2),
+            soc: SocConfig::paper_default(),
         },
         Scenario {
             name: "open_loop_poisson",
             policy: PolicyKind::CamdnFull,
             workload: open,
+            soc: SocConfig::paper_default(),
         },
-    ]
+    ];
+    // The tag-bound family: the contention workload re-diced across
+    // set × way splits of the same 16 MiB footprint. Each ways count
+    // monomorphizes a different tag-compare lane width, so a lane-level
+    // regression is visible even when the 16-way headline number holds.
+    for (name, ways) in [
+        ("tag_bound_sweep_w4", 4u32),
+        ("tag_bound_sweep_w8", 8),
+        ("tag_bound_sweep_w16", 16),
+    ] {
+        v.push(Scenario {
+            name,
+            policy: PolicyKind::SharedBaseline,
+            workload: Workload::closed(large.clone(), 2),
+            soc: soc_with_ways(ways),
+        });
+    }
+    v
 }
 
-/// Runs one scenario through both memory models on the sweep executor
-/// (one worker: the wall-clock numbers must not contend), returning
-/// `(reference, batched)` with per-cell wall seconds.
-fn run_pair(sc: &Scenario) -> ((RunOutput, f64), (RunOutput, f64)) {
-    let mk = |reference| {
+/// Runs one scenario through both memory models plus the tag-pass-only
+/// diagnostic on the sweep executor (one worker: the wall-clock numbers
+/// must not contend), returning `(reference, batched, tag_only_wall)`
+/// with per-cell wall seconds.
+fn run_trio(sc: &Scenario) -> ((RunOutput, f64), (RunOutput, f64), f64) {
+    let mk = |reference, tag_only| {
         Simulation::builder()
+            .soc(sc.soc)
             .policy(sc.policy)
             .workload(sc.workload.clone())
             .reference_model(reference)
+            .tag_pass_only(tag_only)
     };
-    // Reference (seed-equivalent per-line path) first, then batched.
-    let mut runs = run_cells(vec![mk(true), mk(false)], Some(1));
+    // Reference (seed-equivalent per-line path) first, then batched,
+    // then the batched tag pass alone (timings meaningless, wall real).
+    let mut runs = run_cells(
+        vec![mk(true, false), mk(false, false), mk(false, true)],
+        Some(1),
+    );
+    let tag_only = runs.pop().expect("tag-only cell");
     let fast = runs.pop().expect("batched cell");
     let reference = runs.pop().expect("reference cell");
     let unwrap = |name: &str, r: camdn_sweep::CellRun| match r.outcome {
         Ok(result) => (result, r.wall_s),
         Err(e) => panic!("{}: {} run failed: {e}", sc.name, name),
     };
-    (unwrap("reference", reference), unwrap("batched", fast))
+    (
+        unwrap("reference", reference),
+        unwrap("batched", fast),
+        unwrap("tag-only", tag_only).1,
+    )
 }
 
 fn main() {
     let quick = quick_mode();
     let mut rows = Vec::new();
     for sc in scenarios(quick) {
-        let ((r_ref, wall_ref), (r_fast, wall_fast)) = run_pair(&sc);
+        let ((r_ref, wall_ref), (r_fast, wall_fast), wall_tag) = run_trio(&sc);
         let identical = r_ref == r_fast;
         assert!(
             identical,
@@ -123,6 +179,7 @@ fn main() {
             sc.name
         );
         let summary_only = Simulation::builder()
+            .soc(sc.soc)
             .policy(sc.policy)
             .workload(sc.workload.clone())
             .detail(camdn_runtime::DetailLevel::Summary)
@@ -137,9 +194,14 @@ fn main() {
         let cps_fast = sim_cycles as f64 / wall_fast.max(1e-9);
         let cps_ref = sim_cycles as f64 / wall_ref.max(1e-9);
         let speedup = cps_fast / cps_ref.max(1e-9);
+        // The tag-only run replays a (behaviorally different) simulation
+        // with the memory pass elided, so its wall over the batched wall
+        // is an estimate, clamped into [0, 1] against clock noise.
+        let tag_pass_frac = (wall_tag / wall_fast.max(1e-9)).clamp(0.0, 1.0);
+        let lane_width = (sc.soc.cache.ways as usize).min(TAG_LANE_WIDTH);
         println!(
-            "{:<28} {:>12} sim-cycles  batched {:>10.3e} cyc/s  reference {:>10.3e} cyc/s  speedup {:>5.2}x",
-            sc.name, sim_cycles, cps_fast, cps_ref, speedup
+            "{:<24} {:>12} sim-cycles  batched {:>10.3e} cyc/s  reference {:>10.3e} cyc/s  speedup {:>5.2}x  tag-frac {:.2}",
+            sc.name, sim_cycles, cps_fast, cps_ref, speedup, tag_pass_frac
         );
         rows.push(format!(
             concat!(
@@ -153,6 +215,8 @@ fn main() {
                 "      \"cycles_per_sec_batched\": {:.1},\n",
                 "      \"cycles_per_sec_reference\": {:.1},\n",
                 "      \"speedup\": {:.3},\n",
+                "      \"tag_pass_frac\": {:.3},\n",
+                "      \"tag_lane_width\": {},\n",
                 "      \"results_identical\": {}\n",
                 "    }}"
             ),
@@ -165,6 +229,8 @@ fn main() {
             cps_fast,
             cps_ref,
             speedup,
+            tag_pass_frac,
+            lane_width,
             identical
         ));
     }

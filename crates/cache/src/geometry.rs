@@ -1,4 +1,5 @@
-//! Cache geometry and physical cache address (`pcaddr`) packing.
+//! Cache geometry, physical cache address (`pcaddr`) packing, and the
+//! shared way-mask / tag-lane primitives.
 //!
 //! Figure 5(b) of the paper divides a `pcaddr` into four bit fields, from
 //! low to high: **byte offset | slice index | set index | way index**.
@@ -6,9 +7,209 @@
 //! for higher cache bandwidth utilization, and a 32 KiB cache page is a
 //! contiguous `pcaddr` range that occupies one way across a block of sets
 //! in every slice.
+//!
+//! # Way masks
+//!
+//! Both the transparent path ([`SharedCache`](crate::SharedCache)) and
+//! the NPU-controlled subspace ([`Nec`](crate::Nec)) split the ways the
+//! same way: the **highest** `npu_ways` ways belong to the NPU subspace,
+//! the rest stay general-purpose. [`CacheGeometry::full_way_mask`],
+//! [`CacheGeometry::npu_way_mask`] and [`CacheGeometry::first_npu_way`]
+//! are the single definition of that split — there is deliberately no
+//! second `1 << w` loop anywhere else in the crate.
+//!
+//! # Tag lanes
+//!
+//! The transparent cache stores per-way state as SoA planes (see
+//! `transparent.rs`); the primitives over those planes live here as
+//! unsafe-free lane helpers. Tag compares are [`eq_mask`] /
+//! [`eq_mask_n`]; the `_n` variant is monomorphized per ways count (a
+//! fixed trip count is what lets LLVM lower the compare to
+//! `pcmpeqd`-class vector code on the baseline x86-64 target), and the
+//! slice variant dispatches to it for every power-of-two ways count,
+//! falling back to a scalar loop otherwise.
+//!
+//! # LRU order words
+//!
+//! Recency is kept as one packed `u64` per set instead of a per-way
+//! stamp lane: nibble `r` holds the way index at recency rank `r`
+//! (rank 0 = least recently used, rank `ways − 1` = most recently
+//! used), nibbles at and above `ways` stay zero, and the low `ways`
+//! nibbles always form a permutation of `0..ways`. Exact LRU in
+//! 8 bytes per set: a touch rotates one nibble to the top
+//! ([`lru_touch`]), the victim scan reads nibbles from the bottom
+//! ([`lru_victim`]), and the rank lookup is a branch-free SWAR
+//! zero-nibble find ([`lru_rank_of`]). Replacing the 32-bit stamp
+//! plane with this word is what cut the tag pass's per-touch memory
+//! traffic — the stamp scheme also needed a periodic rank-compaction
+//! pass, which the order word makes structurally unnecessary.
 
 use camdn_common::config::CacheConfig;
 use serde::{Deserialize, Serialize};
+
+/// Maximum ways count the lane helpers accept (and the widest fixed
+/// specialization): way masks are `u16`, and the LRU order word packs
+/// one 4-bit way index per recency rank.
+pub const TAG_LANE_WIDTH: usize = 16;
+
+/// Fixed-width core of [`eq_mask`]: bit `w` of the result is set iff
+/// `tags[w] == probe`. `N` is at most [`TAG_LANE_WIDTH`]. Generic over
+/// the lane word (the transparent cache stores `u16` tags; tests also
+/// exercise `u32` lanes) — a fixed `N` and a sized element is all LLVM
+/// needs to emit the packed compare.
+#[inline]
+#[must_use]
+pub fn eq_mask_n<T: PartialEq + Copy, const N: usize>(tags: &[T; N], probe: T) -> u32 {
+    const {
+        assert!(N <= TAG_LANE_WIDTH, "way mask wider than 16 bits");
+    }
+    let mut m = 0u32;
+    let mut w = 0;
+    while w < N {
+        m |= u32::from(tags[w] == probe) << w;
+        w += 1;
+    }
+    m
+}
+
+/// Bitmask of ways whose stored tag equals `probe`.
+///
+/// `tags` is one set's way-tag lane (way 0 first, at most
+/// [`TAG_LANE_WIDTH`] ways); bit `w` of the result is set iff
+/// `tags[w] == probe`. Callers mask the result with the set's occupancy
+/// bitset and the lookup's way mask — lanes of invalid ways hold stale
+/// values and may spuriously match here.
+///
+/// Dispatches to the monomorphized [`eq_mask_n`] for every power-of-two
+/// ways count; other (legal but unused) counts take the scalar loop.
+#[inline]
+#[must_use]
+pub fn eq_mask<T: PartialEq + Copy>(tags: &[T], probe: T) -> u32 {
+    debug_assert!(tags.len() <= TAG_LANE_WIDTH);
+    match tags.len() {
+        16 => {
+            if let Some(t) = tags.first_chunk::<16>() {
+                return eq_mask_n(t, probe);
+            }
+        }
+        8 => {
+            if let Some(t) = tags.first_chunk::<8>() {
+                return eq_mask_n(t, probe);
+            }
+        }
+        4 => {
+            if let Some(t) = tags.first_chunk::<4>() {
+                return eq_mask_n(t, probe);
+            }
+        }
+        2 => {
+            if let Some(t) = tags.first_chunk::<2>() {
+                return eq_mask_n(t, probe);
+            }
+        }
+        _ => {}
+    }
+    let mut m = 0u32;
+    for (w, &t) in tags.iter().enumerate() {
+        m |= u32::from(t == probe) << w;
+    }
+    m
+}
+
+/// Mask of the `n` lowest ways (`n ≤ 16`).
+#[inline]
+fn low_way_mask(n: u32) -> u16 {
+    debug_assert!(n <= 16);
+    if n >= 16 {
+        u16::MAX
+    } else {
+        (1u16 << n) - 1
+    }
+}
+
+/// Low `4 * ways` bits set — the nibbles an LRU order word may use.
+#[inline]
+#[must_use]
+fn lru_nibble_mask(ways: u32) -> u64 {
+    debug_assert!(0 < ways && ways as usize <= TAG_LANE_WIDTH);
+    if ways >= 16 {
+        u64::MAX
+    } else {
+        (1u64 << (4 * ways)) - 1
+    }
+}
+
+/// The identity LRU order word for a `ways`-way set: way `r` at rank
+/// `r`, so way 0 is the LRU and way `ways − 1` the MRU. The state a
+/// set's recency order starts from when it materializes.
+#[inline]
+#[must_use]
+pub fn lru_identity(ways: u32) -> u64 {
+    0xFEDC_BA98_7654_3210 & lru_nibble_mask(ways)
+}
+
+/// Recency rank of `way` in `order` — the index of the nibble holding
+/// `way`, found with a branch-free SWAR zero-nibble scan.
+///
+/// `way` must be present in `order`'s permutation (every way of the set
+/// is, by the order-word invariant). The XOR against a broadcast of
+/// `way` zeroes exactly that nibble; the classic `(y − 0x11…1) & !y &
+/// 0x88…8` detector can raise spurious flags only *above* the lowest
+/// genuine zero (borrows propagate upward), so the lowest set flag is
+/// exact.
+#[inline]
+#[must_use]
+pub fn lru_rank_of(order: u64, way: u32) -> u32 {
+    let y = order ^ u64::from(way).wrapping_mul(0x1111_1111_1111_1111);
+    let zeros = y.wrapping_sub(0x1111_1111_1111_1111) & !y & 0x8888_8888_8888_8888;
+    zeros.trailing_zeros() >> 2
+}
+
+/// Rotates the way at `rank` out of `order` and reinserts it at the
+/// MRU rank (`ways − 1`): nibbles below `rank` keep their place,
+/// nibbles above slide down one rank, `way` lands on top.
+///
+/// `way` must be the value stored at `rank` (callers that just scanned
+/// or looked it up already know both).
+#[inline]
+#[must_use]
+pub fn lru_promote(order: u64, rank: u32, way: u32, ways: u32) -> u64 {
+    debug_assert!(rank < ways && ways as usize <= TAG_LANE_WIDTH);
+    debug_assert_eq!((order >> (4 * rank)) & 0xF, u64::from(way));
+    let below = (1u64 << (4 * rank)) - 1;
+    // Nibbles at and above `ways` are zero, so the slide cannot pull
+    // garbage into the top rank.
+    ((order & below) | ((order >> 4) & !below)) | (u64::from(way) << (4 * (ways - 1)))
+}
+
+/// Marks `way` most recently used: [`lru_rank_of`] + [`lru_promote`].
+#[inline]
+#[must_use]
+pub fn lru_touch(order: u64, way: u32, ways: u32) -> u64 {
+    lru_promote(order, lru_rank_of(order, way), way, ways)
+}
+
+/// The least recently used way among the ways in `allowed`, with its
+/// rank — the nibble scan from the LRU end, stopping at the first
+/// allowed way.
+///
+/// `allowed` must intersect the set's ways; with the common full mask
+/// the scan exits on the first nibble. An `allowed` that covers no way
+/// (callers guarantee non-empty masks) returns `(0, 0)` — documented
+/// total behavior, like the rest of the lane helpers.
+#[inline]
+#[must_use]
+pub fn lru_victim(order: u64, allowed: u32) -> (u32, u32) {
+    let mut o = order;
+    for rank in 0..TAG_LANE_WIDTH as u32 {
+        let way = (o & 0xF) as u32;
+        if (allowed >> way) & 1 != 0 {
+            return (way, rank);
+        }
+        o >>= 4;
+    }
+    (0, 0)
+}
 
 /// A decoded physical cache address: which line of which slice/set/way,
 /// plus the byte offset within the line.
@@ -103,6 +304,33 @@ impl CacheGeometry {
             way,
             offset,
         }
+    }
+
+    /// Bit mask over all ways.
+    #[inline]
+    pub fn full_way_mask(&self) -> u16 {
+        debug_assert!(self.ways <= 16, "way masks are u16");
+        if self.ways == 16 {
+            u16::MAX
+        } else {
+            (1u16 << self.ways) - 1
+        }
+    }
+
+    /// First way of the NPU subspace when the **highest** `npu_ways`
+    /// ways are reserved for it — the single definition of the
+    /// general/NPU way split shared by the transparent path and the NEC.
+    #[inline]
+    pub fn first_npu_way(&self, npu_ways: u32) -> u32 {
+        debug_assert!(npu_ways <= self.ways);
+        self.ways - npu_ways
+    }
+
+    /// Mask of the ways reserved for the NPU subspace (the highest
+    /// `npu_ways` ways; `0` when nothing is reserved).
+    #[inline]
+    pub fn npu_way_mask(&self, npu_ways: u32) -> u16 {
+        self.full_way_mask() & !low_way_mask(self.first_npu_way(npu_ways))
     }
 
     /// Lines per cache page.
@@ -253,6 +481,197 @@ mod tests {
                 mb * MIB,
                 "page count must cover the full cache at {mb} MiB"
             );
+        }
+    }
+
+    #[test]
+    fn way_mask_helpers_agree_across_way_counts() {
+        for ways in [1u32, 2, 4, 8, 16] {
+            let cfg = CacheConfig {
+                ways,
+                npu_ways: 0,
+                ..CacheConfig::paper_default()
+            };
+            let g = CacheGeometry::new(&cfg);
+            assert_eq!(g.full_way_mask().count_ones(), ways);
+            for npu in 0..=ways {
+                let m = g.npu_way_mask(npu);
+                assert_eq!(m.count_ones(), npu, "ways={ways} npu={npu}");
+                // The reserved ways are exactly the highest ones.
+                for w in 0..ways {
+                    let reserved = w >= g.first_npu_way(npu);
+                    assert_eq!(m & (1 << w) != 0, reserved, "ways={ways} npu={npu} w={w}");
+                }
+                assert_eq!(m & g.full_way_mask(), m, "mask stays inside real ways");
+            }
+        }
+    }
+
+    // --- tag-lane helpers (vector compare + LRU order words) ---------
+
+    /// Scalar oracle for `eq_mask`.
+    fn eq_mask_scalar(tags: &[u32], probe: u32) -> u32 {
+        tags.iter()
+            .enumerate()
+            .map(|(w, &t)| u32::from(t == probe) << w)
+            .fold(0, |m, b| m | b)
+    }
+
+    #[test]
+    fn eq_mask_matches_scalar_on_lane_edges() {
+        // Every lane position of every supported ways count, including
+        // the scalar tail lane of a direct-mapped (ways = 1) set and
+        // matches straddling chunk boundaries.
+        for ways in [1usize, 2, 3, 4, 5, 8, 15, 16] {
+            let mut tags: Vec<u32> = (0..ways as u32).map(|w| 0x40_0000 + w * 7).collect();
+            for probe_way in 0..ways {
+                let probe = tags[probe_way];
+                assert_eq!(
+                    eq_mask(&tags, probe),
+                    eq_mask_scalar(&tags, probe),
+                    "ways={ways} probe_way={probe_way}"
+                );
+                assert_eq!(eq_mask(&tags, probe), 1 << probe_way);
+            }
+            // No match at all, and a probe differing only in the lane
+            // sign bit (the SWAR carry path's edge).
+            assert_eq!(eq_mask(&tags, 0xDEAD_BEEF), 0);
+            tags[0] = 0x8000_0000;
+            assert_eq!(eq_mask(&tags, 0x8000_0000), 1);
+            assert_eq!(eq_mask(&tags, 0), 0, "sign-bit lane must not alias zero");
+        }
+    }
+
+    #[test]
+    fn eq_mask_reports_duplicate_and_extreme_lanes() {
+        // Duplicate tags (the same line cached in two ways under
+        // disjoint way masks) must all report; callers pick the first.
+        let tags = [5u32, 9, 5, 5, u32::MAX, 0, u32::MAX, 5];
+        assert_eq!(eq_mask(&tags, 5), 0b1000_1101);
+        assert_eq!(eq_mask(&tags, u32::MAX), 0b0101_0000);
+        assert_eq!(eq_mask(&tags, 0), 0b0010_0000);
+        assert_eq!(eq_mask::<u32>(&[], 7), 0, "empty lane set matches nothing");
+        // The u16 instantiation (the transparent cache's tag width),
+        // including both u16 extremes in one chunk.
+        let narrow = [5u16, u16::MAX, 0, 5, 5, 9, u16::MAX, 5];
+        assert_eq!(eq_mask(&narrow, 5), 0b1001_1001);
+        assert_eq!(eq_mask(&narrow, u16::MAX), 0b0100_0010);
+        assert_eq!(eq_mask(&narrow, 0), 0b0000_0100);
+    }
+
+    /// Reads an order word back into a rank-ordered way list.
+    fn order_to_vec(order: u64, ways: u32) -> Vec<u32> {
+        (0..ways)
+            .map(|r| ((order >> (4 * r)) & 0xF) as u32)
+            .collect()
+    }
+
+    #[test]
+    fn lru_identity_is_the_identity_permutation() {
+        for ways in [1u32, 2, 3, 4, 5, 8, 15, 16] {
+            let id = lru_identity(ways);
+            assert_eq!(order_to_vec(id, ways), (0..ways).collect::<Vec<_>>());
+            // Nibbles at and above `ways` stay zero.
+            if ways < 16 {
+                assert_eq!(id >> (4 * ways), 0, "ways={ways}");
+            }
+        }
+    }
+
+    #[test]
+    fn lru_touch_rotates_one_way_to_the_mru_rank() {
+        // 4 ways, order LRU→MRU = [2, 0, 3, 1].
+        let order = 0x1302u64;
+        assert_eq!(lru_rank_of(order, 2), 0);
+        assert_eq!(lru_rank_of(order, 0), 1);
+        assert_eq!(lru_rank_of(order, 1), 3);
+        // Touch the LRU way: everything slides down one rank.
+        assert_eq!(order_to_vec(lru_touch(order, 2, 4), 4), vec![0, 3, 1, 2]);
+        // Touch a middle way.
+        assert_eq!(order_to_vec(lru_touch(order, 3, 4), 4), vec![2, 0, 1, 3]);
+        // Touch the MRU way: a fixed point.
+        assert_eq!(lru_touch(order, 1, 4), order);
+        // Way 15 at the top lane of a full-width word (the SWAR scan's
+        // all-ones edge).
+        let full = lru_identity(16);
+        assert_eq!(lru_rank_of(full, 15), 15);
+        assert_eq!(lru_touch(full, 15, 16), full);
+        assert_eq!(lru_rank_of(lru_touch(full, 0, 16), 0), 15);
+    }
+
+    #[test]
+    fn lru_victim_scans_from_the_lru_end() {
+        // 8 ways, order LRU→MRU = [5, 2, 7, 0, 1, 3, 4, 6].
+        let order = 0x6431_0725u64;
+        assert_eq!(lru_victim(order, 0xFF), (5, 0));
+        // Disallowing the LRU way moves to the next rank.
+        assert_eq!(lru_victim(order, 0xFF & !(1 << 5)), (2, 1));
+        // A single allowed way is found at its own rank.
+        assert_eq!(lru_victim(order, 1 << 6), (6, 7));
+        // Degenerate empty mask: documented total behavior.
+        assert_eq!(lru_victim(order, 0), (0, 0));
+    }
+
+    #[test]
+    fn lru_order_words_match_a_list_oracle() {
+        // Deterministic pseudo-random touch/evict traffic per ways
+        // count, mirrored against a Vec-based recency list.
+        let mut x = 0x9E37_79B9u32;
+        let mut next = move || {
+            x ^= x << 13;
+            x ^= x >> 17;
+            x ^= x << 5;
+            x
+        };
+        for ways in [1u32, 2, 3, 4, 5, 8, 11, 16] {
+            let mut order = lru_identity(ways);
+            let mut oracle: Vec<u32> = (0..ways).collect();
+            for trial in 0..400 {
+                let way = next() % ways;
+                if next() & 1 == 0 {
+                    // Touch: move `way` to the back (MRU) of the list.
+                    assert_eq!(
+                        lru_rank_of(order, way),
+                        oracle.iter().position(|&w| w == way).unwrap() as u32,
+                        "ways={ways} trial={trial}"
+                    );
+                    order = lru_touch(order, way, ways);
+                    oracle.retain(|&w| w != way);
+                    oracle.push(way);
+                } else {
+                    // Evict under a random non-empty mask, then promote
+                    // the victim (what a fill does).
+                    let allowed = {
+                        let m = next() & (u32::from(u16::MAX) >> (16 - ways));
+                        if m == 0 {
+                            1
+                        } else {
+                            m
+                        }
+                    };
+                    let (vw, vr) = lru_victim(order, allowed);
+                    let want = oracle
+                        .iter()
+                        .position(|&w| (allowed >> w) & 1 != 0)
+                        .unwrap();
+                    assert_eq!(
+                        (vw, vr),
+                        (oracle[want], want as u32),
+                        "ways={ways} trial={trial} allowed={allowed:#b}"
+                    );
+                    order = lru_promote(order, vr, vw, ways);
+                    oracle.retain(|&w| w != vw);
+                    oracle.push(vw);
+                }
+                assert_eq!(
+                    order_to_vec(order, ways),
+                    oracle,
+                    "ways={ways} trial={trial}"
+                );
+                if ways < 16 {
+                    assert_eq!(order >> (4 * ways), 0, "ways={ways} trial={trial}");
+                }
+            }
         }
     }
 

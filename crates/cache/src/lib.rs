@@ -42,6 +42,6 @@ pub mod geometry;
 pub mod nec;
 pub mod transparent;
 
-pub use geometry::{CacheGeometry, Pcaddr};
+pub use geometry::{CacheGeometry, Pcaddr, TAG_LANE_WIDTH};
 pub use nec::{Nec, NecError, NecStats, TaskId};
-pub use transparent::{CacheStats, RangeOutcome, SharedCache};
+pub use transparent::{CacheScratchPool, CacheStats, RangeOutcome, SharedCache};

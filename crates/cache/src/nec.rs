@@ -140,9 +140,11 @@ impl Nec {
         let geom = CacheGeometry::new(cfg);
         let pages_per_way = geom.pages_per_way();
         let npu_pages = pages_per_way * cfg.npu_ways;
-        // NPU subspace occupies the highest ways; its first page number is
-        // the first page of the first NPU way.
-        let first_pcpn = pages_per_way * (cfg.ways - cfg.npu_ways);
+        // NPU subspace occupies the highest ways (the same ways
+        // `CacheGeometry::npu_way_mask` reserves on the transparent
+        // side); its first page number is the first page of the first
+        // NPU way.
+        let first_pcpn = pages_per_way * geom.first_npu_way(cfg.npu_ways);
         Nec {
             geom,
             hit_latency: cfg.hit_latency,

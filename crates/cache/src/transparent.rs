@@ -10,12 +10,65 @@
 //! mask: a lookup is only allowed to hit/allocate in the ways enabled in
 //! its mask, exactly like the way-mask register CaMDN adds to each slice.
 //!
+//! # SoA tag planes
+//!
+//! Per-way state is stored structure-of-arrays, not as packed per-way
+//! words:
+//!
+//! * `tags` — one `u16` lane per way (`tags[group * ways + way]`),
+//!   holding the line's tag, `line >> log2(groups)`; the set-group index
+//!   `line & (groups − 1)` is implicit in the position. A range access
+//!   asserts its last line's tag fits 16 bits — 512 GiB of address
+//!   space at the paper geometry (task layouts are 1 GiB slabs indexed
+//!   by task id, so even the 256-tenant scaling study sits well under
+//!   the bound). Halving the lane width halves the tag pass's largest
+//!   plane and its per-touch memory traffic.
+//! * `lru` — one packed `u64` **order word** per set: nibble `r` holds
+//!   the way index at recency rank `r` (rank 0 = LRU). Exact LRU in
+//!   8 bytes per set — an order of magnitude less plane traffic than
+//!   the per-way stamp lane it replaced, and with no stamp clock there
+//!   is no overflow and no periodic rank-compaction pass. The victim
+//!   is the lowest-ranked allowed way; ranks of *occupied* ways always
+//!   equal their last-touch order, so the choice is identical to a
+//!   min-stamp scan.
+//! * `meta` — one packed `u64` per **set**: the occupancy bitset (bit
+//!   `w` = way `w` valid) in the low 16 bits, the dirty bitset above it,
+//!   and the set's generation tag in the high 32 bits. One load serves
+//!   the validity test, the dirtiness test and the staleness check, and
+//!   the tag compare masks spurious matches from invalid ways with the
+//!   occupancy bits instead of a sentinel tag value.
+//!
+//! Tag lanes of invalid ways hold stale garbage by design: `occ` is the
+//! source of truth (invalid ways do keep a slot in the order word — the
+//! permutation covers all ways — but their rank is never consulted).
+//! The lane primitives ([`eq_mask`], [`lru_touch`], [`lru_victim`])
+//! live in [`geometry`](crate::geometry) and are shared, unsafe-free
+//! SWAR over `u64` words.
+//!
+//! # Generation counters
+//!
+//! Each set's meta word carries a generation tag; a set is **live**
+//! iff that tag equals `cur_gen`, otherwise it is *stale* — logically
+//! empty, its tag/order/occupancy lanes all garbage. Invariants:
+//!
+//! * `cur_gen` only moves forward; every flush (`invalidate_all`,
+//!   cache construction, plane reuse from a [`CacheScratchPool`]) bumps
+//!   it, making every set stale in O(1) without touching the planes.
+//! * A stale set is materialized lazily on first touch (occ/dirty reset,
+//!   generation stamped), and the tag pass takes a no-scan fast path for
+//!   it: a known-empty set allocates its first allowed way directly, so
+//!   set-major walks after a flush never re-scan cold tags.
+//! * Set-major maintenance walks ([`SharedCache::partition_ways`],
+//!   [`SharedCache::state_fingerprint`]) skip stale sets outright.
+//! * On the (never observed in practice) `u32` wrap of `cur_gen`, the
+//!   generation plane is hard-reset so staleness stays unambiguous.
+//!
 //! # Batched range accesses
 //!
 //! [`SharedCache::access_range`] simulates a whole transfer in two
 //! passes instead of one fused per-line loop:
 //!
-//! 1. a **tag pass** walks the tag array once, applying LRU updates and
+//! 1. a **tag pass** walks the tag planes once, applying LRU updates and
 //!    collecting the transfer's outcome as a compact event tape — runs
 //!    of consecutive missing lines plus interleaved dirty-victim
 //!    writebacks (a cold multi-MB tensor is a *single* run);
@@ -28,12 +81,16 @@
 //! ([`SharedCache::set_reference_model`]); differential tests here and
 //! in `camdn` assert the two paths are bit-identical.
 
-use crate::geometry::CacheGeometry;
+use crate::geometry::{
+    eq_mask, eq_mask_n, lru_identity, lru_promote, lru_rank_of, lru_touch, lru_victim,
+    CacheGeometry,
+};
 use camdn_common::config::CacheConfig;
 use camdn_common::stats::Counter;
 use camdn_common::types::{Cycle, PhysAddr};
 use camdn_dram::DramModel;
 use serde::{Deserialize, Serialize};
+use std::sync::{Arc, Mutex};
 
 /// Statistics of the transparent path.
 #[derive(Debug, Clone, Default, Serialize, Deserialize)]
@@ -73,66 +130,12 @@ pub struct RangeOutcome {
     pub writebacks: u64,
 }
 
-/// Sentinel tag of an invalid way (no real line index reaches 2^64−1).
-const INVALID_TAG: u64 = u64::MAX;
-
-/// Outcome of one tag-array touch.
+/// Outcome of one tag-plane touch.
 enum Touch {
     Hit,
-    /// Miss; carries the dirty victim's tag (= line index) if one must
-    /// be written back.
+    /// Miss; carries the dirty victim's line index if one must be
+    /// written back.
     Miss(Option<u64>),
-}
-
-/// Tag lookup and update for one line within one set — `tags` holds the
-/// set's way tags (`INVALID_TAG` when empty), `meta` the packed
-/// `stamp << 2 | dirty << 1 | valid` words. Misses allocate immediately;
-/// dirty victims are reported for the caller to write back. This is the
-/// single source of truth for hit/replacement semantics — both the
-/// batched and the reference paths run it.
-///
-/// Victim selection is `argmin(meta)` over the allowed ways, which is
-/// exactly the LRU rule: an invalid way packs to 0 and beats every valid
-/// way (valid bit set, stamps start at 1), ties cannot occur between
-/// valid ways (stamps are unique), and the first minimum in way order
-/// wins — the same way the original scan broke ties.
-#[inline]
-#[allow(clippy::needless_range_loop)] // explicit indices keep the paired tag/meta scans tight
-fn touch_set(
-    tags: &mut [u64],
-    meta: &mut [u64],
-    way_mask: u16,
-    tag: u64,
-    stamp: u64,
-    is_write: bool,
-) -> Touch {
-    debug_assert!(way_mask != 0, "empty way mask");
-    let wr = (is_write as u64) << 1;
-    let n = tags.len();
-    // First match in way order wins (invalid ways hold INVALID_TAG and
-    // can never match a real line index).
-    for w in 0..n {
-        if tags[w] == tag && way_mask & (1 << w) != 0 {
-            meta[w] = (stamp << 2) | (meta[w] & 2) | wr | 1;
-            return Touch::Hit;
-        }
-    }
-    // Argmin over the allowed ways; strict less keeps the first minimum,
-    // matching the original scan's tie-break.
-    let mut vw = 0usize;
-    let mut vm = u64::MAX;
-    for w in 0..n {
-        if way_mask & (1 << w) != 0 && meta[w] < vm {
-            vm = meta[w];
-            vw = w;
-        }
-    }
-    debug_assert!(vm != u64::MAX, "way mask guarantees at least one candidate");
-    // Valid && dirty victim → write back its line.
-    let wb = if vm & 3 == 3 { Some(tags[vw]) } else { None };
-    tags[vw] = tag;
-    meta[vw] = (stamp << 2) | wr | 1;
-    Touch::Miss(wb)
 }
 
 /// One entry of the tag pass's event tape.
@@ -144,51 +147,237 @@ enum RangeEvent {
     Writeback { victim: u64 },
 }
 
+/// One parked set of SoA planes plus the event tape, ready for reuse.
+#[derive(Debug, Default)]
+struct Planes {
+    tags: Vec<u16>,
+    lru: Vec<u64>,
+    meta: Vec<u64>,
+    /// Highest generation the meta plane has been stamped with; a
+    /// cache reusing these planes starts at `gen + 1`, so every set is
+    /// stale without a single write.
+    gen: u32,
+    tape: Vec<RangeEvent>,
+}
+
+/// A pool of reusable [`SharedCache`] plane allocations.
+///
+/// A cache built with [`SharedCache::with_scratch`] draws its SoA
+/// planes and event tape from the pool and parks them back on drop, so
+/// a worker running many simulations in sequence (a sweep cell worker,
+/// a serving loop) allocates the multi-MB tag planes once instead of
+/// once per cell. The generation-counter invariant makes reuse
+/// *memset-free*: the reused `set_gen` plane keeps its old stamps and
+/// the new cache simply starts one generation later, so every set is
+/// stale — simulated results are bit-for-bit identical to a fresh
+/// allocation (asserted by tests).
+///
+/// Pools are cheap (`Mutex<Vec<..>>`); intended use is one pool per
+/// worker thread, shared only between the consecutive caches that
+/// worker builds.
+#[derive(Debug, Default)]
+pub struct CacheScratchPool {
+    planes: Mutex<Vec<Planes>>,
+}
+
+impl CacheScratchPool {
+    /// An empty pool.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of parked plane sets (diagnostic aid).
+    pub fn idle(&self) -> usize {
+        self.planes.lock().map(|g| g.len()).unwrap_or(0)
+    }
+
+    /// Pops a parked plane set, or a fresh default if the pool is empty
+    /// (or its lock was poisoned — reuse is an optimization, never a
+    /// correctness dependency).
+    fn acquire(&self) -> Planes {
+        self.planes
+            .lock()
+            .ok()
+            .and_then(|mut g| g.pop())
+            .unwrap_or_default()
+    }
+
+    fn release(&self, p: Planes) {
+        if let Ok(mut g) = self.planes.lock() {
+            g.push(p);
+        }
+    }
+}
+
+/// Packs one set's metadata word: occupancy bitset in the low 16
+/// bits, dirty bitset in the next 16, generation tag in the high 32.
+/// One plane word carries all three, so a touch reads and writes a
+/// single 8-byte lane for everything but tags and recency.
+#[inline]
+fn meta_pack(occ: u32, dirty: u32, gen: u32) -> u64 {
+    debug_assert!(occ <= 0xFFFF && dirty <= 0xFFFF);
+    u64::from(occ) | u64::from(dirty) << 16 | u64::from(gen) << 32
+}
+
+/// Occupancy bitset of a packed meta word.
+#[inline]
+fn meta_occ(m: u64) -> u32 {
+    (m & 0xFFFF) as u32
+}
+
+/// Dirty bitset of a packed meta word.
+#[inline]
+fn meta_dirty(m: u64) -> u32 {
+    (m >> 16) as u32 & 0xFFFF
+}
+
+/// Generation tag of a packed meta word.
+#[inline]
+fn meta_gen(m: u64) -> u32 {
+    (m >> 32) as u32
+}
+
+/// Tag-pass accumulator: hit/miss/writeback counters plus the
+/// run/writeback event tape under construction. Shared by the
+/// vectorized segment pass and the scalar fallback so the two paths
+/// cannot drift in how they fold touches into events.
+struct TagAcc {
+    hits: u64,
+    misses: u64,
+    wbs: u64,
+    run_start: Option<u64>,
+    events: Vec<RangeEvent>,
+}
+
+impl TagAcc {
+    #[inline]
+    fn close_run(&mut self, line: u64) {
+        if let Some(s) = self.run_start.take() {
+            self.events.push(RangeEvent::Run {
+                start: s,
+                len: line - s,
+            });
+        }
+    }
+
+    #[inline]
+    fn hit(&mut self, line: u64) {
+        self.hits += 1;
+        self.close_run(line);
+    }
+
+    #[inline]
+    fn miss(&mut self, line: u64, victim: Option<u64>) {
+        self.misses += 1;
+        if let Some(victim) = victim {
+            // The posted write goes out before this line's fill, so it
+            // splits the run.
+            self.wbs += 1;
+            self.close_run(line);
+            self.events.push(RangeEvent::Writeback { victim });
+        }
+        if self.run_start.is_none() {
+            self.run_start = Some(line);
+        }
+    }
+}
+
 /// A sliced, set-associative, write-back/write-allocate shared cache.
+///
+/// See the module docs for the SoA plane layout and the
+/// generation-counter invariants.
 #[derive(Debug, Clone)]
 pub struct SharedCache {
     geom: CacheGeometry,
     hit_latency: Cycle,
     lines_per_cycle: f64,
-    /// Way tags, set-major: `tags[(line % (sets·slices)) * ways + way]`.
+    /// Way-tag lanes, set-major: `tags[(line % groups) * ways + way]`.
     /// Consecutive lines walk this array sequentially (slices are the
     /// low-order index), which is what keeps the tag pass streaming.
-    tags: Vec<u64>,
-    /// Packed `stamp << 2 | dirty << 1 | valid` per way, same indexing.
+    /// `u16` halves the hot pass's dominant plane traffic; every range
+    /// access asserts its tags fit (see `assert_tag_fits`).
+    tags: Vec<u16>,
+    /// Per-set packed LRU order words (nibble `r` = way at recency
+    /// rank `r`; see the geometry module's order-word docs).
+    lru: Vec<u64>,
+    /// Per-set packed meta words (`occ | dirty << 16 | gen << 32`,
+    /// see [`meta_pack`]); the set is live iff its generation field
+    /// equals `cur_gen`, and `dirty` is always a subset of `occ`.
     meta: Vec<u64>,
+    cur_gen: u32,
     /// `ways` (stride from one set group to the next).
     set_stride: usize,
     /// `sets_per_slice * slices − 1`: line → set-group index mask.
     group_mask: u64,
-    lru_clock: u64,
+    /// `log2(groups)`: line → tag shift.
+    group_bits: u32,
     npu_way_mask: u16,
     stats: CacheStats,
     /// Reused tag-pass event tape (no per-call allocation).
     scratch: Vec<RangeEvent>,
     reference: bool,
+    /// Skip the memory pass on range accesses (diagnostic; see
+    /// [`SharedCache::set_tag_pass_only`]).
+    tag_pass_only: bool,
+    /// Planes return here on drop.
+    pool: Option<Arc<CacheScratchPool>>,
 }
 
 impl SharedCache {
     /// Builds a cache from its configuration. Initially no ways are
     /// reserved for the NPU subspace (fully transparent baseline).
     pub fn new(cfg: &CacheConfig) -> Self {
+        Self::build(cfg, None)
+    }
+
+    /// Like [`SharedCache::new`], but drawing the plane allocations
+    /// from (and returning them to) `pool`. Simulated behavior is
+    /// bit-for-bit identical to a fresh cache.
+    pub fn with_scratch(cfg: &CacheConfig, pool: Arc<CacheScratchPool>) -> Self {
+        Self::build(cfg, Some(pool))
+    }
+
+    fn build(cfg: &CacheConfig, pool: Option<Arc<CacheScratchPool>>) -> Self {
         let geom = CacheGeometry::new(cfg);
         let ways = geom.ways as usize;
         let sets = geom.sets_per_slice as usize;
         let groups = geom.slices as usize * sets;
+        let mut planes = match &pool {
+            Some(p) => p.acquire(),
+            None => Planes::default(),
+        };
+        // One generation past anything the reused plane was stamped
+        // with → every set stale, no memset. On the (effectively
+        // unreachable) u32 wrap, hard-reset the plane instead.
+        let cur_gen = match planes.gen.checked_add(1) {
+            Some(g) => g,
+            None => {
+                planes.meta.clear();
+                1
+            }
+        };
+        planes.tags.resize(groups * ways, 0);
+        // Order words are rebuilt from the identity permutation when a
+        // stale set materializes, so reused contents are fine.
+        planes.lru.resize(groups, 0);
+        planes.meta.resize(groups, 0);
         SharedCache {
             geom,
             hit_latency: cfg.hit_latency,
             lines_per_cycle: cfg.lines_per_cycle,
-            tags: vec![INVALID_TAG; groups * ways],
-            meta: vec![0; groups * ways],
+            tags: planes.tags,
+            lru: planes.lru,
+            meta: planes.meta,
+            cur_gen,
             set_stride: ways,
             group_mask: groups as u64 - 1,
-            lru_clock: 0,
+            group_bits: (groups as u64).trailing_zeros(),
             npu_way_mask: 0,
             stats: CacheStats::default(),
-            scratch: Vec::new(),
+            scratch: planes.tape,
             reference: false,
+            tag_pass_only: false,
+            pool,
         }
     }
 
@@ -220,13 +409,19 @@ impl SharedCache {
         self.reference
     }
 
+    /// Diagnostic mode for wall-time attribution (default off): range
+    /// accesses run the tag pass — with all its state transitions — but
+    /// skip the DRAM memory pass, charging only the hit latency and the
+    /// port floor. Simulated timings are NOT meaningful in this mode;
+    /// the throughput harness uses it to estimate what fraction of a
+    /// scenario's wall clock the tag pass accounts for.
+    pub fn set_tag_pass_only(&mut self, enabled: bool) {
+        self.tag_pass_only = enabled;
+    }
+
     /// Bit mask over all ways.
     pub fn full_way_mask(&self) -> u16 {
-        if self.geom.ways == 16 {
-            u16::MAX
-        } else {
-            (1u16 << self.geom.ways) - 1
-        }
+        self.geom.full_way_mask()
     }
 
     /// Mask of ways reserved for the NPU subspace.
@@ -243,44 +438,256 @@ impl SharedCache {
     /// subspace, invalidating any lines they held. Dirty victims are
     /// written back through `dram` at time `now`.
     ///
+    /// The flush walk is set-major and generation-skipped: sets
+    /// untouched since the last flush are known-empty and not scanned.
+    ///
     /// Returns the mask of reserved ways.
     pub fn partition_ways(&mut self, npu_ways: u32, now: Cycle, dram: &mut DramModel) -> u16 {
         assert!(
             npu_ways <= self.geom.ways,
             "cannot reserve more ways than exist"
         );
-        let lo = self.geom.ways - npu_ways;
-        let mut mask = 0u16;
-        for w in lo..self.geom.ways {
-            mask |= 1 << w;
-        }
+        let mask = self.geom.npu_way_mask(npu_ways);
         self.npu_way_mask = mask;
-        // Flush the reserved ways: the NEC takes raw ownership of them.
+        if mask == 0 {
+            return 0;
+        }
+        let clear = u32::from(mask);
         let groups = self.group_mask as usize + 1;
         for g in 0..groups {
-            let base = g * self.set_stride;
-            for way in lo as usize..self.geom.ways as usize {
-                let idx = base + way;
-                if self.meta[idx] & 3 == 3 {
-                    self.stats.writebacks.incr();
-                    // Reconstruct an address in the right channel set;
-                    // exact identity is irrelevant for timing.
-                    let addr = PhysAddr(self.tags[idx] * self.geom.line_bytes);
-                    dram.access_burst(now, addr, 1, true, 0);
-                }
-                self.tags[idx] = INVALID_TAG;
-                self.meta[idx] = 0;
+            let m = self.meta[g];
+            if meta_gen(m) != self.cur_gen {
+                continue; // stale: nothing cached, nothing to flush
             }
+            let base = g * self.set_stride;
+            // Flush the reserved ways: the NEC takes raw ownership of
+            // them. Writebacks go out in way order, as they always have.
+            let mut flush = meta_occ(m) & meta_dirty(m) & clear;
+            while flush != 0 {
+                let w = flush.trailing_zeros();
+                flush &= flush - 1;
+                self.stats.writebacks.incr();
+                // Reconstruct an address in the right channel set;
+                // exact identity is irrelevant for timing.
+                let line = (u64::from(self.tags[base + w as usize]) << self.group_bits) | g as u64;
+                dram.access_burst(now, PhysAddr(line * self.geom.line_bytes), 1, true, 0);
+            }
+            self.meta[g] = meta_pack(meta_occ(m) & !clear, meta_dirty(m) & !clear, self.cur_gen);
         }
         mask
     }
 
-    /// Base index of a line's way group in the flat tag/meta arrays.
-    /// Set groups are line-ordered: `line % (sets·slices)` names the
-    /// group, so streaming ranges touch the arrays sequentially.
+    /// Every range access asserts its tags fit the `u16` lanes — true
+    /// below 512 GiB of address space at the paper geometry (the bound
+    /// scales with the set count for other geometries).
     #[inline]
-    fn group_base(&self, line: u64) -> usize {
-        (line & self.group_mask) as usize * self.set_stride
+    fn assert_tag_fits(&self, last_line: u64) {
+        assert!(
+            last_line >> self.group_bits <= u64::from(u16::MAX),
+            "address range exceeds the 16-bit tag lanes of this geometry"
+        );
+    }
+
+    /// Plane-invariant housekeeping hook, called by the engine at
+    /// scheduling epochs. Never changes simulated results. The packed
+    /// LRU order words need no periodic maintenance (unlike the stamp
+    /// plane they replaced, which had to be rank-compacted here before
+    /// its 32-bit offset overflowed), so in release builds this is
+    /// free; debug builds take the opportunity to sweep the live sets'
+    /// structural invariants.
+    pub fn on_epoch(&mut self) {
+        #[cfg(debug_assertions)]
+        self.debug_check_planes();
+    }
+
+    /// Sweeps every live set's plane invariants: `dirty ⊆ occ`, both
+    /// within the real ways, and the LRU order word a permutation of
+    /// `0..ways` with zero upper nibbles.
+    #[cfg(debug_assertions)]
+    fn debug_check_planes(&self) {
+        let ways = self.set_stride as u32;
+        let full = u32::from(self.full_way_mask());
+        for g in 0..=self.group_mask as usize {
+            let m = self.meta[g];
+            if meta_gen(m) != self.cur_gen {
+                continue;
+            }
+            debug_assert_eq!(meta_occ(m) & !full, 0, "occ outside real ways: set {g}");
+            debug_assert_eq!(meta_dirty(m) & !meta_occ(m), 0, "dirty ⊄ occ: set {g}");
+            let mut seen = 0u32;
+            let mut o = self.lru[g];
+            for _ in 0..ways {
+                seen |= 1 << (o & 0xF);
+                o >>= 4;
+            }
+            debug_assert_eq!(o, 0, "upper order nibbles not zero: set {g}");
+            debug_assert_eq!(seen, full, "order word not a permutation: set {g}");
+        }
+    }
+
+    /// Tag lookup and update for one line within its set — the single
+    /// source of truth for hit/replacement semantics; both the batched
+    /// and the reference paths run it.
+    ///
+    /// Hit rule: first way in way order with `tag match ∧ occupied ∧
+    /// allowed` wins (a matching way outside the mask is skipped).
+    /// Victim rule: the first invalid allowed way in way order, else
+    /// the lowest-ranked allowed way of the set's LRU order word —
+    /// occupied ways rank in last-touch order, so this is exactly the
+    /// min-stamp LRU rule. Every touched way is promoted to the MRU
+    /// rank.
+    #[inline]
+    fn touch(&mut self, line: u64, is_write: bool, mask: u32) -> Touch {
+        debug_assert!(mask != 0, "empty way mask");
+        let ways = self.set_stride as u32;
+        let g = (line & self.group_mask) as usize;
+        let tag = (line >> self.group_bits) as u16;
+        let base = g * self.set_stride;
+        let wr = u32::from(is_write);
+        let m = self.meta[g];
+        if meta_gen(m) != self.cur_gen {
+            // Stale since the last flush: known-empty, no tag scan —
+            // materialize and allocate the first allowed way directly.
+            let w = mask.trailing_zeros();
+            self.tags[base + w as usize] = tag;
+            self.lru[g] = lru_touch(lru_identity(ways), w, ways);
+            self.meta[g] = meta_pack(1 << w, wr << w, self.cur_gen);
+            return Touch::Miss(None);
+        }
+        let occ = meta_occ(m);
+        let dirty = meta_dirty(m);
+        let lanes = &self.tags[base..base + self.set_stride];
+        let hits = eq_mask(lanes, tag) & occ & mask;
+        if hits != 0 {
+            let w = hits.trailing_zeros();
+            self.lru[g] = lru_touch(self.lru[g], w, ways);
+            self.meta[g] = m | u64::from(wr << w) << 16;
+            return Touch::Hit;
+        }
+        let invalid = !occ & mask;
+        let (w, rank) = if invalid != 0 {
+            let w = invalid.trailing_zeros();
+            (w, lru_rank_of(self.lru[g], w))
+        } else {
+            lru_victim(self.lru[g], mask)
+        };
+        let wi = base + w as usize;
+        let wb = if invalid == 0 && (dirty >> w) & 1 != 0 {
+            Some((u64::from(self.tags[wi]) << self.group_bits) | g as u64)
+        } else {
+            None
+        };
+        self.tags[wi] = tag;
+        self.lru[g] = lru_promote(self.lru[g], rank, w, ways);
+        self.meta[g] = meta_pack(occ | 1 << w, (dirty & !(1 << w)) | wr << w, self.cur_gen);
+        Touch::Miss(wb)
+    }
+
+    /// Scalar tag pass: per-line [`SharedCache::touch`] calls folded
+    /// into `acc`. The fallback for ways counts with no monomorphized
+    /// lane width.
+    fn tag_pass_scalar(
+        &mut self,
+        first: u64,
+        last: u64,
+        is_write: bool,
+        mask: u32,
+        acc: &mut TagAcc,
+    ) {
+        for line in first..=last {
+            match self.touch(line, is_write, mask) {
+                Touch::Hit => acc.hit(line),
+                Touch::Miss(victim) => acc.miss(line, victim),
+            }
+        }
+    }
+
+    /// Monomorphized segment tag pass — the vectorized hot path.
+    ///
+    /// Consecutive lines map to consecutive set groups (the group index
+    /// is the line's low bits), so the range is walked as contiguous
+    /// group segments split only at the group-index wrap. Within a
+    /// segment the pass zips linear iterators over the SoA planes —
+    /// `as_chunks_mut::<N>` exposes each set's tag lane as a fixed
+    /// `[u32; N]`, which is what lets the compare ([`eq_mask_n`]) lower
+    /// to vector code and drops all per-line index arithmetic and
+    /// bounds checks. The stored tag (`line >> group_bits`) is constant
+    /// across a segment and hoisted, as is the order word a stale set
+    /// materializes with (the mask's first way promoted over the
+    /// identity permutation).
+    ///
+    /// Precondition (checked by the caller): `N == set_stride`.
+    /// Behavior is line-for-line identical to [`SharedCache::touch`] —
+    /// the differential property tests hold the two paths together.
+    fn tag_pass_n<const N: usize>(
+        &mut self,
+        first: u64,
+        last: u64,
+        is_write: bool,
+        mask: u32,
+        acc: &mut TagAcc,
+    ) {
+        debug_assert_eq!(self.set_stride, N);
+        debug_assert!(mask != 0, "empty way mask");
+        let groups = self.group_mask as usize + 1;
+        let cur_gen = self.cur_gen;
+        let wr = u32::from(is_write);
+        let gb = self.group_bits;
+        let ways = N as u32;
+        let first_way = mask.trailing_zeros();
+        let stale_order = lru_touch(lru_identity(ways), first_way, ways);
+        let stale_meta = meta_pack(1 << first_way, wr << first_way, cur_gen);
+        let mut line = first;
+        while line <= last {
+            let g0 = (line & self.group_mask) as usize;
+            let seg = (groups - g0).min((last - line + 1) as usize);
+            let tag = (line >> gb) as u16;
+            let (tag_sets, _) = self.tags[g0 * N..(g0 + seg) * N].as_chunks_mut::<N>();
+            let planes = tag_sets
+                .iter_mut()
+                .zip(self.lru[g0..g0 + seg].iter_mut())
+                .zip(self.meta[g0..g0 + seg].iter_mut());
+            for (i, ((ts, order), meta)) in planes.enumerate() {
+                let ln = line + i as u64;
+                let m = *meta;
+                if meta_gen(m) != cur_gen {
+                    // Stale since the last flush: known-empty, no tag
+                    // scan — allocate the first allowed way directly.
+                    ts[first_way as usize] = tag;
+                    *order = stale_order;
+                    *meta = stale_meta;
+                    acc.miss(ln, None);
+                    continue;
+                }
+                let occ = meta_occ(m);
+                let hits = eq_mask_n(ts, tag) & occ & mask;
+                if hits != 0 {
+                    let w = hits.trailing_zeros();
+                    *order = lru_touch(*order, w, ways);
+                    *meta = m | u64::from(wr << w) << 16;
+                    acc.hit(ln);
+                    continue;
+                }
+                let dirty = meta_dirty(m);
+                let invalid = !occ & mask;
+                let (w, rank) = if invalid != 0 {
+                    let w = invalid.trailing_zeros();
+                    (w, lru_rank_of(*order, w))
+                } else {
+                    lru_victim(*order, mask)
+                };
+                let victim = if invalid == 0 && (dirty >> w) & 1 != 0 {
+                    Some((u64::from(ts[w as usize]) << gb) | (g0 + i) as u64)
+                } else {
+                    None
+                };
+                ts[w as usize] = tag;
+                *order = lru_promote(*order, rank, w, ways);
+                *meta = meta_pack(occ | 1 << w, (dirty & !(1 << w)) | wr << w, cur_gen);
+                acc.miss(ln, victim);
+            }
+            line += seg as u64;
+        }
     }
 
     /// Tag lookup and update for one line: returns `(hit, writeback)`,
@@ -291,18 +698,9 @@ impl SharedCache {
         is_write: bool,
         way_mask: u16,
     ) -> (bool, Option<PhysAddr>) {
-        let tag = addr.line_index(self.geom.line_bytes);
-        self.lru_clock += 1;
-        let base = self.group_base(tag);
-        let end = base + self.set_stride;
-        match touch_set(
-            &mut self.tags[base..end],
-            &mut self.meta[base..end],
-            way_mask,
-            tag,
-            self.lru_clock,
-            is_write,
-        ) {
+        let line = addr.line_index(self.geom.line_bytes);
+        self.assert_tag_fits(line);
+        match self.touch(line, is_write, u32::from(way_mask)) {
             Touch::Hit => {
                 self.stats.hits.incr();
                 (true, None)
@@ -314,9 +712,9 @@ impl SharedCache {
                 // exactly what the NEC's explicit cache-write /
                 // bypass-write semantics provide.
                 self.stats.fills.incr();
-                let wb = victim.map(|tag| {
+                let wb = victim.map(|line| {
                     self.stats.writebacks.incr();
-                    PhysAddr(tag * self.geom.line_bytes)
+                    PhysAddr(line * self.geom.line_bytes)
                 });
                 (false, wb)
             }
@@ -404,67 +802,55 @@ impl SharedCache {
         let lb = self.geom.line_bytes;
         let first = base.line_index(lb);
         let last = base.offset(bytes - 1).line_index(lb);
+        self.assert_tag_fits(last);
         let lines = last - first + 1;
+        let mask = u32::from(way_mask);
 
         // --- tag pass -------------------------------------------------
         let mut events = std::mem::take(&mut self.scratch);
         events.clear();
-        let (mut hits, mut misses, mut wbs) = (0u64, 0u64, 0u64);
-        let mut run_start: Option<u64> = None;
-        let set_stride = self.set_stride;
-        for line in first..=last {
-            let idx = (line & self.group_mask) as usize * set_stride;
-            self.lru_clock += 1;
-            let end = idx + set_stride;
-            match touch_set(
-                &mut self.tags[idx..end],
-                &mut self.meta[idx..end],
-                way_mask,
-                line,
-                self.lru_clock,
-                is_write,
-            ) {
-                Touch::Hit => {
-                    hits += 1;
-                    if let Some(s) = run_start.take() {
-                        events.push(RangeEvent::Run {
-                            start: s,
-                            len: line - s,
-                        });
-                    }
-                }
-                Touch::Miss(victim) => {
-                    misses += 1;
-                    if let Some(victim) = victim {
-                        // The posted write goes out before this line's
-                        // fill, so it splits the run.
-                        wbs += 1;
-                        if let Some(s) = run_start.take() {
-                            events.push(RangeEvent::Run {
-                                start: s,
-                                len: line - s,
-                            });
-                        }
-                        events.push(RangeEvent::Writeback { victim });
-                    }
-                    if run_start.is_none() {
-                        run_start = Some(line);
-                    }
-                }
-            }
+        let mut acc = TagAcc {
+            hits: 0,
+            misses: 0,
+            wbs: 0,
+            run_start: None,
+            events,
+        };
+        match self.set_stride {
+            16 => self.tag_pass_n::<16>(first, last, is_write, mask, &mut acc),
+            8 => self.tag_pass_n::<8>(first, last, is_write, mask, &mut acc),
+            4 => self.tag_pass_n::<4>(first, last, is_write, mask, &mut acc),
+            2 => self.tag_pass_n::<2>(first, last, is_write, mask, &mut acc),
+            1 => self.tag_pass_n::<1>(first, last, is_write, mask, &mut acc),
+            _ => self.tag_pass_scalar(first, last, is_write, mask, &mut acc),
         }
-        if let Some(s) = run_start {
-            events.push(RangeEvent::Run {
-                start: s,
-                len: last + 1 - s,
-            });
-        }
+        acc.close_run(last + 1);
+        let TagAcc {
+            hits,
+            misses,
+            wbs,
+            events,
+            ..
+        } = acc;
         self.stats.hits.add(hits);
         self.stats.misses.add(misses);
         self.stats.fills.add(misses);
         self.stats.writebacks.add(wbs);
 
         // --- memory pass ---------------------------------------------
+        if self.tag_pass_only {
+            // Diagnostic mode: the state transitions above all happened,
+            // but no DRAM traffic is issued and the port floor is the
+            // whole timing model. Wall time spent in this configuration
+            // approximates pure tag-pass cost.
+            self.scratch = events;
+            return RangeOutcome {
+                finish: now + self.hit_latency + self.port_cycles(lines),
+                hits,
+                misses,
+                writebacks: wbs,
+            };
+        }
         let mut batch = dram.line_batch(now, Self::MSHR_WINDOW, misses);
         for ev in &events {
             match *ev {
@@ -602,22 +988,41 @@ impl SharedCache {
 
     /// True if the line holding `addr` is present (test/diagnostic aid).
     pub fn probe(&self, addr: PhysAddr, way_mask: u16) -> bool {
-        let tag = addr.line_index(self.geom.line_bytes);
-        let base = self.group_base(tag);
-        (0..self.geom.ways as usize)
-            .filter(|w| way_mask & (1 << w) != 0)
-            .any(|w| self.tags[base + w] == tag)
+        let line = addr.line_index(self.geom.line_bytes);
+        let g = (line & self.group_mask) as usize;
+        let m = self.meta[g];
+        if meta_gen(m) != self.cur_gen {
+            return false; // stale set: logically empty
+        }
+        let wide = line >> self.group_bits;
+        if wide > u64::from(u16::MAX) {
+            return false; // unrepresentable tags can never be cached
+        }
+        let base = g * self.set_stride;
+        let lanes = &self.tags[base..base + self.set_stride];
+        eq_mask(lanes, wide as u16) & meta_occ(m) & u32::from(way_mask) != 0
     }
 
-    /// Invalidates the whole cache without writebacks (test aid).
+    /// Invalidates the whole cache without writebacks (test aid). O(1):
+    /// bumping the generation makes every set stale.
     pub fn invalidate_all(&mut self) {
-        self.tags.fill(INVALID_TAG);
-        self.meta.fill(0);
+        match self.cur_gen.checked_add(1) {
+            Some(g) => self.cur_gen = g,
+            None => {
+                self.meta.fill(0);
+                self.cur_gen = 1;
+            }
+        }
     }
 
-    /// Order- and content-sensitive digest of the full tag state (tags,
-    /// validity, dirtiness, LRU stamps). Lets differential tests assert
-    /// two caches evolved identically.
+    /// Order- and content-sensitive digest of the full *logical* tag
+    /// state (tags, validity, dirtiness, LRU recency order). Canonical
+    /// over the physical encoding: stale sets and invalid ways
+    /// contribute fixed values regardless of the garbage their lanes
+    /// hold — the recency walk visits only occupied ways, in rank
+    /// order, so where the invalid ways sit in the order word cannot
+    /// influence the digest. Lets differential tests assert two caches
+    /// evolved identically.
     #[doc(hidden)]
     pub fn state_fingerprint(&self) -> u64 {
         let mut h = 0xcbf29ce484222325u64;
@@ -625,12 +1030,43 @@ impl SharedCache {
             h ^= v;
             h = h.wrapping_mul(0x100000001b3);
         };
-        mix(self.lru_clock);
-        for (&t, &m) in self.tags.iter().zip(&self.meta) {
-            mix(t);
-            mix(m);
+        let groups = self.group_mask as usize + 1;
+        for g in 0..groups {
+            let m = self.meta[g];
+            if meta_gen(m) != self.cur_gen {
+                mix(0); // canonical empty set
+                continue;
+            }
+            let occ = meta_occ(m);
+            mix(u64::from(occ));
+            mix(u64::from(meta_dirty(m)));
+            let base = g * self.set_stride;
+            // Occupied ways LRU→MRU: the logical recency order.
+            let mut order = self.lru[g];
+            for _ in 0..self.set_stride {
+                let w = (order & 0xF) as usize;
+                order >>= 4;
+                if (occ >> w) & 1 != 0 {
+                    mix(w as u64);
+                    mix(u64::from(self.tags[base + w]));
+                }
+            }
         }
         h
+    }
+}
+
+impl Drop for SharedCache {
+    fn drop(&mut self) {
+        if let Some(pool) = self.pool.take() {
+            pool.release(Planes {
+                tags: std::mem::take(&mut self.tags),
+                lru: std::mem::take(&mut self.lru),
+                meta: std::mem::take(&mut self.meta),
+                gen: self.cur_gen,
+                tape: std::mem::take(&mut self.scratch),
+            });
+        }
     }
 }
 
@@ -762,6 +1198,32 @@ mod tests {
         let out = c.access_range(5, PhysAddr(0), 0, false, c.full_way_mask(), &mut d);
         assert_eq!(out.finish, 5);
         assert_eq!(out.hits + out.misses, 0);
+    }
+
+    #[test]
+    fn invalidate_all_is_a_generation_bump() {
+        let (mut c, mut d) = setup();
+        let mask = c.full_way_mask();
+        let fresh_print = SharedCache::new(&CacheConfig::paper_default()).state_fingerprint();
+        for i in 0..64u64 {
+            c.access_line(i, PhysAddr(i * 64), i % 2 == 0, mask, &mut d);
+        }
+        assert!(c.probe(PhysAddr(0), mask));
+        let gen_before = c.cur_gen;
+        c.invalidate_all();
+        assert_eq!(c.cur_gen, gen_before + 1, "O(1) generation bump");
+        for i in 0..64u64 {
+            assert!(!c.probe(PhysAddr(i * 64), mask), "line {i} must be gone");
+        }
+        // Logically empty — the canonical fingerprint ignores the stale
+        // lanes, so the flushed cache digests like a truly fresh one.
+        assert_eq!(fresh_print, c.state_fingerprint());
+        // Re-access: everything misses again, with no phantom writebacks
+        // from the discarded dirty lines.
+        let wb_before = c.stats().writebacks.get();
+        let out = c.access_range(0, PhysAddr(0), 64 * 64, false, mask, &mut d);
+        assert_eq!(out.misses, 64);
+        assert_eq!(c.stats().writebacks.get(), wb_before);
     }
 
     // --- batched vs reference differential ---------------------------
@@ -904,6 +1366,257 @@ mod tests {
         assert_eq!(a, b);
         assert_eq!(a.misses, bytes.div_ceil(64));
         assert_twin_state(&(cf, df), &(cr, dr), "cold stream");
+    }
+
+    // --- SoA lanes vs scalar packed-meta oracle ----------------------
+
+    /// The pre-SoA scalar model, verbatim: per-way `u64` tags with an
+    /// `u64::MAX` invalid sentinel and packed
+    /// `stamp << 2 | dirty << 1 | valid` meta words, scanned way by
+    /// way. Used as an independent oracle for the lane-parallel path.
+    struct ScalarOracle {
+        tags: Vec<u64>,
+        meta: Vec<u64>,
+        stride: usize,
+        group_mask: u64,
+        clock: u64,
+    }
+
+    impl ScalarOracle {
+        fn new(cfg: &CacheConfig) -> Self {
+            let geom = CacheGeometry::new(cfg);
+            let groups = geom.slices as usize * geom.sets_per_slice as usize;
+            let ways = geom.ways as usize;
+            ScalarOracle {
+                tags: vec![u64::MAX; groups * ways],
+                meta: vec![0; groups * ways],
+                stride: ways,
+                group_mask: groups as u64 - 1,
+                clock: 0,
+            }
+        }
+
+        /// `(hit, dirty_victim_line)` for one line touch.
+        fn touch(&mut self, line: u64, is_write: bool, way_mask: u16) -> (bool, Option<u64>) {
+            self.clock += 1;
+            let base = (line & self.group_mask) as usize * self.stride;
+            let wr = (is_write as u64) << 1;
+            for w in 0..self.stride {
+                if self.tags[base + w] == line && way_mask & (1 << w) != 0 {
+                    self.meta[base + w] = (self.clock << 2) | (self.meta[base + w] & 2) | wr | 1;
+                    return (true, None);
+                }
+            }
+            let mut vw = 0usize;
+            let mut vm = u64::MAX;
+            for w in 0..self.stride {
+                if way_mask & (1 << w) != 0 && self.meta[base + w] < vm {
+                    vm = self.meta[base + w];
+                    vw = w;
+                }
+            }
+            let wb = if vm & 3 == 3 {
+                Some(self.tags[base + vw])
+            } else {
+                None
+            };
+            self.tags[base + vw] = line;
+            self.meta[base + vw] = (self.clock << 2) | wr | 1;
+            (false, wb)
+        }
+    }
+
+    #[test]
+    fn property_soa_lanes_match_scalar_oracle() {
+        // Differential property test over random (geometry, range,
+        // way-mask) triples: the vectorized tag pass must match the
+        // scalar packed-meta walk event for event — hits, victim
+        // choices, writebacks, and the full LRU age ordering. Ways
+        // counts include 1 (the lane tail) and 2 (a single chunk);
+        // masks include the full mask, single ways, and random subsets.
+        let paper = CacheConfig::paper_default();
+        let configs = [
+            paper, // 16 ways: full-width lanes
+            CacheConfig {
+                total_bytes: 128 * 1024,
+                ways: 2,
+                npu_ways: 0,
+                slices: 2,
+                line_bytes: 64,
+                page_bytes: 8 * 1024,
+                ..paper
+            },
+            CacheConfig {
+                total_bytes: 64 * 1024,
+                ways: 1, // direct-mapped: scalar tail lane, mask = 1 only
+                npu_ways: 0,
+                slices: 1,
+                line_bytes: 64,
+                page_bytes: 8 * 1024,
+                ..paper
+            },
+        ];
+        for (gi, ccfg) in configs.into_iter().enumerate() {
+            let mut rng = SimRng::new(0xACE5 ^ gi as u64);
+            let mut soa = SharedCache::new(&ccfg);
+            let mut oracle = ScalarOracle::new(&ccfg);
+            let full = soa.full_way_mask();
+            let footprint_lines = (ccfg.total_bytes / ccfg.line_bytes) * 3;
+            for op in 0..40 {
+                let mask = match op % 4 {
+                    0 => full,
+                    1 => 1 << rng.next_below(u64::from(ccfg.ways)),
+                    _ => loop {
+                        let m = rng.next_below(1 << ccfg.ways) as u16;
+                        if m != 0 {
+                            break m;
+                        }
+                    },
+                };
+                let start = rng.next_below(footprint_lines);
+                let len = 1 + rng.next_below(300);
+                let is_write = rng.next_below(3) == 0;
+                for line in start..start + len {
+                    let (oh, owb) = oracle.touch(line, is_write, mask);
+                    let (sh, swb) = match soa.touch(line, is_write, u32::from(mask)) {
+                        Touch::Hit => (true, None),
+                        Touch::Miss(wb) => (false, wb),
+                    };
+                    assert_eq!(oh, sh, "hit diverged: geom {gi} op {op} line {line}");
+                    assert_eq!(owb, swb, "victim diverged: geom {gi} op {op} line {line}");
+                }
+                // Full LRU state sweep: every (way → tag, valid, dirty)
+                // must agree, and the order word's ranking of the
+                // occupied ways must equal the oracle's stamp order.
+                for g in 0..=soa.group_mask as usize {
+                    let sm = soa.meta[g];
+                    let live = meta_gen(sm) == soa.cur_gen;
+                    for w in 0..soa.set_stride {
+                        let idx = g * soa.set_stride + w;
+                        let valid = live && meta_occ(sm) & (1 << w) != 0;
+                        assert_eq!(valid, oracle.meta[idx] & 1 == 1, "geom {gi} g={g} w={w}");
+                        if !valid {
+                            continue;
+                        }
+                        let line = (u64::from(soa.tags[idx]) << soa.group_bits) | g as u64;
+                        assert_eq!(line, oracle.tags[idx], "tag: geom {gi} g={g} w={w}");
+                        let dirty = meta_dirty(sm) & (1 << w) != 0;
+                        assert_eq!(dirty, oracle.meta[idx] & 2 != 0, "geom {gi} g={g} w={w}");
+                    }
+                    if !live {
+                        continue;
+                    }
+                    let base = g * soa.set_stride;
+                    let by_rank: Vec<usize> = {
+                        let mut o = soa.lru[g];
+                        (0..soa.set_stride)
+                            .map(|_| {
+                                let w = (o & 0xF) as usize;
+                                o >>= 4;
+                                w
+                            })
+                            .filter(|&w| meta_occ(sm) & (1 << w) != 0)
+                            .collect()
+                    };
+                    let by_stamp: Vec<usize> = {
+                        let mut v: Vec<usize> = (0..soa.set_stride)
+                            .filter(|&w| oracle.meta[base + w] & 1 == 1)
+                            .collect();
+                        v.sort_by_key(|&w| oracle.meta[base + w] >> 2);
+                        v
+                    };
+                    assert_eq!(by_rank, by_stamp, "recency order: geom {gi} g={g}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn epoch_hook_is_behavior_neutral() {
+        // The epoch hook must never change simulated state — and its
+        // debug-build invariant sweep must accept a cache in any phase
+        // of mixed traffic (partial sets, partitioned masks, flushes).
+        let cfg = CacheConfig {
+            total_bytes: 256 * 1024,
+            ways: 4,
+            npu_ways: 0,
+            slices: 2,
+            line_bytes: 64,
+            page_bytes: 8 * 1024,
+            ..CacheConfig::paper_default()
+        };
+        let mut hooked = SharedCache::new(&cfg);
+        let mut plain = SharedCache::new(&cfg);
+        let mut dh = DramModel::new(DramConfig::paper_default(), cfg.line_bytes);
+        let mut dp = DramModel::new(DramConfig::paper_default(), cfg.line_bytes);
+        let mut rng = SimRng::new(42);
+        let footprint = cfg.total_bytes * 2;
+        let drive = |c: &mut SharedCache, d: &mut DramModel, rng: &mut SimRng| {
+            let base = PhysAddr(rng.next_below(footprint));
+            let bytes = 1 + rng.next_below(96 * 64);
+            let wr = rng.next_below(4) == 0;
+            c.access_range(0, base, bytes, wr, 0x0F, d)
+        };
+        for op in 0..60 {
+            let a = drive(&mut hooked, &mut dh, &mut rng.clone());
+            let b = drive(&mut plain, &mut dp, &mut rng);
+            assert_eq!(a, b);
+            hooked.on_epoch();
+            if op == 30 {
+                hooked.invalidate_all();
+                plain.invalidate_all();
+                hooked.on_epoch();
+            }
+            assert_eq!(
+                hooked.state_fingerprint(),
+                plain.state_fingerprint(),
+                "epoch hook changed state: op {op}"
+            );
+        }
+        assert_eq!(hooked.stats().hits.get(), plain.stats().hits.get());
+        assert_eq!(
+            hooked.stats().writebacks.get(),
+            plain.stats().writebacks.get()
+        );
+    }
+
+    #[test]
+    fn pooled_planes_reuse_is_invisible() {
+        let cfg = CacheConfig::paper_default();
+        let pool = Arc::new(CacheScratchPool::new());
+        let mask;
+        {
+            let mut c = SharedCache::with_scratch(&cfg, Arc::clone(&pool));
+            let mut d = DramModel::new(DramConfig::paper_default(), cfg.line_bytes);
+            mask = c.full_way_mask();
+            // Leave dirty lines and a used event tape behind.
+            c.access_range(0, PhysAddr(0), 1 << 20, true, mask, &mut d);
+            assert_eq!(pool.idle(), 0);
+        }
+        assert_eq!(pool.idle(), 1, "planes parked on drop");
+        // A pooled rebuild must be indistinguishable from a fresh cache:
+        // same fingerprint, and an identical op sequence evolves both
+        // identically (including no phantom hits/writebacks from the
+        // garbage the reused planes still hold).
+        let mut pooled = SharedCache::with_scratch(&cfg, Arc::clone(&pool));
+        assert_eq!(pool.idle(), 0, "planes drawn from the pool");
+        let mut fresh = SharedCache::new(&cfg);
+        assert_eq!(pooled.state_fingerprint(), fresh.state_fingerprint());
+        let mut dp = DramModel::new(DramConfig::paper_default(), cfg.line_bytes);
+        let mut df = DramModel::new(DramConfig::paper_default(), cfg.line_bytes);
+        let mut rng = SimRng::new(7);
+        for _ in 0..60 {
+            let base = PhysAddr(rng.next_below(48 * 1024 * 1024));
+            let bytes = rng.next_below(128 * 64);
+            let wr = rng.next_below(3) == 0;
+            let a = pooled.access_range(0, base, bytes, wr, mask, &mut dp);
+            let b = fresh.access_range(0, base, bytes, wr, mask, &mut df);
+            assert_eq!(a, b);
+        }
+        assert_eq!(pooled.state_fingerprint(), fresh.state_fingerprint());
+        assert_eq!(pooled.stats().hits.get(), fresh.stats().hits.get());
+        drop(pooled);
+        assert_eq!(pool.idle(), 1);
     }
 
     #[test]

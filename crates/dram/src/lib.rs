@@ -71,6 +71,59 @@ fn ceil_fp(x: u64) -> Cycle {
     (x + (FP_ONE - 1)) >> FP_SHIFT
 }
 
+/// Precomputed divide/modulo by a fixed runtime divisor.
+///
+/// Address decomposition (line index, row index, channel/bank
+/// interleave) runs once per line in the hottest loops of the model;
+/// with the paper-default geometry every divisor is a power of two, so
+/// the decomposition is a shift/mask. Non-power-of-two configs (they
+/// are legal) transparently fall back to real division — results are
+/// identical either way, this is pure strength reduction.
+#[derive(Debug, Clone, Copy)]
+struct FastDiv {
+    val: u64,
+    shift: u32,
+    po2: bool,
+}
+
+impl FastDiv {
+    fn new(val: u64) -> Self {
+        debug_assert!(val > 0, "divisor must be positive");
+        FastDiv {
+            val,
+            shift: val.trailing_zeros(),
+            po2: val.is_power_of_two(),
+        }
+    }
+
+    #[inline]
+    fn div(self, x: u64) -> u64 {
+        if self.po2 {
+            x >> self.shift
+        } else {
+            x / self.val
+        }
+    }
+
+    #[inline]
+    fn rem(self, x: u64) -> u64 {
+        if self.po2 {
+            x & (self.val - 1)
+        } else {
+            x % self.val
+        }
+    }
+
+    #[inline]
+    fn div_ceil(self, x: u64) -> u64 {
+        if self.po2 {
+            (x + self.val - 1) >> self.shift
+        } else {
+            x.div_ceil(self.val)
+        }
+    }
+}
+
 /// Aggregate DRAM statistics.
 #[derive(Debug, Clone, Default, Serialize, Deserialize)]
 pub struct DramStats {
@@ -105,21 +158,16 @@ impl DramStats {
     }
 }
 
-#[derive(Debug, Clone)]
+/// Sentinel row index for a bank with no activated row (no reachable
+/// byte address decomposes to it).
+const NO_ROW: u64 = u64::MAX;
+
+#[derive(Debug, Clone, Copy)]
 struct Bank {
-    open_row: Option<u64>,
+    /// Open row index, or [`NO_ROW`].
+    open_row: u64,
     /// Cycle at which the bank has an activated row and can transfer data.
     ready_at: Cycle,
-}
-
-#[derive(Debug, Clone)]
-struct Channel {
-    /// Fixed-point tick at which the channel data bus becomes free.
-    /// Sub-cycle resolution keeps a 64 B burst at 25.6 B/cycle on exactly
-    /// 2.5 cycles instead of a rounded 3 — rounding up would silently
-    /// shave 17 % off the peak bandwidth.
-    free_at: u64,
-    banks: Vec<Bank>,
 }
 
 /// A multi-channel DRAM with row-buffer timing and FCFS per-channel queues.
@@ -144,7 +192,21 @@ pub struct DramModel {
     /// `ceil` of the nominal per-line bus occupancy (busy-cycle
     /// accounting, kept at nominal pricing even for degraded channels).
     burst_ceil: Cycle,
-    channels: Vec<Channel>,
+    /// Fixed-point tick at which each channel's data bus becomes free.
+    /// Sub-cycle resolution keeps a 64 B burst at 25.6 B/cycle on exactly
+    /// 2.5 cycles instead of a rounded 3 — rounding up would silently
+    /// shave 17 % off the peak bandwidth.
+    free_at: Vec<u64>,
+    /// Bank state, channel-major: `banks[ch * banks_per_channel + bank]`
+    /// — one flat allocation, no per-channel `Vec` indirection on the
+    /// per-line hot path.
+    banks: Vec<Bank>,
+    /// Precomputed shift/mask (or division-fallback) decomposers for
+    /// the four per-line address divisions.
+    line_div: FastDiv,
+    row_div: FastDiv,
+    ch_div: FastDiv,
+    bank_div: FastDiv,
     stats: DramStats,
     reference: bool,
     /// Reused [`LineBatch`] scratch (MSHR ring + gate history) — range
@@ -164,18 +226,8 @@ struct BatchScratch {
 impl DramModel {
     /// Creates a DRAM model for lines of `line_bytes` bytes.
     pub fn new(cfg: DramConfig, line_bytes: u64) -> Self {
-        let channels = (0..cfg.channels)
-            .map(|_| Channel {
-                free_at: 0,
-                banks: vec![
-                    Bank {
-                        open_row: None,
-                        ready_at: 0,
-                    };
-                    cfg.banks_per_channel as usize
-                ],
-            })
-            .collect();
+        let nch = cfg.channels as usize;
+        let nbanks = cfg.banks_per_channel as usize;
         let burst_cycles = line_bytes as f64 / cfg.channel_bytes_per_cycle();
         let burst_fp = (burst_cycles * FP_ONE as f64).round() as u64;
         DramModel {
@@ -185,7 +237,18 @@ impl DramModel {
             burst_fp_ch: vec![burst_fp; cfg.channels as usize],
             scale_ch: vec![1.0; cfg.channels as usize],
             burst_ceil: ceil_fp(burst_fp),
-            channels,
+            free_at: vec![0; nch],
+            banks: vec![
+                Bank {
+                    open_row: NO_ROW,
+                    ready_at: 0,
+                };
+                nch * nbanks
+            ],
+            line_div: FastDiv::new(line_bytes),
+            row_div: FastDiv::new(cfg.row_bytes),
+            ch_div: FastDiv::new(u64::from(cfg.channels)),
+            bank_div: FastDiv::new(u64::from(cfg.banks_per_channel)),
             stats: DramStats::default(),
             reference: false,
             scratch: BatchScratch::default(),
@@ -223,7 +286,7 @@ impl DramModel {
     /// Channel index for a line address (line-granularity interleaving).
     #[inline]
     pub fn channel_of(&self, addr: PhysAddr) -> usize {
-        (addr.line_index(self.line_bytes) % u64::from(self.cfg.channels)) as usize
+        self.ch_div.rem(self.line_div.div(addr.0)) as usize
     }
 
     /// Advances the state machine for one line at `byte_addr`, gated to
@@ -232,25 +295,40 @@ impl DramModel {
     /// accounting is the caller's (so bursts can batch it).
     #[inline]
     fn line_timing(&mut self, earliest: Cycle, byte_addr: u64) -> Cycle {
-        let line = byte_addr / self.line_bytes;
-        let ch_idx = (line % u64::from(self.cfg.channels)) as usize;
-        let row = byte_addr / self.cfg.row_bytes;
-        let bank_idx = (row % u64::from(self.cfg.banks_per_channel)) as usize;
-        let ch = &mut self.channels[ch_idx];
-        let bank = &mut ch.banks[bank_idx];
-        if bank.open_row == Some(row) {
+        let line = self.line_div.div(byte_addr);
+        let ch_idx = self.ch_div.rem(line) as usize;
+        let row = self.row_div.div(byte_addr);
+        let bank_idx = self.bank_div.rem(row) as usize;
+        self.line_timing_at(earliest, ch_idx, bank_idx, row)
+    }
+
+    /// [`DramModel::line_timing`] with the address already decomposed —
+    /// hot paths that track channel and row incrementally skip the
+    /// divides entirely.
+    #[inline]
+    fn line_timing_at(
+        &mut self,
+        earliest: Cycle,
+        ch_idx: usize,
+        bank_idx: usize,
+        row: u64,
+    ) -> Cycle {
+        let bank = &mut self.banks[ch_idx * self.cfg.banks_per_channel as usize + bank_idx];
+        if bank.open_row == row {
             self.stats.row_hits.incr();
         } else {
             // Precharge + activate runs on the bank, overlapping with
             // data transfers of other banks on the same channel
             // (bank-level parallelism, as in DRAMsim3's FR-FCFS).
             self.stats.row_misses.incr();
-            bank.open_row = Some(row);
+            bank.open_row = row;
             bank.ready_at = earliest.max(bank.ready_at) + self.cfg.row_miss_penalty;
         }
-        let data_start = fp(earliest).max(ch.free_at).max(fp(bank.ready_at));
-        ch.free_at = data_start + self.burst_fp_ch[ch_idx];
-        ceil_fp(ch.free_at) + self.cfg.cas_latency
+        let data_start = fp(earliest)
+            .max(self.free_at[ch_idx])
+            .max(fp(bank.ready_at));
+        self.free_at[ch_idx] = data_start + self.burst_fp_ch[ch_idx];
+        ceil_fp(self.free_at[ch_idx]) + self.cfg.cas_latency
     }
 
     /// Per-line reference walk over `lines` consecutive lines.
@@ -269,37 +347,41 @@ impl DramModel {
     fn burst_lines_batched(&mut self, earliest: Cycle, addr: PhysAddr, lines: u64) -> Cycle {
         let lb = self.line_bytes;
         let nch = u64::from(self.cfg.channels);
+        let nbanks = self.cfg.banks_per_channel as usize;
         let e_fp = fp(earliest);
-        let first_line = addr.0 / lb;
+        let first_line = self.line_div.div(addr.0);
         let mut finish = earliest;
         let mut i = 0u64;
         while i < lines {
             let byte = addr.0 + i * lb;
-            let row = byte / self.cfg.row_bytes;
+            let row = self.row_div.div(byte);
             let row_end = (row + 1) * self.cfg.row_bytes;
-            let seg = (row_end - byte).div_ceil(lb).min(lines - i);
-            let bank_idx = (row % u64::from(self.cfg.banks_per_channel)) as usize;
-            let c0 = (first_line + i) % nch;
+            let seg = self.line_div.div_ceil(row_end - byte).min(lines - i);
+            let bank_idx = self.bank_div.rem(row) as usize;
+            let c0 = self.ch_div.rem(first_line + i);
             for t in 0..nch.min(seg) {
                 // Lines of this segment landing on this channel.
-                let k = (seg - t).div_ceil(nch);
-                let ci = ((c0 + t) % nch) as usize;
+                let k = self.ch_div.div_ceil(seg - t);
+                let mut c = c0 + t;
+                if c >= nch {
+                    c -= nch;
+                }
+                let ci = c as usize;
                 let burst = self.burst_fp_ch[ci];
-                let ch = &mut self.channels[ci];
-                let bank = &mut ch.banks[bank_idx];
-                if bank.open_row == Some(row) {
+                let bank = &mut self.banks[ci * nbanks + bank_idx];
+                if bank.open_row == row {
                     self.stats.row_hits.add(k);
                 } else {
                     self.stats.row_misses.incr();
                     self.stats.row_hits.add(k - 1);
-                    bank.open_row = Some(row);
+                    bank.open_row = row;
                     bank.ready_at = earliest.max(bank.ready_at) + self.cfg.row_miss_penalty;
                 }
                 // After the first line, each line starts exactly where
                 // the previous one on this channel finished.
-                let start = e_fp.max(ch.free_at).max(fp(bank.ready_at));
-                ch.free_at = start + k * burst;
-                finish = finish.max(ceil_fp(ch.free_at) + self.cfg.cas_latency);
+                let start = e_fp.max(self.free_at[ci]).max(fp(bank.ready_at));
+                self.free_at[ci] = start + k * burst;
+                finish = finish.max(ceil_fp(self.free_at[ci]) + self.cfg.cas_latency);
             }
             i += seg;
         }
@@ -399,6 +481,9 @@ impl DramModel {
             window,
             use_ring,
             miss_no: 0,
+            slot: 0,
+            fill_lines: 0,
+            wb_lines: 0,
             finish: now,
         }
     }
@@ -443,11 +528,7 @@ impl DramModel {
     /// The earliest cycle at which any channel is free (useful to detect
     /// an idle memory system in tests).
     pub fn earliest_free(&self) -> Cycle {
-        self.channels
-            .iter()
-            .map(|c| ceil_fp(c.free_at))
-            .min()
-            .unwrap_or(0)
+        self.free_at.iter().map(|&f| ceil_fp(f)).min().unwrap_or(0)
     }
 
     /// Effective bandwidth (bytes/cycle) achieved since the last stats
@@ -470,10 +551,13 @@ impl DramModel {
             h ^= v;
             h = h.wrapping_mul(0x100000001b3);
         };
-        for ch in &self.channels {
-            mix(ch.free_at);
-            for b in &ch.banks {
-                mix(b.open_row.map_or(u64::MAX, |r| r));
+        let nbanks = self.cfg.banks_per_channel as usize;
+        for (c, &free) in self.free_at.iter().enumerate() {
+            mix(free);
+            // `NO_ROW` is the same u64::MAX the pre-flattening digest
+            // mapped `None` to, so fingerprints stay comparable.
+            for b in &self.banks[c * nbanks..(c + 1) * nbanks] {
+                mix(b.open_row);
                 mix(b.ready_at);
             }
         }
@@ -534,6 +618,16 @@ pub struct LineBatch<'a> {
     /// `miss_no` at the start of the current run.
     run_start_miss: u64,
     miss_no: u64,
+    /// `miss_no % window`, maintained incrementally — the window (144)
+    /// is not a power of two, so recomputing it per fill would put a
+    /// real division on the single-line-miss hot path.
+    slot: usize,
+    /// Fill lines seen so far; request/byte/busy statistics are
+    /// accumulated here and flushed once on drop instead of as three
+    /// read-modify-writes per event.
+    fill_lines: u64,
+    /// Writeback lines seen so far (flushed with `fill_lines`).
+    wb_lines: u64,
     finish: Cycle,
 }
 
@@ -578,11 +672,14 @@ impl LineBatch<'_> {
     fn per_line(&mut self, base: PhysAddr, start: u64, n: u64, src: GateSrc) {
         let w = self.window as u64;
         let lb = self.dram.line_bytes;
-        let nch = u64::from(self.dram.cfg.channels);
+        let nch = u64::from(self.dram.cfg.channels) as usize;
+        // Consecutive lines advance the MSHR slot and the channel by
+        // exactly one each: track both incrementally — no per-line (or
+        // even per-call) division.
+        let mut slot = self.slot;
+        let mut ch = self.dram.ch_div.rem(self.dram.line_div.div(base.0) + start) as usize;
         for i in start..start + n {
             let byte = base.0 + i * lb;
-            let slot = (self.miss_no % w) as usize;
-            let ch = ((byte / lb) % nch) as usize;
             let gate = if self.miss_no < w {
                 self.now
             } else {
@@ -591,20 +688,31 @@ impl LineBatch<'_> {
                     GateSrc::Hist => self.hist_done(ch, self.scratch.nproc[ch] - self.per_ch),
                 }
             };
-            let done = self.dram.line_timing(gate, byte);
+            let row = self.dram.row_div.div(byte);
+            let bank_idx = self.dram.bank_div.rem(row) as usize;
+            let done = self.dram.line_timing_at(gate, ch, bank_idx, row);
             if self.use_ring {
                 self.scratch.ring[slot] = done;
             }
             if self.run_hist {
                 // The transfer started one burst before `free_at`.
-                let d0 = self.dram.channels[ch].free_at - self.dram.burst_fp_ch[ch];
+                let d0 = self.dram.free_at[ch] - self.dram.burst_fp_ch[ch];
                 let n_c = self.scratch.nproc[ch];
                 self.hist_push(ch, n_c, d0);
                 self.scratch.nproc[ch] += 1;
             }
             self.miss_no += 1;
             self.finish = self.finish.max(done);
+            slot += 1;
+            if slot == self.window {
+                slot = 0;
+            }
+            ch += 1;
+            if ch == nch {
+                ch = 0;
+            }
         }
+        self.slot = slot;
     }
 
     /// Closed-form walk of `n` in-run lines starting `offset` lines
@@ -615,24 +723,33 @@ impl LineBatch<'_> {
         let lb = self.dram.line_bytes;
         let nch = u64::from(self.dram.cfg.channels);
         let row_bytes = self.dram.cfg.row_bytes;
-        let nbanks = u64::from(self.dram.cfg.banks_per_channel);
+        let nbanks = self.dram.cfg.banks_per_channel as usize;
         let pen = self.dram.cfg.row_miss_penalty;
         let cas = self.dram.cfg.cas_latency;
         let w = self.window as u64;
         let now_fp = fp(self.now);
-        let l0 = base.0 / lb;
+        let l0 = self.dram.line_div.div(base.0);
         let mut j = offset;
         let end = offset + n;
         while j < end {
             let byte = base.0 + j * lb;
-            let row = byte / row_bytes;
-            let seg = ((row + 1) * row_bytes - byte).div_ceil(lb).min(end - j);
-            let bank_idx = (row % nbanks) as usize;
-            let c0 = (l0 + j) % nch;
+            let row = self.dram.row_div.div(byte);
+            let seg = self
+                .dram
+                .line_div
+                .div_ceil((row + 1) * row_bytes - byte)
+                .min(end - j);
+            let bank_idx = self.dram.bank_div.rem(row) as usize;
+            let c0 = self.dram.ch_div.rem(l0 + j);
             for t in 0..nch.min(seg) {
-                let k = (seg - t).div_ceil(nch);
-                let c = ((c0 + t) % nch) as usize;
-                if self.dram.channels[c].banks[bank_idx].open_row == Some(row) {
+                let k = self.dram.ch_div.div_ceil(seg - t);
+                let mut ci = c0 + t;
+                if ci >= nch {
+                    ci -= nch;
+                }
+                let c = ci as usize;
+                let bi = c * nbanks + bank_idx;
+                if self.dram.banks[bi].open_row == row {
                     self.dram.stats.row_hits.add(k);
                 } else {
                     self.dram.stats.row_misses.incr();
@@ -645,15 +762,16 @@ impl LineBatch<'_> {
                     } else {
                         self.hist_done(c, self.scratch.nproc[c] - self.per_ch)
                     };
-                    let bank = &mut self.dram.channels[c].banks[bank_idx];
-                    bank.open_row = Some(row);
+                    let bank = &mut self.dram.banks[bi];
+                    bank.open_row = row;
                     bank.ready_at = gate.max(bank.ready_at) + pen;
                 }
                 let burst = self.dram.burst_fp_ch[c];
-                let ch = &mut self.dram.channels[c];
-                let d0 = now_fp.max(ch.free_at).max(fp(ch.banks[bank_idx].ready_at));
-                ch.free_at = d0 + k * burst;
-                let done = ceil_fp(ch.free_at) + cas;
+                let d0 = now_fp
+                    .max(self.dram.free_at[c])
+                    .max(fp(self.dram.banks[bi].ready_at));
+                self.dram.free_at[c] = d0 + k * burst;
+                let done = ceil_fp(self.dram.free_at[c]) + cas;
                 self.finish = self.finish.max(done);
                 let n_c = self.scratch.nproc[c];
                 self.hist_push(c, n_c, d0);
@@ -662,6 +780,7 @@ impl LineBatch<'_> {
             j += seg;
         }
         self.miss_no += n;
+        self.slot = ((self.slot as u64 + n) % w) as usize;
     }
 
     /// Issues a gap-free run of `lines` consecutive missing lines
@@ -671,12 +790,7 @@ impl LineBatch<'_> {
         if lines == 0 {
             return;
         }
-        self.dram.stats.requests.add(lines);
-        self.dram.stats.read_bytes.add(lines * self.dram.line_bytes);
-        self.dram
-            .stats
-            .busy_cycles
-            .add(lines * self.dram.burst_ceil);
+        self.fill_lines += lines;
         let w = self.window as u64;
         if !self.use_ring {
             // The window never fills: every gate is `now`, the whole run
@@ -684,6 +798,7 @@ impl LineBatch<'_> {
             let done = self.dram.burst_lines_batched(self.now, base, lines);
             self.finish = self.finish.max(done);
             self.miss_no += lines;
+            self.slot = ((self.slot as u64 + lines) % w) as usize;
             return;
         }
         // In-run gate look-ups (mid/tail) only exist when the run
@@ -730,9 +845,7 @@ impl LineBatch<'_> {
     /// Issues one posted single-line writeback at `now` (dirty victim;
     /// occupies a channel but no MSHR and does not gate completion).
     pub fn writeback(&mut self, addr: PhysAddr) {
-        self.dram.stats.requests.incr();
-        self.dram.stats.write_bytes.add(self.dram.line_bytes);
-        self.dram.stats.busy_cycles.add(self.dram.burst_ceil);
+        self.wb_lines += 1;
         self.dram.line_timing(self.now, addr.0);
     }
 
@@ -744,6 +857,15 @@ impl LineBatch<'_> {
 
 impl Drop for LineBatch<'_> {
     fn drop(&mut self) {
+        // Flush the batched request/byte/busy statistics (identical
+        // totals to per-event accounting — Counters saturate, and line
+        // counts cannot overflow the sums).
+        let s = &mut self.dram.stats;
+        s.requests.add(self.fill_lines + self.wb_lines);
+        s.read_bytes.add(self.fill_lines * self.dram.line_bytes);
+        s.write_bytes.add(self.wb_lines * self.dram.line_bytes);
+        s.busy_cycles
+            .add((self.fill_lines + self.wb_lines) * self.dram.burst_ceil);
         // Hand the scratch buffers back for the next range walk.
         self.dram.scratch = std::mem::take(&mut self.scratch);
     }

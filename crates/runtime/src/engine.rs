@@ -27,7 +27,7 @@ use crate::policies::{
 use crate::result::{DetailLevel, QueueSample, RunDetail, RunOutput, RunSummary, TaskSummary};
 use crate::scenario::Workload;
 use crate::task::{InferenceRecord, Task, TaskState};
-use camdn_cache::{Nec, SharedCache};
+use camdn_cache::{CacheScratchPool, Nec, SharedCache};
 use camdn_common::config::SocConfig;
 use camdn_common::stats::Histogram;
 use camdn_common::types::{cycles_to_ms, ms_to_cycles, Cycle};
@@ -294,20 +294,29 @@ impl Engine {
     #[allow(deprecated)]
     pub fn new(cfg: EngineConfig, task_models: &[Model]) -> Self {
         let workload = Workload::closed(task_models.to_vec(), cfg.rounds_per_task);
-        Engine::with_policy(cfg.params(), builtin_policy(cfg.policy), &workload, None)
-            // camdn-lint: allow(panic-in-lib, reason = "deprecated pre-builder shim; its documented contract is to panic on invalid configs")
-            .expect("invalid engine configuration")
+        Engine::with_policy(
+            cfg.params(),
+            builtin_policy(cfg.policy),
+            &workload,
+            None,
+            None,
+        )
+        // camdn-lint: allow(panic-in-lib, reason = "deprecated pre-builder shim; its documented contract is to panic on invalid configs")
+        .expect("invalid engine configuration")
     }
 
     /// Builds an engine from parameters, a policy instance and a
     /// workload scenario. Model mappings are served from `plan_cache`
-    /// when one is supplied (sweeps share one across cells); results
-    /// are bit-identical either way.
+    /// when one is supplied (sweeps share one across cells), and the
+    /// shared cache draws its tag planes from `cache_scratch` when a
+    /// pool is supplied (sweep workers reuse them across cells);
+    /// results are bit-identical either way.
     pub(crate) fn with_policy(
         params: SimParams,
         mut policy: Box<dyn Policy>,
         workload: &Workload,
         plan_cache: Option<&PlanCache>,
+        cache_scratch: Option<Arc<CacheScratchPool>>,
     ) -> Result<Self, EngineError> {
         workload.validate()?;
         if params.soc.npu.cores == 0 {
@@ -349,7 +358,10 @@ impl Engine {
         let label = policy.label().to_string();
 
         let cache_cfg = params.soc.cache;
-        let mut cache = SharedCache::new(&cache_cfg);
+        let mut cache = match cache_scratch {
+            Some(pool) => SharedCache::with_scratch(&cache_cfg, pool),
+            None => SharedCache::new(&cache_cfg),
+        };
         let mut dram = DramModel::new(params.soc.dram, cache_cfg.line_bytes);
         cache.set_reference_model(params.reference_model);
         dram.set_reference_model(params.reference_model);
@@ -484,6 +496,13 @@ impl Engine {
             .copied()
     }
 
+    /// Forwards [`SharedCache::set_tag_pass_only`] (wall-time
+    /// attribution diagnostics; simulated timings are not meaningful
+    /// with it enabled).
+    pub(crate) fn set_tag_pass_only(&mut self, enabled: bool) {
+        self.cache.set_tag_pass_only(enabled);
+    }
+
     /// Runs the simulation to completion and aggregates the results.
     pub fn run(&mut self) -> Result<RunOutput, EngineError> {
         if self.started {
@@ -594,10 +613,19 @@ impl Engine {
     // ---------------------------------------------------------------
 
     fn maybe_rebalance(&mut self) {
-        if !self.shares_active() || self.now < self.next_epoch {
+        if self.now < self.next_epoch {
             return;
         }
         self.next_epoch = self.now + self.params.epoch_cycles;
+        // Results-identical cache housekeeping rides the epoch tick:
+        // the LRU age plane gets rank-compacted outside the hot tag
+        // pass when its 32-bit headroom runs low. Epochs fire at the
+        // same simulated times in the batched and reference engines,
+        // so the twins stay bit-for-bit comparable.
+        self.cache.on_epoch();
+        if !self.shares_active() {
+            return;
+        }
         let mut slots = std::mem::take(&mut self.slots_scratch);
         slots.clear();
         for t in &self.tasks {
@@ -1530,13 +1558,19 @@ pub fn workload(n: usize) -> Vec<Model> {
 #[allow(deprecated)]
 pub fn simulate(cfg: EngineConfig, task_models: &[Model]) -> crate::result::RunResult {
     let workload = Workload::closed(task_models.to_vec(), cfg.rounds_per_task);
-    Engine::with_policy(cfg.params(), builtin_policy(cfg.policy), &workload, None)
-        .and_then(|mut e| e.run())
-        // camdn-lint: allow(panic-in-lib, reason = "deprecated pre-builder shim; its documented contract is to panic on failure")
-        .expect("simulation failed")
-        .legacy_result()
-        // camdn-lint: allow(panic-in-lib, reason = "the legacy EngineConfig path always requests per-task detail")
-        .expect("the legacy params always retain the per-task table")
+    Engine::with_policy(
+        cfg.params(),
+        builtin_policy(cfg.policy),
+        &workload,
+        None,
+        None,
+    )
+    .and_then(|mut e| e.run())
+    // camdn-lint: allow(panic-in-lib, reason = "deprecated pre-builder shim; its documented contract is to panic on failure")
+    .expect("simulation failed")
+    .legacy_result()
+    // camdn-lint: allow(panic-in-lib, reason = "the legacy EngineConfig path always requests per-task detail")
+    .expect("the legacy params always retain the per-task table")
 }
 
 #[cfg(test)]
@@ -1608,6 +1642,7 @@ mod tests {
             params,
             builtin_policy(PolicyKind::CamdnFull),
             &workload,
+            None,
             None,
         )
         .unwrap();
@@ -1807,6 +1842,7 @@ mod tests {
             builtin_policy(PolicyKind::CamdnFull),
             &workload,
             None,
+            None,
         )
         .unwrap();
         let idle = engine.alloc.idle_pages();
@@ -1957,6 +1993,7 @@ mod tests {
             params,
             builtin_policy(PolicyKind::CamdnFull),
             &workload,
+            None,
             None,
         )
         .unwrap();

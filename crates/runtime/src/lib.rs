@@ -40,6 +40,7 @@ pub mod scenario;
 pub mod sim;
 pub mod task;
 
+pub use camdn_cache::CacheScratchPool;
 #[allow(deprecated)]
 pub use engine::{simulate, workload, EngineConfig};
 pub use engine::{Engine, PolicyKind};
