@@ -1,0 +1,300 @@
+//! Property tests for the generic component-clock scheduler core
+//! (`camdn_runtime::sched`): seeded random component sets with random
+//! clock dividers and random mid-run DVFS (divider-change) events must
+//!
+//! * never deadlock — every finite component set runs to completion
+//!   well inside a generous tick budget;
+//! * keep master time monotonic across the delivered schedule;
+//! * never deliver a stale heap entry — each planned local tick of
+//!   each component fires exactly once, in strictly increasing local
+//!   order, even when a peer retunes the component's clock while a
+//!   tick is pending;
+//! * fire same-cycle events in the documented deterministic order
+//!   (FIFO by scheduling sequence; cold-start ties in registration
+//!   order), so the same configuration always produces the identical
+//!   schedule.
+//!
+//! Failures are seeded and shrinkable: a violated property re-runs the
+//! generator on progressively smaller cases (fewer components, fewer
+//! ticks) until the smallest still-failing one is found, then panics
+//! printing that case's full fired-tick schedule.
+
+use camdn::common::types::Cycle;
+use camdn::common::SimRng;
+use camdn::runtime::sched::{Component, ComponentSet, FiredTick, TickCtx};
+
+/// One randomly generated component: a finite list of local ticks to
+/// execute, and DVFS retunes to request at given tick indices.
+#[derive(Debug, Clone)]
+struct Script {
+    divider: Cycle,
+    /// Strictly increasing local ticks this component executes.
+    locals: Vec<Cycle>,
+    /// `(tick_index, target_component, new_divider)` retunes.
+    retunes: Vec<(usize, usize, Cycle)>,
+}
+
+/// The component driving one [`Script`].
+struct Scripted {
+    script: Script,
+    fired: usize,
+}
+
+impl Component for Scripted {
+    fn next_tick(&mut self, from: Cycle) -> Option<Cycle> {
+        // Planned locals strictly increase, so the driver's
+        // clamp-to-`from` never actually moves a tick; the delivered
+        // locals are exactly the planned ones.
+        let _ = from;
+        self.script.locals.get(self.fired).copied()
+    }
+    fn tick(&mut self, _now: Cycle, _local: Cycle, ctx: &mut TickCtx) {
+        let idx = self.fired;
+        self.fired += 1;
+        for &(at, target, div) in &self.script.retunes {
+            if at == idx {
+                ctx.set_divider(target, div);
+            }
+        }
+    }
+}
+
+/// Draws a random case: `n` components with dividers in 1..=8, up to
+/// `max_ticks` local ticks each, and a sprinkling of DVFS retunes
+/// aimed at random (valid) components.
+fn draw_case(rng: &mut SimRng, n: usize, max_ticks: usize) -> Vec<Script> {
+    (0..n)
+        .map(|_| {
+            let divider = rng.next_range(1, 9);
+            let count = rng.next_below(max_ticks as u64 + 1) as usize;
+            let mut locals = Vec::with_capacity(count);
+            let mut l = 0u64;
+            for _ in 0..count {
+                l += rng.next_below(5); // gaps of 0..5 → repeated-edge pressure
+                locals.push(l);
+                l += 1;
+            }
+            let n_retunes = rng.next_below(3) as usize;
+            let retunes = (0..n_retunes)
+                .filter(|_| count > 0)
+                .map(|_| {
+                    (
+                        rng.next_below(count as u64) as usize,
+                        rng.next_below(n as u64) as usize,
+                        rng.next_range(1, 9),
+                    )
+                })
+                .collect();
+            Script {
+                divider,
+                locals,
+                retunes,
+            }
+        })
+        .collect()
+}
+
+/// Runs one case to completion, returning the fired-tick schedule.
+/// Any driver error (deadlock shows up as `TickBudget`) is a property
+/// violation reported through `Err`.
+fn run_case(case: &[Script]) -> Result<Vec<FiredTick>, String> {
+    let mut set = ComponentSet::new();
+    set.record_schedule(true);
+    for (i, s) in case.iter().enumerate() {
+        set.add(
+            format!("c{i}"),
+            s.divider,
+            Box::new(Scripted {
+                script: s.clone(),
+                fired: 0,
+            }),
+        )
+        .map_err(|e| format!("add failed: {e}"))?;
+    }
+    let budget = case.iter().map(|s| s.locals.len() as u64).sum::<u64>() + 8;
+    set.run(budget).map_err(|e| format!("run failed: {e}"))?;
+    Ok(set.schedule_log().to_vec())
+}
+
+/// Checks every property on one case; `Err` names the violation.
+fn check_case(case: &[Script]) -> Result<(), String> {
+    let log = run_case(case)?;
+
+    // Completion: every planned tick delivered exactly once (a stale
+    // heap entry delivered would double a tick; one filtered but never
+    // rescheduled would lose it).
+    let planned: u64 = case.iter().map(|s| s.locals.len() as u64).sum();
+    if log.len() as u64 != planned {
+        return Err(format!("delivered {} ticks, planned {planned}", log.len()));
+    }
+
+    // Monotone master time across the whole schedule.
+    for w in log.windows(2) {
+        if w[1].at < w[0].at {
+            return Err(format!("time ran backwards: {} then {}", w[0], w[1]));
+        }
+    }
+
+    // Per component: exactly the planned locals, in order (a stale
+    // delivery would duplicate one; a dropped remap would lose one;
+    // reordering would break the strict increase).
+    for (i, s) in case.iter().enumerate() {
+        let seen: Vec<Cycle> = log
+            .iter()
+            .filter(|t| t.comp == i)
+            .map(|t| t.local)
+            .collect();
+        if seen != s.locals {
+            return Err(format!(
+                "component {i}: delivered locals {seen:?} != planned {:?}",
+                s.locals
+            ));
+        }
+    }
+
+    // Cold-start tie-break: the leading run of cycle-0 ticks fires in
+    // registration order (components are primed in registration order
+    // and FIFO breaks the tie). A retune *at* cycle 0 legitimately
+    // re-enqueues its victim behind later registrations, so the check
+    // applies to retune-free cases only; retuned cases are still held
+    // to exact replay determinism below.
+    if case.iter().all(|s| s.retunes.is_empty()) {
+        let cold: Vec<usize> = log
+            .iter()
+            .take_while(|t| t.at == 0)
+            .map(|t| t.comp)
+            .collect();
+        let mut sorted = cold.clone();
+        sorted.sort_unstable();
+        if cold != sorted {
+            return Err(format!(
+                "cold same-cycle ticks out of registration order: {cold:?}"
+            ));
+        }
+    }
+
+    // Determinism: the identical configuration replays the identical
+    // schedule, tick for tick.
+    let replay = run_case(case)?;
+    if replay != log {
+        return Err("replay diverged from the first run".into());
+    }
+    Ok(())
+}
+
+/// Shrinks a failing case: repeatedly try dropping components and
+/// halving tick lists; keep any variant that still fails. Returns the
+/// smallest failing case and its violation.
+fn shrink(mut case: Vec<Script>, mut err: String) -> (Vec<Script>, String) {
+    loop {
+        let mut shrunk = false;
+        // Try dropping one component at a time.
+        for i in 0..case.len() {
+            let mut cand = case.clone();
+            cand.remove(i);
+            // Dropping can invalidate retune targets; clamp them away.
+            let len = cand.len();
+            for s in &mut cand {
+                s.retunes.retain(|&(_, t, _)| t < len);
+            }
+            if let Err(e) = check_case(&cand) {
+                case = cand;
+                err = e;
+                shrunk = true;
+                break;
+            }
+        }
+        if shrunk {
+            continue;
+        }
+        // Try halving each component's tick list.
+        for i in 0..case.len() {
+            if case[i].locals.len() < 2 {
+                continue;
+            }
+            let mut cand = case.clone();
+            let keep = cand[i].locals.len() / 2;
+            cand[i].locals.truncate(keep);
+            cand[i].retunes.retain(|&(at, _, _)| at < keep);
+            if let Err(e) = check_case(&cand) {
+                case = cand;
+                err = e;
+                shrunk = true;
+                break;
+            }
+        }
+        if !shrunk {
+            return (case, err);
+        }
+    }
+}
+
+/// Runs `check_case` over many seeded random cases; on failure,
+/// shrinks and panics with the smallest case's schedule printed.
+fn property_sweep(base_seed: u64, cases: usize, max_comps: usize, max_ticks: usize) {
+    for case_idx in 0..cases {
+        let seed = base_seed.wrapping_add(case_idx as u64);
+        let mut rng = SimRng::new(seed);
+        let n = rng.next_range(1, max_comps as u64 + 1) as usize;
+        let case = draw_case(&mut rng, n, max_ticks);
+        if let Err(err) = check_case(&case) {
+            let (small, small_err) = shrink(case, err);
+            let schedule = match run_case(&small) {
+                Ok(log) => log
+                    .iter()
+                    .map(|t| format!("  {t}"))
+                    .collect::<Vec<_>>()
+                    .join("\n"),
+                Err(e) => format!("  (run failed: {e})"),
+            };
+            panic!(
+                "scheduler property violated (seed {seed}, shrunk to {} components):\n\
+                 {small_err}\ncase: {small:#?}\nschedule:\n{schedule}",
+                small.len()
+            );
+        }
+    }
+}
+
+#[test]
+fn random_sets_with_dvfs_never_deadlock_and_stay_deterministic() {
+    property_sweep(0x5C4ED, 60, 6, 24);
+}
+
+#[test]
+fn dense_same_cycle_collisions_stay_ordered() {
+    // Divider-1 components with zero gaps maximize same-cycle ties.
+    for seed in 0..20u64 {
+        let mut rng = SimRng::new(0x71E ^ seed);
+        let n = rng.next_range(2, 6) as usize;
+        let case: Vec<Script> = (0..n)
+            .map(|_| Script {
+                divider: 1,
+                locals: (0..rng.next_below(16)).collect(),
+                retunes: vec![],
+            })
+            .collect();
+        if let Err(err) = check_case(&case) {
+            panic!("tie-break property violated (seed {seed}): {err}");
+        }
+    }
+}
+
+#[test]
+fn heavy_retune_crossfire_loses_no_ticks() {
+    // Every component retunes every other component on every tick —
+    // maximal stale-entry pressure on the heap.
+    let n = 4;
+    let case: Vec<Script> = (0..n)
+        .map(|i| Script {
+            divider: 1 + (i as Cycle % 3),
+            locals: (0..12).map(|k| k * 2).collect(),
+            retunes: (0..12)
+                .map(|k| (k, (i + 1) % n, 1 + ((k as Cycle + i as Cycle) % 8)))
+                .collect(),
+        })
+        .collect();
+    if let Err(err) = check_case(&case) {
+        panic!("retune crossfire violated a property: {err}");
+    }
+}

@@ -178,7 +178,11 @@ pub struct LintConfig {
     /// Workspace root (the directory holding the root `Cargo.toml`).
     pub root: PathBuf,
     /// Short crate names whose results must be bit-for-bit
-    /// deterministic; `nondet-iter` fires only in these.
+    /// deterministic; `nondet-iter` fires only in these. The scope is
+    /// crate-level and every `.rs` file under a member's `src/` is
+    /// walked, so new modules inside a listed crate (e.g. the
+    /// `runtime` scheduler core in `sched.rs` and its components) are
+    /// covered automatically, with no list update needed.
     pub result_affecting: Vec<String>,
     /// Short crate names allowed to read the wall clock (the bench
     /// harness times real executions by design).

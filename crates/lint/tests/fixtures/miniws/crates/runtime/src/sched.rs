@@ -1,0 +1,29 @@
+//! Fixture scheduler component: proves the `sched` module scope sits
+//! inside the crate-level `runtime` jurisdiction, so `nondet-iter`
+//! and `panic-in-lib` cover scheduler components from day one.
+//! Never compiled — only lexed and linted.
+
+/// Unordered state held by a scheduler component must fire.
+pub struct SchedComponent {
+    pending: std::collections::HashMap<u64, u64>,
+    // camdn-lint: allow(nondet-iter, reason = "membership probe only; iteration order never observed")
+    seen: std::collections::HashSet<u64>,
+}
+
+impl SchedComponent {
+    fn tick(&mut self, now: u64) -> u64 {
+        let next = self.pending.remove(&now).unwrap();
+        // camdn-lint: allow(panic-in-lib, reason = "a stale tick is a driver bug, not bad input")
+        if !self.seen.insert(now) { panic!("stale tick") }
+        next
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn test_sched_exemptions_hold() {
+        let _memo = std::collections::HashMap::<u64, u64>::new();
+        panic!("tests may panic");
+    }
+}

@@ -15,6 +15,7 @@
 //! [`PolicyKind`]; use [`Simulation::builder`](crate::Simulation) to
 //! assemble and run a configuration.
 
+use crate::components::EngineComponents;
 use crate::error::{BudgetKind, EngineError};
 use crate::fault::{
     FaultKind, FaultPlan, CHANNEL_DOWN_SCALE, MAX_INFERENCE_RETRIES, RETRY_BACKOFF_CYCLES,
@@ -26,12 +27,13 @@ use crate::policies::{
 };
 use crate::result::{DetailLevel, QueueSample, RunDetail, RunOutput, RunSummary, TaskSummary};
 use crate::scenario::Workload;
+use crate::sched::Scheduler;
 use crate::task::{InferenceRecord, Task, TaskState};
 use camdn_cache::{CacheScratchPool, Nec, SharedCache};
 use camdn_common::config::SocConfig;
 use camdn_common::stats::Histogram;
 use camdn_common::types::{cycles_to_ms, ms_to_cycles, Cycle};
-use camdn_common::{EventQueue, SimRng};
+use camdn_common::SimRng;
 use camdn_core::{
     install_region, resolve_candidate, teardown_region, CandidateRef, Decision, PageAllocator,
     RegionError,
@@ -182,6 +184,7 @@ impl EngineConfig {
             max_sim_cycles: None,
             max_wall: None,
             admission_control: false,
+            legacy_scheduler: false,
         }
     }
 }
@@ -221,6 +224,12 @@ pub(crate) struct SimParams {
     /// Deadline-aware admission control: shed open-loop QoS arrivals
     /// whose predicted completion already misses the deadline.
     pub admission_control: bool,
+    /// Drive the run with the retained legacy monolithic advance loop
+    /// instead of the component-structured one. Results are bit-for-bit
+    /// identical either way (`sched_equivalence.rs` is the gate); the
+    /// knob exists so the differential suite can hold the two loops
+    /// against each other.
+    pub legacy_scheduler: bool,
 }
 
 /// The multi-tenant discrete-event engine.
@@ -257,11 +266,11 @@ pub struct Engine {
     cache: SharedCache,
     nec: Nec,
     alloc: PageAllocator,
-    events: EventQueue<u32>,
+    /// The master event heap (time-ordered, FIFO among ties).
+    events: Scheduler<u32>,
     rng: SimRng,
     npu_waiters: Vec<u32>,
     page_waiters: Vec<u32>,
-    next_epoch: Cycle,
     /// Rough isolated-latency estimate per model (for urgency).
     iso_est: Vec<Cycle>,
     /// Queue-depth timeline (populated only when
@@ -270,11 +279,10 @@ pub struct Engine {
     /// Per-NPU failed flag (`params.fault_plan`). A failed NPU is out
     /// of the free pool until its `NpuUp` event.
     npu_failed: Vec<bool>,
-    /// Next unapplied event of `params.fault_plan`.
-    fault_cursor: usize,
-    /// DVFS scale on compute throughput (`ClockThrottle`); 1.0 —
-    /// the only value a fault-free run ever sees — is IEEE-exact.
-    clock_scale: f64,
+    /// Scheduling state of the phase components (fault cursor, epoch
+    /// boundary, sampler clock, NPU clock domain); see
+    /// `crate::components`.
+    comps: EngineComponents,
     now: Cycle,
     started: bool,
 }
@@ -438,14 +446,12 @@ impl Engine {
             npu_cores: (0..params.soc.npu.cores)
                 .map(|i| NpuCore::new(i, params.soc.npu, cpt_entries, cache_cfg.page_bytes))
                 .collect(),
-            events: EventQueue::new(),
+            events: Scheduler::new(),
             npu_waiters: Vec::new(),
             page_waiters: Vec::new(),
-            next_epoch: params.epoch_cycles,
             queue_samples: Vec::new(),
             npu_failed: vec![false; params.soc.npu.cores as usize],
-            fault_cursor: 0,
-            clock_scale: 1.0,
+            comps: EngineComponents::new(params.epoch_cycles, params.queue_sample_cycles),
             now: 0,
             started: false,
             params,
@@ -504,6 +510,17 @@ impl Engine {
     }
 
     /// Runs the simulation to completion and aggregates the results.
+    ///
+    /// The run primes the master heap — fault events first (plan
+    /// order), then one arrival per task in task order; insertion
+    /// order is part of the determinism contract — and then drives it
+    /// with either the component-structured loop
+    /// ([`run_scheduled`](Self::run_scheduled), the default) or the
+    /// retained legacy monolithic loop
+    /// ([`run_legacy`](Self::run_legacy), behind
+    /// `SimulationBuilder::legacy_scheduler`). The two are bit-for-bit
+    /// equivalent; `crates/camdn/tests/sched_equivalence.rs` is the
+    /// gate.
     pub fn run(&mut self) -> Result<RunOutput, EngineError> {
         if self.started {
             return Err(EngineError::InvalidConfig(
@@ -537,6 +554,75 @@ impl Engine {
                 }
             }
         }
+        if self.params.legacy_scheduler {
+            self.run_legacy()
+        } else {
+            self.run_scheduled()
+        }
+    }
+
+    /// The component-structured advance loop (the default). Every
+    /// popped master-heap event flows through the phase components in
+    /// a fixed, documented order: budget guards, the sampler drains
+    /// its fixed-period clock up to the event, a fault-sentinel event
+    /// ticks the fault component, the lazy epoch clock fires if its
+    /// boundary was reached, and finally the task state machine steps.
+    /// See `docs/ENGINE.md` for the architecture.
+    fn run_scheduled(&mut self) -> Result<RunOutput, EngineError> {
+        // camdn-lint: allow(wall-clock-in-sim, reason = "max_wall budget guard: wall time only decides when to stop, never what the simulation computes")
+        let wall_start = Instant::now();
+        let mut wall_tick = 0u32;
+        while let Some((now, tid)) = self.events.pop() {
+            // Budget guards. The cycle budget trips on the first event
+            // *past* the limit (deterministic); the wall-clock budget is
+            // polled every few thousand events and depends on host
+            // speed. Both surface the work done so far as a partial.
+            if let Some(max) = self.params.max_sim_cycles {
+                if now > max {
+                    return Err(EngineError::BudgetExceeded {
+                        budget: BudgetKind::SimCycles,
+                        at_cycle: now,
+                        partial: Box::new(self.aggregate()),
+                    });
+                }
+            }
+            if let Some(max) = self.params.max_wall {
+                wall_tick = wall_tick.wrapping_add(1);
+                if wall_tick.is_multiple_of(WALL_CHECK_STRIDE) && wall_start.elapsed() >= max {
+                    return Err(EngineError::BudgetExceeded {
+                        budget: BudgetKind::WallClock,
+                        at_cycle: now,
+                        partial: Box::new(self.aggregate()),
+                    });
+                }
+            }
+            // Sampler component: a fixed-period clock drained up to the
+            // event (state only changes at events, so sampling just
+            // before the first event at-or-past a boundary observes the
+            // state *at* it).
+            while let Some(at) = self.comps.sampler.next_due(now) {
+                self.sample_queue_depth(at);
+            }
+            self.now = now.max(self.now);
+            if tid == FAULT_EVENT {
+                self.apply_next_fault(now)?;
+                continue;
+            }
+            // Epoch component: a lazy clock that piggybacks on task
+            // events (an idle stretch produces no empty epoch ticks).
+            if self.comps.epoch.due(self.now) {
+                self.rebalance_epoch();
+            }
+            self.step(tid, now)?;
+        }
+        Ok(self.aggregate())
+    }
+
+    /// The retained pre-component monolithic advance loop — the seed
+    /// engine's `run` body, kept verbatim so the differential suite
+    /// can hold the component-structured loop bit-for-bit against it.
+    /// Selected by `SimulationBuilder::legacy_scheduler`.
+    fn run_legacy(&mut self) -> Result<RunOutput, EngineError> {
         // Queue sampling walks fixed boundaries between events: state
         // only changes at events, so sampling just before the first
         // event at-or-past a boundary observes the state *at* it.
@@ -612,11 +698,20 @@ impl Engine {
     // Scheduling epochs (policies with `reallocates_shares`)
     // ---------------------------------------------------------------
 
+    /// Legacy-loop epoch entry point: boundary check plus the epoch
+    /// tick (the component loop checks `comps.epoch.due` inline).
     fn maybe_rebalance(&mut self) {
-        if self.now < self.next_epoch {
+        if !self.comps.epoch.due(self.now) {
             return;
         }
-        self.next_epoch = self.now + self.params.epoch_cycles;
+        self.rebalance_epoch();
+    }
+
+    /// The epoch component's tick: re-arm the (lazy, drifting)
+    /// boundary, run the cache's epoch housekeeping, and let a
+    /// share-reallocating policy redistribute bandwidth and NPU quota.
+    fn rebalance_epoch(&mut self) {
+        self.comps.epoch.advance(self.now);
         // Results-identical cache housekeeping rides the epoch tick:
         // the LRU age plane gets rank-compacted outside the hot tag
         // pass when its 32-bit headroom runs low. Epochs fire at the
@@ -664,11 +759,11 @@ impl Engine {
     /// the policy its topology-change hook with the surviving capacity.
     fn apply_next_fault(&mut self, now: Cycle) -> Result<(), EngineError> {
         let kind = match &self.params.fault_plan {
-            Some(p) => p.events()[self.fault_cursor].kind,
+            Some(p) => p.events()[self.comps.fault.cursor].kind,
             // Defensive: a sentinel without a plan is a stale event.
             None => return Ok(()),
         };
-        self.fault_cursor += 1;
+        self.comps.fault.advance();
         match kind {
             FaultKind::NpuDown(n) => self.fail_npu(n as usize, now)?,
             FaultKind::NpuUp(n) => self.restore_npu(n as usize, now),
@@ -679,7 +774,11 @@ impl Engine {
             FaultKind::DramDegrade { channel, factor } => self
                 .dram
                 .set_channel_bandwidth_scale(channel as usize, factor),
-            FaultKind::ClockThrottle { factor } => self.clock_scale = factor,
+            // DVFS routes through the NPU clock component: the
+            // throttle factor retunes the clock's rate against the
+            // master clock, and every subsequent compute charge is
+            // converted through it.
+            FaultKind::ClockThrottle { factor } => self.comps.npu_clock.set_rate(factor),
         }
         let surviving = self.npu_failed.iter().filter(|f| !**f).count() as u32;
         let ctx = PartitionCtx {
@@ -874,12 +973,12 @@ impl Engine {
                             layer: t.cur_layer,
                         })?;
                         let c = plan.phases[phase_idx].compute_cycles;
-                        let eff = if t.group > 1 { 0.9 } else { 1.0 };
-                        // DVFS throttle scales compute throughput; the
-                        // fault-free ×1.0 is IEEE-exact, so results
-                        // without a plan are untouched bit for bit.
-                        let adj = (c as f64 / (f64::from(t.group) * eff * self.clock_scale)).ceil()
-                            as Cycle;
+                        // The NPU clock component converts local
+                        // compute cycles to master cycles; its
+                        // fault-free full rate is IEEE-exact, so
+                        // results without a plan are untouched bit for
+                        // bit.
+                        let adj = self.comps.npu_clock.compute_master_cycles(c, t.group);
                         t.compute_horizon = t.compute_horizon.max(now) + adj;
                     }
                 }
@@ -1637,6 +1736,7 @@ mod tests {
             max_sim_cycles: None,
             max_wall: None,
             admission_control: false,
+            legacy_scheduler: false,
         };
         let mut engine = Engine::with_policy(
             params,
@@ -1836,6 +1936,7 @@ mod tests {
             max_sim_cycles: None,
             max_wall: None,
             admission_control: false,
+            legacy_scheduler: false,
         };
         let mut engine = Engine::with_policy(
             params,
@@ -1987,6 +2088,7 @@ mod tests {
             max_sim_cycles: None,
             max_wall: None,
             admission_control: false,
+            legacy_scheduler: false,
         };
         let workload = Workload::closed((0..4).map(|_| zoo::mobilenet_v2()).collect(), 2);
         let mut engine = Engine::with_policy(

@@ -29,6 +29,7 @@
 #![warn(missing_docs)]
 #![deny(deprecated)]
 
+mod components;
 pub mod engine;
 pub mod error;
 pub mod fault;
@@ -37,6 +38,7 @@ pub mod metrics;
 pub mod policies;
 pub mod result;
 pub mod scenario;
+pub mod sched;
 pub mod sim;
 pub mod task;
 
@@ -59,5 +61,9 @@ pub use result::{
     LATENCY_HIST_BUCKETS, LATENCY_HIST_EDGES,
 };
 pub use scenario::{ArrivalProcess, Workload};
+pub use sched::{
+    CompId, Component, ComponentClock, ComponentSet, FiredTick, SchedError, SchedSummary,
+    Scheduler, TickCtx,
+};
 pub use sim::{Simulation, SimulationBuilder};
 pub use task::{InferenceRecord, Task, TaskState};
